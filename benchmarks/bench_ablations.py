@@ -1,0 +1,105 @@
+"""Ablation benches for the design choices DESIGN.md calls out."""
+
+from repro.harness.ablations import (
+    context_profile_agreement,
+    context_sensitivity_cost,
+    entry_check_cost,
+    inliner_comparison,
+    skip_policy_comparison,
+    stride_vs_samples,
+)
+
+from conftest import pedantic
+
+SLICE = ["jess", "javac", "mtrt"]
+
+
+def test_ablation_stride_vs_samples(benchmark):
+    """At a fixed per-tick budget, trading stride against samples.
+
+    Paper §6.3: javac's gain was "mostly (but not entirely) due to
+    increasing the value of Samples" — samples carry most of the
+    accuracy; stride contributes by widening the window.
+    """
+    points = pedantic(benchmark, lambda: stride_vs_samples(SLICE, size="small"))
+    by_label = {p.label.split(" ")[0]: p for p in points}
+    # All budget-equal configurations beat stride-only at N=1.
+    assert by_label["samples-only"].accuracy > by_label["stride-only"].accuracy
+    benchmark.extra_info["points"] = [
+        (p.label, round(p.accuracy, 1), round(p.overhead_percent, 2)) for p in points
+    ]
+
+
+def test_ablation_skip_policy(benchmark):
+    """Random vs round-robin initial skip (paper §4 offers both)."""
+    points = pedantic(
+        benchmark, lambda: skip_policy_comparison(SLICE, size="small")
+    )
+    random_point, rr_point = points
+    # The two policies are interchangeable in accuracy (within a few
+    # points) — the paper treats them as equivalent alternatives.
+    assert abs(random_point.accuracy - rr_point.accuracy) < 8.0
+    benchmark.extra_info["points"] = [
+        (p.label, round(p.accuracy, 1)) for p in points
+    ]
+
+
+def test_ablation_entry_check(benchmark):
+    """Overloaded flag vs dedicated 3-instruction entry check (§4)."""
+    points = pedantic(benchmark, lambda: entry_check_cost("jess", size="small"))
+    overloaded, dedicated = points
+    assert overloaded.overhead_percent == 0.0
+    # The dedicated check costs a measurable but small slowdown.
+    assert 0.0 < dedicated.overhead_percent < 10.0
+    benchmark.extra_info["points"] = [
+        (p.label, round(p.overhead_percent, 2)) for p in points
+    ]
+
+
+def test_ablation_old_vs_new_inliner(benchmark):
+    """Old vs new Jikes inliner (paper §5.1): the new inliner wins even
+    with timer profiles, and grows further with CBS profiles.
+
+    The slice is the complex-benchmark end of the suite (javac, daikon,
+    kawa): the new inliner's edge is exploiting the *non-hot* profiled
+    sites those programs have many of; on hot-spot-dominated benchmarks
+    the two inliners converge (as the paper's §5.1 narrative implies).
+    """
+    points = pedantic(
+        benchmark,
+        lambda: inliner_comparison(["javac", "daikon", "kawa"], size="small"),
+    )
+    by_label = {p.label: p.extra for p in points}
+    assert by_label["new+timer"] > by_label["old+timer"]
+    assert by_label["new+cbs"] >= by_label["new+timer"] - 0.5
+    assert by_label["new+cbs"] > by_label["old+cbs"]
+    benchmark.extra_info["avg_speedup_vs_old_timer"] = {
+        label: round(value, 2) for label, value in by_label.items()
+    }
+
+
+def test_ablation_context_depth(benchmark):
+    """Cost/coverage of the context-sensitive extension."""
+    points = pedantic(
+        benchmark, lambda: context_sensitivity_cost("kawa", size="small")
+    )
+    overheads = [p.overhead_percent for p in points]
+    contexts = [p.extra for p in points]
+    # Deeper walks cost more and observe more distinct contexts.
+    assert overheads == sorted(overheads)
+    assert contexts[-1] > contexts[0]
+    benchmark.extra_info["points"] = [
+        (p.label, round(p.overhead_percent, 2), int(p.extra)) for p in points
+    ]
+
+
+def test_ablation_context_stability(benchmark):
+    """Two independently seeded CCT profiles agree on the hot contexts.
+
+    Measured on jess (stable context population).  kawa's context space
+    is enormous relative to the sample budget, so its seed-to-seed
+    overlap is genuinely low — an instructive limit of sampled CCTs.
+    """
+    agreement = pedantic(benchmark, lambda: context_profile_agreement("jess"))
+    assert agreement > 80.0
+    benchmark.extra_info["context_overlap_between_seeds"] = round(agreement, 1)

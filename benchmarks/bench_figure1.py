@@ -1,0 +1,38 @@
+"""Figure 1 — the timer-sampling pathology on the adversarial program.
+
+Asserts the paper's claim quantitatively: timer sampling massively
+over-credits the first call after the compute stretch; CBS recovers the
+true 50/50 split.
+"""
+
+from repro.harness.figure1 import compute_figure1, render_figure1
+
+from conftest import pedantic
+
+
+def test_figure1(benchmark):
+    rows = pedantic(benchmark, lambda: compute_figure1(size="small"))
+    by_name = {r.profiler: r for r in rows}
+
+    timer = by_name["timer"]
+    cbs = by_name["cbs"]
+    whaley = by_name["whaley"]
+
+    # Timer: call_1 absorbs the overwhelming majority of the weight.
+    assert timer.call_1_percent > 75.0
+    assert timer.call_2_percent < 25.0
+
+    # CBS: within a few points of the true 50/50 split, accuracy ~100.
+    assert abs(cbs.call_1_percent - 50.0) < 5.0
+    assert abs(cbs.call_2_percent - 50.0) < 5.0
+    assert cbs.accuracy > 95.0
+
+    # Both timer-driven schemes are far less accurate than CBS.
+    assert cbs.accuracy > timer.accuracy + 20.0
+    assert cbs.accuracy > whaley.accuracy + 20.0
+
+    benchmark.extra_info["table"] = render_figure1(rows)
+    benchmark.extra_info["split"] = {
+        r.profiler: (round(r.call_1_percent, 1), round(r.call_2_percent, 1))
+        for r in rows
+    }

@@ -1,0 +1,42 @@
+"""Table 1 — benchmark characteristics.
+
+Regenerates the running-time / methods-executed / bytecode-size rows.
+The bench slice uses tiny+small inputs; run
+``python -m repro.harness table1`` for the paper's small+large version.
+"""
+
+from repro.benchsuite.suite import benchmark_names
+from repro.harness.table1 import compute_table1, render_table1
+
+from conftest import pedantic
+
+SLICE = benchmark_names()[:6]
+
+
+def test_table1_rows(benchmark):
+    rows = pedantic(
+        benchmark, lambda: compute_table1(SLICE, sizes=("tiny", "small"))
+    )
+    assert len(rows) == len(SLICE)
+    for row in rows:
+        # "large" here is the small input; it must dominate tiny.
+        assert row.large_time_s > row.small_time_s
+        assert row.small_methods > 0
+        assert row.small_kb > 0
+    benchmark.extra_info["table"] = render_table1(rows)
+    benchmark.extra_info["rows"] = [
+        (r.benchmark, round(r.small_time_s, 4), r.small_methods, round(r.small_kb, 1))
+        for r in rows
+    ]
+
+
+def test_table1_single_baseline(benchmark):
+    """Timing of one baseline measurement (the unit of all experiments)."""
+    from repro.harness import runner
+
+    def measure():
+        runner.clear_baseline_cache()
+        return runner.measure_baseline("jess", "tiny")
+
+    result = benchmark(measure)
+    assert result.calls > 0

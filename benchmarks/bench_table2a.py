@@ -1,0 +1,52 @@
+"""Table 2A — CBS overhead/accuracy grid on the Jikes configuration.
+
+A reduced Stride × Samples grid over a benchmark slice; asserts the
+paper's two monotonicity claims (accuracy grows along both axes;
+overhead explodes only in the lower rows).  Full grid:
+``python -m repro.harness table2a``.
+"""
+
+from repro.harness.table2 import compute_table2, render_table2
+
+from conftest import pedantic
+
+SLICE = ["jess", "javac", "mtrt", "xerces"]
+STRIDES = [1, 7, 31]
+SAMPLES = [1, 16, 256]
+
+
+def test_table2a_grid(benchmark):
+    cells = pedantic(
+        benchmark,
+        lambda: compute_table2(
+            "jikes",
+            benchmarks=SLICE,
+            size="small",
+            strides=STRIDES,
+            samples_values=SAMPLES,
+        ),
+    )
+    by_key = {(c.stride, c.samples): c for c in cells}
+
+    # Accuracy grows with samples at every stride.
+    for stride in STRIDES:
+        accuracies = [by_key[(stride, n)].accuracy for n in SAMPLES]
+        assert accuracies == sorted(accuracies), (stride, accuracies)
+
+    # The default configuration (1,1) is the worst cell.
+    worst = by_key[(1, 1)]
+    assert all(c.accuracy >= worst.accuracy - 1.0 for c in cells)
+
+    # Overhead in the paper's "low" region stays under ~2%.
+    assert by_key[(7, 16)].overhead_percent < 2.0
+
+    # Overhead grows with samples.
+    assert (
+        by_key[(1, 256)].overhead_percent > by_key[(1, 1)].overhead_percent
+    )
+
+    benchmark.extra_info["table"] = render_table2(cells, "jikes")
+    benchmark.extra_info["cells"] = [
+        (c.stride, c.samples, round(c.overhead_percent, 2), round(c.accuracy, 1))
+        for c in cells
+    ]

@@ -1,0 +1,41 @@
+"""Table 2B — the same CBS parameter grid on the J9 configuration.
+
+The paper's point in running both VMs: the trends must survive the
+substrate change (different cost model, prologue-only yieldpoints).
+Full grid: ``python -m repro.harness table2b``.
+"""
+
+from repro.harness.table2 import compute_table2, render_table2
+
+from conftest import pedantic
+
+SLICE = ["jess", "javac", "mtrt", "xerces"]
+STRIDES = [1, 7, 31]
+SAMPLES = [1, 16, 256]
+
+
+def test_table2b_grid(benchmark):
+    cells = pedantic(
+        benchmark,
+        lambda: compute_table2(
+            "j9",
+            benchmarks=SLICE,
+            size="small",
+            strides=STRIDES,
+            samples_values=SAMPLES,
+        ),
+    )
+    by_key = {(c.stride, c.samples): c for c in cells}
+
+    # Same trends as Table 2A, on a different VM.
+    for stride in STRIDES:
+        accuracies = [by_key[(stride, n)].accuracy for n in SAMPLES]
+        assert accuracies == sorted(accuracies), (stride, accuracies)
+    assert by_key[(7, 16)].overhead_percent < 2.0
+    assert by_key[(7, 256)].accuracy > by_key[(1, 1)].accuracy + 10.0
+
+    benchmark.extra_info["table"] = render_table2(cells, "j9")
+    benchmark.extra_info["cells"] = [
+        (c.stride, c.samples, round(c.overhead_percent, 2), round(c.accuracy, 1))
+        for c in cells
+    ]

@@ -1,0 +1,73 @@
+"""Raw substrate throughput — how fast the simulator itself runs.
+
+Not a paper experiment; tracks the interpreter's Python-level speed so
+regressions in the hot loop are caught.  These use pytest-benchmark's
+normal repetition (they are cheap).
+"""
+
+from repro.benchsuite.suite import program_for
+from repro.frontend.codegen import compile_source
+from repro.lang.parser import parse
+from repro.vm.config import jikes_config
+from repro.vm.interpreter import Interpreter
+
+ARITH = """
+def main() {
+  var t = 0;
+  for (var i = 0; i < 20000; i = i + 1) { t = (t * 3 + i) % 65521; }
+  print(t);
+}
+"""
+
+CALLS = """
+def f(x: int): int { return x + 1; }
+def main() {
+  var t = 0;
+  for (var i = 0; i < 8000; i = i + 1) { t = f(t); }
+  print(t);
+}
+"""
+
+
+def test_interpreter_arithmetic(benchmark):
+    program = compile_source(ARITH)
+
+    def run():
+        vm = Interpreter(program, jikes_config())
+        vm.run()
+        return vm
+
+    vm = benchmark(run)
+    benchmark.extra_info["mips"] = round(vm.steps / 1e6, 3)
+
+
+def test_interpreter_calls(benchmark):
+    program = compile_source(CALLS)
+
+    def run():
+        vm = Interpreter(program, jikes_config())
+        vm.run()
+        return vm
+
+    vm = benchmark(run)
+    benchmark.extra_info["calls"] = vm.call_count
+
+
+def test_compiler_frontend(benchmark):
+    from repro.benchsuite.suite import get_benchmark
+
+    source = get_benchmark("javac").source("tiny")
+
+    def compile_it():
+        return compile_source(source)
+
+    program = benchmark(compile_it)
+    benchmark.extra_info["functions"] = len(program.functions)
+
+
+def test_parser_only(benchmark):
+    from repro.benchsuite.suite import get_benchmark
+
+    source = get_benchmark("soot").source("tiny")
+    tree = benchmark(lambda: parse(source))
+    assert tree.classes

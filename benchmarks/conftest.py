@@ -1,0 +1,24 @@
+"""Shared fixtures for the experiment benchmarks.
+
+Every bench regenerates (a reduced slice of) one of the paper's tables
+or figures and attaches the computed numbers to ``benchmark.extra_info``
+so ``--benchmark-json`` output carries the experimental results, not
+just the timings.  The full-size experiments are run via
+``python -m repro.harness <experiment>``.
+"""
+
+import pytest
+
+from repro.harness import runner
+
+
+@pytest.fixture(autouse=True)
+def fresh_baseline_cache():
+    """Benches must not inherit each other's cached baselines."""
+    runner.clear_baseline_cache()
+    yield
+
+
+def pedantic(benchmark, func):
+    """Run a heavy experiment exactly once under the timer."""
+    return benchmark.pedantic(func, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,91 @@
+"""Watch the adaptive optimization system at work.
+
+Runs a benchmark for several iterations under the full production stack
+— CBS profiling, the new Jikes-style profile-directed inliner, and the
+adaptive controller — and prints per-iteration virtual times plus the
+recompilation log, then compares steady state against timer-only
+profiles and against static heuristics.
+
+Run:  python examples/adaptive_inlining.py [benchmark]
+"""
+
+import sys
+
+from repro.adaptive.controller import AdaptiveSystem
+from repro.adaptive.modes import jit_only_cache
+from repro.benchsuite.suite import benchmark_names, program_for
+from repro.harness.runner import run_steady_state
+from repro.inlining.new_inliner import NewJikesInliner
+from repro.profiling.cbs import CBSProfiler
+from repro.profiling.timer_sampler import TimerProfiler
+from repro.vm.config import jikes_config
+from repro.vm.interpreter import Interpreter
+
+ITERATIONS = 10
+
+
+def narrated_run(name: str, size: str) -> None:
+    program = program_for(name, size)
+    config = jikes_config()
+    vm = Interpreter(program, config, jit_only_cache(program, config.cost_model, 0))
+    vm.attach_profiler(CBSProfiler(stride=3, samples_per_tick=16))
+    adaptive = AdaptiveSystem(program, NewJikesInliner(program))
+    adaptive.install(vm)
+
+    print(f"iterating {name}-{size} {ITERATIONS} times with CBS + new inliner:\n")
+    previous_time = 0
+    previous_events = 0
+    for iteration in range(ITERATIONS):
+        vm.run()
+        delta = vm.time - previous_time
+        previous_time = vm.time
+        new_events = adaptive.events[previous_events:]
+        previous_events = len(adaptive.events)
+        recompiled = ", ".join(
+            f"{program.functions[e.function_index].qualified_name}→L{e.level}"
+            f"({e.inlines} inl)"
+            for e in new_events
+        )
+        print(f"  iter {iteration:2d}: {delta:>9,} units"
+              + (f"   compiled: {recompiled}" if recompiled else ""))
+    print(f"\ntotal compile time: {vm.code_cache.compile_time:,} units "
+          f"({vm.code_cache.compile_count} compilations)")
+
+
+def comparison(name: str, size: str) -> None:
+    program = program_for(name, size)
+    static = run_steady_state(
+        name, size, "jikes", NewJikesInliner(program),
+        profiler=CBSProfiler(stride=3, samples_per_tick=16),
+        iterations=ITERATIONS, use_profile=False,
+    )
+    timer = run_steady_state(
+        name, size, "jikes", NewJikesInliner(program),
+        profiler=TimerProfiler(), iterations=ITERATIONS,
+    )
+    cbs = run_steady_state(
+        name, size, "jikes", NewJikesInliner(program),
+        profiler=CBSProfiler(stride=3, samples_per_tick=16),
+        iterations=ITERATIONS,
+    )
+    print("\nsteady-state comparison (Figure 5 methodology):")
+    print(f"  static heuristics only : {static.steady_time:>9,} units")
+    timer_speedup = 100.0 * (static.steady_time - timer.steady_time) / timer.steady_time
+    cbs_speedup = 100.0 * (static.steady_time - cbs.steady_time) / cbs.steady_time
+    print(f"  timer-guided inlining  : {timer.steady_time:>9,} units "
+          f"({timer_speedup:+.1f}%)")
+    print(f"  cbs-guided inlining    : {cbs.steady_time:>9,} units "
+          f"({cbs_speedup:+.1f}%)")
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "jess"
+    size = sys.argv[2] if len(sys.argv) > 2 else "small"
+    if name not in benchmark_names():
+        raise SystemExit(f"unknown benchmark {name!r}; pick from {benchmark_names()}")
+    narrated_run(name, size)
+    comparison(name, size)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+"""A tour of the substrate: every compiler stage, inspectable.
+
+Walks one small program through the full pipeline — tokens, AST, type
+checking, bytecode, verification, disassembly, CHA, explicit inlining,
+and execution — the pieces the profiling work is built on.
+
+Run:  python examples/build_your_own_language_tour.py
+"""
+
+from repro.bytecode.disassembler import disassemble_function
+from repro.bytecode.opcodes import Op
+from repro.bytecode.verifier import verify_program
+from repro.frontend.codegen import compile_program
+from repro.frontend.typecheck import typecheck
+from repro.lang.lexer import tokenize
+from repro.lang.parser import parse
+from repro.opt.cha import ClassHierarchyAnalysis
+from repro.opt.inline import InlineDecision, InlinePlan
+from repro.opt.pipeline import optimize_function
+from repro.vm.interpreter import Interpreter
+
+SOURCE = """
+class Accum {
+  var total: int;
+  def add(x: int): int {
+    this.total = this.total + x;
+    return this.total;
+  }
+}
+def main() {
+  var a = new Accum();
+  var last = 0;
+  for (var i = 1; i <= 5; i = i + 1) { last = a.add(i * i); }
+  print(last);
+}
+"""
+
+
+def main() -> None:
+    print("=== 1. tokens (first 12) ===")
+    for token in tokenize(SOURCE)[:12]:
+        print(f"  {token}")
+
+    print("\n=== 2. parse -> AST ===")
+    tree = parse(SOURCE)
+    print(f"  {len(tree.classes)} class(es), {len(tree.functions)} function(s)")
+    method = tree.classes[0].methods[0]
+    print(f"  Accum.{method.name}: {len(method.params)} param(s), "
+          f"{len(method.body)} statement(s)")
+
+    print("\n=== 3. typecheck ===")
+    checked = typecheck(tree)
+    accum = checked.classes.require("Accum")
+    print(f"  Accum members: fields={list(accum.all_fields)}, "
+          f"methods={[m for m, _ in accum.all_methods]}")
+
+    print("\n=== 4. codegen -> verified bytecode ===")
+    program = compile_program(checked)
+    verify_program(program)
+    print(f"  {program}")
+    print(disassemble_function(program.function_named("main"), program))
+
+    print("\n=== 5. class hierarchy analysis ===")
+    cha = ClassHierarchyAnalysis(program)
+    sid = program.selector_id("add", 1)
+    print(f"  add/1 monomorphic: {cha.is_monomorphic(sid)}")
+
+    print("\n=== 6. inline Accum.add into main ===")
+    main_function = program.function_named("main")
+    site = next(
+        pc for pc, i in enumerate(main_function.code) if i.op is Op.CALL_VIRTUAL
+    )
+    plan = InlinePlan(
+        main_function.index,
+        [InlineDecision(site, program.function_index("Accum.add"))],
+    )
+    result = optimize_function(program, plan)
+    print(f"  size {result.size_before} -> {result.size_after} bytes")
+    print(disassemble_function(result.function, program))
+
+    print("=== 7. run both versions ===")
+    vm = Interpreter(program)
+    vm.run()
+    print(f"  baseline : output={vm.output}, virtual time={vm.time:,}")
+    vm2 = Interpreter(program)
+    vm2.code_cache.install(result.function, opt_level=2)
+    vm2.run()
+    print(f"  optimized: output={vm2.output}, virtual time={vm2.time:,}")
+    assert vm.output == vm2.output
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,99 @@
+"""Offline profile-guided optimization with saved profiles.
+
+The paper's online technique exists because *offline* profiles (collect
+on one run, optimize the next) are operationally awkward — but they are
+the gold standard the literature compares against (Suganuma et al.
+validated their online system against perfect offline profiles).  This
+example demonstrates the library's offline path:
+
+1. run the benchmark once with exhaustive profiling and save the DCG,
+2. start a fresh VM, load the profile, pre-optimize everything the
+   profile justifies, and run again — no warmup, no adaptive system,
+3. compare against (a) an unoptimized run and (b) the online adaptive
+   system, which must pay for warmup but needs no profile file.
+
+Run:  python examples/offline_pgo.py [benchmark]
+"""
+
+import os
+import sys
+import tempfile
+
+from repro.adaptive.controller import AdaptiveSystem
+from repro.adaptive.modes import jit_only_cache
+from repro.benchsuite.suite import benchmark_names, program_for
+from repro.inlining.new_inliner import NewJikesInliner
+from repro.opt.pipeline import optimize_function
+from repro.profiling.cbs import CBSProfiler
+from repro.profiling.exhaustive import ExhaustiveProfiler
+from repro.profiling.serialize import load_profile, save_profile
+from repro.vm.config import jikes_config
+from repro.vm.interpreter import Interpreter
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "mtrt"
+    if name not in benchmark_names():
+        raise SystemExit(f"unknown benchmark {name!r}; pick from {benchmark_names()}")
+    size = "small"
+    program = program_for(name, size)
+    config = jikes_config()
+
+    # 1. Profiling run: exhaustive, saved to disk.
+    vm = Interpreter(program, config)
+    profiler = ExhaustiveProfiler()
+    profiler.install(vm)
+    vm.run()
+    profile_path = os.path.join(tempfile.gettempdir(), f"{name}.profile.json")
+    save_profile(profiler.dcg, program, profile_path)
+    print(f"profiled {name}-{size}: {len(profiler.dcg)} edges "
+          f"-> {profile_path}")
+
+    # 2. Offline-PGO run: fresh program object, profile from disk.
+    fresh = program_for(name, size)
+    offline_dcg = load_profile(profile_path, fresh)
+    policy = NewJikesInliner(fresh)
+    pgo_vm = Interpreter(fresh, config)
+    optimized = 0
+    for function in fresh.functions:
+        plan = policy.plan_for(function.index, offline_dcg)
+        if plan.is_empty():
+            continue
+        result = optimize_function(fresh, plan)
+        pgo_vm.code_cache.install(result.function, 2)
+        optimized += 1
+    pgo_vm.run()
+
+    # 3a. Baseline: no optimization at all.
+    base_vm = Interpreter(fresh, config)
+    base_vm.run()
+
+    # 3b. Online adaptive: pays warmup, needs no profile file.
+    online_vm = Interpreter(
+        fresh, config, jit_only_cache(fresh, config.cost_model, 0)
+    )
+    online_vm.attach_profiler(CBSProfiler(stride=3, samples_per_tick=16))
+    AdaptiveSystem(fresh, NewJikesInliner(fresh)).install(online_vm)
+    online_vm.run()
+
+    assert pgo_vm.output == base_vm.output == online_vm.output
+
+    base = base_vm.time
+    print(f"\n{'configuration':28s} {'virtual time':>14s} {'vs baseline':>12s}")
+    print("-" * 58)
+    for label, t in (
+        ("baseline (no inlining)", base),
+        (f"offline PGO ({optimized} methods)", pgo_vm.time),
+        ("online adaptive (1st run)", online_vm.time),
+    ):
+        print(f"{label:28s} {t:>14,} {100.0 * (base - t) / t:>+11.1f}%")
+    print(
+        "\nOffline PGO is fastest from instruction one; the online system\n"
+        "approaches it after warmup without ever touching the filesystem —\n"
+        "the trade the paper's online technique is designed around."
+    )
+    os.unlink(profile_path)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+"""repro — reproduction of Arnold & Grove, "Collecting and Exploiting
+High-Accuracy Call Graph Profiles in Virtual Machines" (CGO 2005).
+
+The package builds, from scratch, everything the paper's experiments
+need: a small object-oriented language (Mini) with a compiler to stack
+bytecode, an interpreting VM with a deterministic virtual clock and
+Jikes-RVM-style yieldpoints, the paper's counter-based sampling (CBS)
+profiler plus every baseline profiler it is compared against,
+feedback-directed inliners, an adaptive optimization system, a
+13-program benchmark suite, and harnesses regenerating each table and
+figure.
+
+Quickstart::
+
+    from repro import compile_source, Interpreter, CBSProfiler
+
+    program = compile_source(open("app.mini").read())
+    vm = Interpreter(program)
+    vm.attach_profiler(CBSProfiler(stride=3, samples_per_tick=16))
+    vm.run()
+    print(vm.profiler.dcg.describe(program))
+"""
+
+from repro.frontend.codegen import compile_program, compile_source
+from repro.profiling.cbs import CBSProfiler
+from repro.profiling.dcg import DCG
+from repro.profiling.exhaustive import ExhaustiveProfiler
+from repro.profiling.metrics import accuracy, overlap
+from repro.profiling.timer_sampler import TimerProfiler
+from repro.vm.config import j9_config, jikes_config
+from repro.vm.interpreter import Interpreter, run_program
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CBSProfiler",
+    "DCG",
+    "ExhaustiveProfiler",
+    "Interpreter",
+    "TimerProfiler",
+    "__version__",
+    "accuracy",
+    "compile_program",
+    "compile_source",
+    "j9_config",
+    "jikes_config",
+    "overlap",
+    "run_program",
+]

@@ -1,0 +1,14 @@
+"""The adaptive optimization system: sampling-driven recompilation."""
+
+from repro.adaptive.controller import AdaptiveConfig, AdaptiveSystem, CompilationEvent
+from repro.adaptive.modes import jit_only_cache
+from repro.adaptive.organizer import DecayingDCGOrganizer, HotMethodOrganizer
+
+__all__ = [
+    "AdaptiveConfig",
+    "AdaptiveSystem",
+    "CompilationEvent",
+    "DecayingDCGOrganizer",
+    "HotMethodOrganizer",
+    "jit_only_cache",
+]

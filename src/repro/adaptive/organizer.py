@@ -1,0 +1,62 @@
+"""Profile organizers (after Jikes RVM's adaptive-system organizers).
+
+The raw profilers accumulate method samples and DCG edges; organizers
+turn those into the decisions' inputs: a ranked hot-method list and an
+optionally decayed call graph.  Per the paper (§5.1), the organizers do
+not care whether samples came from timer-based or counter-based
+listeners — they just process samples.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.profiling.dcg import DCG
+
+
+class HotMethodOrganizer:
+    """Ranks methods by accumulated samples."""
+
+    def __init__(self, method_samples: Counter):
+        self._samples = method_samples
+
+    def hot_methods(self, minimum_samples: int = 1) -> list[tuple[int, int]]:
+        """(function index, samples) pairs, hottest first."""
+        ranked = [
+            (index, count)
+            for index, count in self._samples.items()
+            if count >= minimum_samples
+        ]
+        ranked.sort(key=lambda item: -item[1])
+        return ranked
+
+    def samples_for(self, function_index: int) -> int:
+        return self._samples.get(function_index, 0)
+
+
+class DecayingDCGOrganizer:
+    """Maintains an exponentially decayed view of a profiler's DCG.
+
+    Jikes RVM periodically decays DCG weights so the profile tracks
+    phase changes; this organizer applies the decay every ``period``
+    ticks when :meth:`on_tick` is called.
+    """
+
+    def __init__(self, dcg: DCG, factor: float = 0.95, period: int = 100):
+        if not 0.0 < factor <= 1.0:
+            raise ValueError("decay factor must be in (0, 1]")
+        if period < 1:
+            raise ValueError("period must be >= 1")
+        self._dcg = dcg
+        self._factor = factor
+        self._period = period
+        self._ticks = 0
+
+    def on_tick(self) -> None:
+        self._ticks += 1
+        if self._ticks % self._period == 0 and self._factor < 1.0:
+            self._dcg.decay(self._factor)
+
+    @property
+    def dcg(self) -> DCG:
+        return self._dcg

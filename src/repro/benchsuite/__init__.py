@@ -1,0 +1,27 @@
+"""Benchmark programs written in Mini, mirroring the paper's suite."""
+
+from repro.benchsuite.generator import GeneratorConfig, generate_program, generate_source
+from repro.benchsuite.suite import (
+    ADVERSARIAL,
+    BENCHMARKS,
+    Benchmark,
+    SIZES,
+    benchmark_names,
+    clear_cache,
+    get_benchmark,
+    program_for,
+)
+
+__all__ = [
+    "ADVERSARIAL",
+    "BENCHMARKS",
+    "Benchmark",
+    "GeneratorConfig",
+    "SIZES",
+    "benchmark_names",
+    "clear_cache",
+    "generate_program",
+    "generate_source",
+    "get_benchmark",
+    "program_for",
+]

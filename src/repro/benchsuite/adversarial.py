@@ -1,0 +1,49 @@
+"""The paper's Figure 1 adversary, as a runnable benchmark.
+
+A loop whose body is a long sequence of non-call instructions followed
+by two calls to short methods.  Timer-based sampling attributes almost
+all samples to ``call_1`` (the first prologue executed after the flag is
+set) and starves ``call_2``; the true edge weights are exactly 50/50.
+"""
+
+NAME = "adversarial"
+
+TINY_N = 4000
+SMALL_N = 40000
+LARGE_N = 300000
+
+SOURCE = """
+class Worker {
+  var acc: int;
+
+  // Short-running but non-trivial bodies (they must survive the
+  // baseline's trivial-inlining pass to remain profilable call edges).
+  def call_1(): int { return this.acc % 7 + 1; }
+  def call_2(): int { return this.acc % 5 + 2; }
+
+  def m(n: int) {
+    var i = 0;
+    while (i < n) {
+      // Long sequence of non-call instructions (the paper used a run of
+      // getfields and putfields; the choice is arbitrary).
+      var x = this.acc;
+      var y = x + 1;
+      var z = y * 2;
+      x = z - y; y = x * 3; z = y + x; x = z - 1; y = x + z; z = x + y;
+      x = z - y; y = x * 3; z = y + x; x = z - 1; y = x + z; z = x + y;
+      x = z - y; y = x * 3; z = y + x; x = z - 1; y = x + z; z = x + y;
+      x = z - y; y = x * 3; z = y + x; x = z - 1; y = x + z; z = x + y;
+      this.acc = z % 65521;
+      // Two short calls.
+      this.acc = this.acc + this.call_1() + this.call_2();
+      i = i + 1;
+    }
+  }
+}
+
+def main() {
+  var w = new Worker();
+  w.m(__N__);
+  print(w.acc);
+}
+"""

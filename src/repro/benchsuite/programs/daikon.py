@@ -1,0 +1,117 @@
+"""``daikon`` — modeled on MIT's Daikon dynamic invariant detector.
+
+Character: the widest method population in the suite — a battery of
+many small invariant-checker objects each tested against every trace
+sample.  Hundreds of light call edges of similar weight: the hardest
+case for sparse sampling to cover.
+"""
+
+NAME = "daikon"
+
+TINY_N = 40
+SMALL_N = 300
+LARGE_N = 2400
+
+SOURCE = """
+class Invariant {
+  var falsified: bool;
+  var confirmations: int;
+  def check(a: int, b: int): bool { return true; }
+  def feed(a: int, b: int) {
+    if (this.falsified) { return; }
+    if (this.check(a, b)) {
+      this.confirmations = this.confirmations + 1;
+    } else {
+      this.falsified = true;
+    }
+  }
+}
+
+class NonZero extends Invariant {
+  def check(a: int, b: int): bool { return a != 0; }
+}
+class Positive extends Invariant {
+  def check(a: int, b: int): bool { return a > 0; }
+}
+class LessThan extends Invariant {
+  def check(a: int, b: int): bool { return a < b; }
+}
+class LessEq extends Invariant {
+  def check(a: int, b: int): bool { return a <= b; }
+}
+class Equal extends Invariant {
+  def check(a: int, b: int): bool { return a == b; }
+}
+class SumBounded extends Invariant {
+  var bound: int;
+  def init(bound: int) { this.bound = bound; }
+  def check(a: int, b: int): bool { return a + b < this.bound; }
+}
+class DiffBounded extends Invariant {
+  var bound: int;
+  def init(bound: int) { this.bound = bound; }
+  def check(a: int, b: int): bool {
+    var d = a - b;
+    if (d < 0) { d = 0 - d; }
+    return d < this.bound;
+  }
+}
+class ModEqual extends Invariant {
+  var modulus: int;
+  def init(m: int) { this.modulus = m; }
+  def check(a: int, b: int): bool { return a % this.modulus == b % this.modulus; }
+}
+
+class ProgramPoint {
+  var invariants: Invariant[];
+  var count: int;
+  def init(variant: int) {
+    this.invariants = new Invariant[8];
+    this.count = 8;
+    this.invariants[0] = new NonZero();
+    this.invariants[1] = new Positive();
+    this.invariants[2] = new LessThan();
+    this.invariants[3] = new LessEq();
+    this.invariants[4] = new Equal();
+    this.invariants[5] = new SumBounded(5000 + variant * 100);
+    this.invariants[6] = new DiffBounded(300 + variant * 13);
+    this.invariants[7] = new ModEqual(2 + variant % 9);
+  }
+  def sample(a: int, b: int) {
+    var i = 0;
+    while (i < this.count) {
+      this.invariants[i].feed(a, b);
+      i = i + 1;
+    }
+  }
+  def alive(): int {
+    var n = 0;
+    var i = 0;
+    while (i < this.count) {
+      if (!this.invariants[i].falsified) { n = n + 1; }
+      i = i + 1;
+    }
+    return n;
+  }
+}
+
+def main() {
+  var points = new ProgramPoint[12];
+  var i = 0;
+  while (i < 12) { points[i] = new ProgramPoint(i); i = i + 1; }
+  var seed = 17;
+  var sample = 0;
+  while (sample < __N__ * 12) {
+    seed = (seed * 1103515245 + 12345) % 2147483648;
+    var a = seed % 4000;
+    seed = (seed * 1103515245 + 12345) % 2147483648;
+    var b = seed % 4000;
+    points[sample % 12].sample(a, b);
+    sample = sample + 1;
+  }
+  var alive = 0;
+  i = 0;
+  while (i < 12) { alive = alive + points[i].alive(); i = i + 1; }
+  print(alive);
+}
+"""

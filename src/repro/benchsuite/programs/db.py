@@ -1,0 +1,114 @@
+"""``db`` — modeled on SPECjvm98 209_db (in-memory database).
+
+Character: scanning and shell-sorting a table of records, where the
+comparison goes through a virtual method on an index object.  Moderate
+call density dominated by a single hot edge (the comparator), plus long
+non-call scanning stretches that mislead timer sampling.
+"""
+
+NAME = "db"
+
+TINY_N = 1
+SMALL_N = 9
+LARGE_N = 70
+
+SOURCE = """
+class Record {
+  var key: int;
+  var payload: int;
+  def init(key: int, payload: int) { this.key = key; this.payload = payload; }
+}
+
+class Index {
+  def compare(a: Record, b: Record): int { return a.key - b.key; }
+}
+
+class PayloadIndex extends Index {
+  def compare(a: Record, b: Record): int { return a.payload - b.payload; }
+}
+
+class Table {
+  var rows: Record[];
+  var size: int;
+
+  def init(n: int) {
+    this.rows = new Record[n];
+    this.size = n;
+    var seed = 99;
+    var i = 0;
+    while (i < n) {
+      seed = (seed * 1103515245 + 12345) % 2147483648;
+      this.rows[i] = new Record(seed % 10000, seed % 777);
+      i = i + 1;
+    }
+  }
+
+  def shellSort(index: Index) {
+    var n = this.size;
+    var gap = n / 2;
+    while (gap > 0) {
+      var i = gap;
+      while (i < n) {
+        var item = this.rows[i];
+        var j = i;
+        while (j >= gap && index.compare(this.rows[j - gap], item) > 0) {
+          this.rows[j] = this.rows[j - gap];
+          j = j - gap;
+        }
+        this.rows[j] = item;
+        i = i + 1;
+      }
+      gap = gap / 2;
+    }
+  }
+
+  def scan(lo: int, hi: int): int {
+    // Non-call scanning stretch: sums keys in a range.
+    var sum = 0;
+    var i = 0;
+    var n = this.size;
+    while (i < n) {
+      var k = this.rows[i].key;
+      if (k >= lo) {
+        if (k < hi) {
+          sum = (sum + k * 3 + this.rows[i].payload) % 1000003;
+        }
+      }
+      i = i + 1;
+    }
+    return sum;
+  }
+
+  def shuffle(seed: int) {
+    var i = 0;
+    var n = this.size;
+    while (i < n) {
+      seed = (seed * 1103515245 + 12345) % 2147483648;
+      var j = seed % n;
+      var tmp = this.rows[i];
+      this.rows[i] = this.rows[j];
+      this.rows[j] = tmp;
+      i = i + 1;
+    }
+  }
+}
+
+def main() {
+  var table = new Table(280);
+  var byKey = new Index();
+  var byPayload = new PayloadIndex();
+  var total = 0;
+  var round = 0;
+  while (round < __N__) {
+    table.shuffle(round * 31 + 7);
+    if (round % 3 == 2) {
+      table.shellSort(byPayload);
+    } else {
+      table.shellSort(byKey);
+    }
+    total = (total + table.scan(1000, 9000)) % 1000003;
+    round = round + 1;
+  }
+  print(total);
+}
+"""

@@ -1,0 +1,131 @@
+"""``ipsixql`` — modeled on the Ipsixql persistent-XML-database
+benchmark.
+
+Character: queries over a persistent tree of polymorphic nodes
+(elements, text, attributes): recursive virtual dispatch at every node
+with leaf-heavy predicate calls, plus an index-scan phase with few
+calls.
+"""
+
+NAME = "ipsixql"
+
+TINY_N = 2
+SMALL_N = 14
+LARGE_N = 110
+
+SOURCE = """
+class XNode {
+  var tag: int;
+  def match(query: int): bool { return false; }
+  def weight(): int { return 0; }
+  def querySubtree(query: int): int {
+    if (this.match(query)) { return this.weight(); }
+    return 0;
+  }
+  def countNodes(): int { return 1; }
+}
+
+class XElement extends XNode {
+  var children: XNode[];
+  var childCount: int;
+  def init(tag: int, cap: int) {
+    this.tag = tag;
+    this.children = new XNode[cap];
+    this.childCount = 0;
+  }
+  def add(node: XNode) {
+    this.children[this.childCount] = node;
+    this.childCount = this.childCount + 1;
+  }
+  def match(query: int): bool { return this.tag % 16 == query % 16; }
+  def weight(): int { return 2 + this.childCount; }
+  def querySubtree(query: int): int {
+    var score = 0;
+    if (this.match(query)) { score = this.weight(); }
+    var i = 0;
+    while (i < this.childCount) {
+      score = score + this.children[i].querySubtree(query + i);
+      i = i + 1;
+    }
+    return score % 1000003;
+  }
+  def countNodes(): int {
+    var n = 1;
+    var i = 0;
+    while (i < this.childCount) {
+      n = n + this.children[i].countNodes();
+      i = i + 1;
+    }
+    return n;
+  }
+}
+
+class XText extends XNode {
+  var length: int;
+  def init(tag: int, length: int) { this.tag = tag; this.length = length; }
+  def match(query: int): bool { return this.length > query % 40; }
+  def weight(): int { return 1; }
+}
+
+class XAttr extends XNode {
+  var value: int;
+  def init(tag: int, value: int) { this.tag = tag; this.value = value; }
+  def match(query: int): bool { return this.value == query % 97; }
+  def weight(): int { return 1; }
+}
+
+def buildTree(depth: int, fanout: int, tag: int): XElement {
+  var node = new XElement(tag, fanout);
+  var i = 0;
+  while (i < fanout) {
+    var childTag = tag * 3 + i + 1;
+    if (depth > 1 && i % 2 == 0) {
+      node.add(buildTree(depth - 1, fanout, childTag));
+    } else {
+      if (i % 3 == 1) {
+        node.add(new XText(childTag, childTag % 53));
+      } else {
+        node.add(new XAttr(childTag, childTag % 97));
+      }
+    }
+    i = i + 1;
+  }
+  return node;
+}
+
+def indexScan(index: int[], lo: int, hi: int): int {
+  // The persistence layer: a B-tree-ish scan with no calls.
+  var sum = 0;
+  var i = 0;
+  var n = len(index);
+  while (i < n) {
+    var v = index[i];
+    if (v >= lo && v < hi) {
+      sum = (sum * 31 + v) % 1000003;
+    }
+    i = i + 1;
+  }
+  return sum;
+}
+
+def main() {
+  var root = buildTree(6, 4, 1);
+  var index = new int[2048];
+  var i = 0;
+  var seed = 321;
+  while (i < len(index)) {
+    seed = (seed * 1103515245 + 12345) % 2147483648;
+    index[i] = seed % 10000;
+    i = i + 1;
+  }
+  var total = 0;
+  var q = 0;
+  while (q < __N__) {
+    total = (total + root.querySubtree(q * 13 + 1)) % 1000003;
+    total = (total + indexScan(index, q % 2000, q % 2000 + 3000)) % 1000003;
+    q = q + 1;
+  }
+  print(total);
+  print(root.countNodes());
+}
+"""

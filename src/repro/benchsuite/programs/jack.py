@@ -1,0 +1,113 @@
+"""``jack`` — modeled on SPECjvm98 228_jack (parser generator).
+
+Character: token-stream processing through a state machine with
+callback-style actions; bursty call behavior (long scanning stretches,
+then clusters of action calls) that stresses the sampling window.
+"""
+
+NAME = "jack"
+
+TINY_N = 2
+SMALL_N = 18
+LARGE_N = 140
+
+SOURCE = """
+class Action {
+  var hits: int;
+  def apply(tok: int, state: int): int { this.hits = this.hits + 1; return state; }
+}
+
+class ShiftAction extends Action {
+  def apply(tok: int, state: int): int {
+    this.hits = this.hits + 1;
+    return (state * 3 + tok) % 64;
+  }
+}
+
+class ReduceAction extends Action {
+  var rule: int;
+  def init(rule: int) { this.rule = rule; }
+  def apply(tok: int, state: int): int {
+    this.hits = this.hits + 1;
+    return (state + this.rule * 7) % 64;
+  }
+}
+
+class AcceptAction extends Action {
+  def apply(tok: int, state: int): int {
+    this.hits = this.hits + 1;
+    return 0;
+  }
+}
+
+class Grammar {
+  var actions: Action[];
+  def init() {
+    this.actions = new Action[8];
+    this.actions[0] = new ShiftAction();
+    this.actions[1] = new ShiftAction();
+    this.actions[2] = new ShiftAction();
+    this.actions[3] = new ShiftAction();
+    this.actions[4] = new ReduceAction(3);
+    this.actions[5] = new ReduceAction(5);
+    this.actions[6] = new ReduceAction(11);
+    this.actions[7] = new AcceptAction();
+  }
+  def dispatch(tok: int, state: int): int {
+    var slot = (tok + state) % 8;
+    return this.actions[slot].apply(tok, state);
+  }
+}
+
+class TokenStream {
+  var buf: int[];
+  var pos: int;
+  def init(n: int, seed: int) {
+    this.buf = new int[n];
+    this.pos = 0;
+    var i = 0;
+    while (i < n) {
+      seed = (seed * 1103515245 + 12345) % 2147483648;
+      this.buf[i] = seed % 23;
+      i = i + 1;
+    }
+  }
+  def next(): int {
+    // "Scanning": a non-call stretch skipping whitespace-ish tokens.
+    while (this.pos < len(this.buf) && this.buf[this.pos] % 5 == 0) {
+      this.pos = this.pos + 1;
+    }
+    if (this.pos >= len(this.buf)) { return 0 - 1; }
+    var t = this.buf[this.pos];
+    this.pos = this.pos + 1;
+    return t;
+  }
+}
+
+def parseDocument(grammar: Grammar, docSeed: int): int {
+  var stream = new TokenStream(320, docSeed);
+  var state = 1;
+  var tok = stream.next();
+  while (tok >= 0) {
+    state = grammar.dispatch(tok, state);
+    // inter-token "semantic" work without calls
+    var w = 0;
+    var k = 0;
+    while (k < 7) { w = (w * 2 + tok + k) % 8191; k = k + 1; }
+    state = (state + w) % 64;
+    tok = stream.next();
+  }
+  return state;
+}
+
+def main() {
+  var grammar = new Grammar();
+  var total = 0;
+  var doc = 0;
+  while (doc < __N__) {
+    total = (total + parseDocument(grammar, doc * 97 + 5)) % 1000003;
+    doc = doc + 1;
+  }
+  print(total);
+}
+"""

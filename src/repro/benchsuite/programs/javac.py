@@ -1,0 +1,200 @@
+"""``javac`` — modeled on SPECjvm98 213_javac (the JDK compiler).
+
+Character: the most method-rich benchmark — a full expression compiler
+written *in Mini*: tokenizer → recursive-descent parser → polymorphic
+AST → constant folder → stack-code emitter → evaluator.  Deep call
+chains, many distinct call edges, heavy polymorphism.  This is the
+benchmark where the paper saw the largest accuracy-driven speedup, and
+its complexity is why: inaccurate profiles miss many of its medium-heat
+call sites.
+"""
+
+NAME = "javac"
+
+TINY_N = 6
+SMALL_N = 55
+LARGE_N = 430
+
+SOURCE = """
+// Token kinds: 0=num 1=plus 2=minus 3=star 4=slash 5=lparen 6=rparen 7=eof
+class Lexer {
+  var src: int[];
+  var pos: int;
+  var value: int;
+
+  def init(src: int[]) { this.src = src; this.pos = 0; this.value = 0; }
+
+  def next(): int {
+    if (this.pos >= len(this.src)) { return 7; }
+    var c = this.src[this.pos];
+    this.pos = this.pos + 1;
+    if (c >= 48 && c <= 57) {
+      var v = c - 48;
+      while (this.pos < len(this.src) && this.src[this.pos] >= 48 && this.src[this.pos] <= 57) {
+        v = v * 10 + this.src[this.pos] - 48;
+        this.pos = this.pos + 1;
+      }
+      this.value = v;
+      return 0;
+    }
+    if (c == 43) { return 1; }
+    if (c == 45) { return 2; }
+    if (c == 42) { return 3; }
+    if (c == 47) { return 4; }
+    if (c == 40) { return 5; }
+    return 6;
+  }
+}
+
+class Expr {
+  def eval(): int { return 0; }
+  def size(): int { return 1; }
+  def fold(): Expr { return this; }
+  def isConst(): bool { return false; }
+}
+
+class Num extends Expr {
+  var value: int;
+  def init(v: int) { this.value = v; }
+  def eval(): int { return this.value; }
+  def isConst(): bool { return true; }
+}
+
+class Bin extends Expr {
+  var op: int;
+  var left: Expr;
+  var right: Expr;
+  def init(op: int, l: Expr, r: Expr) { this.op = op; this.left = l; this.right = r; }
+  def eval(): int {
+    var a = this.left.eval();
+    var b = this.right.eval();
+    if (this.op == 1) { return a + b; }
+    if (this.op == 2) { return a - b; }
+    if (this.op == 3) { return a * b; }
+    if (b == 0) { return 0; }
+    return a / b;
+  }
+  def size(): int { return 1 + this.left.size() + this.right.size(); }
+  def fold(): Expr {
+    this.left = this.left.fold();
+    this.right = this.right.fold();
+    if (this.left.isConst() && this.right.isConst()) {
+      return new Num(this.eval());
+    }
+    return this;
+  }
+}
+
+class Parser {
+  var lexer: Lexer;
+  var token: int;
+
+  def init(lexer: Lexer) { this.lexer = lexer; this.token = lexer.next(); }
+
+  def advance() { this.token = this.lexer.next(); }
+
+  def parseExpr(): Expr {
+    var left = this.parseTerm();
+    while (this.token == 1 || this.token == 2) {
+      var op = this.token;
+      this.advance();
+      left = new Bin(op, left, this.parseTerm());
+    }
+    return left;
+  }
+
+  def parseTerm(): Expr {
+    var left = this.parseFactor();
+    while (this.token == 3 || this.token == 4) {
+      var op = this.token;
+      this.advance();
+      left = new Bin(op, left, this.parseFactor());
+    }
+    return left;
+  }
+
+  def parseFactor(): Expr {
+    if (this.token == 5) {
+      this.advance();
+      var inner = this.parseExpr();
+      this.advance(); // consume ')'
+      return inner;
+    }
+    var v = this.lexer.value;
+    this.advance();
+    return new Num(v);
+  }
+}
+
+class Emitter {
+  var code: int[];
+  var n: int;
+  def init(cap: int) { this.code = new int[cap]; this.n = 0; }
+  def emit(op: int) { this.code[this.n] = op; this.n = this.n + 1; }
+  def walk(e: Expr) {
+    // "Code generation": a post-order walk emitting opcodes.
+    if (e.isConst()) {
+      this.emit(e.eval() % 256);
+    } else {
+      this.emit(200 + e.size() % 50);
+    }
+  }
+  def checksum(): int {
+    var sum = 0;
+    var i = 0;
+    while (i < this.n) { sum = (sum * 31 + this.code[i]) % 1000003; i = i + 1; }
+    return sum;
+  }
+}
+
+def synthesize(buf: int[], seed: int): int {
+  // Generate a random arithmetic expression as "source text".
+  var pos = 0;
+  var depth = 0;
+  var want = 40;
+  var i = 0;
+  while (i < want) {
+    seed = (seed * 1103515245 + 12345) % 2147483648;
+    var r = seed % 100;
+    if (r < 22 && depth < 6) {
+      buf[pos] = 40; pos = pos + 1; depth = depth + 1;  // '('
+    }
+    // a 1-3 digit number
+    buf[pos] = 48 + seed % 10; pos = pos + 1;
+    if (r % 3 == 0) { buf[pos] = 48 + r % 10; pos = pos + 1; }
+    if (r < 40 && depth > 0) {
+      buf[pos] = 41; pos = pos + 1; depth = depth - 1;  // ')'
+    }
+    if (i < want - 1) {
+      var ops = new int[4];
+      ops[0] = 43; ops[1] = 45; ops[2] = 42; ops[3] = 47;
+      buf[pos] = ops[seed % 4]; pos = pos + 1;
+    }
+    i = i + 1;
+  }
+  while (depth > 0) { buf[pos] = 41; pos = pos + 1; depth = depth - 1; }
+  return pos;
+}
+
+def main() {
+  var total = 0;
+  var round = 0;
+  while (round < __N__) {
+    var buf = new int[420];
+    var used = synthesize(buf, round * 131 + 17);
+    var src = new int[used];
+    var i = 0;
+    while (i < used) { src[i] = buf[i]; i = i + 1; }
+
+    var parser = new Parser(new Lexer(src));
+    var tree = parser.parseExpr();
+    var folded = tree.fold();
+    var emitter = new Emitter(600);
+    emitter.walk(folded);
+    emitter.walk(tree);
+    total = (total + folded.eval() + tree.size() * 7 + emitter.checksum()) % 1000000007;
+    round = round + 1;
+  }
+  print(total);
+}
+"""

@@ -1,0 +1,134 @@
+"""``jbb`` — modeled on SPECjbb2000 (Java business benchmark).
+
+Character: a transaction mix over a warehouse object model — orders,
+payments, stock checks — with phase behavior (the mix shifts over
+time), exercising continuous profiling: a profiler that only samples a
+window early (code patching) or sparsely (timer) misrepresents the
+steady mix.
+"""
+
+NAME = "jbb"
+
+TINY_N = 12
+SMALL_N = 90
+LARGE_N = 700
+
+SOURCE = """
+class Item {
+  var price: int;
+  var stock: int;
+  def init(price: int, stock: int) { this.price = price; this.stock = stock; }
+}
+
+class Warehouse {
+  var items: Item[];
+  var count: int;
+  def init(n: int) {
+    this.items = new Item[n];
+    this.count = n;
+    var i = 0;
+    while (i < n) {
+      this.items[i] = new Item(100 + i * 7 % 900, 50 + i % 40);
+      i = i + 1;
+    }
+  }
+  def item(index: int): Item { return this.items[index % this.count]; }
+  def restock(index: int, amount: int) {
+    var item = this.item(index);
+    item.stock = item.stock + amount;
+  }
+}
+
+class Transaction {
+  var result: int;
+  def run(w: Warehouse, seed: int): int { return 0; }
+}
+
+class NewOrder extends Transaction {
+  def run(w: Warehouse, seed: int): int {
+    var lines = 3 + seed % 5;
+    var total = 0;
+    var i = 0;
+    while (i < lines) {
+      seed = (seed * 1103515245 + 12345) % 2147483648;
+      var item = w.item(seed % 1000);
+      var qty = 1 + seed % 4;
+      if (item.stock >= qty) {
+        item.stock = item.stock - qty;
+        total = total + item.price * qty;
+      } else {
+        w.restock(seed % 1000, 60);
+      }
+      i = i + 1;
+    }
+    this.result = total % 1000003;
+    return this.result;
+  }
+}
+
+class Payment extends Transaction {
+  var balance: int;
+  def run(w: Warehouse, seed: int): int {
+    var amount = seed % 5000;
+    this.balance = (this.balance + amount) % 1000003;
+    this.result = this.balance;
+    return this.result;
+  }
+}
+
+class StockLevel extends Transaction {
+  def run(w: Warehouse, seed: int): int {
+    // Scan a stretch of items without calls.
+    var low = 0;
+    var i = seed % 200;
+    var end = i + 120;
+    while (i < end) {
+      if (w.items[i % w.count].stock < 30) { low = low + 1; }
+      i = i + 1;
+    }
+    this.result = low;
+    return low;
+  }
+}
+
+class Delivery extends Transaction {
+  def run(w: Warehouse, seed: int): int {
+    var i = 0;
+    var moved = 0;
+    while (i < 10) {
+      seed = (seed * 1103515245 + 12345) % 2147483648;
+      w.restock(seed % 1000, 2);
+      moved = moved + 2;
+      i = i + 1;
+    }
+    this.result = moved;
+    return moved;
+  }
+}
+
+def main() {
+  var warehouse = new Warehouse(250);
+  var mix = new Transaction[4];
+  mix[0] = new NewOrder();
+  mix[1] = new Payment();
+  mix[2] = new StockLevel();
+  mix[3] = new Delivery();
+  var total = 0;
+  var txn = 0;
+  var horizon = __N__ * 10;
+  while (txn < horizon) {
+    var seed = txn * 2654435761 % 2147483648;
+    // Phase behavior: early phase is order-heavy, late phase scan-heavy.
+    var pick = seed % 10;
+    var slot = 0;
+    if (txn * 2 < horizon) {
+      if (pick < 6) { slot = 0; } else { if (pick < 8) { slot = 1; } else { slot = 2; } }
+    } else {
+      if (pick < 3) { slot = 0; } else { if (pick < 5) { slot = 3; } else { slot = 2; } }
+    }
+    total = (total + mix[slot].run(warehouse, seed)) % 1000003;
+    txn = txn + 1;
+  }
+  print(total);
+}
+"""

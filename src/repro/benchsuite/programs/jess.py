@@ -1,0 +1,105 @@
+"""``jess`` — modeled on SPECjvm98 202_jess (expert system).
+
+Character: a Rete-style network of polymorphic nodes evaluated against a
+stream of facts.  Very high call density through small virtual methods
+with a skewed distribution over node kinds — classic profile-directed
+inlining territory (one of the paper's bigger Jikes RVM wins).
+"""
+
+NAME = "jess"
+
+TINY_N = 60
+SMALL_N = 900
+LARGE_N = 7000
+
+SOURCE = """
+// A tiny Rete-flavored rule network: alpha tests feed join nodes which
+// feed an agenda.
+class Node {
+  var activations: int;
+  def test(fact: int): bool { return true; }
+  def weight(): int { return 1; }
+}
+
+class GreaterNode extends Node {
+  var bound: int;
+  def init(b: int) { this.bound = b; }
+  def test(fact: int): bool { return fact > this.bound; }
+  def weight(): int { return 2; }
+}
+
+class ModNode extends Node {
+  var modulus: int;
+  var residue: int;
+  def init(m: int, r: int) { this.modulus = m; this.residue = r; }
+  def test(fact: int): bool { return fact % this.modulus == this.residue; }
+  def weight(): int { return 3; }
+}
+
+class RangeNode extends Node {
+  var lo: int;
+  var hi: int;
+  def init(lo: int, hi: int) { this.lo = lo; this.hi = hi; }
+  def test(fact: int): bool { return fact >= this.lo && fact < this.hi; }
+  def weight(): int { return 2; }
+}
+
+class Agenda {
+  var fired: int;
+  var score: int;
+  def activate(ruleWeight: int) {
+    this.fired = this.fired + 1;
+    this.score = (this.score + ruleWeight * 13) % 1000003;
+  }
+}
+
+class Network {
+  var alpha: Node[];
+  var count: int;
+  var agenda: Agenda;
+
+  def init(n: int) {
+    this.alpha = new Node[n];
+    this.count = n;
+    this.agenda = new Agenda();
+    var i = 0;
+    while (i < n) {
+      var k = i % 7;
+      if (k < 3) {
+        this.alpha[i] = new ModNode(3 + i % 5, i % 3);
+      } else {
+        if (k < 6) {
+          this.alpha[i] = new GreaterNode(i * 11 % 97);
+        } else {
+          this.alpha[i] = new RangeNode(i % 50, i % 50 + 25);
+        }
+      }
+      i = i + 1;
+    }
+  }
+
+  def assert(fact: int) {
+    var i = 0;
+    while (i < this.count) {
+      var node = this.alpha[i];
+      if (node.test(fact)) {
+        this.agenda.activate(node.weight());
+      }
+      i = i + 1;
+    }
+  }
+}
+
+def main() {
+  var net = new Network(24);
+  var seed = 7;
+  var round = 0;
+  while (round < __N__) {
+    seed = (seed * 1103515245 + 12345) % 2147483648;
+    net.assert(seed % 997);
+    round = round + 1;
+  }
+  print(net.agenda.score);
+  print(net.agenda.fired);
+}
+"""

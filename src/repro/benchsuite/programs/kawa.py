@@ -1,0 +1,147 @@
+"""``kawa`` — modeled on the Kawa Scheme-on-JVM system.
+
+Character: a tree-walking Scheme-ish evaluator: deeply recursive
+``eval`` over polymorphic expression nodes with an environment chain —
+very high virtual-call density and deep stacks (good exercise for the
+stack-walking sampler).
+"""
+
+NAME = "kawa"
+
+TINY_N = 25
+SMALL_N = 200
+LARGE_N = 1500
+
+SOURCE = """
+class Env {
+  var name: int;
+  var value: int;
+  var parent: Env;
+  def init(name: int, value: int, parent: Env) {
+    this.name = name; this.value = value; this.parent = parent;
+  }
+  def lookup(name: int): int {
+    var e = this;
+    while (e.name != name) {
+      if (e.parent == null) { return 0; }
+      e = e.parent;
+    }
+    return e.value;
+  }
+}
+
+class SExpr {
+  def eval(env: Env): int { return 0; }
+  def depth(): int { return 1; }
+}
+
+class Lit extends SExpr {
+  var value: int;
+  def init(v: int) { this.value = v; }
+  def eval(env: Env): int { return this.value; }
+}
+
+class Ref extends SExpr {
+  var name: int;
+  def init(name: int) { this.name = name; }
+  def eval(env: Env): int { return env.lookup(this.name); }
+}
+
+class Add extends SExpr {
+  var a: SExpr;
+  var b: SExpr;
+  def init(a: SExpr, b: SExpr) { this.a = a; this.b = b; }
+  def eval(env: Env): int { return this.a.eval(env) + this.b.eval(env); }
+  def depth(): int {
+    var da = this.a.depth();
+    var db = this.b.depth();
+    if (da > db) { return da + 1; }
+    return db + 1;
+  }
+}
+
+class Mul extends SExpr {
+  var a: SExpr;
+  var b: SExpr;
+  def init(a: SExpr, b: SExpr) { this.a = a; this.b = b; }
+  def eval(env: Env): int { return this.a.eval(env) * this.b.eval(env) % 65521; }
+  def depth(): int {
+    var da = this.a.depth();
+    var db = this.b.depth();
+    if (da > db) { return da + 1; }
+    return db + 1;
+  }
+}
+
+class IfExpr extends SExpr {
+  var cond: SExpr;
+  var thenE: SExpr;
+  var elseE: SExpr;
+  def init(c: SExpr, t: SExpr, e: SExpr) {
+    this.cond = c; this.thenE = t; this.elseE = e;
+  }
+  def eval(env: Env): int {
+    if (this.cond.eval(env) % 2 == 1) { return this.thenE.eval(env); }
+    return this.elseE.eval(env);
+  }
+  def depth(): int { return this.cond.depth() + 1; }
+}
+
+class LetExpr extends SExpr {
+  var name: int;
+  var binding: SExpr;
+  var body: SExpr;
+  def init(name: int, binding: SExpr, body: SExpr) {
+    this.name = name; this.binding = binding; this.body = body;
+  }
+  def eval(env: Env): int {
+    var bound = this.binding.eval(env);
+    return this.body.eval(new Env(this.name, bound, env));
+  }
+  def depth(): int { return this.body.depth() + 1; }
+}
+
+def genExpr(seed: int, depth: int): SExpr {
+  seed = (seed * 1103515245 + 12345) % 2147483648;
+  var r = seed % 100;
+  if (depth <= 0 || r < 25) {
+    if (r % 2 == 0) { return new Lit(seed % 1000); }
+    return new Ref(seed % 8);
+  }
+  if (r < 50) {
+    return new Add(genExpr(seed + 1, depth - 1), genExpr(seed + 2, depth - 1));
+  }
+  if (r < 72) {
+    return new Mul(genExpr(seed + 3, depth - 1), genExpr(seed + 4, depth - 1));
+  }
+  if (r < 88) {
+    return new IfExpr(
+      genExpr(seed + 5, depth - 2),
+      genExpr(seed + 6, depth - 1),
+      genExpr(seed + 7, depth - 1));
+  }
+  return new LetExpr(seed % 8, genExpr(seed + 8, depth - 2), genExpr(seed + 9, depth - 1));
+}
+
+def main() {
+  var globalEnv = new Env(0, 42, null);
+  var i = 1;
+  while (i < 8) {
+    globalEnv = new Env(i, i * 111, globalEnv);
+    i = i + 1;
+  }
+  var total = 0;
+  var round = 0;
+  while (round < __N__) {
+    var expr = genExpr(round * 53 + 11, 7);
+    var k = 0;
+    while (k < 6) {
+      total = (total + expr.eval(globalEnv)) % 1000003;
+      k = k + 1;
+    }
+    total = (total + expr.depth()) % 1000003;
+    round = round + 1;
+  }
+  print(total);
+}
+"""

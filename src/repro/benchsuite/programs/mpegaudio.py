@@ -1,0 +1,109 @@
+"""``mpegaudio`` — modeled on SPECjvm98 222_mpegaudio (audio decoder).
+
+Character: fixed-point signal processing — subband synthesis loops with
+long arithmetic stretches punctuated by calls to small math helpers
+(saturate, dequantize).  The time/call mismatch is strong: timer samples
+land in the filter loops and credit whichever helper runs next.
+"""
+
+NAME = "mpegaudio"
+
+TINY_N = 1
+SMALL_N = 5
+LARGE_N = 36
+
+SOURCE = """
+class FixedMath {
+  def mul(a: int, b: int): int { return (a * b) / 4096; }
+  def saturate(x: int): int {
+    if (x > 32767) { return 32767; }
+    if (x < 0 - 32768) { return 0 - 32768; }
+    return x;
+  }
+}
+
+class Dequantizer {
+  var scale: int;
+  def init(scale: int) { this.scale = scale; }
+  def dequant(s: int): int { return s * this.scale / 100; }
+}
+
+class SubbandFilter {
+  var coeffs: int[];
+  var window: int[];
+  var math: FixedMath;
+
+  def init(taps: int) {
+    this.coeffs = new int[taps];
+    this.window = new int[taps];
+    this.math = new FixedMath();
+    var i = 0;
+    while (i < taps) {
+      this.coeffs[i] = (i * 37 + 11) % 8192 - 4096;
+      this.window[i] = 0;
+      i = i + 1;
+    }
+  }
+
+  def filter(sample: int): int {
+    var taps = len(this.coeffs);
+    // Shift the window: a long non-call stretch.
+    var i = taps - 1;
+    while (i > 0) {
+      this.window[i] = this.window[i - 1];
+      i = i - 1;
+    }
+    this.window[0] = sample;
+    // Dot product: another long non-call stretch.
+    var acc = 0;
+    i = 0;
+    while (i < taps) {
+      acc = acc + this.window[i] * this.coeffs[i] / 4096;
+      i = i + 1;
+    }
+    return this.math.saturate(acc);
+  }
+}
+
+class Decoder {
+  var filters: SubbandFilter[];
+  var dequant: Dequantizer;
+  var bands: int;
+
+  def init(bands: int, taps: int) {
+    this.bands = bands;
+    this.filters = new SubbandFilter[bands];
+    this.dequant = new Dequantizer(173);
+    var i = 0;
+    while (i < bands) {
+      this.filters[i] = new SubbandFilter(taps);
+      i = i + 1;
+    }
+  }
+
+  def decodeFrame(seed: int): int {
+    var acc = 0;
+    var b = 0;
+    while (b < this.bands) {
+      seed = (seed * 1103515245 + 12345) % 2147483648;
+      var raw = seed % 65536 - 32768;
+      var sample = this.dequant.dequant(raw);
+      acc = (acc + this.filters[b].filter(sample)) % 1000003;
+      if (acc < 0) { acc = acc + 1000003; }
+      b = b + 1;
+    }
+    return acc;
+  }
+}
+
+def main() {
+  var decoder = new Decoder(8, 48);
+  var total = 0;
+  var frame = 0;
+  while (frame < __N__ * 16) {
+    total = (total + decoder.decodeFrame(frame * 7 + 3)) % 1000003;
+    frame = frame + 1;
+  }
+  print(total);
+}
+"""

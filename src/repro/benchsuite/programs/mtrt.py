@@ -1,0 +1,116 @@
+"""``mtrt`` — modeled on SPECjvm98 227_mtrt (raytracer).
+
+Character: vector math through small methods plus polymorphic
+``intersect`` dispatch over scene primitives (spheres/planes/triangles
+stand-ins).  The hottest call edges dominate heavily — this is the
+benchmark where profile-directed inlining pays the most in both of the
+paper's VMs (8.7% on J9).
+"""
+
+NAME = "mtrt"
+
+TINY_N = 40
+SMALL_N = 600
+LARGE_N = 4800
+
+SOURCE = """
+// Fixed-point 3D vectors, scale 1024.
+class Vec {
+  var x: int;
+  var y: int;
+  var z: int;
+  def init(x: int, y: int, z: int) { this.x = x; this.y = y; this.z = z; }
+  def dot(o: Vec): int {
+    return (this.x * o.x + this.y * o.y + this.z * o.z) / 1024;
+  }
+  def sub(o: Vec): Vec { return new Vec(this.x - o.x, this.y - o.y, this.z - o.z); }
+  def scale(k: int): Vec {
+    return new Vec(this.x * k / 1024, this.y * k / 1024, this.z * k / 1024);
+  }
+}
+
+class Shape {
+  var material: int;
+  def intersect(origin: Vec, dir: Vec): int { return 0 - 1; }
+  def shade(t: int): int { return this.material * t % 255; }
+}
+
+class Sphere extends Shape {
+  var center: Vec;
+  var radius2: int;
+  def init(c: Vec, r2: int, m: int) {
+    this.center = c; this.radius2 = r2; this.material = m;
+  }
+  def intersect(origin: Vec, dir: Vec): int {
+    var oc = this.center.sub(origin);
+    var b = oc.dot(dir);
+    var det = b * b / 1024 - oc.dot(oc) + this.radius2;
+    if (det < 0) { return 0 - 1; }
+    return b;
+  }
+}
+
+class Plane extends Shape {
+  var normal: Vec;
+  var offset: int;
+  def init(n: Vec, d: int, m: int) {
+    this.normal = n; this.offset = d; this.material = m;
+  }
+  def intersect(origin: Vec, dir: Vec): int {
+    var denom = this.normal.dot(dir);
+    if (denom == 0) { return 0 - 1; }
+    var t = (this.offset - this.normal.dot(origin)) * 1024 / denom;
+    if (t < 0) { return 0 - 1; }
+    return t;
+  }
+}
+
+class Scene {
+  var shapes: Shape[];
+  var count: int;
+  def init(n: int) {
+    this.shapes = new Shape[n];
+    this.count = n;
+    var i = 0;
+    while (i < n) {
+      if (i % 4 == 3) {
+        this.shapes[i] = new Plane(new Vec(0, 1024, 0), i * 100, i % 7 + 1);
+      } else {
+        var c = new Vec(i * 311 % 2048 - 1024, i * 173 % 2048 - 1024, 1024 + i * 97 % 1024);
+        this.shapes[i] = new Sphere(c, 1024 + i * 53 % 512, i % 5 + 1);
+      }
+      i = i + 1;
+    }
+  }
+
+  def trace(origin: Vec, dir: Vec): int {
+    var best = 0 - 1;
+    var bestShape = 0 - 1;
+    var i = 0;
+    while (i < this.count) {
+      var t = this.shapes[i].intersect(origin, dir);
+      if (t >= 0) {
+        if (best < 0 || t < best) { best = t; bestShape = i; }
+      }
+      i = i + 1;
+    }
+    if (bestShape < 0) { return 0; }
+    return this.shapes[bestShape].shade(best);
+  }
+}
+
+def main() {
+  var scene = new Scene(12);
+  var origin = new Vec(0, 0, 0);
+  var total = 0;
+  var ray = 0;
+  while (ray < __N__) {
+    var px = ray * 37 % 512 - 256;
+    var py = ray * 59 % 512 - 256;
+    var dir = new Vec(px, py, 1024);
+    total = (total + scene.trace(origin, dir)) % 1000003;
+    ray = ray + 1;
+  }
+  print(total);
+}
+"""

@@ -1,0 +1,127 @@
+"""``soot`` — modeled on McGill's Soot bytecode analysis framework.
+
+Character: worklist dataflow analysis over a control-flow graph of
+basic-block objects: iterative fixpoint computation with virtual
+transfer functions, plus graph construction.  Many medium-heat edges
+and irregular control flow.
+"""
+
+NAME = "soot"
+
+TINY_N = 2
+SMALL_N = 14
+LARGE_N = 110
+
+SOURCE = """
+class Block {
+  var id: int;
+  var inSet: int;
+  var outSet: int;
+  var succ1: int;
+  var succ2: int;
+  def init(id: int, s1: int, s2: int) {
+    this.id = id; this.succ1 = s1; this.succ2 = s2;
+    this.inSet = 0; this.outSet = 0;
+  }
+  def transfer(input: int): int {
+    // gen/kill as bit arithmetic (bitset of 30 "facts", emulated with mod).
+    var gen = (this.id * 2654435761) % 1073741824;
+    var kill = (this.id * 40503) % 1024;
+    var out = input + gen % 97 - kill % 53;
+    if (out < 0) { out = 0 - out; }
+    return out % 1048576;
+  }
+  def merge(a: int, b: int): int {
+    // "union" approximated by max + mixing
+    if (a > b) { return a + b % 13; }
+    return b + a % 13;
+  }
+}
+
+class BranchBlock extends Block {
+  def transfer(input: int): int {
+    var gen = (this.id * 97 + input) % 4096;
+    return (input + gen) % 1048576;
+  }
+}
+
+class LoopBlock extends Block {
+  def transfer(input: int): int {
+    var x = input;
+    var k = 0;
+    while (k < 6) { x = (x * 3 + this.id) % 1048576; k = k + 1; }
+    return x;
+  }
+}
+
+class Cfg {
+  var blocks: Block[];
+  var count: int;
+
+  def init(n: int, seed: int) {
+    this.blocks = new Block[n];
+    this.count = n;
+    var i = 0;
+    while (i < n) {
+      seed = (seed * 1103515245 + 12345) % 2147483648;
+      var s1 = (i + 1) % n;
+      var s2 = seed % n;
+      var kind = seed % 5;
+      if (kind < 2) {
+        this.blocks[i] = new Block(i, s1, s2);
+      } else {
+        if (kind < 4) {
+          this.blocks[i] = new BranchBlock(i, s1, s2);
+        } else {
+          this.blocks[i] = new LoopBlock(i, s1, s2);
+        }
+      }
+      i = i + 1;
+    }
+  }
+
+  def analyze(maxPasses: int): int {
+    // Round-robin worklist until fixpoint or pass budget.
+    var changed = true;
+    var pass = 0;
+    while (changed && pass < maxPasses) {
+      changed = false;
+      var i = 0;
+      while (i < this.count) {
+        var block = this.blocks[i];
+        var newOut = block.transfer(block.inSet);
+        if (newOut != block.outSet) {
+          block.outSet = newOut;
+          changed = true;
+          var t1 = this.blocks[block.succ1];
+          var m1 = t1.merge(t1.inSet, newOut);
+          if (m1 != t1.inSet) { t1.inSet = m1; }
+          var t2 = this.blocks[block.succ2];
+          var m2 = t2.merge(t2.inSet, newOut);
+          if (m2 != t2.inSet) { t2.inSet = m2; }
+        }
+        i = i + 1;
+      }
+      pass = pass + 1;
+    }
+    var sum = 0;
+    var j = 0;
+    while (j < this.count) {
+      sum = (sum + this.blocks[j].outSet) % 1000003;
+      j = j + 1;
+    }
+    return sum;
+  }
+}
+
+def main() {
+  var total = 0;
+  var method = 0;
+  while (method < __N__) {
+    var cfg = new Cfg(40 + method % 17, method * 611 + 23);
+    total = (total + cfg.analyze(12)) % 1000003;
+    method = method + 1;
+  }
+  print(total);
+}
+"""

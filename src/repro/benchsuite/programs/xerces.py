@@ -1,0 +1,166 @@
+"""``xerces`` — modeled on an Apache Xerces XML-parse exercise.
+
+Character: a character-scanning loop (long non-call stretches) that
+fires SAX-style events into polymorphic handler callbacks — the classic
+event-parser shape where timer samples pile onto whichever handler
+follows the scan.
+"""
+
+NAME = "xerces"
+
+TINY_N = 1
+SMALL_N = 8
+LARGE_N = 58
+
+SOURCE = """
+class Handler {
+  var events: int;
+  def startElement(tag: int): int { this.events = this.events + 1; return tag; }
+  def endElement(tag: int): int { this.events = this.events + 1; return tag; }
+  def characters(count: int): int { this.events = this.events + 1; return count; }
+}
+
+class CountingHandler extends Handler {
+  var depth: int;
+  var checksum: int;
+  def startElement(tag: int): int {
+    this.events = this.events + 1;
+    this.depth = this.depth + 1;
+    this.checksum = (this.checksum * 31 + tag) % 1000003;
+    return this.depth;
+  }
+  def endElement(tag: int): int {
+    this.events = this.events + 1;
+    this.depth = this.depth - 1;
+    return this.depth;
+  }
+  def characters(count: int): int {
+    this.events = this.events + 1;
+    this.checksum = (this.checksum + count * 7) % 1000003;
+    return count;
+  }
+}
+
+class ValidatingHandler extends CountingHandler {
+  var violations: int;
+  def startElement(tag: int): int {
+    this.events = this.events + 1;
+    this.depth = this.depth + 1;
+    if (tag % 13 == 0) { this.violations = this.violations + 1; }
+    this.checksum = (this.checksum * 31 + tag) % 1000003;
+    return this.depth;
+  }
+}
+
+class Scanner {
+  var doc: int[];
+  var pos: int;
+  def init(doc: int[]) { this.doc = doc; this.pos = 0; }
+
+  def parse(handler: Handler): int {
+    var n = len(this.doc);
+    var guard = 0;
+    while (this.pos < n) {
+      var c = this.doc[this.pos];
+      if (c == 60) {  // '<'
+        this.pos = this.pos + 1;
+        if (this.pos < n && this.doc[this.pos] == 47) {  // '</...>'
+          this.pos = this.pos + 1;
+          var tag = this.scanName();
+          guard = handler.endElement(tag);
+        } else {
+          var tag2 = this.scanName();
+          guard = handler.startElement(tag2);
+        }
+      } else {
+        // Character data: scan to next '<' without calls.
+        var start = this.pos;
+        var hash = 0;
+        while (this.pos < n && this.doc[this.pos] != 60) {
+          hash = (hash * 17 + this.doc[this.pos]) % 65521;
+          this.pos = this.pos + 1;
+        }
+        guard = handler.characters(this.pos - start + hash % 3);
+      }
+    }
+    return guard;
+  }
+
+  def scanName(): int {
+    var tag = 0;
+    var n = len(this.doc);
+    while (this.pos < n && this.doc[this.pos] != 62) {  // '>'
+      tag = (tag * 31 + this.doc[this.pos]) % 8191;
+      this.pos = this.pos + 1;
+    }
+    this.pos = this.pos + 1;
+    return tag;
+  }
+}
+
+def synthesizeDoc(buf: int[], seed: int): int {
+  var pos = 0;
+  var depth = 0;
+  var cap = len(buf);
+  while (pos < cap - 40) {
+    seed = (seed * 1103515245 + 12345) % 2147483648;
+    var r = seed % 100;
+    if (r < 30 && depth < 10) {
+      buf[pos] = 60; pos = pos + 1;             // '<'
+      buf[pos] = 97 + r % 26; pos = pos + 1;    // name char
+      buf[pos] = 97 + seed % 26; pos = pos + 1;
+      buf[pos] = 62; pos = pos + 1;             // '>'
+      depth = depth + 1;
+    } else {
+      if (r < 45 && depth > 0) {
+        buf[pos] = 60; pos = pos + 1;
+        buf[pos] = 47; pos = pos + 1;           // '/'
+        buf[pos] = 97 + r % 26; pos = pos + 1;
+        buf[pos] = 62; pos = pos + 1;
+        depth = depth - 1;
+      } else {
+        // text run
+        var run = 4 + seed % 24;
+        var k = 0;
+        while (k < run && pos < cap - 1) {
+          buf[pos] = 97 + (seed + k) % 26;
+          pos = pos + 1;
+          k = k + 1;
+        }
+      }
+    }
+  }
+  while (depth > 0 && pos < cap - 4) {
+    buf[pos] = 60; pos = pos + 1;
+    buf[pos] = 47; pos = pos + 1;
+    buf[pos] = 120; pos = pos + 1;
+    buf[pos] = 62; pos = pos + 1;
+    depth = depth - 1;
+  }
+  return pos;
+}
+
+def main() {
+  var buf = new int[1600];
+  var counting = new CountingHandler();
+  var validating = new ValidatingHandler();
+  var total = 0;
+  var docNum = 0;
+  while (docNum < __N__) {
+    var used = synthesizeDoc(buf, docNum * 77 + 9);
+    var doc = new int[used];
+    var i = 0;
+    while (i < used) { doc[i] = buf[i]; i = i + 1; }
+    var scanner = new Scanner(doc);
+    if (docNum % 4 == 3) {
+      total = (total + scanner.parse(validating)) % 1000003;
+    } else {
+      total = (total + scanner.parse(counting)) % 1000003;
+    }
+    docNum = docNum + 1;
+  }
+  print(total);
+  print(counting.checksum);
+  print(validating.violations);
+}
+"""

@@ -1,0 +1,265 @@
+"""A textual assembler for Mini VM bytecode.
+
+The assembler exists so tests and micro-benchmarks can construct precise
+instruction sequences without going through the source-language compiler.
+The format is line oriented::
+
+    # comment
+    class Point fields x y
+    class Point3 extends Point fields z
+
+    method Point.getX/1 locals=1
+      LOAD 0
+      GETFIELD Point.x
+      RETURN_VAL
+    end
+
+    func main/0 locals=1 void
+      NEW Point
+      STORE 0
+      LOAD 0
+      CALL_VIRTUAL getX 0
+      PRINT
+      RETURN
+    end
+
+Function headers give the parameter count after ``/`` (including the
+receiver for methods) and the *total* local-slot count after ``locals=``.
+A trailing ``void`` marks a function that returns no value.  Labels are
+written ``label name`` on their own line and referenced by jump
+instructions.  Symbolic operands are resolved against the declared
+classes and functions: ``CALL_STATIC f 2``, ``CALL_VIRTUAL get 0``,
+``NEW Point``, ``IS_EXACT Point``, ``GETFIELD Point.x``.
+"""
+
+from __future__ import annotations
+
+from repro.bytecode.function import FunctionInfo
+from repro.bytecode.instr import Instr
+from repro.bytecode.opcodes import JUMP_OPS, Op
+from repro.bytecode.program import ClassInfo, Program
+
+
+class AssemblerError(Exception):
+    """Raised on malformed assembly input."""
+
+    def __init__(self, message: str, line_number: int):
+        super().__init__(f"line {line_number}: {message}")
+        self.line_number = line_number
+
+
+def _strip(line: str) -> str:
+    hash_index = line.find("#")
+    if hash_index >= 0:
+        line = line[:hash_index]
+    return line.strip()
+
+
+class Assembler:
+    """Two-pass assembler: headers first, then bodies."""
+
+    def __init__(self, text: str):
+        self._lines = text.splitlines()
+        self._program = Program()
+
+    def assemble(self) -> Program:
+        bodies = self._collect_declarations()
+        self._program.build_vtables()
+        for function, body_lines in bodies:
+            function.code = self._assemble_body(body_lines)
+        return self._program
+
+    # -- pass 1 ---------------------------------------------------------------
+
+    def _collect_declarations(
+        self,
+    ) -> list[tuple[FunctionInfo, list[tuple[int, str]]]]:
+        bodies: list[tuple[FunctionInfo, list[tuple[int, str]]]] = []
+        i = 0
+        while i < len(self._lines):
+            line = _strip(self._lines[i])
+            number = i + 1
+            if not line:
+                i += 1
+                continue
+            words = line.split()
+            if words[0] == "class":
+                self._declare_class(words, number)
+                i += 1
+            elif words[0] in ("func", "method"):
+                function = self._declare_function(words, number)
+                body: list[tuple[int, str]] = []
+                i += 1
+                while True:
+                    if i >= len(self._lines):
+                        raise AssemblerError("missing 'end'", number)
+                    inner = _strip(self._lines[i])
+                    if inner == "end":
+                        i += 1
+                        break
+                    if inner:
+                        body.append((i + 1, inner))
+                    i += 1
+                bodies.append((function, body))
+            else:
+                raise AssemblerError(f"unexpected directive {words[0]!r}", number)
+        return bodies
+
+    def _declare_class(self, words: list[str], number: int) -> None:
+        if len(words) < 2:
+            raise AssemblerError("class needs a name", number)
+        name = words[1]
+        rest = words[2:]
+        super_name = None
+        if rest and rest[0] == "extends":
+            if len(rest) < 2:
+                raise AssemblerError("extends needs a class name", number)
+            super_name = rest[1]
+            rest = rest[2:]
+        fields: list[str] = []
+        if rest:
+            if rest[0] != "fields":
+                raise AssemblerError(f"expected 'fields', found {rest[0]!r}", number)
+            fields = rest[1:]
+        self._program.add_class(
+            ClassInfo(name=name, super_name=super_name, field_layout=fields)
+        )
+
+    def _declare_function(self, words: list[str], number: int) -> FunctionInfo:
+        if len(words) < 2 or "/" not in words[1]:
+            raise AssemblerError("expected 'name/nparams'", number)
+        full_name, params_text = words[1].rsplit("/", 1)
+        try:
+            num_params = int(params_text)
+        except ValueError:
+            raise AssemblerError("parameter count must be an integer", number)
+        num_locals = num_params
+        returns_value = True
+        for word in words[2:]:
+            if word.startswith("locals="):
+                num_locals = int(word[len("locals="):])
+            elif word == "void":
+                returns_value = False
+            else:
+                raise AssemblerError(f"unexpected attribute {word!r}", number)
+        if num_locals < num_params:
+            raise AssemblerError("locals must be >= parameter count", number)
+
+        kind = "static"
+        owner = None
+        name = full_name
+        if words[0] == "method":
+            if "." not in full_name:
+                raise AssemblerError("method name must be 'Class.name'", number)
+            owner, name = full_name.split(".", 1)
+            kind = "method"
+            if num_params < 1:
+                raise AssemblerError("methods need at least the receiver param", number)
+
+        function = FunctionInfo(
+            name=name,
+            code=[],
+            num_params=num_params,
+            num_locals=num_locals,
+            kind=kind,
+            owner=owner,
+            returns_value=returns_value,
+        )
+        index = self._program.add_function(function)
+        if owner is not None:
+            self._program.class_named(owner).declared_methods.append(index)
+        return function
+
+    # -- pass 2 ---------------------------------------------------------------
+
+    def _assemble_body(self, body: list[tuple[int, str]]) -> list[Instr]:
+        labels: dict[str, int] = {}
+        pc = 0
+        for number, line in body:
+            words = line.split()
+            if words[0] == "label":
+                if len(words) != 2:
+                    raise AssemblerError("label needs exactly one name", number)
+                if words[1] in labels:
+                    raise AssemblerError(f"duplicate label {words[1]!r}", number)
+                labels[words[1]] = pc
+            else:
+                pc += 1
+
+        code: list[Instr] = []
+        for number, line in body:
+            words = line.split()
+            if words[0] == "label":
+                continue
+            code.append(self._assemble_instr(words, labels, number))
+        return code
+
+    def _assemble_instr(
+        self, words: list[str], labels: dict[str, int], number: int
+    ) -> Instr:
+        try:
+            op = Op[words[0]]
+        except KeyError:
+            raise AssemblerError(f"unknown opcode {words[0]!r}", number)
+        operands = words[1:]
+
+        if op in JUMP_OPS:
+            self._need(operands, 1, op, number)
+            target = labels.get(operands[0])
+            if target is None:
+                raise AssemblerError(f"undefined label {operands[0]!r}", number)
+            return Instr(op, target)
+        if op in (Op.PUSH, Op.LOAD, Op.STORE):
+            self._need(operands, 1, op, number)
+            return Instr(op, self._int(operands[0], number))
+        if op is Op.CALL_STATIC:
+            self._need(operands, 2, op, number)
+            func_index = self._program.function_index(operands[0])
+            return Instr(op, func_index, self._int(operands[1], number))
+        if op is Op.CALL_VIRTUAL:
+            self._need(operands, 2, op, number)
+            argc = self._int(operands[1], number)
+            return Instr(op, self._program.selector_id(operands[0], argc), argc)
+        if op is Op.GUARD_METHOD:
+            # GUARD_METHOD <selector> <argc> <expected qualified function>
+            self._need(operands, 3, op, number)
+            argc = self._int(operands[1], number)
+            sid = self._program.selector_id(operands[0], argc)
+            return Instr(op, sid, self._program.function_index(operands[2]))
+        if op in (Op.NEW, Op.IS_EXACT):
+            self._need(operands, 1, op, number)
+            return Instr(op, self._program.class_named(operands[0]).index)
+        if op in (Op.GETFIELD, Op.PUTFIELD):
+            self._need(operands, 1, op, number)
+            operand = operands[0]
+            if "." in operand:
+                class_name, field_name = operand.split(".", 1)
+                offsets = self._program.class_named(class_name).field_offsets
+                if field_name not in offsets:
+                    raise AssemblerError(
+                        f"class {class_name!r} has no field {field_name!r}", number
+                    )
+                return Instr(op, offsets[field_name])
+            return Instr(op, self._int(operand, number))
+        if operands:
+            raise AssemblerError(f"{op.name} takes no operands", number)
+        return Instr(op)
+
+    @staticmethod
+    def _need(operands: list[str], count: int, op: Op, number: int) -> None:
+        if len(operands) != count:
+            raise AssemblerError(
+                f"{op.name} takes {count} operand(s), got {len(operands)}", number
+            )
+
+    @staticmethod
+    def _int(text: str, number: int) -> int:
+        try:
+            return int(text)
+        except ValueError:
+            raise AssemblerError(f"expected an integer, found {text!r}", number)
+
+
+def assemble(text: str) -> Program:
+    """Assemble ``text`` into a ready-to-run :class:`Program`."""
+    return Assembler(text).assemble()

@@ -1,0 +1,97 @@
+"""Disassembler: renders a :class:`Program` back to assembler text.
+
+Output round-trips through :func:`repro.bytecode.assembler.assemble` for
+programs whose field offsets can be expressed symbolically; numeric
+operands are used otherwise.
+"""
+
+from __future__ import annotations
+
+from repro.bytecode.function import FunctionInfo
+from repro.bytecode.instr import Instr
+from repro.bytecode.opcodes import JUMP_OPS, Op
+from repro.bytecode.program import Program
+
+
+def disassemble_function(function: FunctionInfo, program: Program | None = None) -> str:
+    """Render one function as assembler text."""
+    targets = sorted(
+        {instr.a for instr in function.code if instr.op in JUMP_OPS}
+    )
+    label_names = {pc: f"L{i}" for i, pc in enumerate(targets)}
+
+    keyword = "method" if function.kind == "method" else "func"
+    header = f"{keyword} {function.qualified_name}/{function.num_params}"
+    header += f" locals={function.num_locals}"
+    if not function.returns_value:
+        header += " void"
+
+    lines = [header]
+    for pc, instr in enumerate(function.code):
+        if pc in label_names:
+            lines.append(f"label {label_names[pc]}")
+        lines.append("  " + _render_instr(instr, label_names, program))
+    # A label may point one past the last instruction (e.g. a loop exit
+    # that was trimmed); emit it so jumps stay resolvable.
+    end = len(function.code)
+    if end in label_names:
+        lines.append(f"label {label_names[end]}")
+        lines.append("  NOP")
+    lines.append("end")
+    return "\n".join(lines)
+
+
+def _render_instr(
+    instr: Instr, label_names: dict[int, str], program: Program | None
+) -> str:
+    op = instr.op
+    if op in JUMP_OPS:
+        return f"{op.name} {label_names[instr.a]}"
+    if op is Op.CALL_STATIC:
+        if program is not None:
+            callee = program.functions[instr.a]
+            return f"{op.name} {callee.qualified_name} {instr.b}"
+        return f"{op.name} {instr.a} {instr.b}"
+    if op is Op.CALL_VIRTUAL:
+        if program is not None:
+            name, argc = program.selectors[instr.a]
+            return f"{op.name} {name} {argc}"
+        return f"{op.name} {instr.a} {instr.b}"
+    if op is Op.GUARD_METHOD:
+        if program is not None:
+            name, argc = program.selectors[instr.a]
+            expected = program.functions[instr.b].qualified_name
+            return f"{op.name} {name} {argc} {expected}"
+        return f"{op.name} {instr.a} {instr.b}"
+    if op in (Op.NEW, Op.IS_EXACT):
+        if program is not None:
+            return f"{op.name} {program.classes[instr.a].name}"
+        return f"{op.name} {instr.a}"
+    parts = [op.name]
+    if instr.a is not None:
+        parts.append(str(instr.a))
+    if instr.b is not None:
+        parts.append(str(instr.b))
+    return " ".join(parts)
+
+
+def disassemble(program: Program) -> str:
+    """Render a whole program as assembler text."""
+    lines: list[str] = []
+    for cls in program.classes:
+        line = f"class {cls.name}"
+        if cls.super_name is not None:
+            line += f" extends {cls.super_name}"
+        own_fields = cls.field_layout
+        if cls.super_name is not None:
+            inherited = program.class_named(cls.super_name).field_layout
+            own_fields = cls.field_layout[len(inherited):]
+        if own_fields:
+            line += " fields " + " ".join(own_fields)
+        lines.append(line)
+    if program.classes:
+        lines.append("")
+    for function in program.functions:
+        lines.append(disassemble_function(function, program))
+        lines.append("")
+    return "\n".join(lines).rstrip() + "\n"

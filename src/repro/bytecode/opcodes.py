@@ -1,0 +1,166 @@
+"""The Mini VM instruction set.
+
+The VM is a classic stack machine in the JVM mould.  Opcode operands are
+held in the :class:`~repro.bytecode.instr.Instr` record, not encoded in a
+byte stream; the "size in bytes" of a method used by size-based inlining
+heuristics is derived from :data:`OPCODE_SIZE` below.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Op(enum.IntEnum):
+    """Every opcode executed by the interpreter."""
+
+    # Constants and stack shuffling
+    PUSH = 1          # a = int immediate
+    PUSH_NULL = 2
+    POP = 3
+    DUP = 4
+
+    # Locals
+    LOAD = 10         # a = slot
+    STORE = 11        # a = slot
+
+    # Integer arithmetic
+    ADD = 20
+    SUB = 21
+    MUL = 22
+    DIV = 23
+    MOD = 24
+    NEG = 25
+
+    # Boolean / comparison
+    NOT = 30
+    LT = 31
+    LE = 32
+    GT = 33
+    GE = 34
+    EQ = 35
+    NE = 36
+
+    # Control flow (a = target pc)
+    JUMP = 40
+    JUMP_IF_FALSE = 41
+    JUMP_IF_TRUE = 42
+
+    # Calls and returns
+    CALL_STATIC = 50  # a = function index, b = argc
+    CALL_VIRTUAL = 51  # a = selector id, b = argc (receiver below args)
+    RETURN = 52
+    RETURN_VAL = 53
+
+    # Objects
+    NEW = 60          # a = class id
+    GETFIELD = 61     # a = field offset
+    PUTFIELD = 62     # a = field offset
+    IS_EXACT = 63     # a = class id; pops object, pushes bool (inline guard)
+    GUARD_METHOD = 64  # a = selector id, b = expected function index;
+    #                    pops receiver, pushes bool (method-test guard)
+
+    # Arrays
+    NEW_ARRAY = 70
+    ALOAD = 71
+    ASTORE = 72
+    ARRAY_LEN = 73
+
+    # Misc
+    PRINT = 80
+    NOP = 81
+
+
+#: Branching opcodes whose ``a`` operand is a bytecode index.
+JUMP_OPS = frozenset({Op.JUMP, Op.JUMP_IF_FALSE, Op.JUMP_IF_TRUE})
+
+#: Opcodes that unconditionally transfer control away (no fall-through).
+TERMINATOR_OPS = frozenset({Op.JUMP, Op.RETURN, Op.RETURN_VAL})
+
+#: Call opcodes (the DCG profilers care about these).
+CALL_OPS = frozenset({Op.CALL_STATIC, Op.CALL_VIRTUAL})
+
+#: Abstract encoded size of each opcode in bytes, used for the "method
+#: size" input to inlining heuristics (operand-carrying ops cost more,
+#: mirroring JVM bytecode widths).
+OPCODE_SIZE: dict[Op, int] = {
+    Op.PUSH: 2,
+    Op.PUSH_NULL: 1,
+    Op.POP: 1,
+    Op.DUP: 1,
+    Op.LOAD: 2,
+    Op.STORE: 2,
+    Op.ADD: 1,
+    Op.SUB: 1,
+    Op.MUL: 1,
+    Op.DIV: 1,
+    Op.MOD: 1,
+    Op.NEG: 1,
+    Op.NOT: 1,
+    Op.LT: 1,
+    Op.LE: 1,
+    Op.GT: 1,
+    Op.GE: 1,
+    Op.EQ: 1,
+    Op.NE: 1,
+    Op.JUMP: 3,
+    Op.JUMP_IF_FALSE: 3,
+    Op.JUMP_IF_TRUE: 3,
+    Op.CALL_STATIC: 3,
+    Op.CALL_VIRTUAL: 3,
+    Op.RETURN: 1,
+    Op.RETURN_VAL: 1,
+    Op.NEW: 3,
+    Op.GETFIELD: 3,
+    Op.PUTFIELD: 3,
+    Op.IS_EXACT: 3,
+    Op.GUARD_METHOD: 4,
+    Op.NEW_ARRAY: 1,
+    Op.ALOAD: 1,
+    Op.ASTORE: 1,
+    Op.ARRAY_LEN: 1,
+    Op.PRINT: 1,
+    Op.NOP: 1,
+}
+
+#: Net operand-stack effect of each opcode, ``None`` when it depends on
+#: the operands (calls) — the verifier special-cases those.
+STACK_EFFECT: dict[Op, int | None] = {
+    Op.PUSH: 1,
+    Op.PUSH_NULL: 1,
+    Op.POP: -1,
+    Op.DUP: 1,
+    Op.LOAD: 1,
+    Op.STORE: -1,
+    Op.ADD: -1,
+    Op.SUB: -1,
+    Op.MUL: -1,
+    Op.DIV: -1,
+    Op.MOD: -1,
+    Op.NEG: 0,
+    Op.NOT: 0,
+    Op.LT: -1,
+    Op.LE: -1,
+    Op.GT: -1,
+    Op.GE: -1,
+    Op.EQ: -1,
+    Op.NE: -1,
+    Op.JUMP: 0,
+    Op.JUMP_IF_FALSE: -1,
+    Op.JUMP_IF_TRUE: -1,
+    Op.CALL_STATIC: None,
+    Op.CALL_VIRTUAL: None,
+    Op.RETURN: 0,
+    Op.RETURN_VAL: -1,
+    Op.NEW: 1,
+    Op.GETFIELD: 0,
+    Op.PUTFIELD: -2,
+    Op.IS_EXACT: 0,
+    Op.GUARD_METHOD: 0,
+    Op.NEW_ARRAY: 0,
+    Op.ALOAD: -1,
+    Op.ASTORE: -3,
+    Op.ARRAY_LEN: 0,
+    Op.PRINT: -1,
+    Op.NOP: 0,
+}

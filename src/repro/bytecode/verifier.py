@@ -1,0 +1,237 @@
+"""Bytecode verifier.
+
+A lightweight abstract interpretation over operand-stack *depth* (not
+types): it checks structural well-formedness properties that the
+interpreter and the optimizer both rely on.  The optimizer re-verifies
+every function it rewrites, which caught many inliner bugs during
+development and is cheap enough to leave on.
+
+Checks performed per function:
+
+* every jump target is a valid bytecode index,
+* local slot numbers are within ``num_locals``,
+* call operands reference real functions/selectors with matching arity,
+* stack depth is consistent at control-flow joins,
+* stack depth never goes negative and matches return conventions,
+* control cannot fall off the end of the code.
+"""
+
+from __future__ import annotations
+
+from repro.bytecode.function import FunctionInfo
+from repro.bytecode.opcodes import JUMP_OPS, Op, STACK_EFFECT, TERMINATOR_OPS
+from repro.bytecode.program import Program
+
+#: Number of operands each opcode pops (before pushing its results);
+#: used for the "depth never negative" check.  Calls are special-cased.
+_POPS: dict[Op, int] = {
+    Op.PUSH: 0,
+    Op.PUSH_NULL: 0,
+    Op.POP: 1,
+    Op.DUP: 1,
+    Op.LOAD: 0,
+    Op.STORE: 1,
+    Op.ADD: 2,
+    Op.SUB: 2,
+    Op.MUL: 2,
+    Op.DIV: 2,
+    Op.MOD: 2,
+    Op.NEG: 1,
+    Op.NOT: 1,
+    Op.LT: 2,
+    Op.LE: 2,
+    Op.GT: 2,
+    Op.GE: 2,
+    Op.EQ: 2,
+    Op.NE: 2,
+    Op.JUMP: 0,
+    Op.JUMP_IF_FALSE: 1,
+    Op.JUMP_IF_TRUE: 1,
+    Op.RETURN: 0,
+    Op.RETURN_VAL: 1,
+    Op.NEW: 0,
+    Op.GETFIELD: 1,
+    Op.PUTFIELD: 2,
+    Op.IS_EXACT: 1,
+    Op.GUARD_METHOD: 1,
+    Op.NEW_ARRAY: 1,
+    Op.ALOAD: 2,
+    Op.ASTORE: 3,
+    Op.ARRAY_LEN: 1,
+    Op.PRINT: 1,
+    Op.NOP: 0,
+}
+
+
+class VerifyError(Exception):
+    """Raised when a function fails verification."""
+
+    def __init__(self, function: FunctionInfo, pc: int | None, message: str):
+        where = f"{function.qualified_name}"
+        if pc is not None:
+            where += f" @pc={pc}"
+        super().__init__(f"{where}: {message}")
+        self.function = function
+        self.pc = pc
+
+
+def verify_function(function: FunctionInfo, program: Program | None = None) -> None:
+    """Verify one function; raises :class:`VerifyError` on failure."""
+    code = function.code
+    if not code:
+        raise VerifyError(function, None, "empty code")
+
+    depth_at: dict[int, int] = {0: 0}
+    worklist = [0]
+    while worklist:
+        pc = worklist.pop()
+        depth = depth_at[pc]
+        if pc >= len(code):
+            raise VerifyError(function, pc, "control falls off the end of code")
+        instr = code[pc]
+        op = instr.op
+
+        pops = _POPS.get(op)
+        if op is Op.CALL_STATIC:
+            pops = instr.b
+        elif op is Op.CALL_VIRTUAL:
+            pops = instr.b + 1  # receiver
+        if pops is None:
+            raise VerifyError(function, pc, f"unverifiable opcode {op.name}")
+        if depth < pops:
+            raise VerifyError(
+                function, pc, f"{op.name} needs {pops} operand(s), stack has {depth}"
+            )
+
+        _check_operands(function, program, pc, instr)
+
+        effect = STACK_EFFECT[op]
+        if op is Op.CALL_STATIC:
+            callee_returns = True
+            if program is not None:
+                callee = program.functions[instr.a]
+                callee_returns = callee.returns_value
+            effect = -instr.b + (1 if callee_returns else 0)
+        elif op is Op.CALL_VIRTUAL:
+            # Virtual callees may be overridden; Mini requires overriding
+            # methods to keep the signature, so any resolution target has
+            # the same return convention.  Assume value-returning unless
+            # the program proves otherwise via some resolution.
+            effect = -(instr.b + 1) + _virtual_returns(program, instr)
+        new_depth = depth + effect
+        if new_depth < 0:
+            raise VerifyError(function, pc, "stack underflow")
+
+        for successor in _successors(pc, instr, len(code), function):
+            known = depth_at.get(successor)
+            if known is None:
+                depth_at[successor] = new_depth
+                worklist.append(successor)
+            elif known != new_depth:
+                raise VerifyError(
+                    function,
+                    successor,
+                    f"inconsistent stack depth at join: {known} vs {new_depth}",
+                )
+
+
+def _virtual_returns(program: Program | None, instr) -> int:
+    if program is None:
+        return 1
+    name, argc = program.selectors[instr.a]
+    for function in program.functions:
+        if function.kind == "method" and function.selector == (name, argc):
+            return 1 if function.returns_value else 0
+    return 1
+
+
+def _successors(pc: int, instr, code_len: int, function: FunctionInfo) -> list[int]:
+    op = instr.op
+    successors: list[int] = []
+    if op in JUMP_OPS:
+        if not isinstance(instr.a, int) or not (0 <= instr.a < code_len):
+            raise VerifyError(function, pc, f"jump target {instr.a!r} out of range")
+        successors.append(instr.a)
+    if op not in TERMINATOR_OPS:
+        if pc + 1 >= code_len:
+            raise VerifyError(function, pc, "control falls off the end of code")
+        successors.append(pc + 1)
+    return successors
+
+
+def _check_operands(
+    function: FunctionInfo, program: Program | None, pc: int, instr
+) -> None:
+    op = instr.op
+    if op in (Op.LOAD, Op.STORE):
+        if not isinstance(instr.a, int) or not (0 <= instr.a < function.num_locals):
+            raise VerifyError(
+                function, pc, f"{op.name} slot {instr.a!r} out of range "
+                f"(num_locals={function.num_locals})"
+            )
+    elif op is Op.PUSH:
+        if not isinstance(instr.a, int):
+            raise VerifyError(function, pc, "PUSH needs an int operand")
+    elif op is Op.CALL_STATIC:
+        if not isinstance(instr.b, int) or instr.b < 0:
+            raise VerifyError(function, pc, "CALL_STATIC needs an argc operand")
+        if program is not None:
+            if not (0 <= instr.a < len(program.functions)):
+                raise VerifyError(function, pc, f"bad function index {instr.a!r}")
+            callee = program.functions[instr.a]
+            if callee.num_params != instr.b:
+                raise VerifyError(
+                    function,
+                    pc,
+                    f"arity mismatch calling {callee.qualified_name}: "
+                    f"passed {instr.b}, expects {callee.num_params}",
+                )
+    elif op is Op.CALL_VIRTUAL:
+        if not isinstance(instr.b, int) or instr.b < 0:
+            raise VerifyError(function, pc, "CALL_VIRTUAL needs an argc operand")
+        if program is not None:
+            if not (0 <= instr.a < len(program.selectors)):
+                raise VerifyError(function, pc, f"bad selector id {instr.a!r}")
+            _, argc = program.selectors[instr.a]
+            if argc != instr.b:
+                raise VerifyError(function, pc, "selector/argc mismatch")
+    elif op in (Op.NEW, Op.IS_EXACT):
+        if program is not None and not (0 <= instr.a < len(program.classes)):
+            raise VerifyError(function, pc, f"bad class index {instr.a!r}")
+    elif op is Op.GUARD_METHOD:
+        if program is not None:
+            if not (0 <= instr.a < len(program.selectors)):
+                raise VerifyError(function, pc, f"bad selector id {instr.a!r}")
+            if not isinstance(instr.b, int) or not (
+                0 <= instr.b < len(program.functions)
+            ):
+                raise VerifyError(function, pc, f"bad function index {instr.b!r}")
+    elif op in (Op.GETFIELD, Op.PUTFIELD):
+        if not isinstance(instr.a, int) or instr.a < 0:
+            raise VerifyError(function, pc, f"{op.name} needs a field offset")
+
+
+def verify_program(program: Program) -> None:
+    """Verify every function in ``program``.
+
+    Also enforces the whole-program rule that all methods sharing a
+    dispatch selector agree on whether they return a value — the
+    depth-only verification of ``CALL_VIRTUAL`` sites depends on it.
+    """
+    returns_by_selector: dict[tuple[str, int], tuple[bool, str]] = {}
+    for function in program.functions:
+        if function.kind != "method":
+            continue
+        key = function.selector
+        known = returns_by_selector.get(key)
+        if known is None:
+            returns_by_selector[key] = (function.returns_value, function.qualified_name)
+        elif known[0] != function.returns_value:
+            raise VerifyError(
+                function,
+                None,
+                f"selector {key[0]}/{key[1]} is void in one class but "
+                f"value-returning in another ({known[1]})",
+            )
+    for function in program.functions:
+        verify_function(function, program)

@@ -1,0 +1,204 @@
+"""Command-line interface for the Mini toolchain.
+
+Usage::
+
+    repro-mini run program.mini [--vm jikes|j9] [--profile cbs|timer|whaley]
+                                [--stride N] [--samples N] [--adaptive]
+                                [--opt {0,1}] [--stats] [--dcg]
+    repro-mini disasm program.mini
+    repro-mini check program.mini
+
+(or ``python -m repro.cli ...``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.adaptive.controller import AdaptiveSystem
+from repro.adaptive.modes import jit_only_cache
+from repro.bytecode.disassembler import disassemble
+from repro.frontend.codegen import compile_source
+from repro.lang.errors import MiniError
+from repro.inlining.new_inliner import NewJikesInliner
+from repro.profiling.cbs import CBSProfiler
+from repro.profiling.exhaustive import ExhaustiveProfiler
+from repro.profiling.loops import CBSLoopProfiler
+from repro.profiling.serialize import ProfileFormatError, load_profile, save_profile
+from repro.profiling.timer_sampler import TimerProfiler
+from repro.profiling.whaley import WhaleyProfiler
+from repro.vm.config import config_named
+from repro.vm.errors import VMError
+from repro.vm.interpreter import Interpreter
+
+
+def _load(path: str):
+    try:
+        with open(path) as handle:
+            source = handle.read()
+    except OSError as error:
+        raise SystemExit(f"cannot read {path}: {error}")
+    try:
+        return compile_source(source, filename=path)
+    except MiniError as error:
+        raise SystemExit(f"compile error: {error}")
+
+
+def _profiler_for(args):
+    if args.profile == "cbs":
+        return CBSProfiler(stride=args.stride, samples_per_tick=args.samples)
+    if args.profile == "timer":
+        return TimerProfiler()
+    if args.profile == "whaley":
+        return WhaleyProfiler()
+    if args.profile == "loops":
+        return CBSLoopProfiler(stride=args.stride, samples_per_tick=args.samples)
+    return None
+
+
+def _cmd_run(args) -> int:
+    program = _load(args.file)
+    config = config_named(args.vm)
+    cache = jit_only_cache(program, config.cost_model, level=args.opt)
+    vm = Interpreter(program, config, cache)
+
+    if args.load_profile:
+        # Offline PGO: pre-optimize everything the saved profile justifies.
+        from repro.opt.pipeline import optimize_function
+
+        try:
+            offline = load_profile(args.load_profile, program)
+        except ProfileFormatError as error:
+            raise SystemExit(str(error))
+        policy = NewJikesInliner(program)
+        for function in program.functions:
+            plan = policy.plan_for(function.index, offline)
+            if not plan.is_empty():
+                vm.code_cache.install(optimize_function(program, plan).function, 2)
+
+    perfect = None
+    if args.dcg:
+        perfect = ExhaustiveProfiler()
+        perfect.install(vm)
+    profiler = _profiler_for(args)
+    if profiler is not None:
+        vm.attach_profiler(profiler)
+    if args.adaptive:
+        AdaptiveSystem(program, NewJikesInliner(program)).install(vm)
+        if profiler is None:
+            print(
+                "note: --adaptive without --profile never promotes "
+                "(no samples); adding cbs",
+                file=sys.stderr,
+            )
+            profiler = CBSProfiler(stride=args.stride, samples_per_tick=args.samples)
+            vm.attach_profiler(profiler)
+
+    try:
+        vm.run()
+    except VMError as error:
+        print(f"runtime error: {error}", file=sys.stderr)
+        return 1
+
+    for value in vm.output:
+        print(value)
+    if args.save_profile:
+        source = profiler if profiler is not None else perfect
+        if source is None or isinstance(source, CBSLoopProfiler):
+            print(
+                "note: --save-profile needs a DCG profiler (cbs/timer) or "
+                "--dcg; nothing saved",
+                file=sys.stderr,
+            )
+        else:
+            save_profile(source.dcg, program, args.save_profile)
+            print(f"-- profile saved to {args.save_profile}", file=sys.stderr)
+    if args.stats:
+        print(
+            f"-- steps={vm.steps} vtime={vm.time} calls={vm.call_count} "
+            f"ticks={vm.ticks} methods={vm.methods_executed} "
+            f"compile_time={vm.code_cache.compile_time}",
+            file=sys.stderr,
+        )
+    if isinstance(profiler, CBSLoopProfiler):
+        print("-- sampled loop profile:", file=sys.stderr)
+        print(profiler.describe(program), file=sys.stderr)
+    elif profiler is not None and args.dcg:
+        from repro.profiling.metrics import accuracy
+
+        print("-- sampled dynamic call graph:", file=sys.stderr)
+        print(profiler.dcg.describe(program, limit=12), file=sys.stderr)
+        print(
+            f"-- accuracy vs exhaustive: "
+            f"{accuracy(profiler.dcg, perfect.dcg):.1f}%",
+            file=sys.stderr,
+        )
+    elif args.dcg:
+        print("-- exhaustive dynamic call graph:", file=sys.stderr)
+        print(perfect.dcg.describe(program, limit=12), file=sys.stderr)
+    return 0
+
+
+def _cmd_disasm(args) -> int:
+    print(disassemble(_load(args.file)))
+    return 0
+
+
+def _cmd_check(args) -> int:
+    program = _load(args.file)
+    print(
+        f"{args.file}: OK ({len(program.classes)} classes, "
+        f"{len(program.functions)} functions, "
+        f"{program.total_bytecode_size()} bytecode bytes)"
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro-mini", description=__doc__)
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    run = commands.add_parser("run", help="compile and execute a Mini program")
+    run.add_argument("file")
+    run.add_argument("--vm", choices=["jikes", "j9"], default="jikes")
+    run.add_argument(
+        "--profile",
+        choices=["cbs", "timer", "whaley", "loops", "none"],
+        default="none",
+    )
+    run.add_argument(
+        "--save-profile", metavar="PATH", help="write the collected DCG as JSON"
+    )
+    run.add_argument(
+        "--load-profile",
+        metavar="PATH",
+        help="pre-optimize using a previously saved profile (offline PGO)",
+    )
+    run.add_argument("--stride", type=int, default=3)
+    run.add_argument("--samples", type=int, default=16)
+    run.add_argument("--opt", type=int, choices=[0, 1], default=0)
+    run.add_argument(
+        "--adaptive", action="store_true", help="enable adaptive recompilation"
+    )
+    run.add_argument("--stats", action="store_true", help="print VM statistics")
+    run.add_argument("--dcg", action="store_true", help="print the call graph")
+    run.set_defaults(handler=_cmd_run)
+
+    disasm = commands.add_parser("disasm", help="print a program's bytecode")
+    disasm.add_argument("file")
+    disasm.set_defaults(handler=_cmd_disasm)
+
+    check = commands.add_parser("check", help="parse and type check only")
+    check.add_argument("file")
+    check.set_defaults(handler=_cmd_check)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,18 @@
+"""Semantic analysis and code generation for Mini."""
+
+from repro.frontend.codegen import compile_program, compile_source
+from repro.frontend.hierarchy import build_class_table
+from repro.frontend.symbols import ClassTable, FunctionTable, MethodSig, Scope
+from repro.frontend.typecheck import CheckedProgram, typecheck
+
+__all__ = [
+    "CheckedProgram",
+    "ClassTable",
+    "FunctionTable",
+    "MethodSig",
+    "Scope",
+    "build_class_table",
+    "compile_program",
+    "compile_source",
+    "typecheck",
+]

@@ -1,0 +1,429 @@
+"""Type checker for the Mini language.
+
+Walks the AST, resolving names and annotating every expression with its
+``inferred_type``.  The code generator relies on those annotations (field
+offsets and selectors need static receiver types), so type checking is a
+mandatory pass, not an optional lint.
+
+Rules of note:
+
+* Field access always goes through an explicit receiver (``this.x``);
+  bare names are locals/parameters only.
+* ``new C(args)`` requires class ``C`` to declare or inherit a method
+  ``init`` with matching arity returning ``void``; with no ``init`` the
+  argument list must be empty.
+* Value-returning functions must return on all control-flow paths.
+* Builtins: ``print(int|bool): void`` and ``len(T[]): int``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.lang import ast_nodes as ast
+from repro.lang.errors import TypeError_
+from repro.frontend.hierarchy import build_class_table
+from repro.frontend.symbols import (
+    ClassTable,
+    FunctionTable,
+    MethodSig,
+    Scope,
+    assignable,
+    check_type_exists,
+)
+
+_ARITH_OPS = frozenset({"+", "-", "*", "/", "%"})
+_COMPARE_OPS = frozenset({"<", "<=", ">", ">="})
+_EQUALITY_OPS = frozenset({"==", "!="})
+_LOGICAL_OPS = frozenset({"&&", "||"})
+
+BUILTIN_NAMES = frozenset({"print", "len"})
+
+
+@dataclass
+class CheckedProgram:
+    """The result of type checking: the AST plus resolved symbol tables."""
+
+    ast: ast.Program
+    classes: ClassTable
+    functions: FunctionTable
+
+
+def typecheck(program: ast.Program) -> CheckedProgram:
+    """Type check ``program``; returns symbol tables for code generation."""
+    classes = build_class_table(program)
+    functions = _collect_functions(program, classes)
+    checker = _Checker(classes, functions)
+
+    for function in program.functions:
+        checker.check_callable(function.params, function.return_type, function.body,
+                               this_class=None, location=function.location)
+    for class_decl in program.classes:
+        for method in class_decl.methods:
+            if method.name == "init" and method.return_type != ast.VOID:
+                raise TypeError_(
+                    f"constructor {class_decl.name}.init must return void",
+                    method.location,
+                )
+            checker.check_callable(
+                method.params,
+                method.return_type,
+                method.body,
+                this_class=class_decl.name,
+                location=method.location,
+            )
+    if "main" not in functions:
+        raise TypeError_("program has no top-level main() function")
+    main_sig = functions.get("main")
+    if main_sig.argc != 0:
+        raise TypeError_("main() must take no parameters")
+    return CheckedProgram(ast=program, classes=classes, functions=functions)
+
+
+def _collect_functions(program: ast.Program, classes: ClassTable) -> FunctionTable:
+    table = FunctionTable()
+    for function in program.functions:
+        if function.name in BUILTIN_NAMES:
+            raise TypeError_(
+                f"function name {function.name!r} shadows a builtin", function.location
+            )
+        if function.name in classes:
+            raise TypeError_(
+                f"function name {function.name!r} collides with a class",
+                function.location,
+            )
+        for param in function.params:
+            check_type_exists(param.type, classes, param.location)
+        check_type_exists(function.return_type, classes, function.location)
+        table.add(
+            MethodSig(
+                name=function.name,
+                param_types=tuple(p.type for p in function.params),
+                return_type=function.return_type,
+            ),
+            function.location,
+        )
+    for class_decl in program.classes:
+        for field_decl in class_decl.fields:
+            check_type_exists(field_decl.type, classes, field_decl.location)
+        for method in class_decl.methods:
+            for param in method.params:
+                check_type_exists(param.type, classes, param.location)
+            check_type_exists(method.return_type, classes, method.location)
+    return table
+
+
+def definitely_returns(body: list[ast.Stmt]) -> bool:
+    """Conservative all-paths-return analysis."""
+    for stmt in body:
+        if isinstance(stmt, ast.Return):
+            return True
+        if isinstance(stmt, ast.If):
+            if (
+                stmt.else_body
+                and definitely_returns(stmt.then_body)
+                and definitely_returns(stmt.else_body)
+            ):
+                return True
+        if isinstance(stmt, ast.Block) and definitely_returns(stmt.body):
+            return True
+        if isinstance(stmt, ast.While) and isinstance(stmt.condition, ast.BoolLiteral):
+            if stmt.condition.value:
+                # ``while (true)`` without break never falls through.
+                return True
+    return False
+
+
+class _Checker:
+    """Stateful walker; one instance checks a whole program."""
+
+    def __init__(self, classes: ClassTable, functions: FunctionTable):
+        self._classes = classes
+        self._functions = functions
+        self._return_type: ast.TypeExpr = ast.VOID
+        self._this_class: str | None = None
+        self._next_slot = 0
+
+    # -- declarations ---------------------------------------------------------
+
+    def check_callable(
+        self,
+        params: list[ast.Param],
+        return_type: ast.TypeExpr,
+        body: list[ast.Stmt],
+        this_class: str | None,
+        location,
+    ) -> None:
+        self._return_type = return_type
+        self._this_class = this_class
+        scope = Scope()
+        self._next_slot = 1 if this_class is not None else 0
+        seen: set[str] = set()
+        for param in params:
+            if param.name in seen:
+                raise TypeError_(f"duplicate parameter {param.name!r}", param.location)
+            seen.add(param.name)
+            scope.declare(param.name, self._next_slot, param.type, param.location)
+            self._next_slot += 1
+        self._check_body(body, scope)
+        if return_type != ast.VOID and not definitely_returns(body):
+            raise TypeError_(
+                "value-returning function may fall off the end without a return",
+                location,
+            )
+
+    # -- statements -------------------------------------------------------------
+
+    def _check_body(self, body: list[ast.Stmt], scope: Scope) -> None:
+        for stmt in body:
+            self._check_stmt(stmt, scope)
+
+    def _check_stmt(self, stmt: ast.Stmt, scope: Scope) -> None:
+        if isinstance(stmt, ast.VarDecl):
+            value_type = self._check_expr(stmt.initializer, scope)
+            if stmt.declared_type is not None:
+                check_type_exists(stmt.declared_type, self._classes, stmt.location)
+                if not assignable(stmt.declared_type, value_type, self._classes):
+                    raise TypeError_(
+                        f"cannot initialize {stmt.declared_type} variable "
+                        f"{stmt.name!r} with {value_type}",
+                        stmt.location,
+                    )
+                var_type = stmt.declared_type
+            else:
+                if isinstance(value_type, ast.NullType):
+                    raise TypeError_(
+                        f"cannot infer a type for {stmt.name!r} from null; "
+                        f"annotate the declaration",
+                        stmt.location,
+                    )
+                var_type = value_type
+            scope.declare(stmt.name, self._next_slot, var_type, stmt.location)
+            stmt.declared_type = var_type  # record the resolved type for codegen
+            self._next_slot += 1
+        elif isinstance(stmt, ast.Assign):
+            target_type = self._check_assign_target(stmt.target, scope)
+            value_type = self._check_expr(stmt.value, scope)
+            if not assignable(target_type, value_type, self._classes):
+                raise TypeError_(
+                    f"cannot assign {value_type} to {target_type}", stmt.location
+                )
+        elif isinstance(stmt, ast.ExprStmt):
+            self._check_expr(stmt.expr, scope)
+        elif isinstance(stmt, ast.If):
+            self._require(stmt.condition, ast.BOOL, scope, "if condition")
+            self._check_body(stmt.then_body, scope.child())
+            self._check_body(stmt.else_body, scope.child())
+        elif isinstance(stmt, ast.While):
+            self._require(stmt.condition, ast.BOOL, scope, "while condition")
+            self._check_body(stmt.body, scope.child())
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is None:
+                if self._return_type != ast.VOID:
+                    raise TypeError_(
+                        f"missing return value (expected {self._return_type})",
+                        stmt.location,
+                    )
+            else:
+                if self._return_type == ast.VOID:
+                    raise TypeError_("void function returns a value", stmt.location)
+                value_type = self._check_expr(stmt.value, scope)
+                if not assignable(self._return_type, value_type, self._classes):
+                    raise TypeError_(
+                        f"cannot return {value_type} from a function returning "
+                        f"{self._return_type}",
+                        stmt.location,
+                    )
+        elif isinstance(stmt, ast.Block):
+            self._check_body(stmt.body, scope.child())
+        else:  # pragma: no cover - parser produces no other statement kinds
+            raise TypeError_(f"unknown statement {type(stmt).__name__}", stmt.location)
+
+    def _check_assign_target(self, target: ast.Expr, scope: Scope) -> ast.TypeExpr:
+        if isinstance(target, ast.NameExpr):
+            binding = scope.lookup(target.name)
+            if binding is None:
+                raise TypeError_(
+                    f"assignment to undeclared variable {target.name!r} "
+                    f"(fields need an explicit receiver: this.{target.name})",
+                    target.location,
+                )
+            target.inferred_type = binding[1]
+            return binding[1]
+        if isinstance(target, (ast.FieldAccess, ast.IndexExpr)):
+            return self._check_expr(target, scope)
+        raise TypeError_("invalid assignment target", target.location)
+
+    # -- expressions --------------------------------------------------------------
+
+    def _require(
+        self, expr: ast.Expr, expected: ast.TypeExpr, scope: Scope, what: str
+    ) -> None:
+        actual = self._check_expr(expr, scope)
+        if actual != expected:
+            raise TypeError_(f"{what} must be {expected}, found {actual}", expr.location)
+
+    def _check_expr(self, expr: ast.Expr, scope: Scope) -> ast.TypeExpr:
+        result = self._infer(expr, scope)
+        expr.inferred_type = result
+        return result
+
+    def _infer(self, expr: ast.Expr, scope: Scope) -> ast.TypeExpr:
+        if isinstance(expr, ast.IntLiteral):
+            return ast.INT
+        if isinstance(expr, ast.BoolLiteral):
+            return ast.BOOL
+        if isinstance(expr, ast.NullLiteral):
+            return ast.NULL
+        if isinstance(expr, ast.ThisExpr):
+            if self._this_class is None:
+                raise TypeError_("'this' outside a method", expr.location)
+            return ast.ClassType(self._this_class)
+        if isinstance(expr, ast.NameExpr):
+            binding = scope.lookup(expr.name)
+            if binding is None:
+                raise TypeError_(
+                    f"undeclared variable {expr.name!r} (fields need an explicit "
+                    f"receiver: this.{expr.name})",
+                    expr.location,
+                )
+            return binding[1]
+        if isinstance(expr, ast.FieldAccess):
+            return self._infer_field(expr, scope)
+        if isinstance(expr, ast.IndexExpr):
+            array_type = self._check_expr(expr.array, scope)
+            if not isinstance(array_type, ast.ArrayType):
+                raise TypeError_(f"cannot index into {array_type}", expr.location)
+            self._require(expr.index, ast.INT, scope, "array index")
+            return array_type.element
+        if isinstance(expr, ast.UnaryOp):
+            if expr.op == "-":
+                self._require(expr.operand, ast.INT, scope, "operand of unary '-'")
+                return ast.INT
+            self._require(expr.operand, ast.BOOL, scope, "operand of '!'")
+            return ast.BOOL
+        if isinstance(expr, ast.BinaryOp):
+            return self._infer_binary(expr, scope)
+        if isinstance(expr, ast.CallExpr):
+            return self._infer_call(expr, scope)
+        if isinstance(expr, ast.MethodCall):
+            return self._infer_method_call(expr, scope)
+        if isinstance(expr, ast.NewObject):
+            return self._infer_new(expr, scope)
+        if isinstance(expr, ast.NewArray):
+            check_type_exists(expr.element_type, self._classes, expr.location)
+            self._require(expr.length, ast.INT, scope, "array length")
+            return ast.ArrayType(expr.element_type)
+        raise TypeError_(  # pragma: no cover
+            f"unknown expression {type(expr).__name__}", expr.location
+        )
+
+    def _infer_field(self, expr: ast.FieldAccess, scope: Scope) -> ast.TypeExpr:
+        receiver_type = self._check_expr(expr.receiver, scope)
+        if not isinstance(receiver_type, ast.ClassType):
+            raise TypeError_(
+                f"cannot access field {expr.field_name!r} on {receiver_type}",
+                expr.location,
+            )
+        symbol = self._classes.require(receiver_type.name, expr.location)
+        field_type = symbol.all_fields.get(expr.field_name)
+        if field_type is None:
+            raise TypeError_(
+                f"class {receiver_type.name!r} has no field {expr.field_name!r}",
+                expr.location,
+            )
+        return field_type
+
+    def _infer_binary(self, expr: ast.BinaryOp, scope: Scope) -> ast.TypeExpr:
+        if expr.op in _ARITH_OPS:
+            self._require(expr.left, ast.INT, scope, f"left operand of {expr.op!r}")
+            self._require(expr.right, ast.INT, scope, f"right operand of {expr.op!r}")
+            return ast.INT
+        if expr.op in _COMPARE_OPS:
+            self._require(expr.left, ast.INT, scope, f"left operand of {expr.op!r}")
+            self._require(expr.right, ast.INT, scope, f"right operand of {expr.op!r}")
+            return ast.BOOL
+        if expr.op in _LOGICAL_OPS:
+            self._require(expr.left, ast.BOOL, scope, f"left operand of {expr.op!r}")
+            self._require(expr.right, ast.BOOL, scope, f"right operand of {expr.op!r}")
+            return ast.BOOL
+        if expr.op in _EQUALITY_OPS:
+            left = self._check_expr(expr.left, scope)
+            right = self._check_expr(expr.right, scope)
+            comparable = (
+                assignable(left, right, self._classes)
+                or assignable(right, left, self._classes)
+            )
+            if not comparable:
+                raise TypeError_(
+                    f"cannot compare {left} with {right}", expr.location
+                )
+            return ast.BOOL
+        raise TypeError_(f"unknown operator {expr.op!r}", expr.location)
+
+    def _infer_call(self, expr: ast.CallExpr, scope: Scope) -> ast.TypeExpr:
+        if expr.name == "print":
+            if len(expr.args) != 1:
+                raise TypeError_("print() takes exactly one argument", expr.location)
+            arg_type = self._check_expr(expr.args[0], scope)
+            if arg_type not in (ast.INT, ast.BOOL):
+                raise TypeError_(f"cannot print {arg_type}", expr.location)
+            return ast.VOID
+        if expr.name == "len":
+            if len(expr.args) != 1:
+                raise TypeError_("len() takes exactly one argument", expr.location)
+            arg_type = self._check_expr(expr.args[0], scope)
+            if not isinstance(arg_type, ast.ArrayType):
+                raise TypeError_(f"len() needs an array, found {arg_type}", expr.location)
+            return ast.INT
+        sig = self._functions.get(expr.name)
+        if sig is None:
+            raise TypeError_(f"unknown function {expr.name!r}", expr.location)
+        self._check_args(sig, expr.args, scope, expr.location)
+        return sig.return_type
+
+    def _infer_method_call(self, expr: ast.MethodCall, scope: Scope) -> ast.TypeExpr:
+        receiver_type = self._check_expr(expr.receiver, scope)
+        if not isinstance(receiver_type, ast.ClassType):
+            raise TypeError_(
+                f"cannot call method {expr.method_name!r} on {receiver_type}",
+                expr.location,
+            )
+        symbol = self._classes.require(receiver_type.name, expr.location)
+        sig = symbol.all_methods.get((expr.method_name, len(expr.args)))
+        if sig is None:
+            raise TypeError_(
+                f"class {receiver_type.name!r} has no method "
+                f"{expr.method_name!r}/{len(expr.args)}",
+                expr.location,
+            )
+        self._check_args(sig, expr.args, scope, expr.location)
+        return sig.return_type
+
+    def _infer_new(self, expr: ast.NewObject, scope: Scope) -> ast.TypeExpr:
+        symbol = self._classes.require(expr.class_name, expr.location)
+        init_sig = symbol.all_methods.get(("init", len(expr.args)))
+        if init_sig is not None:
+            self._check_args(init_sig, expr.args, scope, expr.location)
+        elif expr.args:
+            raise TypeError_(
+                f"class {expr.class_name!r} has no init/{len(expr.args)} constructor",
+                expr.location,
+            )
+        return ast.ClassType(expr.class_name)
+
+    def _check_args(
+        self, sig: MethodSig, args: list[ast.Expr], scope: Scope, location
+    ) -> None:
+        if len(args) != sig.argc:
+            raise TypeError_(
+                f"{sig.name}() takes {sig.argc} argument(s), got {len(args)}", location
+            )
+        for i, (arg, expected) in enumerate(zip(args, sig.param_types)):
+            actual = self._check_expr(arg, scope)
+            if not assignable(expected, actual, self._classes):
+                raise TypeError_(
+                    f"argument {i + 1} of {sig.name}(): expected {expected}, "
+                    f"found {actual}",
+                    arg.location,
+                )

@@ -1,0 +1,21 @@
+"""Experiment harnesses regenerating every table and figure."""
+
+from repro.harness.runner import (
+    BaselineResult,
+    ProfiledRun,
+    SteadyStateResult,
+    clear_baseline_cache,
+    measure_baseline,
+    measure_profiler,
+    run_steady_state,
+)
+
+__all__ = [
+    "BaselineResult",
+    "ProfiledRun",
+    "SteadyStateResult",
+    "clear_baseline_cache",
+    "measure_baseline",
+    "measure_profiler",
+    "run_steady_state",
+]

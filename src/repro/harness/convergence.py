@@ -1,0 +1,230 @@
+"""Convergence-rate experiment: accuracy as a function of elapsed time.
+
+The paper's second constraint (§2) is that profile accuracy must
+*rapidly converge* so online optimizations can consume it early.  This
+harness snapshots each profiler's DCG at every timer tick and scores it
+against the full-run exhaustive profile, yielding accuracy-vs-ticks
+curves for the timer baseline and CBS — the quantitative version of the
+paper's "rapidly collects fairly accurate profiles" claim.
+
+Also used by the phase-change experiment: benchmarks with shifting
+behavior (jbb's transaction mix) show why *continuous* profiling beats
+one-shot bursts (§3.2's criticism of code patching).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.adaptive.modes import jit_only_cache
+from repro.benchsuite.suite import program_for
+from repro.profiling.cbs import CBSProfiler
+from repro.profiling.exhaustive import ExhaustiveProfiler
+from repro.profiling.metrics import accuracy
+from repro.profiling.patching import CodePatchingProfiler
+from repro.profiling.timer_sampler import TimerProfiler
+from repro.vm.config import config_named
+from repro.vm.interpreter import Interpreter
+
+
+@dataclass
+class ConvergenceCurve:
+    """Accuracy snapshots for one profiler over one run."""
+
+    label: str
+    ticks: list[int] = field(default_factory=list)
+    accuracies: list[float] = field(default_factory=list)
+
+    def final_accuracy(self) -> float:
+        return self.accuracies[-1] if self.accuracies else 0.0
+
+    def ticks_to_reach(self, threshold: float) -> int | None:
+        """First tick at which accuracy reached ``threshold`` percent."""
+        for tick, value in zip(self.ticks, self.accuracies):
+            if value >= threshold:
+                return tick
+        return None
+
+
+class _SnapshottingHook:
+    """Tick hook that records accuracy-so-far against the final truth.
+
+    Snapshots are scored *after* the run (we keep copies), because the
+    ground truth is only complete at the end.
+    """
+
+    def __init__(self, profiler, every: int = 1):
+        self.profiler = profiler
+        self.every = every
+        self.snapshots: list[tuple[int, dict]] = []
+
+    def __call__(self, vm) -> None:
+        if vm.ticks % self.every == 0:
+            self.snapshots.append((vm.ticks, dict(self.profiler.dcg.edges())))
+
+
+def convergence_curve(
+    name: str,
+    profiler,
+    label: str,
+    size: str = "small",
+    vm_name: str = "jikes",
+    snapshot_every: int = 1,
+) -> ConvergenceCurve:
+    """Run once, snapshotting the profile at ticks; score afterwards."""
+    program = program_for(name, size)
+    config = config_named(vm_name)
+    vm = Interpreter(program, config, jit_only_cache(program, config.cost_model, 0))
+    perfect = ExhaustiveProfiler()
+    perfect.install(vm)
+    if isinstance(profiler, CodePatchingProfiler):
+        profiler.install(vm)
+        hook_profiler = profiler
+    else:
+        vm.attach_profiler(profiler)
+        hook_profiler = profiler
+    hook = _SnapshottingHook(hook_profiler, snapshot_every)
+    vm.tick_hook = hook
+    vm.run()
+
+    from repro.profiling.dcg import DCG
+
+    curve = ConvergenceCurve(label=label)
+    for tick, edges in hook.snapshots:
+        snapshot = DCG()
+        for edge, weight in edges.items():
+            snapshot.record_edge(edge, weight)
+        curve.ticks.append(tick)
+        curve.accuracies.append(accuracy(snapshot, perfect.dcg))
+    # Final point: the completed profile.
+    curve.ticks.append(vm.ticks)
+    curve.accuracies.append(accuracy(hook_profiler.dcg, perfect.dcg))
+    return curve
+
+
+def compare_convergence(
+    name: str,
+    size: str = "small",
+    vm_name: str = "jikes",
+    stride: int = 3,
+    samples: int = 16,
+) -> list[ConvergenceCurve]:
+    """Timer vs CBS convergence on one benchmark."""
+    return [
+        convergence_curve(name, TimerProfiler(), "timer", size, vm_name),
+        convergence_curve(
+            name,
+            CBSProfiler(stride=1, samples_per_tick=1),
+            "cbs S=1 N=1",
+            size,
+            vm_name,
+        ),
+        convergence_curve(
+            name,
+            CBSProfiler(stride=stride, samples_per_tick=samples),
+            f"cbs S={stride} N={samples}",
+            size,
+            vm_name,
+        ),
+    ]
+
+
+# -- phase-change experiment -----------------------------------------------------
+
+
+@dataclass
+class PhaseResult:
+    """How well each profiling strategy tracks a phase change."""
+
+    label: str
+    #: Accuracy of the final profile against the *whole-run* truth.
+    overall_accuracy: float
+    #: Accuracy against the truth restricted to the second half of the
+    #: run (the post-phase-change behavior an optimizer should track).
+    late_phase_accuracy: float
+
+
+def phase_change_study(
+    name: str = "jbb", size: str = "small", vm_name: str = "jikes"
+) -> list[PhaseResult]:
+    """Continuous sampling vs one-burst code patching across a phase
+    change.  ``jbb``'s transaction mix shifts halfway through the run;
+    the patching profiler collects all its samples in early bursts and
+    never sees phase two."""
+    program = program_for(name, size)
+    config = config_named(vm_name)
+
+    def run_with(profiler):
+        vm = Interpreter(
+            program, config, jit_only_cache(program, config.cost_model, 0)
+        )
+        whole = ExhaustiveProfiler()
+        whole.install(vm)
+        late = ExhaustiveProfiler()
+        late.install(vm)
+        # The "late" truth only counts calls from the second half on;
+        # reset it at half time via a tick hook.
+        reset_state = {"done": False}
+
+        if isinstance(profiler, CodePatchingProfiler):
+            profiler.install(vm)
+        else:
+            vm.attach_profiler(profiler)
+
+        half_time = _estimated_half_time(name, size, config)
+
+        def hook(vm_inner):
+            if not reset_state["done"] and vm_inner.time >= half_time:
+                late.dcg.clear()
+                reset_state["done"] = True
+
+        vm.tick_hook = hook
+        vm.run()
+        return whole.dcg, late.dcg, profiler
+
+    strategies = [
+        ("cbs continuous", CBSProfiler(stride=3, samples_per_tick=16)),
+        ("timer continuous", TimerProfiler()),
+        (
+            "patching one-burst",
+            CodePatchingProfiler(warmup_invocations=100, samples_per_method=200),
+        ),
+    ]
+    results = []
+    for label, profiler in strategies:
+        whole_dcg, late_dcg, used = run_with(profiler)
+        results.append(
+            PhaseResult(
+                label=label,
+                overall_accuracy=accuracy(used.dcg, whole_dcg),
+                late_phase_accuracy=accuracy(used.dcg, late_dcg),
+            )
+        )
+    return results
+
+
+def _estimated_half_time(name: str, size: str, config) -> int:
+    """Virtual time at the midpoint of an unprofiled run."""
+    program = program_for(name, size)
+    vm = Interpreter(program, config, jit_only_cache(program, config.cost_model, 0))
+    vm.run()
+    return vm.time // 2
+
+
+def render_curves(curves: list[ConvergenceCurve], width: int = 60) -> str:
+    """Simple textual rendering of convergence curves."""
+    lines = ["accuracy (%) by tick:"]
+    for curve in curves:
+        points = ", ".join(
+            f"{tick}:{value:.0f}"
+            for tick, value in list(zip(curve.ticks, curve.accuracies))[
+                :: max(1, len(curve.ticks) // 10)
+            ]
+        )
+        lines.append(f"  {curve.label:16s} {points}")
+        half = curve.ticks_to_reach(curve.final_accuracy() * 0.9)
+        lines.append(
+            f"  {'':16s} final={curve.final_accuracy():.1f}%, "
+            f"90%-of-final reached at tick {half}"
+        )
+    return "\n".join(lines)

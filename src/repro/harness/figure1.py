@@ -1,0 +1,85 @@
+"""Figure 1 — the timer-sampling pathology, demonstrated.
+
+Runs the paper's adversarial program (a long non-call sequence followed
+by two short calls) under the timer profiler, the Whaley sampler, and
+CBS, and reports each profiler's view of the ``call_1``/``call_2`` edge
+split against the exhaustive truth (exactly 50/50).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.benchsuite.suite import ADVERSARIAL, program_for
+from repro.harness.report import render_table
+from repro.harness.runner import measure_profiler
+from repro.profiling.cbs import CBSProfiler
+from repro.profiling.timer_sampler import TimerProfiler
+from repro.profiling.whaley import WhaleyProfiler
+
+
+@dataclass
+class Figure1Row:
+    profiler: str
+    call_1_percent: float
+    call_2_percent: float
+    accuracy: float
+    samples: int
+
+
+def _edge_split(dcg, program) -> tuple[float, float]:
+    """Percent of DCG weight on call_1 vs call_2 edges."""
+    call_1 = program.function_index("Worker.call_1")
+    call_2 = program.function_index("Worker.call_2")
+    w1 = w2 = 0.0
+    for (unused_caller, unused_pc, callee), weight in dcg.edges().items():
+        if callee == call_1:
+            w1 += weight
+        elif callee == call_2:
+            w2 += weight
+    total = dcg.total_weight
+    if total == 0:
+        return 0.0, 0.0
+    return 100.0 * w1 / total, 100.0 * w2 / total
+
+
+def compute_figure1(
+    size: str = "small", vm_name: str = "jikes", stride: int = 7, samples: int = 32
+) -> list[Figure1Row]:
+    program = program_for(ADVERSARIAL.name, size)
+    profilers = [
+        ("timer", TimerProfiler()),
+        ("whaley", WhaleyProfiler()),
+        ("cbs", CBSProfiler(stride=stride, samples_per_tick=samples)),
+    ]
+    rows = []
+    for label, profiler in profilers:
+        run = measure_profiler(ADVERSARIAL.name, size, profiler, vm_name=vm_name)
+        p1, p2 = _edge_split(profiler.dcg, program)
+        rows.append(
+            Figure1Row(
+                profiler=label,
+                call_1_percent=p1,
+                call_2_percent=p2,
+                accuracy=run.accuracy,
+                samples=run.samples,
+            )
+        )
+    rows.append(Figure1Row("perfect", 50.0, 50.0, 100.0, 0))
+    return rows
+
+
+def render_figure1(rows: list[Figure1Row]) -> str:
+    return render_table(
+        ["Profiler", "call_1 %", "call_2 %", "Accuracy", "Samples"],
+        [
+            [r.profiler, r.call_1_percent, r.call_2_percent, r.accuracy, r.samples]
+            for r in rows
+        ],
+        title="Figure 1 claim: edge split on the adversarial program (truth: 50/50)",
+    )
+
+
+def main(quick: bool = False, vm_name: str = "jikes") -> str:
+    size = "tiny" if quick else "small"
+    return render_figure1(compute_figure1(size=size, vm_name=vm_name))

@@ -1,0 +1,81 @@
+"""Plain-text table rendering for harness output."""
+
+from __future__ import annotations
+
+
+def render_table(
+    headers: list[str], rows: list[list[object]], title: str | None = None
+) -> str:
+    """Render a fixed-width text table.
+
+    Floats are shown with sensible precision; everything else via str().
+    """
+    def fmt(cell: object) -> str:
+        if isinstance(cell, float):
+            return f"{cell:.2f}"
+        return str(cell)
+
+    text_rows = [[fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: list[str]) -> str:
+        return "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(cells))
+
+    parts = []
+    if title:
+        parts.append(title)
+        parts.append("=" * len(title))
+    parts.append(line(headers))
+    parts.append(line(["-" * w for w in widths]))
+    parts.extend(line(row) for row in text_rows)
+    return "\n".join(parts)
+
+
+def render_bars(
+    labels: list[str],
+    series: dict[str, list[float]],
+    width: int = 40,
+    unit: str = "%",
+) -> str:
+    """ASCII grouped bar chart (one row group per label, one bar per
+    series) — the terminal rendering of the paper's figures."""
+    all_values = [value for values in series.values() for value in values]
+    if not all_values:
+        return "(no data)"
+    span = max(abs(v) for v in all_values) or 1.0
+    label_width = max(len(label) for label in labels)
+    series_width = max(len(name) for name in series)
+
+    lines = []
+    for index, label in enumerate(labels):
+        for series_index, (name, values) in enumerate(series.items()):
+            value = values[index]
+            bar_length = int(round(abs(value) / span * width))
+            bar = ("█" * bar_length) if value >= 0 else ("▒" * bar_length)
+            sign = "" if value >= 0 else "-"
+            row_label = label if series_index == 0 else ""
+            lines.append(
+                f"{row_label:{label_width}s}  {name:{series_width}s} "
+                f"|{bar}{' ' * (width - bar_length)}| {sign}{abs(value):.1f}{unit}"
+            )
+        lines.append("")
+    return "\n".join(lines).rstrip()
+
+
+def render_grid(
+    row_label: str,
+    row_values: list[object],
+    col_label: str,
+    col_values: list[object],
+    cells: dict[tuple, str],
+    title: str | None = None,
+) -> str:
+    """Render a 2-D grid (Table 2 style): rows × columns of cell text."""
+    headers = [f"{row_label}\\{col_label}"] + [str(c) for c in col_values]
+    rows = []
+    for r in row_values:
+        rows.append([str(r)] + [cells.get((r, c), "-") for c in col_values])
+    return render_table(headers, rows, title)

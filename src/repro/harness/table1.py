@@ -1,0 +1,77 @@
+"""Table 1 — benchmark characteristics.
+
+For each benchmark and input size: running time (virtual seconds),
+methods executed, and total executed bytecode size (KB).  The paper's
+Table 1 reports the same three columns measured on a production Jikes
+RVM build.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.benchsuite.suite import BENCHMARKS
+from repro.harness.report import render_table
+from repro.harness.runner import measure_baseline
+
+#: Calibration: one virtual-time unit ≈ 0.1 µs (see cost model docs).
+SECONDS_PER_UNIT = 1e-7
+
+
+@dataclass
+class Table1Row:
+    benchmark: str
+    small_time_s: float
+    small_methods: int
+    small_kb: float
+    large_time_s: float
+    large_methods: int
+    large_kb: float
+
+
+def compute_table1(
+    benchmarks: list[str] | None = None,
+    vm_name: str = "jikes",
+    sizes: tuple[str, str] = ("small", "large"),
+) -> list[Table1Row]:
+    names = benchmarks if benchmarks is not None else list(BENCHMARKS)
+    rows: list[Table1Row] = []
+    for name in names:
+        results = [measure_baseline(name, size, vm_name) for size in sizes]
+        rows.append(
+            Table1Row(
+                benchmark=name,
+                small_time_s=results[0].time * SECONDS_PER_UNIT,
+                small_methods=results[0].methods_executed,
+                small_kb=results[0].bytecode_bytes / 1024.0,
+                large_time_s=results[1].time * SECONDS_PER_UNIT,
+                large_methods=results[1].methods_executed,
+                large_kb=results[1].bytecode_bytes / 1024.0,
+            )
+        )
+    return rows
+
+
+def render_table1(rows: list[Table1Row]) -> str:
+    return render_table(
+        ["Benchmark", "T-small(s)", "Meth", "Size(K)", "T-large(s)", "Meth", "Size(K)"],
+        [
+            [
+                r.benchmark,
+                r.small_time_s,
+                r.small_methods,
+                r.small_kb,
+                r.large_time_s,
+                r.large_methods,
+                r.large_kb,
+            ]
+            for r in rows
+        ],
+        title="Table 1: Benchmarks used in this study",
+    )
+
+
+def main(quick: bool = False, vm_name: str = "jikes") -> str:
+    names = list(BENCHMARKS)[:4] if quick else None
+    sizes = ("tiny", "small") if quick else ("small", "large")
+    return render_table1(compute_table1(names, vm_name, sizes))

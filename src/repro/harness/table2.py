@@ -1,0 +1,102 @@
+"""Table 2 — overhead and accuracy of CBS across the parameter grid.
+
+For every (Stride, Samples-per-timer-interrupt) pair: the percentage
+runtime overhead relative to an unprofiled system, and the accuracy
+(overlap vs the exhaustive profile), both averaged over the benchmark
+suite.  Table 2A runs the ``jikes`` VM configuration, Table 2B ``j9``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.benchsuite.suite import BENCHMARKS
+from repro.harness.report import render_grid
+from repro.harness.runner import measure_profiler
+from repro.profiling.cbs import CBSProfiler
+
+#: The paper's parameter grid.
+STRIDES = [1, 3, 7, 15, 31, 63]
+SAMPLES = [1, 2, 4, 8, 16, 32, 64, 128, 256, 1024, 2048, 4096, 8192]
+
+QUICK_STRIDES = [1, 3, 15]
+QUICK_SAMPLES = [1, 16, 128, 1024]
+
+
+@dataclass
+class GridCell:
+    stride: int
+    samples: int
+    overhead_percent: float
+    accuracy: float
+
+
+def compute_table2(
+    vm_name: str = "jikes",
+    benchmarks: list[str] | None = None,
+    size: str = "small",
+    strides: list[int] | None = None,
+    samples_values: list[int] | None = None,
+    seed: int = 1234,
+) -> list[GridCell]:
+    names = benchmarks if benchmarks is not None else list(BENCHMARKS)
+    strides = strides if strides is not None else STRIDES
+    samples_values = samples_values if samples_values is not None else SAMPLES
+    cells: list[GridCell] = []
+    for stride in strides:
+        for samples in samples_values:
+            overheads: list[float] = []
+            accuracies: list[float] = []
+            for name in names:
+                run = measure_profiler(
+                    name,
+                    size,
+                    CBSProfiler(stride=stride, samples_per_tick=samples, seed=seed),
+                    vm_name=vm_name,
+                )
+                overheads.append(run.overhead_percent)
+                accuracies.append(run.accuracy)
+            cells.append(
+                GridCell(
+                    stride=stride,
+                    samples=samples,
+                    overhead_percent=sum(overheads) / len(overheads),
+                    accuracy=sum(accuracies) / len(accuracies),
+                )
+            )
+    return cells
+
+
+def render_table2(cells: list[GridCell], vm_name: str) -> str:
+    strides = sorted({c.stride for c in cells})
+    samples = sorted({c.samples for c in cells})
+    grid = {
+        (c.samples, c.stride): f"{c.overhead_percent:.1f}/{c.accuracy:.0f}"
+        for c in cells
+    }
+    label = "2A (Jikes RVM)" if vm_name == "jikes" else "2B (J9)"
+    return render_grid(
+        "Samples",
+        samples,
+        "Stride",
+        strides,
+        grid,
+        title=(
+            f"Table {label}: overhead%/accuracy for CBS parameter grid "
+            f"(cell = overhead%/accuracy)"
+        ),
+    )
+
+
+def main(quick: bool = False, vm_name: str = "jikes") -> str:
+    if quick:
+        cells = compute_table2(
+            vm_name,
+            benchmarks=list(BENCHMARKS)[:4],
+            size="tiny",
+            strides=QUICK_STRIDES,
+            samples_values=QUICK_SAMPLES,
+        )
+    else:
+        cells = compute_table2(vm_name)
+    return render_table2(cells, vm_name)

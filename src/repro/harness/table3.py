@@ -1,0 +1,118 @@
+"""Table 3 — per-benchmark overhead and accuracy breakdown.
+
+Compares the timer-based baseline (equivalent to CBS with Stride=1,
+Samples=1, as the paper uses for J9) against the chosen CBS
+configuration: Jikes RVM uses Stride=3, Samples=16; J9 uses Stride=7,
+Samples=32.  Reports small and large inputs plus group averages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.benchsuite.suite import BENCHMARKS
+from repro.harness.report import render_table
+from repro.harness.runner import measure_profiler
+from repro.profiling.cbs import CBSProfiler
+from repro.profiling.timer_sampler import TimerProfiler
+
+#: The per-VM CBS configurations the paper selected for Table 3.
+CBS_PARAMS = {"jikes": (3, 16), "j9": (7, 32)}
+
+
+@dataclass
+class Table3Row:
+    benchmark: str
+    size: str
+    base_overhead: float
+    base_accuracy: float
+    cbs_overhead: float
+    cbs_accuracy: float
+
+
+def compute_table3(
+    vm_name: str = "jikes",
+    benchmarks: list[str] | None = None,
+    sizes: tuple[str, ...] = ("small", "large"),
+    use_timer_base: bool | None = None,
+) -> list[Table3Row]:
+    """``use_timer_base``: Jikes RVM's base profiler is its original
+    timer mechanism; J9 has no timer DCG profiler, so its base is CBS
+    with Stride=1, Samples=1 (paper §6.2).  ``None`` picks per VM."""
+    names = benchmarks if benchmarks is not None else list(BENCHMARKS)
+    stride, samples = CBS_PARAMS[vm_name]
+    if use_timer_base is None:
+        use_timer_base = vm_name == "jikes"
+    rows: list[Table3Row] = []
+    for size in sizes:
+        for name in names:
+            if use_timer_base:
+                base_profiler = TimerProfiler()
+            else:
+                base_profiler = CBSProfiler(stride=1, samples_per_tick=1)
+            base = measure_profiler(name, size, base_profiler, vm_name=vm_name)
+            cbs = measure_profiler(
+                name,
+                size,
+                CBSProfiler(stride=stride, samples_per_tick=samples),
+                vm_name=vm_name,
+            )
+            rows.append(
+                Table3Row(
+                    benchmark=name,
+                    size=size,
+                    base_overhead=base.overhead_percent,
+                    base_accuracy=base.accuracy,
+                    cbs_overhead=cbs.overhead_percent,
+                    cbs_accuracy=cbs.accuracy,
+                )
+            )
+    return rows
+
+
+def _average(rows: list[Table3Row], size: str | None, label: str) -> Table3Row:
+    selected = [r for r in rows if size is None or r.size == size]
+    count = len(selected)
+    return Table3Row(
+        benchmark=label,
+        size=size or "all",
+        base_overhead=sum(r.base_overhead for r in selected) / count,
+        base_accuracy=sum(r.base_accuracy for r in selected) / count,
+        cbs_overhead=sum(r.cbs_overhead for r in selected) / count,
+        cbs_accuracy=sum(r.cbs_accuracy for r in selected) / count,
+    )
+
+
+def render_table3(rows: list[Table3Row], vm_name: str) -> str:
+    stride, samples = CBS_PARAMS[vm_name]
+    sizes = sorted({r.size for r in rows})
+    display: list[Table3Row] = []
+    for size in sizes:
+        display.extend(r for r in rows if r.size == size)
+        display.append(_average(rows, size, f"Average {size}"))
+    if len(sizes) > 1:
+        display.append(_average(rows, None, "Average all"))
+    return render_table(
+        ["Benchmark", "Ovhd-base%", "Acc-base", f"Ovhd-S{stride}/N{samples}%", "Acc-cbs"],
+        [
+            [
+                f"{r.benchmark}-{r.size}" if not r.benchmark.startswith("Average") else r.benchmark,
+                r.base_overhead,
+                r.base_accuracy,
+                r.cbs_overhead,
+                r.cbs_accuracy,
+            ]
+            for r in display
+        ],
+        title=f"Table 3 ({vm_name}): overhead and accuracy breakdown",
+    )
+
+
+def main(quick: bool = False, vm_name: str = "jikes") -> str:
+    if quick:
+        rows = compute_table3(
+            vm_name, benchmarks=list(BENCHMARKS)[:4], sizes=("tiny",)
+        )
+    else:
+        rows = compute_table3(vm_name)
+    return render_table3(rows, vm_name)

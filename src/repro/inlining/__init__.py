@@ -1,0 +1,19 @@
+"""Inlining policies: static, old Jikes, new Jikes, and J9."""
+
+from repro.inlining.j9_inliner import J9Inliner
+from repro.inlining.new_inliner import NewJikesInliner
+from repro.inlining.old_inliner import OldJikesInliner
+from repro.inlining.policy import BudgetConfig, InlinerPolicy, SiteDecision
+from repro.inlining.static_heur import StaticSizePolicy, TRIVIAL_SIZE, TrivialOnlyPolicy
+
+__all__ = [
+    "BudgetConfig",
+    "InlinerPolicy",
+    "J9Inliner",
+    "NewJikesInliner",
+    "OldJikesInliner",
+    "SiteDecision",
+    "StaticSizePolicy",
+    "TRIVIAL_SIZE",
+    "TrivialOnlyPolicy",
+]

@@ -1,0 +1,63 @@
+"""Purely static inlining heuristics (no profile input).
+
+Used for opt level 1 everywhere, for the "static heuristics only" J9
+baseline in Figure 5 (right), and for trivial inlining at level 0.
+Statically bound calls (including CHA-monomorphic virtual calls) whose
+callee is small enough are inlined; CHA-monomorphic virtual calls that
+are too big to inline are still devirtualized.
+"""
+
+from __future__ import annotations
+
+from repro.bytecode.opcodes import Op
+from repro.opt.inline import DEVIRTUALIZE, DIRECT
+from repro.inlining.policy import InlinerPolicy, SiteDecision
+from repro.profiling.dcg import DCG
+
+#: Size (bytes) below which a method is "trivial": its body is no bigger
+#: than the calling sequence it replaces.  Baseline-compiled functions
+#: carry a 3-byte unreachable safety epilogue, which this accounts for.
+TRIVIAL_SIZE = 12
+
+
+class StaticSizePolicy(InlinerPolicy):
+    """Inline statically bound callees up to a size threshold."""
+
+    name = "static"
+
+    def __init__(
+        self,
+        program,
+        size_threshold: int = 40,
+        devirtualize: bool = True,
+        cha=None,
+        budget=None,
+    ):
+        super().__init__(program, cha, budget)
+        self.size_threshold = size_threshold
+        self.devirtualize = devirtualize
+
+    def decide_site(self, caller_index, pc, instr, dcg: DCG | None, depth):
+        callee_index = self.static_callee(instr)
+        if callee_index is None:
+            return None
+        if self.callee_size(callee_index) <= self.size_threshold:
+            return SiteDecision(DIRECT, callee_index)
+        if self.devirtualize and instr.op is Op.CALL_VIRTUAL:
+            return SiteDecision(DEVIRTUALIZE, callee_index)
+        return None
+
+
+class TrivialOnlyPolicy(StaticSizePolicy):
+    """Opt level 0: inline only trivial bodies (getters/setters)."""
+
+    name = "trivial"
+
+    def __init__(self, program, cha=None, budget=None):
+        super().__init__(
+            program,
+            size_threshold=TRIVIAL_SIZE,
+            devirtualize=False,
+            cha=cha,
+            budget=budget,
+        )

@@ -1,0 +1,20 @@
+"""Front end of the Mini language: lexer, parser, and AST."""
+
+from repro.lang.errors import LexError, MiniError, ParseError, SourceLocation, TypeError_
+from repro.lang.lexer import Lexer, tokenize
+from repro.lang.parser import Parser, parse
+from repro.lang.printer import print_expr, print_program
+
+__all__ = [
+    "Lexer",
+    "LexError",
+    "MiniError",
+    "ParseError",
+    "Parser",
+    "SourceLocation",
+    "TypeError_",
+    "parse",
+    "print_expr",
+    "print_program",
+    "tokenize",
+]

@@ -1,0 +1,152 @@
+"""Hand-written lexer for the Mini language.
+
+The lexer is a simple single-pass scanner.  It supports ``//`` line
+comments and ``/* ... */`` block comments (non-nesting), decimal integer
+literals, and the operators and keywords listed in
+:mod:`repro.lang.tokens`.
+"""
+
+from __future__ import annotations
+
+from repro.lang.errors import LexError, SourceLocation
+from repro.lang.tokens import KEYWORDS, Token, TokenKind
+
+_TWO_CHAR_OPS: dict[str, TokenKind] = {
+    "==": TokenKind.EQ,
+    "!=": TokenKind.NE,
+    "<=": TokenKind.LE,
+    ">=": TokenKind.GE,
+    "&&": TokenKind.AND,
+    "||": TokenKind.OR,
+}
+
+_ONE_CHAR_OPS: dict[str, TokenKind] = {
+    "(": TokenKind.LPAREN,
+    ")": TokenKind.RPAREN,
+    "{": TokenKind.LBRACE,
+    "}": TokenKind.RBRACE,
+    "[": TokenKind.LBRACKET,
+    "]": TokenKind.RBRACKET,
+    ",": TokenKind.COMMA,
+    ";": TokenKind.SEMI,
+    ":": TokenKind.COLON,
+    ".": TokenKind.DOT,
+    "=": TokenKind.ASSIGN,
+    "+": TokenKind.PLUS,
+    "-": TokenKind.MINUS,
+    "*": TokenKind.STAR,
+    "/": TokenKind.SLASH,
+    "%": TokenKind.PERCENT,
+    "<": TokenKind.LT,
+    ">": TokenKind.GT,
+    "!": TokenKind.NOT,
+}
+
+
+class Lexer:
+    """Converts Mini source text into a list of tokens."""
+
+    def __init__(self, source: str, filename: str = "<string>"):
+        self._source = source
+        self._filename = filename
+        self._pos = 0
+        self._line = 1
+        self._col = 1
+
+    def tokenize(self) -> list[Token]:
+        """Lex the entire input, returning tokens ending with ``EOF``."""
+        tokens: list[Token] = []
+        while True:
+            token = self._next_token()
+            tokens.append(token)
+            if token.kind is TokenKind.EOF:
+                return tokens
+
+    def _location(self) -> SourceLocation:
+        return SourceLocation(self._line, self._col, self._filename)
+
+    def _peek(self, offset: int = 0) -> str:
+        index = self._pos + offset
+        if index < len(self._source):
+            return self._source[index]
+        return ""
+
+    def _advance(self) -> str:
+        ch = self._source[self._pos]
+        self._pos += 1
+        if ch == "\n":
+            self._line += 1
+            self._col = 1
+        else:
+            self._col += 1
+        return ch
+
+    def _skip_trivia(self) -> None:
+        """Skip whitespace and comments."""
+        while self._pos < len(self._source):
+            ch = self._peek()
+            if ch in " \t\r\n":
+                self._advance()
+            elif ch == "/" and self._peek(1) == "/":
+                while self._pos < len(self._source) and self._peek() != "\n":
+                    self._advance()
+            elif ch == "/" and self._peek(1) == "*":
+                start = self._location()
+                self._advance()
+                self._advance()
+                while True:
+                    if self._pos >= len(self._source):
+                        raise LexError("unterminated block comment", start)
+                    if self._peek() == "*" and self._peek(1) == "/":
+                        self._advance()
+                        self._advance()
+                        break
+                    self._advance()
+            else:
+                return
+
+    def _next_token(self) -> Token:
+        self._skip_trivia()
+        location = self._location()
+        if self._pos >= len(self._source):
+            return Token(TokenKind.EOF, None, location)
+
+        ch = self._peek()
+        if ch.isdigit():
+            return self._lex_int(location)
+        if ch.isalpha() or ch == "_":
+            return self._lex_ident(location)
+
+        two = self._source[self._pos : self._pos + 2]
+        if two in _TWO_CHAR_OPS:
+            self._advance()
+            self._advance()
+            return Token(_TWO_CHAR_OPS[two], None, location)
+        if ch in _ONE_CHAR_OPS:
+            self._advance()
+            return Token(_ONE_CHAR_OPS[ch], None, location)
+        raise LexError(f"unexpected character {ch!r}", location)
+
+    def _lex_int(self, location: SourceLocation) -> Token:
+        start = self._pos
+        while self._pos < len(self._source) and self._peek().isdigit():
+            self._advance()
+        if self._pos < len(self._source) and (self._peek().isalpha() or self._peek() == "_"):
+            raise LexError("identifier may not start with a digit", location)
+        text = self._source[start : self._pos]
+        return Token(TokenKind.INT, int(text), location)
+
+    def _lex_ident(self, location: SourceLocation) -> Token:
+        start = self._pos
+        while self._pos < len(self._source) and (self._peek().isalnum() or self._peek() == "_"):
+            self._advance()
+        text = self._source[start : self._pos]
+        keyword = KEYWORDS.get(text)
+        if keyword is not None:
+            return Token(keyword, None, location)
+        return Token(TokenKind.IDENT, text, location)
+
+
+def tokenize(source: str, filename: str = "<string>") -> list[Token]:
+    """Convenience wrapper: lex ``source`` into a token list."""
+    return Lexer(source, filename).tokenize()

@@ -1,0 +1,33 @@
+"""The optimizing tier: inlining transform, CHA, cleanup passes."""
+
+from repro.opt.cha import ClassHierarchyAnalysis
+from repro.opt.constfold import fold_constants
+from repro.opt.dce import eliminate_dead_code
+from repro.opt.inline import (
+    DEVIRTUALIZE,
+    DIRECT,
+    GUARDED,
+    InlineDecision,
+    InlineError,
+    InlinePlan,
+    InlineTransform,
+)
+from repro.opt.peephole import peephole
+from repro.opt.pipeline import OptimizationResult, cleanup, optimize_function
+
+__all__ = [
+    "ClassHierarchyAnalysis",
+    "DEVIRTUALIZE",
+    "DIRECT",
+    "GUARDED",
+    "InlineDecision",
+    "InlineError",
+    "InlinePlan",
+    "InlineTransform",
+    "OptimizationResult",
+    "cleanup",
+    "eliminate_dead_code",
+    "fold_constants",
+    "optimize_function",
+    "peephole",
+]

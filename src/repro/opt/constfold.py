@@ -1,0 +1,95 @@
+"""Constant folding over straight-line push sequences.
+
+Folds ``PUSH a; PUSH b; <op>`` and ``PUSH a; <unary op>`` windows, and
+turns constant-condition branches into unconditional control flow.
+Windows are only folded when no jump lands in their interior, so the
+rewrite cannot change the meaning of any join point.
+"""
+
+from __future__ import annotations
+
+from repro.bytecode.instr import Instr
+from repro.bytecode.opcodes import Op
+from repro.opt.rewrite import compact, jump_targets
+
+_BINARY_FOLDS = {
+    Op.ADD: lambda a, b: a + b,
+    Op.SUB: lambda a, b: a - b,
+    Op.MUL: lambda a, b: a * b,
+    Op.LT: lambda a, b: 1 if a < b else 0,
+    Op.LE: lambda a, b: 1 if a <= b else 0,
+    Op.GT: lambda a, b: 1 if a > b else 0,
+    Op.GE: lambda a, b: 1 if a >= b else 0,
+    Op.EQ: lambda a, b: 1 if a == b else 0,
+    Op.NE: lambda a, b: 1 if a != b else 0,
+}
+
+
+def _fold_div(a: int, b: int) -> int:
+    quotient = abs(a) // abs(b)
+    return -quotient if (a < 0) != (b < 0) else quotient
+
+
+def fold_constants(code: list[Instr]) -> tuple[list[Instr], bool]:
+    """Return (new code, changed?).  One sweep; callers iterate."""
+    targets = jump_targets(code)
+    keep = [True] * len(code)
+    changed = False
+
+    for pc in range(len(code) - 1):
+        if not keep[pc]:
+            continue
+        instr = code[pc]
+        if instr.op is not Op.PUSH:
+            continue
+
+        nxt = code[pc + 1]
+        if (pc + 1) in targets or not keep[pc + 1]:
+            continue
+
+        # PUSH a; NEG / NOT
+        if nxt.op is Op.NEG:
+            code[pc] = Instr(Op.PUSH, -instr.a)
+            keep[pc + 1] = False
+            changed = True
+            continue
+        if nxt.op is Op.NOT:
+            code[pc] = Instr(Op.PUSH, 0 if instr.a != 0 else 1)
+            keep[pc + 1] = False
+            changed = True
+            continue
+
+        # PUSH c; JUMP_IF_FALSE/TRUE t
+        if nxt.op is Op.JUMP_IF_FALSE or nxt.op is Op.JUMP_IF_TRUE:
+            taken = (instr.a == 0) == (nxt.op is Op.JUMP_IF_FALSE)
+            keep[pc] = False
+            if taken:
+                code[pc + 1] = Instr(Op.JUMP, nxt.a)
+            else:
+                keep[pc + 1] = False
+            changed = True
+            continue
+
+        # PUSH a; PUSH b; <binop>
+        if nxt.op is Op.PUSH and pc + 2 < len(code):
+            third = code[pc + 2]
+            if (pc + 2) in targets or not keep[pc + 2]:
+                continue
+            fold = _BINARY_FOLDS.get(third.op)
+            if fold is not None:
+                code[pc] = Instr(Op.PUSH, fold(instr.a, nxt.a))
+                keep[pc + 1] = False
+                keep[pc + 2] = False
+                changed = True
+            elif third.op in (Op.DIV, Op.MOD) and nxt.a != 0:
+                a, b = instr.a, nxt.a
+                quotient = _fold_div(a, b)
+                value = quotient if third.op is Op.DIV else a - quotient * b
+                code[pc] = Instr(Op.PUSH, value)
+                keep[pc + 1] = False
+                keep[pc + 2] = False
+                changed = True
+
+    if not changed:
+        return code, False
+    return compact(code, keep), True

@@ -1,0 +1,32 @@
+"""Dead code elimination: removes instructions unreachable from pc 0.
+
+Inlining leaves behind jump-to-next returns and unreachable safety
+epilogues; this pass sweeps them.  Reachability is the only criterion —
+no liveness reasoning — so it is trivially sound: every kept jump's
+target is itself reachable and therefore kept.
+"""
+
+from __future__ import annotations
+
+from repro.bytecode.instr import Instr
+from repro.bytecode.opcodes import JUMP_OPS, TERMINATOR_OPS
+from repro.opt.rewrite import compact
+
+
+def eliminate_dead_code(code: list[Instr]) -> tuple[list[Instr], bool]:
+    """Return (new code, changed?)."""
+    reachable = [False] * len(code)
+    worklist = [0]
+    while worklist:
+        pc = worklist.pop()
+        if pc >= len(code) or reachable[pc]:
+            continue
+        reachable[pc] = True
+        instr = code[pc]
+        if instr.op in JUMP_OPS:
+            worklist.append(instr.a)
+        if instr.op not in TERMINATOR_OPS:
+            worklist.append(pc + 1)
+    if all(reachable):
+        return code, False
+    return compact(code, reachable), True

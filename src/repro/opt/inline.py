@@ -1,0 +1,416 @@
+"""The inlining transform: splices callee bodies into callers.
+
+This module is policy-free: it applies an :class:`InlinePlan` produced
+by one of the policies in :mod:`repro.inlining`.  Three decision kinds:
+
+* ``direct`` — the call is statically bound (``CALL_STATIC``, or a
+  ``CALL_VIRTUAL`` whose selector CHA proves monomorphic): the body is
+  spliced in place of the call, no guard.
+* ``guarded`` — a virtual call with a profile-dominant target: a
+  method-test guard (``GUARD_METHOD``) selects between the inlined body
+  and a fallback virtual call (paper §5.1's guarded inlining).
+* ``devirtualize`` — replace ``CALL_VIRTUAL`` with ``CALL_STATIC`` to
+  the unique CHA target without inlining the body (used when the callee
+  is too big to splice but the dispatch can still be cheapened).
+
+Plans may nest: a decision carries sub-decisions for call sites *inside*
+the inlined callee, identified by the callee's own baseline pcs, so the
+whole plan is expressed against stable pre-transform coordinates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.bytecode.function import FunctionInfo
+from repro.bytecode.instr import Instr
+from repro.bytecode.opcodes import CALL_OPS, JUMP_OPS, Op
+from repro.bytecode.program import Program
+
+DIRECT = "direct"
+GUARDED = "guarded"
+DEVIRTUALIZE = "devirtualize"
+
+
+class InlineError(Exception):
+    """Raised when a plan cannot be applied to the code it names."""
+
+
+@dataclass
+class InlineDecision:
+    """One action at one call site (pc in the baseline caller code).
+
+    A ``GUARDED`` decision may carry ``extra_targets``: additional
+    guarded targets tried in order after this one (a polymorphic inline
+    cache in code form) before falling back to the virtual dispatch.
+    Each extra target is itself a ``GUARDED`` decision at the same pc
+    with its own nested plan.
+    """
+
+    callsite_pc: int
+    callee_index: int
+    kind: str = DIRECT
+    nested: list["InlineDecision"] = field(default_factory=list)
+    extra_targets: list["InlineDecision"] = field(default_factory=list)
+
+    def count(self) -> int:
+        """Total decisions in this subtree (for statistics)."""
+        return (
+            1
+            + sum(decision.count() for decision in self.nested)
+            + sum(decision.count() for decision in self.extra_targets)
+        )
+
+
+@dataclass
+class InlinePlan:
+    """All inlining actions for one function."""
+
+    function_index: int
+    decisions: list[InlineDecision] = field(default_factory=list)
+
+    def count(self) -> int:
+        return sum(decision.count() for decision in self.decisions)
+
+    def is_empty(self) -> bool:
+        return not self.decisions
+
+
+def merge_decisions(
+    old: list[InlineDecision],
+    new: list[InlineDecision],
+    caller_index: int | None = None,
+    dcg=None,
+    extend_chains: bool = True,
+) -> list[InlineDecision]:
+    """Union two decision lists, keyed by call site.
+
+    Used by the adaptive system to make inlining *sticky* across
+    recompilations: once a site is inlined it stays inlined, because the
+    inlined calls stop executing and therefore stop accruing samples —
+    re-planning from the diluted profile alone would demote them (real
+    adaptive systems ratchet for the same reason).  Where both plans act
+    on a site, the stronger action wins: a body splice supersedes a bare
+    devirtualization; otherwise the earlier decision is kept and only
+    the nested plans are merged.
+
+    When both plans want a *guard* at the same site but disagree on the
+    target, the site is genuinely polymorphic as observed (post-inline
+    samples flow through the fallback dispatch, so a newly dominant
+    target is real evidence): the incoming target is *appended* to the
+    guard chain, exactly as a polymorphic inline cache extends itself,
+    up to three targets.
+    """
+    merged: list[InlineDecision] = []
+    new_by_pc = {decision.callsite_pc: decision for decision in new}
+    for old_decision in old:
+        incoming = new_by_pc.pop(old_decision.callsite_pc, None)
+        if incoming is None:
+            merged.append(old_decision)
+            continue
+        if (
+            old_decision.kind == DEVIRTUALIZE
+            and incoming.kind in (DIRECT, GUARDED)
+        ):
+            merged.append(incoming)
+        elif old_decision.callee_index == incoming.callee_index:
+            merged.append(
+                InlineDecision(
+                    old_decision.callsite_pc,
+                    old_decision.callee_index,
+                    old_decision.kind,
+                    merge_decisions(
+                        old_decision.nested,
+                        incoming.nested,
+                        old_decision.callee_index,
+                        dcg,
+                        extend_chains,
+                    ),
+                    old_decision.extra_targets or incoming.extra_targets,
+                )
+            )
+        elif (
+            extend_chains
+            and old_decision.kind == GUARDED
+            and incoming.kind == GUARDED
+        ):
+            chain = {old_decision.callee_index} | {
+                extra.callee_index for extra in old_decision.extra_targets
+            }
+            if incoming.callee_index not in chain and len(chain) < 3:
+                addition = InlineDecision(
+                    incoming.callsite_pc,
+                    incoming.callee_index,
+                    GUARDED,
+                    incoming.nested,
+                )
+                merged.append(
+                    InlineDecision(
+                        old_decision.callsite_pc,
+                        old_decision.callee_index,
+                        GUARDED,
+                        old_decision.nested,
+                        old_decision.extra_targets + [addition],
+                    )
+                )
+            else:
+                merged.append(old_decision)
+        else:
+            merged.append(old_decision)
+    merged.extend(new_by_pc.values())
+    return merged
+
+
+def merge_plans(
+    old: InlinePlan, new: InlinePlan, dcg=None, extend_chains: bool = True
+) -> InlinePlan:
+    """Sticky union of two plans for the same function."""
+    if old.function_index != new.function_index:
+        raise InlineError("cannot merge plans for different functions")
+    return InlinePlan(
+        old.function_index,
+        merge_decisions(
+            old.decisions, new.decisions, old.function_index, dcg, extend_chains
+        ),
+    )
+
+
+class InlineTransform:
+    """Applies inline plans to function bodies."""
+
+    def __init__(self, program: Program):
+        self._program = program
+
+    # -- public API --------------------------------------------------------------
+
+    def apply(self, plan: InlinePlan) -> FunctionInfo:
+        """Produce a new (rewritten) body for the planned function.
+
+        The returned :class:`FunctionInfo` reuses the original identity
+        (name/kind/owner/index) so it can be installed in a code cache.
+        """
+        original = self._program.functions[plan.function_index]
+        state = _CalleeState(
+            original.copy_code(), original.num_locals, original.index
+        )
+        self._apply_decisions(state, plan.decisions)
+        rewritten = FunctionInfo(
+            name=original.name,
+            code=state.code,
+            num_params=original.num_params,
+            num_locals=state.num_locals,
+            kind=original.kind,
+            owner=original.owner,
+            returns_value=original.returns_value,
+            local_names=list(original.local_names),
+        )
+        rewritten.index = original.index
+        return rewritten
+
+    # -- internals ----------------------------------------------------------------
+
+    def _apply_decisions(
+        self, state: "_CalleeState", decisions: list[InlineDecision]
+    ) -> None:
+        # Descending pc order keeps earlier baseline pcs valid as later
+        # sites are spliced.
+        for decision in sorted(decisions, key=lambda d: -d.callsite_pc):
+            self._apply_one(state, decision)
+
+    def _apply_one(self, state: "_CalleeState", decision: InlineDecision) -> None:
+        pc = decision.callsite_pc
+        if not (0 <= pc < len(state.code)):
+            raise InlineError(f"callsite pc {pc} out of range")
+        call = state.code[pc]
+        callee = self._program.functions[decision.callee_index]
+
+        if decision.kind == DEVIRTUALIZE:
+            if call.op is not Op.CALL_VIRTUAL:
+                raise InlineError(f"cannot devirtualize {call.op.name} at pc {pc}")
+            state.code[pc] = Instr(
+                Op.CALL_STATIC, callee.index, call.b + 1, origin=call.origin
+            )
+            return
+
+        callee_state = self._transformed_callee(callee, decision.nested)
+
+        if decision.kind == DIRECT:
+            if call.op is Op.CALL_STATIC:
+                if call.a != callee.index:
+                    raise InlineError(
+                        f"plan names callee {callee.qualified_name} but site "
+                        f"calls function {call.a}"
+                    )
+            elif call.op is not Op.CALL_VIRTUAL:
+                raise InlineError(f"cannot inline {call.op.name} at pc {pc}")
+            replacement = self._direct_sequence(state, callee, callee_state, pc)
+        elif decision.kind == GUARDED:
+            if call.op is not Op.CALL_VIRTUAL:
+                raise InlineError(
+                    f"guarded inlining requires CALL_VIRTUAL at pc {pc}"
+                )
+            targets = [(callee, callee_state)]
+            for extra in decision.extra_targets:
+                if extra.kind != GUARDED:
+                    raise InlineError("extra targets must be GUARDED decisions")
+                extra_callee = self._program.functions[extra.callee_index]
+                targets.append(
+                    (extra_callee, self._transformed_callee(extra_callee, extra.nested))
+                )
+            replacement = self._guarded_sequence(state, targets, call, pc)
+        else:
+            raise InlineError(f"unknown decision kind {decision.kind!r}")
+
+        _splice(state.code, pc, replacement)
+
+    def _transformed_callee(
+        self, callee: FunctionInfo, nested: list[InlineDecision]
+    ) -> "_CalleeState":
+        callee_state = _CalleeState(callee.copy_code(), callee.num_locals, callee.index)
+        if nested:
+            self._apply_decisions(callee_state, nested)
+        return callee_state
+
+    def _direct_sequence(
+        self,
+        state: "_CalleeState",
+        callee: FunctionInfo,
+        callee_state: "_CalleeState",
+        pc: int,
+    ) -> list[Instr]:
+        """Replacement for an unguarded inline at ``pc``.
+
+        Stack on entry: ``..., arg0, ..., argN-1`` (receiver is arg0 for
+        methods).  Args are stored into the callee's (relocated) param
+        slots, then the body runs in place.
+        """
+        base = state.num_locals
+        state.num_locals += callee_state.num_locals
+        nargs = callee.num_params
+
+        stores = [Instr(Op.STORE, base + i) for i in reversed(range(nargs))]
+        body_offset = pc + len(stores)
+        end_pc = body_offset + len(callee_state.code)
+        body = _relocate(callee_state.code, base, body_offset, end_pc)
+        return stores + body
+
+    def _guarded_sequence(
+        self,
+        state: "_CalleeState",
+        targets: list[tuple[FunctionInfo, "_CalleeState"]],
+        call: Instr,
+        pc: int,
+    ) -> list[Instr]:
+        """Replacement implementing a guard chain (PIC in code form)::
+
+            store args;
+            DUP; GUARD_METHOD t1; JUMP_IF_FALSE L2;
+            STORE this; <body1>; JUMP end;
+          L2:
+            DUP; GUARD_METHOD t2; JUMP_IF_FALSE fb;
+            STORE this; <body2>; JUMP end;
+          fb:
+            reload args; CALL_VIRTUAL;
+          end:
+
+        All bodies share one relocated slot block: the paths are
+        mutually exclusive, and every body initializes its parameters
+        before reading them.
+        """
+        base = state.num_locals
+        state.num_locals += max(cs.num_locals for _, cs in targets)
+        selector_id = call.a
+        argc = call.b
+        nargs = argc + 1  # + receiver
+
+        # Segment layout (relative to pc):
+        #   park: argc stores
+        #   per target: DUP, GUARD, JIF, STORE this, body, JUMP end
+        #   fallback: argc loads + CALL_VIRTUAL
+        park_len = argc
+        segment_starts: list[int] = []
+        offset = park_len
+        for _, callee_state in targets:
+            segment_starts.append(offset)
+            offset += 4 + len(callee_state.code) + 1
+        fallback_start = offset
+        end_index = fallback_start + argc + 1
+        end_pc = pc + end_index
+
+        seq: list[Instr] = []
+        for i in reversed(range(1, nargs)):
+            seq.append(Instr(Op.STORE, base + i))
+        for index, (callee, callee_state) in enumerate(targets):
+            on_fail = (
+                segment_starts[index + 1]
+                if index + 1 < len(targets)
+                else fallback_start
+            )
+            seq.append(Instr(Op.DUP))
+            seq.append(Instr(Op.GUARD_METHOD, selector_id, callee.index))
+            seq.append(Instr(Op.JUMP_IF_FALSE, pc + on_fail))
+            seq.append(Instr(Op.STORE, base + 0))
+            body_offset = pc + len(seq)
+            seq.extend(_relocate(callee_state.code, base, body_offset, end_pc))
+            seq.append(Instr(Op.JUMP, end_pc))
+        # Fallback: receiver is on the stack; reload args and dispatch.
+        for i in range(1, nargs):
+            seq.append(Instr(Op.LOAD, base + i))
+        seq.append(Instr(Op.CALL_VIRTUAL, selector_id, argc, origin=call.origin))
+        assert len(seq) == end_index
+        return seq
+
+
+class _CalleeState:
+    """Mutable (code, num_locals) pair during transformation.
+
+    On construction, every call instruction is stamped with its baseline
+    origin ``(owner function index, pc)`` unless an earlier transform
+    already set one — so origins stay correct as splices move code.
+    """
+
+    __slots__ = ("code", "num_locals", "owner_index")
+
+    def __init__(self, code: list[Instr], num_locals: int, owner_index: int):
+        self.code = code
+        self.num_locals = num_locals
+        self.owner_index = owner_index
+        for pc, instr in enumerate(code):
+            if instr.op in CALL_OPS and instr.origin is None:
+                instr.origin = (owner_index, pc)
+
+
+def _relocate(
+    code: list[Instr], slot_base: int, target_offset: int, end_pc: int
+) -> list[Instr]:
+    """Rewrite a callee body for splicing at ``target_offset``.
+
+    Locals shift by ``slot_base``; jump targets shift by
+    ``target_offset``; returns become jumps to ``end_pc`` (a
+    ``RETURN_VAL``'s value is simply left on the stack).
+    """
+    out: list[Instr] = []
+    for instr in code:
+        op = instr.op
+        if op in (Op.LOAD, Op.STORE):
+            out.append(Instr(op, instr.a + slot_base))
+        elif op in JUMP_OPS:
+            out.append(Instr(op, instr.a + target_offset, instr.b))
+        elif op in (Op.RETURN, Op.RETURN_VAL):
+            out.append(Instr(Op.JUMP, end_pc))
+        else:
+            out.append(instr.copy())
+    return out
+
+
+def _splice(code: list[Instr], pc: int, replacement: list[Instr]) -> None:
+    """Replace the single instruction at ``pc`` with ``replacement``,
+    shifting all jump targets beyond the splice point."""
+    delta = len(replacement) - 1
+    if delta != 0:
+        for index, instr in enumerate(code):
+            if index == pc:
+                continue
+            if instr.op in JUMP_OPS and instr.a > pc:
+                instr.a += delta
+    code[pc : pc + 1] = replacement

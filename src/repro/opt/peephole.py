@@ -1,0 +1,116 @@
+"""Peephole cleanup.
+
+Patterns handled (all gated on no jump landing inside the window, so
+every rewrite is join-point safe):
+
+* ``JUMP``/conditional jump to the next instruction — dropped/simplified,
+* jump-to-``JUMP`` chains — retargeted (cycle-safe),
+* ``NOP`` — dropped,
+* ``PUSH x; POP`` and ``DUP; POP`` — dropped,
+* ``NOT; JUMP_IF_FALSE`` / ``NOT; JUMP_IF_TRUE`` — fused,
+* ``STORE k; LOAD k`` where slot ``k`` has no other reference in the
+  function — dropped (this is what turns an inlined getter into a bare
+  ``GETFIELD``),
+* ``STORE k`` where slot ``k`` is never loaded — rewritten to ``POP``
+  (dead parameter stores left behind by inlining).
+"""
+
+from __future__ import annotations
+
+from repro.bytecode.instr import Instr
+from repro.bytecode.opcodes import JUMP_OPS, Op
+from repro.opt.rewrite import compact, jump_targets, slot_reference_counts
+
+
+def _resolve_chain(code: list[Instr], target: int) -> int:
+    """Follow JUMP→JUMP chains, stopping on cycles."""
+    seen = {target}
+    while target < len(code) and code[target].op is Op.JUMP:
+        nxt = code[target].a
+        if nxt in seen:
+            break
+        seen.add(nxt)
+        target = nxt
+    return target
+
+
+def peephole(code: list[Instr]) -> tuple[list[Instr], bool]:
+    """Return (new code, changed?).  One sweep; callers iterate."""
+    changed = False
+
+    # 1. Retarget jump chains (pure operand rewrite, always safe).
+    for instr in code:
+        if instr.op in JUMP_OPS:
+            resolved = _resolve_chain(code, instr.a)
+            if resolved != instr.a:
+                instr.a = resolved
+                changed = True
+
+    targets = jump_targets(code)
+    keep = [True] * len(code)
+    slot_refs = slot_reference_counts(code)
+    loaded_slots = {instr.a for instr in code if instr.op is Op.LOAD}
+
+    for pc, instr in enumerate(code):
+        if not keep[pc]:
+            continue
+        op = instr.op
+
+        # Dead store: the slot is never read anywhere in the function.
+        # Parameter slots are exempt: callers still write them.
+        if op is Op.STORE and instr.a not in loaded_slots:
+            code[pc] = Instr(Op.POP)
+            changed = True
+            continue
+
+        if op is Op.NOP and pc not in targets:
+            keep[pc] = False
+            changed = True
+            continue
+
+        if op is Op.JUMP and instr.a == pc + 1:
+            keep[pc] = False
+            changed = True
+            continue
+
+        if pc + 1 >= len(code) or (pc + 1) in targets or not keep[pc + 1]:
+            continue
+        nxt = code[pc + 1]
+
+        # Conditional jump to next instruction: condition value is dead.
+        if op in (Op.JUMP_IF_FALSE, Op.JUMP_IF_TRUE) and instr.a == pc + 1:
+            code[pc] = Instr(Op.POP)
+            changed = True
+            continue
+
+        if op in (Op.PUSH, Op.PUSH_NULL, Op.DUP) and nxt.op is Op.POP:
+            keep[pc] = False
+            keep[pc + 1] = False
+            changed = True
+            continue
+
+        if op is Op.NOT and nxt.op in (Op.JUMP_IF_FALSE, Op.JUMP_IF_TRUE):
+            flipped = (
+                Op.JUMP_IF_TRUE if nxt.op is Op.JUMP_IF_FALSE else Op.JUMP_IF_FALSE
+            )
+            keep[pc] = False
+            code[pc + 1] = Instr(flipped, nxt.a)
+            changed = True
+            continue
+
+        if (
+            op is Op.STORE
+            and nxt.op is Op.LOAD
+            and instr.a == nxt.a
+            and slot_refs.get(instr.a, 0) == 2
+        ):
+            # The slot exists only for this hand-off; keep the value on
+            # the stack instead.
+            keep[pc] = False
+            keep[pc + 1] = False
+            changed = True
+            continue
+
+    if not changed:
+        return code, False
+    return compact(code, keep), True

@@ -1,0 +1,71 @@
+"""The optimizing "JIT" tier: inline per a plan, then clean up.
+
+``optimize_function`` is what the adaptive system invokes when it
+promotes a method: it applies an inline plan (from one of the policies
+in :mod:`repro.inlining`) and then iterates the cleanup passes (dead
+code elimination, constant folding, peephole) to a fixpoint.  Every
+rewritten function is re-verified before being returned; a verifier
+failure here is a bug in the optimizer, never in the guest program.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bytecode.function import FunctionInfo
+from repro.bytecode.program import Program
+from repro.bytecode.verifier import verify_function
+from repro.opt.constfold import fold_constants
+from repro.opt.dce import eliminate_dead_code
+from repro.opt.inline import InlinePlan, InlineTransform
+from repro.opt.peephole import peephole
+
+#: Upper bound on cleanup iterations (each pass is monotonic so this is
+#: a safety valve, not a tuning knob).
+_MAX_CLEANUP_ROUNDS = 25
+
+
+@dataclass
+class OptimizationResult:
+    """What came out of optimizing one function."""
+
+    function: FunctionInfo
+    inlines_applied: int
+    size_before: int
+    size_after: int
+
+
+def cleanup(function: FunctionInfo) -> FunctionInfo:
+    """Run DCE + constant folding + peephole to a fixpoint, in place."""
+    code = function.code
+    for _ in range(_MAX_CLEANUP_ROUNDS):
+        code, changed_dce = eliminate_dead_code(code)
+        code, changed_fold = fold_constants(code)
+        code, changed_peep = peephole(code)
+        if not (changed_dce or changed_fold or changed_peep):
+            break
+    function.code = code
+    return function
+
+
+def optimize_function(
+    program: Program,
+    plan: InlinePlan,
+    run_cleanup: bool = True,
+    verify: bool = True,
+) -> OptimizationResult:
+    """Apply ``plan`` and cleanup to its function; returns a new body."""
+    original = program.functions[plan.function_index]
+    size_before = original.bytecode_size()
+    transform = InlineTransform(program)
+    rewritten = transform.apply(plan)
+    if run_cleanup:
+        rewritten = cleanup(rewritten)
+    if verify:
+        verify_function(rewritten, program)
+    return OptimizationResult(
+        function=rewritten,
+        inlines_applied=plan.count(),
+        size_before=size_before,
+        size_after=rewritten.bytecode_size(),
+    )

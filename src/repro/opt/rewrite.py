@@ -1,0 +1,52 @@
+"""Shared rewriting utilities for the bytecode optimizer passes."""
+
+from __future__ import annotations
+
+from repro.bytecode.instr import Instr
+from repro.bytecode.opcodes import JUMP_OPS
+
+
+def jump_targets(code: list[Instr]) -> set[int]:
+    """The set of pcs that are targets of some jump."""
+    return {instr.a for instr in code if instr.op in JUMP_OPS}
+
+
+def compact(code: list[Instr], keep: list[bool]) -> list[Instr]:
+    """Drop instructions where ``keep`` is False, remapping jump targets.
+
+    A target pointing at a dropped instruction is remapped to the next
+    kept instruction at or after it — callers must guarantee that this
+    preserves semantics (true for unreachable code and for dropped
+    no-effect instructions).
+    """
+    if all(keep):
+        return code
+    # new_index[pc] = index of the next kept instruction at or after pc.
+    new_index = [0] * (len(code) + 1)
+    count = 0
+    for pc in range(len(code)):
+        new_index[pc] = count
+        if keep[pc]:
+            count += 1
+    new_index[len(code)] = count
+
+    out: list[Instr] = []
+    for pc, instr in enumerate(code):
+        if not keep[pc]:
+            continue
+        if instr.op in JUMP_OPS:
+            out.append(Instr(instr.op, new_index[instr.a], instr.b))
+        else:
+            out.append(instr)
+    return out
+
+
+def slot_reference_counts(code: list[Instr]) -> dict[int, int]:
+    """How many LOAD/STORE instructions reference each local slot."""
+    from repro.bytecode.opcodes import Op
+
+    counts: dict[int, int] = {}
+    for instr in code:
+        if instr.op in (Op.LOAD, Op.STORE):
+            counts[instr.a] = counts.get(instr.a, 0) + 1
+    return counts

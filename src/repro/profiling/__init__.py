@@ -1,0 +1,58 @@
+"""Dynamic call graph profiling: the paper's CBS technique plus every
+baseline it is compared against (exhaustive, timer, code patching,
+Whaley), the DCG/CCT data structures, and the accuracy metrics."""
+
+from repro.profiling.cbs import CBSProfiler, SKIP_POLICIES
+from repro.profiling.cct import CallingContextTree, CCTNode, context_overlap
+from repro.profiling.dcg import DCG, Edge
+from repro.profiling.exhaustive import ExhaustiveProfiler, INSTRUMENTATION_COST
+from repro.profiling.hardware import HardwareCallSampler
+from repro.profiling.loops import CBSLoopProfiler
+from repro.profiling.metrics import (
+    accuracy,
+    edge_coverage,
+    hot_edge_precision,
+    hot_edge_recall,
+    hot_edges,
+    overlap,
+    weight_rank_correlation,
+)
+from repro.profiling.patching import CodePatchingProfiler
+from repro.profiling.serialize import (
+    ProfileFormatError,
+    dcg_from_dict,
+    dcg_to_dict,
+    load_profile,
+    save_profile,
+)
+from repro.profiling.timer_sampler import TimerProfiler
+from repro.profiling.whaley import WhaleyProfiler
+
+__all__ = [
+    "CBSLoopProfiler",
+    "CBSProfiler",
+    "CCTNode",
+    "CallingContextTree",
+    "CodePatchingProfiler",
+    "DCG",
+    "Edge",
+    "ExhaustiveProfiler",
+    "HardwareCallSampler",
+    "INSTRUMENTATION_COST",
+    "ProfileFormatError",
+    "SKIP_POLICIES",
+    "TimerProfiler",
+    "WhaleyProfiler",
+    "accuracy",
+    "context_overlap",
+    "edge_coverage",
+    "hot_edge_precision",
+    "hot_edge_recall",
+    "hot_edges",
+    "dcg_from_dict",
+    "dcg_to_dict",
+    "load_profile",
+    "overlap",
+    "save_profile",
+    "weight_rank_correlation",
+]

@@ -1,0 +1,157 @@
+"""Counter-based sampling (CBS) — the paper's contribution (§4).
+
+A timer interrupt opens a *profiling window* by setting the yieldpoint
+control word to "all yieldpoints taken".  The first taken yieldpoint
+switches the word to the CBS state (prologue/epilogue yieldpoints only)
+and arms the countdown; from then on every method entry runs the
+Figure 3 logic: every ``stride``-th call is sampled (a call-stack walk
+records the caller→callee edge) until ``samples_per_tick`` samples have
+been taken, after which yieldpoints are disabled until the next tick.
+
+To give every call in the window an equal chance of being profiled, the
+initial value of the skip counter is drawn from ``[1..stride]`` either
+pseudo-randomly or round-robin (paper §4).
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+
+from repro.profiling.cct import CallingContextTree
+from repro.profiling.dcg import DCG
+from repro.vm.yieldpoint import PROLOGUE, YP_ALL, YP_CBS, YP_NONE
+
+#: Valid initial-skip selection policies.
+SKIP_POLICIES = ("random", "roundrobin")
+
+
+class CBSProfiler:
+    """Counter-based sampling of the dynamic call graph.
+
+    Parameters mirror the paper: ``stride`` is the sampling stride *i*
+    (sample every i-th call in the window) and ``samples_per_tick`` is
+    SAMPLES_PER_TIMER_INTERRUPT.  ``Stride=1, samples_per_tick=1``
+    degenerates to the timer-based baseline.
+
+    ``context_depth > 1`` enables the context-sensitive extension: each
+    sample walks ``context_depth`` frames and records the calling
+    context into a :class:`CallingContextTree` (charging proportionally
+    more stack-walk cost), in addition to the plain DCG edge.
+    """
+
+    def __init__(
+        self,
+        stride: int = 3,
+        samples_per_tick: int = 16,
+        skip_policy: str = "random",
+        seed: int = 1234,
+        context_depth: int = 1,
+    ):
+        if stride < 1:
+            raise ValueError("stride must be >= 1")
+        if samples_per_tick < 1:
+            raise ValueError("samples_per_tick must be >= 1")
+        if skip_policy not in SKIP_POLICIES:
+            raise ValueError(f"skip_policy must be one of {SKIP_POLICIES}")
+        if context_depth < 1:
+            raise ValueError("context_depth must be >= 1")
+        self.stride = stride
+        self.samples_per_tick = samples_per_tick
+        self.skip_policy = skip_policy
+        self.context_depth = context_depth
+
+        self.dcg = DCG()
+        self.cct = CallingContextTree() if context_depth > 1 else None
+        self.method_samples: Counter = Counter()
+        self.samples_taken = 0
+        self.windows_opened = 0
+        self.ticks_seen = 0
+
+        self._rng = random.Random(seed)
+        self._round_robin = 0
+        self._skipped = 0
+        self._remaining = 0
+
+    # -- hook implementation ------------------------------------------------------
+
+    def attach(self, vm) -> None:
+        pass
+
+    def handle_timer(self, vm) -> None:
+        self.ticks_seen += 1
+        flag = vm.yieldpoint_flag
+        if flag == YP_CBS:
+            # Tick landed inside an open window: refresh the sample budget
+            # (profilingEnabledByTimer is simply set true again).
+            self._remaining = self.samples_per_tick
+        elif flag == YP_NONE:
+            vm.yieldpoint_flag = YP_ALL
+
+    def handle_yieldpoint(self, vm, kind: int) -> None:
+        flag = vm.yieldpoint_flag
+        if flag == YP_ALL:
+            # First yieldpoint after the tick: open the profiling window.
+            vm.yieldpoint_flag = YP_CBS
+            self.windows_opened += 1
+            self._skipped = self._initial_skip()
+            self._remaining = self.samples_per_tick
+            return
+        if flag != YP_CBS or kind != PROLOGUE:
+            # Epilogue/backedge yieldpoints are taken (their cost is
+            # charged by the interpreter) but only method entries drive
+            # the Figure 3 countdown.
+            return
+
+        cost_model = vm.config.cost_model
+        vm.charge(cost_model.cbs_countdown_cost)
+        self._skipped -= 1
+        if self._skipped != 0:
+            return
+
+        self._sample(vm, cost_model)
+        self._skipped = self.stride
+        self._remaining -= 1
+        if self._remaining == 0:
+            vm.yieldpoint_flag = YP_NONE
+
+    # -- internals ------------------------------------------------------------------
+
+    def _initial_skip(self) -> int:
+        if self.stride == 1:
+            return 1
+        if self.skip_policy == "random":
+            return self._rng.randint(1, self.stride)
+        self._round_robin = self._round_robin % self.stride + 1
+        return self._round_robin
+
+    def _sample(self, vm, cost_model) -> None:
+        depth = min(self.context_depth + 1, len(vm.frames))
+        vm.charge(
+            cost_model.stack_walk_base_cost + depth * cost_model.stack_walk_frame_cost
+        )
+        frames = vm.frames
+        self.method_samples[frames[-1].method.index] += 1
+        if len(frames) > 1:
+            # The caller is executing this call: it gets hotness credit
+            # too, so hot loops containing calls are promoted (in Jikes
+            # the backedge-driven method listener provides this credit).
+            self.method_samples[frames[-2].method.index] += 1
+        edge = vm.current_edge()
+        if edge is None:
+            return
+        self.dcg.record_edge(edge)
+        self.samples_taken += 1
+        if self.cct is not None:
+            path = [
+                (frame.method.index, frame.callsite_pc)
+                for frame in frames[-depth:]
+            ]
+            self.cct.record_path(path)
+
+    def describe(self) -> str:
+        return (
+            f"CBS(stride={self.stride}, samples={self.samples_per_tick}, "
+            f"policy={self.skip_policy}): {self.samples_taken} samples in "
+            f"{self.windows_opened} windows over {self.ticks_seen} ticks"
+        )

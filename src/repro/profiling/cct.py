@@ -1,0 +1,126 @@
+"""Calling context tree (CCT) support.
+
+The paper notes the CBS mechanism "is easily extensible to
+context-sensitive profiling"; Whaley's timer sampler also builds a CCT.
+Paths are sequences of ``(function index, callsite pc)`` pairs ordered
+caller→callee (the callsite pc is the pc *in the parent* that created
+the frame; the outermost recorded frame's pc is whatever created it, or
+-1 for the entry frame).
+"""
+
+from __future__ import annotations
+
+from repro.profiling.dcg import DCG
+
+PathEntry = tuple[int, int]
+
+
+class CCTNode:
+    """One calling context: a method reached through a specific path."""
+
+    __slots__ = ("function_index", "callsite_pc", "weight", "children")
+
+    def __init__(self, function_index: int, callsite_pc: int):
+        self.function_index = function_index
+        self.callsite_pc = callsite_pc
+        self.weight = 0.0
+        self.children: dict[PathEntry, "CCTNode"] = {}
+
+    def child(self, entry: PathEntry) -> "CCTNode":
+        node = self.children.get(entry)
+        if node is None:
+            node = CCTNode(entry[0], entry[1])
+            self.children[entry] = node
+        return node
+
+
+class CallingContextTree:
+    """A weighted tree of sampled calling contexts."""
+
+    def __init__(self) -> None:
+        self._root = CCTNode(-1, -1)
+        self.total_weight = 0.0
+
+    def record_path(self, path: list[PathEntry], weight: float = 1.0) -> None:
+        """Add a sample for one caller→callee path (leaf gets the weight)."""
+        if not path:
+            return
+        node = self._root
+        for entry in path:
+            node = node.child(entry)
+        node.weight += weight
+        self.total_weight += weight
+
+    # -- queries -----------------------------------------------------------------
+
+    def node_count(self) -> int:
+        count = 0
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            count += len(node.children)
+            stack.extend(node.children.values())
+        return count
+
+    def context_profile(self) -> dict[tuple[PathEntry, ...], float]:
+        """Flatten to path → weight (paths with non-zero weight only)."""
+        result: dict[tuple[PathEntry, ...], float] = {}
+        stack: list[tuple[CCTNode, tuple[PathEntry, ...]]] = [(self._root, ())]
+        while stack:
+            node, prefix = stack.pop()
+            for entry, child in node.children.items():
+                path = prefix + (entry,)
+                if child.weight > 0:
+                    result[path] = result.get(path, 0.0) + child.weight
+                stack.append((child, path))
+        return result
+
+    def to_dcg(self) -> DCG:
+        """Project contexts down to context-insensitive call edges.
+
+        Each sampled path contributes its weight to the (parent → leaf)
+        edge *and* structural weight to interior edges along the path.
+        """
+        dcg = DCG()
+        stack: list[tuple[CCTNode, CCTNode | None]] = [(self._root, None)]
+        # Accumulate subtree weights bottom-up via explicit post-order.
+        subtree: dict[int, float] = {}
+        order: list[tuple[CCTNode, CCTNode | None]] = []
+        while stack:
+            node, parent = stack.pop()
+            order.append((node, parent))
+            for child in node.children.values():
+                stack.append((child, node))
+        for node, parent in reversed(order):
+            total = node.weight + sum(
+                subtree[id(child)] for child in node.children.values()
+            )
+            subtree[id(node)] = total
+            if parent is not None and parent.function_index >= 0 and total > 0:
+                dcg.record(
+                    parent.function_index, node.callsite_pc, node.function_index, total
+                )
+        return dcg
+
+
+def context_overlap(
+    profile1: dict[tuple[PathEntry, ...], float],
+    profile2: dict[tuple[PathEntry, ...], float],
+) -> float:
+    """The overlap metric generalized to context (path) profiles."""
+    total1 = sum(profile1.values())
+    total2 = sum(profile2.values())
+    if total1 == 0 or total2 == 0:
+        return 0.0
+    common = 0.0
+    small, big = (profile1, profile2) if len(profile1) <= len(profile2) else (
+        profile2,
+        profile1,
+    )
+    small_total = total1 if small is profile1 else total2
+    big_total = total2 if small is profile1 else total1
+    for path, weight in small.items():
+        other = big.get(path)
+        if other is not None:
+            common += min(weight / small_total, other / big_total)
+    return 100.0 * common

@@ -1,0 +1,99 @@
+"""DCG serialization: save a profile from one run, reuse it in another.
+
+The paper's comparison point (Suganuma et al.) validated online
+profiling against systems using *perfect offline* profiles; this module
+provides the offline side: profiles serialize to JSON keyed by qualified
+function names (not indices), so a profile collected against one build
+of a program can be applied to another as long as the names resolve.
+
+Format (version 1)::
+
+    {
+      "version": 1,
+      "edges": [
+        {"caller": "Network.assert", "pc": 14,
+         "callee": "ModNode.test", "weight": 123.0},
+        ...
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.bytecode.program import Program
+from repro.profiling.dcg import DCG
+
+FORMAT_VERSION = 1
+
+
+class ProfileFormatError(Exception):
+    """Raised when a serialized profile cannot be parsed or resolved."""
+
+
+def dcg_to_dict(dcg: DCG, program: Program) -> dict:
+    """Serialize ``dcg`` to a JSON-compatible dict with symbolic names."""
+    edges = []
+    for (caller, pc, callee), weight in sorted(dcg.edges().items()):
+        edges.append(
+            {
+                "caller": program.functions[caller].qualified_name,
+                "pc": pc,
+                "callee": program.functions[callee].qualified_name,
+                "weight": weight,
+            }
+        )
+    return {"version": FORMAT_VERSION, "edges": edges}
+
+
+def dcg_from_dict(
+    data: dict, program: Program, strict: bool = False
+) -> DCG:
+    """Resolve a serialized profile against ``program``.
+
+    Edges naming functions the program does not define are skipped
+    (``strict=False``, the default — profiles may be stale) or rejected
+    (``strict=True``).
+    """
+    if not isinstance(data, dict) or data.get("version") != FORMAT_VERSION:
+        raise ProfileFormatError(
+            f"unsupported profile format (expected version {FORMAT_VERSION})"
+        )
+    index_by_name = {f.qualified_name: f.index for f in program.functions}
+    dcg = DCG()
+    for entry in data.get("edges", []):
+        try:
+            caller_name = entry["caller"]
+            callee_name = entry["callee"]
+            pc = int(entry["pc"])
+            weight = float(entry["weight"])
+        except (KeyError, TypeError, ValueError) as error:
+            raise ProfileFormatError(f"malformed edge entry {entry!r}") from error
+        caller = index_by_name.get(caller_name)
+        callee = index_by_name.get(callee_name)
+        if caller is None or callee is None:
+            if strict:
+                missing = caller_name if caller is None else callee_name
+                raise ProfileFormatError(f"unknown function {missing!r} in profile")
+            continue
+        if weight < 0:
+            raise ProfileFormatError(f"negative weight in edge {entry!r}")
+        dcg.record(caller, pc, callee, weight)
+    return dcg
+
+
+def save_profile(dcg: DCG, program: Program, path: str) -> None:
+    """Write ``dcg`` to ``path`` as JSON."""
+    with open(path, "w") as handle:
+        json.dump(dcg_to_dict(dcg, program), handle, indent=1)
+
+
+def load_profile(path: str, program: Program, strict: bool = False) -> DCG:
+    """Read a profile written by :func:`save_profile`."""
+    try:
+        with open(path) as handle:
+            data = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        raise ProfileFormatError(f"cannot load profile from {path}: {error}")
+    return dcg_from_dict(data, program, strict)

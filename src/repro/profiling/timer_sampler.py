@@ -1,0 +1,56 @@
+"""Timer-based DCG sampling (the baseline mechanism, paper §3.3).
+
+This is Jikes RVM's original scheme: the timer interrupt sets the
+yieldpoint control word to "all yieldpoints taken"; the *next* executed
+yieldpoint is taken, and if it is a prologue or epilogue the
+caller–callee pair at the top of the stack is recorded as a call-edge
+sample.  Backedge yieldpoints contribute a method (hotness) sample but
+no call edge.  One sample per tick.
+
+The skew the paper demonstrates (Figure 1) arises naturally: the flag is
+set wherever *time* accumulates, so the first call executed after a
+compute-heavy region absorbs all of that region's ticks.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.profiling.dcg import DCG
+from repro.vm.yieldpoint import BACKEDGE, YP_ALL, YP_NONE
+
+
+class TimerProfiler:
+    """One call-stack sample per timer interrupt."""
+
+    def __init__(self) -> None:
+        self.dcg = DCG()
+        self.method_samples: Counter = Counter()
+        self.samples_taken = 0
+        self.ticks_seen = 0
+
+    def attach(self, vm) -> None:
+        pass
+
+    def handle_timer(self, vm) -> None:
+        self.ticks_seen += 1
+        vm.yieldpoint_flag = YP_ALL
+
+    def handle_yieldpoint(self, vm, kind: int) -> None:
+        vm.yieldpoint_flag = YP_NONE
+        frames = vm.frames
+        # Method sample for the adaptive system: the method on top.
+        if frames:
+            self.method_samples[frames[-1].method.index] += 1
+        if kind == BACKEDGE:
+            return
+        edge = vm.current_edge()
+        if edge is None:
+            return
+        if len(frames) > 1:
+            # Caller hotness credit (see CBSProfiler._sample).
+            self.method_samples[frames[-2].method.index] += 1
+        cost_model = vm.config.cost_model
+        vm.charge(cost_model.stack_walk_base_cost + 2 * cost_model.stack_walk_frame_cost)
+        self.dcg.record_edge(edge)
+        self.samples_taken += 1

@@ -1,0 +1,57 @@
+"""Whaley-style asynchronous stack sampling (paper §3.3).
+
+Whaley's profiler runs a separate *sampling thread* that periodically
+observes the program counters and stack pointers of the running threads;
+the program threads perform no profiling work and never know they were
+sampled.  In the simulation this means: on every timer tick the profiler
+inspects the guest stack directly — no yieldpoint flag is ever set, no
+guest-visible cost is charged — and records the top of the stack into a
+calling context tree.
+
+Its weakness is exactly the paper's: the observation records where
+*time* is spent, so the derived call-edge weights reflect time, not call
+frequency (method ``M`` looping over non-call work is repeatedly seen at
+the top of the stack and its outgoing short calls are missed).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.profiling.cct import CallingContextTree
+from repro.profiling.dcg import DCG
+
+
+class WhaleyProfiler:
+    """Asynchronous top-of-stack sampler building a CCT."""
+
+    def __init__(self, context_depth: int = 8):
+        if context_depth < 2:
+            raise ValueError("context_depth must be >= 2")
+        self.context_depth = context_depth
+        self.cct = CallingContextTree()
+        self.dcg = DCG()  # edge between the top two frames at each tick
+        self.method_samples: Counter = Counter()
+        self.samples_taken = 0
+
+    def attach(self, vm) -> None:
+        pass
+
+    def handle_timer(self, vm) -> None:
+        frames = vm.frames
+        if not frames:
+            return
+        self.samples_taken += 1
+        self.method_samples[frames[-1].method.index] += 1
+        depth = min(self.context_depth, len(frames))
+        path = [
+            (frame.method.index, frame.callsite_pc) for frame in frames[-depth:]
+        ]
+        self.cct.record_path(path)
+        edge = vm.current_edge()
+        if edge is not None:
+            self.dcg.record_edge(edge)
+
+    def handle_yieldpoint(self, vm, kind: int) -> None:
+        # Never reached: this profiler never sets the yieldpoint flag.
+        vm.yieldpoint_flag = 0

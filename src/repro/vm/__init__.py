@@ -1,0 +1,54 @@
+"""The Mini virtual machine: interpreter, cost model, configurations."""
+
+from repro.vm.config import VMConfig, config_named, j9_config, jikes_config
+from repro.vm.costmodel import CostModel, j9_cost_model, jikes_cost_model
+from repro.vm.errors import (
+    ArrayBoundsError,
+    DivisionByZeroError,
+    NullPointerError,
+    StackOverflowError_,
+    StepLimitExceeded,
+    VMError,
+)
+from repro.vm.interpreter import Frame, Interpreter, run_program
+from repro.vm.runtime import CodeCache, CompiledMethod
+from repro.vm.values import HeapArray, HeapObject
+from repro.vm.yieldpoint import (
+    BACKEDGE,
+    EPILOGUE,
+    PROLOGUE,
+    Profiler,
+    YP_ALL,
+    YP_CBS,
+    YP_NONE,
+)
+
+__all__ = [
+    "ArrayBoundsError",
+    "BACKEDGE",
+    "CodeCache",
+    "CompiledMethod",
+    "CostModel",
+    "DivisionByZeroError",
+    "EPILOGUE",
+    "Frame",
+    "HeapArray",
+    "HeapObject",
+    "Interpreter",
+    "NullPointerError",
+    "PROLOGUE",
+    "Profiler",
+    "StackOverflowError_",
+    "StepLimitExceeded",
+    "VMConfig",
+    "VMError",
+    "YP_ALL",
+    "YP_CBS",
+    "YP_NONE",
+    "config_named",
+    "j9_config",
+    "j9_cost_model",
+    "jikes_config",
+    "jikes_cost_model",
+    "run_program",
+]

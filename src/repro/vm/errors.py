@@ -1,0 +1,37 @@
+"""Runtime errors raised by the Mini VM."""
+
+from __future__ import annotations
+
+
+class VMError(Exception):
+    """Base class for runtime failures in guest programs."""
+
+    def __init__(self, message: str, function: str | None = None, pc: int | None = None):
+        where = ""
+        if function is not None:
+            where = f" in {function}"
+            if pc is not None:
+                where += f" @pc={pc}"
+        super().__init__(f"{message}{where}")
+        self.function = function
+        self.pc = pc
+
+
+class NullPointerError(VMError):
+    """Dereference of null."""
+
+
+class DivisionByZeroError(VMError):
+    """Integer division or modulo by zero."""
+
+
+class ArrayBoundsError(VMError):
+    """Array index out of range."""
+
+
+class StackOverflowError_(VMError):
+    """Guest call stack exceeded the frame limit."""
+
+
+class StepLimitExceeded(VMError):
+    """The interpreter hit its configured instruction budget."""

@@ -1,0 +1,568 @@
+"""The Mini VM bytecode interpreter.
+
+A single flat dispatch loop with the current frame's state cached in
+local variables.  Virtual time advances by the cost model's price of
+every instruction; a virtual timer fires whenever time crosses the next
+tick boundary, driving the sampling profilers through the yieldpoint
+mechanism described in the paper.
+
+Profiling hook points:
+
+* **timer tick** — ``profiler.handle_timer(vm)`` (sets the yieldpoint
+  control word; for async samplers like Whaley's this is also where the
+  sample is taken),
+* **taken yieldpoint** — ``profiler.handle_yieldpoint(vm, kind)`` at
+  prologues/epilogues when the control word is non-zero and at backedges
+  when it is positive,
+* **call observer** — ``call_observer(caller_index, callsite_pc,
+  callee_index)`` on *every* dynamic call, with zero virtual cost; this
+  is how the exhaustive (perfect) profiler is implemented.
+"""
+
+from __future__ import annotations
+
+from repro.bytecode.opcodes import Op
+from repro.bytecode.program import Program
+from repro.vm.config import VMConfig, jikes_config
+from repro.vm.errors import (
+    ArrayBoundsError,
+    DivisionByZeroError,
+    NullPointerError,
+    StackOverflowError_,
+    StepLimitExceeded,
+    VMError,
+)
+from repro.vm.runtime import CodeCache, CompiledMethod
+from repro.vm.values import HeapArray, HeapObject
+from repro.vm.yieldpoint import BACKEDGE, EPILOGUE, PROLOGUE, YP_NONE
+
+
+class Frame:
+    """One activation record."""
+
+    __slots__ = ("method", "pc", "stack", "locals", "callsite_pc")
+
+    def __init__(self, method: CompiledMethod, locals_: list, callsite_pc: int):
+        self.method = method
+        self.pc = 0
+        self.stack: list = []
+        self.locals = locals_
+        #: pc of the call instruction in the *caller's* current code
+        #: (-1 for the entry frame).
+        self.callsite_pc = callsite_pc
+
+
+class Interpreter:
+    """Executes a :class:`Program` under a :class:`VMConfig`."""
+
+    def __init__(
+        self,
+        program: Program,
+        config: VMConfig | None = None,
+        code_cache: CodeCache | None = None,
+    ):
+        self.program = program
+        self.config = config if config is not None else jikes_config()
+        self.code_cache = (
+            code_cache
+            if code_cache is not None
+            else CodeCache(program, self.config.cost_model)
+        )
+        self.vtables: list[dict[int, int]] = [cls.vtable for cls in program.classes]
+        self.class_field_counts = [cls.num_fields for cls in program.classes]
+        self.class_field_defaults = [
+            cls.field_defaults if cls.field_defaults else [0] * cls.num_fields
+            for cls in program.classes
+        ]
+        self.class_ancestors = [cls.ancestors for cls in program.classes]
+
+        # Mutable execution state.
+        self.frames: list[Frame] = []
+        self.time = 0
+        self.steps = 0
+        self.ticks = 0
+        self.call_count = 0
+        self.yieldpoint_flag = YP_NONE
+        self.next_tick = self.config.timer_interval
+        self.output: list[int] = []
+        self.finished = False
+
+        self._seen = [False] * len(program.functions)
+        self.methods_executed = 0
+
+        # Hooks.
+        self.profiler = None
+        self.call_observer = None
+        self.tick_hook = None  # called after profiler on each tick (adaptive system)
+
+    # -- hook management -------------------------------------------------------
+
+    def attach_profiler(self, profiler) -> None:
+        self.profiler = profiler
+        profiler.attach(self)
+
+    def charge(self, units: int) -> None:
+        """Advance virtual time (used by profiler handlers)."""
+        self.time += units
+
+    # -- stack walking (used by profilers; costs charged by callers) -----------
+
+    def current_edge(self) -> tuple[int, int, int] | None:
+        """The call edge of the newest frame: (caller, callsite pc, callee).
+
+        Coordinates are *baseline*: when the caller is an optimizer-
+        rewritten version, the call instruction's inline-map origin maps
+        the site back to its original function and pc (so samples taken
+        in recompiled or inlined code still line up with the call graph
+        the policies plan against).  Returns ``None`` for the entry
+        frame.
+        """
+        if len(self.frames) < 2:
+            return None
+        callee = self.frames[-1]
+        caller = self.frames[-2]
+        pc = callee.callsite_pc
+        origin = caller.method.code[pc].origin
+        if origin is None:
+            return (caller.method.index, pc, callee.method.index)
+        return (origin[0], origin[1], callee.method.index)
+
+    def stack_snapshot(self, max_depth: int | None = None) -> list[int]:
+        """Function indices from the top of stack downward."""
+        frames = self.frames
+        indices = [frame.method.index for frame in reversed(frames)]
+        if max_depth is not None:
+            indices = indices[:max_depth]
+        return indices
+
+    # -- timer -------------------------------------------------------------------
+
+    def _fire_timer(self) -> None:
+        interval = self.config.timer_interval
+        service = self.config.cost_model.timer_service_cost
+        while self.time >= self.next_tick:
+            self.next_tick += interval
+            self.ticks += 1
+            self.time += service
+            if self.profiler is not None:
+                self.profiler.handle_timer(self)
+            if self.tick_hook is not None:
+                self.tick_hook(self)
+
+    def _take_yieldpoint(self, kind: int) -> None:
+        self.time += self.config.cost_model.taken_yieldpoint_cost
+        if self.profiler is not None:
+            self.profiler.handle_yieldpoint(self, kind)
+        else:
+            self.yieldpoint_flag = YP_NONE
+
+    # -- main loop ------------------------------------------------------------------
+
+    def run(self):
+        """Execute ``main()`` to completion; returns its value (or None)."""
+        entry = self.program.entry_function()
+        entry_method = self.code_cache.current(entry.index)
+        if not self._seen[entry.index]:
+            self._seen[entry.index] = True
+            self.methods_executed += 1
+        frame = Frame(entry_method, [0] * entry_method.num_locals, -1)
+        self.frames.append(frame)
+        try:
+            return self._loop()
+        finally:
+            self.finished = True
+
+    def _loop(self):  # noqa: C901 - deliberately one flat hot loop
+        config = self.config
+        cost_model = config.cost_model
+        frames = self.frames
+        cache_methods = self.code_cache.methods
+        vtables = self.vtables
+        field_defaults = self.class_field_defaults
+        observer = self.call_observer
+        seen = self._seen
+
+        prologue_yp = config.prologue_yieldpoints
+        epilogue_yp = config.epilogue_yieldpoints
+        backedge_yp = config.backedge_yieldpoints
+        entry_extra = (
+            0 if config.overloaded_entry_check else cost_model.dedicated_entry_check_cost
+        )
+        call_static_cost = cost_model.call_static_cost + entry_extra
+        call_virtual_cost = cost_model.call_virtual_cost + entry_extra
+        return_cost = cost_model.return_cost
+        max_frames = config.max_frames
+        max_steps = config.max_steps
+
+        frame = frames[-1]
+        method = frame.method
+        ops = method.ops
+        aarg = method.a
+        barg = method.b
+        costs = method.costs
+        stack = frame.stack
+        locals_ = frame.locals
+        pc = 0
+
+        time = self.time
+        next_tick = self.next_tick
+        steps = self.steps
+        call_count = self.call_count
+
+        # Opcode constants as plain ints (IntEnum comparison is slower).
+        OP_PUSH = int(Op.PUSH)
+        OP_PUSH_NULL = int(Op.PUSH_NULL)
+        OP_POP = int(Op.POP)
+        OP_DUP = int(Op.DUP)
+        OP_LOAD = int(Op.LOAD)
+        OP_STORE = int(Op.STORE)
+        OP_ADD = int(Op.ADD)
+        OP_SUB = int(Op.SUB)
+        OP_MUL = int(Op.MUL)
+        OP_DIV = int(Op.DIV)
+        OP_MOD = int(Op.MOD)
+        OP_NEG = int(Op.NEG)
+        OP_NOT = int(Op.NOT)
+        OP_LT = int(Op.LT)
+        OP_LE = int(Op.LE)
+        OP_GT = int(Op.GT)
+        OP_GE = int(Op.GE)
+        OP_EQ = int(Op.EQ)
+        OP_NE = int(Op.NE)
+        OP_JUMP = int(Op.JUMP)
+        OP_JUMP_IF_FALSE = int(Op.JUMP_IF_FALSE)
+        OP_JUMP_IF_TRUE = int(Op.JUMP_IF_TRUE)
+        OP_CALL_STATIC = int(Op.CALL_STATIC)
+        OP_CALL_VIRTUAL = int(Op.CALL_VIRTUAL)
+        OP_RETURN = int(Op.RETURN)
+        OP_RETURN_VAL = int(Op.RETURN_VAL)
+        OP_NEW = int(Op.NEW)
+        OP_GETFIELD = int(Op.GETFIELD)
+        OP_PUTFIELD = int(Op.PUTFIELD)
+        OP_IS_EXACT = int(Op.IS_EXACT)
+        OP_GUARD_METHOD = int(Op.GUARD_METHOD)
+        OP_NEW_ARRAY = int(Op.NEW_ARRAY)
+        OP_ALOAD = int(Op.ALOAD)
+        OP_ASTORE = int(Op.ASTORE)
+        OP_ARRAY_LEN = int(Op.ARRAY_LEN)
+        OP_PRINT = int(Op.PRINT)
+        OP_NOP = int(Op.NOP)
+
+        result = None
+        while True:
+            op = ops[pc]
+            time += costs[pc]
+            steps += 1
+            if time >= next_tick:
+                # Sync cached state, fire the timer, reload.
+                self.time = time
+                self.steps = steps
+                self.call_count = call_count
+                frame.pc = pc
+                self._fire_timer()
+                time = self.time
+                next_tick = self.next_tick
+                if steps >= max_steps:
+                    raise StepLimitExceeded(
+                        f"exceeded {max_steps} interpreted instructions",
+                        method.function.qualified_name,
+                        pc,
+                    )
+
+            if op == OP_LOAD:
+                stack.append(locals_[aarg[pc]])
+                pc += 1
+            elif op == OP_PUSH:
+                stack.append(aarg[pc])
+                pc += 1
+            elif op == OP_GETFIELD:
+                obj = stack[-1]
+                if obj is None:
+                    raise NullPointerError(
+                        "field read on null", method.function.qualified_name, pc
+                    )
+                stack[-1] = obj.fields[aarg[pc]]
+                pc += 1
+            elif op == OP_STORE:
+                locals_[aarg[pc]] = stack.pop()
+                pc += 1
+            elif op == OP_ADD:
+                right = stack.pop()
+                stack[-1] += right
+                pc += 1
+            elif op == OP_SUB:
+                right = stack.pop()
+                stack[-1] -= right
+                pc += 1
+            elif op == OP_MUL:
+                right = stack.pop()
+                stack[-1] *= right
+                pc += 1
+            elif op == OP_LT:
+                right = stack.pop()
+                stack[-1] = 1 if stack[-1] < right else 0
+                pc += 1
+            elif op == OP_LE:
+                right = stack.pop()
+                stack[-1] = 1 if stack[-1] <= right else 0
+                pc += 1
+            elif op == OP_GT:
+                right = stack.pop()
+                stack[-1] = 1 if stack[-1] > right else 0
+                pc += 1
+            elif op == OP_GE:
+                right = stack.pop()
+                stack[-1] = 1 if stack[-1] >= right else 0
+                pc += 1
+            elif op == OP_EQ:
+                right = stack.pop()
+                left = stack[-1]
+                if isinstance(left, int) and isinstance(right, int):
+                    stack[-1] = 1 if left == right else 0
+                else:
+                    stack[-1] = 1 if left is right else 0
+                pc += 1
+            elif op == OP_NE:
+                right = stack.pop()
+                left = stack[-1]
+                if isinstance(left, int) and isinstance(right, int):
+                    stack[-1] = 1 if left != right else 0
+                else:
+                    stack[-1] = 1 if left is not right else 0
+                pc += 1
+            elif op == OP_JUMP:
+                target = aarg[pc]
+                if target <= pc:
+                    # Loop backedge: a yieldpoint site in the Jikes scheme.
+                    if backedge_yp and self.yieldpoint_flag > 0:
+                        self.time = time
+                        frame.pc = pc
+                        self._take_yieldpoint(BACKEDGE)
+                        time = self.time
+                pc = target
+            elif op == OP_JUMP_IF_FALSE:
+                if stack.pop() == 0:
+                    pc = aarg[pc]
+                else:
+                    pc += 1
+            elif op == OP_JUMP_IF_TRUE:
+                if stack.pop() != 0:
+                    pc = aarg[pc]
+                else:
+                    pc += 1
+            elif op == OP_CALL_STATIC or op == OP_CALL_VIRTUAL:
+                if op == OP_CALL_VIRTUAL:
+                    argc = barg[pc]
+                    receiver = stack[-argc - 1]
+                    if receiver is None:
+                        raise NullPointerError(
+                            "virtual call on null",
+                            method.function.qualified_name,
+                            pc,
+                        )
+                    callee_index = vtables[receiver.class_index][aarg[pc]]
+                    callee = cache_methods[callee_index]
+                    nargs = argc + 1
+                    time += call_virtual_cost
+                else:
+                    callee = cache_methods[aarg[pc]]
+                    callee_index = callee.index
+                    nargs = barg[pc]
+                    time += call_static_cost
+                call_count += 1
+                if not seen[callee_index]:
+                    seen[callee_index] = True
+                    self.methods_executed += 1
+                if observer is not None:
+                    # Observers may charge vm.time (instrumented modes),
+                    # so sync the cached counter around the call.  The
+                    # call site is reported in baseline coordinates via
+                    # the inline map (see Instr.origin).
+                    self.time = time
+                    origin = method.code[pc].origin
+                    if origin is None:
+                        observer(method.index, pc, callee_index)
+                    else:
+                        observer(origin[0], origin[1], callee_index)
+                    time = self.time
+                if len(frames) >= max_frames:
+                    raise StackOverflowError_(
+                        f"guest stack exceeded {max_frames} frames",
+                        method.function.qualified_name,
+                        pc,
+                    )
+                base = len(stack) - nargs
+                new_locals = stack[base:]
+                del stack[base:]
+                if callee.num_locals > nargs:
+                    new_locals.extend([0] * (callee.num_locals - nargs))
+                frame.pc = pc + 1  # return address
+                frame = Frame(callee, new_locals, pc)
+                frames.append(frame)
+                method = callee
+                ops = method.ops
+                aarg = method.a
+                barg = method.b
+                costs = method.costs
+                stack = frame.stack
+                locals_ = frame.locals
+                pc = 0
+                if prologue_yp and self.yieldpoint_flag != 0:
+                    self.time = time
+                    self.call_count = call_count
+                    self._take_yieldpoint(PROLOGUE)
+                    time = self.time
+            elif op == OP_RETURN or op == OP_RETURN_VAL:
+                time += return_cost
+                if epilogue_yp and self.yieldpoint_flag != 0:
+                    self.time = time
+                    self.call_count = call_count
+                    frame.pc = pc
+                    self._take_yieldpoint(EPILOGUE)
+                    time = self.time
+                value = stack.pop() if op == OP_RETURN_VAL else None
+                frames.pop()
+                if not frames:
+                    result = value
+                    break
+                frame = frames[-1]
+                method = frame.method
+                ops = method.ops
+                aarg = method.a
+                barg = method.b
+                costs = method.costs
+                stack = frame.stack
+                locals_ = frame.locals
+                pc = frame.pc
+                if value is not None or op == OP_RETURN_VAL:
+                    stack.append(value)
+            elif op == OP_PUTFIELD:
+                value = stack.pop()
+                obj = stack.pop()
+                if obj is None:
+                    raise NullPointerError(
+                        "field write on null", method.function.qualified_name, pc
+                    )
+                obj.fields[aarg[pc]] = value
+                pc += 1
+            elif op == OP_DUP:
+                stack.append(stack[-1])
+                pc += 1
+            elif op == OP_POP:
+                stack.pop()
+                pc += 1
+            elif op == OP_PUSH_NULL:
+                stack.append(None)
+                pc += 1
+            elif op == OP_DIV or op == OP_MOD:
+                right = stack.pop()
+                left = stack[-1]
+                if right == 0:
+                    raise DivisionByZeroError(
+                        "division by zero", method.function.qualified_name, pc
+                    )
+                quotient = abs(left) // abs(right)
+                if (left < 0) != (right < 0):
+                    quotient = -quotient
+                if op == OP_DIV:
+                    stack[-1] = quotient
+                else:
+                    stack[-1] = left - quotient * right
+                pc += 1
+            elif op == OP_NEG:
+                stack[-1] = -stack[-1]
+                pc += 1
+            elif op == OP_NOT:
+                stack[-1] = 0 if stack[-1] != 0 else 1
+                pc += 1
+            elif op == OP_NEW:
+                class_index = aarg[pc]
+                stack.append(HeapObject(class_index, field_defaults[class_index]))
+                pc += 1
+            elif op == OP_IS_EXACT:
+                obj = stack.pop()
+                stack.append(
+                    1 if obj is not None and obj.class_index == aarg[pc] else 0
+                )
+                pc += 1
+            elif op == OP_GUARD_METHOD:
+                obj = stack.pop()
+                if obj is None:
+                    stack.append(0)
+                else:
+                    target = vtables[obj.class_index].get(aarg[pc])
+                    stack.append(1 if target == barg[pc] else 0)
+                pc += 1
+            elif op == OP_NEW_ARRAY:
+                length = stack.pop()
+                if length < 0:
+                    raise VMError(
+                        "negative array length",
+                        method.function.qualified_name,
+                        pc,
+                    )
+                time += length  # allocation cost scales with size
+                stack.append(HeapArray(length))
+                pc += 1
+            elif op == OP_ALOAD:
+                index = stack.pop()
+                array = stack.pop()
+                if array is None:
+                    raise NullPointerError(
+                        "array read on null", method.function.qualified_name, pc
+                    )
+                elements = array.elements
+                if index < 0 or index >= len(elements):
+                    raise ArrayBoundsError(
+                        f"index {index} out of bounds (len={len(elements)})",
+                        method.function.qualified_name,
+                        pc,
+                    )
+                stack.append(elements[index])
+                pc += 1
+            elif op == OP_ASTORE:
+                value = stack.pop()
+                index = stack.pop()
+                array = stack.pop()
+                if array is None:
+                    raise NullPointerError(
+                        "array write on null", method.function.qualified_name, pc
+                    )
+                elements = array.elements
+                if index < 0 or index >= len(elements):
+                    raise ArrayBoundsError(
+                        f"index {index} out of bounds (len={len(elements)})",
+                        method.function.qualified_name,
+                        pc,
+                    )
+                elements[index] = value
+                pc += 1
+            elif op == OP_ARRAY_LEN:
+                array = stack.pop()
+                if array is None:
+                    raise NullPointerError(
+                        "len() of null", method.function.qualified_name, pc
+                    )
+                stack.append(len(array.elements))
+                pc += 1
+            elif op == OP_PRINT:
+                self.output.append(stack.pop())
+                pc += 1
+            elif op == OP_NOP:
+                pc += 1
+            else:  # pragma: no cover - verifier rejects unknown opcodes
+                raise VMError(
+                    f"unknown opcode {op}", method.function.qualified_name, pc
+                )
+
+        self.time = time
+        self.steps = steps
+        self.call_count = call_count
+        return result
+
+
+def run_program(program: Program, config: VMConfig | None = None) -> Interpreter:
+    """Run ``program`` to completion and return the finished interpreter."""
+    vm = Interpreter(program, config)
+    vm.run()
+    return vm

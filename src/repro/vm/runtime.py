@@ -1,0 +1,102 @@
+"""Runtime code management: compiled method versions and the code cache.
+
+The interpreter never executes :class:`FunctionInfo` objects directly; it
+executes :class:`CompiledMethod` versions produced by "compiling" a
+function at some optimization level.  The adaptive system replaces cache
+entries as methods are recompiled; in-flight frames keep running the old
+version, as in a real VM.
+"""
+
+from __future__ import annotations
+
+from repro.bytecode.function import FunctionInfo
+from repro.bytecode.program import Program
+from repro.vm.costmodel import CostModel
+
+
+class CompiledMethod:
+    """One executable version of a function.
+
+    Holds the instruction stream unzipped into parallel opcode/operand/
+    cost arrays for the interpreter hot loop.
+    """
+
+    __slots__ = (
+        "function",
+        "index",
+        "code",
+        "ops",
+        "a",
+        "b",
+        "costs",
+        "opt_level",
+        "num_locals",
+        "returns_value",
+        "size_bytes",
+    )
+
+    def __init__(self, function: FunctionInfo, cost_model: CostModel, opt_level: int):
+        self.function = function
+        self.index = function.index
+        self.code = function.code
+        self.ops = [int(instr.op) for instr in function.code]
+        self.a = [instr.a for instr in function.code]
+        self.b = [instr.b for instr in function.code]
+        cost_table = cost_model.cost_array()
+        self.costs = [cost_table[op] for op in self.ops]
+        self.opt_level = opt_level
+        self.num_locals = function.num_locals
+        self.returns_value = function.returns_value
+        self.size_bytes = function.bytecode_size()
+
+    def __repr__(self) -> str:
+        return (
+            f"CompiledMethod({self.function.qualified_name}, "
+            f"opt={self.opt_level}, {len(self.ops)} instrs)"
+        )
+
+
+class CodeCache:
+    """Current executable version of every function in a program.
+
+    Also accounts "compilation time": each (re)compilation charges
+    ``compile_cost_per_byte[level] * bytecode_size`` to
+    :attr:`compile_time`, which the J9 experiments report on.
+    """
+
+    def __init__(self, program: Program, cost_model: CostModel):
+        self._program = program
+        self._cost_model = cost_model
+        self.compile_time = 0
+        self.compile_count = 0
+        self.methods: list[CompiledMethod] = [
+            self._charge_and_compile(function, opt_level=0)
+            for function in program.functions
+        ]
+
+    def _charge_and_compile(
+        self, function: FunctionInfo, opt_level: int
+    ) -> CompiledMethod:
+        per_byte = self._cost_model.compile_cost_per_byte.get(opt_level, 2)
+        self.compile_time += per_byte * function.bytecode_size()
+        self.compile_count += 1
+        return CompiledMethod(function, self._cost_model, opt_level)
+
+    def install(self, function: FunctionInfo, opt_level: int) -> CompiledMethod:
+        """Compile ``function`` at ``opt_level`` and make it current.
+
+        ``function`` may be a rewritten (optimized) body for an existing
+        function index.
+        """
+        method = self._charge_and_compile(function, opt_level)
+        self.methods[function.index] = method
+        return method
+
+    def current(self, index: int) -> CompiledMethod:
+        return self.methods[index]
+
+    def opt_level(self, index: int) -> int:
+        return self.methods[index].opt_level
+
+    def total_code_size(self) -> int:
+        return sum(m.size_bytes for m in self.methods)

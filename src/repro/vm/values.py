@@ -1,0 +1,53 @@
+"""Runtime value representations.
+
+Mini values at runtime are:
+
+* integers and booleans — plain Python ``int`` (booleans are 0/1),
+* ``null`` — Python ``None``,
+* objects — :class:`HeapObject`,
+* arrays — :class:`HeapArray` (a wrapper, *not* a bare list, so that the
+  ``EQ`` opcode's ``==`` has identity semantics instead of list deep
+  comparison).
+
+Object fields are initialized from the class's default template:
+``0`` for ``int``/``bool`` fields and ``None`` for reference fields, so
+``this.ref == null`` is true before assignment.  (Assembler-built
+classes, which carry no type information, default every field to 0.)
+"""
+
+from __future__ import annotations
+
+
+class HeapObject:
+    """An instance of a Mini class: a class index plus a field vector."""
+
+    __slots__ = ("class_index", "fields")
+
+    def __init__(self, class_index: int, field_template):
+        """``field_template``: the per-class default list (copied), or an
+        int field count (all fields default to 0)."""
+        self.class_index = class_index
+        if isinstance(field_template, int):
+            self.fields = [0] * field_template
+        else:
+            self.fields = list(field_template)
+
+    def __repr__(self) -> str:
+        return f"<object class={self.class_index} fields={self.fields}>"
+
+
+class HeapArray:
+    """A Mini array.  Identity equality; contents in ``elements``."""
+
+    __slots__ = ("elements",)
+
+    def __init__(self, length: int):
+        self.elements = [0] * length
+
+    def __len__(self) -> int:
+        return len(self.elements)
+
+    def __repr__(self) -> str:
+        preview = self.elements[:8]
+        suffix = "..." if len(self.elements) > 8 else ""
+        return f"<array len={len(self.elements)} {preview}{suffix}>"

@@ -1,0 +1,45 @@
+"""Yieldpoint kinds and flag states.
+
+The VM keeps one per-thread yieldpoint control word, exactly as Jikes
+RVM does after the paper's modification (§5.1), encoding three states:
+
+* ``YP_NONE`` (0)      — yieldpoints not taken,
+* ``YP_CBS`` (-1)      — prologue/epilogue yieldpoints taken (CBS window
+  open; backedge yieldpoints check ``> 0`` and are *not* taken),
+* ``YP_ALL`` (1)       — all yieldpoints taken (timer interrupt pending).
+"""
+
+from __future__ import annotations
+
+YP_NONE = 0
+YP_CBS = -1
+YP_ALL = 1
+
+#: Yieldpoint kinds passed to ``Profiler.handle_yieldpoint``.
+PROLOGUE = 0
+EPILOGUE = 1
+BACKEDGE = 2
+
+KIND_NAMES = {PROLOGUE: "prologue", EPILOGUE: "epilogue", BACKEDGE: "backedge"}
+
+
+class Profiler:
+    """Interface implemented by all DCG profilers.
+
+    The interpreter invokes:
+
+    * :meth:`handle_timer` on every virtual timer tick,
+    * :meth:`handle_yieldpoint` whenever a yieldpoint is *taken*
+      (i.e. the control word was non-zero, or >0 for backedges).
+
+    Handlers charge their own virtual-time costs via ``vm.charge``.
+    """
+
+    def attach(self, vm) -> None:
+        """Called once when installed on an interpreter."""
+
+    def handle_timer(self, vm) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def handle_yieldpoint(self, vm, kind: int) -> None:  # pragma: no cover
+        raise NotImplementedError

@@ -1,0 +1,59 @@
+"""Pinned output regression values for the benchmark suite.
+
+Each benchmark prints deterministic checksums; pinning them catches any
+unintended semantic change to the benchmark programs, the compiler, or
+the interpreter (which would silently invalidate every experiment).
+"""
+
+import pytest
+
+from repro.benchsuite.suite import program_for
+from repro.vm.config import jikes_config
+from repro.vm.interpreter import run_program
+
+@pytest.fixture(scope="module")
+def tiny_outputs():
+    names = [
+        "compress", "jess", "db", "javac", "mpegaudio", "mtrt", "jack",
+        "ipsixql", "xerces", "daikon", "kawa", "jbb", "soot", "adversarial",
+    ]
+    return {
+        name: run_program(program_for(name, "tiny"), jikes_config()).output
+        for name in names
+    }
+
+
+# The pinned values: regenerate with
+#   python -c "from tests.benchsuite.test_benchmark_outputs import dump; dump()"
+PINNED = {
+    "compress": [157806],
+    "jess": [19955, 689],
+    "db": [364034],
+    "javac": [1408],
+    "mpegaudio": [496477],
+    "mtrt": [5209],
+    "jack": [99],
+    "ipsixql": [211911, 253],
+    "xerces": [2, 436029, 0],
+    "daikon": [22],
+    "kawa": [713824],
+    "jbb": [542971],
+    "soot": [547965],
+    "adversarial": [12559],
+}
+
+
+def dump() -> None:  # pragma: no cover - developer helper
+    from repro.benchsuite.suite import program_for as pf
+
+    for name in PINNED:
+        vm = run_program(pf(name, "tiny"), jikes_config())
+        print(f'    "{name}": {vm.output},')
+
+
+@pytest.mark.parametrize("name", sorted(PINNED))
+def test_pinned_tiny_output(name, tiny_outputs):
+    assert tiny_outputs[name] == PINNED[name], (
+        f"{name} output changed — benchmark semantics drifted; if the "
+        f"change is intentional, regenerate the pinned values with dump()"
+    )

@@ -1,0 +1,61 @@
+"""Synthetic workload generator tests (property-based)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.benchsuite.generator import GeneratorConfig, generate_program, generate_source
+from repro.bytecode.verifier import verify_program
+from repro.vm.config import jikes_config
+from repro.vm.interpreter import run_program
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        GeneratorConfig(num_classes=0)
+    with pytest.raises(ValueError):
+        GeneratorConfig(methods_per_class=0)
+
+
+def test_deterministic_per_seed():
+    config = GeneratorConfig(seed=7)
+    assert generate_source(config) == generate_source(GeneratorConfig(seed=7))
+    assert generate_source(config) != generate_source(GeneratorConfig(seed=8))
+
+
+def test_generated_program_runs():
+    vm = run_program(generate_program(GeneratorConfig(seed=3, loop_iterations=50)))
+    assert len(vm.output) == 1
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    num_classes=st.integers(1, 5),
+    methods=st.integers(1, 6),
+)
+def test_generated_programs_compile_verify_terminate(seed, num_classes, methods):
+    config = GeneratorConfig(
+        num_classes=num_classes,
+        methods_per_class=methods,
+        loop_iterations=20,
+        seed=seed,
+    )
+    program = generate_program(config)
+    verify_program(program)
+    vm = run_program(program, jikes_config(max_steps=10_000_000))
+    assert len(vm.output) == 1
+    assert vm.finished
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_generated_programs_deterministic(seed):
+    config = GeneratorConfig(seed=seed, loop_iterations=25)
+    program = generate_program(config)
+    assert run_program(program).output == run_program(program).output
+
+
+def test_monomorphic_mode():
+    config = GeneratorConfig(polymorphic_arrays=False, seed=5, loop_iterations=10)
+    vm = run_program(generate_program(config))
+    assert len(vm.output) == 1

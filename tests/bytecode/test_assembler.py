@@ -1,0 +1,209 @@
+"""Assembler tests."""
+
+import pytest
+
+from repro.bytecode.assembler import AssemblerError, assemble
+from repro.bytecode.opcodes import Op
+from repro.vm.interpreter import Interpreter
+
+
+def test_simple_function():
+    program = assemble(
+        """
+        func main/0 locals=1 void
+          PUSH 41
+          PUSH 1
+          ADD
+          STORE 0
+          LOAD 0
+          PRINT
+          RETURN
+        end
+        """
+    )
+    vm = Interpreter(program)
+    vm.run()
+    assert vm.output == [42]
+
+
+def test_labels_and_jumps():
+    program = assemble(
+        """
+        func main/0 locals=1 void
+          PUSH 0
+          STORE 0
+        label loop
+          LOAD 0
+          PUSH 5
+          LT
+          JUMP_IF_FALSE done
+          LOAD 0
+          PUSH 1
+          ADD
+          STORE 0
+          JUMP loop
+        label done
+          LOAD 0
+          PRINT
+          RETURN
+        end
+        """
+    )
+    vm = Interpreter(program)
+    vm.run()
+    assert vm.output == [5]
+
+
+def test_classes_fields_methods():
+    program = assemble(
+        """
+        class Point fields x y
+        method Point.getX/1 locals=1
+          LOAD 0
+          GETFIELD Point.x
+          RETURN_VAL
+        end
+        func main/0 locals=1 void
+          NEW Point
+          STORE 0
+          LOAD 0
+          PUSH 7
+          PUTFIELD Point.x
+          LOAD 0
+          CALL_VIRTUAL getX 0
+          PRINT
+          RETURN
+        end
+        """
+    )
+    vm = Interpreter(program)
+    vm.run()
+    assert vm.output == [7]
+
+
+def test_inherited_fields_offsets():
+    program = assemble(
+        """
+        class A fields x
+        class B extends A fields y
+        func main/0 void
+          RETURN
+        end
+        """
+    )
+    b = program.class_named("B")
+    assert b.field_offsets == {"x": 0, "y": 1}
+
+
+def test_static_call_by_name():
+    program = assemble(
+        """
+        func seven/0
+          PUSH 7
+          RETURN_VAL
+        end
+        func main/0 void
+          CALL_STATIC seven 0
+          PRINT
+          RETURN
+        end
+        """
+    )
+    vm = Interpreter(program)
+    vm.run()
+    assert vm.output == [7]
+
+
+def test_guard_method_operands():
+    program = assemble(
+        """
+        class A
+        method A.f/1
+          PUSH 1
+          RETURN_VAL
+        end
+        func main/0 void
+          NEW A
+          GUARD_METHOD f 0 A.f
+          PRINT
+          RETURN
+        end
+        """
+    )
+    vm = Interpreter(program)
+    vm.run()
+    assert vm.output == [1]
+
+
+def test_comments_and_blank_lines_ignored():
+    program = assemble(
+        """
+        # a comment
+        func main/0 void
+
+          RETURN  # trailing comment
+        end
+        """
+    )
+    assert len(program.function_named("main").code) == 1
+
+
+def test_unknown_opcode_rejected():
+    with pytest.raises(AssemblerError, match="unknown opcode"):
+        assemble("func main/0 void\n  FROBNICATE\n  RETURN\nend")
+
+
+def test_undefined_label_rejected():
+    with pytest.raises(AssemblerError, match="undefined label"):
+        assemble("func main/0 void\n  JUMP nowhere\n  RETURN\nend")
+
+
+def test_duplicate_label_rejected():
+    with pytest.raises(AssemblerError, match="duplicate label"):
+        assemble(
+            "func main/0 void\nlabel a\nlabel a\n  RETURN\nend"
+        )
+
+
+def test_missing_end_rejected():
+    with pytest.raises(AssemblerError, match="missing 'end'"):
+        assemble("func main/0 void\n  RETURN\n")
+
+
+def test_operand_count_enforced():
+    with pytest.raises(AssemblerError, match="operand"):
+        assemble("func main/0 void\n  PUSH\n  RETURN\nend")
+
+
+def test_unknown_field_rejected():
+    with pytest.raises(AssemblerError, match="no field"):
+        assemble(
+            "class A fields x\nfunc main/0 void\n  PUSH_NULL\n  GETFIELD A.nope\n  RETURN\nend"
+        )
+
+
+def test_locals_less_than_params_rejected():
+    with pytest.raises(AssemblerError, match="locals"):
+        assemble("func f/2 locals=1\n  RETURN\nend")
+
+
+def test_method_requires_receiver_param():
+    with pytest.raises(AssemblerError, match="receiver"):
+        assemble("class A\nmethod A.f/0\n  RETURN\nend")
+
+
+def test_method_without_class_prefix_rejected():
+    with pytest.raises(AssemblerError, match="Class.name"):
+        assemble("method f/1\n  RETURN\nend")
+
+
+def test_push_operand_must_be_int():
+    with pytest.raises(AssemblerError, match="integer"):
+        assemble("func main/0 void\n  PUSH abc\n  RETURN\nend")
+
+
+def test_opcode_enum_ints_are_stable():
+    # The interpreter relies on int dispatch; spot-check key values.
+    assert int(Op.PUSH) == 1
+    assert int(Op.CALL_STATIC) == 50
+    assert int(Op.GUARD_METHOD) == 64

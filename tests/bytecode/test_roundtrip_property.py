@@ -1,0 +1,50 @@
+"""Property-based round-trip tests over generated programs.
+
+For any generated workload: compiled bytecode verifies, disassembles,
+re-assembles, and the re-assembled program behaves identically.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.benchsuite.generator import GeneratorConfig, generate_program
+from repro.bytecode.assembler import assemble
+from repro.bytecode.disassembler import disassemble
+from repro.bytecode.verifier import verify_program
+from repro.vm.config import jikes_config
+from repro.vm.interpreter import run_program
+
+
+@settings(max_examples=12, deadline=None)
+@given(seed=st.integers(0, 5000))
+def test_disassemble_assemble_roundtrip_preserves_behavior(seed):
+    config = GeneratorConfig(
+        num_classes=3, methods_per_class=3, loop_iterations=25, seed=seed
+    )
+    program = generate_program(config)
+    text = disassemble(program)
+    rebuilt = assemble(text)
+    verify_program(rebuilt)
+    assert run_program(program).output == run_program(rebuilt).output
+
+
+@settings(max_examples=12, deadline=None)
+@given(seed=st.integers(0, 5000))
+def test_roundtrip_is_textual_fixpoint(seed):
+    config = GeneratorConfig(
+        num_classes=2, methods_per_class=3, loop_iterations=10, seed=seed
+    )
+    program = generate_program(config)
+    text = disassemble(program)
+    assert disassemble(assemble(text)) == text
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 5000), interval=st.sampled_from([30_000, 100_000, 250_000]))
+def test_timer_interval_does_not_change_semantics(seed, interval):
+    config = GeneratorConfig(num_classes=2, methods_per_class=3,
+                             loop_iterations=30, seed=seed)
+    program = generate_program(config)
+    default = run_program(program, jikes_config())
+    other = run_program(program, jikes_config(timer_interval=interval))
+    assert default.output == other.output
+    assert default.steps == other.steps

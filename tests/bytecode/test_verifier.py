@@ -1,0 +1,156 @@
+"""Verifier tests: every structural check fires."""
+
+import pytest
+
+from repro.bytecode.function import FunctionInfo
+from repro.bytecode.instr import Instr
+from repro.bytecode.opcodes import Op
+from repro.bytecode.program import ClassInfo, Program
+from repro.bytecode.verifier import VerifyError, verify_function, verify_program
+from repro.frontend.codegen import compile_source
+
+
+def func(code, num_params=0, num_locals=0, returns_value=True, name="f"):
+    return FunctionInfo(
+        name=name,
+        code=code,
+        num_params=num_params,
+        num_locals=max(num_locals, num_params),
+        returns_value=returns_value,
+    )
+
+
+def test_valid_function_passes():
+    verify_function(func([Instr(Op.PUSH, 1), Instr(Op.RETURN_VAL)]))
+
+
+def test_empty_code_rejected():
+    with pytest.raises(VerifyError, match="empty"):
+        verify_function(func([]))
+
+
+def test_fall_off_end_rejected():
+    with pytest.raises(VerifyError, match="falls off"):
+        verify_function(func([Instr(Op.PUSH, 1)]))
+
+
+def test_stack_underflow_rejected():
+    with pytest.raises(VerifyError):
+        verify_function(func([Instr(Op.ADD), Instr(Op.RETURN)], returns_value=False))
+
+
+def test_jump_target_out_of_range_rejected():
+    with pytest.raises(VerifyError, match="out of range"):
+        verify_function(func([Instr(Op.JUMP, 99), Instr(Op.RETURN)]))
+
+
+def test_inconsistent_join_depth_rejected():
+    # Path A pushes one value before the join; path B pushes two.
+    code = [
+        Instr(Op.PUSH, 1),           # 0
+        Instr(Op.JUMP_IF_FALSE, 4),  # 1 -> join at 4 with depth 0 via branch
+        Instr(Op.PUSH, 2),           # 2
+        Instr(Op.PUSH, 3),           # 3   fall through to 4 with depth 2
+        Instr(Op.RETURN),            # 4
+    ]
+    with pytest.raises(VerifyError, match="join"):
+        verify_function(func(code, returns_value=False))
+
+
+def test_load_slot_out_of_range_rejected():
+    with pytest.raises(VerifyError, match="slot"):
+        verify_function(func([Instr(Op.LOAD, 3), Instr(Op.RETURN_VAL)], num_locals=1))
+
+
+def test_store_slot_out_of_range_rejected():
+    with pytest.raises(VerifyError, match="slot"):
+        verify_function(
+            func([Instr(Op.PUSH, 1), Instr(Op.STORE, 5), Instr(Op.RETURN)],
+                 num_locals=1, returns_value=False)
+        )
+
+
+def test_return_val_needs_operand():
+    with pytest.raises(VerifyError):
+        verify_function(func([Instr(Op.RETURN_VAL)]))
+
+
+def _program_with(main_code, extra=None):
+    program = Program()
+    main = FunctionInfo("main", main_code, 0, 0, returns_value=False)
+    program.add_function(main)
+    if extra is not None:
+        program.add_function(extra)
+    program.build_vtables()
+    return program
+
+
+def test_call_static_arity_checked_against_program():
+    callee = FunctionInfo("g", [Instr(Op.RETURN)], 2, 2, returns_value=False)
+    program = Program()
+    program.add_function(callee)
+    main = FunctionInfo(
+        "main",
+        [Instr(Op.PUSH, 1), Instr(Op.CALL_STATIC, 0, 1), Instr(Op.RETURN)],
+        0,
+        0,
+        returns_value=False,
+    )
+    program.add_function(main)
+    with pytest.raises(VerifyError, match="arity"):
+        verify_function(main, program)
+
+
+def test_bad_function_index_rejected():
+    program = _program_with([Instr(Op.CALL_STATIC, 42, 0), Instr(Op.RETURN)])
+    with pytest.raises(VerifyError, match="function index"):
+        verify_program(program)
+
+
+def test_bad_class_index_rejected():
+    program = _program_with([Instr(Op.NEW, 7), Instr(Op.POP), Instr(Op.RETURN)])
+    with pytest.raises(VerifyError, match="class index"):
+        verify_program(program)
+
+
+def test_bad_selector_rejected():
+    program = _program_with(
+        [Instr(Op.PUSH_NULL), Instr(Op.CALL_VIRTUAL, 9, 0), Instr(Op.POP), Instr(Op.RETURN)]
+    )
+    with pytest.raises(VerifyError, match="selector"):
+        verify_program(program)
+
+
+def test_void_value_selector_conflict_rejected():
+    program = Program()
+    program.add_class(ClassInfo(name="A"))
+    program.add_class(ClassInfo(name="B"))
+    f1 = FunctionInfo("f", [Instr(Op.RETURN)], 1, 1, kind="method", owner="A",
+                      returns_value=False)
+    f2 = FunctionInfo("f", [Instr(Op.PUSH, 1), Instr(Op.RETURN_VAL)], 1, 1,
+                      kind="method", owner="B", returns_value=True)
+    index1 = program.add_function(f1)
+    index2 = program.add_function(f2)
+    program.classes[0].declared_methods.append(index1)
+    program.classes[1].declared_methods.append(index2)
+    main = FunctionInfo("main", [Instr(Op.RETURN)], 0, 0, returns_value=False)
+    program.add_function(main)
+    program.build_vtables()
+    with pytest.raises(VerifyError, match="void in one class"):
+        verify_program(program)
+
+
+def test_unreachable_code_not_checked():
+    # Junk after an unconditional return is never verified.
+    code = [Instr(Op.RETURN), Instr(Op.ADD)]
+    verify_function(func(code, returns_value=False))
+
+
+def test_whole_compiled_suite_verifies():
+    source = """
+    class A { var x: int; def f(): int { return this.x; } }
+    class B extends A { def f(): int { return 2; } }
+    def helper(k: int): int { if (k > 0) { return helper(k - 1); } return 0; }
+    def main() { var b: A = new B(); print(b.f() + helper(3)); }
+    """
+    verify_program(compile_source(source))

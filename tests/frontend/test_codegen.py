@@ -1,0 +1,230 @@
+"""Code generation tests: structure of emitted bytecode plus
+end-to-end semantics via the interpreter."""
+
+import pytest
+
+from repro.bytecode.opcodes import Op
+from repro.bytecode.verifier import verify_program
+from repro.frontend.codegen import compile_source
+
+from tests.helpers import run_main_expr, run_source
+
+
+def ops_of(source: str, function: str):
+    program = compile_source(source)
+    return [instr.op for instr in program.function_named(function).code]
+
+
+def test_compiled_program_verifies():
+    program = compile_source(
+        "class A { var x: int; def get(): int { return this.x; } }"
+        "def main() { var a = new A(); print(a.get()); }"
+    )
+    verify_program(program)  # must not raise
+
+
+def test_main_registered_as_entry():
+    program = compile_source("def main() { }")
+    assert program.entry_function().name == "main"
+
+
+def test_void_function_ends_with_return():
+    ops = ops_of("def main() { }", "main")
+    assert ops[-1] is Op.RETURN
+
+
+def test_value_function_has_safety_epilogue():
+    ops = ops_of("def f(): int { return 1; } def main() { }", "f")
+    assert ops[-1] is Op.RETURN_VAL
+
+
+def test_short_circuit_and_emits_jump():
+    source = "def f(a: bool, b: bool): bool { return a && b; } def main() { }"
+    ops = ops_of(source, "f")
+    assert Op.JUMP_IF_FALSE in ops and Op.DUP in ops
+
+
+def test_while_has_backward_jump():
+    program = compile_source("def main() { while (true) { } }")
+    code = program.function_named("main").code
+    backward = [i for pc, i in enumerate(code) if i.op is Op.JUMP and i.a <= pc]
+    assert backward
+
+
+def test_virtual_call_uses_selector():
+    source = (
+        "class A { def f(): int { return 1; } }"
+        "def main() { var a = new A(); print(a.f()); }"
+    )
+    program = compile_source(source)
+    code = program.function_named("main").code
+    virtuals = [i for i in code if i.op is Op.CALL_VIRTUAL]
+    assert len(virtuals) == 1
+    assert program.selectors[virtuals[0].a] == ("f", 0)
+
+
+def test_static_call_indexes_function():
+    program = compile_source("def g(): int { return 7; } def main() { print(g()); }")
+    code = program.function_named("main").code
+    call = next(i for i in code if i.op is Op.CALL_STATIC)
+    assert program.functions[call.a].name == "g"
+
+
+def test_constructor_invokes_init():
+    source = (
+        "class A { var v: int; def init(v: int) { this.v = v; } }"
+        "def main() { var a = new A(3); print(a.v); }"
+    )
+    program = compile_source(source)
+    code = program.function_named("main").code
+    assert any(i.op is Op.NEW for i in code)
+    assert any(i.op is Op.DUP for i in code)
+    assert run_source(source) == [3]
+
+
+def test_field_offsets_respect_inheritance():
+    source = (
+        "class A { var x: int; }"
+        "class B extends A { var y: int; }"
+        "def main() { var b = new B(); b.x = 1; b.y = 2; print(b.x); print(b.y); }"
+    )
+    program = compile_source(source)
+    b = program.class_named("B")
+    assert b.field_offsets == {"x": 0, "y": 1}
+    assert run_source(source) == [1, 2]
+
+
+# -- semantics through the full pipeline ---------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "expr,expected",
+    [
+        ("1 + 2", 3),
+        ("10 - 4", 6),
+        ("6 * 7", 42),
+        ("17 / 5", 3),
+        ("17 % 5", 2),
+        ("-(3 + 4)", -7),
+        ("2 * 3 + 4 * 5", 26),
+        ("(2 + 3) * 4", 20),
+    ],
+)
+def test_arithmetic(expr, expected):
+    assert run_main_expr(expr) == expected
+
+
+@pytest.mark.parametrize(
+    "expr,expected",
+    [
+        ("1 < 2", 1),
+        ("2 < 1", 0),
+        ("2 <= 2", 1),
+        ("3 > 2", 1),
+        ("3 >= 4", 0),
+        ("5 == 5", 1),
+        ("5 != 5", 0),
+        ("true && false", 0),
+        ("true || false", 1),
+        ("!true", 0),
+        ("!(1 > 2)", 1),
+    ],
+)
+def test_booleans(expr, expected):
+    assert run_main_expr(expr) == expected
+
+
+def test_short_circuit_evaluation_order():
+    # g() must not run when the left side of && is false.
+    source = """
+    class Box { var called: int; }
+    def main() {
+      var box = new Box();
+      if (false && probe(box)) { print(99); }
+      print(box.called);
+      if (true || probe(box)) { print(1); }
+      print(box.called);
+    }
+    def probe(box: Box): bool { box.called = box.called + 1; return true; }
+    """
+    assert run_source(source) == [0, 1, 0]
+
+
+def test_nested_scopes_and_loops():
+    source = """
+    def main() {
+      var total = 0;
+      for (var i = 0; i < 5; i = i + 1) {
+        for (var j = 0; j < i; j = j + 1) {
+          total = total + i * j;
+        }
+      }
+      print(total);
+    }
+    """
+    expected = sum(i * j for i in range(5) for j in range(i))
+    assert run_source(source) == [expected]
+
+
+def test_recursion():
+    source = """
+    def fib(n: int): int {
+      if (n < 2) { return n; }
+      return fib(n - 1) + fib(n - 2);
+    }
+    def main() { print(fib(15)); }
+    """
+    assert run_source(source) == [610]
+
+
+def test_virtual_dispatch_chooses_override():
+    source = """
+    class A { def f(): int { return 1; } }
+    class B extends A { def f(): int { return 2; } }
+    class C extends B { }
+    def main() {
+      var a: A = new A(); var b: A = new B(); var c: A = new C();
+      print(a.f()); print(b.f()); print(c.f());
+    }
+    """
+    assert run_source(source) == [1, 2, 2]
+
+
+def test_super_method_inherited():
+    source = """
+    class A { def f(): int { return 10; } }
+    class B extends A { def g(): int { return this.f() + 1; } }
+    def main() { print(new B().g()); }
+    """
+    assert run_source(source) == [11]
+
+
+def test_mutual_recursion():
+    source = """
+    def isEven(n: int): bool { if (n == 0) { return true; } return isOdd(n - 1); }
+    def isOdd(n: int): bool { if (n == 0) { return false; } return isEven(n - 1); }
+    def main() { print(isEven(10)); print(isOdd(10)); }
+    """
+    assert run_source(source) == [1, 0]
+
+
+def test_arrays_of_objects_and_ints():
+    source = """
+    class P { var v: int; def init(v: int) { this.v = v; } }
+    def main() {
+      var ps = new P[3];
+      var i = 0;
+      while (i < 3) { ps[i] = new P(i * i); i = i + 1; }
+      var sum = 0;
+      i = 0;
+      while (i < len(ps)) { sum = sum + ps[i].v; i = i + 1; }
+      print(sum);
+    }
+    """
+    assert run_source(source) == [5]
+
+
+def test_truncated_division_semantics():
+    assert run_main_expr("(0 - 7) / 2") == -3  # truncation toward zero
+    assert run_main_expr("(0 - 7) % 2") == -1
+    assert run_main_expr("7 / (0 - 2)") == -3

@@ -1,0 +1,113 @@
+"""Class hierarchy analysis tests."""
+
+import pytest
+
+from repro.frontend.hierarchy import build_class_table
+from repro.lang.errors import TypeError_
+from repro.lang.parser import parse
+
+
+def table_for(source: str):
+    return build_class_table(parse(source))
+
+
+def test_single_class():
+    table = table_for("class A { var x: int; }")
+    symbol = table.get("A")
+    assert symbol is not None
+    assert "x" in symbol.all_fields
+
+
+def test_inherited_fields_visible():
+    table = table_for("class A { var x: int; } class B extends A { var y: int; }")
+    b = table.get("B")
+    assert set(b.all_fields) == {"x", "y"}
+    assert set(b.own_fields) == {"y"}
+
+
+def test_inherited_methods_visible():
+    table = table_for(
+        "class A { def f(): int { return 1; } } class B extends A { }"
+    )
+    assert ("f", 0) in table.get("B").all_methods
+
+
+def test_override_recorded_with_subclass_owner():
+    table = table_for(
+        "class A { def f(): int { return 1; } }"
+        "class B extends A { def f(): int { return 2; } }"
+    )
+    assert table.get("B").all_methods[("f", 0)].owner == "B"
+
+
+def test_topological_order_supers_first():
+    table = table_for("class B extends A { } class A { }")
+    assert table.order.index("A") < table.order.index("B")
+
+
+def test_is_subclass():
+    table = table_for("class A { } class B extends A { } class C extends B { }")
+    assert table.is_subclass("C", "A")
+    assert table.is_subclass("A", "A")
+    assert not table.is_subclass("A", "C")
+
+
+def test_duplicate_class_rejected():
+    with pytest.raises(TypeError_):
+        table_for("class A { } class A { }")
+
+
+def test_unknown_superclass_rejected():
+    with pytest.raises(TypeError_, match="unknown class"):
+        table_for("class A extends Ghost { }")
+
+
+def test_inheritance_cycle_rejected():
+    with pytest.raises(TypeError_, match="cycle"):
+        table_for("class A extends B { } class B extends A { }")
+
+
+def test_self_cycle_rejected():
+    with pytest.raises(TypeError_, match="cycle"):
+        table_for("class A extends A { }")
+
+
+def test_duplicate_field_rejected():
+    with pytest.raises(TypeError_, match="duplicate field"):
+        table_for("class A { var x: int; var x: int; }")
+
+
+def test_field_shadowing_rejected():
+    with pytest.raises(TypeError_, match="shadows"):
+        table_for("class A { var x: int; } class B extends A { var x: int; }")
+
+
+def test_duplicate_method_rejected():
+    with pytest.raises(TypeError_, match="duplicate method"):
+        table_for(
+            "class A { def f(): int { return 1; } def f(): int { return 2; } }"
+        )
+
+
+def test_arity_overload_allowed():
+    table = table_for(
+        "class A { def f(): int { return 1; } def f(x: int): int { return x; } }"
+    )
+    methods = table.get("A").all_methods
+    assert ("f", 0) in methods and ("f", 1) in methods
+
+
+def test_incompatible_override_return_rejected():
+    with pytest.raises(TypeError_, match="incompatible"):
+        table_for(
+            "class A { def f(): int { return 1; } }"
+            "class B extends A { def f(): bool { return true; } }"
+        )
+
+
+def test_incompatible_override_params_rejected():
+    with pytest.raises(TypeError_, match="incompatible"):
+        table_for(
+            "class A { def f(x: int) { } }"
+            "class B extends A { def f(x: bool) { } }"
+        )

@@ -1,0 +1,107 @@
+"""Direct unit tests for the symbol-table helpers."""
+
+import pytest
+
+from repro.frontend.hierarchy import build_class_table
+from repro.frontend.symbols import (
+    MethodSig,
+    Scope,
+    assignable,
+    check_type_exists,
+    is_reference,
+)
+from repro.lang import ast_nodes as ast
+from repro.lang.errors import SourceLocation, TypeError_
+from repro.lang.parser import parse
+
+LOC = SourceLocation(1, 1)
+
+
+def table():
+    return build_class_table(
+        parse("class A { } class B extends A { } class C { }")
+    )
+
+
+def test_is_reference():
+    assert is_reference(ast.ClassType("A"))
+    assert is_reference(ast.ArrayType(ast.INT))
+    assert is_reference(ast.NULL)
+    assert not is_reference(ast.INT)
+    assert not is_reference(ast.BOOL)
+
+
+def test_assignable_identity():
+    classes = table()
+    assert assignable(ast.INT, ast.INT, classes)
+    assert assignable(ast.ArrayType(ast.INT), ast.ArrayType(ast.INT), classes)
+
+
+def test_assignable_subtyping():
+    classes = table()
+    assert assignable(ast.ClassType("A"), ast.ClassType("B"), classes)
+    assert not assignable(ast.ClassType("B"), ast.ClassType("A"), classes)
+    assert not assignable(ast.ClassType("A"), ast.ClassType("C"), classes)
+
+
+def test_assignable_null():
+    classes = table()
+    assert assignable(ast.ClassType("A"), ast.NULL, classes)
+    assert assignable(ast.ArrayType(ast.BOOL), ast.NULL, classes)
+    assert not assignable(ast.INT, ast.NULL, classes)
+
+
+def test_array_types_invariant():
+    classes = table()
+    # B[] is not assignable to A[] (arrays are invariant in Mini).
+    assert not assignable(
+        ast.ArrayType(ast.ClassType("A")), ast.ArrayType(ast.ClassType("B")), classes
+    )
+
+
+def test_check_type_exists():
+    classes = table()
+    check_type_exists(ast.ClassType("A"), classes, LOC)
+    check_type_exists(ast.ArrayType(ast.ClassType("B")), classes, LOC)
+    with pytest.raises(TypeError_):
+        check_type_exists(ast.ClassType("Ghost"), classes, LOC)
+    with pytest.raises(TypeError_):
+        check_type_exists(ast.ArrayType(ast.ClassType("Ghost")), classes, LOC)
+
+
+def test_scope_lookup_through_parents():
+    outer = Scope()
+    outer.declare("x", 0, ast.INT, LOC)
+    inner = outer.child()
+    inner.declare("y", 1, ast.BOOL, LOC)
+    assert inner.lookup("x") == (0, ast.INT)
+    assert inner.lookup("y") == (1, ast.BOOL)
+    assert outer.lookup("y") is None
+    assert inner.lookup("z") is None
+
+
+def test_scope_duplicate_rejected():
+    scope = Scope()
+    scope.declare("x", 0, ast.INT, LOC)
+    with pytest.raises(TypeError_, match="already declared"):
+        scope.declare("x", 1, ast.INT, LOC)
+
+
+def test_method_sig_shape():
+    a = MethodSig("f", (ast.INT,), ast.BOOL, owner="A")
+    b = MethodSig("f", (ast.INT,), ast.BOOL, owner="B")
+    c = MethodSig("f", (ast.BOOL,), ast.BOOL, owner="B")
+    assert a.same_shape(b)
+    assert not a.same_shape(c)
+    assert a.argc == 1
+
+
+def test_class_table_require_raises():
+    classes = table()
+    with pytest.raises(TypeError_, match="unknown class"):
+        classes.require("Ghost", LOC)
+
+
+def test_class_table_iteration_order():
+    classes = table()
+    assert [symbol.name for symbol in classes] == classes.order

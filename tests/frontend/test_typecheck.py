@@ -1,0 +1,357 @@
+"""Type checker tests: acceptance and rejection."""
+
+import pytest
+
+from repro.frontend.typecheck import typecheck
+from repro.lang.errors import TypeError_
+from repro.lang.parser import parse
+
+
+def check(source: str):
+    return typecheck(parse(source))
+
+
+def check_main(body: str, prelude: str = ""):
+    return check(f"{prelude}\ndef main() {{ {body} }}")
+
+
+def reject(body: str, prelude: str = "", match: str | None = None):
+    with pytest.raises(TypeError_, match=match):
+        check_main(body, prelude)
+
+
+# -- program structure ----------------------------------------------------------
+
+
+def test_main_required():
+    with pytest.raises(TypeError_, match="main"):
+        check("def f() { }")
+
+
+def test_main_must_take_no_params():
+    with pytest.raises(TypeError_, match="no parameters"):
+        check("def main(x: int) { }")
+
+
+def test_duplicate_function_rejected():
+    with pytest.raises(TypeError_, match="duplicate"):
+        check("def f() { } def f() { } def main() { }")
+
+
+def test_function_shadowing_builtin_rejected():
+    with pytest.raises(TypeError_, match="builtin"):
+        check("def print(x: int) { } def main() { }")
+
+
+def test_function_colliding_with_class_rejected():
+    with pytest.raises(TypeError_, match="collides"):
+        check("class f { } def f() { } def main() { }")
+
+
+def test_unknown_param_type_rejected():
+    with pytest.raises(TypeError_, match="unknown class"):
+        check("def f(x: Ghost) { } def main() { }")
+
+
+# -- arithmetic and logic ----------------------------------------------------------
+
+
+def test_arithmetic_accepts_ints():
+    check_main("var x = 1 + 2 * 3 / 4 % 5 - 6; print(x);")
+
+
+def test_arithmetic_rejects_bool():
+    reject("var x = true + 1;")
+
+
+def test_comparison_produces_bool():
+    check_main("var b: bool = 1 < 2; print(b);")
+
+
+def test_comparison_rejects_bool_operands():
+    reject("var b = true < false;")
+
+
+def test_logical_ops_require_bool():
+    reject("var b = 1 && 2;")
+
+
+def test_not_requires_bool():
+    reject("var b = !3;")
+
+
+def test_negate_requires_int():
+    reject("var x = -true;")
+
+
+def test_equality_int_int():
+    check_main("print(1 == 2); print(1 != 2);")
+
+
+def test_equality_incompatible_rejected():
+    reject("print(1 == true);")
+
+
+def test_equality_null_vs_class():
+    check_main(
+        "var a: A = null; print(a == null);", prelude="class A { }"
+    )
+
+
+def test_equality_unrelated_classes_rejected():
+    reject(
+        "var a = new A(); var b = new B(); print(a == b);",
+        prelude="class A { } class B { }",
+    )
+
+
+def test_equality_sub_and_superclass_ok():
+    check_main(
+        "var a: A = new A(); var b = new B(); print(a == b);",
+        prelude="class A { } class B extends A { }",
+    )
+
+
+# -- variables ----------------------------------------------------------------------
+
+
+def test_undeclared_variable_rejected():
+    reject("print(nope);", match="undeclared")
+
+
+def test_duplicate_declaration_same_scope_rejected():
+    reject("var x = 1; var x = 2;")
+
+
+def test_inner_scope_declaration_ok():
+    check_main("var x = 1; if (true) { var y = 2; print(y); } print(x);")
+
+
+def test_variable_not_visible_outside_scope():
+    reject("if (true) { var y = 2; } print(y);")
+
+
+def test_declared_type_mismatch_rejected():
+    reject("var x: bool = 3;")
+
+
+def test_null_needs_annotation():
+    reject("var x = null;", match="annotate")
+
+
+def test_null_assignable_to_class_var():
+    check_main("var a: A = null; a = new A(); print(1);", prelude="class A { }")
+
+
+def test_subclass_assignable_to_superclass_var():
+    check_main(
+        "var a: A = new B(); print(1);",
+        prelude="class A { } class B extends A { }",
+    )
+
+
+def test_superclass_not_assignable_to_subclass_var():
+    reject(
+        "var b: B = new A(); print(1);",
+        prelude="class A { } class B extends A { }",
+    )
+
+
+# -- fields and methods ----------------------------------------------------------------
+
+
+FIELD_PRELUDE = "class P { var x: int; def getX(): int { return this.x; } }"
+
+
+def test_field_access_through_this():
+    check(FIELD_PRELUDE + " def main() { }")
+
+
+def test_bare_field_name_rejected():
+    with pytest.raises(TypeError_, match="explicit receiver"):
+        check("class P { var x: int; def f(): int { return x; } } def main() { }")
+
+
+def test_unknown_field_rejected():
+    reject(
+        "var p = new P(); print(p.nope);",
+        prelude=FIELD_PRELUDE,
+        match="no field",
+    )
+
+
+def test_field_on_int_rejected():
+    reject("var x = 1; print(x.y);")
+
+
+def test_method_call_ok():
+    check_main("var p = new P(); print(p.getX());", prelude=FIELD_PRELUDE)
+
+
+def test_unknown_method_rejected():
+    reject(
+        "var p = new P(); p.nope();",
+        prelude=FIELD_PRELUDE,
+        match="no method",
+    )
+
+
+def test_method_arity_mismatch_rejected():
+    reject(
+        "var p = new P(); print(p.getX(1));",
+        prelude=FIELD_PRELUDE,
+        match="no method",
+    )
+
+
+def test_argument_type_mismatch_rejected():
+    reject(
+        "f(true);",
+        prelude="def f(x: int) { }",
+        match="expected int",
+    )
+
+
+def test_this_outside_method_rejected():
+    reject("print(this.x);", match="outside")
+
+
+def test_field_assignment():
+    check_main("var p = new P(); p.x = 9; print(p.getX());", prelude=FIELD_PRELUDE)
+
+
+def test_field_assignment_type_mismatch():
+    reject("var p = new P(); p.x = true;", prelude=FIELD_PRELUDE)
+
+
+# -- constructors ----------------------------------------------------------------------
+
+
+def test_new_without_init_requires_no_args():
+    reject("var a = new A(1);", prelude="class A { }", match="constructor")
+
+
+def test_new_with_init():
+    check_main(
+        "var a = new A(1); print(1);",
+        prelude="class A { var v: int; def init(v: int) { this.v = v; } }",
+    )
+
+
+def test_init_must_be_void():
+    with pytest.raises(TypeError_, match="void"):
+        check("class A { def init(): int { return 1; } } def main() { }")
+
+
+def test_inherited_init_usable():
+    check_main(
+        "var b = new B(5); print(1);",
+        prelude=(
+            "class A { var v: int; def init(v: int) { this.v = v; } }"
+            "class B extends A { }"
+        ),
+    )
+
+
+# -- arrays -------------------------------------------------------------------------------
+
+
+def test_array_operations():
+    check_main("var a = new int[5]; a[0] = 1; print(a[0] + len(a));")
+
+
+def test_index_requires_int():
+    reject("var a = new int[5]; print(a[true]);")
+
+
+def test_index_on_non_array_rejected():
+    reject("var x = 3; print(x[0]);")
+
+
+def test_len_requires_array():
+    reject("print(len(3));")
+
+
+def test_object_arrays():
+    check_main(
+        "var arr = new A[2]; arr[0] = new A(); print(len(arr));",
+        prelude="class A { }",
+    )
+
+
+def test_array_element_type_checked():
+    reject(
+        "var arr = new A[2]; arr[0] = 5;",
+        prelude="class A { }",
+    )
+
+
+# -- control flow and returns -----------------------------------------------------------------
+
+
+def test_if_condition_must_be_bool():
+    reject("if (1) { }")
+
+
+def test_while_condition_must_be_bool():
+    reject("while (1) { }")
+
+
+def test_missing_return_rejected():
+    with pytest.raises(TypeError_, match="fall off"):
+        check("def f(): int { var x = 1; } def main() { }")
+
+
+def test_return_both_branches_ok():
+    check("def f(c: bool): int { if (c) { return 1; } else { return 2; } } def main() { }")
+
+
+def test_return_one_branch_insufficient():
+    with pytest.raises(TypeError_, match="fall off"):
+        check("def f(c: bool): int { if (c) { return 1; } } def main() { }")
+
+
+def test_while_true_counts_as_return():
+    check("def f(): int { while (true) { return 1; } } def main() { }")
+
+
+def test_void_return_with_value_rejected():
+    reject("return 3;")
+
+
+def test_value_return_without_value_rejected():
+    with pytest.raises(TypeError_, match="missing return value"):
+        check("def f(): int { return; } def main() { }")
+
+
+def test_return_subtype_ok():
+    check(
+        "class A { } class B extends A { }"
+        "def f(): A { return new B(); } def main() { }"
+    )
+
+
+# -- builtins ------------------------------------------------------------------------------------
+
+
+def test_print_int_and_bool():
+    check_main("print(1); print(true);")
+
+
+def test_print_object_rejected():
+    reject("print(new A());", prelude="class A { }", match="cannot print")
+
+
+def test_print_arity():
+    reject("print(1, 2);", match="exactly one")
+
+
+def test_unknown_function_rejected():
+    reject("ghost(1);", match="unknown function")
+
+
+def test_expression_annotations_set():
+    checked = check_main("var x = 1 + 2; print(x < 3);")
+    # The typechecker annotates expressions in place.
+    main = checked.ast.functions[0]
+    assert main.body[0].initializer.inferred_type is not None

@@ -1,0 +1,68 @@
+"""Convergence and phase-change experiment tests."""
+
+from repro.harness.convergence import (
+    ConvergenceCurve,
+    compare_convergence,
+    convergence_curve,
+    phase_change_study,
+    render_curves,
+)
+from repro.profiling.cbs import CBSProfiler
+from repro.profiling.timer_sampler import TimerProfiler
+
+
+def test_curve_helpers():
+    curve = ConvergenceCurve("x", ticks=[1, 2, 3], accuracies=[10.0, 50.0, 90.0])
+    assert curve.final_accuracy() == 90.0
+    assert curve.ticks_to_reach(50.0) == 2
+    assert curve.ticks_to_reach(99.0) is None
+    assert ConvergenceCurve("empty").final_accuracy() == 0.0
+
+
+def test_accuracy_is_monotone_ish_for_cbs():
+    curve = convergence_curve(
+        "jess", CBSProfiler(stride=3, samples_per_tick=16), "cbs", size="tiny"
+    )
+    assert curve.accuracies
+    # The profile never collapses: late accuracy >= half of peak.
+    peak = max(curve.accuracies)
+    assert curve.accuracies[-1] >= peak * 0.5
+
+
+def test_cbs_converges_faster_than_timer():
+    curves = compare_convergence("javac", size="small")
+    by_label = {c.label.split(" ")[0]: c for c in curves}
+    timer = by_label["timer"]
+    cbs = curves[-1]  # the configured-CBS curve
+    assert cbs.final_accuracy() > timer.final_accuracy()
+    # CBS reaches the timer's *final* accuracy much earlier than the
+    # timer does ("rapidly converges").
+    target = timer.final_accuracy()
+    cbs_when = cbs.ticks_to_reach(target)
+    assert cbs_when is not None
+    assert cbs_when < timer.ticks[-1] // 2
+
+
+def test_render_curves():
+    curves = [ConvergenceCurve("a", [1, 2], [5.0, 10.0])]
+    text = render_curves(curves)
+    assert "a" in text and "final=10.0%" in text
+
+
+def test_phase_change_continuous_beats_burst():
+    results = phase_change_study("jbb", size="small")
+    by_label = {r.label.split(" ")[0]: r for r in results}
+    cbs = by_label["cbs"]
+    patching = by_label["patching"]
+    # Continuous CBS tracks the post-change mix far better than the
+    # one-burst patching profile (paper §3.2's criticism).
+    assert cbs.late_phase_accuracy > patching.late_phase_accuracy + 10.0
+    # And is no worse overall.
+    assert cbs.overall_accuracy >= patching.overall_accuracy - 5.0
+
+
+def test_phase_change_results_have_both_scores():
+    results = phase_change_study("jbb", size="tiny")
+    for result in results:
+        assert 0.0 <= result.overall_accuracy <= 100.0
+        assert 0.0 <= result.late_phase_accuracy <= 100.0

@@ -1,0 +1,52 @@
+"""Report rendering tests."""
+
+from repro.harness.report import render_bars, render_grid, render_table
+
+
+def test_render_table_alignment():
+    text = render_table(["name", "v"], [["a", 1.0], ["long-name", 22.5]])
+    lines = text.splitlines()
+    assert len({len(line) for line in lines if line.strip()}) == 1  # aligned
+
+
+def test_render_table_title_underline():
+    text = render_table(["x"], [[1]], title="My Title")
+    lines = text.splitlines()
+    assert lines[0] == "My Title"
+    assert lines[1] == "=" * len("My Title")
+
+
+def test_render_table_float_precision():
+    assert "3.14" in render_table(["v"], [[3.14159]])
+
+
+def test_render_grid_missing_cells_dash():
+    text = render_grid("r", [1, 2], "c", [9], {(1, 9): "x"})
+    assert "-" in text.splitlines()[-1]
+
+
+def test_render_bars_basic():
+    text = render_bars(["a", "b"], {"s1": [10.0, 5.0], "s2": [0.0, -5.0]})
+    assert "█" in text       # positive bar
+    assert "▒" in text       # negative bar
+    assert "-5.0%" in text
+    assert "10.0%" in text
+
+
+def test_render_bars_scales_to_max():
+    text = render_bars(["x"], {"s": [50.0]}, width=10)
+    # The max value fills the whole width.
+    assert "█" * 10 in text
+
+
+def test_render_bars_empty():
+    assert render_bars([], {"s": []}) == "(no data)"
+
+
+def test_render_bars_zero_values():
+    text = render_bars(["x"], {"s": [0.0]})
+    assert "0.0%" in text
+
+
+def test_render_bars_custom_unit():
+    assert "ms" in render_bars(["x"], {"s": [1.0]}, unit="ms")

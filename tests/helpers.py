@@ -1,0 +1,28 @@
+"""Shared test utilities."""
+
+from __future__ import annotations
+
+from repro.frontend.codegen import compile_source
+from repro.vm.config import VMConfig, jikes_config
+from repro.vm.interpreter import Interpreter
+
+
+def run_source(source: str, config: VMConfig | None = None) -> list[int]:
+    """Compile and run Mini source; return the printed output."""
+    program = compile_source(source)
+    vm = Interpreter(program, config if config is not None else jikes_config())
+    vm.run()
+    return vm.output
+
+
+def run_main_expr(expr: str, prelude: str = "") -> int:
+    """Evaluate one Mini expression inside main() and return its value."""
+    source = f"{prelude}\ndef main() {{ print({expr}); }}"
+    output = run_source(source)
+    assert len(output) == 1
+    return output[0]
+
+
+def vm_for(source: str, config: VMConfig | None = None) -> Interpreter:
+    program = compile_source(source)
+    return Interpreter(program, config if config is not None else jikes_config())

@@ -1,0 +1,314 @@
+"""Inlining policy tests: old Jikes, new Jikes, J9, and static."""
+
+from repro.bytecode.opcodes import Op
+from repro.frontend.codegen import compile_source
+from repro.opt.inline import DEVIRTUALIZE, DIRECT, GUARDED
+from repro.profiling.dcg import DCG
+from repro.inlining.j9_inliner import J9Inliner
+from repro.inlining.new_inliner import NewJikesInliner
+from repro.inlining.old_inliner import OldJikesInliner
+from repro.inlining.policy import BudgetConfig
+from repro.inlining.static_heur import StaticSizePolicy, TrivialOnlyPolicy
+
+POLY_SRC = """
+class A { def f(): int { return 1; } }
+class B extends A { def f(): int { return 2; } }
+def tiny(x: int): int { return x + 1; }
+def medium(x: int): int {
+  var a = x + 1; var b = a * 2; var c = b + a; var d = c * 3;
+  var e = d + c; var g = e * 2; var h = g + e;
+  return h;
+}
+def main() {
+  var objs = new A[2];
+  objs[0] = new A();
+  objs[1] = new B();
+  var t = 0;
+  for (var i = 0; i < 100; i = i + 1) {
+    t = t + objs[i % 2].f() + tiny(i) + medium(i);
+  }
+  print(t);
+}
+"""
+
+
+def compiled():
+    return compile_source(POLY_SRC)
+
+
+def find_sites(program, name):
+    main = program.function_named("main")
+    sites = {}
+    for pc, instr in enumerate(main.code):
+        if instr.op is Op.CALL_STATIC:
+            sites.setdefault(program.functions[instr.a].name, pc)
+        elif instr.op is Op.CALL_VIRTUAL:
+            sites.setdefault(program.selectors[instr.a][0], pc)
+    return sites[name]
+
+
+def dcg_with(program, edges):
+    dcg = DCG()
+    for (caller, pc, callee), weight in edges.items():
+        dcg.record(caller, pc, callee, weight)
+    return dcg
+
+
+def decisions_by_pc(plan):
+    return {d.callsite_pc: d for d in plan.decisions}
+
+
+# -- static policies -----------------------------------------------------------
+
+
+def test_trivial_policy_inlines_only_tiny():
+    program = compiled()
+    plan = TrivialOnlyPolicy(program).plan_for(program.function_index("main"))
+    callees = {d.callee_index for d in plan.decisions}
+    assert program.function_index("tiny") in callees
+    assert program.function_index("medium") not in callees
+
+
+def test_static_policy_threshold_controls_inlining():
+    program = compiled()
+    small = StaticSizePolicy(program, size_threshold=10)
+    large = StaticSizePolicy(program, size_threshold=100)
+    main = program.function_index("main")
+    assert small.plan_for(main).count() < large.plan_for(main).count()
+
+
+def test_static_policy_ignores_polymorphic_virtuals():
+    program = compiled()
+    plan = StaticSizePolicy(program, size_threshold=100).plan_for(
+        program.function_index("main")
+    )
+    f_site = find_sites(program, "f")
+    assert f_site not in decisions_by_pc(plan)
+
+
+def test_static_policy_devirtualizes_monomorphic_big_callee():
+    source = """
+    class Solo { def huge(x: int): int {
+      var a = x; a = a + 1; a = a * 2; a = a + 3; a = a * 4; a = a + 5;
+      a = a * 6; a = a + 7; a = a * 8; a = a + 9; a = a * 10; a = a + 11;
+      a = a * 12; a = a + 13; a = a * 14; a = a + 15; a = a * 16;
+      return a;
+    } }
+    def main() { print(new Solo().huge(1)); }
+    """
+    program = compile_source(source)
+    plan = StaticSizePolicy(program, size_threshold=10).plan_for(
+        program.function_index("main")
+    )
+    kinds = {d.kind for d in plan.decisions}
+    assert DEVIRTUALIZE in kinds
+
+
+# -- old Jikes inliner -------------------------------------------------------------
+
+
+def test_old_inliner_ignores_nonhot_virtual_sites():
+    program = compiled()
+    main = program.function_index("main")
+    f_site = find_sites(program, "f")
+    a_f = program.function_index("A.f")
+    # 0.5% of total weight: below the 1% hot threshold.
+    dcg = dcg_with(program, {(main, f_site, a_f): 1, (0, 0, 1): 199})
+    plan = OldJikesInliner(program).plan_for(main, dcg)
+    assert f_site not in decisions_by_pc(plan)
+
+
+def test_old_inliner_guards_hot_virtual_edge():
+    program = compiled()
+    main = program.function_index("main")
+    f_site = find_sites(program, "f")
+    a_f = program.function_index("A.f")
+    dcg = dcg_with(program, {(main, f_site, a_f): 50, (0, 0, 1): 50})
+    plan = OldJikesInliner(program).plan_for(main, dcg)
+    decision = decisions_by_pc(plan)[f_site]
+    assert decision.kind == GUARDED and decision.callee_index == a_f
+
+
+def test_old_inliner_hot_edge_raises_static_threshold():
+    program = compiled()
+    main = program.function_index("main")
+    medium_site = find_sites(program, "medium")
+    medium = program.function_index("medium")
+    cold = OldJikesInliner(program).plan_for(main, DCG())
+    hot_dcg = dcg_with(program, {(main, medium_site, medium): 100})
+    hot = OldJikesInliner(program).plan_for(main, hot_dcg)
+    assert medium_site not in decisions_by_pc(cold)
+    assert medium_site in decisions_by_pc(hot)
+
+
+# -- new Jikes inliner ----------------------------------------------------------------
+
+
+def test_new_inliner_threshold_is_linear_in_weight():
+    program = compiled()
+    policy = NewJikesInliner(
+        program, base_size_threshold=20, threshold_slope=100.0, max_size_threshold=80
+    )
+    assert policy.size_threshold(0.0) == 20
+    assert policy.size_threshold(0.3) == 50
+    assert policy.size_threshold(5.0) == 80  # bounded
+
+
+def test_new_inliner_exploits_nonhot_monomorphic_site():
+    # The motivating case: a site with 0.5% weight and a single target.
+    program = compiled()
+    main = program.function_index("main")
+    f_site = find_sites(program, "f")
+    a_f = program.function_index("A.f")
+    dcg = dcg_with(program, {(main, f_site, a_f): 1, (0, 0, 1): 199})
+    plan = NewJikesInliner(program).plan_for(main, dcg)
+    decision = decisions_by_pc(plan).get(f_site)
+    assert decision is not None and decision.kind == GUARDED
+
+
+def test_new_inliner_40_percent_rule():
+    program = compiled()
+    main = program.function_index("main")
+    f_site = find_sites(program, "f")
+    a_f = program.function_index("A.f")
+    b_f = program.function_index("B.f")
+    # 50/50 distribution: dominant target carries exactly 50% > 40% => guarded.
+    even = dcg_with(program, {(main, f_site, a_f): 50, (main, f_site, b_f): 50})
+    plan = NewJikesInliner(program).plan_for(main, even)
+    assert decisions_by_pc(plan)[f_site].kind == GUARDED
+    # 3-way-ish: dominant carries only 38% => no guarded inline.
+    flat = dcg_with(
+        program,
+        {(main, f_site, a_f): 38, (main, f_site, b_f): 62},
+    )
+    # Here B.f dominates with 62% -> guarded on B.f; make it truly flat:
+    flat = dcg_with(
+        program,
+        {(main, f_site, a_f): 40, (main, f_site, b_f): 60},
+    )
+    plan = NewJikesInliner(program, guarded_fraction=0.7).plan_for(main, flat)
+    assert f_site not in decisions_by_pc(plan)
+
+
+def test_new_inliner_static_sites_inline_without_profile():
+    program = compiled()
+    plan = NewJikesInliner(program).plan_for(program.function_index("main"), None)
+    callees = {d.callee_index for d in plan.decisions}
+    assert program.function_index("tiny") in callees
+
+
+# -- J9 inliner ----------------------------------------------------------------------------
+
+
+def test_j9_static_mode_is_aggressive():
+    program = compiled()
+    plan = J9Inliner(program, use_dynamic=False).plan_for(
+        program.function_index("main"), None
+    )
+    callees = {d.callee_index for d in plan.decisions}
+    assert program.function_index("medium") in callees
+
+
+def test_j9_cold_site_suppressed():
+    program = compiled()
+    main = program.function_index("main")
+    medium_site = find_sites(program, "medium")
+    medium = program.function_index("medium")
+    # Rich profile where the medium site never appears => cold => suppressed.
+    dcg = dcg_with(program, {(0, 0, 1): 10_000})
+    plan = J9Inliner(program).plan_for(main, dcg)
+    assert medium_site not in decisions_by_pc(plan)
+
+
+def test_j9_hot_site_gets_bigger_threshold():
+    program = compiled()
+    main = program.function_index("main")
+    medium_site = find_sites(program, "medium")
+    medium = program.function_index("medium")
+    dcg = dcg_with(program, {(main, medium_site, medium): 5_000, (0, 0, 1): 5_000})
+    plan = J9Inliner(program).plan_for(main, dcg)
+    assert medium_site in decisions_by_pc(plan)
+
+
+def test_j9_tiny_callees_always_inline():
+    program = compiled()
+    main = program.function_index("main")
+    tiny_site = find_sites(program, "tiny")
+    dcg = dcg_with(program, {(0, 0, 1): 10_000})  # tiny site cold
+    plan = J9Iliner_plan = J9Inliner(program).plan_for(main, dcg)
+    assert tiny_site in decisions_by_pc(plan)
+
+
+def test_j9_required_weight_scales_with_size():
+    program = compiled()
+    policy = J9Inliner(program, required_fraction_per_byte=0.001)
+    main = program.function_index("main")
+    medium_site = find_sites(program, "medium")
+    medium = program.function_index("medium")
+    size = program.functions[medium].bytecode_size()
+    # Fraction just below required: size * 0.001.
+    required = size * 0.001
+    below = dcg_with(
+        program,
+        {(main, medium_site, medium): 1, (0, 0, 1): int(1 / (required * 0.5))},
+    )
+    plan = policy.plan_for(main, below)
+    assert medium_site not in decisions_by_pc(plan)
+
+
+# -- shared budget machinery ---------------------------------------------------------------------
+
+
+def test_budget_limits_growth():
+    program = compiled()
+    tight = BudgetConfig(max_growth_bytes=5)
+    plan = StaticSizePolicy(program, size_threshold=100, budget=tight).plan_for(
+        program.function_index("main")
+    )
+    assert plan.count() == 0 or plan.count() < 2
+
+
+def test_depth_limit():
+    source = """
+    def l0(x: int): int { return x + 1; }
+    def l1(x: int): int { return l0(x) + 1; }
+    def l2(x: int): int { return l1(x) + 1; }
+    def l3(x: int): int { return l2(x) + 1; }
+    def main() { print(l3(0)); }
+    """
+    program = compile_source(source)
+    shallow = BudgetConfig(max_depth=2)
+    plan = StaticSizePolicy(program, size_threshold=100, budget=shallow).plan_for(
+        program.function_index("main")
+    )
+
+    def max_depth(decisions, depth=1):
+        if not decisions:
+            return depth - 1
+        return max(max_depth(d.nested, depth + 1) for d in decisions)
+
+    assert max_depth(plan.decisions) <= 2
+
+
+def test_no_recursive_inlining():
+    source = """
+    def r(n: int): int { if (n <= 0) { return 0; } return r(n - 1) + 1; }
+    def main() { print(r(3)); }
+    """
+    program = compile_source(source)
+    plan = StaticSizePolicy(program, size_threshold=200).plan_for(
+        program.function_index("r")
+    )
+    # r may not inline itself into itself.
+    assert all(d.callee_index != program.function_index("r") for d in plan.decisions)
+
+
+def test_absolute_callee_limit_enforced():
+    program = compiled()
+    budget = BudgetConfig(absolute_callee_limit=5)
+    plan = StaticSizePolicy(program, size_threshold=1000, budget=budget).plan_for(
+        program.function_index("main")
+    )
+    for decision in plan.decisions:
+        size = program.functions[decision.callee_index].bytecode_size()
+        assert size <= 5 or decision.kind == DEVIRTUALIZE

@@ -1,0 +1,90 @@
+"""Property-based whole-pipeline tests on generated workloads."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.adaptive.controller import AdaptiveSystem
+from repro.adaptive.modes import jit_only_cache
+from repro.benchsuite.generator import GeneratorConfig, generate_program
+from repro.opt.pipeline import optimize_function
+from repro.profiling.cbs import CBSProfiler
+from repro.profiling.exhaustive import ExhaustiveProfiler
+from repro.inlining.j9_inliner import J9Inliner
+from repro.inlining.new_inliner import NewJikesInliner
+from repro.inlining.old_inliner import OldJikesInliner
+from repro.vm.config import j9_config, jikes_config
+from repro.vm.interpreter import Interpreter
+
+
+def _generated(seed, loops=60):
+    return generate_program(
+        GeneratorConfig(
+            num_classes=3,
+            methods_per_class=4,
+            max_calls_per_method=2,
+            loop_iterations=loops,
+            seed=seed,
+        )
+    )
+
+
+def _perfect_profile(program, config):
+    vm = Interpreter(program, config)
+    profiler = ExhaustiveProfiler()
+    profiler.install(vm)
+    vm.run()
+    return vm.output, profiler.dcg
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    seed=st.integers(0, 8000),
+    policy_class=st.sampled_from([NewJikesInliner, OldJikesInliner, J9Inliner]),
+)
+def test_profile_guided_optimization_preserves_semantics(seed, policy_class):
+    program = _generated(seed)
+    config = jikes_config()
+    expected, dcg = _perfect_profile(program, config)
+
+    policy = policy_class(program)
+    vm = Interpreter(program, config)
+    for function in program.functions:
+        plan = policy.plan_for(function.index, dcg)
+        if plan.is_empty():
+            continue
+        result = optimize_function(program, plan)
+        vm.code_cache.install(result.function, 2)
+    vm.run()
+    assert vm.output == expected
+
+
+@settings(max_examples=8, deadline=None)
+@given(seed=st.integers(0, 8000))
+def test_adaptive_full_stack_preserves_semantics_on_random_programs(seed):
+    program = _generated(seed, loops=2500)
+    config = jikes_config()
+    plain = Interpreter(program, config)
+    plain.run()
+
+    vm = Interpreter(program, config, jit_only_cache(program, config.cost_model, 0))
+    vm.attach_profiler(CBSProfiler(stride=3, samples_per_tick=16))
+    AdaptiveSystem(program, NewJikesInliner(program)).install(vm)
+    for _ in range(3):
+        vm.run()
+    assert vm.output == plain.output * 3
+
+
+@settings(max_examples=8, deadline=None)
+@given(seed=st.integers(0, 8000))
+def test_cbs_samples_are_subset_of_truth_on_random_programs(seed):
+    program = _generated(seed, loops=2500)
+    config = j9_config()
+    vm = Interpreter(program, config)
+    perfect = ExhaustiveProfiler()
+    perfect.install(vm)
+    profiler = CBSProfiler(stride=3, samples_per_tick=8)
+    vm.attach_profiler(profiler)
+    vm.run()
+    truth = perfect.dcg.edges()
+    for edge, weight in profiler.dcg.edges().items():
+        assert edge in truth
+        assert weight <= truth[edge]

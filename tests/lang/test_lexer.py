@@ -1,0 +1,174 @@
+"""Lexer unit tests."""
+
+import pytest
+
+from repro.lang.errors import LexError
+from repro.lang.lexer import tokenize
+from repro.lang.tokens import TokenKind
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)]
+
+
+def test_empty_input_yields_eof():
+    tokens = tokenize("")
+    assert len(tokens) == 1
+    assert tokens[0].kind is TokenKind.EOF
+
+
+def test_integer_literal_value():
+    tokens = tokenize("12345")
+    assert tokens[0].kind is TokenKind.INT
+    assert tokens[0].value == 12345
+
+
+def test_zero_literal():
+    assert tokenize("0")[0].value == 0
+
+
+def test_identifier():
+    tokens = tokenize("fooBar_9")
+    assert tokens[0].kind is TokenKind.IDENT
+    assert tokens[0].value == "fooBar_9"
+
+
+def test_identifier_with_leading_underscore():
+    assert tokenize("_x")[0].value == "_x"
+
+
+@pytest.mark.parametrize(
+    "word,kind",
+    [
+        ("class", TokenKind.KW_CLASS),
+        ("extends", TokenKind.KW_EXTENDS),
+        ("def", TokenKind.KW_DEF),
+        ("var", TokenKind.KW_VAR),
+        ("if", TokenKind.KW_IF),
+        ("else", TokenKind.KW_ELSE),
+        ("while", TokenKind.KW_WHILE),
+        ("for", TokenKind.KW_FOR),
+        ("return", TokenKind.KW_RETURN),
+        ("new", TokenKind.KW_NEW),
+        ("this", TokenKind.KW_THIS),
+        ("true", TokenKind.KW_TRUE),
+        ("false", TokenKind.KW_FALSE),
+        ("null", TokenKind.KW_NULL),
+        ("int", TokenKind.KW_INT),
+        ("bool", TokenKind.KW_BOOL),
+        ("void", TokenKind.KW_VOID),
+    ],
+)
+def test_keywords(word, kind):
+    assert kinds(word) == [kind, TokenKind.EOF]
+
+
+def test_keyword_prefix_is_identifier():
+    tokens = tokenize("classy")
+    assert tokens[0].kind is TokenKind.IDENT
+    assert tokens[0].value == "classy"
+
+
+@pytest.mark.parametrize(
+    "text,kind",
+    [
+        ("==", TokenKind.EQ),
+        ("!=", TokenKind.NE),
+        ("<=", TokenKind.LE),
+        (">=", TokenKind.GE),
+        ("&&", TokenKind.AND),
+        ("||", TokenKind.OR),
+        ("=", TokenKind.ASSIGN),
+        ("+", TokenKind.PLUS),
+        ("-", TokenKind.MINUS),
+        ("*", TokenKind.STAR),
+        ("/", TokenKind.SLASH),
+        ("%", TokenKind.PERCENT),
+        ("<", TokenKind.LT),
+        (">", TokenKind.GT),
+        ("!", TokenKind.NOT),
+        ("(", TokenKind.LPAREN),
+        (")", TokenKind.RPAREN),
+        ("{", TokenKind.LBRACE),
+        ("}", TokenKind.RBRACE),
+        ("[", TokenKind.LBRACKET),
+        ("]", TokenKind.RBRACKET),
+        (",", TokenKind.COMMA),
+        (";", TokenKind.SEMI),
+        (":", TokenKind.COLON),
+        (".", TokenKind.DOT),
+    ],
+)
+def test_operators(text, kind):
+    assert kinds(text) == [kind, TokenKind.EOF]
+
+
+def test_two_char_operator_greedy():
+    # "<=" must not lex as "<", "="
+    assert kinds("a<=b") == [
+        TokenKind.IDENT,
+        TokenKind.LE,
+        TokenKind.IDENT,
+        TokenKind.EOF,
+    ]
+
+
+def test_line_comment_skipped():
+    assert kinds("1 // comment here\n2") == [
+        TokenKind.INT,
+        TokenKind.INT,
+        TokenKind.EOF,
+    ]
+
+
+def test_block_comment_skipped():
+    assert kinds("1 /* a\nmultiline\ncomment */ 2") == [
+        TokenKind.INT,
+        TokenKind.INT,
+        TokenKind.EOF,
+    ]
+
+
+def test_unterminated_block_comment_raises():
+    with pytest.raises(LexError):
+        tokenize("1 /* never closed")
+
+
+def test_unexpected_character_raises():
+    with pytest.raises(LexError):
+        tokenize("a @ b")
+
+
+def test_digit_prefixed_identifier_raises():
+    with pytest.raises(LexError):
+        tokenize("123abc")
+
+
+def test_locations_track_lines_and_columns():
+    tokens = tokenize("a\n  b")
+    assert (tokens[0].location.line, tokens[0].location.column) == (1, 1)
+    assert (tokens[1].location.line, tokens[1].location.column) == (2, 3)
+
+
+def test_location_filename_recorded():
+    tokens = tokenize("x", filename="file.mini")
+    assert tokens[0].location.filename == "file.mini"
+
+
+def test_whitespace_variants():
+    assert kinds("\t 1 \r\n 2 ") == [TokenKind.INT, TokenKind.INT, TokenKind.EOF]
+
+
+def test_token_str_forms():
+    tokens = tokenize("x 42 +")
+    assert str(tokens[0]) == "identifier(x)"
+    assert str(tokens[1]) == "int-literal(42)"
+    assert str(tokens[2]) == "+"
+
+
+def test_realistic_snippet():
+    source = "def main() { var x = 1 + 2; print(x); }"
+    token_kinds = kinds(source)
+    assert token_kinds[0] is TokenKind.KW_DEF
+    assert token_kinds[-1] is TokenKind.EOF
+    assert TokenKind.SEMI in token_kinds

@@ -1,0 +1,296 @@
+"""Inline transform tests: semantics preservation and structure."""
+
+import pytest
+
+from repro.bytecode.opcodes import Op
+from repro.bytecode.verifier import verify_function
+from repro.frontend.codegen import compile_source
+from repro.opt.inline import (
+    DEVIRTUALIZE,
+    DIRECT,
+    GUARDED,
+    InlineDecision,
+    InlineError,
+    InlinePlan,
+    InlineTransform,
+)
+from repro.vm.config import jikes_config
+from repro.vm.interpreter import Interpreter
+
+
+def run(program, replacements=None):
+    vm = Interpreter(program, jikes_config())
+    if replacements:
+        for function, level in replacements:
+            vm.code_cache.install(function, level)
+    vm.run()
+    return vm.output
+
+
+def apply_plan(program, plan):
+    function = InlineTransform(program).apply(plan)
+    verify_function(function, program)
+    return function
+
+
+def first_call_site(program, name, op):
+    function = program.function_named(name)
+    for pc, instr in enumerate(function.code):
+        if instr.op is op:
+            return pc
+    raise AssertionError(f"no {op.name} in {name}")
+
+
+STATIC_SRC = """
+def add3(x: int): int { return x + 3; }
+def main() { var t = 0; for (var i = 0; i < 10; i = i + 1) { t = add3(t); } print(t); }
+"""
+
+
+def test_direct_inline_of_static_call():
+    program = compile_source(STATIC_SRC)
+    pc = first_call_site(program, "main", Op.CALL_STATIC)
+    callee = program.function_index("add3")
+    plan = InlinePlan(program.function_index("main"), [InlineDecision(pc, callee)])
+    optimized = apply_plan(program, plan)
+    assert not any(i.op is Op.CALL_STATIC for i in optimized.code)
+    assert run(program) == run(program, [(optimized, 1)]) == [30]
+
+
+VIRTUAL_SRC = """
+class A { def f(x: int): int { return x + 1; } }
+class B extends A { def f(x: int): int { return x * 2; } }
+def main() {
+  var a: A = new A();
+  var b: A = new B();
+  var t = 0;
+  for (var i = 0; i < 8; i = i + 1) { t = a.f(t) + b.f(i); }
+  print(t);
+}
+"""
+
+
+def test_guarded_inline_preserves_polymorphism():
+    program = compile_source(VIRTUAL_SRC)
+    main_index = program.function_index("main")
+    expected = run(program)
+    # Guard the FIRST virtual call site on A.f.
+    pc = first_call_site(program, "main", Op.CALL_VIRTUAL)
+    plan = InlinePlan(
+        main_index,
+        [InlineDecision(pc, program.function_index("A.f"), GUARDED)],
+    )
+    optimized = apply_plan(program, plan)
+    assert any(i.op is Op.GUARD_METHOD for i in optimized.code)
+    assert any(i.op is Op.CALL_VIRTUAL for i in optimized.code)  # fallback
+    assert run(program, [(optimized, 1)]) == expected
+
+
+def test_guarded_inline_wrong_target_falls_back():
+    program = compile_source(VIRTUAL_SRC)
+    main_index = program.function_index("main")
+    expected = run(program)
+    pc = first_call_site(program, "main", Op.CALL_VIRTUAL)
+    # Guard on B.f at a site that receives an A: guard always fails,
+    # fallback dispatch keeps semantics.
+    plan = InlinePlan(
+        main_index,
+        [InlineDecision(pc, program.function_index("B.f"), GUARDED)],
+    )
+    optimized = apply_plan(program, plan)
+    assert run(program, [(optimized, 1)]) == expected
+
+
+def test_devirtualize_monomorphic_call():
+    source = """
+    class Only { def f(x: int): int { return x - 1; } }
+    def main() { var o = new Only(); print(o.f(10)); }
+    """
+    program = compile_source(source)
+    pc = first_call_site(program, "main", Op.CALL_VIRTUAL)
+    plan = InlinePlan(
+        program.function_index("main"),
+        [InlineDecision(pc, program.function_index("Only.f"), DEVIRTUALIZE)],
+    )
+    optimized = apply_plan(program, plan)
+    assert not any(i.op is Op.CALL_VIRTUAL for i in optimized.code)
+    call = next(i for i in optimized.code if i.op is Op.CALL_STATIC)
+    assert call.b == 2  # receiver + one arg
+    assert run(program, [(optimized, 1)]) == [9]
+
+
+def test_nested_inline():
+    source = """
+    def inner(x: int): int { return x * 2; }
+    def outer(x: int): int { return inner(x) + 1; }
+    def main() { print(outer(5)); }
+    """
+    program = compile_source(source)
+    outer_index = program.function_index("outer")
+    inner_index = program.function_index("inner")
+    outer_pc = first_call_site(program, "main", Op.CALL_STATIC)
+    inner_pc = first_call_site(program, "outer", Op.CALL_STATIC)
+    plan = InlinePlan(
+        program.function_index("main"),
+        [
+            InlineDecision(
+                outer_pc,
+                outer_index,
+                DIRECT,
+                nested=[InlineDecision(inner_pc, inner_index, DIRECT)],
+            )
+        ],
+    )
+    optimized = apply_plan(program, plan)
+    assert not any(
+        i.op in (Op.CALL_STATIC, Op.CALL_VIRTUAL) for i in optimized.code
+    )
+    assert run(program, [(optimized, 1)]) == [11]
+
+
+def test_inline_void_callee():
+    source = """
+    class Counter { var n: int; def bump() { this.n = this.n + 1; } }
+    def main() {
+      var c = new Counter();
+      for (var i = 0; i < 5; i = i + 1) { c.bump(); }
+      print(c.n);
+    }
+    """
+    program = compile_source(source)
+    pc = [
+        p
+        for p, i in enumerate(program.function_named("main").code)
+        if i.op is Op.CALL_VIRTUAL
+        and program.selectors[i.a] == ("bump", 0)
+    ][0]
+    plan = InlinePlan(
+        program.function_index("main"),
+        [InlineDecision(pc, program.function_index("Counter.bump"), GUARDED)],
+    )
+    optimized = apply_plan(program, plan)
+    assert run(program, [(optimized, 1)]) == [5]
+
+
+def test_inline_callee_with_branches():
+    source = """
+    def absval(x: int): int { if (x < 0) { return 0 - x; } return x; }
+    def main() { print(absval(0 - 9) + absval(4)); }
+    """
+    program = compile_source(source)
+    main = program.function_named("main")
+    sites = [pc for pc, i in enumerate(main.code) if i.op is Op.CALL_STATIC]
+    callee = program.function_index("absval")
+    plan = InlinePlan(
+        main.index, [InlineDecision(pc, callee) for pc in sites]
+    )
+    optimized = apply_plan(program, plan)
+    assert run(program, [(optimized, 1)]) == [13]
+
+
+def test_inline_callee_with_loop():
+    source = """
+    def sumTo(n: int): int {
+      var s = 0;
+      for (var i = 0; i <= n; i = i + 1) { s = s + i; }
+      return s;
+    }
+    def main() { print(sumTo(10)); }
+    """
+    program = compile_source(source)
+    pc = first_call_site(program, "main", Op.CALL_STATIC)
+    plan = InlinePlan(
+        program.function_index("main"),
+        [InlineDecision(pc, program.function_index("sumTo"))],
+    )
+    optimized = apply_plan(program, plan)
+    assert run(program, [(optimized, 1)]) == [55]
+
+
+def test_multiple_sites_same_function():
+    source = """
+    def twice(x: int): int { return x * 2; }
+    def main() { print(twice(1) + twice(2) + twice(3)); }
+    """
+    program = compile_source(source)
+    main = program.function_named("main")
+    sites = [pc for pc, i in enumerate(main.code) if i.op is Op.CALL_STATIC]
+    assert len(sites) == 3
+    callee = program.function_index("twice")
+    plan = InlinePlan(main.index, [InlineDecision(pc, callee) for pc in sites])
+    optimized = apply_plan(program, plan)
+    assert run(program, [(optimized, 1)]) == [12]
+
+
+def test_locals_are_relocated():
+    source = """
+    def busy(x: int): int {
+      var a = x + 1; var b = a * 2; var c = b - x; return c;
+    }
+    def main() { var q = 3; print(busy(q) + q); }
+    """
+    program = compile_source(source)
+    pc = first_call_site(program, "main", Op.CALL_STATIC)
+    plan = InlinePlan(
+        program.function_index("main"),
+        [InlineDecision(pc, program.function_index("busy"))],
+    )
+    optimized = apply_plan(program, plan)
+    original = program.function_named("main")
+    assert optimized.num_locals > original.num_locals
+    assert run(program, [(optimized, 1)]) == [8]
+
+
+def test_bad_pc_rejected():
+    program = compile_source(STATIC_SRC)
+    plan = InlinePlan(
+        program.function_index("main"),
+        [InlineDecision(9999, program.function_index("add3"))],
+    )
+    with pytest.raises(InlineError, match="out of range"):
+        InlineTransform(program).apply(plan)
+
+
+def test_non_call_pc_rejected():
+    program = compile_source(STATIC_SRC)
+    plan = InlinePlan(
+        program.function_index("main"),
+        [InlineDecision(0, program.function_index("add3"))],
+    )
+    with pytest.raises(InlineError):
+        InlineTransform(program).apply(plan)
+
+
+def test_wrong_callee_rejected():
+    source = """
+    def a(): int { return 1; }
+    def b(): int { return 2; }
+    def main() { print(a()); }
+    """
+    program = compile_source(source)
+    pc = first_call_site(program, "main", Op.CALL_STATIC)
+    plan = InlinePlan(
+        program.function_index("main"),
+        [InlineDecision(pc, program.function_index("b"))],
+    )
+    with pytest.raises(InlineError, match="plan names callee"):
+        InlineTransform(program).apply(plan)
+
+
+def test_devirtualize_static_call_rejected():
+    program = compile_source(STATIC_SRC)
+    pc = first_call_site(program, "main", Op.CALL_STATIC)
+    plan = InlinePlan(
+        program.function_index("main"),
+        [InlineDecision(pc, program.function_index("add3"), DEVIRTUALIZE)],
+    )
+    with pytest.raises(InlineError, match="devirtualize"):
+        InlineTransform(program).apply(plan)
+
+
+def test_plan_counting():
+    decision = InlineDecision(0, 0, DIRECT, nested=[InlineDecision(1, 1)])
+    plan = InlinePlan(0, [decision])
+    assert plan.count() == 2
+    assert not plan.is_empty()
+    assert InlinePlan(0).is_empty()

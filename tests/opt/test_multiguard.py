@@ -1,0 +1,159 @@
+"""Multi-target (guard chain / PIC-style) inlining tests."""
+
+from repro.bytecode.opcodes import Op
+from repro.bytecode.verifier import verify_function
+from repro.frontend.codegen import compile_source
+from repro.opt.inline import GUARDED, InlineDecision, InlinePlan, InlineTransform
+from repro.opt.pipeline import optimize_function
+from repro.profiling.dcg import DCG
+from repro.inlining.new_inliner import NewJikesInliner
+from repro.vm.config import jikes_config
+from repro.vm.interpreter import Interpreter
+
+SOURCE = """
+class A { def f(x: int): int { return x + 1; } }
+class B extends A { def f(x: int): int { return x * 2; } }
+class C extends A { def f(x: int): int { return x - 3; } }
+def main() {
+  var objs = new A[4];
+  objs[0] = new A();
+  objs[1] = new B();
+  objs[2] = new A();
+  objs[3] = new C();
+  var t = 0;
+  for (var i = 0; i < 40; i = i + 1) { t = (t + objs[i % 4].f(i)) % 100003; }
+  print(t);
+}
+"""
+
+
+def compiled():
+    return compile_source(SOURCE)
+
+
+def call_site(program):
+    main = program.function_named("main")
+    return next(
+        pc for pc, instr in enumerate(main.code) if instr.op is Op.CALL_VIRTUAL
+        and program.selectors[instr.a][0] == "f"
+    )
+
+
+def run(program, optimized=None):
+    vm = Interpreter(program, jikes_config())
+    if optimized is not None:
+        vm.code_cache.install(optimized, 2)
+    vm.run()
+    return vm.output
+
+
+def chain_plan(program, targets):
+    pc = call_site(program)
+    primary, *extras = [program.function_index(t) for t in targets]
+    decision = InlineDecision(
+        pc,
+        primary,
+        GUARDED,
+        extra_targets=[InlineDecision(pc, e, GUARDED) for e in extras],
+    )
+    return InlinePlan(program.function_index("main"), [decision])
+
+
+def test_two_target_chain_preserves_semantics():
+    program = compiled()
+    expected = run(program)
+    plan = chain_plan(program, ["A.f", "B.f"])
+    optimized = InlineTransform(program).apply(plan)
+    verify_function(optimized, program)
+    assert run(program, optimized) == expected
+    guards = [i for i in optimized.code if i.op is Op.GUARD_METHOD]
+    assert len(guards) == 2
+    # Fallback virtual dispatch still present for C.
+    assert any(i.op is Op.CALL_VIRTUAL for i in optimized.code)
+
+
+def test_three_target_chain():
+    program = compiled()
+    expected = run(program)
+    plan = chain_plan(program, ["A.f", "B.f", "C.f"])
+    optimized = InlineTransform(program).apply(plan)
+    verify_function(optimized, program)
+    assert run(program, optimized) == expected
+    assert sum(1 for i in optimized.code if i.op is Op.GUARD_METHOD) == 3
+
+
+def test_chain_order_does_not_change_results():
+    program = compiled()
+    expected = run(program)
+    for order in (["B.f", "C.f"], ["C.f", "A.f"], ["B.f", "A.f", "C.f"]):
+        plan = chain_plan(program, order)
+        optimized = InlineTransform(program).apply(plan)
+        verify_function(optimized, program)
+        assert run(program, optimized) == expected, order
+
+
+def test_chain_survives_cleanup_passes():
+    program = compiled()
+    expected = run(program)
+    plan = chain_plan(program, ["A.f", "B.f"])
+    result = optimize_function(program, plan)
+    assert run(program, result.function) == expected
+
+
+def test_decision_count_includes_extras():
+    program = compiled()
+    plan = chain_plan(program, ["A.f", "B.f", "C.f"])
+    assert plan.count() == 3
+
+
+def test_new_inliner_emits_guard_chain_for_even_split():
+    program = compiled()
+    main_index = program.function_index("main")
+    pc = call_site(program)
+    a_f = program.function_index("A.f")
+    b_f = program.function_index("B.f")
+    dcg = DCG()
+    # 50/50 split: both targets exceed the 40% rule.
+    dcg.record(main_index, pc, a_f, 50)
+    dcg.record(main_index, pc, b_f, 50)
+    plan = NewJikesInliner(program).plan_for(main_index, dcg)
+    decision = next(d for d in plan.decisions if d.callsite_pc == pc)
+    assert decision.kind == GUARDED
+    assert len(decision.extra_targets) == 1
+    assert {decision.callee_index, decision.extra_targets[0].callee_index} == {
+        a_f,
+        b_f,
+    }
+
+
+def test_new_inliner_single_target_when_skewed():
+    program = compiled()
+    main_index = program.function_index("main")
+    pc = call_site(program)
+    a_f = program.function_index("A.f")
+    b_f = program.function_index("B.f")
+    dcg = DCG()
+    dcg.record(main_index, pc, a_f, 90)
+    dcg.record(main_index, pc, b_f, 10)
+    plan = NewJikesInliner(program).plan_for(main_index, dcg)
+    decision = next(d for d in plan.decisions if d.callsite_pc == pc)
+    assert decision.callee_index == a_f
+    assert decision.extra_targets == []
+
+
+def test_guard_chain_with_adaptive_system_end_to_end():
+    from repro.adaptive.controller import AdaptiveSystem
+    from repro.adaptive.modes import jit_only_cache
+    from repro.profiling.cbs import CBSProfiler
+
+    source = SOURCE.replace("i < 40", "i < 30000")
+    program = compile_source(source)
+    config = jikes_config()
+    plain = Interpreter(program, config)
+    plain.run()
+
+    vm = Interpreter(program, config, jit_only_cache(program, config.cost_model, 0))
+    vm.attach_profiler(CBSProfiler(stride=3, samples_per_tick=16))
+    AdaptiveSystem(program, NewJikesInliner(program)).install(vm)
+    vm.run()
+    assert vm.output == plain.output

@@ -1,0 +1,279 @@
+"""Cleanup pass tests: DCE, constant folding, peephole — plus a
+hypothesis property that the full pipeline preserves semantics on
+randomly generated programs."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.bytecode.instr import Instr
+from repro.bytecode.opcodes import Op
+from repro.bytecode.verifier import verify_function, verify_program
+from repro.frontend.codegen import compile_source
+from repro.opt.constfold import fold_constants
+from repro.opt.dce import eliminate_dead_code
+from repro.opt.peephole import peephole
+from repro.opt.pipeline import cleanup
+from repro.benchsuite.generator import GeneratorConfig, generate_program
+from repro.inlining.static_heur import StaticSizePolicy
+from repro.opt.pipeline import optimize_function
+from repro.vm.config import jikes_config
+from repro.vm.interpreter import Interpreter
+
+
+def ops(code):
+    return [i.op for i in code]
+
+
+# -- DCE -----------------------------------------------------------------------
+
+
+def test_dce_removes_unreachable_tail():
+    code = [Instr(Op.RETURN), Instr(Op.ADD), Instr(Op.ADD)]
+    new, changed = eliminate_dead_code(code)
+    assert changed and ops(new) == [Op.RETURN]
+
+
+def test_dce_keeps_jump_targets():
+    code = [
+        Instr(Op.PUSH, 1),
+        Instr(Op.JUMP_IF_FALSE, 3),
+        Instr(Op.RETURN),
+        Instr(Op.RETURN),
+    ]
+    new, changed = eliminate_dead_code(code)
+    assert not changed
+
+
+def test_dce_remaps_targets():
+    code = [
+        Instr(Op.JUMP, 2),
+        Instr(Op.NOP),  # unreachable
+        Instr(Op.RETURN),
+    ]
+    new, changed = eliminate_dead_code(code)
+    assert changed
+    assert ops(new) == [Op.JUMP, Op.RETURN]
+    assert new[0].a == 1
+
+
+def test_dce_handles_loops():
+    code = [Instr(Op.JUMP, 0)]
+    new, changed = eliminate_dead_code(code)
+    assert not changed
+
+
+# -- constant folding --------------------------------------------------------------
+
+
+def test_fold_binary_add():
+    code = [Instr(Op.PUSH, 2), Instr(Op.PUSH, 3), Instr(Op.ADD), Instr(Op.RETURN_VAL)]
+    new, changed = fold_constants(code)
+    assert changed
+    assert new[0] == Instr(Op.PUSH, 5)
+    assert ops(new) == [Op.PUSH, Op.RETURN_VAL]
+
+
+def test_fold_comparison():
+    code = [Instr(Op.PUSH, 2), Instr(Op.PUSH, 3), Instr(Op.LT), Instr(Op.RETURN_VAL)]
+    new, _ = fold_constants(code)
+    assert new[0] == Instr(Op.PUSH, 1)
+
+
+def test_fold_truncated_division():
+    code = [Instr(Op.PUSH, -7), Instr(Op.PUSH, 2), Instr(Op.DIV), Instr(Op.RETURN_VAL)]
+    new, _ = fold_constants(code)
+    assert new[0] == Instr(Op.PUSH, -3)
+
+
+def test_division_by_zero_not_folded():
+    code = [Instr(Op.PUSH, 7), Instr(Op.PUSH, 0), Instr(Op.DIV), Instr(Op.RETURN_VAL)]
+    new, changed = fold_constants(code)
+    assert not changed
+
+
+def test_fold_unary():
+    code = [Instr(Op.PUSH, 5), Instr(Op.NEG), Instr(Op.RETURN_VAL)]
+    new, _ = fold_constants(code)
+    assert new[0] == Instr(Op.PUSH, -5)
+
+
+def test_fold_constant_branch_taken():
+    code = [
+        Instr(Op.PUSH, 0),
+        Instr(Op.JUMP_IF_FALSE, 3),
+        Instr(Op.NOP),
+        Instr(Op.RETURN),
+    ]
+    new, changed = fold_constants(code)
+    assert changed
+    assert new[0] == Instr(Op.JUMP, 2)
+
+
+def test_fold_constant_branch_not_taken():
+    code = [
+        Instr(Op.PUSH, 1),
+        Instr(Op.JUMP_IF_FALSE, 3),
+        Instr(Op.NOP),
+        Instr(Op.RETURN),
+    ]
+    new, changed = fold_constants(code)
+    assert changed
+    assert ops(new) == [Op.NOP, Op.RETURN]
+
+
+def test_no_fold_across_jump_target():
+    code = [
+        Instr(Op.PUSH, 1),
+        Instr(Op.PUSH, 2),  # jump target: cannot fold the triple
+        Instr(Op.ADD),
+        Instr(Op.RETURN_VAL),
+        Instr(Op.JUMP, 1),
+    ]
+    new, changed = fold_constants(code)
+    assert not changed
+
+
+# -- peephole ---------------------------------------------------------------------------
+
+
+def test_peephole_jump_to_next_removed():
+    code = [Instr(Op.JUMP, 1), Instr(Op.RETURN)]
+    new, changed = peephole(code)
+    assert changed and ops(new) == [Op.RETURN]
+
+
+def test_peephole_jump_chain_collapsed():
+    code = [
+        Instr(Op.JUMP, 2),
+        Instr(Op.RETURN),
+        Instr(Op.JUMP, 4),
+        Instr(Op.RETURN),
+        Instr(Op.RETURN),
+    ]
+    new, changed = peephole(code)
+    assert changed
+    assert new[0].op is Op.JUMP and new[0].a != 2
+
+
+def test_peephole_jump_cycle_safe():
+    code = [Instr(Op.JUMP, 0)]
+    new, changed = peephole(code)
+    assert ops(new) == [Op.JUMP]
+
+
+def test_peephole_push_pop_removed():
+    code = [Instr(Op.PUSH, 1), Instr(Op.POP), Instr(Op.RETURN)]
+    new, changed = peephole(code)
+    assert changed and ops(new) == [Op.RETURN]
+
+
+def test_peephole_dup_pop_removed():
+    code = [Instr(Op.PUSH, 1), Instr(Op.DUP), Instr(Op.POP), Instr(Op.RETURN_VAL)]
+    new, _ = peephole(code)
+    assert ops(new) == [Op.PUSH, Op.RETURN_VAL]
+
+
+def test_peephole_not_branch_fusion():
+    code = [
+        Instr(Op.PUSH, 1),
+        Instr(Op.NOT),
+        Instr(Op.JUMP_IF_FALSE, 3),
+        Instr(Op.RETURN),
+    ]
+    new, changed = peephole(code)
+    assert changed
+    assert any(i.op is Op.JUMP_IF_TRUE for i in new)
+
+
+def test_peephole_store_load_forwarding():
+    # Slot 1 referenced only by this pair.
+    code = [
+        Instr(Op.PUSH, 9),
+        Instr(Op.STORE, 1),
+        Instr(Op.LOAD, 1),
+        Instr(Op.RETURN_VAL),
+    ]
+    new, changed = peephole(code)
+    assert changed and ops(new) == [Op.PUSH, Op.RETURN_VAL]
+
+
+def test_peephole_store_load_not_forwarded_when_slot_reused():
+    code = [
+        Instr(Op.PUSH, 9),
+        Instr(Op.STORE, 1),
+        Instr(Op.LOAD, 1),
+        Instr(Op.LOAD, 1),
+        Instr(Op.ADD),
+        Instr(Op.RETURN_VAL),
+    ]
+    new, changed = peephole(code)
+    assert Op.STORE in ops(new)
+
+
+def test_peephole_dead_store_becomes_pop():
+    code = [
+        Instr(Op.PUSH, 9),
+        Instr(Op.STORE, 3),  # slot 3 never loaded
+        Instr(Op.PUSH, 1),
+        Instr(Op.RETURN_VAL),
+    ]
+    new, changed = peephole(code)
+    assert changed
+    # STORE became POP, then PUSH/POP pair may be removed in later sweeps.
+    assert Op.STORE not in ops(new)
+
+
+def test_peephole_no_removal_when_jump_targets_pair_interior():
+    code = [
+        Instr(Op.PUSH, 1),
+        Instr(Op.PUSH, 5),
+        Instr(Op.POP),      # jump target: pair must not be removed
+        Instr(Op.RETURN_VAL),
+        Instr(Op.JUMP, 2),
+    ]
+    new, changed = peephole(code)
+    assert Op.POP in ops(new)
+
+
+def test_cleanup_fixpoint_on_compiled_function():
+    program = compile_source(
+        "def f(): int { return 2 + 3 * 4; } def main() { print(f()); }"
+    )
+    function = program.function_named("f")
+    function.code = function.copy_code()
+    cleanup(function)
+    verify_function(function, program)
+    # Fully folded: one PUSH and one RETURN_VAL.
+    assert ops(function.code) == [Op.PUSH, Op.RETURN_VAL]
+    assert function.code[0].a == 14
+
+
+# -- whole-pipeline semantics preservation (property-based) ----------------------------------
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(0, 10_000))
+def test_static_inlining_preserves_semantics_on_random_programs(seed):
+    config = GeneratorConfig(
+        num_classes=3,
+        methods_per_class=4,
+        max_calls_per_method=2,
+        loop_iterations=40,
+        seed=seed,
+    )
+    program = generate_program(config)
+    verify_program(program)
+
+    vm = Interpreter(program, jikes_config())
+    vm.run()
+    expected = vm.output
+
+    policy = StaticSizePolicy(program, size_threshold=60)
+    vm2 = Interpreter(program, jikes_config())
+    for function in program.functions:
+        plan = policy.plan_for(function.index)
+        if plan.is_empty():
+            continue
+        result = optimize_function(program, plan)
+        vm2.code_cache.install(result.function, 1)
+    vm2.run()
+    assert vm2.output == expected

@@ -1,0 +1,116 @@
+"""Sticky plan merging tests (the adaptive system's ratchet)."""
+
+import pytest
+
+from repro.opt.inline import (
+    DEVIRTUALIZE,
+    DIRECT,
+    GUARDED,
+    InlineDecision,
+    InlineError,
+    InlinePlan,
+    merge_decisions,
+    merge_plans,
+)
+from repro.profiling.dcg import DCG
+
+
+def decision(pc, callee, kind=DIRECT, nested=None, extras=None):
+    return InlineDecision(pc, callee, kind, nested or [], extras or [])
+
+
+def test_disjoint_sites_union():
+    old = [decision(1, 10)]
+    new = [decision(5, 20)]
+    merged = merge_decisions(old, new)
+    assert {d.callsite_pc for d in merged} == {1, 5}
+
+
+def test_old_decision_sticky_when_new_plan_drops_it():
+    old = [decision(1, 10)]
+    merged = merge_decisions(old, [])
+    assert len(merged) == 1 and merged[0].callee_index == 10
+
+
+def test_same_site_same_callee_merges_nested():
+    old = [decision(1, 10, DIRECT, nested=[decision(0, 30)])]
+    new = [decision(1, 10, DIRECT, nested=[decision(4, 40)])]
+    merged = merge_decisions(old, new)
+    assert len(merged) == 1
+    nested_pcs = {d.callsite_pc for d in merged[0].nested}
+    assert nested_pcs == {0, 4}
+
+
+def test_devirtualize_upgraded_to_inline():
+    old = [decision(1, 10, DEVIRTUALIZE)]
+    new = [decision(1, 10, GUARDED)]
+    merged = merge_decisions(old, new)
+    assert merged[0].kind == GUARDED
+
+
+def test_guard_conflict_extends_chain():
+    old = [decision(1, 10, GUARDED)]
+    new = [decision(1, 20, GUARDED)]
+    merged = merge_decisions(old, new)
+    assert merged[0].callee_index == 10
+    assert [e.callee_index for e in merged[0].extra_targets] == [20]
+
+
+def test_guard_chain_capped_at_three():
+    old = [
+        decision(
+            1,
+            10,
+            GUARDED,
+            extras=[decision(1, 20, GUARDED), decision(1, 30, GUARDED)],
+        )
+    ]
+    new = [decision(1, 40, GUARDED)]
+    merged = merge_decisions(old, new)
+    chain = {merged[0].callee_index} | {
+        e.callee_index for e in merged[0].extra_targets
+    }
+    assert chain == {10, 20, 30}  # 40 rejected: chain full
+
+
+def test_guard_chain_no_duplicate_target():
+    old = [decision(1, 10, GUARDED, extras=[decision(1, 20, GUARDED)])]
+    new = [decision(1, 20, GUARDED)]
+    merged = merge_decisions(old, new)
+    assert [e.callee_index for e in merged[0].extra_targets] == [20]
+
+
+def test_chain_extension_disabled():
+    old = [decision(1, 10, GUARDED)]
+    new = [decision(1, 20, GUARDED)]
+    merged = merge_decisions(old, new, extend_chains=False)
+    assert merged[0].callee_index == 10
+    assert merged[0].extra_targets == []
+
+
+def test_direct_conflict_keeps_old():
+    old = [decision(1, 10, DIRECT)]
+    new = [decision(1, 20, DIRECT)]
+    merged = merge_decisions(old, new)
+    assert merged[0].callee_index == 10
+
+
+def test_merge_plans_checks_function():
+    with pytest.raises(InlineError):
+        merge_plans(InlinePlan(0), InlinePlan(1))
+
+
+def test_merge_plans_passes_dcg_through():
+    dcg = DCG()
+    old = InlinePlan(0, [decision(1, 10, GUARDED)])
+    new = InlinePlan(0, [decision(1, 20, GUARDED)])
+    merged = merge_plans(old, new, dcg)
+    assert merged.function_index == 0
+    assert merged.decisions[0].extra_targets
+
+
+def test_extra_targets_preserved_through_same_callee_merge():
+    old = [decision(1, 10, GUARDED, extras=[decision(1, 20, GUARDED)])]
+    new = [decision(1, 10, GUARDED)]
+    merged = merge_decisions(old, new)
+    assert [e.callee_index for e in merged[0].extra_targets] == [20]

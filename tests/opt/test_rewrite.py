@@ -1,0 +1,65 @@
+"""Rewrite utility tests (compact / jump_targets / slot refs)."""
+
+from repro.bytecode.instr import Instr
+from repro.bytecode.opcodes import Op
+from repro.opt.rewrite import compact, jump_targets, slot_reference_counts
+
+
+def test_jump_targets_collects_all():
+    code = [
+        Instr(Op.JUMP, 3),
+        Instr(Op.JUMP_IF_FALSE, 0),
+        Instr(Op.JUMP_IF_TRUE, 3),
+        Instr(Op.RETURN),
+    ]
+    assert jump_targets(code) == {0, 3}
+
+
+def test_compact_identity_when_all_kept():
+    code = [Instr(Op.PUSH, 1), Instr(Op.RETURN_VAL)]
+    assert compact(code, [True, True]) is code
+
+
+def test_compact_drops_and_remaps():
+    code = [
+        Instr(Op.JUMP, 2),
+        Instr(Op.NOP),
+        Instr(Op.RETURN),
+    ]
+    out = compact(code, [True, False, True])
+    assert [i.op for i in out] == [Op.JUMP, Op.RETURN]
+    assert out[0].a == 1
+
+
+def test_compact_remaps_target_pointing_at_dropped_instr():
+    code = [
+        Instr(Op.JUMP, 1),
+        Instr(Op.NOP),  # dropped: target forwards to the next kept
+        Instr(Op.RETURN),
+    ]
+    out = compact(code, [True, False, True])
+    assert out[0].a == 1  # now points at RETURN
+
+
+def test_compact_preserves_non_jump_operands():
+    code = [Instr(Op.PUSH, 42), Instr(Op.NOP), Instr(Op.RETURN_VAL)]
+    out = compact(code, [True, False, True])
+    assert out[0].a == 42
+
+
+def test_compact_preserves_call_origins():
+    call = Instr(Op.CALL_STATIC, 1, 0, origin=(7, 9))
+    code = [Instr(Op.NOP), call, Instr(Op.RETURN)]
+    out = compact(code, [False, True, True])
+    assert out[0].origin == (7, 9)
+
+
+def test_slot_reference_counts():
+    code = [
+        Instr(Op.LOAD, 0),
+        Instr(Op.STORE, 0),
+        Instr(Op.LOAD, 2),
+        Instr(Op.PUSH, 5),
+        Instr(Op.RETURN),
+    ]
+    assert slot_reference_counts(code) == {0: 2, 2: 1}

@@ -1,0 +1,177 @@
+"""Counter-based sampling tests: the Figure 3 window logic."""
+
+import pytest
+
+from repro.frontend.codegen import compile_source
+from repro.profiling.cbs import CBSProfiler
+from repro.profiling.exhaustive import ExhaustiveProfiler
+from repro.vm.config import j9_config, jikes_config
+from repro.vm.interpreter import Interpreter
+
+CALL_HEAVY = """
+class A { def f(x: int): int { return x * 3 % 1021; } }
+def main() {
+  var a = new A();
+  var t = 0;
+  for (var i = 0; i < 40000; i = i + 1) { t = a.f(t + i); }
+  print(t);
+}
+"""
+
+
+def run_cbs(source, config=None, **kwargs):
+    program = compile_source(source)
+    vm = Interpreter(program, config if config is not None else jikes_config())
+    perfect = ExhaustiveProfiler()
+    perfect.install(vm)
+    profiler = CBSProfiler(**kwargs)
+    vm.attach_profiler(profiler)
+    vm.run()
+    return vm, profiler, perfect
+
+
+def test_parameter_validation():
+    with pytest.raises(ValueError):
+        CBSProfiler(stride=0)
+    with pytest.raises(ValueError):
+        CBSProfiler(samples_per_tick=0)
+    with pytest.raises(ValueError):
+        CBSProfiler(skip_policy="bogus")
+    with pytest.raises(ValueError):
+        CBSProfiler(context_depth=0)
+
+
+def test_samples_per_tick_respected():
+    vm, profiler, _ = run_cbs(CALL_HEAVY, samples_per_tick=8, stride=1)
+    assert profiler.windows_opened > 0
+    # Every completed window takes exactly 8 samples.
+    assert profiler.samples_taken <= profiler.windows_opened * 8
+    assert profiler.samples_taken >= (profiler.windows_opened - 1) * 8
+
+
+def test_more_samples_with_bigger_n():
+    _, small, _ = run_cbs(CALL_HEAVY, samples_per_tick=2, stride=1)
+    _, big, _ = run_cbs(CALL_HEAVY, samples_per_tick=32, stride=1)
+    assert big.samples_taken > small.samples_taken
+
+
+def test_stride_spreads_window_without_reducing_samples():
+    _, narrow, _ = run_cbs(CALL_HEAVY, samples_per_tick=16, stride=1)
+    _, wide, _ = run_cbs(CALL_HEAVY, samples_per_tick=16, stride=7)
+    # Same sample budget per window either way.
+    assert abs(narrow.samples_taken - wide.samples_taken) <= 16
+
+
+def test_stride_one_samples_one_equals_timer_like_budget():
+    vm, profiler, _ = run_cbs(CALL_HEAVY, samples_per_tick=1, stride=1)
+    assert profiler.samples_taken <= vm.ticks
+
+
+def test_edges_recorded_are_real():
+    vm, profiler, perfect = run_cbs(CALL_HEAVY, samples_per_tick=16, stride=3)
+    for edge in profiler.dcg.edges():
+        assert edge in perfect.dcg.edges()
+
+
+def test_accuracy_high_on_single_edge_program():
+    from repro.profiling.metrics import accuracy
+
+    _, profiler, perfect = run_cbs(CALL_HEAVY, samples_per_tick=16, stride=3)
+    assert accuracy(profiler.dcg, perfect.dcg) > 95.0
+
+
+def test_profiling_charges_overhead():
+    program = compile_source(CALL_HEAVY)
+    plain = Interpreter(program, jikes_config())
+    plain.run()
+    vm, profiler, _ = run_cbs(CALL_HEAVY, samples_per_tick=64, stride=3)
+    assert vm.time > plain.time
+
+
+def test_overhead_grows_with_samples():
+    program = compile_source(CALL_HEAVY)
+    plain = Interpreter(program, jikes_config())
+    plain.run()
+    vm_small, *_ = run_cbs(CALL_HEAVY, samples_per_tick=4, stride=3)
+    vm_big, *_ = run_cbs(CALL_HEAVY, samples_per_tick=256, stride=3)
+    assert (vm_big.time - plain.time) > (vm_small.time - plain.time)
+
+
+def test_random_and_roundrobin_policies_both_work():
+    _, random_profiler, _ = run_cbs(
+        CALL_HEAVY, samples_per_tick=8, stride=5, skip_policy="random"
+    )
+    _, rr_profiler, _ = run_cbs(
+        CALL_HEAVY, samples_per_tick=8, stride=5, skip_policy="roundrobin"
+    )
+    assert random_profiler.samples_taken > 0
+    assert rr_profiler.samples_taken > 0
+
+
+def test_roundrobin_cycles_through_skips():
+    profiler = CBSProfiler(stride=3, skip_policy="roundrobin")
+    skips = [profiler._initial_skip() for _ in range(6)]
+    assert skips == [1, 2, 3, 1, 2, 3]
+
+
+def test_random_skip_in_range():
+    profiler = CBSProfiler(stride=5, skip_policy="random", seed=7)
+    for _ in range(100):
+        assert 1 <= profiler._initial_skip() <= 5
+
+
+def test_stride_one_skip_always_one():
+    profiler = CBSProfiler(stride=1)
+    assert profiler._initial_skip() == 1
+
+
+def test_deterministic_given_seed():
+    _, p1, _ = run_cbs(CALL_HEAVY, samples_per_tick=8, stride=5, seed=99)
+    _, p2, _ = run_cbs(CALL_HEAVY, samples_per_tick=8, stride=5, seed=99)
+    assert p1.dcg.edges() == p2.dcg.edges()
+
+
+def test_context_sensitive_mode_builds_cct():
+    source = """
+    class A { def leaf(): int { return 1; } def mid(): int { return this.leaf(); } }
+    def main() {
+      var a = new A();
+      var t = 0;
+      for (var i = 0; i < 30000; i = i + 1) { t = t + a.mid(); }
+      print(t);
+    }
+    """
+    _, profiler, _ = run_cbs(source, samples_per_tick=16, stride=1, context_depth=4)
+    assert profiler.cct is not None
+    assert profiler.cct.total_weight > 0
+    # The projected DCG contains the mid->leaf edge.
+    projected = profiler.cct.to_dcg()
+    assert len(projected) >= 1
+
+
+def test_context_depth_one_has_no_cct():
+    _, profiler, _ = run_cbs(CALL_HEAVY, samples_per_tick=4, stride=1, context_depth=1)
+    assert profiler.cct is None
+
+
+def test_method_samples_credit_caller_and_callee():
+    _, profiler, _ = run_cbs(CALL_HEAVY, samples_per_tick=16, stride=3)
+    program = compile_source(CALL_HEAVY)
+    # Both A.f (callee) and main (caller) accumulate hotness credit.
+    assert len(profiler.method_samples) >= 2
+
+
+def test_works_on_j9_config():
+    vm, profiler, perfect = run_cbs(
+        CALL_HEAVY, config=j9_config(), samples_per_tick=32, stride=7
+    )
+    from repro.profiling.metrics import accuracy
+
+    assert profiler.samples_taken > 0
+    assert accuracy(profiler.dcg, perfect.dcg) > 90.0
+
+
+def test_describe():
+    profiler = CBSProfiler(stride=3, samples_per_tick=16)
+    text = profiler.describe()
+    assert "stride=3" in text and "samples=16" in text

@@ -1,0 +1,101 @@
+"""Calling context tree tests."""
+
+import pytest
+
+from repro.profiling.cct import CallingContextTree, context_overlap
+
+
+def tree_with(paths):
+    tree = CallingContextTree()
+    for path, weight in paths:
+        tree.record_path(path, weight)
+    return tree
+
+
+def test_empty_tree():
+    tree = CallingContextTree()
+    assert tree.total_weight == 0
+    assert tree.node_count() == 0
+    assert tree.context_profile() == {}
+
+
+def test_record_empty_path_is_noop():
+    tree = CallingContextTree()
+    tree.record_path([])
+    assert tree.total_weight == 0
+
+
+def test_single_path():
+    tree = tree_with([([(0, -1), (1, 3)], 2.0)])
+    profile = tree.context_profile()
+    assert profile[((0, -1), (1, 3))] == 2.0
+    assert tree.total_weight == 2.0
+
+
+def test_shared_prefix_shares_nodes():
+    tree = tree_with(
+        [
+            ([(0, -1), (1, 3)], 1.0),
+            ([(0, -1), (2, 5)], 1.0),
+        ]
+    )
+    # Nodes: 0, 1, 2 => 3 nodes.
+    assert tree.node_count() == 3
+
+
+def test_interior_weight_recorded():
+    tree = tree_with(
+        [
+            ([(0, -1)], 1.0),
+            ([(0, -1), (1, 3)], 2.0),
+        ]
+    )
+    profile = tree.context_profile()
+    assert profile[((0, -1),)] == 1.0
+    assert profile[((0, -1), (1, 3))] == 2.0
+
+
+def test_to_dcg_projects_edges_with_subtree_weights():
+    tree = tree_with(
+        [
+            ([(0, -1), (1, 3)], 2.0),
+            ([(0, -1), (1, 3), (2, 7)], 4.0),
+        ]
+    )
+    dcg = tree.to_dcg()
+    # Edge 0->1 carries its whole subtree: 2 + 4 = 6.
+    assert dcg.edge_weight((0, 3, 1)) == 6.0
+    assert dcg.edge_weight((1, 7, 2)) == 4.0
+
+
+def test_to_dcg_distinguishes_callsites():
+    tree = tree_with(
+        [
+            ([(0, -1), (1, 3)], 1.0),
+            ([(0, -1), (1, 9)], 2.0),
+        ]
+    )
+    dcg = tree.to_dcg()
+    assert dcg.edge_weight((0, 3, 1)) == 1.0
+    assert dcg.edge_weight((0, 9, 1)) == 2.0
+
+
+def test_context_overlap_identical():
+    profile = {((0, -1), (1, 2)): 5.0, ((0, -1),): 5.0}
+    assert context_overlap(profile, dict(profile)) == pytest.approx(100.0)
+
+
+def test_context_overlap_disjoint():
+    assert context_overlap({((0, 1),): 1.0}, {((2, 3),): 1.0}) == 0.0
+
+
+def test_context_overlap_empty():
+    assert context_overlap({}, {((0, 1),): 1.0}) == 0.0
+
+
+def test_context_overlap_distinguishes_contexts_dcg_conflates():
+    # Same edge reached through two different contexts.
+    profile_a = {((0, 1), (1, 2)): 9.0, ((3, 1), (1, 2)): 1.0}
+    profile_b = {((0, 1), (1, 2)): 1.0, ((3, 1), (1, 2)): 9.0}
+    value = context_overlap(profile_a, profile_b)
+    assert value == pytest.approx(20.0)

@@ -1,0 +1,87 @@
+"""CBS loop-frequency profiling tests (the §8 generalization)."""
+
+import pytest
+
+from repro.frontend.codegen import compile_source
+from repro.profiling.loops import CBSLoopProfiler
+from repro.vm.config import j9_config, jikes_config
+from repro.vm.interpreter import Interpreter
+
+# Two loops with a 10:1 iteration ratio plus a cold loop.
+SOURCE = """
+def main() {
+  var t = 0;
+  for (var i = 0; i < 50000; i = i + 1) { t = (t + i) % 65521; }
+  for (var j = 0; j < 5000; j = j + 1) { t = (t * 3) % 65521; }
+  for (var k = 0; k < 50; k = k + 1) { t = t + 1; }
+  print(t);
+}
+"""
+
+
+def run_with(profiler, config=None):
+    program = compile_source(SOURCE)
+    vm = Interpreter(program, config if config is not None else jikes_config())
+    vm.attach_profiler(profiler)
+    vm.run()
+    return vm, profiler, program
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        CBSLoopProfiler(stride=0)
+    with pytest.raises(ValueError):
+        CBSLoopProfiler(samples_per_tick=0)
+
+
+def test_finds_loops():
+    _, profiler, _ = run_with(CBSLoopProfiler(stride=3, samples_per_tick=16))
+    assert profiler.samples_taken > 0
+    assert len(profiler.loop_samples) >= 2
+
+
+def test_hottest_loop_dominates():
+    _, profiler, program = run_with(CBSLoopProfiler(stride=3, samples_per_tick=16))
+    ranked = profiler.hottest_loops()
+    (top_loop, top_count) = ranked[0]
+    total = sum(profiler.loop_samples.values())
+    # The 50k-iteration loop carries ~90% of backedges.
+    assert top_count / total > 0.75
+    assert program.functions[top_loop[0]].name == "main"
+
+
+def test_ratio_roughly_recovered():
+    _, profiler, _ = run_with(CBSLoopProfiler(stride=3, samples_per_tick=32))
+    ranked = profiler.hottest_loops()
+    assert len(ranked) >= 2
+    (unused, first), (unused2, second) = ranked[0], ranked[1]
+    ratio = first / second
+    assert 4.0 < ratio < 25.0  # true ratio 10:1, sampled approximately
+
+
+def test_window_sample_budget_respected():
+    vm, profiler, _ = run_with(CBSLoopProfiler(stride=1, samples_per_tick=4))
+    assert profiler.samples_taken <= profiler.windows_opened * 4
+
+
+def test_charges_overhead():
+    program = compile_source(SOURCE)
+    plain = Interpreter(program, jikes_config())
+    plain.run()
+    vm, _, _ = run_with(CBSLoopProfiler(stride=1, samples_per_tick=64))
+    assert vm.time > plain.time
+
+
+def test_no_samples_without_backedge_yieldpoints():
+    # The J9 config has no backedge yieldpoints: the window opens on a
+    # prologue but never observes a backedge.
+    _, profiler, _ = run_with(
+        CBSLoopProfiler(stride=1, samples_per_tick=8), config=j9_config()
+    )
+    assert profiler.loop_samples.total() == 0
+
+
+def test_describe():
+    _, profiler, program = run_with(CBSLoopProfiler())
+    text = profiler.describe(program)
+    assert "loop profile" in text and "main" in text

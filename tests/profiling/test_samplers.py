@@ -1,0 +1,204 @@
+"""Timer, Whaley, exhaustive, and code-patching profiler tests."""
+
+from repro.frontend.codegen import compile_source
+from repro.profiling.cbs import CBSProfiler
+from repro.profiling.exhaustive import ExhaustiveProfiler
+from repro.profiling.metrics import accuracy
+from repro.profiling.patching import CodePatchingProfiler
+from repro.profiling.timer_sampler import TimerProfiler
+from repro.profiling.whaley import WhaleyProfiler
+from repro.vm.config import jikes_config
+from repro.vm.interpreter import Interpreter
+
+import pytest
+
+SKEWED = """
+class W {
+  var acc: int;
+  def hot(): int { return this.acc % 7 + 1; }
+  def cold(): int { return this.acc % 5 + 2; }
+  def work(n: int) {
+    var i = 0;
+    while (i < n) {
+      var x = this.acc;
+      x = x * 3 + 1; x = x % 8191; x = x * 5 - 2; x = x % 8191;
+      x = x * 3 + 1; x = x % 8191; x = x * 5 - 2; x = x % 8191;
+      this.acc = x + this.hot() + this.cold();
+      i = i + 1;
+    }
+  }
+}
+def main() { var w = new W(); w.work(50000); print(w.acc); }
+"""
+
+
+def run_with(profiler, source=SKEWED, with_perfect=True):
+    program = compile_source(source)
+    vm = Interpreter(program, jikes_config())
+    perfect = None
+    if with_perfect:
+        perfect = ExhaustiveProfiler()
+        perfect.install(vm)
+    if profiler is not None:
+        if isinstance(profiler, CodePatchingProfiler):
+            profiler.install(vm)
+        else:
+            vm.attach_profiler(profiler)
+    vm.run()
+    return vm, profiler, perfect, program
+
+
+# -- exhaustive ---------------------------------------------------------------
+
+
+def test_exhaustive_counts_every_call():
+    vm, _, perfect, _ = run_with(None)
+    assert perfect.dcg.total_weight == vm.call_count
+
+
+def test_exhaustive_zero_cost_by_default():
+    program = compile_source(SKEWED)
+    plain = Interpreter(program, jikes_config())
+    plain.run()
+    vm, _, _, _ = run_with(None)
+    assert vm.time == plain.time
+
+
+def test_exhaustive_charged_mode_adds_overhead():
+    program = compile_source(SKEWED)
+    plain = Interpreter(program, jikes_config())
+    plain.run()
+    vm = Interpreter(program, jikes_config())
+    charged = ExhaustiveProfiler(charge_costs=True)
+    charged.install(vm)
+    vm.run()
+    # Vortex-style instrumented dispatch: noticeable overhead.
+    assert vm.time > plain.time
+    overhead = 100.0 * (vm.time - plain.time) / plain.time
+    assert overhead > 5.0
+
+
+def test_exhaustive_observers_chain():
+    program = compile_source(SKEWED)
+    vm = Interpreter(program, jikes_config())
+    first = ExhaustiveProfiler()
+    second = ExhaustiveProfiler()
+    first.install(vm)
+    second.install(vm)
+    vm.run()
+    assert first.dcg.total_weight == second.dcg.total_weight == vm.call_count
+
+
+# -- timer ------------------------------------------------------------------------
+
+
+def test_timer_takes_about_one_sample_per_tick():
+    vm, profiler, _, _ = run_with(TimerProfiler())
+    assert profiler.ticks_seen == vm.ticks
+    assert 0 < profiler.samples_taken <= vm.ticks
+
+
+def test_timer_biased_toward_post_compute_call():
+    vm, profiler, perfect, program = run_with(TimerProfiler())
+    hot = program.function_index("W.hot")
+    cold = program.function_index("W.cold")
+    weights = profiler.dcg.callee_weights()
+    # The timer lands after the compute stretch, so 'hot' (the first call
+    # afterwards) absorbs nearly everything; truth is 50/50.
+    assert weights[hot] > weights[cold] * 3
+    truth = perfect.dcg.callee_weights()
+    assert truth[hot] == truth[cold]
+
+
+def test_timer_less_accurate_than_cbs_on_skewed_program():
+    _, timer, timer_perfect, _ = run_with(TimerProfiler())
+    _, cbs, cbs_perfect, _ = run_with(CBSProfiler(stride=7, samples_per_tick=32))
+    timer_acc = accuracy(timer.dcg, timer_perfect.dcg)
+    cbs_acc = accuracy(cbs.dcg, cbs_perfect.dcg)
+    assert cbs_acc > timer_acc + 10.0
+
+
+# -- whaley ------------------------------------------------------------------------
+
+
+def test_whaley_samples_without_guest_cost():
+    program = compile_source(SKEWED)
+    plain = Interpreter(program, jikes_config())
+    plain.run()
+    vm, profiler, _, _ = run_with(WhaleyProfiler())
+    assert profiler.samples_taken == vm.ticks
+    assert vm.time == plain.time  # async observation: zero guest cost
+
+
+def test_whaley_builds_cct():
+    _, profiler, _, _ = run_with(WhaleyProfiler())
+    assert profiler.cct.total_weight == profiler.samples_taken
+    assert profiler.cct.node_count() > 0
+
+
+def test_whaley_validates_depth():
+    with pytest.raises(ValueError):
+        WhaleyProfiler(context_depth=1)
+
+
+def test_whaley_observes_time_not_calls():
+    # W.work dominates time; Whaley's method samples should be mostly W.work.
+    _, profiler, _, program = run_with(WhaleyProfiler())
+    work = program.function_index("W.work")
+    assert profiler.method_samples[work] > profiler.samples_taken * 0.5
+
+
+# -- code patching ---------------------------------------------------------------------
+
+
+def test_patching_validates_params():
+    with pytest.raises(ValueError):
+        CodePatchingProfiler(warmup_invocations=-1)
+    with pytest.raises(ValueError):
+        CodePatchingProfiler(samples_per_method=0)
+
+
+def test_patching_collects_burst_then_uninstalls():
+    profiler = CodePatchingProfiler(warmup_invocations=100, samples_per_method=50)
+    vm, profiler, _, program = run_with(profiler)
+    hot = program.function_index("W.hot")
+    # hot was called 50k times: warmup completes, burst of 50 collected.
+    assert profiler.dcg.callee_weights()[hot] == 50
+    assert profiler.patches_installed >= 2  # hot and cold at least
+    assert profiler.patches_removed >= 2
+
+
+def test_patching_misses_methods_below_warmup():
+    source = """
+    def rare(): int { return 1; }
+    def frequent(x: int): int { return x + 1; }
+    def main() {
+      var t = rare();
+      for (var i = 0; i < 20000; i = i + 1) { t = frequent(t); }
+      print(t);
+    }
+    """
+    profiler = CodePatchingProfiler(warmup_invocations=500, samples_per_method=10)
+    vm, profiler, _, program = run_with(profiler, source=source)
+    rare = program.function_index("rare")
+    frequent = program.function_index("frequent")
+    weights = profiler.dcg.callee_weights()
+    assert weights.get(rare, 0) == 0  # never warmed up
+    assert weights[frequent] == 10
+
+
+def test_patching_charges_patch_and_listener_costs():
+    program = compile_source(SKEWED)
+    plain = Interpreter(program, jikes_config())
+    plain.run()
+    vm, *_ = run_with(CodePatchingProfiler(warmup_invocations=10, samples_per_method=100))
+    assert vm.time > plain.time
+
+
+def test_patching_chains_with_exhaustive():
+    # run_with installs exhaustive first, then patching chains onto it.
+    vm, profiler, perfect, _ = run_with(
+        CodePatchingProfiler(warmup_invocations=10, samples_per_method=5)
+    )
+    assert perfect.dcg.total_weight == vm.call_count
+    assert profiler.samples_taken > 0

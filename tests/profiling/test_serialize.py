@@ -1,0 +1,159 @@
+"""Profile serialization tests."""
+
+import json
+
+import pytest
+
+from repro.frontend.codegen import compile_source
+from repro.profiling.dcg import DCG
+from repro.profiling.exhaustive import ExhaustiveProfiler
+from repro.profiling.serialize import (
+    FORMAT_VERSION,
+    ProfileFormatError,
+    dcg_from_dict,
+    dcg_to_dict,
+    load_profile,
+    save_profile,
+)
+from repro.vm.interpreter import Interpreter
+
+SOURCE = """
+class A { def f(): int { return 1; } }
+def helper(): int { return 2; }
+def main() {
+  var a = new A();
+  var t = 0;
+  for (var i = 0; i < 50; i = i + 1) { t = t + a.f() + helper(); }
+  print(t);
+}
+"""
+
+
+def collected():
+    program = compile_source(SOURCE)
+    vm = Interpreter(program)
+    profiler = ExhaustiveProfiler()
+    profiler.install(vm)
+    vm.run()
+    return program, profiler.dcg
+
+
+def test_roundtrip_preserves_edges():
+    program, dcg = collected()
+    data = dcg_to_dict(dcg, program)
+    restored = dcg_from_dict(data, program)
+    assert restored.edges() == dcg.edges()
+    assert restored.total_weight == dcg.total_weight
+
+
+def test_serialized_form_uses_names():
+    program, dcg = collected()
+    data = dcg_to_dict(dcg, program)
+    assert data["version"] == FORMAT_VERSION
+    names = {edge["callee"] for edge in data["edges"]}
+    assert "A.f" in names and "helper" in names
+
+
+def test_file_roundtrip(tmp_path):
+    program, dcg = collected()
+    path = str(tmp_path / "profile.json")
+    save_profile(dcg, program, path)
+    restored = load_profile(path, program)
+    assert restored.edges() == dcg.edges()
+    # The file is genuine JSON.
+    with open(path) as handle:
+        assert json.load(handle)["version"] == FORMAT_VERSION
+
+
+def test_profile_resolves_across_recompilation():
+    # A semantically identical but separately compiled program resolves
+    # the same names.
+    program1, dcg = collected()
+    program2 = compile_source(SOURCE)
+    data = dcg_to_dict(dcg, program1)
+    restored = dcg_from_dict(data, program2)
+    assert restored.total_weight == dcg.total_weight
+
+
+def test_unknown_function_skipped_by_default():
+    program, dcg = collected()
+    data = dcg_to_dict(dcg, program)
+    data["edges"].append(
+        {"caller": "Ghost.f", "pc": 0, "callee": "helper", "weight": 1.0}
+    )
+    restored = dcg_from_dict(data, program)
+    assert restored.total_weight == dcg.total_weight
+
+
+def test_unknown_function_rejected_in_strict_mode():
+    program, dcg = collected()
+    data = dcg_to_dict(dcg, program)
+    data["edges"].append(
+        {"caller": "Ghost.f", "pc": 0, "callee": "helper", "weight": 1.0}
+    )
+    with pytest.raises(ProfileFormatError, match="Ghost.f"):
+        dcg_from_dict(data, program, strict=True)
+
+
+def test_bad_version_rejected():
+    program, _ = collected()
+    with pytest.raises(ProfileFormatError, match="version"):
+        dcg_from_dict({"version": 99, "edges": []}, program)
+
+
+def test_malformed_edge_rejected():
+    program, _ = collected()
+    with pytest.raises(ProfileFormatError, match="malformed"):
+        dcg_from_dict(
+            {"version": 1, "edges": [{"caller": "main"}]}, program
+        )
+
+
+def test_negative_weight_rejected():
+    program, _ = collected()
+    data = {
+        "version": 1,
+        "edges": [
+            {"caller": "main", "pc": 0, "callee": "helper", "weight": -1.0}
+        ],
+    }
+    with pytest.raises(ProfileFormatError, match="negative"):
+        dcg_from_dict(data, program)
+
+
+def test_missing_file_reported():
+    program, _ = collected()
+    with pytest.raises(ProfileFormatError, match="cannot load"):
+        load_profile("/nonexistent/profile.json", program)
+
+
+def test_empty_dcg_roundtrip(tmp_path):
+    program, _ = collected()
+    path = str(tmp_path / "empty.json")
+    save_profile(DCG(), program, path)
+    assert load_profile(path, program).total_weight == 0
+
+
+def test_offline_pgo_end_to_end(tmp_path):
+    """Collect a profile, save it, and use it to optimize a fresh VM."""
+    from repro.inlining.new_inliner import NewJikesInliner
+    from repro.opt.pipeline import optimize_function
+
+    program, dcg = collected()
+    path = str(tmp_path / "profile.json")
+    save_profile(dcg, program, path)
+
+    fresh_program = compile_source(SOURCE)
+    offline = load_profile(path, fresh_program)
+    policy = NewJikesInliner(fresh_program)
+    vm = Interpreter(fresh_program)
+    for function in fresh_program.functions:
+        plan = policy.plan_for(function.index, offline)
+        if not plan.is_empty():
+            vm.code_cache.install(optimize_function(fresh_program, plan).function, 2)
+    vm.run()
+
+    baseline = Interpreter(fresh_program)
+    baseline.run()
+    assert vm.output == baseline.output
+    assert vm.time < baseline.time  # offline PGO paid off

@@ -1,0 +1,91 @@
+"""Deeper Whaley-sampler tests: CCT structure and time-bias properties."""
+
+from repro.frontend.codegen import compile_source
+from repro.profiling.exhaustive import ExhaustiveProfiler
+from repro.profiling.metrics import accuracy
+from repro.profiling.whaley import WhaleyProfiler
+from repro.vm.config import jikes_config
+from repro.vm.interpreter import Interpreter
+
+DEEP = """
+class Node {
+  var left: Node;
+  var right: Node;
+  var v: int;
+  def sum(): int {
+    var s = this.v;
+    if (this.left != null) { s = s + this.left.sum(); }
+    if (this.right != null) { s = s + this.right.sum(); }
+    return s % 65521;
+  }
+}
+def build(depth: int, tag: int): Node {
+  var n = new Node();
+  n.v = tag;
+  if (depth > 0) {
+    n.left = build(depth - 1, tag * 2);
+    n.right = build(depth - 1, tag * 2 + 1);
+  }
+  return n;
+}
+def main() {
+  var root = build(9, 1);
+  var t = 0;
+  for (var i = 0; i < 60; i = i + 1) { t = (t + root.sum()) % 65521; }
+  print(t);
+}
+"""
+
+
+def run_deep(depth=8):
+    program = compile_source(DEEP)
+    vm = Interpreter(program, jikes_config())
+    perfect = ExhaustiveProfiler()
+    perfect.install(vm)
+    profiler = WhaleyProfiler(context_depth=depth)
+    vm.attach_profiler(profiler)
+    vm.run()
+    return vm, profiler, perfect, program
+
+
+def test_cct_captures_deep_recursion():
+    _, profiler, _, program = run_deep()
+    profile = profiler.cct.context_profile()
+    assert profile
+    deepest = max(len(path) for path in profile)
+    # Recursion through sum() shows up as long chains, up to the cap.
+    assert deepest >= 4
+
+
+def test_context_depth_caps_paths():
+    _, shallow, _, _ = run_deep(depth=2)
+    for path in shallow.cct.context_profile():
+        assert len(path) <= 2
+
+
+def test_projected_dcg_contains_recursive_edge():
+    _, profiler, _, program = run_deep()
+    projected = profiler.cct.to_dcg()
+    sum_index = program.function_index("Node.sum")
+    recursive = [
+        edge for edge in projected.edges()
+        if edge[0] == sum_index and edge[2] == sum_index
+    ]
+    assert recursive
+
+
+def test_whaley_dcg_less_accurate_than_cbs():
+    from repro.profiling.cbs import CBSProfiler
+
+    vm, whaley, perfect, _ = run_deep()
+    # One sample per tick, taken where time is spent (§3.3).
+    assert whaley.samples_taken == vm.ticks
+
+    program = compile_source(DEEP)
+    vm2 = Interpreter(program, jikes_config())
+    perfect2 = ExhaustiveProfiler()
+    perfect2.install(vm2)
+    cbs = CBSProfiler(stride=3, samples_per_tick=16)
+    vm2.attach_profiler(cbs)
+    vm2.run()
+    assert accuracy(cbs.dcg, perfect2.dcg) > accuracy(whaley.dcg, perfect.dcg)

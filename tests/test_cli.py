@@ -1,0 +1,145 @@
+"""CLI tests (repro-mini)."""
+
+import pytest
+
+from repro.cli import main
+
+PROGRAM = """
+class Counter {
+  var n: int;
+  def bump(): int { this.n = this.n + 1; return this.n; }
+}
+def main() {
+  var c = new Counter();
+  var t = 0;
+  for (var i = 0; i < 40000; i = i + 1) { t = c.bump(); }
+  print(t);
+}
+"""
+
+BROKEN = "def main() { print(undeclared); }"
+
+CRASHING = "def main() { print(1 / 0); }"
+
+
+@pytest.fixture
+def program_file(tmp_path):
+    path = tmp_path / "prog.mini"
+    path.write_text(PROGRAM)
+    return str(path)
+
+
+def test_run_prints_output(program_file, capsys):
+    assert main(["run", program_file]) == 0
+    assert capsys.readouterr().out.strip() == "40000"
+
+
+def test_run_with_stats(program_file, capsys):
+    assert main(["run", program_file, "--stats"]) == 0
+    err = capsys.readouterr().err
+    assert "steps=" in err and "vtime=" in err
+
+
+def test_run_with_cbs_profile_and_dcg(program_file, capsys):
+    assert main(
+        ["run", program_file, "--profile", "cbs", "--dcg", "--stride", "5"]
+    ) == 0
+    captured = capsys.readouterr()
+    assert "Counter.bump" in captured.err
+    assert "accuracy vs exhaustive" in captured.err
+
+
+def test_run_dcg_without_profile_shows_exhaustive(program_file, capsys):
+    assert main(["run", program_file, "--dcg"]) == 0
+    assert "exhaustive dynamic call graph" in capsys.readouterr().err
+
+
+def test_run_timer_profile(program_file, capsys):
+    assert main(["run", program_file, "--profile", "timer", "--dcg"]) == 0
+
+
+def test_run_on_j9(program_file, capsys):
+    assert main(["run", program_file, "--vm", "j9"]) == 0
+    assert capsys.readouterr().out.strip() == "40000"
+
+
+def test_run_adaptive(program_file, capsys):
+    assert main(
+        ["run", program_file, "--adaptive", "--profile", "cbs", "--stats"]
+    ) == 0
+    captured = capsys.readouterr()
+    assert captured.out.strip() == "40000"
+    assert "compile_time=" in captured.err
+
+
+def test_run_opt_level_1(program_file, capsys):
+    assert main(["run", program_file, "--opt", "1"]) == 0
+    assert capsys.readouterr().out.strip() == "40000"
+
+
+def test_runtime_error_reported(tmp_path, capsys):
+    path = tmp_path / "crash.mini"
+    path.write_text(CRASHING)
+    assert main(["run", str(path)]) == 1
+    assert "runtime error" in capsys.readouterr().err
+
+
+def test_compile_error_reported(tmp_path):
+    path = tmp_path / "broken.mini"
+    path.write_text(BROKEN)
+    with pytest.raises(SystemExit, match="compile error"):
+        main(["run", str(path)])
+
+
+def test_missing_file_reported():
+    with pytest.raises(SystemExit, match="cannot read"):
+        main(["check", "/nonexistent/x.mini"])
+
+
+def test_disasm(program_file, capsys):
+    assert main(["disasm", program_file]) == 0
+    out = capsys.readouterr().out
+    assert "method Counter.bump/1" in out
+    assert "CALL_VIRTUAL bump 0" in out
+
+
+def test_check(program_file, capsys):
+    assert main(["check", program_file]) == 0
+    assert "OK" in capsys.readouterr().out
+
+
+def test_run_loops_profile(program_file, capsys):
+    assert main(["run", program_file, "--profile", "loops"]) == 0
+    assert "loop profile" in capsys.readouterr().err
+
+
+def test_save_and_load_profile(program_file, tmp_path, capsys):
+    profile_path = str(tmp_path / "p.json")
+    assert main(
+        ["run", program_file, "--profile", "cbs", "--save-profile", profile_path]
+    ) == 0
+    assert "profile saved" in capsys.readouterr().err
+    # Reuse it for offline PGO: fewer calls executed (inlined).
+    assert main(
+        ["run", program_file, "--load-profile", profile_path, "--stats"]
+    ) == 0
+    captured = capsys.readouterr()
+    assert captured.out.strip() == "40000"
+
+
+def test_save_profile_from_exhaustive_dcg(program_file, tmp_path, capsys):
+    profile_path = str(tmp_path / "p.json")
+    assert main(["run", program_file, "--dcg", "--save-profile", profile_path]) == 0
+    import os
+
+    assert os.path.exists(profile_path)
+
+
+def test_save_profile_without_source_warns(program_file, capsys):
+    assert main(["run", program_file, "--save-profile", "/tmp/ignored.json"]) == 0
+    assert "nothing saved" in capsys.readouterr().err
+
+
+def test_load_profile_missing_file(program_file):
+    with pytest.raises(SystemExit, match="cannot load"):
+        main(["run", program_file, "--load-profile", "/nonexistent.json"])

@@ -1,0 +1,59 @@
+"""Smoke tests: the example scripts run end to end.
+
+The heavy examples are exercised on reduced inputs by monkeypatching
+their argv; the goal is that nothing in examples/ rots.
+"""
+
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES_DIR = "examples"
+
+
+def run_example(monkeypatch, name, argv=()):
+    monkeypatch.setattr(sys, "argv", [name] + list(argv))
+    runpy.run_path(f"{EXAMPLES_DIR}/{name}", run_name="__main__")
+
+
+def test_quickstart(monkeypatch, capsys):
+    run_example(monkeypatch, "quickstart.py")
+    out = capsys.readouterr().out
+    assert "profile accuracy" in out
+    assert "dynamic call graph" in out
+
+
+def test_build_your_own_language_tour(monkeypatch, capsys):
+    run_example(monkeypatch, "build_your_own_language_tour.py")
+    out = capsys.readouterr().out
+    assert "tokens" in out and "inline Accum.add" in out
+
+
+def test_adversarial_timer(monkeypatch, capsys):
+    run_example(monkeypatch, "adversarial_timer.py")
+    out = capsys.readouterr().out
+    assert "Figure 1" in out
+
+
+def test_context_sensitive(monkeypatch, capsys):
+    run_example(monkeypatch, "context_sensitive.py")
+    out = capsys.readouterr().out
+    assert "context-sensitive profile" in out
+
+
+def test_profiler_accuracy_on_small_benchmark(monkeypatch, capsys):
+    run_example(monkeypatch, "profiler_accuracy.py", ["jess", "tiny"])
+    out = capsys.readouterr().out
+    assert "cbs S=3 N=16" in out
+
+
+def test_offline_pgo(monkeypatch, capsys):
+    run_example(monkeypatch, "offline_pgo.py", ["jess"])
+    out = capsys.readouterr().out
+    assert "offline PGO" in out
+
+
+def test_examples_reject_unknown_benchmark(monkeypatch):
+    with pytest.raises(SystemExit):
+        run_example(monkeypatch, "profiler_accuracy.py", ["nope"])

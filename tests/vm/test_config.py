@@ -1,0 +1,60 @@
+"""VM configuration tests."""
+
+import pytest
+
+from repro.vm.config import VMConfig, config_named, j9_config, jikes_config
+
+
+def test_named_lookup():
+    assert config_named("jikes").name == "jikes"
+    assert config_named("j9").name == "j9"
+
+
+def test_unknown_name_rejected():
+    with pytest.raises(ValueError, match="unknown VM"):
+        config_named("hotspot")
+
+
+def test_overrides_apply():
+    config = config_named("jikes", timer_interval=55_000, max_frames=99)
+    assert config.timer_interval == 55_000
+    assert config.max_frames == 99
+    # Untouched fields keep their preset values.
+    assert config.backedge_yieldpoints is True
+
+
+def test_jikes_has_full_yieldpoint_set():
+    config = jikes_config()
+    assert config.prologue_yieldpoints
+    assert config.epilogue_yieldpoints
+    assert config.backedge_yieldpoints
+    assert config.overloaded_entry_check
+
+
+def test_j9_entry_only():
+    config = j9_config()
+    assert config.prologue_yieldpoints
+    assert not config.epilogue_yieldpoints
+    assert not config.backedge_yieldpoints
+
+
+def test_configs_are_frozen():
+    config = jikes_config()
+    with pytest.raises(AttributeError):
+        config.timer_interval = 1
+
+
+def test_replace_returns_new_instance():
+    config = jikes_config()
+    other = config.replace(timer_interval=1234)
+    assert other.timer_interval == 1234
+    assert config.timer_interval != 1234
+    assert isinstance(other, VMConfig)
+
+
+def test_cost_models_differ_between_presets():
+    assert jikes_config().cost_model != j9_config().cost_model
+
+
+def test_timer_intervals_differ():
+    assert jikes_config().timer_interval != j9_config().timer_interval

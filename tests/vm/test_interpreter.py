@@ -1,0 +1,291 @@
+"""Interpreter semantics and error tests."""
+
+import pytest
+
+from repro.bytecode.assembler import assemble
+from repro.vm.config import jikes_config
+from repro.vm.errors import (
+    ArrayBoundsError,
+    DivisionByZeroError,
+    NullPointerError,
+    StackOverflowError_,
+    StepLimitExceeded,
+)
+from repro.vm.interpreter import Interpreter, run_program
+
+from tests.helpers import run_main_expr, run_source, vm_for
+
+
+def run_asm(text):
+    vm = Interpreter(assemble(text))
+    result = vm.run()
+    return vm, result
+
+
+def test_main_return_value_propagates():
+    program = assemble("func main/0\n  PUSH 5\n  RETURN_VAL\nend")
+    vm = Interpreter(program)
+    assert vm.run() == 5
+
+
+def test_void_main_returns_none():
+    vm, result = run_asm("func main/0 void\n  RETURN\nend")
+    assert result is None
+
+
+def test_dup_pop_nop():
+    vm, _ = run_asm(
+        """
+        func main/0 void
+          PUSH 3
+          DUP
+          NOP
+          PRINT
+          PRINT
+          RETURN
+        end
+        """
+    )
+    assert vm.output == [3, 3]
+
+
+def test_push_null_and_eq():
+    vm, _ = run_asm(
+        """
+        func main/0 void
+          PUSH_NULL
+          PUSH_NULL
+          EQ
+          PRINT
+          RETURN
+        end
+        """
+    )
+    assert vm.output == [1]
+
+
+def test_reference_equality_is_identity():
+    source = """
+    class A { }
+    def main() {
+      var a = new A();
+      var b = new A();
+      var c = a;
+      print(a == b);
+      print(a == c);
+      print(a != b);
+    }
+    """
+    assert run_source(source) == [0, 1, 1]
+
+
+def test_array_identity_not_deep_equality():
+    source = """
+    def main() {
+      var a = new int[2];
+      var b = new int[2];
+      print(a == b);
+      print(a == a);
+    }
+    """
+    assert run_source(source) == [0, 1]
+
+
+def test_division_by_zero_raises():
+    with pytest.raises(DivisionByZeroError):
+        run_main_expr("1 / 0")
+
+
+def test_modulo_by_zero_raises():
+    with pytest.raises(DivisionByZeroError):
+        run_main_expr("1 % 0")
+
+
+def test_null_field_read_raises():
+    source = """
+    class A { var x: int; }
+    def main() { var a: A = null; print(a.x); }
+    """
+    with pytest.raises(NullPointerError):
+        run_source(source)
+
+
+def test_null_field_write_raises():
+    source = """
+    class A { var x: int; }
+    def main() { var a: A = null; a.x = 1; }
+    """
+    with pytest.raises(NullPointerError):
+        run_source(source)
+
+
+def test_null_virtual_call_raises():
+    source = """
+    class A { def f(): int { return 1; } }
+    def main() { var a: A = null; print(a.f()); }
+    """
+    with pytest.raises(NullPointerError):
+        run_source(source)
+
+
+def test_null_array_access_raises():
+    source = "def main() { var a: int[] = null; print(a[0]); }"
+    with pytest.raises(NullPointerError):
+        run_source(source)
+
+
+def test_null_len_raises():
+    source = "def main() { var a: int[] = null; print(len(a)); }"
+    with pytest.raises(NullPointerError):
+        run_source(source)
+
+
+def test_array_bounds_checked():
+    with pytest.raises(ArrayBoundsError):
+        run_source("def main() { var a = new int[2]; print(a[5]); }")
+
+
+def test_negative_index_rejected():
+    with pytest.raises(ArrayBoundsError):
+        run_source("def main() { var a = new int[2]; print(a[0 - 1]); }")
+
+
+def test_array_store_bounds_checked():
+    with pytest.raises(ArrayBoundsError):
+        run_source("def main() { var a = new int[2]; a[2] = 1; }")
+
+
+def test_stack_overflow_detected():
+    source = "def f(): int { return f(); } def main() { print(f()); }"
+    config = jikes_config(max_frames=64)
+    with pytest.raises(StackOverflowError_):
+        vm = vm_for(source, config)
+        vm.run()
+
+
+def test_step_limit_enforced():
+    source = "def main() { while (true) { } }"
+    config = jikes_config(max_steps=100_000)
+    with pytest.raises(StepLimitExceeded):
+        vm_for(source, config).run()
+
+
+def test_error_carries_function_and_pc():
+    with pytest.raises(DivisionByZeroError) as exc_info:
+        run_source("def main() { print(1 / 0); }")
+    assert "main" in str(exc_info.value)
+
+
+def test_object_fields_default_to_zero():
+    source = """
+    class A { var x: int; var flag: bool; }
+    def main() { var a = new A(); print(a.x); print(a.flag); }
+    """
+    assert run_source(source) == [0, 0]
+
+
+def test_is_exact_opcode():
+    program = assemble(
+        """
+        class A
+        class B extends A
+        func main/0 void
+          NEW B
+          IS_EXACT B
+          PRINT
+          NEW B
+          IS_EXACT A
+          PRINT
+          PUSH_NULL
+          IS_EXACT A
+          PRINT
+          RETURN
+        end
+        """
+    )
+    vm = Interpreter(program)
+    vm.run()
+    assert vm.output == [1, 0, 0]
+
+
+def test_guard_method_resolves_through_vtable():
+    program = assemble(
+        """
+        class A
+        class B extends A
+        method A.f/1
+          PUSH 1
+          RETURN_VAL
+        end
+        method B.f/1
+          PUSH 2
+          RETURN_VAL
+        end
+        func main/0 void
+          NEW B
+          GUARD_METHOD f 0 A.f
+          PRINT
+          NEW B
+          GUARD_METHOD f 0 B.f
+          PRINT
+          NEW A
+          GUARD_METHOD f 0 A.f
+          PRINT
+          PUSH_NULL
+          GUARD_METHOD f 0 A.f
+          PRINT
+          RETURN
+        end
+        """
+    )
+    vm = Interpreter(program)
+    vm.run()
+    assert vm.output == [0, 1, 1, 0]
+
+
+def test_counters_track_execution():
+    source = """
+    def g(): int { return 1; }
+    def main() { var t = 0; for (var i = 0; i < 10; i = i + 1) { t = t + g(); } print(t); }
+    """
+    vm = vm_for(source)
+    vm.run()
+    assert vm.output == [10]
+    assert vm.call_count == 10
+    assert vm.methods_executed == 2  # main + g
+    assert vm.steps > 0
+    assert vm.time > vm.steps  # every op costs >= 1, some cost more
+
+
+def test_methods_executed_counts_distinct():
+    source = """
+    def g(): int { return 1; }
+    def h(): int { return g(); }
+    def main() { print(h() + h()); }
+    """
+    vm = vm_for(source)
+    vm.run()
+    assert vm.methods_executed == 3
+
+
+def test_run_program_helper():
+    vm = run_program(assemble("func main/0 void\n  PUSH 1\n  PRINT\n  RETURN\nend"))
+    assert vm.output == [1] and vm.finished
+
+
+def test_repeated_run_accumulates():
+    source = "def main() { print(1); }"
+    vm = vm_for(source)
+    vm.run()
+    first_time = vm.time
+    vm.run()
+    assert vm.output == [1, 1]
+    assert vm.time > first_time
+
+
+def test_deep_recursion_within_limit():
+    source = """
+    def depth(n: int): int { if (n == 0) { return 0; } return 1 + depth(n - 1); }
+    def main() { print(depth(500)); }
+    """
+    assert run_source(source) == [500]

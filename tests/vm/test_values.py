@@ -1,0 +1,45 @@
+"""Runtime value representation tests."""
+
+from repro.vm.values import HeapArray, HeapObject
+
+
+def test_heap_object_fields_zeroed():
+    obj = HeapObject(3, 4)
+    assert obj.class_index == 3
+    assert obj.fields == [0, 0, 0, 0]
+
+
+def test_heap_object_identity_equality():
+    a = HeapObject(0, 1)
+    b = HeapObject(0, 1)
+    assert a != b
+    assert a == a
+
+
+def test_heap_object_repr():
+    assert "class=2" in repr(HeapObject(2, 1))
+
+
+def test_heap_array_zeroed_and_len():
+    arr = HeapArray(5)
+    assert len(arr) == 5
+    assert arr.elements == [0] * 5
+
+
+def test_heap_array_identity_not_structural():
+    a = HeapArray(2)
+    b = HeapArray(2)
+    assert a != b  # no __eq__: identity semantics, unlike bare lists
+    assert a.elements == b.elements
+
+
+def test_heap_array_repr_truncates():
+    small = HeapArray(3)
+    big = HeapArray(20)
+    assert "..." not in repr(small)
+    assert "..." in repr(big)
+
+
+def test_zero_length_array():
+    arr = HeapArray(0)
+    assert len(arr) == 0
