@@ -27,6 +27,7 @@ from repro.profiling.dcg import DCG
 from repro.profiling.exhaustive import ExhaustiveProfiler
 from repro.profiling.metrics import accuracy, overlap
 from repro.profiling.timer_sampler import TimerProfiler
+from repro.telemetry import Tracer
 from repro.vm.config import j9_config, jikes_config
 from repro.vm.interpreter import Interpreter, run_program
 
@@ -38,6 +39,7 @@ __all__ = [
     "ExhaustiveProfiler",
     "Interpreter",
     "TimerProfiler",
+    "Tracer",
     "__version__",
     "accuracy",
     "compile_program",

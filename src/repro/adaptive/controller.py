@@ -97,6 +97,11 @@ class AdaptiveSystem:
         if vm.tick_hook is not None:
             raise RuntimeError("interpreter already has a tick hook")
         vm.tick_hook = self.on_tick
+        if vm.telemetry is not None and self.policy.telemetry is None:
+            # Propagate the VM's tracer so inlining decisions made during
+            # adaptive recompilation land in the same trace.
+            self.policy.telemetry = vm.telemetry
+            self.static_policy.telemetry = vm.telemetry
 
     # -- tick processing ------------------------------------------------------------
 
@@ -161,3 +166,12 @@ class AdaptiveSystem:
                 size_after=result.size_after,
             )
         )
+        if vm.telemetry is not None:
+            vm.telemetry.on_recompile(
+                vm.time,
+                function_index,
+                level,
+                result.inlines_applied,
+                result.size_before,
+                result.size_after,
+            )

@@ -3,17 +3,24 @@
 Usage::
 
     repro-mini run program.mini [--vm jikes|j9] [--profile cbs|timer|whaley]
-                                [--stride N] [--samples N] [--adaptive]
+                                [--stride N] [--samples N] [--skip-policy P]
+                                [--seed N] [--context-depth N] [--adaptive]
                                 [--opt {0,1}] [--stats] [--dcg]
+                                [--trace FILE] [--trace-format jsonl|chrome]
+    repro-mini report trace_file
     repro-mini disasm program.mini
     repro-mini check program.mini
 
-(or ``python -m repro.cli ...``).
+(or ``python -m repro.cli ...``).  ``--trace`` records the run's
+telemetry (ticks, yieldpoint transitions, CBS windows, samples,
+recompilations, inlining decisions) to FILE; ``report`` summarizes such
+a file as a table.  See docs/OBSERVABILITY.md.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from repro.adaptive.controller import AdaptiveSystem
@@ -22,7 +29,7 @@ from repro.bytecode.disassembler import disassemble
 from repro.frontend.codegen import compile_source
 from repro.lang.errors import MiniError
 from repro.inlining.new_inliner import NewJikesInliner
-from repro.profiling.cbs import CBSProfiler
+from repro.profiling.cbs import SKIP_POLICIES, CBSProfiler
 from repro.profiling.exhaustive import ExhaustiveProfiler
 from repro.profiling.loops import CBSLoopProfiler
 from repro.profiling.serialize import ProfileFormatError, load_profile, save_profile
@@ -46,14 +53,24 @@ def _load(path: str):
 
 
 def _profiler_for(args):
+    # --seed omitted → keep each profiler class's own default seed.
+    seeded = {} if args.seed is None else {"seed": args.seed}
     if args.profile == "cbs":
-        return CBSProfiler(stride=args.stride, samples_per_tick=args.samples)
+        return CBSProfiler(
+            stride=args.stride,
+            samples_per_tick=args.samples,
+            skip_policy=args.skip_policy,
+            context_depth=args.context_depth,
+            **seeded,
+        )
     if args.profile == "timer":
         return TimerProfiler()
     if args.profile == "whaley":
         return WhaleyProfiler()
     if args.profile == "loops":
-        return CBSLoopProfiler(stride=args.stride, samples_per_tick=args.samples)
+        return CBSLoopProfiler(
+            stride=args.stride, samples_per_tick=args.samples, **seeded
+        )
     return None
 
 
@@ -62,6 +79,13 @@ def _cmd_run(args) -> int:
     config = config_named(args.vm)
     cache = jit_only_cache(program, config.cost_model, level=args.opt)
     vm = Interpreter(program, config, cache)
+
+    tracer = None
+    if args.trace:
+        from repro.telemetry import Tracer
+
+        tracer = Tracer()
+        vm.attach_telemetry(tracer)
 
     if args.load_profile:
         # Offline PGO: pre-optimize everything the saved profile justifies.
@@ -72,6 +96,7 @@ def _cmd_run(args) -> int:
         except ProfileFormatError as error:
             raise SystemExit(str(error))
         policy = NewJikesInliner(program)
+        policy.telemetry = tracer
         for function in program.functions:
             plan = policy.plan_for(function.index, offline)
             if not plan.is_empty():
@@ -92,17 +117,34 @@ def _cmd_run(args) -> int:
                 "(no samples); adding cbs",
                 file=sys.stderr,
             )
-            profiler = CBSProfiler(stride=args.stride, samples_per_tick=args.samples)
+            args.profile = "cbs"
+            profiler = _profiler_for(args)
             vm.attach_profiler(profiler)
 
     try:
-        vm.run()
+        from repro.telemetry.scopes import trace_scope
+
+        with trace_scope(tracer, "run", file=args.file, vm=args.vm):
+            vm.run()
     except VMError as error:
         print(f"runtime error: {error}", file=sys.stderr)
         return 1
 
     for value in vm.output:
         print(value)
+    if tracer is not None:
+        from repro.telemetry import export
+
+        try:
+            export(tracer, args.trace, args.trace_format)
+        except OSError as error:
+            print(f"cannot write trace {args.trace}: {error}", file=sys.stderr)
+            return 1
+        print(
+            f"-- trace ({args.trace_format}, {len(tracer.events)} events) "
+            f"written to {args.trace}",
+            file=sys.stderr,
+        )
     if args.save_profile:
         source = profiler if profiler is not None else perfect
         if source is None or isinstance(source, CBSLoopProfiler):
@@ -137,6 +179,17 @@ def _cmd_run(args) -> int:
     elif args.dcg:
         print("-- exhaustive dynamic call graph:", file=sys.stderr)
         print(perfect.dcg.describe(program, limit=12), file=sys.stderr)
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from repro.telemetry import TraceFormatError, load_trace, summarize_trace
+
+    try:
+        trace = load_trace(args.trace_file)
+    except TraceFormatError as error:
+        raise SystemExit(str(error))
+    print(summarize_trace(trace, histograms=not args.no_histograms))
     return 0
 
 
@@ -177,13 +230,51 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument("--stride", type=int, default=3)
     run.add_argument("--samples", type=int, default=16)
+    run.add_argument(
+        "--skip-policy",
+        choices=list(SKIP_POLICIES),
+        default="random",
+        help="CBS initial-skip selection (paper §4)",
+    )
+    run.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="PRNG seed for cbs/loops profilers (default: the profiler's own)",
+    )
+    run.add_argument(
+        "--context-depth",
+        type=int,
+        default=1,
+        help="CBS calling-context depth (>1 records a CCT alongside the DCG)",
+    )
     run.add_argument("--opt", type=int, choices=[0, 1], default=0)
     run.add_argument(
         "--adaptive", action="store_true", help="enable adaptive recompilation"
     )
     run.add_argument("--stats", action="store_true", help="print VM statistics")
     run.add_argument("--dcg", action="store_true", help="print the call graph")
+    run.add_argument(
+        "--trace", metavar="FILE", help="record telemetry events/metrics to FILE"
+    )
+    run.add_argument(
+        "--trace-format",
+        choices=["jsonl", "chrome"],
+        default="jsonl",
+        help="trace file format (chrome = trace_event JSON for chrome://tracing)",
+    )
     run.set_defaults(handler=_cmd_run)
+
+    report = commands.add_parser(
+        "report", help="summarize a telemetry trace written by run --trace"
+    )
+    report.add_argument("trace_file")
+    report.add_argument(
+        "--no-histograms",
+        action="store_true",
+        help="omit the per-histogram bucket tables",
+    )
+    report.set_defaults(handler=_cmd_report)
 
     disasm = commands.add_parser("disasm", help="print a program's bytecode")
     disasm.add_argument("file")
@@ -197,7 +288,14 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.handler(args)
+    try:
+        return args.handler(args)
+    except BrokenPipeError:
+        # Downstream pipe (head, less) closed early; not an error.
+        # Point stdout at devnull so the interpreter's shutdown flush
+        # doesn't raise a second time.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":

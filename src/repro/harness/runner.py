@@ -18,6 +18,7 @@ from repro.benchsuite.suite import program_for
 from repro.profiling.dcg import DCG
 from repro.profiling.exhaustive import ExhaustiveProfiler
 from repro.profiling.metrics import accuracy
+from repro.telemetry.scopes import trace_scope
 from repro.vm.config import VMConfig, config_named
 from repro.vm.interpreter import Interpreter
 
@@ -88,15 +89,24 @@ def measure_profiler(
     profiler,
     vm_name: str = "jikes",
     opt_level: int = 0,
+    tracer=None,
 ) -> ProfiledRun:
-    """Run once with ``profiler`` attached; report accuracy and overhead."""
+    """Run once with ``profiler`` attached; report accuracy and overhead.
+
+    An optional telemetry ``tracer`` is attached to the profiled VM and
+    the run is bracketed in a ``profiled-run`` scope; tracing never
+    changes virtual time, so overhead numbers are unaffected.
+    """
     baseline = measure_baseline(name, size, vm_name, opt_level)
     config = config_named(vm_name)
     vm = _make_vm(name, size, config, opt_level)
     perfect = ExhaustiveProfiler()
     perfect.install(vm)
     vm.attach_profiler(profiler)
-    vm.run()
+    if tracer is not None:
+        vm.attach_telemetry(tracer)
+    with trace_scope(tracer, "profiled-run", benchmark=name, size=size, vm=vm_name):
+        vm.run()
     overhead = 100.0 * (vm.time - baseline.time) / baseline.time
     return ProfiledRun(
         accuracy=accuracy(profiler.dcg, perfect.dcg),
@@ -129,6 +139,7 @@ def run_steady_state(
     steady_window: int = 3,
     use_profile: bool = True,
     adaptive_config: AdaptiveConfig | None = None,
+    tracer=None,
 ) -> SteadyStateResult:
     """Figure 5 methodology: iterate the benchmark under the adaptive
     system; report the mean of the last ``steady_window`` iterations
@@ -139,6 +150,8 @@ def run_steady_state(
     vm = Interpreter(program, config, cache)
     if profiler is not None:
         vm.attach_profiler(profiler)
+    if tracer is not None:
+        vm.attach_telemetry(tracer)
     adaptive_config = adaptive_config or AdaptiveConfig()
     adaptive_config.use_profile = use_profile
     adaptive = AdaptiveSystem(program, policy, adaptive_config)
@@ -146,8 +159,9 @@ def run_steady_state(
 
     times: list[int] = []
     previous = 0
-    for _ in range(iterations):
-        vm.run()
+    for iteration in range(iterations):
+        with trace_scope(tracer, f"iteration-{iteration}", benchmark=name):
+            vm.run()
         times.append(vm.time - previous)
         previous = vm.time
     steady = sum(times[-steady_window:]) // steady_window

@@ -50,6 +50,10 @@ class NewJikesInliner(InlinerPolicy):
         )
         return min(threshold, self.max_size_threshold)
 
+    def _trace(self, caller, pc, callee, action, accepted, reason) -> None:
+        if self.telemetry is not None:
+            self.telemetry.on_inline_decision(caller, pc, callee, action, accepted, reason)
+
     def decide_site(self, caller_index, pc, instr, dcg: DCG | None, depth):
         static_target = self.static_callee(instr)
 
@@ -58,9 +62,21 @@ class NewJikesInliner(InlinerPolicy):
             if dcg is not None:
                 fraction = dcg.weight_fraction((caller_index, pc, static_target))
             if self.callee_size(static_target) <= self.size_threshold(fraction):
+                self._trace(
+                    caller_index, pc, static_target, "direct", True,
+                    "within-linear-threshold",
+                )
                 return SiteDecision(DIRECT, static_target)
             if instr.op is Op.CALL_VIRTUAL:
+                self._trace(
+                    caller_index, pc, static_target, "devirtualize", True,
+                    "monomorphic-but-exceeds-threshold",
+                )
                 return SiteDecision(DEVIRTUALIZE, static_target)
+            self._trace(
+                caller_index, pc, static_target, "direct", False,
+                "exceeds-size-threshold",
+            )
             return None
 
         if instr.op is not Op.CALL_VIRTUAL or dcg is None:
@@ -68,6 +84,7 @@ class NewJikesInliner(InlinerPolicy):
         distribution = self.site_distribution(caller_index, pc, dcg)
         site_weight = sum(distribution.values())
         if site_weight == 0:
+            self._trace(caller_index, pc, -1, "guarded", False, "no-site-samples")
             return None
         # Every callee carrying >40% of this site's distribution is a
         # guarded-inline candidate (at most two can qualify); they form
@@ -85,5 +102,14 @@ class NewJikesInliner(InlinerPolicy):
             if self.callee_size(callee) <= self.size_threshold(edge_fraction):
                 eligible.append(callee)
         if not eligible:
+            rejected = qualified[0] if qualified else -1
+            reason = (
+                "exceeds-size-threshold" if qualified else "no-dominant-callee"
+            )
+            self._trace(caller_index, pc, rejected, "guarded", False, reason)
             return None
+        self._trace(
+            caller_index, pc, eligible[0], "guarded", True,
+            f"distribution-dominant-{len(eligible)}-targets",
+        )
         return SiteDecision(GUARDED, eligible[0], tuple(eligible[1:]))

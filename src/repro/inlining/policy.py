@@ -75,6 +75,9 @@ class InlinerPolicy:
         self.program = program
         self.cha = cha if cha is not None else ClassHierarchyAnalysis(program)
         self.budget_config = budget if budget is not None else BudgetConfig()
+        #: Optional telemetry tracer; policies that explain their
+        #: per-site decisions emit InlineDecisionEvent through it.
+        self.telemetry = None
 
     # -- to be implemented by concrete policies ---------------------------------
 

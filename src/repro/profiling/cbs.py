@@ -96,6 +96,8 @@ class CBSProfiler:
             self.windows_opened += 1
             self._skipped = self._initial_skip()
             self._remaining = self.samples_per_tick
+            if vm.telemetry is not None:
+                vm.telemetry.on_window_open(vm.time)
             return
         if flag != YP_CBS or kind != PROLOGUE:
             # Epilogue/backedge yieldpoints are taken (their cost is
@@ -114,6 +116,8 @@ class CBSProfiler:
         self._remaining -= 1
         if self._remaining == 0:
             vm.yieldpoint_flag = YP_NONE
+            if vm.telemetry is not None:
+                vm.telemetry.on_window_close(vm.time)
 
     # -- internals ------------------------------------------------------------------
 
@@ -142,6 +146,8 @@ class CBSProfiler:
             return
         self.dcg.record_edge(edge)
         self.samples_taken += 1
+        if vm.telemetry is not None:
+            vm.telemetry.on_sample(vm.time, edge[0], edge[1], edge[2], len(frames))
         if self.cct is not None:
             path = [
                 (frame.method.index, frame.callsite_pc)

@@ -54,3 +54,5 @@ class TimerProfiler:
         vm.charge(cost_model.stack_walk_base_cost + 2 * cost_model.stack_walk_frame_cost)
         self.dcg.record_edge(edge)
         self.samples_taken += 1
+        if vm.telemetry is not None:
+            vm.telemetry.on_sample(vm.time, edge[0], edge[1], edge[2], len(frames))

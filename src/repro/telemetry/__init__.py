@@ -1,0 +1,77 @@
+"""VM-wide telemetry: structured events, metrics, and trace export.
+
+The observability substrate for the profiling pipeline.  A
+:class:`Tracer` attached to a VM (``vm.attach_telemetry(tracer)``)
+records typed events — timer ticks, yieldpoint transitions, CBS window
+open/close, stack-walk samples, adaptive recompilations, inlining
+decisions — stamped with the VM's virtual clock, and aggregates them
+into a metrics registry (counters, gauges, fixed-bucket histograms).
+
+Exporters write JSONL or Chrome ``trace_event`` JSON (loadable in
+``chrome://tracing`` / Perfetto); ``repro-mini report FILE`` summarizes
+either format as a table.  See docs/OBSERVABILITY.md.
+
+Telemetry never charges virtual time: a traced run computes the exact
+same result, virtual time, and profile as an untraced one.  With no
+tracer attached the hooks cost a single ``is not None`` check.
+"""
+
+from repro.telemetry.events import (
+    EVENT_TYPES,
+    CallTraced,
+    Event,
+    InlineDecisionEvent,
+    Recompilation,
+    ScopeBegin,
+    ScopeEnd,
+    StackSample,
+    TimerTick,
+    WindowClose,
+    WindowOpen,
+    YieldpointTaken,
+)
+from repro.telemetry.exporters import (
+    FORMATS,
+    LoadedTrace,
+    TraceFormatError,
+    chrome_trace_events,
+    export,
+    export_chrome,
+    export_jsonl,
+    load_trace,
+)
+from repro.telemetry.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.telemetry.scopes import ScopeTimer, trace_scope
+from repro.telemetry.summary import summarize_trace
+from repro.telemetry.tracer import Tracer
+
+__all__ = [
+    "EVENT_TYPES",
+    "CallTraced",
+    "Counter",
+    "Event",
+    "FORMATS",
+    "Gauge",
+    "Histogram",
+    "InlineDecisionEvent",
+    "LoadedTrace",
+    "MetricsRegistry",
+    "Recompilation",
+    "ScopeBegin",
+    "ScopeEnd",
+    "ScopeTimer",
+    "StackSample",
+    "TimerTick",
+    "TraceFormatError",
+    "Tracer",
+    "WindowClose",
+    "WindowOpen",
+    "YieldpointTaken",
+    "chrome_trace_events",
+    "export",
+    "export_chrome",
+    "export_jsonl",
+    "load_trace",
+    "summarize_trace",
+    "trace_scope",
+]

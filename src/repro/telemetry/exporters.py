@@ -1,0 +1,216 @@
+"""Trace exporters and the matching loader.
+
+Two on-disk formats, both carrying the same event stream and final
+metrics snapshot:
+
+* **JSONL** — one JSON object per line: a header record, one record per
+  event, and a trailing metrics record.  Grep/jq-friendly; the native
+  format for ``repro-mini report``.
+* **Chrome ``trace_event``** — the JSON-object format consumed by
+  ``chrome://tracing`` and Perfetto: ``{"traceEvents": [...]}`` with
+  window open/close and scopes as ``B``/``E`` duration pairs and
+  everything else as instant events.  Timestamps are the VM's virtual
+  time passed through as microseconds (the absolute unit is arbitrary;
+  only relative placement matters).
+
+``load_trace`` reads either format back into a uniform shape so the
+report summarizer doesn't care which one it was handed.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+FORMATS = ("jsonl", "chrome")
+
+JSONL_HEADER = {
+    "record": "header",
+    "format": "repro-telemetry",
+    "version": 1,
+    "clock": "virtual",
+}
+
+#: Chrome trace lanes: one synthetic thread per pipeline layer so the
+#: timeline reads top-to-bottom as vm → profiler → adaptive → harness.
+_LANES = {
+    "timer_tick": (1, "vm"),
+    "yieldpoint": (1, "vm"),
+    "call": (1, "vm"),
+    "window_open": (2, "profiler"),
+    "window_close": (2, "profiler"),
+    "sample": (2, "profiler"),
+    "recompile": (3, "adaptive"),
+    "inline_decision": (3, "adaptive"),
+    "scope_begin": (4, "harness"),
+    "scope_end": (4, "harness"),
+}
+_DEFAULT_LANE = (1, "vm")
+_PID = 1
+
+
+def export_jsonl(tracer, path: str) -> None:
+    """Write the trace as JSON Lines (header, events, metrics footer)."""
+    tracer.finalize()
+    with open(path, "w") as handle:
+        handle.write(json.dumps(JSONL_HEADER) + "\n")
+        for event in tracer.events:
+            record = {"record": "event", "name": event.name, "ts": event.ts}
+            args = event.args()
+            if args:
+                record["args"] = args
+            handle.write(json.dumps(record) + "\n")
+        handle.write(
+            json.dumps({"record": "metrics", "metrics": tracer.metrics.snapshot()})
+            + "\n"
+        )
+
+
+def chrome_trace_events(tracer) -> list[dict]:
+    """The trace as a list of Chrome ``trace_event`` dicts (metadata
+    events first, then the event stream)."""
+    events: list[dict] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": _PID,
+            "tid": 0,
+            "args": {"name": "repro-mini virtual machine"},
+        }
+    ]
+    for tid, lane_name in sorted(set(_LANES.values())):
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": _PID,
+                "tid": tid,
+                "args": {"name": lane_name},
+            }
+        )
+    for event in tracer.events:
+        tid, _ = _LANES.get(event.name, _DEFAULT_LANE)
+        record = {
+            "name": event.name,
+            "cat": "repro",
+            "ph": event.phase,
+            "ts": event.ts,
+            "pid": _PID,
+            "tid": tid,
+            "args": event.args(),
+        }
+        if event.phase == "i":
+            record["s"] = "t"  # thread-scoped instant
+        events.append(record)
+    return events
+
+
+def export_chrome(tracer, path: str) -> None:
+    """Write the trace in Chrome ``trace_event`` JSON-object format."""
+    tracer.finalize()
+    document = {
+        "traceEvents": chrome_trace_events(tracer),
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "clock": "virtual",
+            "producer": "repro-mini telemetry",
+            "metrics": tracer.metrics.snapshot(),
+        },
+    }
+    with open(path, "w") as handle:
+        json.dump(document, handle)
+
+
+def export(tracer, path: str, format: str = "jsonl") -> None:
+    if format == "jsonl":
+        export_jsonl(tracer, path)
+    elif format == "chrome":
+        export_chrome(tracer, path)
+    else:
+        raise ValueError(f"unknown trace format {format!r} (choose from {FORMATS})")
+
+
+# -- loading ------------------------------------------------------------------------
+
+
+class TraceFormatError(ValueError):
+    """The file is not a recognizable telemetry trace."""
+
+
+@dataclass
+class LoadedTrace:
+    """Uniform in-memory view of a trace file, whichever format."""
+
+    format: str
+    events: list[dict] = field(default_factory=list)  # {"name", "ts", "args"}
+    metrics: dict = field(default_factory=dict)
+
+    def counts_by_event(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for event in self.events:
+            counts[event["name"]] = counts.get(event["name"], 0) + 1
+        return counts
+
+
+def _load_jsonl(lines: list[str]) -> LoadedTrace:
+    trace = LoadedTrace(format="jsonl")
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        record = json.loads(line)
+        kind = record.get("record")
+        if kind == "event":
+            trace.events.append(
+                {
+                    "name": record["name"],
+                    "ts": record["ts"],
+                    "args": record.get("args", {}),
+                }
+            )
+        elif kind == "metrics":
+            trace.metrics = record.get("metrics", {})
+    return trace
+
+
+def _load_chrome(document: dict) -> LoadedTrace:
+    trace = LoadedTrace(format="chrome")
+    for record in document.get("traceEvents", []):
+        if record.get("ph") == "M":
+            continue  # metadata, not part of the event stream
+        trace.events.append(
+            {
+                "name": record["name"],
+                "ts": record.get("ts", 0),
+                "args": record.get("args", {}),
+            }
+        )
+    trace.metrics = document.get("otherData", {}).get("metrics", {})
+    return trace
+
+
+def load_trace(path: str) -> LoadedTrace:
+    """Read a trace file (auto-detecting JSONL vs. Chrome format)."""
+    try:
+        with open(path) as handle:
+            text = handle.read()
+    except OSError as error:
+        raise TraceFormatError(f"cannot read trace {path}: {error}")
+    stripped = text.lstrip()
+    if not stripped:
+        raise TraceFormatError(f"{path}: empty file")
+    if stripped.startswith("{"):
+        try:
+            first = json.loads(stripped.splitlines()[0])
+        except json.JSONDecodeError:
+            first = None
+        if isinstance(first, dict) and first.get("format") == "repro-telemetry":
+            return _load_jsonl(text.splitlines())
+        try:
+            document = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise TraceFormatError(f"{path}: not valid JSON ({error})")
+        if "traceEvents" not in document:
+            raise TraceFormatError(f"{path}: JSON object without 'traceEvents'")
+        return _load_chrome(document)
+    raise TraceFormatError(f"{path}: unrecognized trace format")

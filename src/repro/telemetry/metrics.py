@@ -1,0 +1,145 @@
+"""A small metrics registry: counters, gauges, fixed-bucket histograms.
+
+Prometheus-flavored but in-process and allocation-light: metrics are
+created once (get-or-create by name) and updated with plain attribute
+arithmetic, so instrumentation sites stay cheap.  ``Registry.snapshot``
+renders everything to a plain dict for exporters and the
+``repro-mini report`` summary table.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "help", "value")
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = name
+        self.help = help
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def snapshot(self) -> dict:
+        return {"type": "counter", "value": self.value}
+
+
+class Gauge:
+    """A value that can go up and down (e.g. current yieldpoint state)."""
+
+    __slots__ = ("name", "help", "value")
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = name
+        self.help = help
+        self.value = 0
+
+    def set(self, value) -> None:
+        self.value = value
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def dec(self, amount: int = 1) -> None:
+        self.value -= amount
+
+    def snapshot(self) -> dict:
+        return {"type": "gauge", "value": self.value}
+
+
+class Histogram:
+    """Fixed-bucket histogram over non-negative observations.
+
+    ``buckets`` is the sorted sequence of inclusive upper bounds; an
+    implicit overflow bucket (``+Inf``) catches everything above the
+    last bound.  Tracks count/sum/min/max alongside the bucket counts
+    so summaries don't need the raw observations.
+    """
+
+    __slots__ = ("name", "help", "buckets", "counts", "count", "sum", "min", "max")
+
+    def __init__(self, name: str, buckets: tuple, help: str = ""):
+        if not buckets:
+            raise ValueError("histogram needs at least one bucket bound")
+        bounds = tuple(buckets)
+        if list(bounds) != sorted(bounds):
+            raise ValueError("bucket bounds must be sorted ascending")
+        self.name = name
+        self.help = help
+        self.buckets = bounds
+        self.counts = [0] * (len(bounds) + 1)  # +1 overflow bucket
+        self.count = 0
+        self.sum = 0
+        self.min = None
+        self.max = None
+
+    def observe(self, value) -> None:
+        self.counts[bisect_left(self.buckets, value)] += 1
+        self.count += 1
+        self.sum += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def bucket_counts(self) -> list[tuple[str, int]]:
+        """(upper-bound label, count) pairs, overflow bucket last."""
+        labels = [f"<= {bound}" for bound in self.buckets] + ["+Inf"]
+        return list(zip(labels, self.counts))
+
+    def snapshot(self) -> dict:
+        return {
+            "type": "histogram",
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+            "mean": round(self.mean, 3),
+            "buckets": {label: count for label, count in self.bucket_counts()},
+        }
+
+
+class MetricsRegistry:
+    """Get-or-create registry of named metrics."""
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, object] = {}
+
+    def _get_or_create(self, name: str, factory, kind):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = factory()
+            self._metrics[name] = metric
+        elif not isinstance(metric, kind):
+            raise TypeError(
+                f"metric {name!r} already registered as {type(metric).__name__}"
+            )
+        return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get_or_create(name, lambda: Counter(name, help), Counter)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get_or_create(name, lambda: Gauge(name, help), Gauge)
+
+    def histogram(self, name: str, buckets: tuple, help: str = "") -> Histogram:
+        return self._get_or_create(name, lambda: Histogram(name, buckets, help), Histogram)
+
+    def get(self, name: str):
+        return self._metrics.get(name)
+
+    def names(self) -> list[str]:
+        return sorted(self._metrics)
+
+    def snapshot(self) -> dict:
+        """All metrics as a JSON-able ``{name: {...}}`` dict."""
+        return {name: self._metrics[name].snapshot() for name in self.names()}

@@ -1,0 +1,56 @@
+"""Duration scopes: bracket a region of work with begin/end events.
+
+Scopes are the harness-level counterpart of the VM-level events: they
+mark *runs* and *phases* (baseline run, profiled run, steady-state
+iteration N) on the same virtual timeline, so a Chrome trace shows the
+profiler machinery nested inside the run that produced it.
+
+``trace_scope`` tolerates ``tracer=None`` so callers never need their
+own guard:
+
+    with trace_scope(tracer, "run", benchmark="javac"):
+        vm.run()
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+
+@contextmanager
+def trace_scope(tracer, label: str, **extra):
+    """Context manager emitting ScopeBegin/ScopeEnd around the body.
+
+    A no-op when ``tracer`` is None.  The end event is emitted even if
+    the body raises, keeping Chrome B/E pairs balanced.
+    """
+    if tracer is None:
+        yield
+        return
+    tracer.scope_begin(label, **extra)
+    try:
+        yield
+    finally:
+        tracer.scope_end(label)
+
+
+class ScopeTimer:
+    """Re-usable named scope for call sites that can't use ``with``
+    (e.g. scopes opened and closed in different methods)."""
+
+    __slots__ = ("tracer", "label", "open")
+
+    def __init__(self, tracer, label: str):
+        self.tracer = tracer
+        self.label = label
+        self.open = False
+
+    def begin(self, **extra) -> None:
+        if self.tracer is not None and not self.open:
+            self.open = True
+            self.tracer.scope_begin(self.label, **extra)
+
+    def end(self) -> None:
+        if self.tracer is not None and self.open:
+            self.open = False
+            self.tracer.scope_end(self.label)

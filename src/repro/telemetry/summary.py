@@ -1,0 +1,135 @@
+"""Per-run telemetry summaries (the ``repro-mini report`` backend).
+
+Consumes a :class:`~repro.telemetry.exporters.LoadedTrace` (either
+export format) and renders the window/sample/yieldpoint story of the
+run as fixed-width tables.  Aggregates prefer the embedded metrics
+snapshot and fall back to recomputing from the event stream, so a
+trace stripped of its footer still reports.
+"""
+
+from __future__ import annotations
+
+from repro.telemetry.exporters import LoadedTrace
+
+
+def _render_table(headers, rows, title=None):
+    # Imported lazily: repro.harness.runner imports repro.telemetry, so
+    # a module-level import here would create an import cycle.
+    from repro.harness.report import render_table
+
+    return render_table(headers, rows, title)
+
+
+def _metric_value(trace: LoadedTrace, name: str):
+    metric = trace.metrics.get(name)
+    if metric is None:
+        return None
+    return metric.get("value")
+
+
+def _count(trace: LoadedTrace, event_name: str, counts: dict) -> int:
+    return counts.get(event_name, 0)
+
+
+def pipeline_rows(trace: LoadedTrace) -> list[list[object]]:
+    """(quantity, value) rows for the headline summary table."""
+    counts = trace.counts_by_event()
+    yp_kinds: dict[str, int] = {}
+    transitions: dict[str, int] = {}
+    for event in trace.events:
+        if event["name"] == "yieldpoint":
+            args = event["args"]
+            kind = args.get("kind", "?")
+            yp_kinds[kind] = yp_kinds.get(kind, 0) + 1
+            arrow = f"{args.get('from', '?')} -> {args.get('to', '?')}"
+            transitions[arrow] = transitions.get(arrow, 0) + 1
+
+    def metric_or_count(metric_name: str, event_name: str) -> int:
+        value = _metric_value(trace, metric_name)
+        return value if value is not None else _count(trace, event_name, counts)
+
+    rows: list[list[object]] = [
+        ["timer ticks", metric_or_count("vm.ticks", "timer_tick")],
+        ["yieldpoints taken", metric_or_count("yieldpoints.taken", "yieldpoint")],
+    ]
+    for kind in ("prologue", "epilogue", "backedge"):
+        if kind in yp_kinds:
+            rows.append([f"  {kind}", yp_kinds[kind]])
+    for arrow in sorted(transitions):
+        rows.append([f"  {arrow}", transitions[arrow]])
+    rows += [
+        ["windows opened", metric_or_count("cbs.windows_opened", "window_open")],
+        ["windows closed", metric_or_count("cbs.windows_closed", "window_close")],
+        ["samples taken", metric_or_count("samples.taken", "sample")],
+    ]
+    calls = _metric_value(trace, "calls.traced")
+    if calls:
+        rows.append(["calls traced", calls])
+    recompiles = metric_or_count("adaptive.recompilations", "recompile")
+    if recompiles:
+        rows.append(["recompilations", recompiles])
+    accepted = _metric_value(trace, "inline.accepted") or 0
+    rejected = _metric_value(trace, "inline.rejected") or 0
+    if accepted or rejected or "inline_decision" in counts:
+        rows.append(["inline decisions accepted", accepted])
+        rows.append(["inline decisions rejected", rejected])
+    return rows
+
+
+def window_rows(trace: LoadedTrace) -> list[list[object]]:
+    """Per-window-statistic rows recomputed from window_close events."""
+    samples = []
+    durations = []
+    for event in trace.events:
+        if event["name"] == "window_close":
+            args = event["args"]
+            samples.append(args.get("samples", 0))
+            durations.append(args.get("duration", 0))
+    if not samples:
+        return []
+
+    def stats(values: list) -> tuple:
+        return (min(values), sum(values) / len(values), max(values))
+
+    rows = []
+    for label, values in (("samples/window", samples), ("window duration", durations)):
+        low, mean, high = stats(values)
+        rows.append([label, low, round(mean, 2), high])
+    return rows
+
+
+def histogram_tables(trace: LoadedTrace) -> list[str]:
+    tables = []
+    for name in sorted(trace.metrics):
+        snapshot = trace.metrics[name]
+        if snapshot.get("type") != "histogram" or not snapshot.get("count"):
+            continue
+        rows = [[bucket, count] for bucket, count in snapshot["buckets"].items()]
+        rows.append(["total", snapshot["count"]])
+        tables.append(
+            _render_table(
+                ["bucket", "count"],
+                rows,
+                title=f"{name} (mean={snapshot['mean']}, max={snapshot['max']})",
+            )
+        )
+    return tables
+
+
+def summarize_trace(trace: LoadedTrace, histograms: bool = True) -> str:
+    """The full ``repro-mini report`` text for one loaded trace."""
+    parts = [
+        _render_table(
+            ["quantity", "value"],
+            pipeline_rows(trace),
+            title=f"Telemetry summary ({trace.format} trace, {len(trace.events)} events)",
+        )
+    ]
+    windows = window_rows(trace)
+    if windows:
+        parts.append(
+            _render_table(["statistic", "min", "mean", "max"], windows, title="CBS windows")
+        )
+    if histograms:
+        parts.extend(histogram_tables(trace))
+    return "\n\n".join(parts)

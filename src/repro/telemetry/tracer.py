@@ -1,0 +1,237 @@
+"""The structured event tracer.
+
+One :class:`Tracer` instance observes one VM run (or a sequence of runs
+in the steady-state harness).  It owns the event log and the metrics
+registry, and is stamped by the VM's *virtual* clock so every event
+lines up with the cost-model time the paper's figures are drawn in.
+
+Attachment contract: the tracer hangs off ``vm.telemetry`` (default
+``None``).  Every instrumentation site is guarded by a single
+``is not None`` check, so the disabled path costs one attribute (or
+cached-local) test and nothing else — observability never perturbs
+virtual time, only wall time when enabled.
+
+Use :meth:`Interpreter.attach_telemetry` (or :meth:`Tracer.attach`) to
+wire a tracer to a VM *before* ``run()``; the interpreter caches the
+hook in a local at loop entry, like the call observer.
+"""
+
+from __future__ import annotations
+
+from repro.telemetry.events import (
+    CallTraced,
+    InlineDecisionEvent,
+    Recompilation,
+    ScopeBegin,
+    ScopeEnd,
+    StackSample,
+    TimerTick,
+    WindowClose,
+    WindowOpen,
+    YieldpointTaken,
+)
+from repro.telemetry.metrics import MetricsRegistry
+from repro.vm.yieldpoint import KIND_NAMES
+
+#: Default histogram bucket bounds (inclusive upper edges).
+SAMPLES_PER_WINDOW_BUCKETS = (1, 2, 4, 8, 16, 32, 64, 128)
+WINDOW_DURATION_BUCKETS = (100, 300, 1_000, 3_000, 10_000, 30_000, 100_000, 300_000)
+STACK_DEPTH_BUCKETS = (1, 2, 4, 8, 16, 32, 64)
+
+
+class Tracer:
+    """Collects typed events and aggregates metrics for one run."""
+
+    def __init__(self, clock=None, trace_calls: bool = False):
+        self.events: list = []
+        self.metrics = MetricsRegistry()
+        #: Callable returning the current virtual time; bound to the VM
+        #: by :meth:`attach`.  Used by sites without a VM in hand (the
+        #: inliner, scopes).
+        self.clock = clock if clock is not None else (lambda: 0)
+        #: Emit a CallTraced event per dynamic call.  Off by default:
+        #: calls are only *counted* (metric ``calls.traced``) so traces
+        #: stay bounded on call-heavy workloads.
+        self.trace_calls = trace_calls
+
+        metrics = self.metrics
+        # Pre-bound metrics so the per-event update is one method call.
+        self._ticks = metrics.counter("vm.ticks", "virtual timer interrupts")
+        self._yieldpoints = metrics.counter(
+            "yieldpoints.taken", "yieldpoints taken (all kinds)"
+        )
+        self._yp_by_kind = {
+            kind: metrics.counter(f"yieldpoints.{name}", f"{name} yieldpoints taken")
+            for kind, name in KIND_NAMES.items()
+        }
+        self._windows_opened = metrics.counter(
+            "cbs.windows_opened", "CBS profiling windows opened"
+        )
+        self._windows_closed = metrics.counter(
+            "cbs.windows_closed", "CBS profiling windows closed (budget exhausted)"
+        )
+        self._samples = metrics.counter("samples.taken", "stack-walk samples recorded")
+        self._calls = metrics.counter("calls.traced", "dynamic calls observed")
+        self._recompilations = metrics.counter(
+            "adaptive.recompilations", "adaptive recompilation decisions"
+        )
+        self._inline_accepted = metrics.counter(
+            "inline.accepted", "call sites the inlining policy accepted"
+        )
+        self._inline_rejected = metrics.counter(
+            "inline.rejected", "call sites the inlining policy rejected"
+        )
+        self._samples_per_window = metrics.histogram(
+            "cbs.samples_per_window",
+            SAMPLES_PER_WINDOW_BUCKETS,
+            "samples recorded per CBS window",
+        )
+        self._window_duration = metrics.histogram(
+            "cbs.window_duration",
+            WINDOW_DURATION_BUCKETS,
+            "CBS window duration in virtual time units",
+        )
+        self._stack_depth = metrics.histogram(
+            "samples.stack_depth",
+            STACK_DEPTH_BUCKETS,
+            "guest stack depth at each sample",
+        )
+
+        # Open-window bookkeeping (one window at a time, per Figure 3).
+        self._window_id = 0
+        self._window_open_ts: int | None = None
+        self._window_samples = 0
+        # Open duration-scope labels, for balancing B/E pairs on finalize.
+        self._open_scopes: list[str] = []
+
+    # -- attachment ---------------------------------------------------------------
+
+    def attach(self, vm) -> None:
+        """Bind this tracer's clock to ``vm``'s virtual time."""
+        self.clock = lambda: vm.time
+
+    # -- VM-facing hook methods (sites pass the virtual timestamp) ----------------
+
+    def on_tick(self, ts: int, tick: int) -> None:
+        self._ticks.inc()
+        self.events.append(TimerTick(ts, tick))
+
+    def on_yieldpoint(self, ts: int, kind: int, flag_before: int) -> YieldpointTaken:
+        """Record a taken yieldpoint; returns the event so the caller
+        can fill in ``flag_after`` once the profiler has handled it."""
+        self._yieldpoints.inc()
+        by_kind = self._yp_by_kind.get(kind)
+        if by_kind is not None:
+            by_kind.inc()
+        event = YieldpointTaken(ts, kind, flag_before, flag_before)
+        self.events.append(event)
+        return event
+
+    def on_call(self, ts: int, caller: int, callsite_pc: int, callee: int) -> None:
+        self._calls.inc()
+        if self.trace_calls:
+            self.events.append(CallTraced(ts, caller, callsite_pc, callee))
+
+    # -- profiler-facing hook methods ---------------------------------------------
+
+    def on_window_open(self, ts: int) -> None:
+        if self._window_open_ts is not None:
+            # Defensive: a window never closed (shouldn't happen in CBS,
+            # but don't let B/E pairs go unbalanced if a profiler misuses
+            # the hook).
+            self.on_window_close(ts)
+        self._window_id += 1
+        self._window_open_ts = ts
+        self._window_samples = 0
+        self._windows_opened.inc()
+        self.events.append(WindowOpen(ts, self._window_id))
+
+    def on_window_close(self, ts: int) -> None:
+        if self._window_open_ts is None:
+            return
+        duration = ts - self._window_open_ts
+        samples = self._window_samples
+        self._windows_closed.inc()
+        self._samples_per_window.observe(samples)
+        self._window_duration.observe(duration)
+        self.events.append(WindowClose(ts, self._window_id, samples, duration))
+        self._window_open_ts = None
+        self._window_samples = 0
+
+    def on_sample(
+        self, ts: int, caller: int, callsite_pc: int, callee: int, depth: int
+    ) -> None:
+        self._samples.inc()
+        self._stack_depth.observe(depth)
+        if self._window_open_ts is not None:
+            self._window_samples += 1
+        self.events.append(StackSample(ts, caller, callsite_pc, callee, depth))
+
+    # -- adaptive / inlining hook methods -------------------------------------------
+
+    def on_recompile(
+        self,
+        ts: int,
+        function: int,
+        level: int,
+        inlines: int,
+        size_before: int,
+        size_after: int,
+    ) -> None:
+        self._recompilations.inc()
+        self.events.append(
+            Recompilation(ts, function, level, inlines, size_before, size_after)
+        )
+
+    def on_inline_decision(
+        self,
+        caller: int,
+        pc: int,
+        callee: int,
+        action: str,
+        accepted: bool,
+        reason: str,
+    ) -> None:
+        if accepted:
+            self._inline_accepted.inc()
+        else:
+            self._inline_rejected.inc()
+        self.events.append(
+            InlineDecisionEvent(self.clock(), caller, pc, callee, action, accepted, reason)
+        )
+
+    # -- scopes ----------------------------------------------------------------------
+
+    def scope_begin(self, label: str, **extra) -> None:
+        self._open_scopes.append(label)
+        self.events.append(ScopeBegin(self.clock(), label, extra or None))
+
+    def scope_end(self, label: str) -> None:
+        if label in self._open_scopes:
+            self._open_scopes.remove(label)
+        self.events.append(ScopeEnd(self.clock(), label))
+
+    # -- lifecycle --------------------------------------------------------------------
+
+    def finalize(self, ts: int | None = None) -> None:
+        """Close any dangling window/scopes (keeps Chrome B/E balanced).
+
+        Safe to call more than once; exporters call it automatically.
+        """
+        if ts is None:
+            ts = self.clock()
+        self.on_window_close(ts)
+        while self._open_scopes:
+            self.scope_end(self._open_scopes[-1])
+
+    # -- summaries ----------------------------------------------------------------------
+
+    def counts_by_event(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for event in self.events:
+            counts[event.name] = counts.get(event.name, 0) + 1
+        return counts
+
+    def describe(self) -> str:
+        parts = [f"{name}={count}" for name, count in sorted(self.counts_by_event().items())]
+        return f"Tracer({len(self.events)} events: {', '.join(parts)})"

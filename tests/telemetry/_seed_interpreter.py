@@ -1,30 +1,12 @@
-"""The Mini VM bytecode interpreter.
+"""Frozen copy of the seed interpreter (commit cd12186), pre-telemetry.
 
-A single flat dispatch loop with the current frame's state cached in
-local variables.  Virtual time advances by the cost model's price of
-every instruction; a virtual timer fires whenever time crosses the next
-tick boundary, driving the sampling profilers through the yieldpoint
-mechanism described in the paper.
-
-Profiling hook points:
-
-* **timer tick** — ``profiler.handle_timer(vm)`` (sets the yieldpoint
-  control word; for async samplers like Whaley's this is also where the
-  sample is taken),
-* **taken yieldpoint** — ``profiler.handle_yieldpoint(vm, kind)`` at
-  prologues/epilogues when the control word is non-zero and at backedges
-  when it is positive,
-* **call observer** — ``call_observer(caller_index, callsite_pc,
-  callee_index)`` on *every* dynamic call, with zero virtual cost; this
-  is how the exhaustive (perfect) profiler is implemented.
-
-A fourth, passive hook is telemetry: ``vm.telemetry`` (default None,
-set via :meth:`Interpreter.attach_telemetry`) receives tick,
-yieldpoint-transition, and call notifications.  Telemetry charges no
-virtual time — a traced run is bit-identical to an untraced one — and
-the disabled path costs one ``is not None`` check per site (cached in
-a local for the per-call check, like the observer).
+Vendored verbatim so the throughput guard test can compare the current
+hot loop against the exact seed baseline without depending on git
+history being available (CI does shallow checkouts).  Do not edit; if
+the VM's semantics change incompatibly, re-freeze from the relevant
+baseline commit and note it here.
 """
+
 
 from __future__ import annotations
 
@@ -101,19 +83,12 @@ class Interpreter:
         self.profiler = None
         self.call_observer = None
         self.tick_hook = None  # called after profiler on each tick (adaptive system)
-        self.telemetry = None  # structured event tracer (repro.telemetry.Tracer)
 
     # -- hook management -------------------------------------------------------
 
     def attach_profiler(self, profiler) -> None:
         self.profiler = profiler
         profiler.attach(self)
-
-    def attach_telemetry(self, tracer) -> None:
-        """Install a telemetry tracer (before ``run()``: the main loop
-        caches the hook in a local at entry, like the call observer)."""
-        self.telemetry = tracer
-        tracer.attach(self)
 
     def charge(self, units: int) -> None:
         """Advance virtual time (used by profiler handlers)."""
@@ -154,13 +129,10 @@ class Interpreter:
     def _fire_timer(self) -> None:
         interval = self.config.timer_interval
         service = self.config.cost_model.timer_service_cost
-        telemetry = self.telemetry
         while self.time >= self.next_tick:
             self.next_tick += interval
             self.ticks += 1
             self.time += service
-            if telemetry is not None:
-                telemetry.on_tick(self.time, self.ticks)
             if self.profiler is not None:
                 self.profiler.handle_timer(self)
             if self.tick_hook is not None:
@@ -168,19 +140,10 @@ class Interpreter:
 
     def _take_yieldpoint(self, kind: int) -> None:
         self.time += self.config.cost_model.taken_yieldpoint_cost
-        telemetry = self.telemetry
-        event = None
-        if telemetry is not None:
-            # Emitted before the profiler runs so window/sample events
-            # it triggers appear after their cause; the control-word
-            # transition is filled in once the handler returns.
-            event = telemetry.on_yieldpoint(self.time, kind, self.yieldpoint_flag)
         if self.profiler is not None:
             self.profiler.handle_yieldpoint(self, kind)
         else:
             self.yieldpoint_flag = YP_NONE
-        if event is not None:
-            event.flag_after = self.yieldpoint_flag
 
     # -- main loop ------------------------------------------------------------------
 
@@ -206,7 +169,6 @@ class Interpreter:
         vtables = self.vtables
         field_defaults = self.class_field_defaults
         observer = self.call_observer
-        telemetry = self.telemetry
         seen = self._seen
 
         prologue_yp = config.prologue_yieldpoints
@@ -412,14 +374,6 @@ class Interpreter:
                     else:
                         observer(origin[0], origin[1], callee_index)
                     time = self.time
-                if telemetry is not None:
-                    # Zero virtual cost; baseline coordinates like the
-                    # observer so traced calls line up with the DCG.
-                    origin = method.code[pc].origin
-                    if origin is None:
-                        telemetry.on_call(time, method.index, pc, callee_index)
-                    else:
-                        telemetry.on_call(time, origin[0], origin[1], callee_index)
                 if len(frames) >= max_frames:
                     raise StackOverflowError_(
                         f"guest stack exceeded {max_frames} frames",

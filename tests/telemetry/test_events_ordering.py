@@ -1,0 +1,137 @@
+"""Event-stream semantics: ordering, transitions, and non-perturbation."""
+
+from repro.frontend.codegen import compile_source
+from repro.profiling.cbs import CBSProfiler
+from repro.telemetry import Tracer
+from repro.vm.config import jikes_config
+from repro.vm.interpreter import Interpreter
+from repro.vm.yieldpoint import YP_ALL, YP_CBS, YP_NONE
+
+PROGRAM = """
+class Counter {
+  var n: int;
+  def bump(): int { this.n = this.n + 1; return this.n; }
+}
+def main() {
+  var c = new Counter();
+  var t = 0;
+  for (var i = 0; i < 40000; i = i + 1) { t = c.bump(); }
+  print(t);
+}
+"""
+
+
+def traced_cbs_run(stride=3, samples_per_tick=4):
+    program = compile_source(PROGRAM)
+    vm = Interpreter(program, jikes_config())
+    vm.attach_profiler(CBSProfiler(stride=stride, samples_per_tick=samples_per_tick))
+    tracer = Tracer()
+    vm.attach_telemetry(tracer)
+    vm.run()
+    return vm, tracer
+
+
+def test_tick_window_sample_close_ordering():
+    """Each CBS cycle appears as tick -> window_open -> N samples ->
+    window_close, in that order, in the event log."""
+    vm, tracer = traced_cbs_run(samples_per_tick=4)
+    names = [event.name for event in tracer.events]
+    assert "window_open" in names and "window_close" in names
+
+    state = "idle"  # idle -> ticked -> open -> (samples) -> closed/idle
+    samples_in_window = 0
+    for name in names:
+        if name == "timer_tick":
+            # A tick in the idle state arms the window; a tick landing
+            # inside an open window merely refreshes the budget.
+            if state == "idle":
+                state = "ticked"
+        elif name == "window_open":
+            assert state == "ticked", "window must open after a tick"
+            state = "open"
+            samples_in_window = 0
+        elif name == "sample":
+            assert state == "open", "samples only inside an open window"
+            samples_in_window += 1
+        elif name == "window_close":
+            assert state == "open"
+            assert samples_in_window >= 4, "budget exhausts the window"
+            state = "idle"
+    # The run is long enough that full cycles definitely completed.
+    assert names.count("window_close") >= 4
+
+
+def test_timestamps_are_monotonic_virtual_time():
+    _, tracer = traced_cbs_run()
+    timestamps = [event.ts for event in tracer.events]
+    assert timestamps == sorted(timestamps)
+    assert timestamps[-1] > 0
+
+
+def test_yieldpoint_transitions_follow_figure3_lifecycle():
+    """Control-word transitions recorded on events match YP_ALL -> YP_CBS
+    (window open) then YP_CBS -> YP_NONE (budget exhausted)."""
+    _, tracer = traced_cbs_run()
+    transitions = [
+        (event.flag_before, event.flag_after)
+        for event in tracer.events
+        if event.name == "yieldpoint"
+    ]
+    assert (YP_ALL, YP_CBS) in transitions
+    assert (YP_CBS, YP_NONE) in transitions
+    # The control word never jumps YP_ALL -> YP_NONE under CBS.
+    assert (YP_ALL, YP_NONE) not in transitions
+
+
+def test_window_close_carries_samples_and_duration():
+    _, tracer = traced_cbs_run(samples_per_tick=4)
+    closes = [event for event in tracer.events if event.name == "window_close"]
+    assert closes
+    for event in closes:
+        assert event.samples >= 4  # budget, plus any mid-window refresh
+        assert event.duration > 0
+
+
+def test_metrics_agree_with_event_stream():
+    vm, tracer = traced_cbs_run()
+    counts = tracer.counts_by_event()
+    metrics = tracer.metrics
+    assert metrics.get("vm.ticks").value == counts["timer_tick"] == vm.ticks
+    assert metrics.get("samples.taken").value == counts["sample"]
+    assert metrics.get("cbs.windows_opened").value == counts["window_open"]
+    assert metrics.get("calls.traced").value == vm.call_count
+    assert metrics.get("samples.stack_depth").count == counts["sample"]
+
+
+def test_tracing_does_not_perturb_the_run():
+    """A traced run is bit-identical (virtual time, steps, output,
+    samples) to an untraced one — observability charges nothing."""
+    program = compile_source(PROGRAM)
+    plain_vm = Interpreter(program, jikes_config())
+    plain_profiler = CBSProfiler()
+    plain_vm.attach_profiler(plain_profiler)
+    plain_vm.run()
+
+    traced_vm = Interpreter(compile_source(PROGRAM), jikes_config())
+    traced_profiler = CBSProfiler()
+    traced_vm.attach_profiler(traced_profiler)
+    traced_vm.attach_telemetry(Tracer())
+    traced_vm.run()
+
+    assert traced_vm.time == plain_vm.time
+    assert traced_vm.steps == plain_vm.steps
+    assert traced_vm.output == plain_vm.output
+    assert traced_profiler.samples_taken == plain_profiler.samples_taken
+
+
+def test_timer_profiler_samples_are_traced():
+    from repro.profiling.timer_sampler import TimerProfiler
+
+    vm = Interpreter(compile_source(PROGRAM), jikes_config())
+    profiler = TimerProfiler()
+    vm.attach_profiler(profiler)
+    tracer = Tracer()
+    vm.attach_telemetry(tracer)
+    vm.run()
+    assert tracer.metrics.get("samples.taken").value == profiler.samples_taken
+    assert profiler.samples_taken > 0

@@ -1,0 +1,65 @@
+"""The disabled-tracer fast path: no tracer attached means no events,
+no metric updates, and exactly the seed's execution."""
+
+from repro.frontend.codegen import compile_source
+from repro.profiling.cbs import CBSProfiler
+from repro.telemetry import Tracer
+from repro.vm.config import jikes_config
+from repro.vm.interpreter import Interpreter
+
+PROGRAM = """
+def work(x: int): int { return x * 2 + 1; }
+def main() {
+  var t = 0;
+  for (var i = 0; i < 10000; i = i + 1) { t = work(t) % 99991; }
+  print(t);
+}
+"""
+
+
+def test_telemetry_defaults_to_none():
+    vm = Interpreter(compile_source(PROGRAM), jikes_config())
+    assert vm.telemetry is None
+    vm.run()
+    assert vm.telemetry is None
+
+
+def test_disabled_path_with_profiler_attached():
+    """CBS instrumentation sites all guard on ``vm.telemetry is not
+    None``; a profiled-but-untraced run works and traces nothing."""
+    vm = Interpreter(compile_source(PROGRAM), jikes_config())
+    profiler = CBSProfiler()
+    vm.attach_profiler(profiler)
+    vm.run()
+    assert vm.telemetry is None
+    assert profiler.samples_taken > 0
+
+
+def test_attach_telemetry_binds_virtual_clock():
+    vm = Interpreter(compile_source(PROGRAM), jikes_config())
+    tracer = Tracer()
+    vm.attach_telemetry(tracer)
+    assert vm.telemetry is tracer
+    vm.run()
+    assert tracer.clock() == vm.time
+
+
+def test_unattached_tracer_collects_nothing_from_a_plain_run():
+    tracer = Tracer()
+    vm = Interpreter(compile_source(PROGRAM), jikes_config())
+    vm.attach_profiler(CBSProfiler())
+    vm.run()
+    assert tracer.events == []
+    assert tracer.metrics.get("vm.ticks").value == 0
+
+
+def test_identical_execution_with_and_without_telemetry():
+    results = []
+    for attach in (False, True):
+        vm = Interpreter(compile_source(PROGRAM), jikes_config())
+        vm.attach_profiler(CBSProfiler())
+        if attach:
+            vm.attach_telemetry(Tracer())
+        vm.run()
+        results.append((vm.time, vm.steps, vm.ticks, vm.call_count, tuple(vm.output)))
+    assert results[0] == results[1]

@@ -1,0 +1,99 @@
+"""Metrics registry: counters, gauges, and histogram bucketing."""
+
+import pytest
+
+from repro.telemetry.metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        counter = Counter("c")
+        assert counter.value == 0
+        counter.inc()
+        counter.inc(5)
+        assert counter.value == 6
+
+    def test_snapshot(self):
+        counter = Counter("c")
+        counter.inc(3)
+        assert counter.snapshot() == {"type": "counter", "value": 3}
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = Gauge("g")
+        gauge.set(10)
+        gauge.inc(2)
+        gauge.dec(5)
+        assert gauge.value == 7
+        assert gauge.snapshot()["type"] == "gauge"
+
+
+class TestHistogramBucketing:
+    def test_values_land_in_inclusive_upper_bound_buckets(self):
+        hist = Histogram("h", buckets=(1, 2, 4, 8))
+        for value in (0, 1, 2, 3, 4, 5, 8):
+            hist.observe(value)
+        # bounds:        <=1  <=2  <=4  <=8  +Inf
+        assert hist.counts == [2, 1, 2, 2, 0]
+
+    def test_overflow_bucket(self):
+        hist = Histogram("h", buckets=(10,))
+        hist.observe(10)
+        hist.observe(11)
+        hist.observe(1_000_000)
+        assert hist.counts == [1, 2]
+
+    def test_count_sum_min_max_mean(self):
+        hist = Histogram("h", buckets=(10, 100))
+        for value in (5, 50, 95):
+            hist.observe(value)
+        assert hist.count == 3
+        assert hist.sum == 150
+        assert hist.min == 5
+        assert hist.max == 95
+        assert hist.mean == 50.0
+
+    def test_empty_histogram_mean_is_zero(self):
+        assert Histogram("h", buckets=(1,)).mean == 0.0
+
+    def test_bucket_labels(self):
+        hist = Histogram("h", buckets=(1, 2))
+        labels = [label for label, _ in hist.bucket_counts()]
+        assert labels == ["<= 1", "<= 2", "+Inf"]
+
+    def test_snapshot_buckets(self):
+        hist = Histogram("h", buckets=(4, 16))
+        hist.observe(3)
+        hist.observe(20)
+        snap = hist.snapshot()
+        assert snap["type"] == "histogram"
+        assert snap["buckets"] == {"<= 4": 1, "<= 16": 0, "+Inf": 1}
+
+    def test_rejects_unsorted_or_empty_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=(4, 2))
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=())
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instance(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.histogram("h", (1, 2)) is registry.histogram("h", (1, 2))
+
+    def test_kind_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(TypeError):
+            registry.gauge("x")
+
+    def test_snapshot_covers_all_metrics(self):
+        registry = MetricsRegistry()
+        registry.counter("a").inc()
+        registry.gauge("b").set(2)
+        registry.histogram("c", (1,)).observe(0)
+        snap = registry.snapshot()
+        assert set(snap) == {"a", "b", "c"}
+        assert snap["a"]["value"] == 1

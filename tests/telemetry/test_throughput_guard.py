@@ -1,0 +1,95 @@
+"""Throughput guard: the telemetry hooks, when disabled, must not slow
+the interpreter by more than 5% versus the seed hot loop.
+
+The baseline is the seed interpreter (commit cd12186) vendored verbatim
+in ``_seed_interpreter.py``.  Two checks:
+
+* semantic: virtual time, steps, and output are identical — the hooks
+  charge nothing;
+* wall clock: best-of-N interleaved timings on the workloads from
+  ``benchmarks/bench_vm_throughput.py`` stay within the 5% budget
+  (min-of-N discards scheduler noise; measurement rounds are
+  interleaved so drift hits both sides equally).
+"""
+
+import gc
+import importlib.util
+import time
+from pathlib import Path
+
+from repro.vm.config import jikes_config
+from repro.vm.interpreter import Interpreter
+
+from tests.telemetry._seed_interpreter import Interpreter as SeedInterpreter
+
+#: Allowed wall-clock overhead of the (disabled) telemetry hooks.
+MAX_OVERHEAD = 0.05
+ROUNDS = 7
+
+_BENCH_PATH = Path(__file__).resolve().parents[2] / "benchmarks" / "bench_vm_throughput.py"
+_spec = importlib.util.spec_from_file_location("bench_vm_throughput", _BENCH_PATH)
+_bench = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(_bench)
+
+from repro.frontend.codegen import compile_source  # noqa: E402
+
+WORKLOADS = {"arith": _bench.ARITH, "calls": _bench.CALLS}
+
+
+def _run(interpreter_class, program):
+    vm = interpreter_class(program, jikes_config())
+    vm.run()
+    return vm
+
+
+def _time_once(interpreter_class, program) -> float:
+    started = time.perf_counter()
+    _run(interpreter_class, program)
+    return time.perf_counter() - started
+
+
+def _best_of_rounds(program, rounds: int) -> tuple[float, float]:
+    """Interleaved best-of-N wall times for (seed, current); GC paused
+    so a collection doesn't land in one side's timing."""
+    seed_best = float("inf")
+    current_best = float("inf")
+    gc.collect()
+    gc.disable()
+    try:
+        for _ in range(rounds):
+            seed_best = min(seed_best, _time_once(SeedInterpreter, program))
+            current_best = min(current_best, _time_once(Interpreter, program))
+    finally:
+        gc.enable()
+    return seed_best, current_best
+
+
+def test_identical_execution_to_seed_interpreter():
+    for name, source in WORKLOADS.items():
+        program = compile_source(source)
+        seed_vm = _run(SeedInterpreter, program)
+        current_vm = _run(Interpreter, program)
+        assert current_vm.time == seed_vm.time, name
+        assert current_vm.steps == seed_vm.steps, name
+        assert current_vm.output == seed_vm.output, name
+        assert current_vm.call_count == seed_vm.call_count, name
+
+
+def test_disabled_telemetry_overhead_under_5_percent():
+    for name, source in WORKLOADS.items():
+        program = compile_source(source)
+        # Warm both classes (code caches, allocator) before timing.
+        _run(SeedInterpreter, program)
+        _run(Interpreter, program)
+        seed_best, current_best = _best_of_rounds(program, ROUNDS)
+        if current_best > seed_best * (1 + MAX_OVERHEAD):
+            # One retry with more rounds: a single noisy burst should not
+            # fail the guard; a real regression will reproduce.
+            more_seed, more_current = _best_of_rounds(program, ROUNDS * 2)
+            seed_best = min(seed_best, more_seed)
+            current_best = min(current_best, more_current)
+        overhead = current_best / seed_best - 1.0
+        assert overhead <= MAX_OVERHEAD, (
+            f"{name}: disabled-telemetry interpreter is {overhead:.1%} slower "
+            f"than the seed hot loop (budget {MAX_OVERHEAD:.0%})"
+        )

@@ -143,3 +143,99 @@ def test_save_profile_without_source_warns(program_file, capsys):
 def test_load_profile_missing_file(program_file):
     with pytest.raises(SystemExit, match="cannot load"):
         main(["run", program_file, "--load-profile", "/nonexistent.json"])
+
+
+def test_cbs_knobs_reach_the_profiler():
+    """--skip-policy/--seed/--context-depth are plumbed into CBSProfiler."""
+    from repro.cli import _profiler_for, build_parser
+
+    args = build_parser().parse_args(
+        [
+            "run", "x.mini", "--profile", "cbs", "--skip-policy", "roundrobin",
+            "--seed", "42", "--context-depth", "3",
+        ]
+    )
+    profiler = _profiler_for(args)
+    assert profiler.skip_policy == "roundrobin"
+    assert profiler.context_depth == 3
+    assert profiler.cct is not None  # context_depth > 1 enables the CCT
+    # Same seed -> same skip sequence; the CLI seed must actually be used.
+    from repro.profiling.cbs import CBSProfiler
+
+    reference = CBSProfiler(stride=3, skip_policy="roundrobin", seed=42)
+    assert [profiler._initial_skip() for _ in range(8)] == [
+        reference._initial_skip() for _ in range(8)
+    ]
+
+
+def test_cbs_seed_default_preserved():
+    from repro.cli import _profiler_for, build_parser
+
+    args = build_parser().parse_args(["run", "x.mini", "--profile", "cbs"])
+    profiler = _profiler_for(args)
+    from repro.profiling.cbs import CBSProfiler
+
+    reference = CBSProfiler()
+    assert [profiler._initial_skip() for _ in range(8)] == [
+        reference._initial_skip() for _ in range(8)
+    ]
+
+
+def test_run_cbs_with_knobs_end_to_end(program_file, capsys):
+    assert main(
+        [
+            "run", program_file, "--profile", "cbs", "--skip-policy", "roundrobin",
+            "--seed", "7", "--context-depth", "2", "--dcg",
+        ]
+    ) == 0
+    assert "accuracy vs exhaustive" in capsys.readouterr().err
+
+
+def test_trace_jsonl_and_report(program_file, tmp_path, capsys):
+    trace_path = str(tmp_path / "trace.jsonl")
+    assert main(
+        ["run", program_file, "--profile", "cbs", "--trace", trace_path]
+    ) == 0
+    assert "trace (jsonl" in capsys.readouterr().err
+    assert main(["report", trace_path]) == 0
+    out = capsys.readouterr().out
+    assert "Telemetry summary" in out
+    assert "windows opened" in out
+    assert "samples taken" in out
+
+
+def test_trace_chrome_format(program_file, tmp_path, capsys):
+    import json
+
+    trace_path = str(tmp_path / "trace.json")
+    assert main(
+        [
+            "run", program_file, "--profile", "cbs",
+            "--trace", trace_path, "--trace-format", "chrome",
+        ]
+    ) == 0
+    document = json.loads(open(trace_path).read())
+    assert document["traceEvents"]
+    assert main(["report", trace_path, "--no-histograms"]) == 0
+    assert "yieldpoints taken" in capsys.readouterr().out
+
+
+def test_trace_with_adaptive_records_recompilations(program_file, tmp_path, capsys):
+    trace_path = str(tmp_path / "trace.jsonl")
+    assert main(
+        [
+            "run", program_file, "--profile", "cbs", "--adaptive",
+            "--trace", trace_path,
+        ]
+    ) == 0
+    assert main(["report", trace_path, "--no-histograms"]) == 0
+    out = capsys.readouterr().out
+    assert "recompilations" in out
+    assert "inline decisions accepted" in out
+
+
+def test_report_rejects_non_trace_file(tmp_path):
+    bogus = tmp_path / "bogus.txt"
+    bogus.write_text("hello\n")
+    with pytest.raises(SystemExit, match="unrecognized trace format"):
+        main(["report", str(bogus)])
