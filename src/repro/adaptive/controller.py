@@ -103,6 +103,74 @@ class AdaptiveSystem:
             self.policy.telemetry = vm.telemetry
             self.static_policy.telemetry = vm.telemetry
 
+    # -- warm start (fleet profiles) --------------------------------------------------
+
+    def warm_start(self, vm, dcg, threshold: float | None = None) -> list[int]:
+        """Seed the controller from an aggregated offline DCG.
+
+        Methods whose aggregate weight (incoming + outgoing edge weight,
+        the offline analogue of method samples) meets ``threshold``
+        (default: the level-2 promotion threshold) are compiled straight
+        to level 2 with profile-directed plans *before* the run, so hot
+        methods of short-running programs never wait for online samples.
+        Seeded plans are sticky and re-optimization fires only after the
+        run's own samples double the threshold — exactly as if the
+        method had been promoted online.  Returns the promoted function
+        indices (heaviest first).
+        """
+        config = self.config
+        if threshold is None:
+            threshold = float(config.level2_samples)
+        weights: dict[int, float] = {}
+        for (caller, _pc, callee), weight in dcg.edges().items():
+            weights[callee] = weights.get(callee, 0.0) + weight
+            weights[caller] = weights.get(caller, 0.0) + weight
+        promoted: list[int] = []
+        for function_index, weight in sorted(
+            weights.items(), key=lambda item: (-item[1], item[0])
+        ):
+            if weight < threshold:
+                continue
+            if self._compiles.get(function_index, 0) >= config.max_compiles_per_method:
+                continue
+            plan = self.policy.plan_for(
+                function_index, dcg if config.use_profile else None
+            )
+            result = optimize_function(self.program, plan)
+            vm.code_cache.install(result.function, 2)
+            self._last_plan[function_index] = plan
+            self._compiles[function_index] = (
+                self._compiles.get(function_index, 0) + 1
+            )
+            # Pretend the method was promoted with a full sample budget:
+            # the run's own samples must double it to trigger re-opt.
+            self._last_compile_samples[function_index] = int(threshold)
+            promoted.append(function_index)
+            self.events.append(
+                CompilationEvent(
+                    tick=vm.ticks,
+                    function_index=function_index,
+                    level=2,
+                    inlines=result.inlines_applied,
+                    size_before=result.size_before,
+                    size_after=result.size_after,
+                )
+            )
+            if vm.telemetry is not None:
+                vm.telemetry.on_recompile(
+                    vm.time,
+                    function_index,
+                    2,
+                    result.inlines_applied,
+                    result.size_before,
+                    result.size_after,
+                )
+        if vm.telemetry is not None:
+            vm.telemetry.on_warm_start(
+                vm.time, len(promoted), len(dcg), dcg.total_weight
+            )
+        return promoted
+
     # -- tick processing ------------------------------------------------------------
 
     def on_tick(self, vm) -> None:

@@ -9,6 +9,7 @@ single-inheritance override semantics.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 
 from repro.bytecode.function import FunctionInfo
@@ -175,6 +176,34 @@ class Program:
 
     def is_subclass(self, class_index: int, ancestor_index: int) -> bool:
         return ancestor_index in self.classes[class_index].ancestors
+
+    # -- identity ----------------------------------------------------------------
+
+    def fingerprint(self) -> str:
+        """A stable content hash identifying this program's code.
+
+        Covers class hierarchy and every function's name, arity, and
+        baseline bytecode (opcodes + operands), so two compilations of
+        the same source agree and any code change disagrees.  Used to
+        key serialized profiles and fleet aggregates to the program
+        they were collected against.  Cached after first computation;
+        call only on fully built programs.
+        """
+        cached = getattr(self, "_fingerprint", None)
+        if cached is not None:
+            return cached
+        digest = hashlib.sha256()
+        for cls in self.classes:
+            digest.update(f"C {cls.name}<{cls.super_name}\n".encode())
+        for function in self.functions:
+            digest.update(
+                f"F {function.qualified_name}/{function.num_params}\n".encode()
+            )
+            for instr in function.code:
+                digest.update(f"{instr.op.name},{instr.a},{instr.b};".encode())
+            digest.update(b"\n")
+        self._fingerprint = digest.hexdigest()
+        return self._fingerprint
 
     # -- stats ----------------------------------------------------------------
 

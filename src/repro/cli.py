@@ -7,6 +7,9 @@ Usage::
                                 [--seed N] [--context-depth N] [--adaptive]
                                 [--opt {0,1}] [--stats] [--dcg]
                                 [--trace FILE] [--trace-format jsonl|chrome]
+                                [--publish HOST:PORT] [--publish-every K]
+                                [--warm-start] [--strict]
+    repro-mini serve [--host H] [--port P] [--root DIR] [--decay F]
     repro-mini report trace_file
     repro-mini disasm program.mini
     repro-mini check program.mini
@@ -15,6 +18,11 @@ Usage::
 telemetry (ticks, yieldpoint transitions, CBS windows, samples,
 recompilations, inlining decisions) to FILE; ``report`` summarizes such
 a file as a table.  See docs/OBSERVABILITY.md.
+
+``serve`` runs the fleet profile-aggregation service; ``run --publish``
+streams DCG deltas to it in the background (never blocking the VM) and
+``--warm-start`` seeds the adaptive optimizer from the fleet's
+aggregated profile before execution.  See docs/FLEET.md.
 """
 
 from __future__ import annotations
@@ -92,7 +100,7 @@ def _cmd_run(args) -> int:
         from repro.opt.pipeline import optimize_function
 
         try:
-            offline = load_profile(args.load_profile, program)
+            offline = load_profile(args.load_profile, program, strict=args.strict)
         except ProfileFormatError as error:
             raise SystemExit(str(error))
         policy = NewJikesInliner(program)
@@ -102,6 +110,23 @@ def _cmd_run(args) -> int:
             if not plan.is_empty():
                 vm.code_cache.install(optimize_function(program, plan).function, 2)
 
+    publish_address = None
+    if args.publish:
+        from repro.fleet.client import parse_address
+
+        try:
+            publish_address = parse_address(args.publish)
+        except ValueError as error:
+            raise SystemExit(str(error))
+
+    if args.warm_start and not args.adaptive:
+        print(
+            "note: --warm-start seeds the adaptive controller; enabling "
+            "--adaptive",
+            file=sys.stderr,
+        )
+        args.adaptive = True
+
     perfect = None
     if args.dcg:
         perfect = ExhaustiveProfiler()
@@ -109,8 +134,10 @@ def _cmd_run(args) -> int:
     profiler = _profiler_for(args)
     if profiler is not None:
         vm.attach_profiler(profiler)
+    adaptive = None
     if args.adaptive:
-        AdaptiveSystem(program, NewJikesInliner(program)).install(vm)
+        adaptive = AdaptiveSystem(program, NewJikesInliner(program))
+        adaptive.install(vm)
         if profiler is None:
             print(
                 "note: --adaptive without --profile never promotes "
@@ -121,6 +148,54 @@ def _cmd_run(args) -> int:
             profiler = _profiler_for(args)
             vm.attach_profiler(profiler)
 
+    if args.warm_start:
+        # Best-effort: an unreachable server or unusable snapshot means
+        # a cold start, never a failed run (strict mode excepted).
+        if publish_address is None:
+            raise SystemExit("--warm-start needs --publish HOST:PORT to fetch from")
+        from repro.fleet.client import fetch_snapshot
+        from repro.profiling.serialize import dcg_from_dict
+
+        snapshot = fetch_snapshot(publish_address, program.fingerprint())
+        if snapshot is None:
+            print(
+                "note: no fleet profile available; starting cold",
+                file=sys.stderr,
+            )
+        else:
+            try:
+                warm_dcg = dcg_from_dict(snapshot, program, strict=args.strict)
+            except ProfileFormatError as error:
+                if args.strict:
+                    raise SystemExit(f"warm-start profile rejected: {error}")
+                print(
+                    f"note: fleet profile unusable ({error}); starting cold",
+                    file=sys.stderr,
+                )
+            else:
+                promoted = adaptive.warm_start(vm, warm_dcg)
+                print(
+                    f"-- warm start: {len(promoted)} methods pre-optimized "
+                    f"from fleet profile ({len(warm_dcg)} edges)",
+                    file=sys.stderr,
+                )
+
+    publisher = None
+    if publish_address is not None:
+        from repro.fleet.client import FleetPublisher
+
+        # Installed after the adaptive system: the publisher chains onto
+        # an existing tick hook, charges no virtual time, and does all
+        # socket work on a daemon thread.
+        publisher = FleetPublisher(
+            publish_address,
+            program,
+            every_ticks=args.publish_every,
+            epoch=args.publish_epoch,
+            telemetry=tracer,
+        )
+        publisher.install(vm)
+
     try:
         from repro.telemetry.scopes import trace_scope
 
@@ -128,7 +203,14 @@ def _cmd_run(args) -> int:
             vm.run()
     except VMError as error:
         print(f"runtime error: {error}", file=sys.stderr)
+        if publisher is not None:
+            publisher.close()
         return 1
+
+    if publisher is not None:
+        publisher.flush(vm)
+        publisher.close()
+        print(f"-- {publisher.describe()}", file=sys.stderr)
 
     for value in vm.output:
         print(value)
@@ -154,7 +236,14 @@ def _cmd_run(args) -> int:
                 file=sys.stderr,
             )
         else:
-            save_profile(source.dcg, program, args.save_profile)
+            try:
+                save_profile(source.dcg, program, args.save_profile)
+            except OSError as error:
+                print(
+                    f"cannot write profile {args.save_profile}: {error}",
+                    file=sys.stderr,
+                )
+                return 1
             print(f"-- profile saved to {args.save_profile}", file=sys.stderr)
     if args.stats:
         print(
@@ -179,6 +268,39 @@ def _cmd_run(args) -> int:
     elif args.dcg:
         print("-- exhaustive dynamic call graph:", file=sys.stderr)
         print(perfect.dcg.describe(program, limit=12), file=sys.stderr)
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.fleet.repository import RepositoryError
+    from repro.fleet.service import run_service
+
+    def ready(address):
+        print(
+            f"-- fleet service listening on {address[0]}:{address[1]} "
+            f"(repository {args.root})",
+            file=sys.stderr,
+            flush=True,
+        )
+
+    try:
+        asyncio.run(
+            run_service(
+                args.root,
+                host=args.host,
+                port=args.port,
+                decay=args.decay,
+                max_edges=args.max_edges,
+                persist_every=args.persist_every,
+                ready=ready,
+            )
+        )
+    except KeyboardInterrupt:
+        print("-- fleet service stopped", file=sys.stderr)
+    except (OSError, ValueError, RepositoryError) as error:
+        raise SystemExit(f"cannot start fleet service: {error}")
     return 0
 
 
@@ -228,6 +350,37 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="pre-optimize using a previously saved profile (offline PGO)",
     )
+    run.add_argument(
+        "--strict",
+        action="store_true",
+        help="reject stale/mismatched profiles instead of warning "
+        "(applies to --load-profile and --warm-start)",
+    )
+    run.add_argument(
+        "--publish",
+        metavar="HOST:PORT",
+        help="stream DCG deltas to a fleet profile service (repro-mini serve)",
+    )
+    run.add_argument(
+        "--publish-every",
+        type=int,
+        default=50,
+        metavar="K",
+        help="batch a delta every K virtual-timer ticks (default 50)",
+    )
+    run.add_argument(
+        "--publish-epoch",
+        type=int,
+        default=0,
+        metavar="N",
+        help="profile age stamp; newer epochs dominate under server decay",
+    )
+    run.add_argument(
+        "--warm-start",
+        action="store_true",
+        help="seed the adaptive optimizer from the fleet's aggregated "
+        "profile before running (implies --adaptive; needs --publish)",
+    )
     run.add_argument("--stride", type=int, default=3)
     run.add_argument("--samples", type=int, default=16)
     run.add_argument(
@@ -264,6 +417,44 @@ def build_parser() -> argparse.ArgumentParser:
         help="trace file format (chrome = trace_event JSON for chrome://tracing)",
     )
     run.set_defaults(handler=_cmd_run)
+
+    serve = commands.add_parser(
+        "serve", help="run the fleet profile-aggregation service"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8957,
+        help="TCP port to listen on (0 picks an ephemeral port)",
+    )
+    serve.add_argument(
+        "--root",
+        default="fleet-profiles",
+        metavar="DIR",
+        help="snapshot repository directory (created if missing)",
+    )
+    serve.add_argument(
+        "--decay",
+        type=float,
+        default=1.0,
+        help="per-epoch weight decay in (0, 1]; 1.0 disables aging",
+    )
+    serve.add_argument(
+        "--max-edges",
+        type=int,
+        default=None,
+        metavar="N",
+        help="prune persisted snapshots to the N heaviest edges",
+    )
+    serve.add_argument(
+        "--persist-every",
+        type=int,
+        default=1,
+        metavar="N",
+        help="write a snapshot every N merges per program (default 1)",
+    )
+    serve.set_defaults(handler=_cmd_serve)
 
     report = commands.add_parser(
         "report", help="summarize a telemetry trace written by run --trace"

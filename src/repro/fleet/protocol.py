@@ -1,0 +1,204 @@
+"""The fleet wire protocol: length-prefixed, versioned JSON messages.
+
+Every message on the wire is one *frame*: a 4-byte big-endian unsigned
+length followed by that many bytes of UTF-8 JSON encoding a single
+object.  Every object carries ``"v"`` (protocol version) and ``"type"``
+(message kind).  Frames are small (deltas, not whole profiles) and
+bounded by :data:`MAX_MESSAGE_BYTES`; anything larger, truncated
+mid-frame, or non-JSON raises :class:`ProtocolError` — the server drops
+the connection, never its repository.
+
+Message kinds
+-------------
+
+Client → server:
+
+* ``publish`` — one DCG delta for one program::
+
+      {"v": 1, "type": "publish", "fingerprint": "<sha256>",
+       "run_id": "<opaque>", "seq": 0, "epoch": 0,
+       "edges": [["Caller.name", pc, "Callee.name", weight], ...]}
+
+  ``epoch`` is the client's profile age (newer epochs dominate under
+  decay; see :mod:`repro.fleet.merge`); ``seq`` numbers the deltas of
+  one run for diagnostics.
+
+* ``fetch`` — request the aggregated snapshot for a fingerprint.
+* ``stats`` — request server-wide counters.
+
+Server → client:
+
+* ``ack`` — publish accepted: ``{"runs", "edges", "total_weight"}``.
+* ``snapshot`` — fetch reply: ``{"found": bool, "snapshot": {...}|null}``
+  where the snapshot is a version-2 profile dict (see
+  :mod:`repro.profiling.serialize`) plus a ``"fleet"`` metadata key.
+* ``stats`` — server counters.
+* ``error`` — the request was malformed: ``{"reason": "..."}``.
+
+Both asyncio-stream and blocking-socket helpers are provided; the VM
+side publishes from a plain thread (it must never touch the VM's loop),
+while the server is a single asyncio process.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+
+PROTOCOL_VERSION = 1
+
+#: Upper bound on one frame's payload.  A delta for even a large DCG is
+#: a few hundred KB; anything bigger is garbage or abuse.
+MAX_MESSAGE_BYTES = 8 * 1024 * 1024
+
+_HEADER = struct.Struct(">I")
+
+
+class ProtocolError(Exception):
+    """A frame or message violated the wire protocol."""
+
+
+# -- message constructors ---------------------------------------------------------
+
+
+def publish_message(
+    fingerprint: str,
+    edges: list,
+    run_id: str,
+    seq: int = 0,
+    epoch: int = 0,
+) -> dict:
+    return {
+        "v": PROTOCOL_VERSION,
+        "type": "publish",
+        "fingerprint": fingerprint,
+        "run_id": run_id,
+        "seq": seq,
+        "epoch": epoch,
+        "edges": edges,
+    }
+
+
+def fetch_message(fingerprint: str) -> dict:
+    return {"v": PROTOCOL_VERSION, "type": "fetch", "fingerprint": fingerprint}
+
+
+def stats_message() -> dict:
+    return {"v": PROTOCOL_VERSION, "type": "stats"}
+
+
+def ack_message(runs: int, edges: int, total_weight: float) -> dict:
+    return {
+        "v": PROTOCOL_VERSION,
+        "type": "ack",
+        "runs": runs,
+        "edges": edges,
+        "total_weight": total_weight,
+    }
+
+
+def snapshot_message(snapshot: dict | None) -> dict:
+    return {
+        "v": PROTOCOL_VERSION,
+        "type": "snapshot",
+        "found": snapshot is not None,
+        "snapshot": snapshot,
+    }
+
+
+def error_message(reason: str) -> dict:
+    return {"v": PROTOCOL_VERSION, "type": "error", "reason": reason}
+
+
+# -- framing ----------------------------------------------------------------------
+
+
+def encode_message(message: dict) -> bytes:
+    """Frame ``message`` (which must already carry ``v``/``type``)."""
+    payload = json.dumps(message, separators=(",", ":")).encode()
+    if len(payload) > MAX_MESSAGE_BYTES:
+        raise ProtocolError(f"message too large ({len(payload)} bytes)")
+    return _HEADER.pack(len(payload)) + payload
+
+
+def decode_payload(payload: bytes) -> dict:
+    """Parse and validate one frame's payload."""
+    try:
+        message = json.loads(payload.decode())
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise ProtocolError(f"undecodable message: {error}") from error
+    if not isinstance(message, dict):
+        raise ProtocolError("message is not a JSON object")
+    if message.get("v") != PROTOCOL_VERSION:
+        raise ProtocolError(
+            f"unsupported protocol version {message.get('v')!r} "
+            f"(expected {PROTOCOL_VERSION})"
+        )
+    if not isinstance(message.get("type"), str):
+        raise ProtocolError("message has no type")
+    return message
+
+
+def _check_length(length: int) -> None:
+    if length > MAX_MESSAGE_BYTES:
+        raise ProtocolError(f"frame too large ({length} bytes)")
+
+
+# -- asyncio streams (server side) ------------------------------------------------
+
+
+async def read_message(reader) -> dict | None:
+    """Read one frame from an asyncio stream reader.
+
+    Returns ``None`` on clean EOF at a frame boundary; raises
+    :class:`ProtocolError` for truncation mid-frame, oversized frames,
+    or undecodable payloads.
+    """
+    import asyncio
+
+    try:
+        header = await reader.readexactly(_HEADER.size)
+    except asyncio.IncompleteReadError as error:
+        if not error.partial:
+            return None  # clean EOF between frames
+        raise ProtocolError("connection closed mid-header") from error
+    (length,) = _HEADER.unpack(header)
+    _check_length(length)
+    try:
+        payload = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as error:
+        raise ProtocolError("connection closed mid-frame") from error
+    return decode_payload(payload)
+
+
+async def write_message(writer, message: dict) -> None:
+    writer.write(encode_message(message))
+    await writer.drain()
+
+
+# -- blocking sockets (client side) -----------------------------------------------
+
+
+def send_message(sock: socket.socket, message: dict) -> None:
+    sock.sendall(encode_message(message))
+
+
+def recv_message(sock: socket.socket) -> dict:
+    """Read one frame from a blocking socket (honors its timeout)."""
+    header = _recv_exactly(sock, _HEADER.size)
+    (length,) = _HEADER.unpack(header)
+    _check_length(length)
+    return decode_payload(_recv_exactly(sock, length))
+
+
+def _recv_exactly(sock: socket.socket, count: int) -> bytes:
+    chunks = []
+    remaining = count
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            raise ProtocolError("connection closed mid-frame")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)

@@ -1,0 +1,225 @@
+"""The fleet aggregation service.
+
+One asyncio process serves many concurrent VM publishers.  Each
+connection is a sequence of frames (see :mod:`repro.fleet.protocol`);
+``publish`` deltas are folded into per-fingerprint
+:class:`~repro.fleet.merge.AggregateProfile` instances (loaded lazily
+from the repository) and persisted with atomic writes every
+``persist_every`` merges per program plus on connection close and
+shutdown.
+
+Because merging is synchronous (no ``await`` between reading a frame
+and folding it in) the event loop serializes merges per process, and
+because the merge itself is order-independent (see
+:mod:`repro.fleet.merge`) the aggregate any client observes is a pure
+function of the set of published deltas.
+
+A client that violates the protocol gets an ``error`` reply when the
+stream is still decodable, otherwise its connection is dropped; the
+repository only ever sees complete, validated deltas, so a client
+killed mid-frame cannot corrupt anything.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.fleet.merge import AggregateProfile, MergeError, MergePolicy
+from repro.fleet.protocol import (
+    ProtocolError,
+    ack_message,
+    error_message,
+    read_message,
+    snapshot_message,
+    write_message,
+)
+from repro.fleet.repository import ProfileRepository, RepositoryError
+
+
+class FleetService:
+    """Aggregates published DCG deltas and serves snapshots."""
+
+    def __init__(
+        self,
+        repository: ProfileRepository,
+        persist_every: int = 1,
+        telemetry=None,
+    ):
+        if persist_every < 1:
+            raise ValueError("persist_every must be >= 1")
+        self.repository = repository
+        self.persist_every = persist_every
+        self.telemetry = telemetry
+        self.aggregates: dict[str, AggregateProfile] = {}
+        self.merges = 0
+        self.publishes_rejected = 0
+        self.connections = 0
+        self._unpersisted: dict[str, int] = {}
+        self._server: asyncio.AbstractServer | None = None
+        self.address: tuple[str, int] | None = None
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    async def start(self, host: str = "127.0.0.1", port: int = 0) -> tuple[str, int]:
+        """Bind and start serving; returns the bound (host, port)."""
+        self._server = await asyncio.start_server(self._handle, host, port)
+        sockname = self._server.sockets[0].getsockname()
+        self.address = (sockname[0], sockname[1])
+        return self.address
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        self.persist_all()
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "call start() first"
+        async with self._server:
+            await self._server.serve_forever()
+
+    def persist_all(self) -> None:
+        """Flush every dirty aggregate to the repository."""
+        for fingerprint, pending in list(self._unpersisted.items()):
+            if pending:
+                self.repository.store(self.aggregates[fingerprint])
+                self._unpersisted[fingerprint] = 0
+
+    # -- connection handling ------------------------------------------------------
+
+    async def _handle(self, reader, writer) -> None:
+        self.connections += 1
+        try:
+            while True:
+                try:
+                    message = await read_message(reader)
+                except ProtocolError:
+                    # Undecodable stream (truncated frame, garbage):
+                    # nothing sensible to reply to — drop the connection.
+                    break
+                if message is None:
+                    break
+                reply = self._dispatch(message)
+                try:
+                    await write_message(writer, reply)
+                except (ConnectionError, OSError):
+                    break
+        finally:
+            # A dead client must not leave merged-but-unpersisted state.
+            self.persist_all()
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    def _dispatch(self, message: dict) -> dict:
+        kind = message["type"]
+        if kind == "publish":
+            return self._on_publish(message)
+        if kind == "fetch":
+            return self._on_fetch(message)
+        if kind == "stats":
+            return self._on_stats()
+        return error_message(f"unknown message type {kind!r}")
+
+    # -- message handlers ---------------------------------------------------------
+
+    def _aggregate_for(self, fingerprint: str) -> AggregateProfile:
+        aggregate = self.aggregates.get(fingerprint)
+        if aggregate is None:
+            aggregate = self.repository.load(fingerprint)
+            if aggregate is None:
+                aggregate = AggregateProfile(fingerprint, self.repository.policy)
+            self.aggregates[fingerprint] = aggregate
+            self._unpersisted.setdefault(fingerprint, 0)
+        return aggregate
+
+    def _on_publish(self, message: dict) -> dict:
+        fingerprint = message.get("fingerprint")
+        edges = message.get("edges")
+        if not isinstance(fingerprint, str) or not isinstance(edges, list):
+            self.publishes_rejected += 1
+            return error_message("publish needs a fingerprint and an edge list")
+        try:
+            aggregate = self._aggregate_for(fingerprint)
+        except RepositoryError as error:
+            self.publishes_rejected += 1
+            return error_message(str(error))
+        try:
+            epoch = int(message.get("epoch", 0))
+        except (TypeError, ValueError):
+            self.publishes_rejected += 1
+            return error_message("epoch must be an integer")
+        try:
+            aggregate.merge_delta(
+                edges, epoch=epoch, run_id=message.get("run_id")
+            )
+        except MergeError as error:
+            self.publishes_rejected += 1
+            return error_message(str(error))
+        self.merges += 1
+        self._unpersisted[fingerprint] = self._unpersisted.get(fingerprint, 0) + 1
+        if self._unpersisted[fingerprint] >= self.persist_every:
+            self.repository.store(aggregate)
+            self._unpersisted[fingerprint] = 0
+        if self.telemetry is not None:
+            self.telemetry.on_fleet_merge(
+                fingerprint, len(edges), aggregate.runs, aggregate.total_weight
+            )
+        return ack_message(aggregate.runs, len(aggregate), aggregate.total_weight)
+
+    def _on_fetch(self, message: dict) -> dict:
+        fingerprint = message.get("fingerprint")
+        if not isinstance(fingerprint, str):
+            return error_message("fetch needs a fingerprint")
+        try:
+            aggregate = self.aggregates.get(fingerprint) or self.repository.load(
+                fingerprint
+            )
+        except RepositoryError as error:
+            return error_message(str(error))
+        if aggregate is None or len(aggregate) == 0:
+            return snapshot_message(None)
+        return snapshot_message(aggregate.to_dict())
+
+    def _on_stats(self) -> dict:
+        return {
+            "v": 1,
+            "type": "stats",
+            "programs": sorted(
+                set(self.aggregates) | set(self.repository.fingerprints())
+            ),
+            "merges": self.merges,
+            "rejected": self.publishes_rejected,
+            "connections": self.connections,
+            "quarantined": self.repository.quarantined,
+        }
+
+
+async def run_service(
+    root: str,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    decay: float = 1.0,
+    max_edges: int | None = None,
+    persist_every: int = 1,
+    ready=None,
+) -> None:
+    """Run a fleet service until cancelled (the ``serve`` CLI backend).
+
+    ``ready``, if given, is called with the bound ``(host, port)`` once
+    the socket is listening — used for readiness lines and tests.
+    """
+    repository = ProfileRepository(
+        root, MergePolicy(decay=decay, max_edges=max_edges)
+    )
+    service = FleetService(repository, persist_every=persist_every)
+    await service.start(host, port)
+    if ready is not None:
+        ready(service.address)
+    try:
+        await service.serve_forever()
+    finally:
+        await service.stop()

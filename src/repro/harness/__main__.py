@@ -9,6 +9,7 @@ Usage::
     python -m repro.harness figure1 [--quick]
     python -m repro.harness figure5-jikes [--quick]
     python -m repro.harness figure5-j9 [--quick]
+    python -m repro.harness fleet [--quick]
     python -m repro.harness all [--quick]
 """
 
@@ -18,7 +19,7 @@ import argparse
 import sys
 import time
 
-from repro.harness import figure1, figure5, table1, table2, table3
+from repro.harness import figure1, figure5, fleet, table1, table2, table3
 from repro.harness.convergence import (
     compare_convergence,
     phase_change_study,
@@ -51,6 +52,7 @@ _EXPERIMENTS = {
     "figure1": lambda quick, vm: figure1.main(quick, vm),
     "figure5-jikes": lambda quick, vm: figure5.main(quick, "jikes"),
     "figure5-j9": lambda quick, vm: figure5.main(quick, "j9"),
+    "fleet": lambda quick, vm: fleet.main(quick, vm),
     "convergence": _convergence,
     "phase-change": _phase,
 }

@@ -20,6 +20,7 @@ from repro.profiling.metrics import (
 from repro.profiling.patching import CodePatchingProfiler
 from repro.profiling.serialize import (
     ProfileFormatError,
+    ProfileMismatchWarning,
     dcg_from_dict,
     dcg_to_dict,
     load_profile,
@@ -40,6 +41,7 @@ __all__ = [
     "HardwareCallSampler",
     "INSTRUMENTATION_COST",
     "ProfileFormatError",
+    "ProfileMismatchWarning",
     "SKIP_POLICIES",
     "TimerProfiler",
     "WhaleyProfiler",

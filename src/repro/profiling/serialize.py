@@ -6,30 +6,52 @@ provides the offline side: profiles serialize to JSON keyed by qualified
 function names (not indices), so a profile collected against one build
 of a program can be applied to another as long as the names resolve.
 
-Format (version 1)::
+Format (version 2)::
 
     {
-      "version": 1,
+      "version": 2,
+      "fingerprint": "<sha256 of the program's code, optional>",
       "edges": [
         {"caller": "Network.assert", "pc": 14,
          "callee": "ModNode.test", "weight": 123.0},
         ...
       ]
     }
+
+Version 1 files (no ``fingerprint``) still load.  When a fingerprint is
+present and does not match the program the profile is being resolved
+against, lenient mode warns (:class:`ProfileMismatchWarning`) and
+resolves by name anyway — profiles are allowed to be stale — while
+strict mode raises :class:`ProfileFormatError`.
+
+Writes are crash-safe: :func:`save_profile` writes to a temporary file
+in the destination directory and atomically renames it into place, so a
+reader never observes a half-written profile.
 """
 
 from __future__ import annotations
 
 import json
+import math
+import os
+import tempfile
+import warnings
 
 from repro.bytecode.program import Program
 from repro.profiling.dcg import DCG
 
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
+
+#: Versions :func:`dcg_from_dict` accepts (v1 predates fingerprints).
+SUPPORTED_VERSIONS = (1, 2)
 
 
 class ProfileFormatError(Exception):
     """Raised when a serialized profile cannot be parsed or resolved."""
+
+
+class ProfileMismatchWarning(UserWarning):
+    """A profile's fingerprint does not match the resolving program."""
 
 
 def dcg_to_dict(dcg: DCG, program: Program) -> dict:
@@ -44,7 +66,11 @@ def dcg_to_dict(dcg: DCG, program: Program) -> dict:
                 "weight": weight,
             }
         )
-    return {"version": FORMAT_VERSION, "edges": edges}
+    return {
+        "version": FORMAT_VERSION,
+        "fingerprint": program.fingerprint(),
+        "edges": edges,
+    }
 
 
 def dcg_from_dict(
@@ -54,11 +80,26 @@ def dcg_from_dict(
 
     Edges naming functions the program does not define are skipped
     (``strict=False``, the default — profiles may be stale) or rejected
-    (``strict=True``).
+    (``strict=True``).  A ``fingerprint`` field, when present, is
+    checked against ``program.fingerprint()``: mismatches warn in
+    lenient mode and raise in strict mode.
     """
-    if not isinstance(data, dict) or data.get("version") != FORMAT_VERSION:
+    if not isinstance(data, dict) or data.get("version") not in SUPPORTED_VERSIONS:
         raise ProfileFormatError(
-            f"unsupported profile format (expected version {FORMAT_VERSION})"
+            f"unsupported profile format (expected version in {SUPPORTED_VERSIONS})"
+        )
+    fingerprint = data.get("fingerprint")
+    if fingerprint is not None and fingerprint != program.fingerprint():
+        if strict:
+            raise ProfileFormatError(
+                "profile fingerprint does not match the program "
+                f"({fingerprint[:12]}… vs {program.fingerprint()[:12]}…)"
+            )
+        warnings.warn(
+            "profile was collected against a different build of the "
+            "program; resolving by name anyway",
+            ProfileMismatchWarning,
+            stacklevel=2,
         )
     index_by_name = {f.qualified_name: f.index for f in program.functions}
     dcg = DCG()
@@ -77,6 +118,8 @@ def dcg_from_dict(
                 missing = caller_name if caller is None else callee_name
                 raise ProfileFormatError(f"unknown function {missing!r} in profile")
             continue
+        if not math.isfinite(weight):
+            raise ProfileFormatError(f"non-finite weight in edge {entry!r}")
         if weight < 0:
             raise ProfileFormatError(f"negative weight in edge {entry!r}")
         dcg.record(caller, pc, callee, weight)
@@ -84,9 +127,26 @@ def dcg_from_dict(
 
 
 def save_profile(dcg: DCG, program: Program, path: str) -> None:
-    """Write ``dcg`` to ``path`` as JSON."""
-    with open(path, "w") as handle:
-        json.dump(dcg_to_dict(dcg, program), handle, indent=1)
+    """Atomically write ``dcg`` to ``path`` as JSON.
+
+    The profile is written to a temporary file in the same directory
+    and renamed into place, so a crash mid-write never leaves a
+    truncated profile at ``path``.
+    """
+    directory = os.path.dirname(os.path.abspath(path))
+    fd, tmp_path = tempfile.mkstemp(
+        prefix=os.path.basename(path) + ".", suffix=".tmp", dir=directory
+    )
+    try:
+        with os.fdopen(fd, "w") as handle:
+            json.dump(dcg_to_dict(dcg, program), handle, indent=1)
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
 
 
 def load_profile(path: str, program: Program, strict: bool = False) -> DCG:

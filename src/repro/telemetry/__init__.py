@@ -20,12 +20,15 @@ from repro.telemetry.events import (
     EVENT_TYPES,
     CallTraced,
     Event,
+    FleetMerge,
+    FleetPublish,
     InlineDecisionEvent,
     Recompilation,
     ScopeBegin,
     ScopeEnd,
     StackSample,
     TimerTick,
+    WarmStart,
     WindowClose,
     WindowOpen,
     YieldpointTaken,
@@ -51,6 +54,8 @@ __all__ = [
     "Counter",
     "Event",
     "FORMATS",
+    "FleetMerge",
+    "FleetPublish",
     "Gauge",
     "Histogram",
     "InlineDecisionEvent",
@@ -64,6 +69,7 @@ __all__ = [
     "TimerTick",
     "TraceFormatError",
     "Tracer",
+    "WarmStart",
     "WindowClose",
     "WindowOpen",
     "YieldpointTaken",

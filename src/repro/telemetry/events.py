@@ -233,6 +233,62 @@ class CallTraced(Event):
         }
 
 
+class FleetPublish(Event):
+    """The fleet publisher enqueued one DCG delta batch for upload."""
+
+    __slots__ = ("seq", "edges", "weight")
+    name = "fleet_publish"
+
+    def __init__(self, ts: int, seq: int, edges: int, weight: float):
+        super().__init__(ts)
+        self.seq = seq
+        self.edges = edges
+        self.weight = weight
+
+    def args(self) -> dict:
+        return {"seq": self.seq, "edges": self.edges, "weight": self.weight}
+
+
+class FleetMerge(Event):
+    """The fleet service merged one published delta into an aggregate."""
+
+    __slots__ = ("fingerprint", "edges", "runs", "total_weight")
+    name = "fleet_merge"
+
+    def __init__(
+        self, ts: int, fingerprint: str, edges: int, runs: int, total_weight: float
+    ):
+        super().__init__(ts)
+        self.fingerprint = fingerprint
+        self.edges = edges
+        self.runs = runs
+        self.total_weight = total_weight
+
+    def args(self) -> dict:
+        return {
+            "fingerprint": self.fingerprint,
+            "edges": self.edges,
+            "runs": self.runs,
+            "total_weight": self.total_weight,
+        }
+
+
+class WarmStart(Event):
+    """The adaptive controller was seeded from an aggregated profile."""
+
+    __slots__ = ("methods", "edges", "weight")
+    name = "warm_start"
+
+    def __init__(self, ts: int, methods: int, edges: int, weight: float):
+        super().__init__(ts)
+        self.methods = methods
+        self.edges = edges
+        self.weight = weight
+
+    def args(self) -> dict:
+        return {"methods": self.methods, "edges": self.edges, "weight": self.weight}
+
+
 class ScopeBegin(Event):
     """Start of a named duration scope (see :mod:`repro.telemetry.scopes`)."""
 
@@ -276,6 +332,9 @@ EVENT_TYPES = {
         Recompilation,
         InlineDecisionEvent,
         CallTraced,
+        FleetPublish,
+        FleetMerge,
+        WarmStart,
         ScopeBegin,
         ScopeEnd,
     )

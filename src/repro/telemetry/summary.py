@@ -73,6 +73,15 @@ def pipeline_rows(trace: LoadedTrace) -> list[list[object]]:
     if accepted or rejected or "inline_decision" in counts:
         rows.append(["inline decisions accepted", accepted])
         rows.append(["inline decisions rejected", rejected])
+    publishes = metric_or_count("fleet.publishes", "fleet_publish")
+    if publishes:
+        rows.append(["fleet batches published", publishes])
+    merges = metric_or_count("fleet.merges", "fleet_merge")
+    if merges:
+        rows.append(["fleet deltas merged", merges])
+    warm_starts = metric_or_count("fleet.warm_starts", "warm_start")
+    if warm_starts:
+        rows.append(["warm starts", warm_starts])
     return rows
 
 

@@ -20,12 +20,15 @@ from __future__ import annotations
 
 from repro.telemetry.events import (
     CallTraced,
+    FleetMerge,
+    FleetPublish,
     InlineDecisionEvent,
     Recompilation,
     ScopeBegin,
     ScopeEnd,
     StackSample,
     TimerTick,
+    WarmStart,
     WindowClose,
     WindowOpen,
     YieldpointTaken,
@@ -80,6 +83,15 @@ class Tracer:
         )
         self._inline_rejected = metrics.counter(
             "inline.rejected", "call sites the inlining policy rejected"
+        )
+        self._fleet_publishes = metrics.counter(
+            "fleet.publishes", "DCG delta batches handed to the fleet publisher"
+        )
+        self._fleet_merges = metrics.counter(
+            "fleet.merges", "published deltas merged into fleet aggregates"
+        )
+        self._warm_starts = metrics.counter(
+            "fleet.warm_starts", "adaptive controllers seeded from fleet profiles"
         )
         self._samples_per_window = metrics.histogram(
             "cbs.samples_per_window",
@@ -199,6 +211,24 @@ class Tracer:
         self.events.append(
             InlineDecisionEvent(self.clock(), caller, pc, callee, action, accepted, reason)
         )
+
+    # -- fleet hook methods -----------------------------------------------------------
+
+    def on_fleet_publish(self, ts: int, seq: int, edges: int, weight: float) -> None:
+        self._fleet_publishes.inc()
+        self.events.append(FleetPublish(ts, seq, edges, weight))
+
+    def on_fleet_merge(
+        self, fingerprint: str, edges: int, runs: int, total_weight: float
+    ) -> None:
+        self._fleet_merges.inc()
+        self.events.append(
+            FleetMerge(self.clock(), fingerprint, edges, runs, total_weight)
+        )
+
+    def on_warm_start(self, ts: int, methods: int, edges: int, weight: float) -> None:
+        self._warm_starts.inc()
+        self.events.append(WarmStart(ts, methods, edges, weight))
 
     # -- scopes ----------------------------------------------------------------------
 

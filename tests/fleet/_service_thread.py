@@ -1,0 +1,53 @@
+"""A fleet service running on a background thread, for client tests.
+
+The real client (:class:`repro.fleet.client.FleetPublisher`) speaks
+blocking sockets from a worker thread, so tests exercise it against a
+service running its own asyncio loop on another thread — the same
+topology as production (`repro-mini serve` in one process, VMs in
+others), minus the process boundary.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+from repro.fleet.merge import MergePolicy
+from repro.fleet.repository import ProfileRepository
+from repro.fleet.service import FleetService
+
+
+class ServiceThread:
+    def __init__(self, root: str, policy: MergePolicy | None = None, **kwargs):
+        self.root = root
+        self.policy = policy
+        self.kwargs = kwargs
+        self.service: FleetService | None = None
+        self.address: tuple[str, int] | None = None
+        self._ready = threading.Event()
+        self._loop = None
+        self._stop_event = None
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def __enter__(self) -> "ServiceThread":
+        self._thread.start()
+        assert self._ready.wait(5), "service failed to start"
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._loop.call_soon_threadsafe(self._stop_event.set)
+        self._thread.join(5)
+
+    def _run(self) -> None:
+        asyncio.run(self._main())
+
+    async def _main(self) -> None:
+        repository = ProfileRepository(self.root, self.policy)
+        self.service = FleetService(repository, **self.kwargs)
+        await self.service.start("127.0.0.1", 0)
+        self.address = self.service.address
+        self._loop = asyncio.get_running_loop()
+        self._stop_event = asyncio.Event()
+        self._ready.set()
+        await self._stop_event.wait()
+        await self.service.stop()

@@ -1,0 +1,219 @@
+"""Fleet service tests: concurrency, determinism, robustness."""
+
+import asyncio
+import struct
+
+from repro.fleet.merge import AggregateProfile, MergePolicy
+from repro.fleet.protocol import (
+    fetch_message,
+    publish_message,
+    read_message,
+    stats_message,
+    write_message,
+)
+from repro.fleet.repository import ProfileRepository
+from repro.fleet.service import FleetService
+
+FP = "ef" * 32
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+async def start_service(tmp_path, **kwargs):
+    policy = kwargs.pop("policy", MergePolicy(decay=0.5))
+    repository = ProfileRepository(str(tmp_path / "repo"), policy)
+    service = FleetService(repository, **kwargs)
+    await service.start("127.0.0.1", 0)
+    return service
+
+
+async def request(address, message):
+    reader, writer = await asyncio.open_connection(*address)
+    await write_message(writer, message)
+    reply = await read_message(reader)
+    writer.close()
+    await writer.wait_closed()
+    return reply
+
+
+async def publish_session(address, deltas):
+    """One client connection publishing ``deltas`` frames in order."""
+    reader, writer = await asyncio.open_connection(*address)
+    replies = []
+    for edges, epoch, run_id in deltas:
+        await write_message(
+            writer, publish_message(FP, edges, run_id=run_id, epoch=epoch)
+        )
+        replies.append(await read_message(reader))
+        await asyncio.sleep(0)  # force interleaving between publishers
+    writer.close()
+    await writer.wait_closed()
+    return replies
+
+
+def publisher_deltas(publisher: int):
+    return [
+        ([[f"f{publisher}", batch, f"g{batch}", float(2**batch)]], publisher % 3,
+         f"run-{publisher}")
+        for batch in range(4)
+    ]
+
+
+def test_publish_then_fetch(tmp_path):
+    async def go():
+        service = await start_service(tmp_path)
+        ack = await request(
+            service.address,
+            publish_message(FP, [["main", 0, "A.f", 8.0]], run_id="r1"),
+        )
+        assert ack["type"] == "ack"
+        assert ack["runs"] == 1
+        reply = await request(service.address, fetch_message(FP))
+        await service.stop()
+        return reply
+
+    reply = run(go())
+    assert reply["found"]
+    assert reply["snapshot"]["edges"] == [
+        {"caller": "main", "pc": 0, "callee": "A.f", "weight": 8.0}
+    ]
+
+
+def test_fetch_unknown_fingerprint(tmp_path):
+    async def go():
+        service = await start_service(tmp_path)
+        reply = await request(service.address, fetch_message("aa" * 32))
+        await service.stop()
+        return reply
+
+    reply = run(go())
+    assert reply["type"] == "snapshot" and not reply["found"]
+
+
+def test_concurrent_publishers_aggregate_order_independent(tmp_path):
+    """The acceptance property: >= 4 concurrent publishers, any
+    interleaving, same merged aggregate."""
+
+    async def fleet_round(path, order):
+        service = await start_service(path)
+        sessions = [publish_session(service.address, publisher_deltas(p)) for p in order]
+        await asyncio.gather(*sessions)
+        reply = await request(service.address, fetch_message(FP))
+        await service.stop()
+        return reply["snapshot"]
+
+    snapshot_a = run(fleet_round(tmp_path / "a", [0, 1, 2, 3, 4]))
+    snapshot_b = run(fleet_round(tmp_path / "b", [4, 3, 2, 1, 0]))
+    assert snapshot_a["edges"] == snapshot_b["edges"]
+    assert snapshot_a["fleet"]["runs"] == 5
+
+    # And both equal the sequential in-process reference merge.
+    reference = AggregateProfile(FP, MergePolicy(decay=0.5))
+    for publisher in range(5):
+        for edges, epoch, run_id in publisher_deltas(publisher):
+            reference.merge_delta(edges, epoch=epoch, run_id=run_id)
+    assert snapshot_a["edges"] == reference.to_dict()["edges"]
+
+
+def test_killed_client_mid_frame_leaves_repository_loadable(tmp_path):
+    async def go():
+        service = await start_service(tmp_path)
+        # A healthy publish first, so there is state worth protecting.
+        await request(
+            service.address, publish_message(FP, [["main", 0, "A.f", 4.0]], run_id="r1")
+        )
+        # Client dies mid-frame: header promises 500 bytes, sends 7.
+        reader, writer = await asyncio.open_connection(*service.address)
+        writer.write(struct.pack(">I", 500) + b"partial")
+        await writer.drain()
+        writer.close()
+        await writer.wait_closed()
+        # The service keeps serving and the aggregate is intact.
+        reply = await request(service.address, fetch_message(FP))
+        await service.stop()
+        return service, reply
+
+    service, reply = run(go())
+    assert reply["snapshot"]["fleet"]["total_weight"] == 4.0
+    # The on-disk snapshot is loadable by a fresh repository.
+    fresh = ProfileRepository(service.repository.root)
+    assert fresh.load(FP).total_weight == 4.0
+    assert fresh.quarantined == 0
+
+
+def test_malformed_publish_gets_error_not_disconnect(tmp_path):
+    async def go():
+        service = await start_service(tmp_path)
+        reader, writer = await asyncio.open_connection(*service.address)
+        await write_message(writer, {"v": 1, "type": "publish"})  # no fingerprint
+        error = await read_message(reader)
+        await write_message(
+            writer, publish_message(FP, [["main", 0, "A.f", 1.0]], run_id="r")
+        )
+        ack = await read_message(reader)
+        writer.close()
+        await writer.wait_closed()
+        await service.stop()
+        return error, ack, service
+
+    error, ack, service = run(go())
+    assert error["type"] == "error"
+    assert ack["type"] == "ack"
+    assert service.publishes_rejected == 1
+    assert service.merges == 1
+
+
+def test_bad_weights_rejected_by_service(tmp_path):
+    async def go():
+        service = await start_service(tmp_path)
+        reply = await request(
+            service.address,
+            publish_message(FP, [["main", 0, "A.f", float("nan")]], run_id="r"),
+        )
+        await service.stop()
+        return reply, service
+
+    reply, service = run(go())
+    assert reply["type"] == "error"
+    assert service.merges == 0
+
+
+def test_stats(tmp_path):
+    async def go():
+        service = await start_service(tmp_path)
+        await request(
+            service.address, publish_message(FP, [["main", 0, "A.f", 1.0]], run_id="r")
+        )
+        reply = await request(service.address, stats_message())
+        await service.stop()
+        return reply
+
+    reply = run(go())
+    assert reply["type"] == "stats"
+    assert reply["merges"] == 1
+    assert FP in reply["programs"]
+
+
+def test_aggregate_survives_service_restart(tmp_path):
+    async def round_one():
+        service = await start_service(tmp_path)
+        await request(
+            service.address, publish_message(FP, [["main", 0, "A.f", 2.0]], run_id="r1")
+        )
+        await service.stop()
+
+    async def round_two():
+        service = await start_service(tmp_path)
+        await request(
+            service.address, publish_message(FP, [["main", 0, "A.f", 3.0]], run_id="r2")
+        )
+        reply = await request(service.address, fetch_message(FP))
+        await service.stop()
+        return reply
+
+    run(round_one())
+    reply = run(round_two())
+    assert reply["snapshot"]["fleet"]["total_weight"] == 5.0
+    assert reply["snapshot"]["fleet"]["runs"] == 2

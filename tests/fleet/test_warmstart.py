@@ -1,0 +1,156 @@
+"""Warm-starting the adaptive controller from an aggregated profile."""
+
+from repro.adaptive.controller import AdaptiveConfig, AdaptiveSystem
+from repro.fleet.merge import AggregateProfile, MergePolicy
+from repro.frontend.codegen import compile_source
+from repro.inlining.new_inliner import NewJikesInliner
+from repro.profiling.cbs import CBSProfiler
+from repro.profiling.exhaustive import ExhaustiveProfiler
+from repro.profiling.serialize import dcg_from_dict, dcg_to_dict
+from repro.telemetry import Tracer
+from repro.vm.interpreter import Interpreter
+
+SOURCE = """
+class A { def f(): int { return 1; } }
+def cold(): int { return 3; }
+def main() {
+  var a = new A();
+  var t = cold();
+  for (var i = 0; i < 30000; i = i + 1) { t = t + a.f(); }
+  print(t);
+}
+"""
+
+
+def fleet_profile(program, runs=3):
+    """Aggregate exhaustive profiles from several runs, fleet-style."""
+    names = [f.qualified_name for f in program.functions]
+    aggregate = AggregateProfile(program.fingerprint(), MergePolicy(decay=0.5))
+    for run in range(runs):
+        vm = Interpreter(program)
+        perfect = ExhaustiveProfiler()
+        perfect.install(vm)
+        vm.run()
+        delta = [
+            [names[caller], pc, names[callee], weight]
+            for (caller, pc, callee), weight in sorted(perfect.dcg.edges().items())
+        ]
+        aggregate.merge_delta(delta, epoch=run, run_id=f"r{run}")
+    return dcg_from_dict(aggregate.to_dict(), program)
+
+
+def warm_adaptive(program, warm_dcg, threshold=None, tracer=None):
+    vm = Interpreter(program)
+    if tracer is not None:
+        vm.attach_telemetry(tracer)
+    vm.attach_profiler(CBSProfiler(seed=9))
+    adaptive = AdaptiveSystem(program, NewJikesInliner(program))
+    adaptive.install(vm)
+    promoted = adaptive.warm_start(vm, warm_dcg, threshold=threshold)
+    return vm, adaptive, promoted
+
+
+def test_warm_start_promotes_hot_methods_at_tick_zero():
+    program = compile_source(SOURCE)
+    warm_dcg = fleet_profile(program)
+    vm, adaptive, promoted = warm_adaptive(program, warm_dcg)
+    hot = program.function_index("A.f")
+    assert hot in promoted
+    assert vm.code_cache.opt_level(hot) == 2
+    for event in adaptive.events:
+        assert event.tick == 0 and event.level == 2
+
+
+def test_warm_start_threshold_filters_cold_methods():
+    program = compile_source(SOURCE)
+    warm_dcg = fleet_profile(program)
+    vm, adaptive, promoted = warm_adaptive(program, warm_dcg)
+    # cold() runs once per run; far below the level-2 threshold.
+    assert program.function_index("cold") not in promoted
+
+
+def test_warm_run_output_matches_cold_run():
+    program = compile_source(SOURCE)
+    warm_dcg = fleet_profile(program)
+    vm, adaptive, _ = warm_adaptive(program, warm_dcg)
+    vm.run()
+    baseline = Interpreter(program)
+    baseline.run()
+    assert vm.output == baseline.output
+
+
+def test_warm_start_beats_cold_to_level2():
+    """The acceptance property: strictly fewer ticks to level 2."""
+    program = compile_source(SOURCE)
+    warm_dcg = fleet_profile(program)
+    hot = program.function_index("A.f")
+
+    cold_vm = Interpreter(program)
+    cold_vm.attach_profiler(CBSProfiler(seed=9))
+    cold_adaptive = AdaptiveSystem(program, NewJikesInliner(program))
+    cold_adaptive.install(cold_vm)
+    cold_vm.run()
+    cold_ticks = [
+        event.tick
+        for event in cold_adaptive.events
+        if event.function_index == hot and event.level == 2
+    ]
+
+    warm_vm, warm_adaptive_, _ = warm_adaptive(program, warm_dcg)
+    warm_vm.run()
+    warm_tick = min(
+        event.tick
+        for event in warm_adaptive_.events
+        if event.function_index == hot and event.level == 2
+    )
+    assert warm_tick == 0
+    if cold_ticks:  # cold may never get there on a short run
+        assert warm_tick < min(cold_ticks)
+
+
+def test_warm_start_does_not_immediately_reoptimize():
+    """A seeded method re-optimizes only after its own samples double
+    the seeded budget, like any online promotion."""
+    program = compile_source(SOURCE)
+    warm_dcg = fleet_profile(program)
+    config = AdaptiveConfig()
+    vm = Interpreter(program)
+    vm.attach_profiler(CBSProfiler(seed=9))
+    adaptive = AdaptiveSystem(program, NewJikesInliner(program), config)
+    adaptive.install(vm)
+    hot = program.function_index("A.f")
+    adaptive.warm_start(vm, warm_dcg)
+    compiles_after_seed = adaptive._compiles.get(hot, 0)
+    assert adaptive._last_compile_samples[hot] == config.level2_samples
+    vm.run()
+    recompiles = adaptive._compiles.get(hot, 0) - compiles_after_seed
+    samples = vm.profiler.method_samples.get(hot, 0)
+    if samples < config.level2_samples * config.reoptimize_growth:
+        assert recompiles == 0
+
+
+def test_warm_start_emits_telemetry():
+    program = compile_source(SOURCE)
+    warm_dcg = fleet_profile(program)
+    tracer = Tracer()
+    vm, adaptive, promoted = warm_adaptive(program, warm_dcg, tracer=tracer)
+    warm_events = [e for e in tracer.events if e.name == "warm_start"]
+    assert len(warm_events) == 1
+    assert warm_events[0].methods == len(promoted)
+    assert tracer.metrics.get("fleet.warm_starts").value == 1
+    # Each promotion also lands as a recompile event in the trace.
+    recompiles = [e for e in tracer.events if e.name == "recompile"]
+    assert len(recompiles) >= len(promoted)
+
+
+def test_profile_roundtrip_feeds_warm_start():
+    """A saved offline profile (serialize v2) can warm-start directly."""
+    program = compile_source(SOURCE)
+    vm = Interpreter(program)
+    perfect = ExhaustiveProfiler()
+    perfect.install(vm)
+    vm.run()
+    data = dcg_to_dict(perfect.dcg, program)
+    restored = dcg_from_dict(data, program, strict=True)
+    vm2, adaptive, promoted = warm_adaptive(program, restored)
+    assert promoted

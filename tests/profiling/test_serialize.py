@@ -1,6 +1,7 @@
 """Profile serialization tests."""
 
 import json
+import os
 
 import pytest
 
@@ -132,6 +133,69 @@ def test_empty_dcg_roundtrip(tmp_path):
     path = str(tmp_path / "empty.json")
     save_profile(DCG(), program, path)
     assert load_profile(path, program).total_weight == 0
+
+
+def test_nonfinite_weights_rejected():
+    program, _ = collected()
+    for bad in (float("nan"), float("inf"), float("-inf")):
+        data = {
+            "version": 1,
+            "edges": [
+                {"caller": "main", "pc": 0, "callee": "helper", "weight": bad}
+            ],
+        }
+        with pytest.raises(ProfileFormatError, match="finite"):
+            dcg_from_dict(data, program)
+
+
+def test_serialized_profile_carries_fingerprint():
+    program, dcg = collected()
+    data = dcg_to_dict(dcg, program)
+    assert data["fingerprint"] == program.fingerprint()
+
+
+def test_v1_profile_without_fingerprint_loads():
+    program, dcg = collected()
+    data = dcg_to_dict(dcg, program)
+    del data["fingerprint"]
+    data["version"] = 1
+    restored = dcg_from_dict(data, program, strict=True)
+    assert restored.edges() == dcg.edges()
+
+
+def test_fingerprint_mismatch_warns_lenient():
+    from repro.profiling.serialize import ProfileMismatchWarning
+
+    program, dcg = collected()
+    other = compile_source(SOURCE.replace("i < 50", "i < 60"))
+    data = dcg_to_dict(dcg, program)
+    with pytest.warns(ProfileMismatchWarning):
+        restored = dcg_from_dict(data, other)
+    assert restored.total_weight == dcg.total_weight
+
+
+def test_fingerprint_mismatch_raises_strict():
+    program, dcg = collected()
+    other = compile_source(SOURCE.replace("i < 50", "i < 60"))
+    data = dcg_to_dict(dcg, program)
+    with pytest.raises(ProfileFormatError, match="fingerprint"):
+        dcg_from_dict(data, other, strict=True)
+
+
+def test_save_profile_is_atomic(tmp_path):
+    program, dcg = collected()
+    path = str(tmp_path / "profile.json")
+    save_profile(dcg, program, path)
+    save_profile(dcg, program, path)  # overwrite is fine
+    leftovers = [n for n in os.listdir(tmp_path) if n != "profile.json"]
+    assert leftovers == []
+
+
+def test_save_profile_unwritable_path_raises_oserror(tmp_path):
+    program, dcg = collected()
+    with pytest.raises(OSError):
+        save_profile(dcg, program, str(tmp_path / "missing" / "profile.json"))
+    assert list(tmp_path.iterdir()) == []  # no partial or temp files
 
 
 def test_offline_pgo_end_to_end(tmp_path):

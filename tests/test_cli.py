@@ -145,6 +145,93 @@ def test_load_profile_missing_file(program_file):
         main(["run", program_file, "--load-profile", "/nonexistent.json"])
 
 
+def test_load_profile_corrupt_json(program_file, tmp_path):
+    profile_path = tmp_path / "corrupt.json"
+    profile_path.write_text('{"version": 2, "edges": [{"trunc')
+    with pytest.raises(SystemExit, match="cannot load"):
+        main(["run", program_file, "--load-profile", str(profile_path)])
+
+
+def test_save_profile_unwritable_path(program_file, capsys):
+    assert main(
+        [
+            "run", program_file, "--profile", "cbs",
+            "--save-profile", "/nonexistent-dir/p.json",
+        ]
+    ) == 1
+    assert "cannot write profile" in capsys.readouterr().err
+
+
+def test_load_profile_strict_rejects_mismatch(program_file, tmp_path, capsys):
+    other = tmp_path / "other.mini"
+    other.write_text(PROGRAM.replace("i < 40000", "i < 40001"))
+    profile_path = str(tmp_path / "p.json")
+    assert main(
+        ["run", str(other), "--profile", "cbs", "--save-profile", profile_path]
+    ) == 0
+    capsys.readouterr()
+    with pytest.raises(SystemExit, match="fingerprint"):
+        main(["run", program_file, "--load-profile", profile_path, "--strict"])
+    # Lenient mode warns but still runs the program to completion.
+    import warnings
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")
+        assert main(["run", program_file, "--load-profile", profile_path]) == 0
+    assert capsys.readouterr().out.strip() == "40000"
+
+
+def test_load_profile_strict_accepts_matching(program_file, tmp_path, capsys):
+    profile_path = str(tmp_path / "p.json")
+    assert main(
+        ["run", program_file, "--profile", "cbs", "--save-profile", profile_path]
+    ) == 0
+    assert main(
+        ["run", program_file, "--load-profile", profile_path, "--strict"]
+    ) == 0
+
+
+def test_publish_dead_server_output_identical(program_file, capsys):
+    assert main(["run", program_file, "--profile", "cbs", "--stats"]) == 0
+    baseline = capsys.readouterr()
+    assert main(
+        [
+            "run", program_file, "--profile", "cbs", "--stats",
+            "--publish", "127.0.0.1:1", "--publish-every", "10",
+        ]
+    ) == 0
+    published = capsys.readouterr()
+    assert published.out == baseline.out
+    # The vtime/steps line must be unchanged; only fleet counters differ.
+    assert [
+        line for line in published.err.splitlines() if line.startswith("-- steps")
+    ] == [line for line in baseline.err.splitlines() if line.startswith("-- steps")]
+
+
+def test_warm_start_requires_publish(program_file):
+    with pytest.raises(SystemExit, match="--publish"):
+        main(["run", program_file, "--adaptive", "--warm-start"])
+
+
+def test_warm_start_dead_server_starts_cold(program_file, capsys):
+    assert main(
+        [
+            "run", program_file, "--adaptive", "--profile", "cbs",
+            "--publish", "127.0.0.1:1", "--warm-start",
+        ]
+    ) == 0
+    captured = capsys.readouterr()
+    assert captured.out.strip() == "40000"
+    assert "starting cold" in captured.err
+
+
+def test_serve_rejects_bad_root(tmp_path):
+    blocker = tmp_path / "file"
+    blocker.write_text("x")
+    with pytest.raises(SystemExit, match="cannot create"):
+        main(["serve", "--root", str(blocker / "sub"), "--port", "0"])
+
+
 def test_cbs_knobs_reach_the_profiler():
     """--skip-policy/--seed/--context-depth are plumbed into CBSProfiler."""
     from repro.cli import _profiler_for, build_parser
