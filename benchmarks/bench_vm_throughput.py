@@ -1,9 +1,31 @@
 """Raw substrate throughput — how fast the simulator itself runs.
 
 Not a paper experiment; tracks the interpreter's Python-level speed so
-regressions in the hot loop are caught.  These use pytest-benchmark's
-normal repetition (they are cheap).
+regressions in the hot loop are caught.  Two entry points:
+
+* pytest-benchmark tests (normal repetition; they are cheap), fused and
+  unfused so the dispatch strategies are tracked separately;
+* a script mode emitting a machine-readable summary for the committed
+  ``BENCH_vm.json`` perf trajectory::
+
+      PYTHONPATH=src python benchmarks/bench_vm_throughput.py            # print
+      PYTHONPATH=src python benchmarks/bench_vm_throughput.py --write BENCH_vm.json
+      PYTHONPATH=src python benchmarks/bench_vm_throughput.py --check BENCH_vm.json --quick
+
+``--check`` gates on the fused/unfused *speedup ratio*, not absolute
+steps/sec: the ratio cancels host-machine speed, so the same baseline
+file gates CI runners and developer laptops alike.  Absolute numbers
+are recorded for the trajectory but never compared across machines.
 """
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+import pytest
 
 from repro.benchsuite.suite import program_for
 from repro.frontend.codegen import compile_source
@@ -29,23 +51,32 @@ def main() {
 """
 
 
-def test_interpreter_arithmetic(benchmark):
+# -- pytest-benchmark entry points ----------------------------------------------------
+
+
+@pytest.fixture(params=[True, False], ids=["fused", "unfused"])
+def fuse(request):
+    return request.param
+
+
+def test_interpreter_arithmetic(benchmark, fuse):
     program = compile_source(ARITH)
 
     def run():
-        vm = Interpreter(program, jikes_config())
+        vm = Interpreter(program, jikes_config(fuse=fuse))
         vm.run()
         return vm
 
     vm = benchmark(run)
     benchmark.extra_info["mips"] = round(vm.steps / 1e6, 3)
+    benchmark.extra_info["fused_dispatches"] = vm.fused_dispatches
 
 
-def test_interpreter_calls(benchmark):
+def test_interpreter_calls(benchmark, fuse):
     program = compile_source(CALLS)
 
     def run():
-        vm = Interpreter(program, jikes_config())
+        vm = Interpreter(program, jikes_config(fuse=fuse))
         vm.run()
         return vm
 
@@ -71,3 +102,126 @@ def test_parser_only(benchmark):
     source = get_benchmark("soot").source("tiny")
     tree = benchmark(lambda: parse(source))
     assert tree.classes
+
+
+# -- script mode: machine-readable summary / baseline gate ----------------------------
+
+#: The committed trajectory covers the two kernels plus one real
+#: benchsuite program (virtual dispatch + allocation + fields).
+def _workloads(quick: bool):
+    size = "tiny" if quick else "small"
+    return {
+        "arith": compile_source(ARITH),
+        "calls": compile_source(CALLS),
+        f"jess-{size}": program_for("jess", size),
+    }
+
+
+def _measure(program, fuse: bool, repeats: int) -> tuple[int, float]:
+    """(deterministic step count, best-of-N wall seconds)."""
+    best = float("inf")
+    steps = 0
+    for _ in range(repeats):
+        vm = Interpreter(program, jikes_config(fuse=fuse))
+        started = time.perf_counter()
+        vm.run()
+        elapsed = time.perf_counter() - started
+        best = min(best, elapsed)
+        steps = vm.steps
+    return steps, best
+
+
+def collect_summary(quick: bool = False, repeats: int | None = None) -> dict:
+    if repeats is None:
+        repeats = 3 if quick else 5
+    workloads = {}
+    for name, program in _workloads(quick).items():
+        steps, fused_s = _measure(program, fuse=True, repeats=repeats)
+        _, plain_s = _measure(program, fuse=False, repeats=repeats)
+        fused_sps = steps / fused_s
+        plain_sps = steps / plain_s
+        workloads[name] = {
+            "steps": steps,
+            "fused_steps_per_sec": round(fused_sps),
+            "unfused_steps_per_sec": round(plain_sps),
+            "speedup": round(fused_sps / plain_sps, 3),
+        }
+    return {
+        "version": 1,
+        "quick": quick,
+        "python": sys.version.split()[0],
+        "workloads": workloads,
+    }
+
+
+def check_against_baseline(
+    summary: dict, baseline: dict, max_regress: float
+) -> list[str]:
+    """Return a list of failure messages (empty = pass).
+
+    Gate: each workload's fused/unfused speedup must stay within
+    ``max_regress`` of the baseline's speedup.  Workload names are
+    matched by kernel prefix so a ``--quick`` check (jess-tiny) can run
+    against a full baseline (jess-small).
+    """
+    failures = []
+    base_by_prefix = {
+        name.split("-")[0]: entry for name, entry in baseline["workloads"].items()
+    }
+    for name, entry in summary["workloads"].items():
+        base = base_by_prefix.get(name.split("-")[0])
+        if base is None:
+            continue
+        floor = base["speedup"] * (1.0 - max_regress)
+        if entry["speedup"] < floor:
+            failures.append(
+                f"{name}: fused speedup {entry['speedup']:.2f}x fell below "
+                f"{floor:.2f}x (baseline {base['speedup']:.2f}x - {max_regress:.0%})"
+            )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description="VM throughput summary")
+    parser.add_argument("--write", metavar="PATH", help="write the summary as JSON")
+    parser.add_argument(
+        "--check", metavar="PATH", help="gate against a baseline JSON file"
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="smaller workloads / fewer repeats"
+    )
+    parser.add_argument(
+        "--max-regress",
+        type=float,
+        default=0.15,
+        help="allowed fractional speedup regression vs baseline (default 0.15)",
+    )
+    args = parser.parse_args(argv)
+
+    summary = collect_summary(quick=args.quick)
+    text = json.dumps(summary, indent=2) + "\n"
+    if args.write:
+        with open(args.write, "w") as handle:
+            handle.write(text)
+        print(f"wrote {args.write}", file=sys.stderr)
+    else:
+        print(text, end="")
+
+    if args.check:
+        with open(args.check) as handle:
+            baseline = json.load(handle)
+        failures = check_against_baseline(summary, baseline, args.max_regress)
+        for line in failures:
+            print(f"FAIL {line}", file=sys.stderr)
+        if failures:
+            return 1
+        speedups = ", ".join(
+            f"{name} {entry['speedup']:.2f}x"
+            for name, entry in summary["workloads"].items()
+        )
+        print(f"OK fused speedups within bounds: {speedups}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -18,15 +18,18 @@ from repro.inlining.static_heur import StaticSizePolicy, TrivialOnlyPolicy
 
 
 def jit_only_cache(
-    program: Program, cost_model: CostModel, level: int = 0
+    program: Program, cost_model: CostModel, level: int = 0, fuse: bool = True
 ) -> CodeCache:
     """A code cache with every method precompiled at ``level``.
 
     * level 0 — trivial inlining only,
     * level 1 — static size-threshold inlining,
     * any other value — raw baseline code, no inlining at all.
+
+    ``fuse`` controls superinstruction fusion (host-level dispatch only;
+    never affects calling behavior or profiles).
     """
-    cache = CodeCache(program, cost_model)
+    cache = CodeCache(program, cost_model, fuse=fuse)
     if level == 0:
         policy = TrivialOnlyPolicy(program)
     elif level == 1:

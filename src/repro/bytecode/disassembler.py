@@ -75,6 +75,56 @@ def _render_instr(
     return " ".join(parts)
 
 
+def disassemble_fused(program: Program) -> str:
+    """Render every method's *quickened* instruction stream.
+
+    Shows what the interpreter actually dispatches after superinstruction
+    fusion: group heads print the fused name with their covered span and
+    summed cost, interior slots are elided.  Debugging aid for the fusion
+    pass (``repro-mini disasm --fused``); not assembler round-trippable.
+    """
+    # Imported lazily: the vm layer sits above bytecode, and this view
+    # is a debugging aid, not part of the assembler round-trip.
+    from repro.vm.costmodel import jikes_cost_model
+    from repro.vm.fuse import FUSE_BASE, FUSED_ARITY, FUSED_NAMES
+    from repro.vm.runtime import CompiledMethod
+
+    cost_model = jikes_cost_model()
+    lines: list[str] = []
+    total_sites = 0
+    total_span = 0
+    total_instrs = 0
+    for function in program.functions:
+        method = CompiledMethod(function, cost_model, opt_level=0)
+        total_sites += method.fused_sites
+        total_span += method.fused_span
+        total_instrs += len(method.ops)
+        lines.append(
+            f"{function.qualified_name}/{function.num_params}: "
+            f"{len(method.ops)} instrs, {method.fused_sites} fused sites "
+            f"covering {method.fused_span}"
+        )
+        pc = 0
+        while pc < len(method.fops):
+            op = method.fops[pc]
+            if op >= FUSE_BASE:
+                arity = FUSED_ARITY[op]
+                lines.append(
+                    f"  {pc:4d}  {FUSED_NAMES[op]}"
+                    f"  [{arity} ops, cost {method.fcosts[pc]}]"
+                )
+                pc += arity
+            else:
+                lines.append(f"  {pc:4d}  {function.code[pc]}")
+                pc += 1
+        lines.append("")
+    lines.append(
+        f"total: {total_sites} fused sites covering {total_span} of "
+        f"{total_instrs} instructions"
+    )
+    return "\n".join(lines) + "\n"
+
+
 def disassemble(program: Program) -> str:
     """Render a whole program as assembler text."""
     lines: list[str] = []

@@ -74,6 +74,16 @@ class Op(enum.IntEnum):
 #: Branching opcodes whose ``a`` operand is a bytecode index.
 JUMP_OPS = frozenset({Op.JUMP, Op.JUMP_IF_FALSE, Op.JUMP_IF_TRUE})
 
+
+def jump_targets(code) -> set[int]:
+    """The set of pcs that are targets of some jump in ``code``.
+
+    Shared by the optimizer passes (which must not rewrite across basic-
+    block boundaries) and the superinstruction fuser (which must not fuse
+    a group whose interior a jump could land in).
+    """
+    return {instr.a for instr in code if instr.op in JUMP_OPS}
+
 #: Opcodes that unconditionally transfer control away (no fall-through).
 TERMINATOR_OPS = frozenset({Op.JUMP, Op.RETURN, Op.RETURN_VAL})
 

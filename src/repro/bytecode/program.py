@@ -67,6 +67,7 @@ class Program:
         self._class_by_name: dict[str, int] = {}
         self._selector_ids: dict[tuple[str, int], int] = {}
         self.entry_index: int | None = None
+        self._field_templates: list[list] | None = None
 
     # -- registration -------------------------------------------------------
 
@@ -161,6 +162,24 @@ class Program:
                 function = self.functions[func_index]
                 sid = self.selector_id(*function.selector)
                 cls.vtable[sid] = func_index
+        self._field_templates = None
+
+    def field_default_templates(self) -> list[list]:
+        """Per-class field-default lists, indexed by class index.
+
+        Computed once and shared by every interpreter over this program
+        (``NEW`` copies the template per allocation), instead of each
+        ``Interpreter.__init__`` re-deriving the ``field_defaults or
+        zeros`` fallback.  Invalidated by :meth:`build_vtables`.
+        """
+        templates = self._field_templates
+        if templates is None:
+            templates = [
+                cls.field_defaults if cls.field_defaults else [0] * cls.num_fields
+                for cls in self.classes
+            ]
+            self._field_templates = templates
+        return templates
 
     def resolve_virtual(self, class_index: int, selector_id: int) -> int:
         """Resolve a virtual dispatch to a function index."""

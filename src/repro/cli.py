@@ -11,7 +11,9 @@ Usage::
                                 [--warm-start] [--strict]
     repro-mini serve [--host H] [--port P] [--root DIR] [--decay F]
     repro-mini report trace_file
-    repro-mini disasm program.mini
+    repro-mini bench [--benchmarks a,b] [--profilers cbs,timer] [--seeds 1,2]
+                     [--size S] [--vm jikes|j9] [--jobs N] [--json]
+    repro-mini disasm program.mini [--fused]
     repro-mini check program.mini
 
 (or ``python -m repro.cli ...``).  ``--trace`` records the run's
@@ -84,8 +86,10 @@ def _profiler_for(args):
 
 def _cmd_run(args) -> int:
     program = _load(args.file)
-    config = config_named(args.vm)
-    cache = jit_only_cache(program, config.cost_model, level=args.opt)
+    config = config_named(args.vm, fuse=not args.no_fuse)
+    cache = jit_only_cache(
+        program, config.cost_model, level=args.opt, fuse=config.fuse
+    )
     vm = Interpreter(program, config, cache)
 
     tracer = None
@@ -252,6 +256,11 @@ def _cmd_run(args) -> int:
             f"compile_time={vm.code_cache.compile_time}",
             file=sys.stderr,
         )
+        print(
+            f"-- fusion: sites={vm.code_cache.fused_sites} "
+            f"dispatches={vm.fused_dispatches} deopts={vm.fusion_deopts}",
+            file=sys.stderr,
+        )
     if isinstance(profiler, CBSLoopProfiler):
         print("-- sampled loop profile:", file=sys.stderr)
         print(profiler.describe(program), file=sys.stderr)
@@ -315,8 +324,122 @@ def _cmd_report(args) -> int:
     return 0
 
 
+def _cmd_bench(args) -> int:
+    """Fan a (benchmark × profiler × seed) sweep across worker processes.
+
+    Cell results are deterministic and ordered, so the output is
+    identical for any ``--jobs`` value; only the wall-clock line (and
+    the ``wall_seconds`` JSON field) varies.
+    """
+    import json
+    import time
+
+    from repro.benchsuite.suite import BENCHMARKS
+    from repro.harness.parallel import PROFILER_FACTORIES, SweepCell, run_sweep
+    from repro.harness.report import render_table
+
+    names = args.benchmarks.split(",") if args.benchmarks else list(BENCHMARKS)
+    unknown = sorted(set(names) - set(BENCHMARKS))
+    if unknown:
+        raise SystemExit(
+            f"unknown benchmark(s): {', '.join(unknown)} "
+            f"(available: {', '.join(BENCHMARKS)})"
+        )
+    profilers = args.profilers.split(",")
+    bad = sorted(set(profilers) - set(PROFILER_FACTORIES))
+    if bad:
+        raise SystemExit(
+            f"unknown profiler(s): {', '.join(bad)} "
+            f"(available: {', '.join(sorted(PROFILER_FACTORIES))})"
+        )
+    seeds = [int(s) for s in args.seeds.split(",")]
+
+    cells: list[SweepCell] = []
+    for name in names:
+        for profiler in profilers:
+            if profiler == "cbs":
+                # Only CBS consumes a PRNG seed; other profilers get one
+                # cell per benchmark regardless of the seed list.
+                for seed in seeds:
+                    cells.append(
+                        SweepCell(
+                            benchmark=name,
+                            size=args.size,
+                            profiler="cbs",
+                            profiler_args=(
+                                ("stride", args.stride),
+                                ("samples_per_tick", args.samples),
+                                ("seed", seed),
+                            ),
+                            vm=args.vm,
+                        )
+                    )
+            else:
+                cells.append(
+                    SweepCell(
+                        benchmark=name, size=args.size, profiler=profiler, vm=args.vm
+                    )
+                )
+
+    started = time.perf_counter()
+    results = run_sweep(cells, args.jobs)
+    elapsed = time.perf_counter() - started
+
+    def cell_seed(cell):
+        return dict(cell.profiler_args).get("seed")
+
+    if args.json:
+        payload = {
+            "size": args.size,
+            "vm": args.vm,
+            "jobs": args.jobs,
+            "wall_seconds": round(elapsed, 3),
+            "cells": [
+                {
+                    "benchmark": r.cell.benchmark,
+                    "profiler": r.cell.profiler,
+                    "seed": cell_seed(r.cell),
+                    "accuracy": r.accuracy,
+                    "overhead_percent": r.overhead_percent,
+                    "samples": r.samples,
+                    "vtime": r.time,
+                }
+                for r in results
+            ],
+        }
+        print(json.dumps(payload, indent=2))
+    else:
+        rows = [
+            [
+                r.cell.benchmark,
+                r.cell.profiler,
+                cell_seed(r.cell) if cell_seed(r.cell) is not None else "-",
+                r.accuracy,
+                r.overhead_percent,
+                r.samples,
+                r.time,
+            ]
+            for r in results
+        ]
+        print(
+            render_table(
+                ["Benchmark", "Profiler", "Seed", "Acc", "Ovhd%", "Samples", "VTime"],
+                rows,
+                title=f"Profiler sweep ({args.size}, {args.vm})",
+            )
+        )
+        print(f"{len(results)} cells in {elapsed:.1f}s (jobs={args.jobs})")
+    return 0
+
+
 def _cmd_disasm(args) -> int:
-    print(disassemble(_load(args.file)))
+    program = _load(args.file)
+    if args.fused:
+        from repro.bytecode.disassembler import disassemble_fused
+
+        print(disassemble_fused(program), end="")
+    else:
+        print(disassemble(program))
     return 0
 
 
@@ -403,6 +526,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument("--opt", type=int, choices=[0, 1], default=0)
     run.add_argument(
+        "--no-fuse",
+        action="store_true",
+        help="disable superinstruction fusion (classic one-op dispatch; "
+        "bit-identical results, slower host execution)",
+    )
+    run.add_argument(
         "--adaptive", action="store_true", help="enable adaptive recompilation"
     )
     run.add_argument("--stats", action="store_true", help="print VM statistics")
@@ -467,8 +596,49 @@ def build_parser() -> argparse.ArgumentParser:
     )
     report.set_defaults(handler=_cmd_report)
 
+    bench = commands.add_parser(
+        "bench", help="run a profiler sweep over the benchmark suite, in parallel"
+    )
+    bench.add_argument(
+        "--benchmarks",
+        metavar="A,B,...",
+        help="comma-separated benchmark names (default: the whole suite)",
+    )
+    bench.add_argument(
+        "--profilers",
+        default="cbs",
+        metavar="P,Q,...",
+        help="comma-separated profilers: cbs, timer, exhaustive (default cbs)",
+    )
+    bench.add_argument(
+        "--seeds",
+        default="1234",
+        metavar="S,T,...",
+        help="comma-separated CBS seeds; one cell per seed (default 1234)",
+    )
+    bench.add_argument("--size", default="small")
+    bench.add_argument("--vm", choices=["jikes", "j9"], default="jikes")
+    bench.add_argument("--stride", type=int, default=3)
+    bench.add_argument("--samples", type=int, default=16)
+    bench.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes; results are identical for any value",
+    )
+    bench.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+    bench.set_defaults(handler=_cmd_bench)
+
     disasm = commands.add_parser("disasm", help="print a program's bytecode")
     disasm.add_argument("file")
+    disasm.add_argument(
+        "--fused",
+        action="store_true",
+        help="show the quickened (superinstruction) stream the VM dispatches",
+    )
     disasm.set_defaults(handler=_cmd_disasm)
 
     check = commands.add_parser("check", help="parse and type check only")

@@ -2,7 +2,7 @@
 
 Usage::
 
-    python -m repro.harness table1 [--quick] [--vm jikes|j9]
+    python -m repro.harness table1 [--quick] [--vm jikes|j9] [--jobs N]
     python -m repro.harness table2a [--quick]
     python -m repro.harness table2b [--quick]
     python -m repro.harness table3 [--vm jikes|j9] [--quick]
@@ -27,13 +27,13 @@ from repro.harness.convergence import (
 )
 
 
-def _convergence(quick, vm):
+def _convergence(quick, vm, jobs):
     name = "jess" if quick else "javac"
     curves = compare_convergence(name, size="tiny" if quick else "small", vm_name=vm)
     return f"Convergence on {name} ({vm}):\n" + render_curves(curves)
 
 
-def _phase(quick, vm):
+def _phase(quick, vm, jobs):
     results = phase_change_study("jbb", size="tiny" if quick else "small", vm_name=vm)
     lines = ["Phase-change tracking on jbb (late-phase accuracy vs whole-run):"]
     for r in results:
@@ -43,16 +43,18 @@ def _phase(quick, vm):
         )
     return "\n".join(lines)
 
+#: Every experiment takes (quick, vm, jobs); those whose work is not a
+#: flat cell sweep (figures, fleet, convergence) ignore ``jobs``.
 _EXPERIMENTS = {
-    "table1": lambda quick, vm: table1.main(quick, vm),
-    "table2a": lambda quick, vm: table2.main(quick, "jikes"),
-    "table2b": lambda quick, vm: table2.main(quick, "j9"),
-    "table3": lambda quick, vm: table3.main(quick, vm),
-    "table3-j9": lambda quick, vm: table3.main(quick, "j9"),
-    "figure1": lambda quick, vm: figure1.main(quick, vm),
-    "figure5-jikes": lambda quick, vm: figure5.main(quick, "jikes"),
-    "figure5-j9": lambda quick, vm: figure5.main(quick, "j9"),
-    "fleet": lambda quick, vm: fleet.main(quick, vm),
+    "table1": lambda quick, vm, jobs: table1.main(quick, vm, jobs=jobs),
+    "table2a": lambda quick, vm, jobs: table2.main(quick, "jikes", jobs=jobs),
+    "table2b": lambda quick, vm, jobs: table2.main(quick, "j9", jobs=jobs),
+    "table3": lambda quick, vm, jobs: table3.main(quick, vm, jobs=jobs),
+    "table3-j9": lambda quick, vm, jobs: table3.main(quick, "j9", jobs=jobs),
+    "figure1": lambda quick, vm, jobs: figure1.main(quick, vm),
+    "figure5-jikes": lambda quick, vm, jobs: figure5.main(quick, "jikes"),
+    "figure5-j9": lambda quick, vm, jobs: figure5.main(quick, "j9"),
+    "fleet": lambda quick, vm, jobs: fleet.main(quick, vm),
     "convergence": _convergence,
     "phase-change": _phase,
 }
@@ -79,12 +81,20 @@ def main(argv: list[str] | None = None) -> int:
         default="jikes",
         help="VM configuration (for experiments that take one)",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for cell sweeps (tables); results are "
+        "identical for any value",
+    )
     args = parser.parse_args(argv)
 
     names = sorted(_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:
         started = time.time()
-        print(_EXPERIMENTS[name](args.quick, args.vm))
+        print(_EXPERIMENTS[name](args.quick, args.vm, args.jobs))
         print(f"[{name} completed in {time.time() - started:.1f}s]")
         print()
     return 0

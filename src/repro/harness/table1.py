@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.benchsuite.suite import BENCHMARKS
+from repro.harness.parallel import pmap
 from repro.harness.report import render_table
 from repro.harness.runner import measure_baseline
 
@@ -29,24 +30,34 @@ class Table1Row:
     large_kb: float
 
 
+def _baseline_stats(item: tuple[str, str, str]) -> tuple[int, int, int]:
+    """Worker for :func:`pmap`: top-level (picklable), scalars out."""
+    name, size, vm_name = item
+    result = measure_baseline(name, size, vm_name)
+    return result.time, result.methods_executed, result.bytecode_bytes
+
+
 def compute_table1(
     benchmarks: list[str] | None = None,
     vm_name: str = "jikes",
     sizes: tuple[str, str] = ("small", "large"),
+    jobs: int = 1,
 ) -> list[Table1Row]:
     names = benchmarks if benchmarks is not None else list(BENCHMARKS)
+    items = [(name, size, vm_name) for name in names for size in sizes]
+    stats = pmap(_baseline_stats, items, jobs)
     rows: list[Table1Row] = []
-    for name in names:
-        results = [measure_baseline(name, size, vm_name) for size in sizes]
+    for i, name in enumerate(names):
+        small, large = stats[2 * i], stats[2 * i + 1]
         rows.append(
             Table1Row(
                 benchmark=name,
-                small_time_s=results[0].time * SECONDS_PER_UNIT,
-                small_methods=results[0].methods_executed,
-                small_kb=results[0].bytecode_bytes / 1024.0,
-                large_time_s=results[1].time * SECONDS_PER_UNIT,
-                large_methods=results[1].methods_executed,
-                large_kb=results[1].bytecode_bytes / 1024.0,
+                small_time_s=small[0] * SECONDS_PER_UNIT,
+                small_methods=small[1],
+                small_kb=small[2] / 1024.0,
+                large_time_s=large[0] * SECONDS_PER_UNIT,
+                large_methods=large[1],
+                large_kb=large[2] / 1024.0,
             )
         )
     return rows
@@ -71,7 +82,7 @@ def render_table1(rows: list[Table1Row]) -> str:
     )
 
 
-def main(quick: bool = False, vm_name: str = "jikes") -> str:
+def main(quick: bool = False, vm_name: str = "jikes", jobs: int = 1) -> str:
     names = list(BENCHMARKS)[:4] if quick else None
     sizes = ("tiny", "small") if quick else ("small", "large")
-    return render_table1(compute_table1(names, vm_name, sizes))
+    return render_table1(compute_table1(names, vm_name, sizes, jobs=jobs))

@@ -11,9 +11,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.benchsuite.suite import BENCHMARKS
+from repro.harness.parallel import SweepCell, run_sweep
 from repro.harness.report import render_grid
-from repro.harness.runner import measure_profiler
-from repro.profiling.cbs import CBSProfiler
 
 #: The paper's parameter grid.
 STRIDES = [1, 3, 7, 15, 31, 63]
@@ -38,32 +37,43 @@ def compute_table2(
     strides: list[int] | None = None,
     samples_values: list[int] | None = None,
     seed: int = 1234,
+    jobs: int = 1,
 ) -> list[GridCell]:
     names = benchmarks if benchmarks is not None else list(BENCHMARKS)
     strides = strides if strides is not None else STRIDES
     samples_values = samples_values if samples_values is not None else SAMPLES
+    # One sweep cell per (grid point, benchmark); the flattened order
+    # matches the original nested loops, so per-point averages sum the
+    # same floats in the same order for any job count.
+    points = [(stride, samples) for stride in strides for samples in samples_values]
+    sweep = [
+        SweepCell(
+            benchmark=name,
+            size=size,
+            profiler="cbs",
+            profiler_args=(
+                ("stride", stride),
+                ("samples_per_tick", samples),
+                ("seed", seed),
+            ),
+            vm=vm_name,
+        )
+        for stride, samples in points
+        for name in names
+    ]
+    results = run_sweep(sweep, jobs)
     cells: list[GridCell] = []
-    for stride in strides:
-        for samples in samples_values:
-            overheads: list[float] = []
-            accuracies: list[float] = []
-            for name in names:
-                run = measure_profiler(
-                    name,
-                    size,
-                    CBSProfiler(stride=stride, samples_per_tick=samples, seed=seed),
-                    vm_name=vm_name,
-                )
-                overheads.append(run.overhead_percent)
-                accuracies.append(run.accuracy)
-            cells.append(
-                GridCell(
-                    stride=stride,
-                    samples=samples,
-                    overhead_percent=sum(overheads) / len(overheads),
-                    accuracy=sum(accuracies) / len(accuracies),
-                )
+    per_point = len(names)
+    for i, (stride, samples) in enumerate(points):
+        chunk = results[i * per_point : (i + 1) * per_point]
+        cells.append(
+            GridCell(
+                stride=stride,
+                samples=samples,
+                overhead_percent=sum(r.overhead_percent for r in chunk) / per_point,
+                accuracy=sum(r.accuracy for r in chunk) / per_point,
             )
+        )
     return cells
 
 
@@ -88,7 +98,7 @@ def render_table2(cells: list[GridCell], vm_name: str) -> str:
     )
 
 
-def main(quick: bool = False, vm_name: str = "jikes") -> str:
+def main(quick: bool = False, vm_name: str = "jikes", jobs: int = 1) -> str:
     if quick:
         cells = compute_table2(
             vm_name,
@@ -96,7 +106,8 @@ def main(quick: bool = False, vm_name: str = "jikes") -> str:
             size="tiny",
             strides=QUICK_STRIDES,
             samples_values=QUICK_SAMPLES,
+            jobs=jobs,
         )
     else:
-        cells = compute_table2(vm_name)
+        cells = compute_table2(vm_name, jobs=jobs)
     return render_table2(cells, vm_name)

@@ -11,10 +11,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.benchsuite.suite import BENCHMARKS
+from repro.harness.parallel import SweepCell, run_sweep
 from repro.harness.report import render_table
-from repro.harness.runner import measure_profiler
-from repro.profiling.cbs import CBSProfiler
-from repro.profiling.timer_sampler import TimerProfiler
 
 #: The per-VM CBS configurations the paper selected for Table 3.
 CBS_PARAMS = {"jikes": (3, 16), "j9": (7, 32)}
@@ -35,6 +33,7 @@ def compute_table3(
     benchmarks: list[str] | None = None,
     sizes: tuple[str, ...] = ("small", "large"),
     use_timer_base: bool | None = None,
+    jobs: int = 1,
 ) -> list[Table3Row]:
     """``use_timer_base``: Jikes RVM's base profiler is its original
     timer mechanism; J9 has no timer DCG profiler, so its base is CBS
@@ -43,30 +42,48 @@ def compute_table3(
     stride, samples = CBS_PARAMS[vm_name]
     if use_timer_base is None:
         use_timer_base = vm_name == "jikes"
+    if use_timer_base:
+        base_spec = ("timer", ())
+    else:
+        base_spec = ("cbs", (("stride", 1), ("samples_per_tick", 1)))
+    cbs_args = (("stride", stride), ("samples_per_tick", samples))
+    # Two cells per row, interleaved [base, cbs, base, cbs, ...] so the
+    # sweep keeps adjacent cells on the same benchmark (warm baselines).
+    specs = [(size, name) for size in sizes for name in names]
+    sweep: list[SweepCell] = []
+    for size, name in specs:
+        sweep.append(
+            SweepCell(
+                benchmark=name,
+                size=size,
+                profiler=base_spec[0],
+                profiler_args=base_spec[1],
+                vm=vm_name,
+            )
+        )
+        sweep.append(
+            SweepCell(
+                benchmark=name,
+                size=size,
+                profiler="cbs",
+                profiler_args=cbs_args,
+                vm=vm_name,
+            )
+        )
+    results = run_sweep(sweep, jobs)
     rows: list[Table3Row] = []
-    for size in sizes:
-        for name in names:
-            if use_timer_base:
-                base_profiler = TimerProfiler()
-            else:
-                base_profiler = CBSProfiler(stride=1, samples_per_tick=1)
-            base = measure_profiler(name, size, base_profiler, vm_name=vm_name)
-            cbs = measure_profiler(
-                name,
-                size,
-                CBSProfiler(stride=stride, samples_per_tick=samples),
-                vm_name=vm_name,
+    for i, (size, name) in enumerate(specs):
+        base, cbs = results[2 * i], results[2 * i + 1]
+        rows.append(
+            Table3Row(
+                benchmark=name,
+                size=size,
+                base_overhead=base.overhead_percent,
+                base_accuracy=base.accuracy,
+                cbs_overhead=cbs.overhead_percent,
+                cbs_accuracy=cbs.accuracy,
             )
-            rows.append(
-                Table3Row(
-                    benchmark=name,
-                    size=size,
-                    base_overhead=base.overhead_percent,
-                    base_accuracy=base.accuracy,
-                    cbs_overhead=cbs.overhead_percent,
-                    cbs_accuracy=cbs.accuracy,
-                )
-            )
+        )
     return rows
 
 
@@ -108,11 +125,11 @@ def render_table3(rows: list[Table3Row], vm_name: str) -> str:
     )
 
 
-def main(quick: bool = False, vm_name: str = "jikes") -> str:
+def main(quick: bool = False, vm_name: str = "jikes", jobs: int = 1) -> str:
     if quick:
         rows = compute_table3(
-            vm_name, benchmarks=list(BENCHMARKS)[:4], sizes=("tiny",)
+            vm_name, benchmarks=list(BENCHMARKS)[:4], sizes=("tiny",), jobs=jobs
         )
     else:
-        rows = compute_table3(vm_name)
+        rows = compute_table3(vm_name, jobs=jobs)
     return render_table3(rows, vm_name)

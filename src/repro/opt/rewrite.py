@@ -3,12 +3,9 @@
 from __future__ import annotations
 
 from repro.bytecode.instr import Instr
-from repro.bytecode.opcodes import JUMP_OPS
+from repro.bytecode.opcodes import JUMP_OPS, jump_targets
 
-
-def jump_targets(code: list[Instr]) -> set[int]:
-    """The set of pcs that are targets of some jump."""
-    return {instr.a for instr in code if instr.op in JUMP_OPS}
+__all__ = ["jump_targets", "compact", "slot_reference_counts"]
 
 
 def compact(code: list[Instr], keep: list[bool]) -> list[Instr]:

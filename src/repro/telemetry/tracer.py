@@ -93,6 +93,15 @@ class Tracer:
         self._warm_starts = metrics.counter(
             "fleet.warm_starts", "adaptive controllers seeded from fleet profiles"
         )
+        self._fused_dispatches = metrics.counter(
+            "fusion.dispatches", "superinstruction dispatches executed"
+        )
+        self._fusion_deopts = metrics.counter(
+            "fusion.deopts", "fused groups re-executed step-wise at a tick boundary"
+        )
+        self._fused_sites = metrics.gauge(
+            "fusion.sites", "superinstruction sites compiled by the code cache"
+        )
         self._samples_per_window = metrics.histogram(
             "cbs.samples_per_window",
             SAMPLES_PER_WINDOW_BUCKETS,
@@ -143,6 +152,20 @@ class Tracer:
         self._calls.inc()
         if self.trace_calls:
             self.events.append(CallTraced(ts, caller, callsite_pc, callee))
+
+    def on_fusion_summary(self, dispatches: int, deopts: int, sites: int) -> None:
+        """Record one run's superinstruction statistics.
+
+        Metrics only, deliberately no events: fusion is a host-level
+        dispatch strategy, and the *event stream* of a fused run must
+        stay byte-identical to the unfused run it mirrors.  Dispatch and
+        deopt figures arrive as per-run deltas (counters accumulate over
+        a steady-state sequence); ``sites`` is the code cache's running
+        total, so it lands in a gauge.
+        """
+        self._fused_dispatches.inc(dispatches)
+        self._fusion_deopts.inc(deopts)
+        self._fused_sites.set(sites)
 
     # -- profiler-facing hook methods ---------------------------------------------
 

@@ -45,6 +45,11 @@ class VMConfig:
     #: Interpreter instruction budget (guards against runaway programs).
     max_steps: int = 4_000_000_000
 
+    #: Superinstruction fusion (quickened dispatch; see repro.vm.fuse).
+    #: Purely host-level: a fused run is bit-identical to an unfused one
+    #: in virtual time, ticks, yieldpoints, steps, and profiles.
+    fuse: bool = True
+
     def replace(self, **kwargs) -> "VMConfig":
         return replace(self, **kwargs)
 

@@ -6,6 +6,20 @@ every instruction; a virtual timer fires whenever time crosses the next
 tick boundary, driving the sampling profilers through the yieldpoint
 mechanism described in the paper.
 
+Dispatch is *quickened*: the loop executes each method's fused views
+(``CompiledMethod.fops``/``fcosts``), in which hot adjacent instruction
+groups were rewritten into superinstructions by :mod:`repro.vm.fuse`.
+A superinstruction charges the summed cost of its components up front;
+whenever that charge would cross the next tick boundary the loop
+*de-quickens* — swaps its cached views back to the raw arrays and
+re-executes the group one instruction at a time — so the tick fires on
+exactly the same instruction at exactly the same virtual time as the
+unfused interpreter, and everything the paper measures (time, ticks,
+yieldpoints, steps, DCG edges, telemetry) is bit-identical.  The raw
+view is restored immediately after the timer is serviced; because a
+pending tick always fires within the group (the group's cost crossed
+the boundary) the de-quickened window never survives a call or return.
+
 Profiling hook points:
 
 * **timer tick** — ``profiler.handle_timer(vm)`` (sets the yieldpoint
@@ -30,6 +44,7 @@ from __future__ import annotations
 
 from repro.bytecode.opcodes import Op
 from repro.bytecode.program import Program
+from repro.vm import fuse as fusion
 from repro.vm.config import VMConfig, jikes_config
 from repro.vm.errors import (
     ArrayBoundsError,
@@ -42,6 +57,11 @@ from repro.vm.errors import (
 from repro.vm.runtime import CodeCache, CompiledMethod
 from repro.vm.values import HeapArray, HeapObject
 from repro.vm.yieldpoint import BACKEDGE, EPILOGUE, PROLOGUE, YP_NONE
+
+#: Locals list installed on recycled frames between uses, so a pooled
+#: frame doesn't pin its last activation's heap values alive.  The call
+#: path always assigns fresh locals before a recycled frame runs.
+_FREED_LOCALS: list = []
 
 
 class Frame:
@@ -73,14 +93,11 @@ class Interpreter:
         self.code_cache = (
             code_cache
             if code_cache is not None
-            else CodeCache(program, self.config.cost_model)
+            else CodeCache(program, self.config.cost_model, fuse=self.config.fuse)
         )
         self.vtables: list[dict[int, int]] = [cls.vtable for cls in program.classes]
         self.class_field_counts = [cls.num_fields for cls in program.classes]
-        self.class_field_defaults = [
-            cls.field_defaults if cls.field_defaults else [0] * cls.num_fields
-            for cls in program.classes
-        ]
+        self.class_field_defaults = program.field_default_templates()
         self.class_ancestors = [cls.ancestors for cls in program.classes]
 
         # Mutable execution state.
@@ -96,6 +113,11 @@ class Interpreter:
 
         self._seen = [False] * len(program.functions)
         self.methods_executed = 0
+
+        # Host-level dispatch statistics (no virtual-time effect).
+        self.fused_dispatches = 0
+        self.fusion_deopts = 0
+        self._frame_pool: list[Frame] = []
 
         # Hooks.
         self.profiler = None
@@ -136,7 +158,7 @@ class Interpreter:
         callee = self.frames[-1]
         caller = self.frames[-2]
         pc = callee.callsite_pc
-        origin = caller.method.code[pc].origin
+        origin = caller.method.origins[pc]
         if origin is None:
             return (caller.method.index, pc, callee.method.index)
         return (origin[0], origin[1], callee.method.index)
@@ -144,10 +166,35 @@ class Interpreter:
     def stack_snapshot(self, max_depth: int | None = None) -> list[int]:
         """Function indices from the top of stack downward."""
         frames = self.frames
-        indices = [frame.method.index for frame in reversed(frames)]
-        if max_depth is not None:
-            indices = indices[:max_depth]
-        return indices
+        if max_depth is None:
+            return [frame.method.index for frame in reversed(frames)]
+        if max_depth <= 0:
+            return []
+        # Slice the deep end off *before* walking: profilers sample with
+        # small depth limits on arbitrarily deep stacks.
+        return [frame.method.index for frame in reversed(frames[-max_depth:])]
+
+    def _step_limit(
+        self, time, steps, call_count, fused_n, deopts, frame, method, pc
+    ) -> StepLimitExceeded:
+        """Sync loop-local state and build the instruction-budget error.
+
+        Returned (not raised) so every check site in the hot loop is a
+        single ``raise self._step_limit(...)`` expression; syncing here
+        keeps ``vm.time``/``vm.steps`` accurate for the caller even
+        though the loop aborts mid-dispatch.
+        """
+        self.time = time
+        self.steps = steps
+        self.call_count = call_count
+        self.fused_dispatches = fused_n
+        self.fusion_deopts = deopts
+        frame.pc = pc
+        return StepLimitExceeded(
+            f"exceeded {self.config.max_steps} interpreted instructions",
+            method.function.qualified_name,
+            pc,
+        )
 
     # -- timer -------------------------------------------------------------------
 
@@ -193,10 +240,18 @@ class Interpreter:
             self.methods_executed += 1
         frame = Frame(entry_method, [0] * entry_method.num_locals, -1)
         self.frames.append(frame)
+        fused_before = self.fused_dispatches
+        deopts_before = self.fusion_deopts
         try:
             return self._loop()
         finally:
             self.finished = True
+            if self.telemetry is not None:
+                self.telemetry.on_fusion_summary(
+                    self.fused_dispatches - fused_before,
+                    self.fusion_deopts - deopts_before,
+                    self.code_cache.fused_sites,
+                )
 
     def _loop(self):  # noqa: C901 - deliberately one flat hot loop
         config = self.config
@@ -208,6 +263,7 @@ class Interpreter:
         observer = self.call_observer
         telemetry = self.telemetry
         seen = self._seen
+        pool = self._frame_pool
 
         prologue_yp = config.prologue_yieldpoints
         epilogue_yp = config.epilogue_yieldpoints
@@ -223,10 +279,13 @@ class Interpreter:
 
         frame = frames[-1]
         method = frame.method
-        ops = method.ops
+        ops = method.fops
         aarg = method.a
         barg = method.b
-        costs = method.costs
+        costs = method.fcosts
+        faarg = method.fa
+        fbarg = method.fb
+        origins = method.origins
         stack = frame.stack
         locals_ = frame.locals
         pc = 0
@@ -235,6 +294,12 @@ class Interpreter:
         next_tick = self.next_tick
         steps = self.steps
         call_count = self.call_count
+        fused_n = self.fused_dispatches
+        deopts = self.fusion_deopts
+        #: True while a pending tick forces step-wise (raw) execution of
+        #: a fused group; reset when the tick fires.  The tick always
+        #: fires inside the group, so this never survives a frame switch.
+        dequickened = False
 
         # Opcode constants as plain ints (IntEnum comparison is slower).
         OP_PUSH = int(Op.PUSH)
@@ -275,324 +340,774 @@ class Interpreter:
         OP_PRINT = int(Op.PRINT)
         OP_NOP = int(Op.NOP)
 
+        # Superinstruction constants (see repro.vm.fuse).
+        FUSE_BASE = fusion.FUSE_BASE
+        F_LOAD_LOAD = fusion.F_LOAD_LOAD
+        F_LOAD_PUSH = fusion.F_LOAD_PUSH
+        F_LOAD_ADD = fusion.F_LOAD_ADD
+        F_LOAD_SUB = fusion.F_LOAD_SUB
+        F_LOAD_MUL = fusion.F_LOAD_MUL
+        F_LOAD_GETFIELD = fusion.F_LOAD_GETFIELD
+        F_PUSH_STORE = fusion.F_PUSH_STORE
+        F_PUSH_ADD = fusion.F_PUSH_ADD
+        F_PUSH_SUB = fusion.F_PUSH_SUB
+        F_PUSH_MUL = fusion.F_PUSH_MUL
+        F_PUSH_MOD = fusion.F_PUSH_MOD
+        F_STORE_LOAD = fusion.F_STORE_LOAD
+        F_LT_JIF = fusion.F_LT_JIF
+        F_LE_JIF = fusion.F_LE_JIF
+        F_GT_JIF = fusion.F_GT_JIF
+        F_GE_JIF = fusion.F_GE_JIF
+        F_EQ_JIF = fusion.F_EQ_JIF
+        F_NE_JIF = fusion.F_NE_JIF
+        F_LOAD_RET = fusion.F_LOAD_RET
+        F_LOAD_PUSH_ADD = fusion.F_LOAD_PUSH_ADD
+        F_LOAD_PUSH_SUB = fusion.F_LOAD_PUSH_SUB
+        F_LOAD_PUSH_MUL = fusion.F_LOAD_PUSH_MUL
+        F_LOAD_LOAD_ADD = fusion.F_LOAD_LOAD_ADD
+        F_PUSH_ADD_STORE = fusion.F_PUSH_ADD_STORE
+        F_LOAD_GETFIELD_STORE = fusion.F_LOAD_GETFIELD_STORE
+        F_LOAD_PUSH_ADD_STORE = fusion.F_LOAD_PUSH_ADD_STORE
+        F_LOAD_PUSH_ADD_RET = fusion.F_LOAD_PUSH_ADD_RET
+        F_LOAD_PUSH_LT_JIF = fusion.F_LOAD_PUSH_LT_JIF
+        F_LOAD_PUSH_LE_JIF = fusion.F_LOAD_PUSH_LE_JIF
+        F_LOAD_PUSH_GT_JIF = fusion.F_LOAD_PUSH_GT_JIF
+        F_LOAD_PUSH_GE_JIF = fusion.F_LOAD_PUSH_GE_JIF
+        F_LOAD_PUSH_EQ_JIF = fusion.F_LOAD_PUSH_EQ_JIF
+        F_LOAD_PUSH_NE_JIF = fusion.F_LOAD_PUSH_NE_JIF
+        F_LOAD_LOAD_LT_JIF = fusion.F_LOAD_LOAD_LT_JIF
+        F_LOAD_LOAD_LE_JIF = fusion.F_LOAD_LOAD_LE_JIF
+        F_LOAD_LOAD_GT_JIF = fusion.F_LOAD_LOAD_GT_JIF
+        F_LOAD_LOAD_GE_JIF = fusion.F_LOAD_LOAD_GE_JIF
+
         result = None
         while True:
             op = ops[pc]
-            time += costs[pc]
-            steps += 1
-            if time >= next_tick:
-                # Sync cached state, fire the timer, reload.
-                self.time = time
-                self.steps = steps
-                self.call_count = call_count
-                frame.pc = pc
-                self._fire_timer()
-                time = self.time
-                next_tick = self.next_tick
-                if steps >= max_steps:
-                    raise StepLimitExceeded(
-                        f"exceeded {max_steps} interpreted instructions",
-                        method.function.qualified_name,
-                        pc,
-                    )
+            if op < FUSE_BASE:
+                # ---- raw instruction path (identical to the classic loop) ----
+                time += costs[pc]
+                steps += 1
+                if time >= next_tick:
+                    # Sync cached state, fire the timer, reload.
+                    self.time = time
+                    self.steps = steps
+                    self.call_count = call_count
+                    self.fused_dispatches = fused_n
+                    self.fusion_deopts = deopts
+                    frame.pc = pc
+                    self._fire_timer()
+                    time = self.time
+                    next_tick = self.next_tick
+                    if steps >= max_steps:
+                        raise self._step_limit(
+                            time, steps, call_count, fused_n, deopts, frame, method, pc
+                        )
+                    if dequickened:
+                        # The pending tick that forced step-wise execution
+                        # has fired; resume superinstruction dispatch.
+                        dequickened = False
+                        ops = method.fops
+                        costs = method.fcosts
 
-            if op == OP_LOAD:
-                stack.append(locals_[aarg[pc]])
-                pc += 1
-            elif op == OP_PUSH:
-                stack.append(aarg[pc])
-                pc += 1
-            elif op == OP_GETFIELD:
-                obj = stack[-1]
-                if obj is None:
-                    raise NullPointerError(
-                        "field read on null", method.function.qualified_name, pc
-                    )
-                stack[-1] = obj.fields[aarg[pc]]
-                pc += 1
-            elif op == OP_STORE:
-                locals_[aarg[pc]] = stack.pop()
-                pc += 1
-            elif op == OP_ADD:
-                right = stack.pop()
-                stack[-1] += right
-                pc += 1
-            elif op == OP_SUB:
-                right = stack.pop()
-                stack[-1] -= right
-                pc += 1
-            elif op == OP_MUL:
-                right = stack.pop()
-                stack[-1] *= right
-                pc += 1
-            elif op == OP_LT:
-                right = stack.pop()
-                stack[-1] = 1 if stack[-1] < right else 0
-                pc += 1
-            elif op == OP_LE:
-                right = stack.pop()
-                stack[-1] = 1 if stack[-1] <= right else 0
-                pc += 1
-            elif op == OP_GT:
-                right = stack.pop()
-                stack[-1] = 1 if stack[-1] > right else 0
-                pc += 1
-            elif op == OP_GE:
-                right = stack.pop()
-                stack[-1] = 1 if stack[-1] >= right else 0
-                pc += 1
-            elif op == OP_EQ:
-                right = stack.pop()
-                left = stack[-1]
-                if isinstance(left, int) and isinstance(right, int):
-                    stack[-1] = 1 if left == right else 0
-                else:
-                    stack[-1] = 1 if left is right else 0
-                pc += 1
-            elif op == OP_NE:
-                right = stack.pop()
-                left = stack[-1]
-                if isinstance(left, int) and isinstance(right, int):
-                    stack[-1] = 1 if left != right else 0
-                else:
-                    stack[-1] = 1 if left is not right else 0
-                pc += 1
-            elif op == OP_JUMP:
-                target = aarg[pc]
-                if target <= pc:
-                    # Loop backedge: a yieldpoint site in the Jikes scheme.
-                    if backedge_yp and self.yieldpoint_flag > 0:
-                        self.time = time
-                        frame.pc = pc
-                        self._take_yieldpoint(BACKEDGE)
-                        time = self.time
-                pc = target
-            elif op == OP_JUMP_IF_FALSE:
-                if stack.pop() == 0:
-                    pc = aarg[pc]
-                else:
+                if op == OP_LOAD:
+                    stack.append(locals_[aarg[pc]])
                     pc += 1
-            elif op == OP_JUMP_IF_TRUE:
-                if stack.pop() != 0:
-                    pc = aarg[pc]
-                else:
+                elif op == OP_PUSH:
+                    stack.append(aarg[pc])
                     pc += 1
-            elif op == OP_CALL_STATIC or op == OP_CALL_VIRTUAL:
-                if op == OP_CALL_VIRTUAL:
-                    argc = barg[pc]
-                    receiver = stack[-argc - 1]
-                    if receiver is None:
+                elif op == OP_GETFIELD:
+                    obj = stack[-1]
+                    if obj is None:
                         raise NullPointerError(
-                            "virtual call on null",
+                            "field read on null", method.function.qualified_name, pc
+                        )
+                    stack[-1] = obj.fields[aarg[pc]]
+                    pc += 1
+                elif op == OP_STORE:
+                    locals_[aarg[pc]] = stack.pop()
+                    pc += 1
+                elif op == OP_ADD:
+                    right = stack.pop()
+                    stack[-1] += right
+                    pc += 1
+                elif op == OP_SUB:
+                    right = stack.pop()
+                    stack[-1] -= right
+                    pc += 1
+                elif op == OP_MUL:
+                    right = stack.pop()
+                    stack[-1] *= right
+                    pc += 1
+                elif op == OP_LT:
+                    right = stack.pop()
+                    stack[-1] = 1 if stack[-1] < right else 0
+                    pc += 1
+                elif op == OP_LE:
+                    right = stack.pop()
+                    stack[-1] = 1 if stack[-1] <= right else 0
+                    pc += 1
+                elif op == OP_GT:
+                    right = stack.pop()
+                    stack[-1] = 1 if stack[-1] > right else 0
+                    pc += 1
+                elif op == OP_GE:
+                    right = stack.pop()
+                    stack[-1] = 1 if stack[-1] >= right else 0
+                    pc += 1
+                elif op == OP_EQ:
+                    right = stack.pop()
+                    left = stack[-1]
+                    if isinstance(left, int) and isinstance(right, int):
+                        stack[-1] = 1 if left == right else 0
+                    else:
+                        stack[-1] = 1 if left is right else 0
+                    pc += 1
+                elif op == OP_NE:
+                    right = stack.pop()
+                    left = stack[-1]
+                    if isinstance(left, int) and isinstance(right, int):
+                        stack[-1] = 1 if left != right else 0
+                    else:
+                        stack[-1] = 1 if left is not right else 0
+                    pc += 1
+                elif op == OP_JUMP:
+                    target = aarg[pc]
+                    if target <= pc:
+                        # Loop backedge: a yieldpoint site in the Jikes
+                        # scheme, and a step-limit check site (the limit
+                        # must bind even when no timer ever fires).
+                        if steps >= max_steps:
+                            raise self._step_limit(
+                                time, steps, call_count, fused_n, deopts, frame, method, pc
+                            )
+                        if backedge_yp and self.yieldpoint_flag > 0:
+                            self.time = time
+                            frame.pc = pc
+                            self._take_yieldpoint(BACKEDGE)
+                            time = self.time
+                    pc = target
+                elif op == OP_JUMP_IF_FALSE:
+                    if stack.pop() == 0:
+                        target = aarg[pc]
+                        if target <= pc and steps >= max_steps:
+                            raise self._step_limit(
+                                time, steps, call_count, fused_n, deopts, frame, method, pc
+                            )
+                        pc = target
+                    else:
+                        pc += 1
+                elif op == OP_JUMP_IF_TRUE:
+                    if stack.pop() != 0:
+                        target = aarg[pc]
+                        if target <= pc and steps >= max_steps:
+                            raise self._step_limit(
+                                time, steps, call_count, fused_n, deopts, frame, method, pc
+                            )
+                        pc = target
+                    else:
+                        pc += 1
+                elif op == OP_CALL_STATIC or op == OP_CALL_VIRTUAL:
+                    if steps >= max_steps:
+                        # Calls are the other place the step limit must
+                        # bind without a timer (recursion never crosses
+                        # a backedge).
+                        raise self._step_limit(
+                            time, steps, call_count, fused_n, deopts, frame, method, pc
+                        )
+                    if op == OP_CALL_VIRTUAL:
+                        argc = barg[pc]
+                        receiver = stack[-argc - 1]
+                        if receiver is None:
+                            raise NullPointerError(
+                                "virtual call on null",
+                                method.function.qualified_name,
+                                pc,
+                            )
+                        callee_index = vtables[receiver.class_index][aarg[pc]]
+                        callee = cache_methods[callee_index]
+                        nargs = argc + 1
+                        time += call_virtual_cost
+                    else:
+                        callee = cache_methods[aarg[pc]]
+                        callee_index = callee.index
+                        nargs = barg[pc]
+                        time += call_static_cost
+                    call_count += 1
+                    if not seen[callee_index]:
+                        seen[callee_index] = True
+                        self.methods_executed += 1
+                    if observer is not None:
+                        # Observers may charge vm.time (instrumented modes),
+                        # so sync the cached counter around the call.  The
+                        # call site is reported in baseline coordinates via
+                        # the inline map (see Instr.origin).
+                        self.time = time
+                        origin = origins[pc]
+                        if origin is None:
+                            observer(method.index, pc, callee_index)
+                        else:
+                            observer(origin[0], origin[1], callee_index)
+                        time = self.time
+                    if telemetry is not None:
+                        # Zero virtual cost; baseline coordinates like the
+                        # observer so traced calls line up with the DCG.
+                        origin = origins[pc]
+                        if origin is None:
+                            telemetry.on_call(time, method.index, pc, callee_index)
+                        else:
+                            telemetry.on_call(time, origin[0], origin[1], callee_index)
+                    if len(frames) >= max_frames:
+                        raise StackOverflowError_(
+                            f"guest stack exceeded {max_frames} frames",
                             method.function.qualified_name,
                             pc,
                         )
-                    callee_index = vtables[receiver.class_index][aarg[pc]]
-                    callee = cache_methods[callee_index]
-                    nargs = argc + 1
-                    time += call_virtual_cost
-                else:
-                    callee = cache_methods[aarg[pc]]
-                    callee_index = callee.index
-                    nargs = barg[pc]
-                    time += call_static_cost
-                call_count += 1
-                if not seen[callee_index]:
-                    seen[callee_index] = True
-                    self.methods_executed += 1
-                if observer is not None:
-                    # Observers may charge vm.time (instrumented modes),
-                    # so sync the cached counter around the call.  The
-                    # call site is reported in baseline coordinates via
-                    # the inline map (see Instr.origin).
-                    self.time = time
-                    origin = method.code[pc].origin
-                    if origin is None:
-                        observer(method.index, pc, callee_index)
+                    base = len(stack) - nargs
+                    new_locals = stack[base:]
+                    del stack[base:]
+                    if callee.num_locals > nargs:
+                        new_locals.extend([0] * (callee.num_locals - nargs))
+                    frame.pc = pc + 1  # return address
+                    if pool:
+                        frame = pool.pop()
+                        frame.method = callee
+                        frame.pc = 0
+                        frame.locals = new_locals
+                        frame.callsite_pc = pc
                     else:
-                        observer(origin[0], origin[1], callee_index)
-                    time = self.time
-                if telemetry is not None:
-                    # Zero virtual cost; baseline coordinates like the
-                    # observer so traced calls line up with the DCG.
-                    origin = method.code[pc].origin
-                    if origin is None:
-                        telemetry.on_call(time, method.index, pc, callee_index)
+                        frame = Frame(callee, new_locals, pc)
+                    frames.append(frame)
+                    method = callee
+                    ops = method.fops
+                    aarg = method.a
+                    barg = method.b
+                    costs = method.fcosts
+                    faarg = method.fa
+                    fbarg = method.fb
+                    origins = method.origins
+                    stack = frame.stack
+                    locals_ = frame.locals
+                    pc = 0
+                    if prologue_yp and self.yieldpoint_flag != 0:
+                        self.time = time
+                        self.call_count = call_count
+                        self._take_yieldpoint(PROLOGUE)
+                        time = self.time
+                elif op == OP_RETURN or op == OP_RETURN_VAL:
+                    time += return_cost
+                    if epilogue_yp and self.yieldpoint_flag != 0:
+                        self.time = time
+                        self.call_count = call_count
+                        frame.pc = pc
+                        self._take_yieldpoint(EPILOGUE)
+                        time = self.time
+                    value = stack.pop() if op == OP_RETURN_VAL else None
+                    dead = frames.pop()
+                    if not frames:
+                        result = value
+                        break
+                    del dead.stack[:]
+                    dead.locals = _FREED_LOCALS
+                    pool.append(dead)
+                    frame = frames[-1]
+                    method = frame.method
+                    ops = method.fops
+                    aarg = method.a
+                    barg = method.b
+                    costs = method.fcosts
+                    faarg = method.fa
+                    fbarg = method.fb
+                    origins = method.origins
+                    stack = frame.stack
+                    locals_ = frame.locals
+                    pc = frame.pc
+                    if value is not None or op == OP_RETURN_VAL:
+                        stack.append(value)
+                elif op == OP_PUTFIELD:
+                    value = stack.pop()
+                    obj = stack.pop()
+                    if obj is None:
+                        raise NullPointerError(
+                            "field write on null", method.function.qualified_name, pc
+                        )
+                    obj.fields[aarg[pc]] = value
+                    pc += 1
+                elif op == OP_DUP:
+                    stack.append(stack[-1])
+                    pc += 1
+                elif op == OP_POP:
+                    stack.pop()
+                    pc += 1
+                elif op == OP_PUSH_NULL:
+                    stack.append(None)
+                    pc += 1
+                elif op == OP_DIV or op == OP_MOD:
+                    right = stack.pop()
+                    left = stack[-1]
+                    if right == 0:
+                        raise DivisionByZeroError(
+                            "division by zero", method.function.qualified_name, pc
+                        )
+                    quotient = abs(left) // abs(right)
+                    if (left < 0) != (right < 0):
+                        quotient = -quotient
+                    if op == OP_DIV:
+                        stack[-1] = quotient
                     else:
-                        telemetry.on_call(time, origin[0], origin[1], callee_index)
-                if len(frames) >= max_frames:
-                    raise StackOverflowError_(
-                        f"guest stack exceeded {max_frames} frames",
-                        method.function.qualified_name,
-                        pc,
+                        stack[-1] = left - quotient * right
+                    pc += 1
+                elif op == OP_NEG:
+                    stack[-1] = -stack[-1]
+                    pc += 1
+                elif op == OP_NOT:
+                    stack[-1] = 0 if stack[-1] != 0 else 1
+                    pc += 1
+                elif op == OP_NEW:
+                    class_index = aarg[pc]
+                    stack.append(HeapObject(class_index, field_defaults[class_index]))
+                    pc += 1
+                elif op == OP_IS_EXACT:
+                    obj = stack.pop()
+                    stack.append(
+                        1 if obj is not None and obj.class_index == aarg[pc] else 0
                     )
-                base = len(stack) - nargs
-                new_locals = stack[base:]
-                del stack[base:]
-                if callee.num_locals > nargs:
-                    new_locals.extend([0] * (callee.num_locals - nargs))
-                frame.pc = pc + 1  # return address
-                frame = Frame(callee, new_locals, pc)
-                frames.append(frame)
-                method = callee
-                ops = method.ops
-                aarg = method.a
-                barg = method.b
-                costs = method.costs
-                stack = frame.stack
-                locals_ = frame.locals
-                pc = 0
-                if prologue_yp and self.yieldpoint_flag != 0:
-                    self.time = time
-                    self.call_count = call_count
-                    self._take_yieldpoint(PROLOGUE)
-                    time = self.time
-            elif op == OP_RETURN or op == OP_RETURN_VAL:
-                time += return_cost
-                if epilogue_yp and self.yieldpoint_flag != 0:
-                    self.time = time
-                    self.call_count = call_count
-                    frame.pc = pc
-                    self._take_yieldpoint(EPILOGUE)
-                    time = self.time
-                value = stack.pop() if op == OP_RETURN_VAL else None
-                frames.pop()
-                if not frames:
-                    result = value
-                    break
-                frame = frames[-1]
-                method = frame.method
-                ops = method.ops
-                aarg = method.a
-                barg = method.b
-                costs = method.costs
-                stack = frame.stack
-                locals_ = frame.locals
-                pc = frame.pc
-                if value is not None or op == OP_RETURN_VAL:
-                    stack.append(value)
-            elif op == OP_PUTFIELD:
-                value = stack.pop()
-                obj = stack.pop()
-                if obj is None:
-                    raise NullPointerError(
-                        "field write on null", method.function.qualified_name, pc
-                    )
-                obj.fields[aarg[pc]] = value
-                pc += 1
-            elif op == OP_DUP:
-                stack.append(stack[-1])
-                pc += 1
-            elif op == OP_POP:
-                stack.pop()
-                pc += 1
-            elif op == OP_PUSH_NULL:
-                stack.append(None)
-                pc += 1
-            elif op == OP_DIV or op == OP_MOD:
-                right = stack.pop()
-                left = stack[-1]
-                if right == 0:
-                    raise DivisionByZeroError(
-                        "division by zero", method.function.qualified_name, pc
-                    )
-                quotient = abs(left) // abs(right)
-                if (left < 0) != (right < 0):
-                    quotient = -quotient
-                if op == OP_DIV:
-                    stack[-1] = quotient
-                else:
-                    stack[-1] = left - quotient * right
-                pc += 1
-            elif op == OP_NEG:
-                stack[-1] = -stack[-1]
-                pc += 1
-            elif op == OP_NOT:
-                stack[-1] = 0 if stack[-1] != 0 else 1
-                pc += 1
-            elif op == OP_NEW:
-                class_index = aarg[pc]
-                stack.append(HeapObject(class_index, field_defaults[class_index]))
-                pc += 1
-            elif op == OP_IS_EXACT:
-                obj = stack.pop()
-                stack.append(
-                    1 if obj is not None and obj.class_index == aarg[pc] else 0
-                )
-                pc += 1
-            elif op == OP_GUARD_METHOD:
-                obj = stack.pop()
-                if obj is None:
-                    stack.append(0)
-                else:
-                    target = vtables[obj.class_index].get(aarg[pc])
-                    stack.append(1 if target == barg[pc] else 0)
-                pc += 1
-            elif op == OP_NEW_ARRAY:
-                length = stack.pop()
-                if length < 0:
+                    pc += 1
+                elif op == OP_GUARD_METHOD:
+                    obj = stack.pop()
+                    if obj is None:
+                        stack.append(0)
+                    else:
+                        target = vtables[obj.class_index].get(aarg[pc])
+                        stack.append(1 if target == barg[pc] else 0)
+                    pc += 1
+                elif op == OP_NEW_ARRAY:
+                    length = stack.pop()
+                    if length < 0:
+                        raise VMError(
+                            "negative array length",
+                            method.function.qualified_name,
+                            pc,
+                        )
+                    time += length  # allocation cost scales with size
+                    stack.append(HeapArray(length))
+                    pc += 1
+                elif op == OP_ALOAD:
+                    index = stack.pop()
+                    array = stack.pop()
+                    if array is None:
+                        raise NullPointerError(
+                            "array read on null", method.function.qualified_name, pc
+                        )
+                    elements = array.elements
+                    if index < 0 or index >= len(elements):
+                        raise ArrayBoundsError(
+                            f"index {index} out of bounds (len={len(elements)})",
+                            method.function.qualified_name,
+                            pc,
+                        )
+                    stack.append(elements[index])
+                    pc += 1
+                elif op == OP_ASTORE:
+                    value = stack.pop()
+                    index = stack.pop()
+                    array = stack.pop()
+                    if array is None:
+                        raise NullPointerError(
+                            "array write on null", method.function.qualified_name, pc
+                        )
+                    elements = array.elements
+                    if index < 0 or index >= len(elements):
+                        raise ArrayBoundsError(
+                            f"index {index} out of bounds (len={len(elements)})",
+                            method.function.qualified_name,
+                            pc,
+                        )
+                    elements[index] = value
+                    pc += 1
+                elif op == OP_ARRAY_LEN:
+                    array = stack.pop()
+                    if array is None:
+                        raise NullPointerError(
+                            "len() of null", method.function.qualified_name, pc
+                        )
+                    stack.append(len(array.elements))
+                    pc += 1
+                elif op == OP_PRINT:
+                    self.output.append(stack.pop())
+                    pc += 1
+                elif op == OP_NOP:
+                    pc += 1
+                else:  # pragma: no cover - verifier rejects unknown opcodes
                     raise VMError(
-                        "negative array length",
+                        f"unknown opcode {op}", method.function.qualified_name, pc
+                    )
+            else:
+                # ---- superinstruction path ----
+                cost = costs[pc]
+                if time + cost >= next_tick:
+                    # A tick lands inside this group: de-quicken so it
+                    # fires on exactly the instruction the unfused
+                    # interpreter would fire it on.  (The group's
+                    # cumulative charge crosses the boundary at its last
+                    # nonzero-cost component at the latest, so the tick
+                    # — and the view restore — always happens inside
+                    # the group, before any call or return.)
+                    dequickened = True
+                    deopts += 1
+                    ops = method.ops
+                    costs = method.costs
+                    continue
+                time += cost
+                fused_n += 1
+                if op == F_LOAD_PUSH_LT_JIF:
+                    steps += 4
+                    k, target = fbarg[pc]
+                    if locals_[faarg[pc]] < k:
+                        pc += 4
+                    else:
+                        if target <= pc + 3 and steps >= max_steps:
+                            raise self._step_limit(
+                                time, steps, call_count, fused_n, deopts, frame, method, pc + 3
+                            )
+                        pc = target
+                elif op == F_LOAD_PUSH_ADD_STORE:
+                    steps += 4
+                    k, dst = fbarg[pc]
+                    locals_[dst] = locals_[faarg[pc]] + k
+                    pc += 4
+                elif op == F_PUSH_ADD_STORE:
+                    steps += 3
+                    locals_[fbarg[pc]] = stack.pop() + faarg[pc]
+                    pc += 3
+                elif op == F_LOAD_PUSH_ADD:
+                    steps += 3
+                    stack.append(locals_[faarg[pc]] + fbarg[pc])
+                    pc += 3
+                elif op == F_STORE_LOAD:
+                    steps += 2
+                    # STORE x; LOAD y with no intermediate stack motion:
+                    # replace the top in place (reads y after the store,
+                    # so x == y round-trips correctly).
+                    locals_[faarg[pc]] = stack[-1]
+                    stack[-1] = locals_[fbarg[pc]]
+                    pc += 2
+                elif op == F_LOAD_ADD:
+                    steps += 2
+                    stack[-1] += locals_[faarg[pc]]
+                    pc += 2
+                elif op == F_PUSH_MOD:
+                    steps += 2
+                    # k != 0 guaranteed at fuse time; truncated division
+                    # exactly as the raw MOD handler.
+                    k = faarg[pc]
+                    left = stack[-1]
+                    quotient = abs(left) // abs(k)
+                    if (left < 0) != (k < 0):
+                        quotient = -quotient
+                    stack[-1] = left - quotient * k
+                    pc += 2
+                elif op == F_LOAD_PUSH_MUL:
+                    steps += 3
+                    stack.append(locals_[faarg[pc]] * fbarg[pc])
+                    pc += 3
+                elif op == F_LOAD_PUSH_ADD_RET or op == F_LOAD_RET:
+                    if op == F_LOAD_PUSH_ADD_RET:
+                        steps += 4
+                        value = locals_[faarg[pc]] + fbarg[pc]
+                        epilogue_pc = pc + 3
+                    else:
+                        steps += 2
+                        value = locals_[faarg[pc]]
+                        epilogue_pc = pc + 1
+                    time += return_cost
+                    if epilogue_yp and self.yieldpoint_flag != 0:
+                        self.time = time
+                        self.call_count = call_count
+                        frame.pc = epilogue_pc
+                        self._take_yieldpoint(EPILOGUE)
+                        time = self.time
+                    dead = frames.pop()
+                    if not frames:
+                        result = value
+                        break
+                    del dead.stack[:]
+                    dead.locals = _FREED_LOCALS
+                    pool.append(dead)
+                    frame = frames[-1]
+                    method = frame.method
+                    ops = method.fops
+                    aarg = method.a
+                    barg = method.b
+                    costs = method.fcosts
+                    faarg = method.fa
+                    fbarg = method.fb
+                    origins = method.origins
+                    stack = frame.stack
+                    locals_ = frame.locals
+                    pc = frame.pc
+                    stack.append(value)
+                elif op == F_LOAD_LOAD:
+                    steps += 2
+                    stack.append(locals_[faarg[pc]])
+                    stack.append(locals_[fbarg[pc]])
+                    pc += 2
+                elif op == F_LOAD_PUSH:
+                    steps += 2
+                    stack.append(locals_[faarg[pc]])
+                    stack.append(fbarg[pc])
+                    pc += 2
+                elif op == F_LOAD_GETFIELD:
+                    steps += 2
+                    obj = locals_[faarg[pc]]
+                    if obj is None:
+                        raise NullPointerError(
+                            "field read on null",
+                            method.function.qualified_name,
+                            pc + 1,
+                        )
+                    stack.append(obj.fields[fbarg[pc]])
+                    pc += 2
+                elif op == F_LOAD_GETFIELD_STORE:
+                    steps += 3
+                    obj = locals_[faarg[pc]]
+                    if obj is None:
+                        raise NullPointerError(
+                            "field read on null",
+                            method.function.qualified_name,
+                            pc + 1,
+                        )
+                    offset, dst = fbarg[pc]
+                    locals_[dst] = obj.fields[offset]
+                    pc += 3
+                elif op == F_PUSH_STORE:
+                    steps += 2
+                    locals_[fbarg[pc]] = faarg[pc]
+                    pc += 2
+                elif op == F_PUSH_ADD:
+                    steps += 2
+                    stack[-1] += faarg[pc]
+                    pc += 2
+                elif op == F_PUSH_SUB:
+                    steps += 2
+                    stack[-1] -= faarg[pc]
+                    pc += 2
+                elif op == F_PUSH_MUL:
+                    steps += 2
+                    stack[-1] *= faarg[pc]
+                    pc += 2
+                elif op == F_LOAD_SUB:
+                    steps += 2
+                    stack[-1] -= locals_[faarg[pc]]
+                    pc += 2
+                elif op == F_LOAD_MUL:
+                    steps += 2
+                    stack[-1] *= locals_[faarg[pc]]
+                    pc += 2
+                elif op == F_LOAD_PUSH_SUB:
+                    steps += 3
+                    stack.append(locals_[faarg[pc]] - fbarg[pc])
+                    pc += 3
+                elif op == F_LOAD_LOAD_ADD:
+                    steps += 3
+                    stack.append(locals_[faarg[pc]] + locals_[fbarg[pc]])
+                    pc += 3
+                elif op == F_LOAD_PUSH_LE_JIF:
+                    steps += 4
+                    k, target = fbarg[pc]
+                    if locals_[faarg[pc]] <= k:
+                        pc += 4
+                    else:
+                        if target <= pc + 3 and steps >= max_steps:
+                            raise self._step_limit(
+                                time, steps, call_count, fused_n, deopts, frame, method, pc + 3
+                            )
+                        pc = target
+                elif op == F_LOAD_PUSH_GT_JIF:
+                    steps += 4
+                    k, target = fbarg[pc]
+                    if locals_[faarg[pc]] > k:
+                        pc += 4
+                    else:
+                        if target <= pc + 3 and steps >= max_steps:
+                            raise self._step_limit(
+                                time, steps, call_count, fused_n, deopts, frame, method, pc + 3
+                            )
+                        pc = target
+                elif op == F_LOAD_PUSH_GE_JIF:
+                    steps += 4
+                    k, target = fbarg[pc]
+                    if locals_[faarg[pc]] >= k:
+                        pc += 4
+                    else:
+                        if target <= pc + 3 and steps >= max_steps:
+                            raise self._step_limit(
+                                time, steps, call_count, fused_n, deopts, frame, method, pc + 3
+                            )
+                        pc = target
+                elif op == F_LOAD_PUSH_EQ_JIF:
+                    steps += 4
+                    k, target = fbarg[pc]
+                    left = locals_[faarg[pc]]
+                    # PUSH operands are ints, so the raw EQ's identity
+                    # fallback reduces to False for non-int left values.
+                    if isinstance(left, int) and left == k:
+                        pc += 4
+                    else:
+                        if target <= pc + 3 and steps >= max_steps:
+                            raise self._step_limit(
+                                time, steps, call_count, fused_n, deopts, frame, method, pc + 3
+                            )
+                        pc = target
+                elif op == F_LOAD_PUSH_NE_JIF:
+                    steps += 4
+                    k, target = fbarg[pc]
+                    left = locals_[faarg[pc]]
+                    if not (isinstance(left, int) and left == k):
+                        pc += 4
+                    else:
+                        if target <= pc + 3 and steps >= max_steps:
+                            raise self._step_limit(
+                                time, steps, call_count, fused_n, deopts, frame, method, pc + 3
+                            )
+                        pc = target
+                elif op == F_LOAD_LOAD_LT_JIF:
+                    steps += 4
+                    other, target = fbarg[pc]
+                    if locals_[faarg[pc]] < locals_[other]:
+                        pc += 4
+                    else:
+                        if target <= pc + 3 and steps >= max_steps:
+                            raise self._step_limit(
+                                time, steps, call_count, fused_n, deopts, frame, method, pc + 3
+                            )
+                        pc = target
+                elif op == F_LOAD_LOAD_LE_JIF:
+                    steps += 4
+                    other, target = fbarg[pc]
+                    if locals_[faarg[pc]] <= locals_[other]:
+                        pc += 4
+                    else:
+                        if target <= pc + 3 and steps >= max_steps:
+                            raise self._step_limit(
+                                time, steps, call_count, fused_n, deopts, frame, method, pc + 3
+                            )
+                        pc = target
+                elif op == F_LOAD_LOAD_GT_JIF:
+                    steps += 4
+                    other, target = fbarg[pc]
+                    if locals_[faarg[pc]] > locals_[other]:
+                        pc += 4
+                    else:
+                        if target <= pc + 3 and steps >= max_steps:
+                            raise self._step_limit(
+                                time, steps, call_count, fused_n, deopts, frame, method, pc + 3
+                            )
+                        pc = target
+                elif op == F_LOAD_LOAD_GE_JIF:
+                    steps += 4
+                    other, target = fbarg[pc]
+                    if locals_[faarg[pc]] >= locals_[other]:
+                        pc += 4
+                    else:
+                        if target <= pc + 3 and steps >= max_steps:
+                            raise self._step_limit(
+                                time, steps, call_count, fused_n, deopts, frame, method, pc + 3
+                            )
+                        pc = target
+                elif op == F_LT_JIF:
+                    steps += 2
+                    right = stack.pop()
+                    if stack.pop() < right:
+                        pc += 2
+                    else:
+                        target = faarg[pc]
+                        if target <= pc + 1 and steps >= max_steps:
+                            raise self._step_limit(
+                                time, steps, call_count, fused_n, deopts, frame, method, pc + 1
+                            )
+                        pc = target
+                elif op == F_LE_JIF:
+                    steps += 2
+                    right = stack.pop()
+                    if stack.pop() <= right:
+                        pc += 2
+                    else:
+                        target = faarg[pc]
+                        if target <= pc + 1 and steps >= max_steps:
+                            raise self._step_limit(
+                                time, steps, call_count, fused_n, deopts, frame, method, pc + 1
+                            )
+                        pc = target
+                elif op == F_GT_JIF:
+                    steps += 2
+                    right = stack.pop()
+                    if stack.pop() > right:
+                        pc += 2
+                    else:
+                        target = faarg[pc]
+                        if target <= pc + 1 and steps >= max_steps:
+                            raise self._step_limit(
+                                time, steps, call_count, fused_n, deopts, frame, method, pc + 1
+                            )
+                        pc = target
+                elif op == F_GE_JIF:
+                    steps += 2
+                    right = stack.pop()
+                    if stack.pop() >= right:
+                        pc += 2
+                    else:
+                        target = faarg[pc]
+                        if target <= pc + 1 and steps >= max_steps:
+                            raise self._step_limit(
+                                time, steps, call_count, fused_n, deopts, frame, method, pc + 1
+                            )
+                        pc = target
+                elif op == F_EQ_JIF:
+                    steps += 2
+                    right = stack.pop()
+                    left = stack.pop()
+                    if isinstance(left, int) and isinstance(right, int):
+                        taken = left != right
+                    else:
+                        taken = left is not right
+                    if taken:
+                        target = faarg[pc]
+                        if target <= pc + 1 and steps >= max_steps:
+                            raise self._step_limit(
+                                time, steps, call_count, fused_n, deopts, frame, method, pc + 1
+                            )
+                        pc = target
+                    else:
+                        pc += 2
+                elif op == F_NE_JIF:
+                    steps += 2
+                    right = stack.pop()
+                    left = stack.pop()
+                    if isinstance(left, int) and isinstance(right, int):
+                        taken = left == right
+                    else:
+                        taken = left is right
+                    if taken:
+                        target = faarg[pc]
+                        if target <= pc + 1 and steps >= max_steps:
+                            raise self._step_limit(
+                                time, steps, call_count, fused_n, deopts, frame, method, pc + 1
+                            )
+                        pc = target
+                    else:
+                        pc += 2
+                else:  # pragma: no cover - fuse table and loop agree by test
+                    raise VMError(
+                        f"unknown superinstruction {op}",
                         method.function.qualified_name,
                         pc,
                     )
-                time += length  # allocation cost scales with size
-                stack.append(HeapArray(length))
-                pc += 1
-            elif op == OP_ALOAD:
-                index = stack.pop()
-                array = stack.pop()
-                if array is None:
-                    raise NullPointerError(
-                        "array read on null", method.function.qualified_name, pc
-                    )
-                elements = array.elements
-                if index < 0 or index >= len(elements):
-                    raise ArrayBoundsError(
-                        f"index {index} out of bounds (len={len(elements)})",
-                        method.function.qualified_name,
-                        pc,
-                    )
-                stack.append(elements[index])
-                pc += 1
-            elif op == OP_ASTORE:
-                value = stack.pop()
-                index = stack.pop()
-                array = stack.pop()
-                if array is None:
-                    raise NullPointerError(
-                        "array write on null", method.function.qualified_name, pc
-                    )
-                elements = array.elements
-                if index < 0 or index >= len(elements):
-                    raise ArrayBoundsError(
-                        f"index {index} out of bounds (len={len(elements)})",
-                        method.function.qualified_name,
-                        pc,
-                    )
-                elements[index] = value
-                pc += 1
-            elif op == OP_ARRAY_LEN:
-                array = stack.pop()
-                if array is None:
-                    raise NullPointerError(
-                        "len() of null", method.function.qualified_name, pc
-                    )
-                stack.append(len(array.elements))
-                pc += 1
-            elif op == OP_PRINT:
-                self.output.append(stack.pop())
-                pc += 1
-            elif op == OP_NOP:
-                pc += 1
-            else:  # pragma: no cover - verifier rejects unknown opcodes
-                raise VMError(
-                    f"unknown opcode {op}", method.function.qualified_name, pc
-                )
 
         self.time = time
         self.steps = steps
         self.call_count = call_count
+        self.fused_dispatches = fused_n
+        self.fusion_deopts = deopts
         return result
 
 

@@ -5,6 +5,14 @@ executes :class:`CompiledMethod` versions produced by "compiling" a
 function at some optimization level.  The adaptive system replaces cache
 entries as methods are recompiled; in-flight frames keep running the old
 version, as in a real VM.
+
+Compilation also runs the superinstruction fuser (see
+:mod:`repro.vm.fuse`): alongside the raw ``ops``/``costs`` arrays each
+method carries quickened ``fops``/``fcosts`` views that the interpreter
+dispatches from, falling back to the raw arrays at tick boundaries.
+When fusion is disabled (``CodeCache(fuse=False)``) or finds nothing,
+the quickened views *are* the raw arrays, so the interpreter needs no
+mode check of its own.
 """
 
 from __future__ import annotations
@@ -12,13 +20,16 @@ from __future__ import annotations
 from repro.bytecode.function import FunctionInfo
 from repro.bytecode.program import Program
 from repro.vm.costmodel import CostModel
+from repro.vm.fuse import fuse_method
 
 
 class CompiledMethod:
     """One executable version of a function.
 
     Holds the instruction stream unzipped into parallel opcode/operand/
-    cost arrays for the interpreter hot loop.
+    cost arrays for the interpreter hot loop, plus the fused views and
+    the per-pc inline-map origins (hoisted out of ``code[pc].origin`` so
+    the per-call baseline-coordinate lookup is one list index).
     """
 
     __slots__ = (
@@ -29,13 +40,26 @@ class CompiledMethod:
         "a",
         "b",
         "costs",
+        "origins",
+        "fops",
+        "fcosts",
+        "fa",
+        "fb",
+        "fused_sites",
+        "fused_span",
         "opt_level",
         "num_locals",
         "returns_value",
         "size_bytes",
     )
 
-    def __init__(self, function: FunctionInfo, cost_model: CostModel, opt_level: int):
+    def __init__(
+        self,
+        function: FunctionInfo,
+        cost_model: CostModel,
+        opt_level: int,
+        fuse: bool = True,
+    ):
         self.function = function
         self.index = function.index
         self.code = function.code
@@ -44,6 +68,24 @@ class CompiledMethod:
         self.b = [instr.b for instr in function.code]
         cost_table = cost_model.cost_array()
         self.costs = [cost_table[op] for op in self.ops]
+        self.origins = [instr.origin for instr in function.code]
+        fused = fuse_method(function.code, self.ops, self.costs) if fuse else None
+        if fused is None:
+            self.fops = self.ops
+            self.fcosts = self.costs
+            self.fa = None
+            self.fb = None
+            self.fused_sites = 0
+            self.fused_span = 0
+        else:
+            (
+                self.fops,
+                self.fcosts,
+                self.fa,
+                self.fb,
+                self.fused_sites,
+                self.fused_span,
+            ) = fused
         self.opt_level = opt_level
         self.num_locals = function.num_locals
         self.returns_value = function.returns_value
@@ -52,7 +94,8 @@ class CompiledMethod:
     def __repr__(self) -> str:
         return (
             f"CompiledMethod({self.function.qualified_name}, "
-            f"opt={self.opt_level}, {len(self.ops)} instrs)"
+            f"opt={self.opt_level}, {len(self.ops)} instrs, "
+            f"{self.fused_sites} fused)"
         )
 
 
@@ -61,14 +104,22 @@ class CodeCache:
 
     Also accounts "compilation time": each (re)compilation charges
     ``compile_cost_per_byte[level] * bytecode_size`` to
-    :attr:`compile_time`, which the J9 experiments report on.
+    :attr:`compile_time`, which the J9 experiments report on.  Fusion is
+    a host-level dispatch rewrite, not a guest optimization, so it
+    charges no compile time.
     """
 
-    def __init__(self, program: Program, cost_model: CostModel):
+    def __init__(self, program: Program, cost_model: CostModel, fuse: bool = True):
         self._program = program
         self._cost_model = cost_model
+        self.fuse = fuse
         self.compile_time = 0
         self.compile_count = 0
+        #: Superinstruction sites / raw instructions covered, summed over
+        #: every compilation this cache ever performed (monotonic even
+        #: when installs replace earlier versions).
+        self.fused_sites = 0
+        self.fused_span = 0
         self.methods: list[CompiledMethod] = [
             self._charge_and_compile(function, opt_level=0)
             for function in program.functions
@@ -80,7 +131,10 @@ class CodeCache:
         per_byte = self._cost_model.compile_cost_per_byte.get(opt_level, 2)
         self.compile_time += per_byte * function.bytecode_size()
         self.compile_count += 1
-        return CompiledMethod(function, self._cost_model, opt_level)
+        method = CompiledMethod(function, self._cost_model, opt_level, fuse=self.fuse)
+        self.fused_sites += method.fused_sites
+        self.fused_span += method.fused_span
+        return method
 
     def install(self, function: FunctionInfo, opt_level: int) -> CompiledMethod:
         """Compile ``function`` at ``opt_level`` and make it current.

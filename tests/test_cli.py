@@ -326,3 +326,86 @@ def test_report_rejects_non_trace_file(tmp_path):
     bogus.write_text("hello\n")
     with pytest.raises(SystemExit, match="unrecognized trace format"):
         main(["report", str(bogus)])
+
+
+# -- fusion flags -------------------------------------------------------------------
+
+
+def test_no_fuse_output_identical(program_file, capsys):
+    assert main(["run", program_file]) == 0
+    fused = capsys.readouterr().out
+    assert main(["run", program_file, "--no-fuse"]) == 0
+    assert capsys.readouterr().out == fused
+
+
+def test_no_fuse_stats_vtime_identical(program_file, capsys):
+    assert main(["run", program_file, "--stats"]) == 0
+    fused = capsys.readouterr().err
+    assert main(["run", program_file, "--no-fuse", "--stats"]) == 0
+    plain = capsys.readouterr().err
+
+    def stat_line(text):
+        return next(l for l in text.splitlines() if "vtime=" in l)
+
+    assert stat_line(fused) == stat_line(plain)
+
+
+def test_stats_fusion_line(program_file, capsys):
+    assert main(["run", program_file, "--stats"]) == 0
+    err = capsys.readouterr().err
+    assert "fusion: sites=" in err and "dispatches=" in err
+    assert main(["run", program_file, "--no-fuse", "--stats"]) == 0
+    assert "sites=0 dispatches=0" in capsys.readouterr().err
+
+
+def test_disasm_fused(program_file, capsys):
+    assert main(["disasm", program_file, "--fused"]) == 0
+    out = capsys.readouterr().out
+    assert "fused sites" in out
+    assert "LOAD_PUSH" in out or "PUSH_STORE" in out
+    assert "total:" in out
+
+
+# -- bench (parallel sweep) ---------------------------------------------------------
+
+
+def test_bench_table_output(capsys):
+    assert main(
+        ["bench", "--benchmarks", "jess", "--size", "tiny", "--seeds", "1,2"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "Profiler sweep" in out
+    assert out.count("jess") == 2  # one row per seed
+    assert "2 cells" in out
+
+
+def test_bench_json_deterministic_across_jobs(capsys):
+    import json as json_mod
+
+    argv = [
+        "bench",
+        "--benchmarks",
+        "jess,db",
+        "--profilers",
+        "cbs,timer",
+        "--size",
+        "tiny",
+        "--json",
+    ]
+    assert main(argv + ["--jobs", "1"]) == 0
+    serial = json_mod.loads(capsys.readouterr().out)
+    assert main(argv + ["--jobs", "2"]) == 0
+    parallel = json_mod.loads(capsys.readouterr().out)
+    assert serial["cells"] == parallel["cells"]
+    # benchmark x profiler (timer takes no seed): 2 x 2 cells
+    assert len(serial["cells"]) == 4
+
+
+def test_bench_rejects_unknown_benchmark():
+    with pytest.raises(SystemExit, match="unknown benchmark"):
+        main(["bench", "--benchmarks", "nope"])
+
+
+def test_bench_rejects_unknown_profiler():
+    with pytest.raises(SystemExit, match="unknown profiler"):
+        main(["bench", "--benchmarks", "jess", "--profilers", "gprof"])

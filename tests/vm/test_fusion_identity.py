@@ -1,0 +1,175 @@
+"""Differential suite: the fused interpreter is bit-identical to the
+unfused one.
+
+Fusion is a host-level dispatch strategy.  Everything the paper's
+experiments measure — virtual time, timer ticks, yieldpoints, step
+counts, DCG edge weights, telemetry events — must be unaffected by it.
+Every test here runs the same program twice, once with ``fuse=True``
+and once with ``fuse=False``, and asserts the observable states match
+exactly (no tolerances).
+
+The only permitted difference is the fusion bookkeeping itself:
+``fused_dispatches``/``fusion_deopts`` on the VM and the ``fusion.*``
+metric keys in telemetry snapshots.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.benchsuite.generator import GeneratorConfig, generate_program
+from repro.benchsuite.suite import ADVERSARIAL, BENCHMARKS, program_for
+from repro.frontend.codegen import compile_source
+from repro.profiling.cbs import CBSProfiler
+from repro.profiling.exhaustive import ExhaustiveProfiler
+from repro.profiling.timer_sampler import TimerProfiler
+from repro.telemetry.exporters import export_jsonl
+from repro.telemetry.tracer import Tracer
+from repro.vm.config import config_named, jikes_config
+from repro.vm.interpreter import Interpreter
+
+#: Enough of the suite to cover recursion, virtual dispatch, allocation,
+#: arrays, and string-ish workloads without making the suite slow.
+PROGRAMS = ["compress", "jess", "javac", "mtrt", "jack", "jbb"]
+
+PROFILERS = {
+    "none": lambda: None,
+    "exhaustive": ExhaustiveProfiler,
+    "timer": TimerProfiler,
+    "cbs": lambda: CBSProfiler(stride=3, samples_per_tick=16, seed=7),
+}
+
+
+def _run(program, config, make_profiler, tracer=None):
+    vm = Interpreter(program, config)
+    profiler = make_profiler()
+    if isinstance(profiler, ExhaustiveProfiler):
+        profiler.install(vm)  # call observer, not a sampling profiler
+    elif profiler is not None:
+        vm.attach_profiler(profiler)
+    if tracer is not None:
+        vm.attach_telemetry(tracer)
+    vm.run()
+    return vm, profiler
+
+
+def _state(vm, profiler):
+    dcg = profiler.dcg.edges() if profiler is not None else None
+    return {
+        "output": list(vm.output),
+        "time": vm.time,
+        "steps": vm.steps,
+        "ticks": vm.ticks,
+        "calls": vm.call_count,
+        "methods": vm.methods_executed,
+        "dcg": dcg,
+    }
+
+
+def assert_identical(program, vm_name="jikes", profiler="none", **overrides):
+    fused_cfg = config_named(vm_name, fuse=True, **overrides)
+    plain_cfg = config_named(vm_name, fuse=False, **overrides)
+    make = PROFILERS[profiler]
+    fused_vm, fused_prof = _run(program, fused_cfg, make)
+    plain_vm, plain_prof = _run(program, plain_cfg, make)
+    assert _state(fused_vm, fused_prof) == _state(plain_vm, plain_prof)
+    # The fused run actually exercised superinstructions (otherwise this
+    # suite proves nothing) and the unfused run never did.
+    assert fused_vm.code_cache.fused_sites > 0
+    assert fused_vm.fused_dispatches > 0
+    assert plain_vm.fused_dispatches == 0
+    return fused_vm, plain_vm
+
+
+@pytest.mark.parametrize("name", PROGRAMS)
+@pytest.mark.parametrize("profiler", ["none", "exhaustive", "cbs"])
+def test_benchsuite_identical_jikes(name, profiler):
+    assert_identical(program_for(name, "tiny"), "jikes", profiler)
+
+
+@pytest.mark.parametrize("name", ["compress", "javac", "jbb"])
+def test_benchsuite_identical_timer_profiler(name):
+    assert_identical(program_for(name, "tiny"), "jikes", "timer")
+
+
+@pytest.mark.parametrize("name", ["compress", "javac", "mtrt"])
+def test_benchsuite_identical_j9(name):
+    assert_identical(program_for(name, "tiny"), "j9", "cbs")
+
+
+def test_adversarial_identical():
+    program = compile_source(ADVERSARIAL.source("tiny"))
+    assert_identical(program, "jikes", "cbs")
+
+
+@pytest.mark.parametrize("seed", [1, 2, 3, 4, 5])
+def test_generated_programs_identical(seed):
+    program = generate_program(
+        GeneratorConfig(num_classes=3, methods_per_class=3, seed=seed)
+    )
+    assert_identical(program, "jikes", "exhaustive")
+
+
+@pytest.mark.parametrize("interval", [97, 523, 1009])
+def test_small_timer_intervals_stress_deopt_path(interval):
+    """Tiny prime intervals land ticks inside fused groups constantly,
+    hammering the de-quicken slow path."""
+    program = program_for("compress", "tiny")
+    fused_vm, _ = assert_identical(
+        program, "jikes", "cbs", timer_interval=interval
+    )
+    assert fused_vm.fusion_deopts > 0
+
+
+def test_large_size_spot_check():
+    assert_identical(program_for("jess", "small"), "jikes", "cbs")
+
+
+def _trace_lines(program, config, tmp_path, label):
+    tracer = Tracer()
+    vm = Interpreter(program, config)
+    vm.attach_profiler(CBSProfiler(stride=3, samples_per_tick=16, seed=7))
+    vm.attach_telemetry(tracer)
+    vm.run()
+    path = tmp_path / f"{label}.jsonl"
+    export_jsonl(tracer, str(path))
+    return path.read_text().splitlines()
+
+
+def test_telemetry_jsonl_traces_identical(tmp_path):
+    """Event streams are byte-identical; metrics differ only in the
+    ``fusion.*`` keys (dispatch counters and the sites gauge)."""
+    program = program_for("javac", "tiny")
+    fused = _trace_lines(program, jikes_config(fuse=True), tmp_path, "fused")
+    plain = _trace_lines(program, jikes_config(fuse=False), tmp_path, "plain")
+    assert len(fused) == len(plain)
+    # Header and every event line: byte-identical.
+    assert fused[:-1] == plain[:-1]
+    fused_metrics = json.loads(fused[-1])["metrics"]
+    plain_metrics = json.loads(plain[-1])["metrics"]
+
+    def strip_fusion(snapshot):
+        return {k: v for k, v in snapshot.items() if not k.startswith("fusion.")}
+
+    assert strip_fusion(fused_metrics) == strip_fusion(plain_metrics)
+    assert fused_metrics["fusion.dispatches"]["value"] > 0
+
+
+def test_fusion_metrics_accumulate_across_runs():
+    """Dispatches/deopts are per-run deltas into counters; sites is a
+    gauge set to the cache's running total (no double counting)."""
+    program = compile_source(
+        "def main() { var t = 0;"
+        " for (var i = 0; i < 200; i = i + 1) { t = t + i; } print(t); }"
+    )
+    tracer = Tracer()
+    vm = Interpreter(program, jikes_config())
+    vm.attach_telemetry(tracer)
+    vm.run()
+    once = tracer.metrics.snapshot()["fusion.dispatches"]["value"]
+    vm.run()
+    snapshot = tracer.metrics.snapshot()
+    assert snapshot["fusion.dispatches"]["value"] == 2 * once
+    assert snapshot["fusion.sites"]["value"] == vm.code_cache.fused_sites

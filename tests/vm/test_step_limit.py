@@ -1,0 +1,91 @@
+"""Regression tests: ``max_steps`` binds without the timer's help.
+
+The original interpreter only compared ``steps`` against ``max_steps``
+inside the timer-tick branch, so a VM configured with a large
+``timer_interval`` (or a runaway program whose loop body outpaced the
+tick cadence) could blow far past its instruction budget — or never
+stop at all if no tick ever fired.  The limit is now also enforced at
+call dispatch and on backward jumps, the two program points every
+unbounded execution must cross.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.frontend.codegen import compile_source
+from repro.vm.config import jikes_config
+from repro.vm.errors import StepLimitExceeded
+from repro.vm.interpreter import Interpreter
+
+#: A timer interval no test program ever reaches: proves the limit
+#: binds even when no tick fires.
+NO_TICKS = 10**15
+
+LOOP = """
+def main() {
+  var t = 0;
+  for (var i = 0; i < 100000000; i = i + 1) {
+    t = t + i;
+  }
+  print(t);
+}
+"""
+
+RECURSION = """
+def spin(n: int): int {
+  if (n <= 0) { return 0; }
+  return spin(n - 1);
+}
+def main() { print(spin(100000000)); }
+"""
+
+
+def _run_limited(source: str, fuse: bool, max_steps: int = 50_000):
+    program = compile_source(source)
+    config = jikes_config(timer_interval=NO_TICKS, max_steps=max_steps, fuse=fuse)
+    vm = Interpreter(program, config)
+    with pytest.raises(StepLimitExceeded):
+        vm.run()
+    return vm
+
+
+@pytest.mark.parametrize("fuse", [True, False])
+def test_loop_hits_limit_without_any_tick(fuse):
+    vm = _run_limited(LOOP, fuse)
+    # Enforced at the backedge: overshoot is at most one loop body, not
+    # one timer interval.
+    assert vm.steps < 50_000 + 50
+
+
+@pytest.mark.parametrize("fuse", [True, False])
+def test_recursion_hits_limit_without_any_tick(fuse):
+    """Recursion never crosses a loop backedge; the call-dispatch check
+    must bind instead (deep recursion would otherwise only stop at the
+    frame limit)."""
+    vm = _run_limited(RECURSION, fuse, max_steps=10_000)
+    assert vm.steps < 10_000 + 50
+
+
+def test_fused_and_unfused_stop_at_the_same_point():
+    fused = _run_limited(LOOP, fuse=True)
+    plain = _run_limited(LOOP, fuse=False)
+    assert fused.steps == plain.steps
+    assert fused.time == plain.time
+
+
+def test_limit_still_enforced_at_timer_ticks():
+    # The historical path still works when ticks do fire.
+    program = compile_source(LOOP)
+    config = jikes_config(timer_interval=1_000, max_steps=30_000)
+    vm = Interpreter(program, config)
+    with pytest.raises(StepLimitExceeded):
+        vm.run()
+    assert vm.steps >= 30_000
+
+
+def test_generous_limit_unaffected():
+    program = compile_source("def main() { print(41 + 1); }")
+    vm = Interpreter(program, jikes_config(timer_interval=NO_TICKS))
+    vm.run()
+    assert vm.output == [42]
