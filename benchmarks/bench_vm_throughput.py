@@ -51,6 +51,33 @@ def main() {
 """
 
 
+def virtcalls_source(num_classes: int, iterations: int = 12000) -> str:
+    """A virtual-dispatch kernel with a ``num_classes``-way receiver mix.
+
+    Sixteen receivers cycle through the class mix, so a 2-class mix
+    exercises the polymorphic IC arms, a 4-class mix the overflow list,
+    and a 16-class mix the megamorphic flat-table fallback.
+    """
+    lines = ["class V0 { def f(x: int): int { return x + 1; } }"]
+    for k in range(1, num_classes):
+        lines.append(
+            f"class V{k} extends V0 "
+            f"{{ def f(x: int): int {{ return x + {k + 1}; }} }}"
+        )
+    lines.append("def main() {")
+    lines.append("  var objs = new V0[16];")
+    for i in range(16):
+        lines.append(f"  objs[{i}] = new V{i % num_classes}();")
+    lines.append("  var t = 0;")
+    lines.append(
+        f"  for (var i = 0; i < {iterations}; i = i + 1) "
+        "{ t = (t + objs[i % 16].f(t)) % 65521; }"
+    )
+    lines.append("  print(t);")
+    lines.append("}")
+    return "\n".join(lines)
+
+
 # -- pytest-benchmark entry points ----------------------------------------------------
 
 
@@ -106,28 +133,55 @@ def test_parser_only(benchmark):
 
 # -- script mode: machine-readable summary / baseline gate ----------------------------
 
-#: The committed trajectory covers the two kernels plus one real
-#: benchsuite program (virtual dispatch + allocation + fields).
+#: The committed trajectory covers the two kernels, the virtual-call
+#: mixes, plus one real benchsuite program (virtual dispatch +
+#: allocation + fields).
 def _workloads(quick: bool):
     size = "tiny" if quick else "small"
+    iterations = 4000 if quick else 12000
     return {
         "arith": compile_source(ARITH),
         "calls": compile_source(CALLS),
+        "virtcalls2": compile_source(virtcalls_source(2, iterations)),
+        "virtcalls4": compile_source(virtcalls_source(4, iterations)),
+        "virtcalls16": compile_source(virtcalls_source(16, iterations)),
         f"jess-{size}": program_for("jess", size),
     }
 
 
-def _measure(program, fuse: bool, repeats: int) -> tuple[int, float]:
-    """(deterministic step count, best-of-N wall seconds)."""
-    best = float("inf")
+#: Absolute floors on the IC-on/IC-off throughput ratio.  The jess floor
+#: is the tentpole acceptance criterion (inline caches must pay for
+#: themselves on real virtual-call-heavy code); arith/calls floors only
+#: bound the overhead IC quickening may impose on code with few or no
+#: virtual calls.
+IC_SPEEDUP_FLOORS = {"jess": 1.25, "arith": 0.95, "calls": 0.95}
+
+#: Host-timing configurations measured per repeat, interleaved.
+_CONFIGS = (
+    ("fused_ic", True, True),
+    ("fused_noic", True, False),
+    ("unfused", False, True),
+)
+
+
+def _measure(program, repeats: int) -> tuple[int, dict[str, float]]:
+    """(deterministic step count, best-of-N wall seconds per config).
+
+    The three configurations run *interleaved* within one process —
+    config A, B, C, then A, B, C again — so host noise (frequency
+    drift, cache state, GC) hits all of them alike; sequential
+    best-of-N blocks can disagree by ±10% on a busy machine.
+    """
+    best = {name: float("inf") for name, _, _ in _CONFIGS}
     steps = 0
     for _ in range(repeats):
-        vm = Interpreter(program, jikes_config(fuse=fuse))
-        started = time.perf_counter()
-        vm.run()
-        elapsed = time.perf_counter() - started
-        best = min(best, elapsed)
-        steps = vm.steps
+        for name, fuse, ic in _CONFIGS:
+            vm = Interpreter(program, jikes_config(fuse=fuse, ic=ic))
+            started = time.perf_counter()
+            vm.run()
+            elapsed = time.perf_counter() - started
+            best[name] = min(best[name], elapsed)
+            steps = vm.steps
     return steps, best
 
 
@@ -136,18 +190,21 @@ def collect_summary(quick: bool = False, repeats: int | None = None) -> dict:
         repeats = 3 if quick else 5
     workloads = {}
     for name, program in _workloads(quick).items():
-        steps, fused_s = _measure(program, fuse=True, repeats=repeats)
-        _, plain_s = _measure(program, fuse=False, repeats=repeats)
-        fused_sps = steps / fused_s
-        plain_sps = steps / plain_s
+        steps, best = _measure(program, repeats=repeats)
+        fused_sps = steps / best["fused_ic"]
+        noic_sps = steps / best["fused_noic"]
+        plain_sps = steps / best["unfused"]
         workloads[name] = {
             "steps": steps,
             "fused_steps_per_sec": round(fused_sps),
             "unfused_steps_per_sec": round(plain_sps),
             "speedup": round(fused_sps / plain_sps, 3),
+            "ic_steps_per_sec": round(fused_sps),
+            "noic_steps_per_sec": round(noic_sps),
+            "ic_speedup": round(fused_sps / noic_sps, 3),
         }
     return {
-        "version": 1,
+        "version": 2,
         "quick": quick,
         "python": sys.version.split()[0],
         "workloads": workloads,
@@ -159,24 +216,46 @@ def check_against_baseline(
 ) -> list[str]:
     """Return a list of failure messages (empty = pass).
 
-    Gate: each workload's fused/unfused speedup must stay within
-    ``max_regress`` of the baseline's speedup.  Workload names are
-    matched by kernel prefix so a ``--quick`` check (jess-tiny) can run
-    against a full baseline (jess-small).
+    Gates, all on *ratios* (they cancel host-machine speed, so the same
+    baseline file gates CI runners and developer laptops alike):
+
+    * each workload's fused/unfused speedup must stay within
+      ``max_regress`` of the baseline's speedup;
+    * likewise the IC-on/IC-off speedup (skipped for baselines predating
+      the IC fields);
+    * the absolute :data:`IC_SPEEDUP_FLOORS` (jess ≥ 1.25x etc.) hold
+      regardless of the baseline.
+
+    Workload names are matched by kernel prefix so a ``--quick`` check
+    (jess-tiny) can run against a full baseline (jess-small).
     """
     failures = []
     base_by_prefix = {
         name.split("-")[0]: entry for name, entry in baseline["workloads"].items()
     }
     for name, entry in summary["workloads"].items():
-        base = base_by_prefix.get(name.split("-")[0])
-        if base is None:
-            continue
-        floor = base["speedup"] * (1.0 - max_regress)
-        if entry["speedup"] < floor:
+        prefix = name.split("-")[0]
+        base = base_by_prefix.get(prefix)
+        if base is not None:
+            floor = base["speedup"] * (1.0 - max_regress)
+            if entry["speedup"] < floor:
+                failures.append(
+                    f"{name}: fused speedup {entry['speedup']:.2f}x fell below "
+                    f"{floor:.2f}x (baseline {base['speedup']:.2f}x - {max_regress:.0%})"
+                )
+            if "ic_speedup" in base:
+                ic_floor = base["ic_speedup"] * (1.0 - max_regress)
+                if entry["ic_speedup"] < ic_floor:
+                    failures.append(
+                        f"{name}: IC speedup {entry['ic_speedup']:.2f}x fell "
+                        f"below {ic_floor:.2f}x (baseline "
+                        f"{base['ic_speedup']:.2f}x - {max_regress:.0%})"
+                    )
+        hard_floor = IC_SPEEDUP_FLOORS.get(prefix)
+        if hard_floor is not None and entry["ic_speedup"] < hard_floor:
             failures.append(
-                f"{name}: fused speedup {entry['speedup']:.2f}x fell below "
-                f"{floor:.2f}x (baseline {base['speedup']:.2f}x - {max_regress:.0%})"
+                f"{name}: IC speedup {entry['ic_speedup']:.2f}x is below the "
+                f"hard floor {hard_floor:.2f}x"
             )
     return failures
 
@@ -216,10 +295,12 @@ def main(argv: list[str] | None = None) -> int:
         if failures:
             return 1
         speedups = ", ".join(
-            f"{name} {entry['speedup']:.2f}x"
+            f"{name} {entry['speedup']:.2f}x/{entry['ic_speedup']:.2f}x"
             for name, entry in summary["workloads"].items()
         )
-        print(f"OK fused speedups within bounds: {speedups}", file=sys.stderr)
+        print(
+            f"OK fused/IC speedups within bounds: {speedups}", file=sys.stderr
+        )
     return 0
 
 

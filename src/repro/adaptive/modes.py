@@ -18,7 +18,11 @@ from repro.inlining.static_heur import StaticSizePolicy, TrivialOnlyPolicy
 
 
 def jit_only_cache(
-    program: Program, cost_model: CostModel, level: int = 0, fuse: bool = True
+    program: Program,
+    cost_model: CostModel,
+    level: int = 0,
+    fuse: bool = True,
+    ic: bool = True,
 ) -> CodeCache:
     """A code cache with every method precompiled at ``level``.
 
@@ -26,10 +30,11 @@ def jit_only_cache(
     * level 1 — static size-threshold inlining,
     * any other value — raw baseline code, no inlining at all.
 
-    ``fuse`` controls superinstruction fusion (host-level dispatch only;
-    never affects calling behavior or profiles).
+    ``fuse`` and ``ic`` control superinstruction fusion and inline
+    caches (host-level dispatch only; never affect calling behavior or
+    profiles).
     """
-    cache = CodeCache(program, cost_model, fuse=fuse)
+    cache = CodeCache(program, cost_model, fuse=fuse, ic=ic)
     if level == 0:
         policy = TrivialOnlyPolicy(program)
     elif level == 1:

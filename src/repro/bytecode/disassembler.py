@@ -95,7 +95,9 @@ def disassemble_fused(program: Program) -> str:
     total_span = 0
     total_instrs = 0
     for function in program.functions:
-        method = CompiledMethod(function, cost_model, opt_level=0)
+        # ic=False: this view shows the fusion rewrite alone; inline-cache
+        # quickening is lazy (per-run) and rendered by ``disasm --ic``.
+        method = CompiledMethod(function, cost_model, opt_level=0, ic=False)
         total_sites += method.fused_sites
         total_span += method.fused_span
         total_instrs += len(method.ops)
@@ -121,6 +123,75 @@ def disassemble_fused(program: Program) -> str:
     lines.append(
         f"total: {total_sites} fused sites covering {total_span} of "
         f"{total_instrs} instructions"
+    )
+    return "\n".join(lines) + "\n"
+
+
+def disassemble_ic(program: Program) -> str:
+    """Render the inline-cache view of every method.
+
+    Shows what the IC subsystem will do with each method before any
+    execution: which call sites quicken (lazily, on first execution) to
+    IC dispatch opcodes, how many targets each virtual selector can
+    reach through the flat dispatch tables, and which bodies qualify as
+    leaf templates (frameless IC fast paths — ``compiled`` means a
+    straight-line body was specialized to a host closure).  Debugging
+    aid for the IC pass (``repro-mini disasm --ic``); not assembler
+    round-trippable.
+    """
+    # Imported lazily, like disassemble_fused: a debugging view over the
+    # vm layer, not part of the assembler round-trip.
+    from repro.vm import ic as icache
+    from repro.vm.costmodel import jikes_cost_model
+    from repro.vm.runtime import CompiledMethod
+
+    cost_model = jikes_cost_model()
+    tables = program.flat_dispatch_tables()
+    lines: list[str] = []
+    virtual_sites = 0
+    static_sites = 0
+    leaves = 0
+    compiled = 0
+    for function in program.functions:
+        method = CompiledMethod(function, cost_model, opt_level=0, ic=True)
+        leaf = method.leaf
+        tag = ""
+        if leaf is not None:
+            leaves += 1
+            if leaf[icache.L_FN] is not None:
+                compiled += 1
+                kind = "compiled"
+            else:
+                kind = "interpreted"
+            tag = (
+                f"  [leaf template: {kind}, "
+                f"worst-case cost {leaf[icache.L_COST]}]"
+            )
+        lines.append(f"{function.qualified_name}/{function.num_params}:{tag}")
+        for pc, instr in enumerate(function.code):
+            if instr.op is Op.CALL_VIRTUAL:
+                virtual_sites += 1
+                name, argc = program.selectors[instr.a]
+                targets = {
+                    row[instr.a]
+                    for row in tables
+                    if instr.a < len(row) and row[instr.a] >= 0
+                }
+                lines.append(
+                    f"  {pc:4d}  IC_CALL_VIRTUAL {name}/{argc}"
+                    f"  [{len(targets)} reachable targets]"
+                )
+            elif instr.op is Op.CALL_STATIC:
+                static_sites += 1
+                callee = program.functions[instr.a]
+                lines.append(
+                    f"  {pc:4d}  IC_CALL_STATIC {callee.qualified_name}"
+                )
+        lines.append("")
+    lines.append(
+        f"total: {virtual_sites} virtual sites, {static_sites} static "
+        f"sites, {leaves} leaf templates ({compiled} compiled to host "
+        f"closures)"
     )
     return "\n".join(lines) + "\n"
 

@@ -68,6 +68,7 @@ class Program:
         self._selector_ids: dict[tuple[str, int], int] = {}
         self.entry_index: int | None = None
         self._field_templates: list[list] | None = None
+        self._flat_vtables: list[list[int]] | None = None
 
     # -- registration -------------------------------------------------------
 
@@ -163,6 +164,7 @@ class Program:
                 sid = self.selector_id(*function.selector)
                 cls.vtable[sid] = func_index
         self._field_templates = None
+        self._flat_vtables = None
 
     def field_default_templates(self) -> list[list]:
         """Per-class field-default lists, indexed by class index.
@@ -180,6 +182,30 @@ class Program:
             ]
             self._field_templates = templates
         return templates
+
+    def flat_dispatch_tables(self) -> list[list[int]]:
+        """Dense per-class dispatch rows: ``tables[class][selector]`` is
+        the target function index, or -1 where the class does not
+        understand the selector.
+
+        The megamorphic fallback of the interpreter's inline caches
+        dispatches through these instead of the dict vtables (a list
+        index per lookup, no hashing).  Rows cover the selectors
+        interned when the tables are built; a later-interned selector
+        id falls off the end of every row, which callers must treat as
+        "missing" (the interpreter bounds-checks and raises the same
+        no-such-method error).  Cached; invalidated by
+        :meth:`build_vtables`.
+        """
+        tables = self._flat_vtables
+        if tables is None:
+            width = len(self.selectors)
+            tables = [
+                [cls.vtable.get(sid, -1) for sid in range(width)]
+                for cls in self.classes
+            ]
+            self._flat_vtables = tables
+        return tables
 
     def resolve_virtual(self, class_index: int, selector_id: int) -> int:
         """Resolve a virtual dispatch to a function index."""

@@ -5,7 +5,8 @@ Usage::
     repro-mini run program.mini [--vm jikes|j9] [--profile cbs|timer|whaley]
                                 [--stride N] [--samples N] [--skip-policy P]
                                 [--seed N] [--context-depth N] [--adaptive]
-                                [--opt {0,1}] [--stats] [--dcg]
+                                [--opt {0,1}] [--no-fuse] [--no-ic]
+                                [--stats] [--dcg]
                                 [--trace FILE] [--trace-format jsonl|chrome]
                                 [--publish HOST:PORT] [--publish-every K]
                                 [--warm-start] [--strict]
@@ -13,7 +14,7 @@ Usage::
     repro-mini report trace_file
     repro-mini bench [--benchmarks a,b] [--profilers cbs,timer] [--seeds 1,2]
                      [--size S] [--vm jikes|j9] [--jobs N] [--json]
-    repro-mini disasm program.mini [--fused]
+    repro-mini disasm program.mini [--fused | --ic]
     repro-mini check program.mini
 
 (or ``python -m repro.cli ...``).  ``--trace`` records the run's
@@ -86,9 +87,10 @@ def _profiler_for(args):
 
 def _cmd_run(args) -> int:
     program = _load(args.file)
-    config = config_named(args.vm, fuse=not args.no_fuse)
+    config = config_named(args.vm, fuse=not args.no_fuse, ic=not args.no_ic)
     cache = jit_only_cache(
-        program, config.cost_model, level=args.opt, fuse=config.fuse
+        program, config.cost_model, level=args.opt, fuse=config.fuse,
+        ic=config.ic,
     )
     vm = Interpreter(program, config, cache)
 
@@ -261,6 +263,17 @@ def _cmd_run(args) -> int:
             f"dispatches={vm.fused_dispatches} deopts={vm.fusion_deopts}",
             file=sys.stderr,
         )
+        if vm.code_cache.ic:
+            print(
+                f"-- ic: sites={vm.code_cache.ic_sites} "
+                f"static_sites={vm.code_cache.ic_static_sites} "
+                f"megamorphic={vm.code_cache.megamorphic_sites} "
+                f"misses={vm.ic_misses} transitions={vm.ic_transitions} "
+                f"receiver_calls={vm.code_cache.receiver_cell_total()}",
+                file=sys.stderr,
+            )
+        else:
+            print("-- ic: disabled (--no-ic)", file=sys.stderr)
     if isinstance(profiler, CBSLoopProfiler):
         print("-- sampled loop profile:", file=sys.stderr)
         print(profiler.describe(program), file=sys.stderr)
@@ -434,10 +447,16 @@ def _cmd_bench(args) -> int:
 
 def _cmd_disasm(args) -> int:
     program = _load(args.file)
+    if args.fused and args.ic:
+        raise SystemExit("--fused and --ic are separate views; pick one")
     if args.fused:
         from repro.bytecode.disassembler import disassemble_fused
 
         print(disassemble_fused(program), end="")
+    elif args.ic:
+        from repro.bytecode.disassembler import disassemble_ic
+
+        print(disassemble_ic(program), end="")
     else:
         print(disassemble(program))
     return 0
@@ -530,6 +549,13 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="disable superinstruction fusion (classic one-op dispatch; "
         "bit-identical results, slower host execution)",
+    )
+    run.add_argument(
+        "--no-ic",
+        action="store_true",
+        help="disable polymorphic inline caches (dict-vtable dispatch; "
+        "bit-identical results, slower host execution, no exact "
+        "receiver profile)",
     )
     run.add_argument(
         "--adaptive", action="store_true", help="enable adaptive recompilation"
@@ -638,6 +664,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--fused",
         action="store_true",
         help="show the quickened (superinstruction) stream the VM dispatches",
+    )
+    disasm.add_argument(
+        "--ic",
+        action="store_true",
+        help="show the inline-cache view: quickening call sites, "
+        "dispatch-table fan-out, and leaf-template eligibility",
     )
     disasm.set_defaults(handler=_cmd_disasm)
 

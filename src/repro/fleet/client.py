@@ -96,8 +96,10 @@ class FleetPublisher:
         self.backoff_base = backoff_base
 
         self._names = [f.qualified_name for f in program.functions]
+        self._class_names = [c.name for c in program.classes]
         self._fingerprint = program.fingerprint()
         self._sent: dict[tuple[int, int, int], float] = {}
+        self._sent_receivers: dict[tuple[int, int, int], int] = {}
         self._ticks = 0
         self._seq = 0
         self._queue: queue.Queue = queue.Queue(maxsize=queue_size)
@@ -155,22 +157,50 @@ class FleetPublisher:
                 caller, pc, callee = edge
                 delta.append([names[caller], pc, names[callee], grown])
                 grown_weights[edge] = weight
-        if not delta:
+        receivers, grown_counts = self._receiver_delta(vm)
+        if not delta and not receivers:
             return
         seq = self._seq
         self._seq += 1
         try:
-            self._queue.put_nowait(("delta", seq, delta))
+            self._queue.put_nowait(("delta", seq, delta, receivers))
             self.batches_enqueued += 1
             # Only mark weights as handed off once the batch is queued,
             # so a dropped batch's growth rides along with the next one.
             sent.update(grown_weights)
+            self._sent_receivers.update(grown_counts)
         except queue.Full:
             self.batches_dropped += 1
         if self.telemetry is not None:
             self.telemetry.on_fleet_publish(
                 vm.time, seq, len(delta), sum(entry[3] for entry in delta)
             )
+
+    def _receiver_delta(self, vm) -> tuple[list, dict]:
+        """Growth of the inline caches' receiver cells since last handoff.
+
+        Returns ``(wire rows, grown counts)``; rows are symbolic
+        ``[caller name, pc, class name, grown]`` so the aggregate
+        outlives any single build, exactly like DCG edges.  VMs running
+        with inline caches off simply publish no receiver rows.
+        """
+        cells = getattr(getattr(vm, "code_cache", None), "receiver_cells", None)
+        if not cells:
+            return [], {}
+        sent = self._sent_receivers
+        names = self._names
+        class_names = self._class_names
+        rows = []
+        grown_counts = {}
+        for (caller, pc), classes in cells.items():
+            for rclass, cell in classes.items():
+                count = cell[0]
+                key = (caller, pc, rclass)
+                grown = count - sent.get(key, 0)
+                if grown > 0:
+                    rows.append([names[caller], pc, class_names[rclass], grown])
+                    grown_counts[key] = count
+        return rows, grown_counts
 
     def close(self, timeout: float = 5.0) -> None:
         """Stop the worker, waiting up to ``timeout`` for the queue to
@@ -194,11 +224,11 @@ class FleetPublisher:
                 item = self._queue.get()
                 if item is _CLOSE:
                     break
-                _, seq, delta = item
+                _, seq, delta, receivers = item
                 if self.server_dead:
                     self.batches_dropped += 1
                     continue
-                sock, sent = self._send_with_retry(sock, seq, delta)
+                sock, sent = self._send_with_retry(sock, seq, delta, receivers)
                 if sent:
                     failures = 0
                     self.batches_sent += 1
@@ -215,7 +245,7 @@ class FleetPublisher:
                 except OSError:
                     pass
 
-    def _send_with_retry(self, sock, seq: int, delta: list):
+    def _send_with_retry(self, sock, seq: int, delta: list, receivers: list):
         """Try to deliver one batch; returns (socket, delivered)."""
         for attempt in range(2):  # current connection, then one reconnect
             if sock is None:
@@ -231,6 +261,7 @@ class FleetPublisher:
                         run_id=self.run_id,
                         seq=seq,
                         epoch=self.epoch,
+                        receivers=receivers,
                     ),
                 )
                 reply = recv_message(sock)

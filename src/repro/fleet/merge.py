@@ -34,6 +34,9 @@ from repro.profiling.serialize import FORMAT_VERSION
 #: Symbolic edge key: (caller qualified name, callsite pc, callee qualified name).
 NamedEdge = tuple[str, int, str]
 
+#: Symbolic receiver key: (caller qualified name, callsite pc, receiver class name).
+NamedReceiver = tuple[str, int, str]
+
 
 class MergeError(Exception):
     """A delta or snapshot could not be merged (malformed edges)."""
@@ -68,6 +71,7 @@ class AggregateProfile:
         self.epoch = 0
         self.publishes = 0
         self._edges: dict[NamedEdge, float] = {}
+        self._receivers: dict[NamedReceiver, float] = {}
         self._run_ids: set[str] = set()
         #: Runs folded into snapshots this aggregate was loaded from
         #: (their ids are not retained; see :meth:`from_dict`).
@@ -76,33 +80,60 @@ class AggregateProfile:
     # -- merging ------------------------------------------------------------------
 
     def merge_delta(
-        self, edges: list, epoch: int = 0, run_id: str | None = None
+        self,
+        edges: list,
+        epoch: int = 0,
+        run_id: str | None = None,
+        receivers: list | None = None,
     ) -> None:
         """Fold one published delta into the aggregate.
 
         ``edges`` is a list of ``[caller, pc, callee, weight]`` entries
-        (the wire shape).  Raises :class:`MergeError` on malformed
-        entries without mutating the aggregate.
+        (the wire shape); ``receivers``, when present, is a list of
+        ``[caller, pc, class_name, count]`` inline-cache receiver rows
+        folded the same way (same decay, same commutativity).  Raises
+        :class:`MergeError` on malformed entries without mutating the
+        aggregate.
         """
-        validated = []
-        for entry in edges:
-            try:
-                caller, pc, callee, weight = entry
-                key = (str(caller), int(pc), str(callee))
-                weight = float(weight)
-            except (TypeError, ValueError) as error:
-                raise MergeError(f"malformed edge {entry!r}") from error
-            if not math.isfinite(weight) or weight < 0:
-                raise MergeError(f"bad weight in edge {entry!r}")
-            if weight:
-                validated.append((key, weight))
+        validated = [
+            (key, weight)
+            for key, weight in (
+                self._validate_row(entry, "edge") for entry in edges
+            )
+            if weight
+        ]
+        validated_receivers = []
+        if receivers is not None:
+            validated_receivers = [
+                (key, count)
+                for key, count in (
+                    self._validate_row(entry, "receiver row")
+                    for entry in receivers
+                )
+                if count
+            ]
 
         scale = self._rebase(int(epoch))
         for key, weight in validated:
             self._edges[key] = self._edges.get(key, 0.0) + weight * scale
+        for key, count in validated_receivers:
+            self._receivers[key] = self._receivers.get(key, 0.0) + count * scale
         self.publishes += 1
         if run_id is not None:
             self._run_ids.add(str(run_id))
+
+    @staticmethod
+    def _validate_row(entry, what: str) -> tuple[tuple, float]:
+        """Validate one ``[name, pc, name, weight]`` wire row."""
+        try:
+            first, pc, second, weight = entry
+            key = (str(first), int(pc), str(second))
+            weight = float(weight)
+        except (TypeError, ValueError) as error:
+            raise MergeError(f"malformed {what} {entry!r}") from error
+        if not math.isfinite(weight) or weight < 0:
+            raise MergeError(f"bad weight in {what} {entry!r}")
+        return key, weight
 
     def _rebase(self, epoch: int) -> float:
         """Advance the aggregate to ``max(self.epoch, epoch)`` and return
@@ -115,6 +146,8 @@ class AggregateProfile:
             aging = decay ** (epoch - self.epoch)
             for key in self._edges:
                 self._edges[key] *= aging
+            for key in self._receivers:
+                self._receivers[key] *= aging
             self.epoch = epoch
             return 1.0
         return decay ** (self.epoch - epoch)
@@ -137,6 +170,18 @@ class AggregateProfile:
         """The raw symbolic edge→weight mapping (do not mutate)."""
         return self._edges
 
+    def receivers(self) -> dict[NamedReceiver, float]:
+        """The raw symbolic receiver→count mapping (do not mutate)."""
+        return self._receivers
+
+    def receiver_distribution(self, caller: str, pc: int) -> dict[str, float]:
+        """{class name: aggregated count} at one symbolic call site."""
+        return {
+            rclass: count
+            for (c, p, rclass), count in self._receivers.items()
+            if c == caller and p == pc
+        }
+
     # -- snapshots ----------------------------------------------------------------
 
     def to_dict(self) -> dict:
@@ -151,7 +196,7 @@ class AggregateProfile:
             items.sort(key=lambda item: (-item[1], item[0]))
             items = items[:limit]
         items.sort(key=lambda item: item[0])
-        return {
+        snapshot = {
             "version": FORMAT_VERSION,
             "fingerprint": self.fingerprint,
             "edges": [
@@ -165,6 +210,14 @@ class AggregateProfile:
                 "total_weight": self.total_weight,
             },
         }
+        if self._receivers:
+            snapshot["receivers"] = [
+                [caller, pc, rclass, count]
+                for (caller, pc, rclass), count in sorted(
+                    self._receivers.items()
+                )
+            ]
+        return snapshot
 
     @classmethod
     def from_dict(cls, data: dict, policy: MergePolicy | None = None) -> "AggregateProfile":
@@ -190,4 +243,12 @@ class AggregateProfile:
             if not math.isfinite(weight) or weight < 0:
                 raise MergeError(f"bad weight in snapshot edge {entry!r}")
             aggregate._edges[key] = aggregate._edges.get(key, 0.0) + weight
+        receivers = data.get("receivers", [])
+        if not isinstance(receivers, list):
+            raise MergeError("malformed snapshot receivers")
+        for entry in receivers:
+            key, count = cls._validate_row(entry, "snapshot receiver row")
+            aggregate._receivers[key] = (
+                aggregate._receivers.get(key, 0.0) + count
+            )
         return aggregate

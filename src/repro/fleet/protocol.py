@@ -17,11 +17,15 @@ Client → server:
 
       {"v": 1, "type": "publish", "fingerprint": "<sha256>",
        "run_id": "<opaque>", "seq": 0, "epoch": 0,
-       "edges": [["Caller.name", pc, "Callee.name", weight], ...]}
+       "edges": [["Caller.name", pc, "Callee.name", weight], ...],
+       "receivers": [["Caller.name", pc, "ClassName", count], ...]}
 
   ``epoch`` is the client's profile age (newer epochs dominate under
   decay; see :mod:`repro.fleet.merge`); ``seq`` numbers the deltas of
-  one run for diagnostics.
+  one run for diagnostics.  ``receivers`` is optional: the exact
+  per-site receiver-class counts the VM's inline caches accumulated
+  since the last delta (see :mod:`repro.profiling.receivers`), keyed
+  symbolically like edges so aggregates outlive any single build.
 
 * ``fetch`` — request the aggregated snapshot for a fingerprint.
 * ``stats`` — request server-wide counters.
@@ -68,8 +72,9 @@ def publish_message(
     run_id: str,
     seq: int = 0,
     epoch: int = 0,
+    receivers: list | None = None,
 ) -> dict:
-    return {
+    message = {
         "v": PROTOCOL_VERSION,
         "type": "publish",
         "fingerprint": fingerprint,
@@ -78,6 +83,9 @@ def publish_message(
         "epoch": epoch,
         "edges": edges,
     }
+    if receivers:
+        message["receivers"] = receivers
+    return message
 
 
 def fetch_message(fingerprint: str) -> dict:

@@ -139,9 +139,13 @@ class FleetService:
     def _on_publish(self, message: dict) -> dict:
         fingerprint = message.get("fingerprint")
         edges = message.get("edges")
+        receivers = message.get("receivers")
         if not isinstance(fingerprint, str) or not isinstance(edges, list):
             self.publishes_rejected += 1
             return error_message("publish needs a fingerprint and an edge list")
+        if receivers is not None and not isinstance(receivers, list):
+            self.publishes_rejected += 1
+            return error_message("receivers must be a list when present")
         try:
             aggregate = self._aggregate_for(fingerprint)
         except RepositoryError as error:
@@ -154,7 +158,10 @@ class FleetService:
             return error_message("epoch must be an integer")
         try:
             aggregate.merge_delta(
-                edges, epoch=epoch, run_id=message.get("run_id")
+                edges,
+                epoch=epoch,
+                run_id=message.get("run_id"),
+                receivers=receivers,
             )
         except MergeError as error:
             self.publishes_rejected += 1

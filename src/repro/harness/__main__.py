@@ -52,8 +52,8 @@ _EXPERIMENTS = {
     "table3": lambda quick, vm, jobs: table3.main(quick, vm, jobs=jobs),
     "table3-j9": lambda quick, vm, jobs: table3.main(quick, "j9", jobs=jobs),
     "figure1": lambda quick, vm, jobs: figure1.main(quick, vm),
-    "figure5-jikes": lambda quick, vm, jobs: figure5.main(quick, "jikes"),
-    "figure5-j9": lambda quick, vm, jobs: figure5.main(quick, "j9"),
+    "figure5-jikes": lambda quick, vm, jobs: figure5.main(quick, "jikes", jobs=jobs),
+    "figure5-j9": lambda quick, vm, jobs: figure5.main(quick, "j9", jobs=jobs),
     "fleet": lambda quick, vm, jobs: fleet.main(quick, vm),
     "convergence": _convergence,
     "phase-change": _phase,

@@ -15,13 +15,18 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.adaptive.controller import AdaptiveConfig
+from repro.adaptive.modes import jit_only_cache
 from repro.benchsuite.suite import BENCHMARKS, program_for
+from repro.harness.parallel import pmap
 from repro.harness.report import render_bars, render_table
 from repro.harness.runner import run_steady_state
 from repro.inlining.j9_inliner import J9Inliner
 from repro.inlining.new_inliner import NewJikesInliner
 from repro.profiling.cbs import CBSProfiler
+from repro.profiling.receivers import ReceiverProfile
 from repro.profiling.timer_sampler import TimerProfiler
+from repro.vm.config import config_named
+from repro.vm.interpreter import Interpreter
 
 #: CBS parameters per VM, as in Table 3.
 CBS_PARAMS = {"jikes": (3, 16), "j9": (7, 32)}
@@ -160,11 +165,105 @@ def render_figure5(rows: list[Figure5Row], vm_name: str) -> str:
     return table + "\n\n" + bars
 
 
-def main(quick: bool = False, vm_name: str = "jikes") -> str:
+# -- receiver-distribution accuracy (exact IC profile vs sampled CBS) -------------
+
+
+@dataclass
+class ReceiverSiteRow:
+    """One hot virtual call site: exact IC counts vs the CBS sample."""
+
+    benchmark: str
+    site: str  #: "Caller.qualified_name@pc"
+    classes: int  #: distinct receiver classes observed
+    calls: int  #: exact call count (from the inline caches)
+    overlap: float  #: distribution overlap with the CBS sample, percent
+
+
+def _receiver_cell(cell: tuple) -> list[ReceiverSiteRow]:
+    """Measure one benchmark (top-level so it pickles under ``--jobs``).
+
+    One JIT-only run with inline caches on and CBS attached yields both
+    profiles of the *same* execution: the exact per-site receiver counts
+    the ICs accumulate as a dispatch by-product, and the sampled DCG.
+    """
+    name, size, vm_name, hot = cell
+    stride, samples = CBS_PARAMS[vm_name]
+    program = program_for(name, size)
+    config = config_named(vm_name)
+    cache = jit_only_cache(program, config.cost_model, level=0)
+    vm = Interpreter(program, config, cache)
+    profiler = CBSProfiler(stride=stride, samples_per_tick=samples)
+    vm.attach_profiler(profiler)
+    vm.run()
+    exact = ReceiverProfile.from_cache(cache)
+    rows = []
+    for (caller, pc), total in exact.hot_sites(hot):
+        counts = exact.site_counts(caller, pc)
+        rows.append(
+            ReceiverSiteRow(
+                benchmark=name,
+                site=f"{program.functions[caller].qualified_name}@{pc}",
+                classes=len(counts),
+                calls=int(total),
+                overlap=exact.site_overlap(program, profiler.dcg, caller, pc),
+            )
+        )
+    return rows
+
+
+def compute_receiver_accuracy(
+    vm_name: str = "jikes",
+    benchmarks: list[str] | None = None,
+    size: str = "small",
+    hot_sites: int = 5,
+    jobs: int = 1,
+) -> list[ReceiverSiteRow]:
+    """Per-hot-site receiver-distribution accuracy of CBS, across the
+    steady-state suite.  Cells are independent single runs, so they fan
+    out over processes; results are identical for any ``jobs``."""
+    names = benchmarks if benchmarks is not None else STEADY_BENCHMARKS
+    cells = [(name, size, vm_name, hot_sites) for name in names]
+    return [row for rows in pmap(_receiver_cell, cells, jobs) for row in rows]
+
+
+def render_receiver_accuracy(rows: list[ReceiverSiteRow], vm_name: str) -> str:
+    table_rows = [
+        [r.benchmark, r.site, r.classes, r.calls, r.overlap] for r in rows
+    ]
+    if rows:
+        table_rows.append(
+            [
+                "Mean",
+                "",
+                "",
+                "",
+                sum(r.overlap for r in rows) / len(rows),
+            ]
+        )
+    return render_table(
+        ["Benchmark", "Hot virtual site", "classes", "exact calls", "cbs overlap %"],
+        table_rows,
+        title=(
+            f"Receiver-distribution accuracy ({vm_name}): CBS sample vs the "
+            f"exact inline-cache profile, per hot site"
+        ),
+    )
+
+
+def main(quick: bool = False, vm_name: str = "jikes", jobs: int = 1) -> str:
     if quick:
         rows = compute_figure5(
             vm_name, benchmarks=STEADY_BENCHMARKS[:3], size="tiny", iterations=6
         )
+        receiver_rows = compute_receiver_accuracy(
+            vm_name, benchmarks=STEADY_BENCHMARKS[:3], size="tiny",
+            hot_sites=3, jobs=jobs,
+        )
     else:
         rows = compute_figure5(vm_name)
-    return render_figure5(rows, vm_name)
+        receiver_rows = compute_receiver_accuracy(vm_name, jobs=jobs)
+    return (
+        render_figure5(rows, vm_name)
+        + "\n\n"
+        + render_receiver_accuracy(receiver_rows, vm_name)
+    )

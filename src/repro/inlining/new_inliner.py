@@ -58,9 +58,7 @@ class NewJikesInliner(InlinerPolicy):
         static_target = self.static_callee(instr)
 
         if static_target is not None:
-            fraction = 0.0
-            if dcg is not None:
-                fraction = dcg.weight_fraction((caller_index, pc, static_target))
+            fraction = self.edge_fraction(caller_index, pc, static_target, dcg)
             if self.callee_size(static_target) <= self.size_threshold(fraction):
                 self._trace(
                     caller_index, pc, static_target, "direct", True,
@@ -79,7 +77,12 @@ class NewJikesInliner(InlinerPolicy):
             )
             return None
 
-        if instr.op is not Op.CALL_VIRTUAL or dcg is None:
+        # Distribution-aware guarded inlining needs *some* profile of
+        # the site's receivers: the exact IC receiver profile when the
+        # VM collected one, else a sampled DCG.
+        if instr.op is not Op.CALL_VIRTUAL or (
+            dcg is None and self.receiver_profile is None
+        ):
             return None
         distribution = self.site_distribution(caller_index, pc, dcg)
         site_weight = sum(distribution.values())
@@ -98,7 +101,7 @@ class NewJikesInliner(InlinerPolicy):
         ]
         eligible = []
         for callee in qualified:
-            edge_fraction = dcg.weight_fraction((caller_index, pc, callee))
+            edge_fraction = self.edge_fraction(caller_index, pc, callee, dcg)
             if self.callee_size(callee) <= self.size_threshold(edge_fraction):
                 eligible.append(callee)
         if not eligible:

@@ -18,6 +18,7 @@ from repro.profiling.metrics import (
     weight_rank_correlation,
 )
 from repro.profiling.patching import CodePatchingProfiler
+from repro.profiling.receivers import ReceiverProfile
 from repro.profiling.serialize import (
     ProfileFormatError,
     ProfileMismatchWarning,
@@ -42,6 +43,7 @@ __all__ = [
     "INSTRUMENTATION_COST",
     "ProfileFormatError",
     "ProfileMismatchWarning",
+    "ReceiverProfile",
     "SKIP_POLICIES",
     "TimerProfiler",
     "WhaleyProfiler",

@@ -102,6 +102,21 @@ class Tracer:
         self._fused_sites = metrics.gauge(
             "fusion.sites", "superinstruction sites compiled by the code cache"
         )
+        self._ic_hits = metrics.counter(
+            "ic.hits", "virtual calls dispatched through an inline-cache binding"
+        )
+        self._ic_misses = metrics.counter(
+            "ic.misses", "inline-cache slow-path dispatches (including quickening)"
+        )
+        self._ic_transitions = metrics.counter(
+            "ic.transitions", "inline-cache state growths (mono→poly→megamorphic)"
+        )
+        self._ic_sites = metrics.gauge(
+            "ic.sites", "virtual call sites quickened with an inline cache"
+        )
+        self._ic_megamorphic = metrics.gauge(
+            "ic.megamorphic_sites", "inline-cache sites that overflowed to megamorphic"
+        )
         self._samples_per_window = metrics.histogram(
             "cbs.samples_per_window",
             SAMPLES_PER_WINDOW_BUCKETS,
@@ -166,6 +181,28 @@ class Tracer:
         self._fused_dispatches.inc(dispatches)
         self._fusion_deopts.inc(deopts)
         self._fused_sites.set(sites)
+
+    def on_ic_summary(
+        self,
+        hits: int,
+        misses: int,
+        transitions: int,
+        sites: int,
+        megamorphic_sites: int,
+    ) -> None:
+        """Record one run's inline-cache statistics.
+
+        Same shape and rationale as :meth:`on_fusion_summary`: metrics
+        only, never events, so an IC-on run's event stream stays
+        byte-identical to the IC-off run.  Hit/miss/transition figures
+        are per-run deltas; the site counts are code-cache running
+        totals and land in gauges.
+        """
+        self._ic_hits.inc(hits)
+        self._ic_misses.inc(misses)
+        self._ic_transitions.inc(transitions)
+        self._ic_sites.set(sites)
+        self._ic_megamorphic.set(megamorphic_sites)
 
     # -- profiler-facing hook methods ---------------------------------------------
 

@@ -50,6 +50,11 @@ class VMConfig:
     #: in virtual time, ticks, yieldpoints, steps, and profiles.
     fuse: bool = True
 
+    #: Per-call-site polymorphic inline caches (see repro.vm.ic).  Also
+    #: purely host-level — IC-on and IC-off runs are bit-identical — and
+    #: the source of the exact receiver-type profile.
+    ic: bool = True
+
     def replace(self, **kwargs) -> "VMConfig":
         return replace(self, **kwargs)
 

@@ -34,10 +34,13 @@ step counts, DCG edges, telemetry).  Two rules guarantee that:
    of ``fops`` keep their raw opcodes precisely so this mid-group
    execution works.
 
-Superinstruction opcodes occupy ``[FUSE_BASE, ...)`` — disjoint from
-:class:`~repro.bytecode.opcodes.Op` — and exist only inside
-:class:`~repro.vm.runtime.CompiledMethod` arrays; bytecode on disk, the
-optimizer, the verifier, and the profilers never see them.
+Superinstruction opcodes occupy ``[FUSE_BASE, ...)`` — disjoint both
+from :class:`~repro.bytecode.opcodes.Op` and from the inline-cache
+quickened opcodes in ``[IC_BASE, IC_BASE + 4)`` = ``[90, 94)`` (see
+:mod:`repro.vm.ic`; calls and returns, which fusion never groups, so
+the two quickening layers rewrite disjoint pcs) — and exist only
+inside :class:`~repro.vm.runtime.CompiledMethod` arrays; bytecode on
+disk, the optimizer, the verifier, and the profilers never see them.
 
 Like the raw arithmetic handlers, fused handlers assume verified
 programs (operand types are the frontend's problem); host-level

@@ -1,0 +1,535 @@
+"""Polymorphic inline caches for the dispatch loop.
+
+Every ``CALL_VIRTUAL`` site gets a small per-site cache, created lazily
+the first time the site executes and stored in the method's ``ics``
+array (parallel to the fused views).  The interpreter *quickens* the
+site — rewrites ``fops[pc]`` to :data:`OP_IC_CALL_VIRTUAL` — so later
+executions dispatch through the cache:
+
+* **monomorphic / 2-way fast path** — two receiver-class slots are
+  inlined in the hot loop (an int compare each; measurement on the
+  jess workload showed a fixed two-slot cache catches >90% of calls
+  at its polymorphic sites, and an MRU scheme thrashes),
+* **bounded polymorphic array** — up to :data:`POLY_LIMIT` distinct
+  receiver classes are bound to an overflow list searched linearly,
+* **megamorphic fallback** — past the limit the site stops binding and
+  resolves through the program's flat selector-indexed dispatch tables
+  (dense ``list[int]`` per class, see
+  :meth:`repro.bytecode.program.Program.flat_dispatch_tables`) instead
+  of the dict vtables.
+
+``CALL_STATIC`` and ``RETURN``/``RETURN_VAL`` are quickened too (the
+call target is constant; returns just switch back to the caller's
+cached views), which is what lets an inline-cached call avoid the
+seven per-frame-switch attribute loads: every method carries a
+prebuilt ``views`` tuple the IC paths unpack in one go.
+
+All of this is **host-level only**.  Virtual time still charges
+``call_virtual_cost`` per dispatch, steps/ticks/yieldpoints/DCG
+weights/telemetry events are bit-identical with ICs on or off (the
+same contract superinstruction fusion obeys; see
+tests/vm/test_ic_identity.py).
+
+As a by-product each cache counts calls per receiver class in shared
+cells keyed by *baseline* coordinates, surviving recompilation — an
+exact receiver-type profile (:class:`repro.profiling.receivers.
+ReceiverProfile`) that the inliner's >40% guarded-inlining rule and
+the figure-5 accuracy harness consume.
+
+Quickened opcode numbering: raw opcodes stop at 81 (``Op.NOP``) and
+superinstructions start at ``FUSE_BASE`` (100); inline caches take the
+90s in between so one integer range check in the loop keeps all three
+families apart.
+"""
+
+from __future__ import annotations
+
+from repro.bytecode.opcodes import Op
+from repro.vm.fuse import FUSE_BASE
+
+#: Base of the inline-cache quickened opcode range.
+IC_BASE = 90
+
+OP_IC_CALL_VIRTUAL = 90
+OP_IC_CALL_STATIC = 91
+OP_IC_RETURN = 92
+OP_IC_RETURN_VAL = 93
+
+assert max(int(op) for op in Op) < IC_BASE < IC_BASE + 4 <= FUSE_BASE
+
+#: Maximum distinct receiver classes a site binds before it goes
+#: megamorphic (2 inline slots + POLY_LIMIT - 2 overflow entries).
+POLY_LIMIT = 8
+
+#: ``state`` sentinel for a megamorphic site (> any bound-class count).
+MEGAMORPHIC = POLY_LIMIT + 1
+
+# -- virtual-call cache entry layout -------------------------------------------
+#
+# A virtual entry is a flat mutable list so the interpreter fast path
+# is pure indexing; the two inline class slots use -1 for "empty"
+# (real class indices are >= 0).  ``rest`` holds overflow bindings as
+# [class, method, index, views, pad, cell] lists.  ``cells`` is the
+# per-site {class_index: [count]} dict shared with
+# ``CodeCache.receiver_cells`` (and therefore with every compiled
+# version of the site), which is what makes the receiver profile exact
+# across recompilation.
+
+V_NARGS = 0
+V_CLASS0 = 1
+V_METHOD0 = 2
+V_INDEX0 = 3
+V_VIEWS0 = 4
+V_PAD0 = 5
+V_CELL0 = 6
+V_CLASS1 = 7
+V_METHOD1 = 8
+V_INDEX1 = 9
+V_VIEWS1 = 10
+V_PAD1 = 11
+V_CELL1 = 12
+V_REST = 13
+V_SELECTOR = 14
+V_STATE = 15
+V_CELLS = 16
+V_SITE = 17
+
+# -- static-call cache entry layout --------------------------------------------
+
+S_METHOD = 0
+S_INDEX = 1
+S_VIEWS = 2
+S_PAD = 3
+S_NARGS = 4
+
+
+def locals_pad(num_locals: int, nargs: int) -> tuple:
+    """Zero-fill tuple extending ``nargs`` arguments to a frame's locals."""
+    return (0,) * (num_locals - nargs) if num_locals > nargs else ()
+
+
+def new_virtual_entry(nargs: int, selector: int, cells: dict, site: tuple) -> list:
+    """An empty virtual-call cache entry (both inline slots free)."""
+    return [
+        nargs,
+        -1, None, -1, None, (), None,
+        -1, None, -1, None, (), None,
+        None,
+        selector,
+        0,
+        cells,
+        site,
+    ]
+
+
+def new_static_entry(method, nargs: int) -> list:
+    """A static-call cache entry (target is constant)."""
+    return [
+        method,
+        method.index,
+        method.views,
+        locals_pad(method.num_locals, nargs),
+        nargs,
+    ]
+
+
+def entry_is_virtual(entry: list) -> bool:
+    return len(entry) > S_NARGS + 1
+
+
+def virtual_entry_bindings(entry: list):
+    """Yield ``(class_index, function_index)`` for every bound slot."""
+    if entry[V_CLASS0] >= 0:
+        yield entry[V_CLASS0], entry[V_INDEX0]
+    if entry[V_CLASS1] >= 0:
+        yield entry[V_CLASS1], entry[V_INDEX1]
+    rest = entry[V_REST]
+    if rest:
+        for r in rest:
+            yield r[0], r[2]
+
+
+def describe_state(entry: list) -> str:
+    """Human label for ``disasm --ic`` / stats: mono, poly(k), mega."""
+    state = entry[V_STATE]
+    if state > POLY_LIMIT:
+        return "mega"
+    if state <= 1:
+        return "mono"
+    return f"poly({state})"
+
+
+# -- leaf-method calling sequence ----------------------------------------------
+#
+# The expensive part of an interpreted call is not the dispatch but the
+# calling sequence: frame allocation, argument shuffling, and the view
+# switch.  Real VMs point their inline caches at specialized entry
+# stubs for accessor-like methods (HotSpot's fast entries); the
+# equivalent here is a *leaf template* — a verified, small, straight-
+# line-or-forward-branching body the IC arms can evaluate on a scratch
+# stack without materializing a frame.
+#
+# Eligibility is decided once per CompiledMethod by ``analyze_leaf``:
+# every opcode must be in the side-effect-analyzable subset below, all
+# branches forward (no backedge ⇒ no backedge yieldpoints and no
+# step-limit checks inside the body, matching the raw execution), and
+# the body must end in a return.  At dispatch time the interpreter
+# additionally requires: no observer/telemetry hooks, yieldpoint flag
+# clear, no timer tick inside the body's worst-case cost, and stack
+# headroom — otherwise it falls back to the generic calling sequence.
+# Evaluation is transactional: field writes keep an undo log and any
+# potential fault (null field access, division by zero) rolls back and
+# re-executes the call generically, which re-raises with the exact
+# frame state the raw interpreter would have had.
+
+#: Sentinel distinguishing a void return from returning ``None``
+#: (``PUSH_NULL; RETURN_VAL`` must still push).
+LEAF_VOID = object()
+
+#: Sentinel a compiled leaf returns on a would-be fault (the caller
+#: falls back to the generic calling sequence, which re-faults with a
+#: real frame).  Distinct from LEAF_VOID and from any guest value.
+LEAF_FAIL = object()
+
+#: Bodies longer than this are cheaper through the generic path anyway.
+LEAF_MAX_OPS = 24
+
+#: Template slots: worst-case virtual-time cost (body + returns),
+#: opcode list, ``a`` operands, per-op costs (returns pre-charged with
+#: ``return_cost``), direct-arg flag, locals count, then the compiled
+#: form for jump-free bodies: host closure (or None) plus its constant
+#: virtual-time cost and step count.
+L_COST = 0
+L_OPS = 1
+L_A = 2
+L_COSTS = 3
+L_DIRECT = 4
+L_NUM_LOCALS = 5
+L_FN = 6
+L_FN_COST = 7
+L_FN_STEPS = 8
+
+_LEAF_OPS = frozenset(
+    int(op)
+    for op in (
+        Op.PUSH,
+        Op.PUSH_NULL,
+        Op.POP,
+        Op.DUP,
+        Op.LOAD,
+        Op.STORE,
+        Op.ADD,
+        Op.SUB,
+        Op.MUL,
+        Op.DIV,
+        Op.MOD,
+        Op.NEG,
+        Op.NOT,
+        Op.LT,
+        Op.LE,
+        Op.GT,
+        Op.GE,
+        Op.EQ,
+        Op.NE,
+        Op.JUMP,
+        Op.JUMP_IF_FALSE,
+        Op.JUMP_IF_TRUE,
+        Op.GETFIELD,
+        Op.PUTFIELD,
+        Op.IS_EXACT,
+        Op.NOP,
+        Op.RETURN,
+        Op.RETURN_VAL,
+    )
+)
+
+_JUMP_OPS = frozenset(
+    int(op) for op in (Op.JUMP, Op.JUMP_IF_FALSE, Op.JUMP_IF_TRUE)
+)
+_RETURN_OPS = frozenset(int(op) for op in (Op.RETURN, Op.RETURN_VAL))
+_OP_STORE = int(Op.STORE)
+
+
+def analyze_leaf(
+    ops: list[int],
+    a: list,
+    costs: list[int],
+    num_locals: int,
+    nargs_hint: int,
+    return_cost: int,
+) -> tuple | None:
+    """Build a leaf template for a method body, or None if ineligible.
+
+    ``nargs_hint`` is the declared parameter count (receiver included
+    for virtual methods); ``direct`` templates read arguments straight
+    off the caller's stack, which is only safe when the body never
+    stores a local.
+    """
+    n = len(ops)
+    if n == 0 or n > LEAF_MAX_OPS:
+        return None
+    if ops[-1] not in _RETURN_OPS:
+        return None
+    has_store = False
+    for pc, op in enumerate(ops):
+        if op not in _LEAF_OPS:
+            return None
+        if op in _JUMP_OPS:
+            target = a[pc]
+            if target <= pc or target >= n:
+                return None
+        elif op == _OP_STORE:
+            has_store = True
+    leaf_costs = list(costs[:n])
+    bound = 0
+    for pc, op in enumerate(ops):
+        if op in _RETURN_OPS:
+            leaf_costs[pc] += return_cost
+        bound += leaf_costs[pc]
+    direct = not has_store and num_locals <= nargs_hint
+    compiled = compile_leaf(ops, a, costs, nargs_hint, return_cost)
+    if compiled is None:
+        fn, fn_cost, fn_steps = None, 0, 0
+    else:
+        fn, fn_cost, fn_steps = compiled
+    return (
+        bound,
+        list(ops),
+        list(a),
+        leaf_costs,
+        direct,
+        num_locals,
+        fn,
+        fn_cost,
+        fn_steps,
+    )
+
+
+_LOCAL_ATOM_HEAD = "a"
+
+
+def compile_leaf(
+    ops: list[int],
+    a: list,
+    costs: list[int],
+    nargs: int,
+    return_cost: int,
+) -> tuple | None:
+    """Compile a jump-free leaf body into a specialized host closure.
+
+    This is template quickening for the calling sequence: the symbolic
+    stack is evaluated at compile time, so the emitted closure is
+    straight-line three-address code with no dispatch loop at all.  The
+    closure reads its arguments in place on the caller's stack
+    (``stack[base + i]``) and returns the result value,
+    :data:`LEAF_VOID` for a void return, or :data:`LEAF_FAIL` before
+    any state change when the body would fault (null field access,
+    division by zero) — the interpreter then re-executes the call
+    generically so the fault carries a real frame.
+
+    Field writes are deferred until after every fault guard has passed;
+    a body that reads a field it previously wrote is rejected (the
+    deferred write would be invisible to the read), as is anything with
+    a branch — those fall back to the transactional loop evaluator.
+
+    Returns ``(fn, cost, steps)`` with the constant virtual-time cost
+    (including ``return_cost``) and step count of the straight-line
+    body, or None if the body is not compilable.
+    """
+    iload = int(Op.LOAD)
+    istore = int(Op.STORE)
+    ipush = int(Op.PUSH)
+    ipush_null = int(Op.PUSH_NULL)
+    ipop = int(Op.POP)
+    idup = int(Op.DUP)
+    igetfield = int(Op.GETFIELD)
+    iputfield = int(Op.PUTFIELD)
+    iis_exact = int(Op.IS_EXACT)
+    inop = int(Op.NOP)
+    ineg = int(Op.NEG)
+    inot = int(Op.NOT)
+    idiv = int(Op.DIV)
+    imod = int(Op.MOD)
+    ieq = int(Op.EQ)
+    ine = int(Op.NE)
+    binops = {
+        int(Op.ADD): "+",
+        int(Op.SUB): "-",
+        int(Op.MUL): "*",
+    }
+    cmpops = {
+        int(Op.LT): "<",
+        int(Op.LE): "<=",
+        int(Op.GT): ">",
+        int(Op.GE): ">=",
+    }
+
+    # The executed prefix: everything up to the first return.  Any jump
+    # or unsupported opcode before it disqualifies the body.
+    end = None
+    for pc, op in enumerate(ops):
+        if op in _RETURN_OPS:
+            end = pc
+            break
+        if op in _JUMP_OPS or op not in _LEAF_OPS:
+            return None
+    if end is None:
+        return None
+
+    # Reject read-after-deferred-write; collect the locals in use.
+    written: set = set()
+    wrote = False
+    used: set = set()
+    for pc in range(end + 1):
+        op = ops[pc]
+        if op == iputfield:
+            wrote = True
+            written.add(a[pc])
+        elif op == igetfield and wrote and a[pc] in written:
+            return None
+        elif op == iload or op == istore:
+            used.add(a[pc])
+
+    lines: list[str] = []
+    for i in sorted(used):
+        if i < nargs:
+            lines.append(f"    a{i} = stack[base + {i}]")
+        else:
+            lines.append(f"    a{i} = 0")
+
+    sym: list[str] = []
+    writes: list[tuple[str, int, str]] = []
+    counter = [0]
+
+    def temp() -> str:
+        name = f"t{counter[0]}"
+        counter[0] += 1
+        return name
+
+    def materialize(expr: str) -> str:
+        # Pin a local atom to a temp so a later STORE (for deferred
+        # writes) cannot change what it denotes.
+        if expr.startswith(_LOCAL_ATOM_HEAD):
+            name = temp()
+            lines.append(f"    {name} = {expr}")
+            return name
+        return expr
+
+    terminal = None
+    for pc in range(end + 1):
+        op = ops[pc]
+        arg = a[pc]
+        if op == iload:
+            sym.append(f"a{arg}")
+        elif op == ipush:
+            sym.append(repr(arg))
+        elif op == igetfield:
+            obj = sym.pop()
+            name = temp()
+            lines.append(f"    if {obj} is None: return FAIL")
+            lines.append(f"    {name} = {obj}.fields[{arg}]")
+            sym.append(name)
+        elif op in cmpops:
+            right = sym.pop()
+            left = sym.pop()
+            name = temp()
+            lines.append(f"    {name} = 1 if {left} {cmpops[op]} {right} else 0")
+            sym.append(name)
+        elif op in binops:
+            right = sym.pop()
+            left = sym.pop()
+            name = temp()
+            lines.append(f"    {name} = {left} {binops[op]} {right}")
+            sym.append(name)
+        elif op == ieq or op == ine:
+            right = sym.pop()
+            left = sym.pop()
+            # Pin literals to temps: the identity branch would otherwise
+            # emit ``x is 5`` and trip CPython's SyntaxWarning.
+            if right[0].isdigit() or right[0] == "-":
+                pin = temp()
+                lines.append(f"    {pin} = {right}")
+                right = pin
+            if left[0].isdigit() or left[0] == "-":
+                pin = temp()
+                lines.append(f"    {pin} = {left}")
+                left = pin
+            name = temp()
+            eq, ident = ("==", "is") if op == ieq else ("!=", "is not")
+            lines.append(f"    if isinstance({left}, int) and isinstance({right}, int):")
+            lines.append(f"        {name} = 1 if {left} {eq} {right} else 0")
+            lines.append("    else:")
+            lines.append(f"        {name} = 1 if {left} {ident} {right} else 0")
+            sym.append(name)
+        elif op == idiv or op == imod:
+            right = sym.pop()
+            left = sym.pop()
+            name = temp()
+            lines.append(f"    if {right} == 0: return FAIL")
+            lines.append(f"    {name} = abs({left}) // abs({right})")
+            lines.append(f"    if ({left} < 0) != ({right} < 0): {name} = -{name}")
+            if op == imod:
+                lines.append(f"    {name} = {left} - {name} * {right}")
+            sym.append(name)
+        elif op == iputfield:
+            value = materialize(sym.pop())
+            obj = materialize(sym.pop())
+            lines.append(f"    if {obj} is None: return FAIL")
+            writes.append((obj, arg, value))
+        elif op == istore:
+            value = sym.pop()
+            target = f"a{arg}"
+            for k, expr in enumerate(sym):
+                if expr == target:
+                    name = temp()
+                    lines.append(f"    {name} = {target}")
+                    sym[k] = name
+            lines.append(f"    {target} = {value}")
+        elif op == idup:
+            sym.append(sym[-1])
+        elif op == ipop:
+            sym.pop()
+        elif op == ipush_null:
+            sym.append("None")
+        elif op == ineg:
+            operand = sym.pop()
+            name = temp()
+            lines.append(f"    {name} = -({operand})")
+            sym.append(name)
+        elif op == inot:
+            operand = sym.pop()
+            name = temp()
+            lines.append(f"    {name} = 0 if {operand} != 0 else 1")
+            sym.append(name)
+        elif op == iis_exact:
+            obj = sym.pop()
+            name = temp()
+            lines.append(
+                f"    {name} = 1 if {obj} is not None"
+                f" and {obj}.class_index == {arg} else 0"
+            )
+            sym.append(name)
+        elif op == inop:
+            pass
+        else:  # RETURN / RETURN_VAL — terminal by construction
+            for obj, offset, value in writes:
+                lines.append(f"    {obj}.fields[{offset}] = {value}")
+            if op == int(Op.RETURN_VAL):
+                lines.append(f"    return {sym.pop()}")
+            else:
+                lines.append("    return VOID")
+            terminal = pc
+    assert terminal == end
+
+    source = (
+        "def _leaf(stack, base,"
+        " FAIL=FAIL, VOID=VOID, isinstance=isinstance, abs=abs):\n"
+        + "\n".join(lines)
+        + "\n"
+    )
+    namespace = {"FAIL": LEAF_FAIL, "VOID": LEAF_VOID}
+    exec(source, namespace)  # noqa: S102 — host-level template quickening
+    fn = namespace["_leaf"]
+    fn.__doc__ = source
+    cost = sum(costs[pc] for pc in range(end + 1)) + return_cost
+    return fn, cost, end + 1

@@ -45,6 +45,7 @@ from __future__ import annotations
 from repro.bytecode.opcodes import Op
 from repro.bytecode.program import Program
 from repro.vm import fuse as fusion
+from repro.vm import ic as icache
 from repro.vm.config import VMConfig, jikes_config
 from repro.vm.errors import (
     ArrayBoundsError,
@@ -93,9 +94,16 @@ class Interpreter:
         self.code_cache = (
             code_cache
             if code_cache is not None
-            else CodeCache(program, self.config.cost_model, fuse=self.config.fuse)
+            else CodeCache(
+                program,
+                self.config.cost_model,
+                fuse=self.config.fuse,
+                ic=self.config.ic,
+            )
         )
         self.vtables: list[dict[int, int]] = [cls.vtable for cls in program.classes]
+        #: Dense dispatch rows for the inline caches' megamorphic path.
+        self.flat_vtables: list[list[int]] = program.flat_dispatch_tables()
         self.class_field_counts = [cls.num_fields for cls in program.classes]
         self.class_field_defaults = program.field_default_templates()
         self.class_ancestors = [cls.ancestors for cls in program.classes]
@@ -117,6 +125,12 @@ class Interpreter:
         # Host-level dispatch statistics (no virtual-time effect).
         self.fused_dispatches = 0
         self.fusion_deopts = 0
+        #: Inline-cache slow-path dispatches (includes the first, raw
+        #: execution of each site that quickens it) and slot binds
+        #: beyond a site's first (mono→poly growth and the poly→mega
+        #: overflow).
+        self.ic_misses = 0
+        self.ic_transitions = 0
         self._frame_pool: list[Frame] = []
 
         # Hooks.
@@ -196,6 +210,302 @@ class Interpreter:
             pc,
         )
 
+    # -- inline caches (host-level; see repro.vm.ic) -----------------------------
+
+    def _missing_selector(self, class_index, selector, method, pc) -> VMError:
+        """Build the no-such-method error for a failed virtual dispatch
+        (same message whether raised from the dict path, the flat
+        tables, or a cache miss)."""
+        name, argc = self.program.selectors[selector]
+        cls = self.program.classes[class_index].name
+        return VMError(
+            f"class {cls!r} does not understand {name}/{argc}",
+            method.function.qualified_name,
+            pc,
+        )
+
+    def _quicken_virtual(self, method, pc, rclass, callee, nargs) -> None:
+        """First execution of a ``CALL_VIRTUAL`` site: create its cache
+        entry with slot 0 bound to this receiver class, count the call
+        in the site's shared receiver cell, and rewrite ``fops[pc]`` so
+        the next execution dispatches through the cache.
+
+        The receiver cells are keyed by *baseline* coordinates (the
+        inline-map origin), so a recompiled or inlined version of the
+        site keeps counting into the same cells — the profile stays
+        exact across recompilation.
+        """
+        cache = self.code_cache
+        origin = method.origins[pc]
+        site = (method.index, pc) if origin is None else (origin[0], origin[1])
+        cells = cache.receiver_cells.setdefault(site, {})
+        cell = cells.get(rclass)
+        if cell is None:
+            cell = cells[rclass] = [0]
+        cell[0] += 1
+        entry = icache.new_virtual_entry(nargs, method.a[pc], cells, site)
+        entry[icache.V_CLASS0] = rclass
+        entry[icache.V_METHOD0] = callee
+        entry[icache.V_INDEX0] = callee.index
+        entry[icache.V_VIEWS0] = callee.views
+        entry[icache.V_PAD0] = icache.locals_pad(callee.num_locals, nargs)
+        entry[icache.V_CELL0] = cell
+        entry[icache.V_STATE] = 1
+        cache.ic_deps.setdefault(callee.index, []).append(entry)
+        method.ics[pc] = entry
+        method.fops[pc] = icache.OP_IC_CALL_VIRTUAL
+        cache.ic_sites += 1
+        self.ic_misses += 1
+
+    def _quicken_static(self, method, pc, callee, nargs) -> None:
+        """First execution of a ``CALL_STATIC`` site: the target is a
+        constant, so the entry just pins the callee's views and pad."""
+        cache = self.code_cache
+        entry = icache.new_static_entry(callee, nargs)
+        cache.ic_deps.setdefault(callee.index, []).append(entry)
+        method.ics[pc] = entry
+        method.fops[pc] = icache.OP_IC_CALL_STATIC
+        cache.ic_static_sites += 1
+
+    def _ic_virtual_slow(self, entry, rclass, method, pc):
+        """Both inline slots missed: search the overflow bindings, bind
+        the new receiver class, or — once the site is megamorphic —
+        resolve through the flat dispatch tables without growing the
+        cache.  Returns ``(callee, callee_index, views, pad)``.
+
+        Newly-bound callees are marked in ``seen`` here because the IC
+        fast path skips the per-call check (a cache hit can only reach
+        a method some earlier bind already marked).
+        """
+        self.ic_misses += 1
+        rest = entry[icache.V_REST]
+        if rest is not None:
+            for r in rest:
+                if r[0] == rclass:
+                    r[5][0] += 1
+                    return r[1], r[2], r[3], r[4]
+        selector = entry[icache.V_SELECTOR]
+        row = self.flat_vtables[rclass]
+        callee_index = row[selector] if selector < len(row) else -1
+        if callee_index < 0:
+            raise self._missing_selector(rclass, selector, method, pc)
+        cache = self.code_cache
+        callee = cache.methods[callee_index]
+        cells = entry[icache.V_CELLS]
+        cell = cells.get(rclass)
+        if cell is None:
+            cell = cells[rclass] = [0]
+        cell[0] += 1
+        if not self._seen[callee_index]:
+            self._seen[callee_index] = True
+            self.methods_executed += 1
+        pad = icache.locals_pad(callee.num_locals, entry[icache.V_NARGS])
+        state = entry[icache.V_STATE]
+        if state > icache.POLY_LIMIT:
+            return callee, callee_index, callee.views, pad
+        self.ic_transitions += 1
+        if state >= icache.POLY_LIMIT:
+            entry[icache.V_STATE] = icache.MEGAMORPHIC
+            cache.megamorphic_sites += 1
+            return callee, callee_index, callee.views, pad
+        entry[icache.V_STATE] = state + 1
+        if entry[icache.V_CLASS1] < 0:
+            entry[icache.V_CLASS1] = rclass
+            entry[icache.V_METHOD1] = callee
+            entry[icache.V_INDEX1] = callee_index
+            entry[icache.V_VIEWS1] = callee.views
+            entry[icache.V_PAD1] = pad
+            entry[icache.V_CELL1] = cell
+        else:
+            if rest is None:
+                rest = entry[icache.V_REST] = []
+            rest.append([rclass, callee, callee_index, callee.views, pad, cell])
+        cache.ic_deps.setdefault(callee_index, []).append(entry)
+        return callee, callee_index, callee.views, pad
+
+    def _eval_leaf(
+        self,
+        leaf,
+        stack,
+        base,
+        # Opcode ints bound as defaults so the hot loop below pays
+        # LOAD_FAST, not module lookups, per dispatched instruction.
+        LOAD=int(Op.LOAD),
+        PUSH=int(Op.PUSH),
+        PUSH_NULL=int(Op.PUSH_NULL),
+        POP=int(Op.POP),
+        DUP=int(Op.DUP),
+        STORE=int(Op.STORE),
+        ADD=int(Op.ADD),
+        SUB=int(Op.SUB),
+        MUL=int(Op.MUL),
+        DIV=int(Op.DIV),
+        MOD=int(Op.MOD),
+        NEG=int(Op.NEG),
+        NOT=int(Op.NOT),
+        LT=int(Op.LT),
+        LE=int(Op.LE),
+        GT=int(Op.GT),
+        GE=int(Op.GE),
+        EQ=int(Op.EQ),
+        NE=int(Op.NE),
+        JUMP=int(Op.JUMP),
+        JIF=int(Op.JUMP_IF_FALSE),
+        JIT=int(Op.JUMP_IF_TRUE),
+        GETFIELD=int(Op.GETFIELD),
+        PUTFIELD=int(Op.PUTFIELD),
+        IS_EXACT=int(Op.IS_EXACT),
+        RETURN=int(Op.RETURN),
+        RETURN_VAL=int(Op.RETURN_VAL),
+        VOID=icache.LEAF_VOID,
+    ):
+        """Evaluate a leaf template against arguments still on the
+        caller's stack (``stack[base:]``), without building a frame.
+
+        This is the IC-patched calling sequence for accessor-like
+        methods (the interpreter analogue of a JIT's fast entry stubs).
+        Returns ``(value, cost, steps)`` on success, where ``value`` is
+        :data:`repro.vm.ic.LEAF_VOID` for a void return and ``cost``
+        already includes the return cost.  Returns ``None`` on any
+        potential fault — null field access, division by zero — after
+        rolling back completed field writes, so the caller re-executes
+        through the generic calling sequence and faults with exactly
+        the frame state the raw interpreter would have had.  The caller
+        guarantees no observation point (tick, yieldpoint, observer,
+        telemetry) can land inside the body, which is what makes the
+        batched cost/step commit bit-identical to raw execution.
+        """
+        lops = leaf[1]
+        la = leaf[2]
+        lcosts = leaf[3]
+        if leaf[4]:
+            lcl = None
+        else:
+            lcl = stack[base:]
+            extra = leaf[5] - len(lcl)
+            if extra > 0:
+                lcl.extend([0] * extra)
+        ts = []
+        undo = None
+        value = None
+        ok = True
+        cost = 0
+        steps = 0
+        j = 0
+        while True:
+            op = lops[j]
+            cost += lcosts[j]
+            steps += 1
+            if op == LOAD:
+                ts.append(stack[base + la[j]] if lcl is None else lcl[la[j]])
+            elif op == GETFIELD:
+                obj = ts[-1]
+                if obj is None:
+                    ok = False
+                    break
+                ts[-1] = obj.fields[la[j]]
+            elif op == PUSH:
+                ts.append(la[j])
+            elif op == RETURN_VAL:
+                value = ts[-1]
+                break
+            elif op == RETURN:
+                value = VOID
+                break
+            elif op == GT:
+                right = ts.pop()
+                ts[-1] = 1 if ts[-1] > right else 0
+            elif op == LT:
+                right = ts.pop()
+                ts[-1] = 1 if ts[-1] < right else 0
+            elif op == GE:
+                right = ts.pop()
+                ts[-1] = 1 if ts[-1] >= right else 0
+            elif op == LE:
+                right = ts.pop()
+                ts[-1] = 1 if ts[-1] <= right else 0
+            elif op == ADD:
+                right = ts.pop()
+                ts[-1] += right
+            elif op == SUB:
+                right = ts.pop()
+                ts[-1] -= right
+            elif op == MUL:
+                right = ts.pop()
+                ts[-1] *= right
+            elif op == EQ:
+                right = ts.pop()
+                left = ts[-1]
+                if isinstance(left, int) and isinstance(right, int):
+                    ts[-1] = 1 if left == right else 0
+                else:
+                    ts[-1] = 1 if left is right else 0
+            elif op == NE:
+                right = ts.pop()
+                left = ts[-1]
+                if isinstance(left, int) and isinstance(right, int):
+                    ts[-1] = 1 if left != right else 0
+                else:
+                    ts[-1] = 1 if left is not right else 0
+            elif op == JIF:
+                if ts.pop() == 0:
+                    j = la[j]
+                    continue
+            elif op == JIT:
+                if ts.pop() != 0:
+                    j = la[j]
+                    continue
+            elif op == JUMP:
+                j = la[j]
+                continue
+            elif op == PUTFIELD:
+                value = ts.pop()
+                obj = ts.pop()
+                if obj is None:
+                    ok = False
+                    break
+                fields = obj.fields
+                offset = la[j]
+                if undo is None:
+                    undo = []
+                undo.append((fields, offset, fields[offset]))
+                fields[offset] = value
+            elif op == DIV or op == MOD:
+                right = ts.pop()
+                left = ts[-1]
+                if right == 0:
+                    ok = False
+                    break
+                quotient = abs(left) // abs(right)
+                if (left < 0) != (right < 0):
+                    quotient = -quotient
+                ts[-1] = quotient if op == DIV else left - quotient * right
+            elif op == STORE:
+                lcl[la[j]] = ts.pop()
+            elif op == DUP:
+                ts.append(ts[-1])
+            elif op == POP:
+                ts.pop()
+            elif op == PUSH_NULL:
+                ts.append(None)
+            elif op == NEG:
+                ts[-1] = -ts[-1]
+            elif op == NOT:
+                ts[-1] = 0 if ts[-1] != 0 else 1
+            elif op == IS_EXACT:
+                obj = ts.pop()
+                ts.append(
+                    1 if obj is not None and obj.class_index == la[j] else 0
+                )
+            # else: NOP — nothing to do.
+            j += 1
+        if ok:
+            return (value, cost, steps)
+        if undo is not None:
+            for fields, offset, old in reversed(undo):
+                fields[offset] = old
+        return None
+
     # -- timer -------------------------------------------------------------------
 
     def _fire_timer(self) -> None:
@@ -242,6 +552,10 @@ class Interpreter:
         self.frames.append(frame)
         fused_before = self.fused_dispatches
         deopts_before = self.fusion_deopts
+        misses_before = self.ic_misses
+        transitions_before = self.ic_transitions
+        cache = self.code_cache
+        ic_calls_before = cache.receiver_cell_total() if cache.ic else 0
         try:
             return self._loop()
         finally:
@@ -251,6 +565,17 @@ class Interpreter:
                     self.fused_dispatches - fused_before,
                     self.fusion_deopts - deopts_before,
                     self.code_cache.fused_sites,
+                )
+                misses = self.ic_misses - misses_before
+                ic_calls = (
+                    cache.receiver_cell_total() - ic_calls_before if cache.ic else 0
+                )
+                self.telemetry.on_ic_summary(
+                    max(0, ic_calls - misses),
+                    misses,
+                    self.ic_transitions - transitions_before,
+                    cache.ic_sites,
+                    cache.megamorphic_sites,
                 )
 
     def _loop(self):  # noqa: C901 - deliberately one flat hot loop
@@ -286,6 +611,7 @@ class Interpreter:
         faarg = method.fa
         fbarg = method.fb
         origins = method.origins
+        ics = method.ics
         stack = frame.stack
         locals_ = frame.locals
         pc = 0
@@ -339,6 +665,20 @@ class Interpreter:
         OP_ARRAY_LEN = int(Op.ARRAY_LEN)
         OP_PRINT = int(Op.PRINT)
         OP_NOP = int(Op.NOP)
+
+        # Inline-cache quickened opcodes (see repro.vm.ic).  ``ics`` is
+        # None exactly when the code cache was built without ICs, in
+        # which case none of these opcodes ever appear in ``fops``.
+        OP_IC_CALL_VIRTUAL = icache.OP_IC_CALL_VIRTUAL
+        OP_IC_CALL_STATIC = icache.OP_IC_CALL_STATIC
+        OP_IC_RETURN = icache.OP_IC_RETURN
+        OP_IC_RETURN_VAL = icache.OP_IC_RETURN_VAL
+        LEAF_VOID = icache.LEAF_VOID
+        LEAF_FAIL = icache.LEAF_FAIL
+        POLY_LIMIT = icache.POLY_LIMIT
+        locals_pad = icache.locals_pad
+        flat_vtables = self.flat_vtables
+        eval_leaf = self._eval_leaf
 
         # Superinstruction constants (see repro.vm.fuse).
         FUSE_BASE = fusion.FUSE_BASE
@@ -415,6 +755,301 @@ class Interpreter:
                 elif op == OP_PUSH:
                     stack.append(aarg[pc])
                     pc += 1
+                elif op == OP_IC_CALL_VIRTUAL:
+                    # Quickened virtual call.  Entry layout (repro.vm.ic):
+                    # [0]=nargs, [1..6]=slot0 (class, method, index,
+                    # views, pad, cell), [7..12]=slot1, [13]=overflow,
+                    # [14]=selector, [15]=state, [16]=cells, [17]=site.
+                    if steps >= max_steps:
+                        raise self._step_limit(
+                            time, steps, call_count, fused_n, deopts, frame, method, pc
+                        )
+                    entry = ics[pc]
+                    nargs = entry[0]
+                    receiver = stack[-nargs]
+                    if receiver is None:
+                        raise NullPointerError(
+                            "virtual call on null",
+                            method.function.qualified_name,
+                            pc,
+                        )
+                    rclass = receiver.class_index
+                    if rclass == entry[1]:
+                        cell = entry[6]
+                        callee = entry[2]
+                        callee_index = entry[3]
+                        views = entry[4]
+                        pad = entry[5]
+                    elif rclass == entry[7]:
+                        cell = entry[12]
+                        callee = entry[8]
+                        callee_index = entry[9]
+                        views = entry[10]
+                        pad = entry[11]
+                    else:
+                        # Both inline slots missed.  Overflow-bound
+                        # classes and megamorphic flat-table resolution
+                        # are handled here in the arm (not in the slow
+                        # path) so their callees still reach the leaf
+                        # fast path below; only binding a new class
+                        # leaves the loop.
+                        cell = None
+                        rest = entry[13]
+                        if rest is not None:
+                            for r in rest:
+                                if r[0] == rclass:
+                                    self.ic_misses += 1
+                                    callee = r[1]
+                                    callee_index = r[2]
+                                    views = r[3]
+                                    pad = r[4]
+                                    cell = r[5]
+                                    break
+                        if cell is None:
+                            if entry[15] > POLY_LIMIT:
+                                # Megamorphic: resolve through the flat
+                                # selector-indexed tables, never growing
+                                # the cache.
+                                self.ic_misses += 1
+                                selector = entry[14]
+                                row = flat_vtables[rclass]
+                                callee_index = (
+                                    row[selector] if selector < len(row) else -1
+                                )
+                                if callee_index < 0:
+                                    raise self._missing_selector(
+                                        rclass, selector, method, pc
+                                    )
+                                callee = cache_methods[callee_index]
+                                cells = entry[16]
+                                cell = cells.get(rclass)
+                                if cell is None:
+                                    cell = cells[rclass] = [0]
+                                if not seen[callee_index]:
+                                    seen[callee_index] = True
+                                    self.methods_executed += 1
+                                views = callee.views
+                                pad = locals_pad(callee.num_locals, nargs)
+                            else:
+                                callee, callee_index, views, pad = (
+                                    self._ic_virtual_slow(
+                                        entry, rclass, method, pc
+                                    )
+                                )
+                    if cell is not None:
+                        # Cache hit: try the leaf calling sequence — run
+                        # accessor-like bodies on a scratch stack with no
+                        # frame.  Only when no observation point (tick,
+                        # yieldpoint, observer, telemetry) could land
+                        # inside the body; _eval_leaf returns None (and
+                        # undoes its writes) on a would-be fault, and the
+                        # generic sequence below re-executes it.
+                        leaf = callee.leaf
+                        if (
+                            leaf is not None
+                            and observer is None
+                            and telemetry is None
+                            and self.yieldpoint_flag == 0
+                            and time + call_virtual_cost + leaf[0] < next_tick
+                            and len(frames) < max_frames
+                        ):
+                            base = len(stack) - nargs
+                            fn = leaf[6]
+                            if fn is not None:
+                                value = fn(stack, base)
+                                if value is not LEAF_FAIL:
+                                    cell[0] += 1
+                                    time += call_virtual_cost + leaf[7]
+                                    steps += leaf[8]
+                                    call_count += 1
+                                    del stack[base:]
+                                    if value is not LEAF_VOID:
+                                        stack.append(value)
+                                    pc += 1
+                                    continue
+                            else:
+                                res = eval_leaf(leaf, stack, base)
+                                if res is not None:
+                                    cell[0] += 1
+                                    time += call_virtual_cost + res[1]
+                                    steps += res[2]
+                                    call_count += 1
+                                    del stack[base:]
+                                    value = res[0]
+                                    if value is not LEAF_VOID:
+                                        stack.append(value)
+                                    pc += 1
+                                    continue
+                        cell[0] += 1
+                    time += call_virtual_cost
+                    call_count += 1
+                    if observer is not None:
+                        self.time = time
+                        origin = origins[pc]
+                        if origin is None:
+                            observer(method.index, pc, callee_index)
+                        else:
+                            observer(origin[0], origin[1], callee_index)
+                        time = self.time
+                    if telemetry is not None:
+                        origin = origins[pc]
+                        if origin is None:
+                            telemetry.on_call(time, method.index, pc, callee_index)
+                        else:
+                            telemetry.on_call(time, origin[0], origin[1], callee_index)
+                    if len(frames) >= max_frames:
+                        raise StackOverflowError_(
+                            f"guest stack exceeded {max_frames} frames",
+                            method.function.qualified_name,
+                            pc,
+                        )
+                    base = len(stack) - entry[0]
+                    new_locals = stack[base:]
+                    del stack[base:]
+                    if pad:
+                        new_locals.extend(pad)
+                    frame.pc = pc + 1  # return address
+                    if pool:
+                        frame = pool.pop()
+                        frame.method = callee
+                        frame.pc = 0
+                        frame.locals = new_locals
+                        frame.callsite_pc = pc
+                    else:
+                        frame = Frame(callee, new_locals, pc)
+                    frames.append(frame)
+                    method = callee
+                    ops, aarg, barg, costs, faarg, fbarg, origins, ics = views
+                    stack = frame.stack
+                    locals_ = frame.locals
+                    pc = 0
+                    if prologue_yp and self.yieldpoint_flag != 0:
+                        self.time = time
+                        self.call_count = call_count
+                        self._take_yieldpoint(PROLOGUE)
+                        time = self.time
+                elif op == OP_IC_RETURN_VAL or op == OP_IC_RETURN:
+                    # Quickened return: identical to the raw handler but
+                    # restores the caller's cached views in one unpack.
+                    time += return_cost
+                    if epilogue_yp and self.yieldpoint_flag != 0:
+                        self.time = time
+                        self.call_count = call_count
+                        frame.pc = pc
+                        self._take_yieldpoint(EPILOGUE)
+                        time = self.time
+                    value = stack.pop() if op == OP_IC_RETURN_VAL else None
+                    dead = frames.pop()
+                    if not frames:
+                        result = value
+                        break
+                    del dead.stack[:]
+                    dead.locals = _FREED_LOCALS
+                    pool.append(dead)
+                    frame = frames[-1]
+                    method = frame.method
+                    ops, aarg, barg, costs, faarg, fbarg, origins, ics = method.views
+                    stack = frame.stack
+                    locals_ = frame.locals
+                    pc = frame.pc
+                    if value is not None or op == OP_IC_RETURN_VAL:
+                        stack.append(value)
+                elif op == OP_IC_CALL_STATIC:
+                    # Quickened static call: [method, index, views, pad,
+                    # nargs] — the target is a constant.
+                    if steps >= max_steps:
+                        raise self._step_limit(
+                            time, steps, call_count, fused_n, deopts, frame, method, pc
+                        )
+                    entry = ics[pc]
+                    callee = entry[0]
+                    # Same leaf calling sequence as the virtual arm; the
+                    # target is a constant so there is no cache hit to
+                    # test first.
+                    leaf = callee.leaf
+                    if (
+                        leaf is not None
+                        and observer is None
+                        and telemetry is None
+                        and self.yieldpoint_flag == 0
+                        and time + call_static_cost + leaf[0] < next_tick
+                        and len(frames) < max_frames
+                    ):
+                        base = len(stack) - entry[4]
+                        fn = leaf[6]
+                        if fn is not None:
+                            value = fn(stack, base)
+                            if value is not LEAF_FAIL:
+                                time += call_static_cost + leaf[7]
+                                steps += leaf[8]
+                                call_count += 1
+                                del stack[base:]
+                                if value is not LEAF_VOID:
+                                    stack.append(value)
+                                pc += 1
+                                continue
+                        else:
+                            res = eval_leaf(leaf, stack, base)
+                            if res is not None:
+                                time += call_static_cost + res[1]
+                                steps += res[2]
+                                call_count += 1
+                                del stack[base:]
+                                value = res[0]
+                                if value is not LEAF_VOID:
+                                    stack.append(value)
+                                pc += 1
+                                continue
+                    callee_index = entry[1]
+                    views = entry[2]
+                    pad = entry[3]
+                    time += call_static_cost
+                    call_count += 1
+                    if observer is not None:
+                        self.time = time
+                        origin = origins[pc]
+                        if origin is None:
+                            observer(method.index, pc, callee_index)
+                        else:
+                            observer(origin[0], origin[1], callee_index)
+                        time = self.time
+                    if telemetry is not None:
+                        origin = origins[pc]
+                        if origin is None:
+                            telemetry.on_call(time, method.index, pc, callee_index)
+                        else:
+                            telemetry.on_call(time, origin[0], origin[1], callee_index)
+                    if len(frames) >= max_frames:
+                        raise StackOverflowError_(
+                            f"guest stack exceeded {max_frames} frames",
+                            method.function.qualified_name,
+                            pc,
+                        )
+                    base = len(stack) - entry[4]
+                    new_locals = stack[base:]
+                    del stack[base:]
+                    if pad:
+                        new_locals.extend(pad)
+                    frame.pc = pc + 1  # return address
+                    if pool:
+                        frame = pool.pop()
+                        frame.method = callee
+                        frame.pc = 0
+                        frame.locals = new_locals
+                        frame.callsite_pc = pc
+                    else:
+                        frame = Frame(callee, new_locals, pc)
+                    frames.append(frame)
+                    method = callee
+                    ops, aarg, barg, costs, faarg, fbarg, origins, ics = views
+                    stack = frame.stack
+                    locals_ = frame.locals
+                    pc = 0
+                    if prologue_yp and self.yieldpoint_flag != 0:
+                        self.time = time
+                        self.call_count = call_count
+                        self._take_yieldpoint(PROLOGUE)
+                        time = self.time
                 elif op == OP_GETFIELD:
                     obj = stack[-1]
                     if obj is None:
@@ -523,15 +1158,28 @@ class Interpreter:
                                 method.function.qualified_name,
                                 pc,
                             )
-                        callee_index = vtables[receiver.class_index][aarg[pc]]
+                        try:
+                            callee_index = vtables[receiver.class_index][aarg[pc]]
+                        except KeyError:
+                            raise self._missing_selector(
+                                receiver.class_index, aarg[pc], method, pc
+                            ) from None
                         callee = cache_methods[callee_index]
                         nargs = argc + 1
                         time += call_virtual_cost
+                        if ics is not None:
+                            # First execution of this site under ICs:
+                            # build the cache entry and quicken it.
+                            self._quicken_virtual(
+                                method, pc, receiver.class_index, callee, nargs
+                            )
                     else:
                         callee = cache_methods[aarg[pc]]
                         callee_index = callee.index
                         nargs = barg[pc]
                         time += call_static_cost
+                        if ics is not None:
+                            self._quicken_static(method, pc, callee, nargs)
                     call_count += 1
                     if not seen[callee_index]:
                         seen[callee_index] = True
@@ -585,6 +1233,7 @@ class Interpreter:
                     faarg = method.fa
                     fbarg = method.fb
                     origins = method.origins
+                    ics = method.ics
                     stack = frame.stack
                     locals_ = frame.locals
                     pc = 0
@@ -618,6 +1267,7 @@ class Interpreter:
                     faarg = method.fa
                     fbarg = method.fb
                     origins = method.origins
+                    ics = method.ics
                     stack = frame.stack
                     locals_ = frame.locals
                     pc = frame.pc
@@ -842,6 +1492,7 @@ class Interpreter:
                     faarg = method.fa
                     fbarg = method.fb
                     origins = method.origins
+                    ics = method.ics
                     stack = frame.stack
                     locals_ = frame.locals
                     pc = frame.pc

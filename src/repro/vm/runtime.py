@@ -18,9 +18,34 @@ mode check of its own.
 from __future__ import annotations
 
 from repro.bytecode.function import FunctionInfo
+from repro.bytecode.opcodes import Op
 from repro.bytecode.program import Program
 from repro.vm.costmodel import CostModel
 from repro.vm.fuse import fuse_method
+from repro.vm.ic import (
+    OP_IC_RETURN,
+    OP_IC_RETURN_VAL,
+    analyze_leaf,
+    S_METHOD,
+    S_NARGS,
+    S_PAD,
+    S_VIEWS,
+    V_INDEX0,
+    V_INDEX1,
+    V_METHOD0,
+    V_METHOD1,
+    V_NARGS,
+    V_PAD0,
+    V_PAD1,
+    V_REST,
+    V_VIEWS0,
+    V_VIEWS1,
+    entry_is_virtual,
+    locals_pad,
+)
+
+_OP_RETURN = int(Op.RETURN)
+_OP_RETURN_VAL = int(Op.RETURN_VAL)
 
 
 class CompiledMethod:
@@ -47,6 +72,9 @@ class CompiledMethod:
         "fb",
         "fused_sites",
         "fused_span",
+        "ics",
+        "views",
+        "leaf",
         "opt_level",
         "num_locals",
         "returns_value",
@@ -59,6 +87,7 @@ class CompiledMethod:
         cost_model: CostModel,
         opt_level: int,
         fuse: bool = True,
+        ic: bool = True,
     ):
         self.function = function
         self.index = function.index
@@ -90,6 +119,51 @@ class CompiledMethod:
         self.num_locals = function.num_locals
         self.returns_value = function.returns_value
         self.size_bytes = function.bytecode_size()
+        if ic:
+            # Call sites quicken lazily (the interpreter rewrites
+            # ``fops[pc]`` on first execution), so ``fops`` must be a
+            # list distinct from the pristine raw ``ops`` even when
+            # fusion found nothing.  Returns have no per-site state and
+            # quicken statically here; a RETURN slot interior to a
+            # fused group is safe to quicken because the IC handler is
+            # behaviourally identical to the raw one.
+            if self.fops is self.ops:
+                self.fops = list(self.ops)
+            fops = self.fops
+            for pc, op in enumerate(fops):
+                if op == _OP_RETURN:
+                    fops[pc] = OP_IC_RETURN
+                elif op == _OP_RETURN_VAL:
+                    fops[pc] = OP_IC_RETURN_VAL
+            self.ics: list | None = [None] * len(self.ops)
+            #: Everything a frame switch must load, prebuilt: the IC
+            #: call/return paths unpack this one tuple instead of doing
+            #: seven attribute loads.
+            self.views = (
+                self.fops,
+                self.a,
+                self.b,
+                self.fcosts,
+                self.fa,
+                self.fb,
+                self.origins,
+                self.ics,
+            )
+            #: Leaf-call template (see repro.vm.ic.analyze_leaf): small
+            #: fault-analyzable bodies that inline-cached call sites may
+            #: evaluate without materializing a frame.
+            self.leaf = analyze_leaf(
+                self.ops,
+                self.a,
+                self.costs,
+                self.num_locals,
+                function.num_params,
+                cost_model.return_cost,
+            )
+        else:
+            self.ics = None
+            self.views = None
+            self.leaf = None
 
     def __repr__(self) -> str:
         return (
@@ -109,10 +183,17 @@ class CodeCache:
     charges no compile time.
     """
 
-    def __init__(self, program: Program, cost_model: CostModel, fuse: bool = True):
+    def __init__(
+        self,
+        program: Program,
+        cost_model: CostModel,
+        fuse: bool = True,
+        ic: bool = True,
+    ):
         self._program = program
         self._cost_model = cost_model
         self.fuse = fuse
+        self.ic = ic
         self.compile_time = 0
         self.compile_count = 0
         #: Superinstruction sites / raw instructions covered, summed over
@@ -120,6 +201,19 @@ class CodeCache:
         #: when installs replace earlier versions).
         self.fused_sites = 0
         self.fused_span = 0
+        #: Inline-cache population (see repro.vm.ic): quickened call
+        #: sites, sites that overflowed to megamorphic, and the exact
+        #: per-site receiver counts.  ``receiver_cells`` maps a baseline
+        #: ``(function index, pc)`` site to ``{class_index: [count]}``;
+        #: the single-element count cells are shared with every cache
+        #: entry bound for the site, so counts survive recompilation.
+        self.ic_sites = 0
+        self.ic_static_sites = 0
+        self.megamorphic_sites = 0
+        self.receiver_cells: dict[tuple[int, int], dict[int, list[int]]] = {}
+        #: callee function index -> cache entries bound to it, refreshed
+        #: in place when :meth:`install` replaces that function.
+        self.ic_deps: dict[int, list[list]] = {}
         self.methods: list[CompiledMethod] = [
             self._charge_and_compile(function, opt_level=0)
             for function in program.functions
@@ -131,7 +225,9 @@ class CodeCache:
         per_byte = self._cost_model.compile_cost_per_byte.get(opt_level, 2)
         self.compile_time += per_byte * function.bytecode_size()
         self.compile_count += 1
-        method = CompiledMethod(function, self._cost_model, opt_level, fuse=self.fuse)
+        method = CompiledMethod(
+            function, self._cost_model, opt_level, fuse=self.fuse, ic=self.ic
+        )
         self.fused_sites += method.fused_sites
         self.fused_span += method.fused_span
         return method
@@ -140,11 +236,55 @@ class CodeCache:
         """Compile ``function`` at ``opt_level`` and make it current.
 
         ``function`` may be a rewritten (optimized) body for an existing
-        function index.
+        function index.  Inline-cache entries bound to the replaced
+        version are repointed at the new one in place (in-flight frames
+        keep executing the old code, but every *call* — cached or not —
+        resolves to the current version, exactly like the raw dispatch
+        path reading ``cache.methods``); receiver counts live in shared
+        cells and are preserved.
         """
         method = self._charge_and_compile(function, opt_level)
         self.methods[function.index] = method
+        if self.ic:
+            self._refresh_ic_entries(function.index, method)
         return method
+
+    def _refresh_ic_entries(self, index: int, method: CompiledMethod) -> None:
+        entries = self.ic_deps.get(index)
+        if not entries:
+            return
+        views = method.views
+        num_locals = method.num_locals
+        for entry in entries:
+            if not entry_is_virtual(entry):
+                entry[S_METHOD] = method
+                entry[S_VIEWS] = views
+                entry[S_PAD] = locals_pad(num_locals, entry[S_NARGS])
+                continue
+            pad = locals_pad(num_locals, entry[V_NARGS])
+            if entry[V_INDEX0] == index:
+                entry[V_METHOD0] = method
+                entry[V_VIEWS0] = views
+                entry[V_PAD0] = pad
+            if entry[V_INDEX1] == index:
+                entry[V_METHOD1] = method
+                entry[V_VIEWS1] = views
+                entry[V_PAD1] = pad
+            rest = entry[V_REST]
+            if rest:
+                for r in rest:
+                    if r[2] == index:
+                        r[1] = method
+                        r[3] = views
+                        r[4] = pad
+
+    def receiver_cell_total(self) -> int:
+        """Total receiver-classified calls counted by the caches."""
+        total = 0
+        for cells in self.receiver_cells.values():
+            for cell in cells.values():
+                total += cell[0]
+        return total
 
     def current(self, index: int) -> CompiledMethod:
         return self.methods[index]

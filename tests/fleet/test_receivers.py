@@ -1,0 +1,102 @@
+"""Fleet receiver rows: publish → merge → snapshot round-trip."""
+
+import itertools
+
+import pytest
+
+from repro.fleet.merge import AggregateProfile, MergeError, MergePolicy
+from repro.fleet.protocol import publish_message
+
+FP = "ab" * 32
+
+ROWS = [
+    ["main", 4, "A", 30.0],
+    ["main", 4, "B", 10.0],
+    ["Worker.step", 9, "A", 5.0],
+]
+
+
+def test_publish_message_carries_receivers():
+    message = publish_message(FP, [["main", 4, "A.f", 3.0]], "r1", receivers=ROWS)
+    assert message["receivers"] == ROWS
+    # Omitted (not an empty list) when a delta has no receiver growth —
+    # old consumers never see the key.
+    bare = publish_message(FP, [["main", 4, "A.f", 3.0]], "r1")
+    assert "receivers" not in bare
+    empty = publish_message(FP, [["main", 4, "A.f", 3.0]], "r1", receivers=[])
+    assert "receivers" not in empty
+
+
+def test_merge_accumulates_receiver_counts():
+    aggregate = AggregateProfile(FP)
+    aggregate.merge_delta([["main", 4, "A.f", 3.0]], run_id="a", receivers=ROWS)
+    aggregate.merge_delta(
+        [], run_id="b", receivers=[["main", 4, "A", 10.0]]
+    )
+    assert aggregate.receivers()[("main", 4, "A")] == 40.0
+    assert aggregate.receiver_distribution("main", 4) == {"A": 40.0, "B": 10.0}
+    assert aggregate.receiver_distribution("main", 99) == {}
+
+
+def test_receiver_merge_is_order_independent():
+    deltas = [
+        ([["main", 4, "A", 8.0]], 0),
+        ([["main", 4, "B", 4.0]], 1),
+        ([["main", 4, "A", 2.0], ["Worker.step", 9, "A", 1.0]], 2),
+    ]
+
+    def merged(order):
+        aggregate = AggregateProfile(FP, MergePolicy(decay=0.5))
+        for index in order:
+            receivers, epoch = deltas[index]
+            aggregate.merge_delta(
+                [], epoch=epoch, run_id=f"run-{index}", receivers=receivers
+            )
+        return aggregate.receivers()
+
+    baseline = merged(range(len(deltas)))
+    for order in itertools.permutations(range(len(deltas))):
+        got = merged(order)
+        assert set(got) == set(baseline)
+        for key, value in baseline.items():
+            assert got[key] == pytest.approx(value)
+
+
+def test_receiver_decay_weights_newer_epochs_heavier():
+    aggregate = AggregateProfile(FP, MergePolicy(decay=0.5))
+    aggregate.merge_delta([], epoch=0, receivers=[["main", 4, "A", 8.0]])
+    aggregate.merge_delta([], epoch=1, receivers=[["main", 4, "B", 8.0]])
+    distribution = aggregate.receiver_distribution("main", 4)
+    assert distribution["B"] > distribution["A"]
+
+
+def test_snapshot_round_trips_receivers():
+    aggregate = AggregateProfile(FP)
+    aggregate.merge_delta([["main", 4, "A.f", 3.0]], run_id="a", receivers=ROWS)
+    snapshot = aggregate.to_dict()
+    assert snapshot["receivers"] == sorted(snapshot["receivers"])
+    restored = AggregateProfile.from_dict(snapshot)
+    assert restored.receivers() == aggregate.receivers()
+    # Aggregates that never saw receiver rows stay clean on the wire.
+    plain = AggregateProfile(FP)
+    plain.merge_delta([["main", 4, "A.f", 3.0]], run_id="a")
+    assert "receivers" not in plain.to_dict()
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        [["main", 4, "A"]],  # missing count
+        [["main", 4, "A", float("nan")]],
+        [["main", 4, "A", -1.0]],
+        [["main", "x", "A", 1.0]],
+        ["not-a-row"],
+    ],
+)
+def test_malformed_receiver_rows_rejected_without_mutation(bad):
+    aggregate = AggregateProfile(FP)
+    aggregate.merge_delta([], run_id="a", receivers=[["main", 4, "A", 1.0]])
+    before = dict(aggregate.receivers())
+    with pytest.raises(MergeError):
+        aggregate.merge_delta([], run_id="b", receivers=bad)
+    assert aggregate.receivers() == before

@@ -1,0 +1,145 @@
+"""End-to-end: the new inliner's >40% guarded rule driven by exact IC
+receiver counts — no sampled DCG at all.
+
+This is the payoff path of the inline caches: the VM runs, the caches
+count every (site, receiver class) pair as a by-product of dispatch,
+and the snapshot alone carries enough distribution shape for the
+distribution-aware guarded-inlining rule.
+"""
+
+from repro.bytecode.opcodes import Op
+from repro.frontend.codegen import compile_source
+from repro.inlining.new_inliner import NewJikesInliner
+from repro.opt.inline import GUARDED
+from repro.profiling.dcg import DCG
+from repro.profiling.receivers import ReceiverProfile
+from repro.vm.config import jikes_config
+from repro.vm.interpreter import Interpreter
+
+#: ``C`` keeps the ``f`` selector polymorphic for CHA (so the site
+#: cannot be devirtualized statically) but is never instantiated; the
+#: runtime mix is 75% ``A`` / 25% ``B``.
+SKEWED = """
+class A { def f(): int { return 1; } }
+class B extends A { def f(): int { return 2; } }
+class C extends A { def f(): int { return 3; } }
+def main() {
+  var objs = new A[4];
+  objs[0] = new A();
+  objs[1] = new A();
+  objs[2] = new A();
+  objs[3] = new B();
+  var t = 0;
+  for (var i = 0; i < 100; i = i + 1) { t = t + objs[i % 4].f(); }
+  print(t);
+}
+"""
+
+#: Four live receiver classes at 25% each — nothing clears 40%.
+FLAT = """
+class A { def f(): int { return 1; } }
+class B extends A { def f(): int { return 2; } }
+class C extends A { def f(): int { return 3; } }
+class D extends A { def f(): int { return 4; } }
+def main() {
+  var objs = new A[4];
+  objs[0] = new A();
+  objs[1] = new B();
+  objs[2] = new C();
+  objs[3] = new D();
+  var t = 0;
+  for (var i = 0; i < 100; i = i + 1) { t = t + objs[i % 4].f(); }
+  print(t);
+}
+"""
+
+
+def profile_from_run(source):
+    program = compile_source(source)
+    vm = Interpreter(program, jikes_config())
+    vm.run()
+    return program, ReceiverProfile.from_cache(vm.code_cache)
+
+
+def virtual_site(program):
+    main = program.function_index("main")
+    pc = next(
+        pc
+        for pc, instr in enumerate(program.functions[main].code)
+        if instr.op is Op.CALL_VIRTUAL
+    )
+    return main, pc
+
+
+def test_guarded_decision_from_ic_counts_without_dcg():
+    program, profile = profile_from_run(SKEWED)
+    main, f_site = virtual_site(program)
+    # Without any profile the site is undecidable (CHA sees 3 targets).
+    bare = NewJikesInliner(program).plan_for(main, None)
+    assert f_site not in {d.callsite_pc for d in bare.decisions}
+    # With the exact receiver profile — and still no DCG — the dominant
+    # 75% receiver drives a guarded inline of A.f.
+    policy = NewJikesInliner(program)
+    policy.receiver_profile = profile
+    plan = policy.plan_for(main, None)
+    decision = next(d for d in plan.decisions if d.callsite_pc == f_site)
+    assert decision.kind == GUARDED
+    assert decision.callee_index == program.function_index("A.f")
+    # B carries only 25% — it must not ride along as an extra guard.
+    assert program.function_index("B.f") not in decision.extra_targets
+
+
+def test_flat_distribution_rejects_guarded_inline():
+    program, profile = profile_from_run(FLAT)
+    main, f_site = virtual_site(program)
+    policy = NewJikesInliner(program)
+    policy.receiver_profile = profile
+    plan = policy.plan_for(main, None)
+    assert f_site not in {d.callsite_pc for d in plan.decisions}
+
+
+def test_benchsuite_guarded_decisions_driven_by_ic_counts():
+    """On a real benchsuite program (jess: rule dispatch over a class
+    hierarchy) the IC receiver counts alone — no DCG — produce at
+    least one >40% guarded-inlining decision that the profile-less
+    policy cannot make."""
+    from repro.benchsuite.suite import program_for
+
+    program = program_for("jess", "tiny")
+    vm = Interpreter(program, jikes_config())
+    vm.run()
+    profile = ReceiverProfile.from_cache(vm.code_cache)
+    assert profile.total_calls() > 0
+    with_profile = NewJikesInliner(program)
+    with_profile.receiver_profile = profile
+    bare = NewJikesInliner(program)
+    callers = sorted({site[0] for site in profile.sites})
+    guarded = []
+    for caller in callers:
+        bare_pcs = {d.callsite_pc for d in bare.plan_for(caller, None).decisions}
+        for decision in with_profile.plan_for(caller, None).decisions:
+            if decision.kind == GUARDED and decision.callsite_pc not in bare_pcs:
+                guarded.append((caller, decision))
+    assert guarded
+    # Every guarded target really is dominant (>40%) in the exact counts.
+    for caller, decision in guarded:
+        distribution = profile.callee_distribution(
+            program, caller, decision.callsite_pc
+        )
+        total = sum(distribution.values())
+        assert distribution[decision.callee_index] / total > 0.40
+
+
+def test_exact_profile_wins_over_contradictory_dcg():
+    """When both are present the exact IC distribution is preferred; a
+    sampled DCG claiming B dominates must not override it."""
+    program, profile = profile_from_run(SKEWED)
+    main, f_site = virtual_site(program)
+    lying_dcg = DCG()
+    lying_dcg.record(main, f_site, program.function_index("B.f"), 1000.0)
+    policy = NewJikesInliner(program)
+    policy.receiver_profile = profile
+    plan = policy.plan_for(main, lying_dcg)
+    decision = next(d for d in plan.decisions if d.callsite_pc == f_site)
+    assert decision.kind == GUARDED
+    assert decision.callee_index == program.function_index("A.f")

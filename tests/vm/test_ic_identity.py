@@ -1,0 +1,200 @@
+"""Differential suite: inline caches are bit-identical to raw dispatch.
+
+Inline caches (:mod:`repro.vm.ic`) are a host-level dispatch strategy,
+exactly like superinstruction fusion.  Everything the paper's
+experiments measure — virtual time, timer ticks, yieldpoints, step
+counts, DCG edge weights, telemetry events, saved profiles — must be
+unaffected by whether dispatch goes through an IC binding, a leaf
+template, or the generic lookup.  Every test runs the same program
+twice, ``ic=True`` vs ``ic=False``, and asserts the observable states
+match exactly (no tolerances).
+
+The only permitted differences are the IC bookkeeping itself
+(``ic_misses``/``ic_transitions`` on the VM, the ``ic.*`` metric keys)
+and — because IC quickening changes which pcs fusion may group — the
+``fusion.*`` dispatch counters.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.benchsuite.suite import ADVERSARIAL, program_for
+from repro.frontend.codegen import compile_source
+from repro.profiling.cbs import CBSProfiler
+from repro.profiling.exhaustive import ExhaustiveProfiler
+from repro.profiling.serialize import save_profile
+from repro.profiling.timer_sampler import TimerProfiler
+from repro.telemetry.exporters import export_jsonl
+from repro.telemetry.tracer import Tracer
+from repro.vm.config import config_named, jikes_config
+from repro.vm.interpreter import Interpreter
+
+#: Virtual-dispatch-heavy suite members plus one allocation-heavy and
+#: one recursion-heavy program; jess-tiny alone covers mono, poly and
+#: megamorphic sites.
+PROGRAMS = ["compress", "jess", "javac", "mtrt", "jack", "jbb"]
+
+PROFILERS = {
+    "none": lambda: None,
+    "exhaustive": ExhaustiveProfiler,
+    "timer": TimerProfiler,
+    "cbs": lambda: CBSProfiler(stride=3, samples_per_tick=16, seed=7),
+}
+
+
+def _run(program, config, make_profiler):
+    vm = Interpreter(program, config)
+    profiler = make_profiler()
+    if isinstance(profiler, ExhaustiveProfiler):
+        profiler.install(vm)  # call observer, not a sampling profiler
+    elif profiler is not None:
+        vm.attach_profiler(profiler)
+    vm.run()
+    return vm, profiler
+
+
+def _state(vm, profiler):
+    dcg = profiler.dcg.edges() if profiler is not None else None
+    return {
+        "output": list(vm.output),
+        "time": vm.time,
+        "steps": vm.steps,
+        "ticks": vm.ticks,
+        "calls": vm.call_count,
+        "methods": vm.methods_executed,
+        "dcg": dcg,
+    }
+
+
+def assert_ic_identical(program, vm_name="jikes", profiler="none", **overrides):
+    ic_cfg = config_named(vm_name, ic=True, **overrides)
+    raw_cfg = config_named(vm_name, ic=False, **overrides)
+    make = PROFILERS[profiler]
+    ic_vm, ic_prof = _run(program, ic_cfg, make)
+    raw_vm, raw_prof = _run(program, raw_cfg, make)
+    assert _state(ic_vm, ic_prof) == _state(raw_vm, raw_prof)
+    # The IC run actually quickened call sites (otherwise this suite
+    # proves nothing) and the raw run never did.
+    assert ic_vm.code_cache.ic_sites > 0
+    assert ic_vm.code_cache.receiver_cell_total() > 0
+    assert raw_vm.code_cache.ic_sites == 0
+    assert raw_vm.ic_misses == 0
+    return ic_vm, raw_vm
+
+
+@pytest.mark.parametrize("name", PROGRAMS)
+@pytest.mark.parametrize("profiler", ["none", "exhaustive", "cbs"])
+def test_benchsuite_identical_jikes(name, profiler):
+    assert_ic_identical(program_for(name, "tiny"), "jikes", profiler)
+
+
+@pytest.mark.parametrize("name", ["compress", "javac", "jbb"])
+def test_benchsuite_identical_timer_profiler(name):
+    assert_ic_identical(program_for(name, "tiny"), "jikes", "timer")
+
+
+@pytest.mark.parametrize("name", ["compress", "javac", "mtrt"])
+def test_benchsuite_identical_j9(name):
+    assert_ic_identical(program_for(name, "tiny"), "j9", "cbs")
+
+
+@pytest.mark.parametrize("fuse", [True, False], ids=["fused", "unfused"])
+def test_ic_composes_with_fusion(fuse):
+    """IC identity holds with fusion on *and* off — the two quickening
+    layers (IC_BASE opcodes vs FUSE_BASE groups) don't interact."""
+    assert_ic_identical(program_for("jess", "tiny"), "jikes", "cbs", fuse=fuse)
+
+
+def test_adversarial_identical():
+    program = compile_source(ADVERSARIAL.source("tiny"))
+    assert_ic_identical(program, "jikes", "cbs")
+
+
+@pytest.mark.parametrize("interval", [97, 523, 1009])
+def test_small_timer_intervals_stress_tick_paths(interval):
+    """Tiny prime intervals land timer ticks inside leaf-template
+    bodies constantly, exercising the tick-aware leaf bailout."""
+    assert_ic_identical(
+        program_for("jess", "tiny"), "jikes", "cbs", timer_interval=interval
+    )
+
+
+def test_large_size_spot_check():
+    assert_ic_identical(program_for("jess", "small"), "jikes", "cbs")
+
+
+def test_saved_profiles_byte_identical(tmp_path):
+    """The serialized DCG profile — what the fleet shares and the
+    optimizer consumes — is byte-for-byte the same with ICs on or off."""
+    program = program_for("jess", "tiny")
+    paths = {}
+    for label, ic in (("ic", True), ("raw", False)):
+        vm = Interpreter(program, config_named("jikes", ic=ic))
+        profiler = CBSProfiler(stride=3, samples_per_tick=16, seed=7)
+        vm.attach_profiler(profiler)
+        vm.run()
+        path = tmp_path / f"{label}.json"
+        save_profile(profiler.dcg, program, str(path))
+        paths[label] = path.read_bytes()
+    assert paths["ic"] == paths["raw"]
+
+
+def _trace_lines(program, config, tmp_path, label):
+    tracer = Tracer()
+    vm = Interpreter(program, config)
+    vm.attach_profiler(CBSProfiler(stride=3, samples_per_tick=16, seed=7))
+    vm.attach_telemetry(tracer)
+    vm.run()
+    path = tmp_path / f"{label}.jsonl"
+    export_jsonl(tracer, str(path))
+    return path.read_text().splitlines()
+
+
+def test_telemetry_jsonl_traces_identical(tmp_path):
+    """Event streams are byte-identical; metrics differ only in the
+    ``ic.*`` keys and the ``fusion.*`` dispatch counters (quickened
+    call opcodes change which pcs fusion can group)."""
+    program = program_for("jess", "tiny")
+    with_ic = _trace_lines(program, jikes_config(ic=True), tmp_path, "ic")
+    without = _trace_lines(program, jikes_config(ic=False), tmp_path, "raw")
+    assert len(with_ic) == len(without)
+    # Header and every event line: byte-identical.
+    assert with_ic[:-1] == without[:-1]
+    ic_metrics = json.loads(with_ic[-1])["metrics"]
+    raw_metrics = json.loads(without[-1])["metrics"]
+
+    def strip_dispatch(snapshot):
+        return {
+            k: v
+            for k, v in snapshot.items()
+            if not k.startswith(("ic.", "fusion."))
+        }
+
+    assert strip_dispatch(ic_metrics) == strip_dispatch(raw_metrics)
+    assert ic_metrics["ic.hits"]["value"] > 0
+    assert ic_metrics["ic.sites"]["value"] > 0
+    assert "ic.hits" not in raw_metrics or raw_metrics["ic.hits"]["value"] == 0
+
+
+def test_ic_metrics_accumulate_across_runs():
+    """Hits/misses are per-run deltas into counters; sites is a gauge
+    set to the cache's running total (no double counting).  The second
+    run reuses the already-quickened sites, so it scores at least as
+    many hits as the first and strictly fewer misses."""
+    program = program_for("jess", "tiny")
+    tracer = Tracer()
+    vm = Interpreter(program, jikes_config())
+    vm.attach_telemetry(tracer)
+    vm.run()
+    first = tracer.metrics.snapshot()
+    hits_once = first["ic.hits"]["value"]
+    misses_once = first["ic.misses"]["value"]
+    assert hits_once > 0 and misses_once > 0
+    vm.run()
+    snapshot = tracer.metrics.snapshot()
+    assert snapshot["ic.hits"]["value"] >= 2 * hits_once
+    assert snapshot["ic.misses"]["value"] < 2 * misses_once
+    assert snapshot["ic.sites"]["value"] == vm.code_cache.ic_sites
