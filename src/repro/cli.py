@@ -14,8 +14,10 @@ Usage::
     repro-mini report trace_file
     repro-mini bench [--benchmarks a,b] [--profilers cbs,timer] [--seeds 1,2]
                      [--size S] [--vm jikes|j9] [--jobs N] [--json]
-    repro-mini disasm program.mini [--fused | --ic]
+    repro-mini disasm program.mini [--fused | --ic] [--method N]
     repro-mini check program.mini
+    repro-mini fuzz [--seeds N] [--jobs K] [--start S] [--vm jikes|j9]
+                    [--save-repros DIR] [--replay DIR] [--no-shrink] [--json]
 
 (or ``python -m repro.cli ...``).  ``--trace`` records the run's
 telemetry (ticks, yieldpoint transitions, CBS windows, samples,
@@ -26,6 +28,12 @@ a file as a table.  See docs/OBSERVABILITY.md.
 streams DCG deltas to it in the background (never blocking the VM) and
 ``--warm-start`` seeds the adaptive optimizer from the fleet's
 aggregated profile before execution.  See docs/FLEET.md.
+
+``fuzz`` runs the differential fuzzer: random programs executed across
+the whole ``fuse × ic × profiler × telemetry`` configuration matrix,
+checking the identity invariants; violations are triaged, shrunk, and
+(with ``--save-repros``) written out as reproducers.  ``--replay DIR``
+re-checks a committed reproducer corpus instead.  See docs/FUZZING.md.
 """
 
 from __future__ import annotations
@@ -449,6 +457,20 @@ def _cmd_disasm(args) -> int:
     program = _load(args.file)
     if args.fused and args.ic:
         raise SystemExit("--fused and --ic are separate views; pick one")
+    if args.method is not None:
+        if args.fused or args.ic:
+            raise SystemExit("--method applies to the plain bytecode view only")
+        count = len(program.functions)
+        if not 0 <= args.method < count:
+            raise SystemExit(
+                f"method index {args.method} out of range "
+                f"(program has {count} function{'s' if count != 1 else ''}: "
+                f"0..{count - 1})"
+            )
+        from repro.bytecode.disassembler import disassemble_function
+
+        print(disassemble_function(program.functions[args.method], program))
+        return 0
     if args.fused:
         from repro.bytecode.disassembler import disassemble_fused
 
@@ -459,6 +481,123 @@ def _cmd_disasm(args) -> int:
         print(disassemble_ic(program), end="")
     else:
         print(disassemble(program))
+    return 0
+
+
+def _cmd_fuzz(args) -> int:
+    import json as json_module
+    import time
+
+    from repro.fuzz.campaign import replay_corpus, run_campaign, save_reproducers
+
+    if args.replay:
+        if not os.path.isdir(args.replay):
+            raise SystemExit(f"corpus directory not found: {args.replay}")
+        results = replay_corpus(args.replay, vm_name=args.vm)
+        if not results:
+            raise SystemExit(f"no .mini/.asm reproducers in {args.replay}")
+        failing = [(path, violations) for path, violations in results if violations]
+        if args.json:
+            print(
+                json_module.dumps(
+                    {
+                        "replayed": len(results),
+                        "failing": [
+                            {
+                                "path": path,
+                                "violations": [v.as_dict() for v in violations],
+                            }
+                            for path, violations in failing
+                        ],
+                    },
+                    indent=2,
+                )
+            )
+        else:
+            for path, violations in results:
+                status = "FAIL" if violations else "ok"
+                print(f"{status:4s} {path}")
+                for violation in violations[:3]:
+                    print(f"       {violation.invariant} @ {violation.cell}")
+        if failing:
+            print(
+                f"-- {len(failing)}/{len(results)} reproducers regressed",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"-- {len(results)} reproducers clean", file=sys.stderr)
+        return 0
+
+    if args.seeds <= 0:
+        raise SystemExit("--seeds must be positive")
+    started = time.perf_counter()
+
+    def progress(partial):
+        if partial.checked % 50 == 0:
+            print(
+                f"-- {partial.checked}/{args.seeds} checked, "
+                f"{partial.violations} violations",
+                file=sys.stderr,
+                flush=True,
+            )
+
+    result = run_campaign(
+        seeds=args.seeds,
+        jobs=args.jobs,
+        start=args.start,
+        vm_name=args.vm,
+        shrink=not args.no_shrink,
+        progress=progress,
+    )
+    elapsed = time.perf_counter() - started
+
+    saved: list[str] = []
+    if args.save_repros and result.reproducers:
+        saved = save_reproducers(result, args.save_repros)
+
+    if args.json:
+        print(
+            json_module.dumps(
+                {
+                    "checked": result.checked,
+                    "ok": result.ok,
+                    "violations": result.violations,
+                    "wall_seconds": round(elapsed, 3),
+                    "buckets": {
+                        key: {
+                            "seeds": [r["seed"] for r in reports],
+                            "reproducer": result.reproducers.get(key),
+                        }
+                        for key, reports in sorted(result.buckets.items())
+                    },
+                    "saved": saved,
+                },
+                indent=2,
+            )
+        )
+    else:
+        print(
+            f"-- fuzz: {result.checked} programs checked "
+            f"({result.ok} clean) in {elapsed:.1f}s (jobs={args.jobs})"
+        )
+        for key, reports in sorted(result.buckets.items()):
+            seeds = [r["seed"] for r in reports]
+            print(f"BUCKET {key}")
+            print(f"  seeds: {seeds[:8]}{'...' if len(seeds) > 8 else ''}")
+            repro = result.reproducers.get(key)
+            if repro is not None:
+                print(f"  shrunk reproducer ({repro['lines']} lines):")
+                for line in repro["source"].splitlines():
+                    print(f"    {line}")
+        for path in saved:
+            print(f"-- reproducer written to {path}", file=sys.stderr)
+    if result.violations:
+        print(
+            f"-- {result.violations} invariant violation(s) in "
+            f"{len(result.buckets)} bucket(s)",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
@@ -671,7 +810,62 @@ def build_parser() -> argparse.ArgumentParser:
         help="show the inline-cache view: quickening call sites, "
         "dispatch-table fan-out, and leaf-template eligibility",
     )
+    disasm.add_argument(
+        "--method",
+        type=int,
+        default=None,
+        metavar="N",
+        help="disassemble only the function with index N",
+    )
     disasm.set_defaults(handler=_cmd_disasm)
+
+    fuzz = commands.add_parser(
+        "fuzz",
+        help="differential-fuzz the fuse × ic × profiler × telemetry matrix",
+    )
+    fuzz.add_argument(
+        "--seeds",
+        type=int,
+        default=50,
+        metavar="N",
+        help="number of generated programs to check (default 50)",
+    )
+    fuzz.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="K",
+        help="worker processes (0 = one per CPU; results are "
+        "identical for any value)",
+    )
+    fuzz.add_argument(
+        "--start",
+        type=int,
+        default=0,
+        metavar="S",
+        help="first seed value (campaigns are reproducible: same "
+        "seeds, same findings)",
+    )
+    fuzz.add_argument("--vm", choices=["jikes", "j9"], default="jikes")
+    fuzz.add_argument(
+        "--save-repros",
+        metavar="DIR",
+        help="write each bucket's shrunk reproducer into DIR",
+    )
+    fuzz.add_argument(
+        "--replay",
+        metavar="DIR",
+        help="re-check a committed reproducer corpus instead of generating",
+    )
+    fuzz.add_argument(
+        "--no-shrink",
+        action="store_true",
+        help="skip minimizing violating programs (faster triage-only runs)",
+    )
+    fuzz.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+    fuzz.set_defaults(handler=_cmd_fuzz)
 
     check = commands.add_parser("check", help="parse and type check only")
     check.add_argument("file")

@@ -1,0 +1,315 @@
+"""Differential execution across the VM configuration matrix.
+
+One program is run under every cell of the ``fuse × ic × profiler ×
+telemetry`` matrix and the runs are compared against a per-profiler
+reference (``fuse=False, ic=False, telemetry off``).
+
+Comparisons are grouped by profiler because profilers are *allowed* to
+cost virtual time (the paper measures exactly that overhead): within a
+profiler group every observable — output, time, steps, ticks, calls,
+methods, DCG edge weights, guest-error transcript, telemetry event
+stream — must match bit-for-bit.  Across profiler groups only the
+time-independent observables must match: printed output, step count,
+call count, methods executed, and the guest-error transcript.
+
+A host-level Python exception escaping the interpreter (anything that
+is not a ``VMError``) is a violation by definition, whatever the cell.
+"""
+
+from __future__ import annotations
+
+import traceback
+from dataclasses import dataclass, field
+
+from repro.profiling.cbs import CBSProfiler
+from repro.profiling.exhaustive import ExhaustiveProfiler
+from repro.profiling.timer_sampler import TimerProfiler
+from repro.telemetry.exporters import jsonl_lines
+from repro.telemetry.tracer import Tracer
+from repro.vm.config import config_named
+from repro.vm.errors import VMError
+from repro.vm.interpreter import Interpreter
+
+#: Profiler groups, in comparison order ("none" is the cross-group
+#: baseline).  Factories return a fresh profiler (or None) per run.
+PROFILERS = {
+    "none": lambda: None,
+    "exhaustive": ExhaustiveProfiler,
+    "timer": TimerProfiler,
+    "cbs": lambda: CBSProfiler(stride=3, samples_per_tick=16, seed=7),
+}
+
+#: Fields that must be identical *within* a profiler group.
+GROUP_FIELDS = ("output", "time", "steps", "ticks", "calls", "methods", "dcg", "error")
+
+#: Fields that must also be identical *across* profiler groups
+#: (everything virtual-time-dependent excluded).
+CROSS_FIELDS = ("output", "steps", "calls", "methods", "error")
+
+
+@dataclass(frozen=True)
+class MatrixCell:
+    """One configuration of the differential matrix."""
+
+    fuse: bool
+    ic: bool
+    profiler: str
+    telemetry: bool
+
+    def describe(self) -> str:
+        parts = [
+            "fuse" if self.fuse else "no-fuse",
+            "ic" if self.ic else "no-ic",
+            self.profiler,
+        ]
+        if self.telemetry:
+            parts.append("telemetry")
+        return "+".join(parts)
+
+
+def matrix_cells(profiler: str) -> list[MatrixCell]:
+    """The cells run for one profiler group: the full ``fuse × ic``
+    square without telemetry, plus the two corners with telemetry on
+    (enough to compare event streams while keeping the budget at six
+    runs per group)."""
+    cells = [
+        MatrixCell(fuse, ic, profiler, False)
+        for fuse in (False, True)
+        for ic in (False, True)
+    ]
+    cells.append(MatrixCell(False, False, profiler, True))
+    cells.append(MatrixCell(True, True, profiler, True))
+    return cells
+
+
+@dataclass
+class RunRecord:
+    """Everything observable about one run of one cell."""
+
+    cell: MatrixCell
+    outcome: str  # "ok" | "error" | "host-crash"
+    output: list = field(default_factory=list)
+    time: int = 0
+    steps: int = 0
+    ticks: int = 0
+    calls: int = 0
+    methods: int = 0
+    dcg: object = None
+    #: (type name, message, function, pc) for guest VMErrors.
+    error: tuple | None = None
+    #: JSONL lines (header + events, metrics footer excluded) when the
+    #: cell has telemetry on.
+    event_lines: list | None = None
+    #: Metrics snapshot with the host-bookkeeping keys stripped.
+    metrics: dict | None = None
+    #: Formatted traceback when the host interpreter itself blew up.
+    host_error: str | None = None
+
+
+@dataclass
+class Violation:
+    """One invariant breach for one (program, cell) pair."""
+
+    invariant: str  # e.g. "steps", "error", "events", "host-crash"
+    cell: str  # MatrixCell.describe() of the offending cell
+    reference: str  # describe() of the cell it was compared against
+    detail: str
+    error_type: str | None = None
+
+    def as_dict(self) -> dict:
+        return {
+            "invariant": self.invariant,
+            "cell": self.cell,
+            "reference": self.reference,
+            "detail": self.detail,
+            "error_type": self.error_type,
+        }
+
+
+def _strip_host_metrics(snapshot: dict) -> dict:
+    """Drop the metric keys host-level optimizations are allowed to
+    differ on (the same exemption the identity test suites grant)."""
+    return {
+        k: v
+        for k, v in snapshot.items()
+        if not (k.startswith("fusion.") or k.startswith("ic."))
+    }
+
+
+def run_cell(program, cell: MatrixCell, vm_name: str = "jikes", **overrides) -> RunRecord:
+    """Execute ``program`` under one matrix cell and record everything."""
+    record = RunRecord(cell=cell, outcome="ok")
+    try:
+        # Construction is inside the net too: a program that blows up
+        # the code cache at compile time is a host crash, not a test
+        # harness error.
+        config = config_named(vm_name, fuse=cell.fuse, ic=cell.ic, **overrides)
+        vm = Interpreter(program, config)
+        profiler = PROFILERS[cell.profiler]()
+        if isinstance(profiler, ExhaustiveProfiler):
+            profiler.install(vm)
+        elif profiler is not None:
+            vm.attach_profiler(profiler)
+        tracer = Tracer() if cell.telemetry else None
+        if tracer is not None:
+            vm.attach_telemetry(tracer)
+        vm.run()
+    except VMError as error:
+        record.outcome = "error"
+        record.error = (type(error).__name__, str(error), error.function, error.pc)
+    except Exception:
+        record.outcome = "host-crash"
+        record.host_error = traceback.format_exc(limit=8)
+        return record
+
+    record.output = list(vm.output)
+    record.time = vm.time
+    record.steps = vm.steps
+    record.ticks = vm.ticks
+    record.calls = vm.call_count
+    record.methods = vm.methods_executed
+    record.dcg = profiler.dcg.edges() if profiler is not None else None
+    if tracer is not None:
+        lines = jsonl_lines(tracer)
+        record.event_lines = lines[:-1]
+        record.metrics = _strip_host_metrics(tracer.metrics.snapshot())
+    return record
+
+
+def _diff(name: str, ref_value, got_value) -> str:
+    return f"{name}: reference={ref_value!r} got={got_value!r}"
+
+
+def _compare(record: RunRecord, reference: RunRecord, fields) -> list[Violation]:
+    violations = []
+    for name in fields:
+        ref_value = getattr(reference, name)
+        got_value = getattr(record, name)
+        if ref_value != got_value:
+            violations.append(
+                Violation(
+                    invariant=name,
+                    cell=record.cell.describe(),
+                    reference=reference.cell.describe(),
+                    detail=_diff(name, ref_value, got_value),
+                    error_type=(record.error or reference.error or (None,))[0],
+                )
+            )
+    return violations
+
+
+def check_program(
+    program,
+    vm_name: str = "jikes",
+    extra_checks=None,
+    **overrides,
+) -> list[Violation]:
+    """Run ``program`` across the full matrix and return all invariant
+    violations (empty list = the program is clean).
+
+    ``extra_checks``, if given, is called with the mapping of
+    :class:`MatrixCell` → :class:`RunRecord` after each profiler group
+    and must return a list of invariant-name strings to report as
+    synthetic violations — the hook exists for testing the shrinker and
+    triage machinery against known-bad invariants.
+    """
+    violations: list[Violation] = []
+    group_references: dict[str, RunRecord] = {}
+
+    for profiler in PROFILERS:
+        records: dict[MatrixCell, RunRecord] = {}
+        for cell in matrix_cells(profiler):
+            records[cell] = run_cell(program, cell, vm_name, **overrides)
+
+        for cell, record in records.items():
+            if record.outcome == "host-crash":
+                violations.append(
+                    Violation(
+                        invariant="host-crash",
+                        cell=cell.describe(),
+                        reference=cell.describe(),
+                        detail=record.host_error or "host exception",
+                        error_type="host-crash",
+                    )
+                )
+            elif record.outcome == "error" and (record.steps <= 0 or record.time <= 0):
+                # Absolute invariant, not a cross-config one: a guest
+                # fault always follows at least one charged instruction,
+                # so a zero counter means the raise site skipped the
+                # loop-local → VM sync.  Cross-config comparison alone
+                # cannot see this — stale counters are stale *the same
+                # way* in every cell.
+                violations.append(
+                    Violation(
+                        invariant="error-sync",
+                        cell=cell.describe(),
+                        reference=cell.describe(),
+                        detail=(
+                            f"faulting run has steps={record.steps} "
+                            f"time={record.time} (raise site lost the "
+                            f"loop-local counters)"
+                        ),
+                        error_type=record.error[0] if record.error else None,
+                    )
+                )
+        if any(r.outcome == "host-crash" for r in records.values()):
+            continue  # per-field comparisons are meaningless past this
+
+        reference = records[MatrixCell(False, False, profiler, False)]
+        group_references[profiler] = reference
+        for cell, record in records.items():
+            if cell == reference.cell:
+                continue
+            violations.extend(_compare(record, reference, GROUP_FIELDS))
+
+        telemetry_cells = [c for c in records if c.telemetry]
+        if len(telemetry_cells) == 2:
+            base, other = (records[c] for c in telemetry_cells)
+            if base.event_lines != other.event_lines:
+                violations.append(
+                    Violation(
+                        invariant="events",
+                        cell=other.cell.describe(),
+                        reference=base.cell.describe(),
+                        detail=_first_line_diff(base.event_lines, other.event_lines),
+                    )
+                )
+            if base.metrics != other.metrics:
+                violations.append(
+                    Violation(
+                        invariant="metrics",
+                        cell=other.cell.describe(),
+                        reference=base.cell.describe(),
+                        detail=_diff("metrics", base.metrics, other.metrics),
+                    )
+                )
+
+        if extra_checks is not None:
+            for invariant in extra_checks(records):
+                violations.append(
+                    Violation(
+                        invariant=invariant,
+                        cell=f"synthetic+{profiler}",
+                        reference=reference.cell.describe(),
+                        detail="synthetic invariant injected via extra_checks",
+                    )
+                )
+
+    baseline = group_references.get("none")
+    if baseline is not None:
+        for profiler, reference in group_references.items():
+            if profiler == "none":
+                continue
+            violations.extend(_compare(reference, baseline, CROSS_FIELDS))
+    return violations
+
+
+def _first_line_diff(base_lines, other_lines) -> str:
+    base_lines = base_lines or []
+    other_lines = other_lines or []
+    if len(base_lines) != len(other_lines):
+        return f"event count: reference={len(base_lines)} got={len(other_lines)}"
+    for index, (a, b) in enumerate(zip(base_lines, other_lines)):
+        if a != b:
+            return f"event line {index}: reference={a!r} got={b!r}"
+    return "event streams differ"

@@ -1,0 +1,142 @@
+"""Seeded generator of random well-typed Mini programs.
+
+Every program this module emits compiles, type-checks, and terminates
+within a bounded step budget (possibly by *faulting* — guest errors are
+legitimate transcripts for the differential checker, which demands they
+be identical across configurations).  The shapes are chosen to stress
+the machinery under test:
+
+* virtual-dispatch webs over 2–16 receiver classes rotated through one
+  call site (IC transitions: monomorphic → polymorphic → megamorphic);
+* accessor-shaped leaf methods (field read + return) that qualify for
+  the IC leaf-template fast path;
+* tight arithmetic loops built from fusable instruction runs
+  (``LOAD/PUSH/ADD/STORE``, compare+branch);
+* bounded self-recursion (static and virtual);
+* optionally one runtime fault placed after the hot section, so the
+  pre-fault transcript is long enough to be interesting: division by a
+  value that reaches zero, an out-of-range array read, a null receiver,
+  or recursion past the frame limit.
+"""
+
+from __future__ import annotations
+
+import random
+
+#: Fault shapes `generate_mini` can append (at most one per program).
+FAULTS = ("none", "div_zero", "array_oob", "null_receiver", "deep_recursion")
+
+
+def generate_mini(seed: int) -> str:
+    """Generate Mini source for one random differential-fuzzing subject."""
+    rng = random.Random(seed)
+    num_classes = rng.choice([2, 2, 3, 3, 4, 6, 8, 12, 16])
+    num_methods = rng.randint(2, 4)
+    iterations = rng.randint(60, 240)
+    lines: list[str] = []
+
+    # A single-chain hierarchy: C0 is the root, each C{i} extends
+    # C{i-1} and overrides a subset of the methods, so one call site
+    # rotating over the classes exercises every IC state.
+    for class_index in range(num_classes):
+        extends = f" extends C{class_index - 1}" if class_index else ""
+        lines.append(f"class C{class_index}{extends} {{")
+        if class_index == 0:
+            lines.append("  var v: int;")
+            # Accessor-shaped leaves: one getter and one setter-ish
+            # method whose bodies match the IC leaf-template patterns.
+            lines.append("  def getv(): int { return this.v; }")
+            lines.append("  def bump(): int { this.v = this.v + 1; return this.v; }")
+        overriding = (
+            range(num_methods)
+            if class_index == 0
+            else sorted(rng.sample(range(num_methods), max(1, num_methods // 2)))
+        )
+        for m in overriding:
+            lines.extend(_method(rng, class_index, m))
+        lines.append("}")
+
+    if rng.random() < 0.6:
+        depth = rng.randint(4, 24)
+        lines.append(
+            "def rec(n: int): int {"
+            " if (n <= 0) { return 1; }"
+            " return (rec(n - 1) + n) % 65521; }"
+        )
+        recursion = f"  total = (total + rec({depth})) % 1000003;"
+    else:
+        recursion = None
+
+    fault = rng.choice(FAULTS) if rng.random() < 0.45 else "none"
+    lines.append(_main(rng, num_classes, num_methods, iterations, recursion, fault))
+    return "\n".join(lines)
+
+
+def _method(rng: random.Random, class_index: int, method_index: int) -> list[str]:
+    lines = [f"  def m{method_index}(x: int): int {{"]
+    lines.append(f"    var acc = x + {class_index + 1};")
+    for _ in range(rng.randint(1, 4)):
+        op = rng.choice(["+", "*", "-"])
+        lines.append(f"    acc = (acc {op} {rng.randint(1, 97)}) % 65521;")
+    if method_index > 0 and rng.random() < 0.7:
+        callee = rng.randint(0, method_index - 1)
+        lines.append(f"    acc = (acc + this.m{callee}(acc % 256)) % 65521;")
+    if rng.random() < 0.5:
+        lines.append("    acc = (acc + this.getv()) % 65521;")
+    lines.append("    if (acc < 0) { acc = 0 - acc; }")
+    lines.append("    return acc;")
+    lines.append("  }")
+    return lines
+
+
+def _main(
+    rng: random.Random,
+    num_classes: int,
+    num_methods: int,
+    iterations: int,
+    recursion: str | None,
+    fault: str,
+) -> str:
+    top = num_methods - 1
+    lines = ["def main() {"]
+    lines.append(f"  var objs = new C0[{num_classes}];")
+    for i in range(num_classes):
+        cls = rng.randint(0, num_classes - 1)
+        lines.append(f"  objs[{i}] = new C{cls}();")
+    lines.append("  var total = 0;")
+    lines.append(f"  for (var i = 0; i < {iterations}; i = i + 1) {{")
+    lines.append(
+        f"    total = (total + objs[i % {num_classes}].m{top}(i)) % 1000003;"
+    )
+    if rng.random() < 0.5:
+        lines.append(f"    total = (total + objs[0].bump()) % 1000003;")
+    lines.append("  }")
+    if recursion is not None:
+        lines.append(recursion)
+    lines.append("  print(total);")
+    if fault == "div_zero":
+        # The divisor walks down to zero; every config must fault at
+        # the same instruction with the same synced counters.
+        k = rng.randint(1, 5)
+        lines.append(f"  var d = {k};")
+        lines.append(f"  for (var j = 0; j < {k + 1}; j = j + 1) {{")
+        lines.append("    total = total + 100 / d;")
+        lines.append("    d = d - 1;")
+        lines.append("  }")
+        lines.append("  print(total);")
+    elif fault == "array_oob":
+        size = rng.randint(1, 4)
+        lines.append(f"  var xs = new int[{size}];")
+        lines.append(f"  print(xs[{size + rng.randint(0, 3)}]);")
+    elif fault == "null_receiver":
+        lines.append("  var gone: C0 = null;")
+        lines.append("  print(gone.getv());")
+    elif fault == "deep_recursion":
+        lines.append("  print(rec2(100000));")
+    lines.append("}")
+    if fault == "deep_recursion":
+        lines.append("def rec2(n: int): int {")
+        lines.append("  if (n <= 0) { return 0; }")
+        lines.append("  return rec2(n - 1) + 1;")
+        lines.append("}")
+    return "\n".join(lines)

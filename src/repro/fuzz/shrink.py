@@ -1,0 +1,48 @@
+"""Deterministic delta-debugging minimizer for violating programs.
+
+Works on *lines of text* (Mini source or assembly — the generators both
+emit line-oriented programs) against an arbitrary predicate: "does this
+candidate still exhibit the same violation?".  Classic ddmin structure:
+remove contiguous blocks of halving size, then single lines, repeated
+to a fixpoint.  No randomness anywhere, so a fixed seed's violation
+always shrinks to the same reproducer.
+
+The predicate owns all validity checking: a candidate that no longer
+parses, assembles, or type-checks must simply return ``False``.
+"""
+
+from __future__ import annotations
+
+
+def shrink_lines(lines, predicate, max_rounds: int = 40):
+    """Minimize ``lines`` while ``predicate(candidate)`` stays true.
+
+    ``lines`` must already satisfy the predicate.  Returns the smallest
+    list found (1-minimal: removing any single remaining line breaks
+    the predicate, unless ``max_rounds`` was exhausted first).
+    """
+    lines = list(lines)
+    if not predicate(lines):
+        raise ValueError("shrink_lines needs an initially-violating input")
+    for _ in range(max_rounds):
+        shrunk = _one_round(lines, predicate)
+        if len(shrunk) == len(lines):
+            return shrunk
+        lines = shrunk
+    return lines
+
+
+def _one_round(lines, predicate):
+    size = max(1, len(lines) // 2)
+    while True:
+        index = 0
+        while index < len(lines):
+            candidate = lines[:index] + lines[index + size:]
+            if candidate and predicate(candidate):
+                lines = candidate
+                # Same index now points at the next untried block.
+            else:
+                index += size
+        if size == 1:
+            return lines
+        size = max(1, size // 2)

@@ -1,0 +1,44 @@
+"""Crash-triage bucketing: one root cause, one report.
+
+A fuzzing campaign that finds a real bug typically finds it hundreds of
+times.  Violations are bucketed by a *triage key* combining the set of
+broken invariants, the guest-error types involved, and the program's
+opcode signature (the sorted set of distinct opcodes it contains) — a
+cheap stand-in for "which handler paths can this program reach".  The
+campaign shrinks and reports one representative per bucket.
+"""
+
+from __future__ import annotations
+
+
+def opcode_signature(program) -> str:
+    """Sorted distinct opcode mnemonics across all functions, joined
+    with commas — e.g. ``"ADD,CALL_VIRTUAL,LOAD,PUSH,RETURN"``."""
+    names = {
+        instr.op.name
+        for function in program.functions
+        for instr in function.code
+    }
+    return ",".join(sorted(names))
+
+
+def invariant_key(violations) -> str:
+    """Just the behavioral part of the key: broken invariants + error
+    types.  This is what the shrinker preserves — a minimal reproducer
+    may legitimately drop opcodes the violation never needed."""
+    invariants = sorted({v.invariant for v in violations})
+    errors = sorted({v.error_type for v in violations if v.error_type})
+    parts = ["+".join(invariants)]
+    if errors:
+        parts.append("+".join(errors))
+    return "|".join(parts)
+
+
+def triage_key(violations, program=None) -> str:
+    """The bucket key for a violating program: the invariant key plus
+    the opcode signature (so campaigns dedup by reachable handler set,
+    not just by symptom)."""
+    parts = [invariant_key(violations)]
+    if program is not None:
+        parts.append(opcode_signature(program))
+    return "|".join(parts)

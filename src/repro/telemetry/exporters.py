@@ -49,21 +49,33 @@ _DEFAULT_LANE = (1, "vm")
 _PID = 1
 
 
+def jsonl_lines(tracer) -> list[str]:
+    """The trace as JSONL lines (header, events, metrics footer), exactly
+    as ``export_jsonl`` would write them.  Finalizes the tracer.
+
+    The in-memory form exists so differential checkers (the fuzzer's
+    event-stream invariant) can compare byte-for-byte without a
+    round-trip through the filesystem.
+    """
+    tracer.finalize()
+    lines = [json.dumps(JSONL_HEADER)]
+    for event in tracer.events:
+        record = {"record": "event", "name": event.name, "ts": event.ts}
+        args = event.args()
+        if args:
+            record["args"] = args
+        lines.append(json.dumps(record))
+    lines.append(
+        json.dumps({"record": "metrics", "metrics": tracer.metrics.snapshot()})
+    )
+    return lines
+
+
 def export_jsonl(tracer, path: str) -> None:
     """Write the trace as JSON Lines (header, events, metrics footer)."""
-    tracer.finalize()
     with open(path, "w") as handle:
-        handle.write(json.dumps(JSONL_HEADER) + "\n")
-        for event in tracer.events:
-            record = {"record": "event", "name": event.name, "ts": event.ts}
-            args = event.args()
-            if args:
-                record["args"] = args
-            handle.write(json.dumps(record) + "\n")
-        handle.write(
-            json.dumps({"record": "metrics", "metrics": tracer.metrics.snapshot()})
-            + "\n"
-        )
+        for line in jsonl_lines(tracer):
+            handle.write(line + "\n")
 
 
 def chrome_trace_events(tracer) -> list[dict]:
@@ -154,20 +166,32 @@ class LoadedTrace:
 
 def _load_jsonl(lines: list[str]) -> LoadedTrace:
     trace = LoadedTrace(format="jsonl")
-    for line in lines:
+    for lineno, line in enumerate(lines, start=1):
         line = line.strip()
         if not line:
             continue
-        record = json.loads(line)
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as error:
+            raise TraceFormatError(
+                f"line {lineno}: truncated or corrupt record ({error.msg})"
+            )
+        if not isinstance(record, dict):
+            raise TraceFormatError(f"line {lineno}: record is not a JSON object")
         kind = record.get("record")
         if kind == "event":
-            trace.events.append(
-                {
-                    "name": record["name"],
-                    "ts": record["ts"],
-                    "args": record.get("args", {}),
-                }
-            )
+            try:
+                trace.events.append(
+                    {
+                        "name": record["name"],
+                        "ts": record["ts"],
+                        "args": record.get("args", {}),
+                    }
+                )
+            except KeyError as error:
+                raise TraceFormatError(
+                    f"line {lineno}: event record missing {error} field"
+                )
         elif kind == "metrics":
             trace.metrics = record.get("metrics", {})
     return trace
@@ -205,7 +229,10 @@ def load_trace(path: str) -> LoadedTrace:
         except json.JSONDecodeError:
             first = None
         if isinstance(first, dict) and first.get("format") == "repro-telemetry":
-            return _load_jsonl(text.splitlines())
+            try:
+                return _load_jsonl(text.splitlines())
+            except TraceFormatError as error:
+                raise TraceFormatError(f"{path}: {error}")
         try:
             document = json.loads(text)
         except json.JSONDecodeError as error:

@@ -210,6 +210,34 @@ class Interpreter:
             pc,
         )
 
+    def _sync(self, time, steps, call_count, fused_n, deopts, frame, pc) -> None:
+        """Write the loop-local execution counters back to the VM.
+
+        Called on every path that leaves the hot loop abnormally so the
+        failure transcript is exact — ``vm.time``/``vm.steps``/
+        ``vm.call_count`` at the moment of the fault, not at the last
+        timer tick — which is what lets differential runs compare error
+        states bit-for-bit across fuse/ic/profiler/telemetry configs.
+        """
+        self.time = time
+        self.steps = steps
+        self.call_count = call_count
+        self.fused_dispatches = fused_n
+        self.fusion_deopts = deopts
+        frame.pc = pc
+
+    def _fault(
+        self, exc, message, time, steps, call_count, fused_n, deopts, frame, method, pc
+    ) -> VMError:
+        """Sync loop-local state and build a guest fault.
+
+        Same shape as :meth:`_step_limit`: returned (not raised) so
+        every fault site in the hot loop stays a single ``raise
+        self._fault(...)`` expression.
+        """
+        self._sync(time, steps, call_count, fused_n, deopts, frame, pc)
+        return exc(message, method.function.qualified_name, pc)
+
     # -- inline caches (host-level; see repro.vm.ic) -----------------------------
 
     def _missing_selector(self, class_index, selector, method, pc) -> VMError:
@@ -768,10 +796,9 @@ class Interpreter:
                     nargs = entry[0]
                     receiver = stack[-nargs]
                     if receiver is None:
-                        raise NullPointerError(
-                            "virtual call on null",
-                            method.function.qualified_name,
-                            pc,
+                        raise self._fault(
+                            NullPointerError, "virtual call on null",
+                            time, steps, call_count, fused_n, deopts, frame, method, pc
                         )
                     rclass = receiver.class_index
                     if rclass == entry[1]:
@@ -817,6 +844,10 @@ class Interpreter:
                                     row[selector] if selector < len(row) else -1
                                 )
                                 if callee_index < 0:
+                                    self._sync(
+                                        time, steps, call_count, fused_n,
+                                        deopts, frame, pc,
+                                    )
                                     raise self._missing_selector(
                                         rclass, selector, method, pc
                                     )
@@ -831,6 +862,13 @@ class Interpreter:
                                 views = callee.views
                                 pad = locals_pad(callee.num_locals, nargs)
                             else:
+                                # May raise (missing selector): sync the
+                                # counters first so the transcript is
+                                # exact; it's the bind slow path anyway.
+                                self._sync(
+                                    time, steps, call_count, fused_n,
+                                    deopts, frame, pc,
+                                )
                                 callee, callee_index, views, pad = (
                                     self._ic_virtual_slow(
                                         entry, rclass, method, pc
@@ -898,10 +936,10 @@ class Interpreter:
                         else:
                             telemetry.on_call(time, origin[0], origin[1], callee_index)
                     if len(frames) >= max_frames:
-                        raise StackOverflowError_(
+                        raise self._fault(
+                            StackOverflowError_,
                             f"guest stack exceeded {max_frames} frames",
-                            method.function.qualified_name,
-                            pc,
+                            time, steps, call_count, fused_n, deopts, frame, method, pc
                         )
                     base = len(stack) - entry[0]
                     new_locals = stack[base:]
@@ -1020,10 +1058,10 @@ class Interpreter:
                         else:
                             telemetry.on_call(time, origin[0], origin[1], callee_index)
                     if len(frames) >= max_frames:
-                        raise StackOverflowError_(
+                        raise self._fault(
+                            StackOverflowError_,
                             f"guest stack exceeded {max_frames} frames",
-                            method.function.qualified_name,
-                            pc,
+                            time, steps, call_count, fused_n, deopts, frame, method, pc
                         )
                     base = len(stack) - entry[4]
                     new_locals = stack[base:]
@@ -1053,8 +1091,9 @@ class Interpreter:
                 elif op == OP_GETFIELD:
                     obj = stack[-1]
                     if obj is None:
-                        raise NullPointerError(
-                            "field read on null", method.function.qualified_name, pc
+                        raise self._fault(
+                            NullPointerError, "field read on null",
+                            time, steps, call_count, fused_n, deopts, frame, method, pc
                         )
                     stack[-1] = obj.fields[aarg[pc]]
                     pc += 1
@@ -1153,14 +1192,17 @@ class Interpreter:
                         argc = barg[pc]
                         receiver = stack[-argc - 1]
                         if receiver is None:
-                            raise NullPointerError(
-                                "virtual call on null",
-                                method.function.qualified_name,
-                                pc,
+                            raise self._fault(
+                                NullPointerError, "virtual call on null",
+                                time, steps, call_count, fused_n, deopts,
+                                frame, method, pc
                             )
                         try:
                             callee_index = vtables[receiver.class_index][aarg[pc]]
                         except KeyError:
+                            self._sync(
+                                time, steps, call_count, fused_n, deopts, frame, pc
+                            )
                             raise self._missing_selector(
                                 receiver.class_index, aarg[pc], method, pc
                             ) from None
@@ -1205,10 +1247,10 @@ class Interpreter:
                         else:
                             telemetry.on_call(time, origin[0], origin[1], callee_index)
                     if len(frames) >= max_frames:
-                        raise StackOverflowError_(
+                        raise self._fault(
+                            StackOverflowError_,
                             f"guest stack exceeded {max_frames} frames",
-                            method.function.qualified_name,
-                            pc,
+                            time, steps, call_count, fused_n, deopts, frame, method, pc
                         )
                     base = len(stack) - nargs
                     new_locals = stack[base:]
@@ -1277,8 +1319,9 @@ class Interpreter:
                     value = stack.pop()
                     obj = stack.pop()
                     if obj is None:
-                        raise NullPointerError(
-                            "field write on null", method.function.qualified_name, pc
+                        raise self._fault(
+                            NullPointerError, "field write on null",
+                            time, steps, call_count, fused_n, deopts, frame, method, pc
                         )
                     obj.fields[aarg[pc]] = value
                     pc += 1
@@ -1295,8 +1338,9 @@ class Interpreter:
                     right = stack.pop()
                     left = stack[-1]
                     if right == 0:
-                        raise DivisionByZeroError(
-                            "division by zero", method.function.qualified_name, pc
+                        raise self._fault(
+                            DivisionByZeroError, "division by zero",
+                            time, steps, call_count, fused_n, deopts, frame, method, pc
                         )
                     quotient = abs(left) // abs(right)
                     if (left < 0) != (right < 0):
@@ -1333,10 +1377,9 @@ class Interpreter:
                 elif op == OP_NEW_ARRAY:
                     length = stack.pop()
                     if length < 0:
-                        raise VMError(
-                            "negative array length",
-                            method.function.qualified_name,
-                            pc,
+                        raise self._fault(
+                            VMError, "negative array length",
+                            time, steps, call_count, fused_n, deopts, frame, method, pc
                         )
                     time += length  # allocation cost scales with size
                     stack.append(HeapArray(length))
@@ -1345,15 +1388,16 @@ class Interpreter:
                     index = stack.pop()
                     array = stack.pop()
                     if array is None:
-                        raise NullPointerError(
-                            "array read on null", method.function.qualified_name, pc
+                        raise self._fault(
+                            NullPointerError, "array read on null",
+                            time, steps, call_count, fused_n, deopts, frame, method, pc
                         )
                     elements = array.elements
                     if index < 0 or index >= len(elements):
-                        raise ArrayBoundsError(
+                        raise self._fault(
+                            ArrayBoundsError,
                             f"index {index} out of bounds (len={len(elements)})",
-                            method.function.qualified_name,
-                            pc,
+                            time, steps, call_count, fused_n, deopts, frame, method, pc
                         )
                     stack.append(elements[index])
                     pc += 1
@@ -1362,23 +1406,25 @@ class Interpreter:
                     index = stack.pop()
                     array = stack.pop()
                     if array is None:
-                        raise NullPointerError(
-                            "array write on null", method.function.qualified_name, pc
+                        raise self._fault(
+                            NullPointerError, "array write on null",
+                            time, steps, call_count, fused_n, deopts, frame, method, pc
                         )
                     elements = array.elements
                     if index < 0 or index >= len(elements):
-                        raise ArrayBoundsError(
+                        raise self._fault(
+                            ArrayBoundsError,
                             f"index {index} out of bounds (len={len(elements)})",
-                            method.function.qualified_name,
-                            pc,
+                            time, steps, call_count, fused_n, deopts, frame, method, pc
                         )
                     elements[index] = value
                     pc += 1
                 elif op == OP_ARRAY_LEN:
                     array = stack.pop()
                     if array is None:
-                        raise NullPointerError(
-                            "len() of null", method.function.qualified_name, pc
+                        raise self._fault(
+                            NullPointerError, "len() of null",
+                            time, steps, call_count, fused_n, deopts, frame, method, pc
                         )
                     stack.append(len(array.elements))
                     pc += 1
@@ -1388,8 +1434,9 @@ class Interpreter:
                 elif op == OP_NOP:
                     pc += 1
                 else:  # pragma: no cover - verifier rejects unknown opcodes
-                    raise VMError(
-                        f"unknown opcode {op}", method.function.qualified_name, pc
+                    raise self._fault(
+                        VMError, f"unknown opcode {op}",
+                        time, steps, call_count, fused_n, deopts, frame, method, pc
                     )
             else:
                 # ---- superinstruction path ----
@@ -1448,9 +1495,19 @@ class Interpreter:
                 elif op == F_PUSH_MOD:
                     steps += 2
                     # k != 0 guaranteed at fuse time; truncated division
-                    # exactly as the raw MOD handler.
+                    # exactly as the raw MOD handler.  The zero check
+                    # stays anyway (hand-patched streams can bypass the
+                    # fuse-time guard) and must fault exactly like the
+                    # raw MOD at pc+1: same message, same pc, full
+                    # PUSH+MOD charge already applied.
                     k = faarg[pc]
                     left = stack[-1]
+                    if k == 0:
+                        raise self._fault(
+                            DivisionByZeroError, "division by zero",
+                            time, steps, call_count, fused_n, deopts,
+                            frame, method, pc + 1
+                        )
                     quotient = abs(left) // abs(k)
                     if (left < 0) != (k < 0):
                         quotient = -quotient
@@ -1511,10 +1568,13 @@ class Interpreter:
                     steps += 2
                     obj = locals_[faarg[pc]]
                     if obj is None:
-                        raise NullPointerError(
-                            "field read on null",
-                            method.function.qualified_name,
-                            pc + 1,
+                        # The faulting GETFIELD is the group's last
+                        # component, so the full group charge matches
+                        # the raw run's LOAD+GETFIELD charge exactly.
+                        raise self._fault(
+                            NullPointerError, "field read on null",
+                            time, steps, call_count, fused_n, deopts,
+                            frame, method, pc + 1
                         )
                     stack.append(obj.fields[fbarg[pc]])
                     pc += 2
@@ -1522,10 +1582,17 @@ class Interpreter:
                     steps += 3
                     obj = locals_[faarg[pc]]
                     if obj is None:
-                        raise NullPointerError(
-                            "field read on null",
-                            method.function.qualified_name,
-                            pc + 1,
+                        # Fault at the GETFIELD (pc+1): the raw run
+                        # never reaches the trailing STORE, so give back
+                        # its charge — the group head took the full
+                        # summed cost and 3 steps up front, the raw run
+                        # would have charged LOAD+GETFIELD and 2 steps.
+                        # (costs is the fused view here; interior slots
+                        # keep their raw per-instruction costs.)
+                        raise self._fault(
+                            NullPointerError, "field read on null",
+                            time - costs[pc + 2], steps - 1, call_count,
+                            fused_n, deopts, frame, method, pc + 1
                         )
                     offset, dst = fbarg[pc]
                     locals_[dst] = obj.fields[offset]
@@ -1748,10 +1815,9 @@ class Interpreter:
                     else:
                         pc += 2
                 else:  # pragma: no cover - fuse table and loop agree by test
-                    raise VMError(
-                        f"unknown superinstruction {op}",
-                        method.function.qualified_name,
-                        pc,
+                    raise self._fault(
+                        VMError, f"unknown superinstruction {op}",
+                        time, steps, call_count, fused_n, deopts, frame, method, pc
                     )
 
         self.time = time

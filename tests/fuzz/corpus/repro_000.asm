@@ -1,0 +1,18 @@
+# kind: asm
+# triage: error-sync|StackOverflowError_
+# Unbounded static recursion into the frame limit.  Pre-fix the
+# overflow raise sites skipped the loop-local counter sync, so the
+# faulting transcript reported steps=0/time=0.
+func over/1
+  LOAD 0
+  PUSH 1
+  ADD
+  CALL_STATIC over 1
+  RETURN_VAL
+end
+func main/0 locals=1 void
+  PUSH 0
+  CALL_STATIC over 1
+  PRINT
+  RETURN
+end

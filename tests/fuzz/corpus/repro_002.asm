@@ -1,0 +1,13 @@
+# kind: asm
+# triage: error-sync|DivisionByZeroError
+# Division by zero after observable output: the pre-fault PRINT and the
+# live steps/time counters are part of the compared transcript.
+func main/0 locals=1 void
+  PUSH 7
+  PRINT
+  PUSH 99
+  PUSH 0
+  DIV
+  PRINT
+  RETURN
+end

@@ -1,0 +1,33 @@
+# kind: asm
+# triage: error-sync|VMError
+# Missing-selector trap: the call site quickens on a well-behaved
+# receiver, then receives a class with no such method.  The trap must
+# fault identically from the quickened and raw dispatch paths, with
+# synced counters.
+class G
+method G.h/1
+  PUSH 11
+  RETURN_VAL
+end
+class B
+func main/0 locals=2 void
+  NEW G
+  STORE 0
+  PUSH 0
+  STORE 1
+label trap
+  LOAD 0
+  CALL_VIRTUAL h 0
+  PRINT
+  NEW B
+  STORE 0
+  LOAD 1
+  PUSH 1
+  ADD
+  STORE 1
+  LOAD 1
+  PUSH 3
+  LT
+  JUMP_IF_TRUE trap
+  RETURN
+end

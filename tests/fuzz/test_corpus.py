@@ -1,0 +1,40 @@
+"""Replay the committed regression corpus.
+
+Every file under ``tests/fuzz/corpus/`` is a shrunk reproducer for a
+violation that was found and fixed; a healthy tree replays all of them
+with zero violations.  A failure here means a fixed bug came back."""
+
+from __future__ import annotations
+
+import os
+
+from repro.fuzz.campaign import replay_corpus
+
+CORPUS = os.path.join(os.path.dirname(__file__), "corpus")
+
+
+def test_corpus_exists_and_is_nonempty():
+    entries = [n for n in os.listdir(CORPUS) if n.endswith((".mini", ".asm"))]
+    assert entries, "the regression corpus must not be empty"
+
+
+def test_corpus_replays_clean():
+    results = replay_corpus(CORPUS)
+    assert results, "replay_corpus found no reproducers"
+    regressions = {
+        os.path.basename(path): [v.as_dict() for v in violations]
+        for path, violations in results
+        if violations
+    }
+    assert not regressions, f"fixed bugs regressed: {regressions}"
+
+
+def test_corpus_files_carry_triage_headers():
+    for name in sorted(os.listdir(CORPUS)):
+        if not name.endswith((".mini", ".asm")):
+            continue
+        leader = "//" if name.endswith(".mini") else "#"
+        with open(os.path.join(CORPUS, name)) as handle:
+            head = [handle.readline() for _ in range(2)]
+        assert head[0].startswith(f"{leader} kind:"), name
+        assert head[1].startswith(f"{leader} triage:"), name

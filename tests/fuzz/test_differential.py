@@ -1,0 +1,109 @@
+"""The differential checker itself: clean programs produce no
+violations, injected divergence is detected, and host crashes are
+violations by definition."""
+
+from __future__ import annotations
+
+from repro.bytecode.assembler import assemble
+from repro.frontend.codegen import compile_source
+from repro.fuzz.campaign import CAMPAIGN_OVERRIDES, fuzz_one, spec_for_seed
+from repro.fuzz.differential import (
+    MatrixCell,
+    check_program,
+    matrix_cells,
+    run_cell,
+)
+
+CLEAN = """
+def main() {
+  var total = 0;
+  for (var i = 0; i < 200; i = i + 1) { total = (total + i * 7) % 9973; }
+  print(total);
+}
+"""
+
+FAULTING = """
+func main/0 locals=1 void
+  PUSH 5
+  PRINT
+  PUSH 9
+  PUSH 0
+  DIV
+  PRINT
+  RETURN
+end
+"""
+
+
+def test_matrix_shape():
+    cells = matrix_cells("none")
+    assert len(cells) == 6
+    assert sum(1 for c in cells if c.telemetry) == 2
+    assert {(c.fuse, c.ic) for c in cells if not c.telemetry} == {
+        (False, False), (False, True), (True, False), (True, True),
+    }
+
+
+def test_clean_program_has_no_violations():
+    program = compile_source(CLEAN)
+    assert check_program(program, **CAMPAIGN_OVERRIDES) == []
+
+
+def test_faulting_program_is_still_clean_when_synced():
+    """A guest fault is a legal transcript — the checker compares it,
+    it does not flag it."""
+    program = assemble(FAULTING)
+    assert check_program(program, **CAMPAIGN_OVERRIDES) == []
+
+
+def test_run_cell_records_guest_error():
+    program = assemble(FAULTING)
+    record = run_cell(program, MatrixCell(True, True, "none", False))
+    assert record.outcome == "error"
+    assert record.error[0] == "DivisionByZeroError"
+    assert record.output == [5]
+    assert record.steps > 0 and record.time > 0
+
+
+def test_injected_divergence_is_detected():
+    """extra_checks is the synthetic-violation hook: whatever invariant
+    names it returns surface as violations for every profiler group."""
+    program = compile_source(CLEAN)
+    violations = check_program(
+        program,
+        extra_checks=lambda records: ["synthetic-drift"],
+        **CAMPAIGN_OVERRIDES,
+    )
+    assert violations
+    assert {v.invariant for v in violations} == {"synthetic-drift"}
+    # One injection per profiler group.
+    assert len(violations) == 4
+
+
+def test_host_crash_is_a_violation():
+    """Anything that is not a VMError escaping the interpreter is a
+    bug, whatever the cell — simulated by a poisoned fused view whose
+    superinstruction immediate divides by zero at the host level."""
+
+    class Boom(Exception):
+        pass
+
+    # Instead of racing the real interpreter, hand check_program a
+    # program object whose attribute access explodes inside run_cell.
+    class PoisonProgram:
+        def __getattr__(self, name):
+            raise Boom(f"poisoned attribute {name}")
+
+    violations = check_program(PoisonProgram(), **CAMPAIGN_OVERRIDES)
+    assert violations
+    assert all(v.invariant == "host-crash" for v in violations)
+    assert any("Boom" in v.detail for v in violations)
+
+
+def test_fuzz_one_reports_clean_and_violating():
+    clean = fuzz_one(spec_for_seed(0))
+    assert clean["status"] in ("ok", "violations")
+    # The live tree is healthy: sweep a few seeds and expect all clean.
+    for seed in range(8):
+        report = fuzz_one(spec_for_seed(seed))
+        assert report["status"] == "ok", report.get("violations")

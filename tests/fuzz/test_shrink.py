@@ -1,0 +1,110 @@
+"""The shrinker: ddmin over program lines, driven by the invariant-key
+predicate.  The satellite requirement is exercised end to end — a
+synthetic invariant injected through the ``extra_checks`` hook shrinks
+a generated subject down to a reproducer of at most ten instructions,
+and does so deterministically."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fuzz.campaign import build_program, make_predicate, shrink_result
+from repro.fuzz.genasm import generate_asm
+from repro.fuzz.genprog import generate_mini
+from repro.fuzz.shrink import shrink_lines
+from repro.fuzz.triage import invariant_key
+
+# -- ddmin unit behaviour -----------------------------------------------------
+
+
+def test_shrink_requires_violating_input():
+    with pytest.raises(ValueError):
+        shrink_lines(["a", "b"], lambda lines: False)
+
+
+def test_shrink_removes_irrelevant_lines():
+    # The "bug" is triggered by the NEEDLE line alone.
+    lines = [f"filler {i}" for i in range(30)]
+    lines.insert(17, "NEEDLE")
+    shrunk = shrink_lines(lines, lambda candidate: "NEEDLE" in candidate)
+    assert shrunk == ["NEEDLE"]
+
+
+def test_shrink_keeps_interacting_pairs():
+    lines = [f"filler {i}" for i in range(20)] + ["A", "B"]
+    shrunk = shrink_lines(
+        lines, lambda candidate: "A" in candidate and "B" in candidate
+    )
+    assert sorted(shrunk) == ["A", "B"]
+
+
+def test_shrink_is_deterministic():
+    lines = [f"filler {i}" for i in range(25)] + ["NEEDLE"]
+    predicate = lambda candidate: "NEEDLE" in candidate  # noqa: E731
+    assert shrink_lines(lines, predicate) == shrink_lines(lines, predicate)
+
+
+# -- end-to-end: synthetic invariant → ≤10-instruction reproducer -------------
+
+
+def _instruction_count(kind: str, text: str) -> int:
+    program = build_program(kind, text)
+    return sum(len(fn.code) for fn in program.functions)
+
+
+#: The synthetic bug: "every run of every cell violates synthetic-drift".
+#: Any program whatsoever reproduces it, so the shrinker should reach a
+#: near-empty subject — well under the ten-instruction ceiling.
+ALWAYS = lambda records: ["synthetic-drift"]  # noqa: E731
+
+
+@pytest.mark.parametrize("kind,generate", [("mini", generate_mini), ("asm", generate_asm)])
+def test_synthetic_invariant_shrinks_to_small_reproducer(kind, generate):
+    seed = 2 if kind == "mini" else 3
+    source = generate(seed)
+    lines = source.splitlines()
+    predicate = make_predicate(kind, "jikes", "synthetic-drift", extra_checks=ALWAYS)
+    assert predicate(lines), "the synthetic invariant must fire on the full subject"
+
+    shrunk = shrink_lines(lines, predicate)
+    assert _instruction_count(kind, "\n".join(shrunk)) <= 10
+    assert len(shrunk) < len(lines)
+
+    # Deterministic: the same subject shrinks to the same reproducer.
+    again = shrink_lines(lines, predicate)
+    assert shrunk == again
+
+
+def test_shrink_result_pipeline():
+    """The campaign-facing wrapper: a violating report dict shrinks and
+    carries its kind/triage through."""
+    source = generate_asm(3)
+    report = {
+        "seed": 3,
+        "kind": "asm",
+        "status": "violations",
+        "triage": "synthetic-drift|LOAD,PUSH",
+        "invariants": "synthetic-drift",
+        "source": source,
+    }
+    shrunk = shrink_result(report, extra_checks=ALWAYS)
+    assert shrunk is not None
+    assert shrunk["kind"] == "asm"
+    assert shrunk["lines"] <= len(source.splitlines())
+    assert _instruction_count("asm", shrunk["source"]) <= 10
+
+
+def test_invariant_key_ignores_opcode_signature():
+    """The shrink predicate pins invariants + error types only; pinning
+    the opcode signature would forbid the minimizer from deleting
+    opcodes the violation never needed."""
+
+    class FakeViolation:
+        def __init__(self, invariant, error_type):
+            self.invariant = invariant
+            self.error_type = error_type
+
+    key = invariant_key(
+        [FakeViolation("steps", "DivisionByZeroError"), FakeViolation("time", None)]
+    )
+    assert key == "steps+time|DivisionByZeroError"

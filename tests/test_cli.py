@@ -409,3 +409,106 @@ def test_bench_rejects_unknown_benchmark():
 def test_bench_rejects_unknown_profiler():
     with pytest.raises(SystemExit, match="unknown profiler"):
         main(["bench", "--benchmarks", "jess", "--profilers", "gprof"])
+
+
+# -- report on damaged traces -------------------------------------------------------
+
+
+def test_report_truncated_trace_one_line_diagnostic(program_file, tmp_path, capsys):
+    """A trace cut off mid-record (crash, full disk) gets a one-line
+    diagnostic and a nonzero exit, not a JSONDecodeError traceback."""
+    trace_path = str(tmp_path / "trace.jsonl")
+    assert main(
+        ["run", program_file, "--profile", "cbs", "--trace", trace_path]
+    ) == 0
+    capsys.readouterr()
+    text = open(trace_path).read()
+    truncated = tmp_path / "truncated.jsonl"
+    truncated.write_text(text[: int(len(text) * 0.7)])
+    with pytest.raises(SystemExit, match="truncated or corrupt"):
+        main(["report", str(truncated)])
+
+
+def test_report_corrupt_event_record(tmp_path):
+    bad = tmp_path / "bad.jsonl"
+    bad.write_text(
+        '{"record": "header", "format": "repro-telemetry", "version": 1}\n'
+        '{"record": "event", "ts": 5}\n'
+    )
+    with pytest.raises(SystemExit, match="missing 'name' field"):
+        main(["report", str(bad)])
+
+
+def test_report_non_object_record(tmp_path):
+    bad = tmp_path / "bad.jsonl"
+    bad.write_text(
+        '{"record": "header", "format": "repro-telemetry", "version": 1}\n'
+        "[1, 2, 3]\n"
+    )
+    with pytest.raises(SystemExit, match="not a JSON object"):
+        main(["report", str(bad)])
+
+
+# -- disasm --method ----------------------------------------------------------------
+
+
+def test_disasm_single_method(program_file, capsys):
+    assert main(["disasm", program_file, "--method", "0"]) == 0
+    out = capsys.readouterr().out
+    # Exactly one function block.
+    assert out.count("\nend") == 1 or out.strip().endswith("end")
+
+
+def test_disasm_method_out_of_range(program_file):
+    with pytest.raises(SystemExit, match="method index 99 out of range"):
+        main(["disasm", program_file, "--method", "99"])
+
+
+def test_disasm_method_negative_out_of_range(program_file):
+    with pytest.raises(SystemExit, match="out of range"):
+        main(["disasm", program_file, "--method", "-1"])
+
+
+def test_disasm_method_incompatible_with_views(program_file):
+    with pytest.raises(SystemExit, match="plain bytecode view"):
+        main(["disasm", program_file, "--fused", "--method", "0"])
+
+
+# -- fuzz ---------------------------------------------------------------------------
+
+
+def test_fuzz_smoke_clean(capsys):
+    assert main(["fuzz", "--seeds", "6"]) == 0
+    out = capsys.readouterr().out
+    assert "6 programs checked" in out
+    assert "BUCKET" not in out
+
+
+def test_fuzz_json_output(capsys):
+    import json as json_mod
+
+    assert main(["fuzz", "--seeds", "4", "--json"]) == 0
+    payload = json_mod.loads(capsys.readouterr().out)
+    assert payload["checked"] == 4
+    assert payload["violations"] == 0
+    assert payload["buckets"] == {}
+
+
+def test_fuzz_rejects_bad_seed_count():
+    with pytest.raises(SystemExit, match="--seeds must be positive"):
+        main(["fuzz", "--seeds", "0"])
+
+
+def test_fuzz_replay_missing_directory():
+    with pytest.raises(SystemExit, match="corpus directory not found"):
+        main(["fuzz", "--replay", "/nonexistent/corpus"])
+
+
+def test_fuzz_replay_corpus(capsys):
+    import os as os_mod
+
+    corpus = os_mod.path.join(os_mod.path.dirname(__file__), "fuzz", "corpus")
+    assert main(["fuzz", "--replay", corpus]) == 0
+    captured = capsys.readouterr()
+    assert "FAIL" not in captured.out
+    assert "reproducers clean" in captured.err

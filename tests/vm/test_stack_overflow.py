@@ -1,0 +1,189 @@
+"""Regression tests: guest stack overflow is a well-formed VM fault.
+
+Recursion past ``config.max_frames`` must raise the VMError-family
+``StackOverflowError_`` carrying method/pc context — never a Python
+``RecursionError`` (the interpreter is iterative) and never a silent
+wrong answer — and the failure transcript (message, pc, and the synced
+``vm.steps``/``vm.time``/``vm.call_count``) must be identical on the
+raw, fused, quickened-IC, and leaf-template call paths.
+
+Pre-fix, the raise sites skipped the loop-local → VM counter sync, so
+``vm.steps``/``vm.time`` read 0 (or the stale last-tick values) after
+the fault: the nonzero-counter assertions here fail on that code.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bytecode.assembler import assemble
+from repro.frontend.codegen import compile_source
+from repro.vm.config import jikes_config
+from repro.vm.errors import StackOverflowError_, VMError
+from repro.vm.interpreter import Interpreter
+
+#: Small enough to overflow fast, big enough to quicken call sites and
+#: warm leaf templates on the way down.
+FRAMES = 48
+
+#: All four host-optimization corners; the transcript must not depend
+#: on which one is active.
+CONFIGS = [
+    pytest.param(False, False, id="raw"),
+    pytest.param(True, False, id="fused"),
+    pytest.param(False, True, id="ic"),
+    pytest.param(True, True, id="fused+ic"),
+]
+
+STATIC_RECURSION = """
+def down(n: int): int {
+  return down(n + 1);
+}
+def main() { print(down(0)); }
+"""
+
+VIRTUAL_RECURSION = """
+class Node {
+  var v: int;
+  def getv(): int { return this.v; }
+  def sink(n: int): int {
+    return this.sink(n + this.getv() + 1);
+  }
+}
+def main() {
+  var node = new Node();
+  print(node.sink(0));
+}
+"""
+
+
+def _overflow(source: str, fuse: bool, ic: bool, max_frames: int = FRAMES):
+    program = compile_source(source)
+    vm = Interpreter(program, jikes_config(max_frames=max_frames, fuse=fuse, ic=ic))
+    with pytest.raises(StackOverflowError_) as excinfo:
+        vm.run()
+    return vm, excinfo.value
+
+
+def _transcript(vm, error):
+    return (
+        type(error).__name__,
+        str(error),
+        error.function,
+        error.pc,
+        tuple(vm.output),
+        vm.steps,
+        vm.time,
+        vm.call_count,
+        vm.methods_executed,
+    )
+
+
+@pytest.mark.parametrize("fuse,ic", CONFIGS)
+def test_static_recursion_faults_with_context(fuse, ic):
+    vm, error = _overflow(STATIC_RECURSION, fuse, ic)
+    assert isinstance(error, VMError)
+    assert error.function == "down"
+    assert error.pc is not None
+    assert str(FRAMES) in str(error)
+    # The raise site synced the loop-local counters back to the VM.
+    assert vm.steps > 0
+    assert vm.time > 0
+    assert vm.call_count == FRAMES
+
+
+@pytest.mark.parametrize("fuse,ic", CONFIGS)
+def test_virtual_recursion_faults_with_context(fuse, ic):
+    """The recursive virtual call quickens its site and drives the
+    ``getv`` accessor through the leaf-template path while descending,
+    so the overflow fires from the IC/leaf machinery when ``ic=True``
+    and from the raw CALL_VIRTUAL handler when not."""
+    vm, error = _overflow(VIRTUAL_RECURSION, fuse, ic)
+    assert error.function == "Node.sink"
+    assert vm.steps > 0
+    assert vm.time > 0
+
+
+def test_transcripts_identical_across_all_paths():
+    transcripts = {
+        source_name: [
+            _transcript(*_overflow(source, fuse, ic))
+            for fuse, ic in ((False, False), (True, False), (False, True), (True, True))
+        ]
+        for source_name, source in (
+            ("static", STATIC_RECURSION),
+            ("virtual", VIRTUAL_RECURSION),
+        )
+    }
+    for name, per_config in transcripts.items():
+        assert len(set(per_config)) == 1, f"{name}: transcripts diverge"
+
+
+def test_not_a_python_recursion_error():
+    program = compile_source(STATIC_RECURSION)
+    vm = Interpreter(program, jikes_config(max_frames=FRAMES))
+    try:
+        vm.run()
+    except RecursionError:  # pragma: no cover - the bug under test
+        pytest.fail("guest recursion escaped as a host RecursionError")
+    except StackOverflowError_:
+        pass
+
+
+def test_overflow_from_quickened_ic_site():
+    """Drive the call site hot at a safe depth first, then overflow: the
+    fault must come from the quickened (cached) dispatch path, not only
+    the cold bind path."""
+    source = """
+    class Worker {
+      var depth: int;
+      def dig(n: int): int {
+        if (n <= 0) { return 0; }
+        return this.dig(n - 1) + 1;
+      }
+    }
+    def main() {
+      var w = new Worker();
+      var warm = 0;
+      for (var i = 0; i < 30; i = i + 1) { warm = warm + w.dig(8); }
+      print(warm);
+      print(w.dig(1000000));
+    }
+    """
+    transcripts = []
+    for fuse, ic in ((False, False), (True, False), (False, True), (True, True)):
+        vm, error = _overflow(source, fuse, ic, max_frames=64)
+        assert error.function == "Worker.dig"
+        # The warmup loop completed and printed before the fault.
+        assert vm.output == [30 * 8]
+        transcripts.append(_transcript(vm, error))
+    assert len(set(transcripts)) == 1
+
+
+def test_overflow_at_exact_frame_limit_hand_assembled():
+    """A self-calling function with no base case overflows at exactly
+    ``max_frames`` live frames on every configuration."""
+    source = """
+    func over/1
+      LOAD 0
+      PUSH 1
+      ADD
+      CALL_STATIC over 1
+      RETURN_VAL
+    end
+    func main/0 locals=1 void
+      PUSH 0
+      CALL_STATIC over 1
+      PRINT
+      RETURN
+    end
+    """
+    program = assemble(source)
+    states = []
+    for fuse, ic in ((False, False), (True, False), (False, True), (True, True)):
+        vm = Interpreter(program, jikes_config(max_frames=32, fuse=fuse, ic=ic))
+        with pytest.raises(StackOverflowError_) as excinfo:
+            vm.run()
+        assert vm.call_count == 32
+        states.append(_transcript(vm, excinfo.value))
+    assert len(set(states)) == 1
