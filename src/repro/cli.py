@@ -10,7 +10,11 @@ Usage::
                                 [--trace FILE] [--trace-format jsonl|chrome]
                                 [--publish HOST:PORT] [--publish-every K]
                                 [--warm-start] [--strict]
+                                [--metrics-port P] [--flight-dump PATH]
+                                [--no-flight]
     repro-mini serve [--host H] [--port P] [--root DIR] [--decay F]
+                     [--http-port P] [--trace FILE]
+    repro-mini top HOST:PORT [--interval S] [--once]
     repro-mini report trace_file
     repro-mini bench [--benchmarks a,b] [--profilers cbs,timer] [--seeds 1,2]
                      [--size S] [--vm jikes|j9] [--jobs N] [--json]
@@ -34,6 +38,13 @@ the whole ``fuse × ic × profiler × telemetry`` configuration matrix,
 checking the identity invariants; violations are triaged, shrunk, and
 (with ``--save-repros``) written out as reproducers.  ``--replay DIR``
 re-checks a committed reproducer corpus instead.  See docs/FUZZING.md.
+
+Live observability: ``serve --http-port`` and ``run --metrics-port``
+expose ``/metrics`` (Prometheus text), ``/healthz``, and ``/status``;
+``top`` polls a ``/status`` endpoint into a live terminal view.  Every
+``run`` keeps a flight recorder (a bounded in-memory ring; disable with
+``--no-flight``) and dumps it as ``PROGRAM.flight.jsonl`` when the run
+faults.  See docs/OBSERVABILITY.md.
 """
 
 from __future__ import annotations
@@ -210,6 +221,71 @@ def _cmd_run(args) -> int:
         )
         publisher.install(vm)
 
+    flight = None
+    if not args.no_flight:
+        from repro.telemetry.ring import FlightRecorder
+
+        # Always on: ring-buffer writes only (no I/O, no virtual-time
+        # charge); dumped as a post-mortem artifact when the run faults.
+        flight = FlightRecorder()
+        vm.attach_flight(flight)
+
+    metrics_server = None
+    if args.metrics_port is not None:
+        from repro.telemetry import Tracer
+        from repro.telemetry.httpapi import HttpServerThread, ObservabilityHTTP
+
+        if tracer is None:
+            # /metrics needs a registry; attaching a tracer never
+            # perturbs the run (same guarantee --trace relies on).
+            tracer = Tracer()
+            vm.attach_telemetry(tracer)
+
+        def live_status():
+            status = {
+                "service": "repro-mini run",
+                "file": args.file,
+                "vm": args.vm,
+                "vtime": vm.time,
+                "steps": vm.steps,
+                "ticks": vm.ticks,
+                "calls": vm.call_count,
+                "depth": len(vm.frames),
+                "finished": vm.finished,
+            }
+            if flight is not None:
+                status["flight"] = flight.stats()
+            return status
+
+        metrics_server = HttpServerThread(
+            ObservabilityHTTP(registry=tracer.metrics, status_fn=live_status),
+            port=args.metrics_port,
+        )
+        try:
+            address = metrics_server.start()
+        except OSError as error:
+            raise SystemExit(f"cannot start metrics listener: {error}")
+        print(
+            f"-- metrics listening on http://{address[0]}:{address[1]} "
+            f"(/metrics /healthz /status)",
+            file=sys.stderr,
+            flush=True,
+        )
+
+    def dump_flight(reason: str) -> None:
+        if flight is None:
+            return
+        path = args.flight_dump or f"{args.file}.flight.jsonl"
+        flight.record("dump", reason=reason)
+        if tracer is not None:
+            flight.note_metrics(tracer.metrics)
+        try:
+            flight.dump(path)
+        except OSError as error:
+            print(f"cannot write flight recording {path}: {error}", file=sys.stderr)
+            return
+        print(f"-- flight recording written to {path}", file=sys.stderr)
+
     try:
         from repro.telemetry.scopes import trace_scope
 
@@ -219,7 +295,16 @@ def _cmd_run(args) -> int:
         print(f"runtime error: {error}", file=sys.stderr)
         if publisher is not None:
             publisher.close()
+        dump_flight(f"guest fault: {type(error).__name__}")
+        if metrics_server is not None:
+            metrics_server.stop()
         return 1
+    except Exception:
+        # Host crash: this is exactly what the flight recorder is for.
+        dump_flight("host crash")
+        if metrics_server is not None:
+            metrics_server.stop()
+        raise
 
     if publisher is not None:
         publisher.flush(vm)
@@ -228,7 +313,11 @@ def _cmd_run(args) -> int:
 
     for value in vm.output:
         print(value)
-    if tracer is not None:
+    if args.flight_dump:
+        dump_flight("requested via --flight-dump")
+    if metrics_server is not None:
+        metrics_server.stop()
+    if tracer is not None and args.trace:
         from repro.telemetry import export
 
         try:
@@ -282,6 +371,14 @@ def _cmd_run(args) -> int:
             )
         else:
             print("-- ic: disabled (--no-ic)", file=sys.stderr)
+        if publisher is not None:
+            print(
+                f"-- fleet: batches_sent={publisher.batches_sent} "
+                f"batches_dropped={publisher.batches_dropped} "
+                f"edges_sent={publisher.edges_sent} "
+                f"server_dead={int(publisher.server_dead)}",
+                file=sys.stderr,
+            )
     if isinstance(profiler, CBSLoopProfiler):
         print("-- sampled loop profile:", file=sys.stderr)
         print(profiler.describe(program), file=sys.stderr)
@@ -303,6 +400,7 @@ def _cmd_run(args) -> int:
 
 def _cmd_serve(args) -> int:
     import asyncio
+    import time
 
     from repro.fleet.repository import RepositoryError
     from repro.fleet.service import run_service
@@ -315,6 +413,24 @@ def _cmd_serve(args) -> int:
             flush=True,
         )
 
+    def http_ready(address):
+        print(
+            f"-- observability on http://{address[0]}:{address[1]} "
+            f"(/metrics /healthz /status)",
+            file=sys.stderr,
+            flush=True,
+        )
+
+    tracer = None
+    if args.trace:
+        from repro.telemetry import Tracer
+
+        # The service has no virtual clock; merge events are stamped
+        # with wall-clock microseconds so Chrome traces from a client
+        # (virtual time) and the server still stitch by flow id.
+        started = time.monotonic_ns()
+        tracer = Tracer(clock=lambda: (time.monotonic_ns() - started) // 1000)
+
     try:
         asyncio.run(
             run_service(
@@ -325,13 +441,117 @@ def _cmd_serve(args) -> int:
                 max_edges=args.max_edges,
                 persist_every=args.persist_every,
                 ready=ready,
+                http_port=args.http_port,
+                http_ready=http_ready if args.http_port is not None else None,
+                telemetry=tracer,
             )
         )
     except KeyboardInterrupt:
         print("-- fleet service stopped", file=sys.stderr)
     except (OSError, ValueError, RepositoryError) as error:
         raise SystemExit(f"cannot start fleet service: {error}")
+    finally:
+        if tracer is not None:
+            from repro.telemetry import export
+
+            try:
+                export(tracer, args.trace, args.trace_format)
+            except OSError as error:
+                print(f"cannot write trace {args.trace}: {error}", file=sys.stderr)
+            else:
+                print(
+                    f"-- trace ({args.trace_format}, {len(tracer.events)} events) "
+                    f"written to {args.trace}",
+                    file=sys.stderr,
+                )
     return 0
+
+
+def _cmd_top(args) -> int:
+    """Poll a fleet service's ``/status`` endpoint into a terminal view."""
+    import json as json_module
+    import time
+    from urllib.error import URLError
+    from urllib.request import urlopen
+
+    from repro.harness.report import render_table
+
+    url = f"http://{args.address}/status"
+
+    def fetch() -> dict:
+        with urlopen(url, timeout=5.0) as response:
+            return json_module.loads(response.read().decode())
+
+    def render(status: dict) -> str:
+        blocks = []
+        totals = status.get("totals", {})
+        blocks.append(
+            render_table(
+                ["Merges", "Rejected", "Connections", "Drops", "Quarantined"],
+                [[
+                    totals.get("merges", 0),
+                    totals.get("rejected", 0),
+                    totals.get("connections", 0),
+                    totals.get("client_drops", 0),
+                    totals.get("quarantined", 0),
+                ]],
+                title=f"fleet service @ {args.address}",
+            )
+        )
+        program_rows = [
+            [
+                fingerprint[:16],
+                entry.get("edges", "-"),
+                entry.get("runs", "-"),
+                entry.get("total_weight", "-"),
+                entry.get("epoch", "-"),
+                entry.get("publishes", "-"),
+            ]
+            for fingerprint, entry in sorted(status.get("programs", {}).items())
+        ]
+        if program_rows:
+            blocks.append(
+                render_table(
+                    ["Program", "Edges", "Runs", "Weight", "Epoch", "Publishes"],
+                    program_rows,
+                    title="aggregates",
+                )
+            )
+        client_rows = [
+            [
+                run_id[:16],
+                entry.get("publishes", 0),
+                entry.get("edges", 0),
+                entry.get("last_seq", "-"),
+                entry.get("dropped", 0),
+                entry.get("drop_rate", 0.0),
+            ]
+            for run_id, entry in sorted(status.get("clients", {}).items())
+        ]
+        if client_rows:
+            blocks.append(
+                render_table(
+                    ["Client", "Publishes", "Edges", "LastSeq", "Dropped", "DropRate"],
+                    client_rows,
+                    title="publishers",
+                )
+            )
+        return "\n".join(blocks)
+
+    while True:
+        try:
+            status = fetch()
+        except (OSError, URLError, ValueError) as error:
+            raise SystemExit(f"cannot poll {url}: {error}")
+        if not args.once:
+            print("\x1b[2J\x1b[H", end="")  # clear screen, home cursor
+        print(render(status))
+        if args.once:
+            return 0
+        try:
+            time.sleep(args.interval)
+        except KeyboardInterrupt:
+            return 0
 
 
 def _cmd_report(args) -> int:
@@ -710,6 +930,25 @@ def build_parser() -> argparse.ArgumentParser:
         default="jsonl",
         help="trace file format (chrome = trace_event JSON for chrome://tracing)",
     )
+    run.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        metavar="P",
+        help="serve /metrics, /healthz, and /status on 127.0.0.1:P while "
+        "the program runs (0 picks an ephemeral port)",
+    )
+    run.add_argument(
+        "--flight-dump",
+        metavar="PATH",
+        help="flight-recorder dump path (default PROGRAM.flight.jsonl; "
+        "giving it explicitly also dumps on clean exits)",
+    )
+    run.add_argument(
+        "--no-flight",
+        action="store_true",
+        help="disable the always-on flight recorder",
+    )
     run.set_defaults(handler=_cmd_run)
 
     serve = commands.add_parser(
@@ -748,7 +987,43 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="write a snapshot every N merges per program (default 1)",
     )
+    serve.add_argument(
+        "--http-port",
+        type=int,
+        default=None,
+        metavar="P",
+        help="also serve /metrics, /healthz, and /status on --host:P "
+        "(0 picks an ephemeral port)",
+    )
+    serve.add_argument(
+        "--trace",
+        metavar="FILE",
+        help="record the service's telemetry (merge events, wall-clock "
+        "stamped) to FILE on shutdown",
+    )
+    serve.add_argument(
+        "--trace-format",
+        choices=["jsonl", "chrome"],
+        default="jsonl",
+        help="trace file format for --trace",
+    )
     serve.set_defaults(handler=_cmd_serve)
+
+    top = commands.add_parser(
+        "top", help="live terminal view of a fleet service's /status endpoint"
+    )
+    top.add_argument("address", metavar="HOST:PORT", help="observability address")
+    top.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        metavar="S",
+        help="seconds between polls (default 2)",
+    )
+    top.add_argument(
+        "--once", action="store_true", help="print one snapshot and exit"
+    )
+    top.set_defaults(handler=_cmd_top)
 
     report = commands.add_parser(
         "report", help="summarize a telemetry trace written by run --trace"

@@ -172,8 +172,15 @@ class FleetPublisher:
         except queue.Full:
             self.batches_dropped += 1
         if self.telemetry is not None:
+            # Span ids are derived (run_id:seq), never random, so traced
+            # event streams stay bit-identical across repeated runs.
             self.telemetry.on_fleet_publish(
-                vm.time, seq, len(delta), sum(entry[3] for entry in delta)
+                vm.time,
+                seq,
+                len(delta),
+                sum(entry[3] for entry in delta),
+                trace_id=self.run_id,
+                span_id=f"{self.run_id}:{seq}",
             )
 
     def _receiver_delta(self, vm) -> tuple[list, dict]:
@@ -213,6 +220,15 @@ class FleetPublisher:
             pass  # worker is far behind; daemon thread dies with the process
         self._worker.join(timeout)
         self._worker = None
+        if self.telemetry is not None:
+            # Metrics only, no event: outcome counters are wall-clock
+            # facts about the worker thread, not virtual-time events.
+            self.telemetry.on_fleet_outcome(
+                self.batches_sent,
+                self.batches_dropped,
+                self.edges_sent,
+                self.server_dead,
+            )
 
     # -- worker side --------------------------------------------------------------
 
@@ -262,6 +278,8 @@ class FleetPublisher:
                         seq=seq,
                         epoch=self.epoch,
                         receivers=receivers,
+                        trace_id=self.run_id,
+                        span_id=f"{self.run_id}:{seq}",
                     ),
                 )
                 reply = recv_message(sock)

@@ -18,7 +18,8 @@ Client → server:
       {"v": 1, "type": "publish", "fingerprint": "<sha256>",
        "run_id": "<opaque>", "seq": 0, "epoch": 0,
        "edges": [["Caller.name", pc, "Callee.name", weight], ...],
-       "receivers": [["Caller.name", pc, "ClassName", count], ...]}
+       "receivers": [["Caller.name", pc, "ClassName", count], ...],
+       "trace_id": "<run id>", "span_id": "<run id>:<seq>"}
 
   ``epoch`` is the client's profile age (newer epochs dominate under
   decay; see :mod:`repro.fleet.merge`); ``seq`` numbers the deltas of
@@ -26,6 +27,11 @@ Client → server:
   per-site receiver-class counts the VM's inline caches accumulated
   since the last delta (see :mod:`repro.profiling.receivers`), keyed
   symbolically like edges so aggregates outlive any single build.
+  ``trace_id``/``span_id`` are optional trace-span coordinates: when a
+  publisher stamps them, the server echoes them into its own telemetry
+  (``fleet_merge`` events) so the client's and server's offline traces
+  stitch into one cross-process timeline (see docs/OBSERVABILITY.md).
+  Old servers ignore the keys; old clients simply never send them.
 
 * ``fetch`` — request the aggregated snapshot for a fingerprint.
 * ``stats`` — request server-wide counters.
@@ -73,6 +79,8 @@ def publish_message(
     seq: int = 0,
     epoch: int = 0,
     receivers: list | None = None,
+    trace_id: str | None = None,
+    span_id: str | None = None,
 ) -> dict:
     message = {
         "v": PROTOCOL_VERSION,
@@ -85,6 +93,9 @@ def publish_message(
     }
     if receivers:
         message["receivers"] = receivers
+    if span_id is not None:
+        message["trace_id"] = trace_id
+        message["span_id"] = span_id
     return message
 
 

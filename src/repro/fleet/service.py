@@ -18,6 +18,14 @@ A client that violates the protocol gets an ``error`` reply when the
 stream is still decodable, otherwise its connection is dropped; the
 repository only ever sees complete, validated deltas, so a client
 killed mid-frame cannot corrupt anything.
+
+The service also keeps a :class:`~repro.telemetry.metrics.MetricsRegistry`
+of its own counters and per-client publish accounting (drops are
+inferred from gaps in each run's ``seq`` numbers, since publishers
+number every enqueue attempt — even dropped ones).  ``serve
+--http-port`` mounts :class:`~repro.telemetry.httpapi.ObservabilityHTTP`
+on the same event loop, exposing the registry at ``/metrics`` and
+:meth:`FleetService.status` at ``/status``.
 """
 
 from __future__ import annotations
@@ -34,6 +42,11 @@ from repro.fleet.protocol import (
     write_message,
 )
 from repro.fleet.repository import ProfileRepository, RepositoryError
+from repro.telemetry.metrics import MetricsRegistry
+
+#: Histogram bounds for edges-per-delta: deltas are small by design, so
+#: the buckets resolve the interesting low end.
+DELTA_EDGE_BUCKETS = (1, 4, 16, 64, 256, 1024)
 
 
 class FleetService:
@@ -44,6 +57,7 @@ class FleetService:
         repository: ProfileRepository,
         persist_every: int = 1,
         telemetry=None,
+        registry: MetricsRegistry | None = None,
     ):
         if persist_every < 1:
             raise ValueError("persist_every must be >= 1")
@@ -54,9 +68,42 @@ class FleetService:
         self.merges = 0
         self.publishes_rejected = 0
         self.connections = 0
+        #: Per-run publish accounting, keyed by the client's ``run_id``.
+        self.clients: dict[str, dict] = {}
         self._unpersisted: dict[str, int] = {}
         self._server: asyncio.AbstractServer | None = None
         self.address: tuple[str, int] | None = None
+
+        #: Registry behind ``/metrics`` (names render Prometheus-style,
+        #: e.g. ``fleet.publishes`` → ``fleet_publishes_total``).
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._m_publishes = self.registry.counter(
+            "fleet.publishes", "publish deltas accepted and merged"
+        )
+        self._m_rejected = self.registry.counter(
+            "fleet.rejected", "publish deltas rejected (malformed or unmergeable)"
+        )
+        self._m_fetches = self.registry.counter(
+            "fleet.fetches", "snapshot fetch requests served"
+        )
+        self._m_connections = self.registry.counter(
+            "fleet.connections", "client connections accepted"
+        )
+        self._m_active = self.registry.gauge(
+            "fleet.active_connections", "client connections currently open"
+        )
+        self._m_edges = self.registry.counter(
+            "fleet.edges_merged", "DCG edges folded into aggregates"
+        )
+        self._m_dropped = self.registry.counter(
+            "fleet.client_drops", "client-side drops inferred from seq gaps"
+        )
+        self._m_programs = self.registry.gauge(
+            "fleet.programs", "distinct program fingerprints aggregated"
+        )
+        self._m_delta_edges = self.registry.histogram(
+            "fleet.delta_edges", DELTA_EDGE_BUCKETS, "edges per published delta"
+        )
 
     # -- lifecycle ----------------------------------------------------------------
 
@@ -90,6 +137,8 @@ class FleetService:
 
     async def _handle(self, reader, writer) -> None:
         self.connections += 1
+        self._m_connections.inc()
+        self._m_active.inc()
         try:
             while True:
                 try:
@@ -107,6 +156,7 @@ class FleetService:
                     break
         finally:
             # A dead client must not leave merged-but-unpersisted state.
+            self._m_active.dec()
             self.persist_all()
             writer.close()
             try:
@@ -136,26 +186,60 @@ class FleetService:
             self._unpersisted.setdefault(fingerprint, 0)
         return aggregate
 
+    def _reject(self, reason: str) -> dict:
+        self.publishes_rejected += 1
+        self._m_rejected.inc()
+        return error_message(reason)
+
+    def _account_client(self, message: dict, edge_count: int, epoch: int) -> None:
+        """Fold one accepted publish into the per-run accounting.
+
+        Publishers number every enqueue attempt, including batches their
+        bounded queue dropped, so a gap between consecutive ``seq``
+        values (or a first ``seq`` above zero) is exactly the number of
+        deltas this run lost before they reached the wire.
+        """
+        run_id = message.get("run_id")
+        if not isinstance(run_id, str):
+            return
+        client = self.clients.get(run_id)
+        if client is None:
+            client = self.clients[run_id] = {
+                "publishes": 0,
+                "edges": 0,
+                "last_seq": None,
+                "dropped": 0,
+                "epoch": epoch,
+            }
+        seq = message.get("seq")
+        if isinstance(seq, int) and not isinstance(seq, bool):
+            expected = 0 if client["last_seq"] is None else client["last_seq"] + 1
+            if seq > expected:
+                gap = seq - expected
+                client["dropped"] += gap
+                self._m_dropped.inc(gap)
+            if client["last_seq"] is None or seq > client["last_seq"]:
+                client["last_seq"] = seq
+        client["publishes"] += 1
+        client["edges"] += edge_count
+        client["epoch"] = epoch
+
     def _on_publish(self, message: dict) -> dict:
         fingerprint = message.get("fingerprint")
         edges = message.get("edges")
         receivers = message.get("receivers")
         if not isinstance(fingerprint, str) or not isinstance(edges, list):
-            self.publishes_rejected += 1
-            return error_message("publish needs a fingerprint and an edge list")
+            return self._reject("publish needs a fingerprint and an edge list")
         if receivers is not None and not isinstance(receivers, list):
-            self.publishes_rejected += 1
-            return error_message("receivers must be a list when present")
+            return self._reject("receivers must be a list when present")
         try:
             aggregate = self._aggregate_for(fingerprint)
         except RepositoryError as error:
-            self.publishes_rejected += 1
-            return error_message(str(error))
+            return self._reject(str(error))
         try:
             epoch = int(message.get("epoch", 0))
         except (TypeError, ValueError):
-            self.publishes_rejected += 1
-            return error_message("epoch must be an integer")
+            return self._reject("epoch must be an integer")
         try:
             aggregate.merge_delta(
                 edges,
@@ -164,20 +248,30 @@ class FleetService:
                 receivers=receivers,
             )
         except MergeError as error:
-            self.publishes_rejected += 1
-            return error_message(str(error))
+            return self._reject(str(error))
         self.merges += 1
+        self._m_publishes.inc()
+        self._m_edges.inc(len(edges))
+        self._m_delta_edges.observe(len(edges))
+        self._m_programs.set(len(set(self.aggregates) | set(self.repository.fingerprints())))
+        self._account_client(message, len(edges), epoch)
         self._unpersisted[fingerprint] = self._unpersisted.get(fingerprint, 0) + 1
         if self._unpersisted[fingerprint] >= self.persist_every:
             self.repository.store(aggregate)
             self._unpersisted[fingerprint] = 0
         if self.telemetry is not None:
             self.telemetry.on_fleet_merge(
-                fingerprint, len(edges), aggregate.runs, aggregate.total_weight
+                fingerprint,
+                len(edges),
+                aggregate.runs,
+                aggregate.total_weight,
+                trace_id=message.get("trace_id"),
+                span_id=message.get("span_id"),
             )
         return ack_message(aggregate.runs, len(aggregate), aggregate.total_weight)
 
     def _on_fetch(self, message: dict) -> dict:
+        self._m_fetches.inc()
         fingerprint = message.get("fingerprint")
         if not isinstance(fingerprint, str):
             return error_message("fetch needs a fingerprint")
@@ -202,6 +296,54 @@ class FleetService:
             "rejected": self.publishes_rejected,
             "connections": self.connections,
             "quarantined": self.repository.quarantined,
+            "clients": len(self.clients),
+            "client_drops": sum(c["dropped"] for c in self.clients.values()),
+        }
+
+    # -- observability ---------------------------------------------------------------
+
+    def status(self) -> dict:
+        """The ``/status`` document: aggregates, clients, and totals.
+
+        Everything here is computed from in-memory state the event loop
+        already owns, so serving it cannot block or perturb merging.
+        """
+        programs = {}
+        for fingerprint in sorted(set(self.aggregates) | set(self.repository.fingerprints())):
+            aggregate = self.aggregates.get(fingerprint)
+            if aggregate is None:
+                programs[fingerprint] = {"loaded": False}
+                continue
+            programs[fingerprint] = {
+                "loaded": True,
+                "edges": len(aggregate),
+                "runs": aggregate.runs,
+                "total_weight": round(aggregate.total_weight, 6),
+                "epoch": aggregate.epoch,
+                "publishes": aggregate.publishes,
+            }
+        clients = {}
+        for run_id, entry in sorted(self.clients.items()):
+            attempts = entry["publishes"] + entry["dropped"]
+            clients[run_id] = {
+                "publishes": entry["publishes"],
+                "edges": entry["edges"],
+                "last_seq": entry["last_seq"],
+                "epoch": entry["epoch"],
+                "dropped": entry["dropped"],
+                "drop_rate": round(entry["dropped"] / attempts, 6) if attempts else 0.0,
+            }
+        return {
+            "service": "repro-fleet",
+            "programs": programs,
+            "clients": clients,
+            "totals": {
+                "merges": self.merges,
+                "rejected": self.publishes_rejected,
+                "connections": self.connections,
+                "quarantined": self.repository.quarantined,
+                "client_drops": sum(c["dropped"] for c in self.clients.values()),
+            },
         }
 
 
@@ -213,20 +355,40 @@ async def run_service(
     max_edges: int | None = None,
     persist_every: int = 1,
     ready=None,
+    http_port: int | None = None,
+    http_ready=None,
+    telemetry=None,
 ) -> None:
     """Run a fleet service until cancelled (the ``serve`` CLI backend).
 
     ``ready``, if given, is called with the bound ``(host, port)`` once
     the socket is listening — used for readiness lines and tests.
+    ``http_port``, if given, additionally mounts the observability
+    listener (``/metrics``, ``/healthz``, ``/status``) on the same
+    event loop; ``http_ready`` is called with its bound address.
     """
+    from repro.telemetry.httpapi import ObservabilityHTTP
+
     repository = ProfileRepository(
         root, MergePolicy(decay=decay, max_edges=max_edges)
     )
-    service = FleetService(repository, persist_every=persist_every)
+    service = FleetService(repository, persist_every=persist_every, telemetry=telemetry)
+    http = None
     await service.start(host, port)
     if ready is not None:
         ready(service.address)
     try:
+        if http_port is not None:
+            http = ObservabilityHTTP(
+                registry=service.registry,
+                status_fn=service.status,
+                health_fn=lambda: {"status": "ok", "service": "repro-fleet"},
+            )
+            await http.start(host, http_port)
+            if http_ready is not None:
+                http_ready(http.address)
         await service.serve_forever()
     finally:
+        if http is not None:
+            await http.stop()
         await service.stop()

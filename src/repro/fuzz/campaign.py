@@ -19,12 +19,13 @@ from dataclasses import dataclass, field
 
 from repro.bytecode.assembler import assemble
 from repro.frontend.codegen import compile_source
-from repro.fuzz.differential import check_program
+from repro.fuzz.differential import MatrixCell, check_program, run_cell
 from repro.fuzz.genasm import generate_asm
 from repro.fuzz.genprog import generate_mini
 from repro.fuzz.shrink import shrink_lines
 from repro.fuzz.triage import invariant_key, triage_key
 from repro.harness.parallel import pmap
+from repro.telemetry.ring import FlightRecorder
 
 #: Matrix overrides every campaign run uses: a small timer interval so
 #: even short programs cross several tick boundaries (stressing the
@@ -196,9 +197,41 @@ def run_campaign(
     return result
 
 
-def save_reproducers(result: CampaignResult, directory: str) -> list[str]:
+def record_flight(
+    kind: str, source: str, triage: str, vm_name: str = "jikes"
+) -> FlightRecorder:
+    """Re-run a reproducer's fully-featured cell with a flight recorder
+    attached and return the recorder, primed with the triage context.
+
+    This is the post-mortem view of the violation: the heartbeats and
+    the fault transcript from the moments before the reproducer died,
+    ready to dump as the ``.flight.jsonl`` artifact beside it.
+    """
+    recorder = FlightRecorder()
+    recorder.record("triage", key=triage, program_kind=kind, vm=vm_name)
+    try:
+        program = build_program(kind, source)
+    except Exception as error:
+        recorder.record(
+            "build-error", error=type(error).__name__, message=str(error)
+        )
+        return recorder
+    cell = MatrixCell(True, True, "cbs", True, flight=True)
+    record = run_cell(
+        program, cell, vm_name, flight_recorder=recorder, **CAMPAIGN_OVERRIDES
+    )
+    if record.outcome == "host-crash":
+        recorder.record("host-crash", traceback=record.host_error)
+    return recorder
+
+
+def save_reproducers(
+    result: CampaignResult, directory: str, vm_name: str = "jikes"
+) -> list[str]:
     """Write each bucket's shrunk reproducer under ``directory`` with a
-    commented triage header; returns the written paths."""
+    commented triage header, plus a ``.flight.jsonl`` post-mortem from
+    re-running it with the flight recorder on; returns the reproducer
+    paths (artifacts ride along unreturned)."""
     os.makedirs(directory, exist_ok=True)
     paths = []
     for index, (key, repro) in enumerate(sorted(result.reproducers.items())):
@@ -209,6 +242,8 @@ def save_reproducers(result: CampaignResult, directory: str) -> list[str]:
             handle.write(f"{leader} kind: {repro['kind']}\n")
             handle.write(f"{leader} triage: {key}\n")
             handle.write(repro["source"])
+        recorder = record_flight(repro["kind"], repro["source"], key, vm_name)
+        recorder.dump(os.path.join(directory, f"repro_{index:03d}.flight.jsonl"))
         paths.append(path)
     return paths
 

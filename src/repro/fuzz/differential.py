@@ -25,6 +25,7 @@ from repro.profiling.cbs import CBSProfiler
 from repro.profiling.exhaustive import ExhaustiveProfiler
 from repro.profiling.timer_sampler import TimerProfiler
 from repro.telemetry.exporters import jsonl_lines
+from repro.telemetry.ring import FlightRecorder
 from repro.telemetry.tracer import Tracer
 from repro.vm.config import config_named
 from repro.vm.errors import VMError
@@ -55,6 +56,7 @@ class MatrixCell:
     ic: bool
     profiler: str
     telemetry: bool
+    flight: bool = False
 
     def describe(self) -> str:
         parts = [
@@ -64,14 +66,18 @@ class MatrixCell:
         ]
         if self.telemetry:
             parts.append("telemetry")
+        if self.flight:
+            parts.append("flight")
         return "+".join(parts)
 
 
 def matrix_cells(profiler: str) -> list[MatrixCell]:
     """The cells run for one profiler group: the full ``fuse × ic``
-    square without telemetry, plus the two corners with telemetry on
-    (enough to compare event streams while keeping the budget at six
-    runs per group)."""
+    square without telemetry, the two corners with telemetry on (enough
+    to compare event streams), and the fully-featured corner again with
+    the flight recorder attached — the recorder claims zero virtual-time
+    cost, so that cell must match the others bit-for-bit, event lines
+    included.  Seven runs per group."""
     cells = [
         MatrixCell(fuse, ic, profiler, False)
         for fuse in (False, True)
@@ -79,6 +85,7 @@ def matrix_cells(profiler: str) -> list[MatrixCell]:
     ]
     cells.append(MatrixCell(False, False, profiler, True))
     cells.append(MatrixCell(True, True, profiler, True))
+    cells.append(MatrixCell(True, True, profiler, True, flight=True))
     return cells
 
 
@@ -104,6 +111,8 @@ class RunRecord:
     metrics: dict | None = None
     #: Formatted traceback when the host interpreter itself blew up.
     host_error: str | None = None
+    #: The flight recorder that rode along, when the cell had one.
+    flight: object = None
 
 
 @dataclass
@@ -136,9 +145,23 @@ def _strip_host_metrics(snapshot: dict) -> dict:
     }
 
 
-def run_cell(program, cell: MatrixCell, vm_name: str = "jikes", **overrides) -> RunRecord:
-    """Execute ``program`` under one matrix cell and record everything."""
+def run_cell(
+    program,
+    cell: MatrixCell,
+    vm_name: str = "jikes",
+    flight_recorder=None,
+    **overrides,
+) -> RunRecord:
+    """Execute ``program`` under one matrix cell and record everything.
+
+    ``flight_recorder`` lets a caller (the campaign's artifact writer)
+    supply its own recorder instead of the cell-default fresh one.
+    """
     record = RunRecord(cell=cell, outcome="ok")
+    flight = flight_recorder
+    if flight is None and cell.flight:
+        flight = FlightRecorder()
+    record.flight = flight
     try:
         # Construction is inside the net too: a program that blows up
         # the code cache at compile time is a host crash, not a test
@@ -153,6 +176,8 @@ def run_cell(program, cell: MatrixCell, vm_name: str = "jikes", **overrides) -> 
         tracer = Tracer() if cell.telemetry else None
         if tracer is not None:
             vm.attach_telemetry(tracer)
+        if flight is not None:
+            vm.attach_flight(flight)
         vm.run()
     except VMError as error:
         record.outcome = "error"
@@ -263,26 +288,30 @@ def check_program(
             violations.extend(_compare(record, reference, GROUP_FIELDS))
 
         telemetry_cells = [c for c in records if c.telemetry]
-        if len(telemetry_cells) == 2:
-            base, other = (records[c] for c in telemetry_cells)
-            if base.event_lines != other.event_lines:
-                violations.append(
-                    Violation(
-                        invariant="events",
-                        cell=other.cell.describe(),
-                        reference=base.cell.describe(),
-                        detail=_first_line_diff(base.event_lines, other.event_lines),
+        if len(telemetry_cells) >= 2:
+            base = records[telemetry_cells[0]]
+            for other_cell in telemetry_cells[1:]:
+                other = records[other_cell]
+                if base.event_lines != other.event_lines:
+                    violations.append(
+                        Violation(
+                            invariant="events",
+                            cell=other.cell.describe(),
+                            reference=base.cell.describe(),
+                            detail=_first_line_diff(
+                                base.event_lines, other.event_lines
+                            ),
+                        )
                     )
-                )
-            if base.metrics != other.metrics:
-                violations.append(
-                    Violation(
-                        invariant="metrics",
-                        cell=other.cell.describe(),
-                        reference=base.cell.describe(),
-                        detail=_diff("metrics", base.metrics, other.metrics),
+                if base.metrics != other.metrics:
+                    violations.append(
+                        Violation(
+                            invariant="metrics",
+                            cell=other.cell.describe(),
+                            reference=base.cell.describe(),
+                            detail=_diff("metrics", base.metrics, other.metrics),
+                        )
                     )
-                )
 
         if extra_checks is not None:
             for invariant in extra_checks(records):

@@ -14,6 +14,13 @@ either format as a table.  See docs/OBSERVABILITY.md.
 Telemetry never charges virtual time: a traced run computes the exact
 same result, virtual time, and profile as an untraced one.  With no
 tracer attached the hooks cost a single ``is not None`` check.
+
+The live plane on top of the offline traces: :mod:`~repro.telemetry.ring`
+is the always-on flight recorder (post-mortem JSONL on faults),
+:mod:`~repro.telemetry.promfmt` renders the registry in Prometheus text
+format, and :mod:`~repro.telemetry.httpapi` serves ``/metrics``,
+``/healthz``, and ``/status`` over HTTP for the fleet service
+(``serve --http-port``) and long VM runs (``run --metrics-port``).
 """
 
 from repro.telemetry.events import (
@@ -42,8 +49,12 @@ from repro.telemetry.exporters import (
     export_chrome,
     export_jsonl,
     load_trace,
+    stitch_chrome_traces,
 )
+from repro.telemetry.httpapi import HttpServerThread, ObservabilityHTTP
 from repro.telemetry.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.telemetry.promfmt import PromFormatError, render_registry, validate_text
+from repro.telemetry.ring import FlightRecorder
 from repro.telemetry.scopes import ScopeTimer, trace_scope
 from repro.telemetry.summary import summarize_trace
 from repro.telemetry.tracer import Tracer

@@ -34,6 +34,15 @@ class Event:
 
     name = "event"
     phase = "i"  # Chrome trace_event phase
+    #: Cross-process flow role: ``"start"``/``"finish"`` events carrying
+    #: a ``span_id`` additionally emit a Chrome flow record, which is
+    #: how one publish is followed from a VM's trace into the fleet
+    #: service's (see docs/OBSERVABILITY.md).
+    flow: str | None = None
+    #: Default span coordinates; span-carrying subclasses override with
+    #: real slots so ``getattr`` in the exporter stays branch-free.
+    trace_id = None
+    span_id = None
 
     def __init__(self, ts: int):
         self.ts = ts
@@ -234,43 +243,85 @@ class CallTraced(Event):
 
 
 class FleetPublish(Event):
-    """The fleet publisher enqueued one DCG delta batch for upload."""
+    """The fleet publisher enqueued one DCG delta batch for upload.
 
-    __slots__ = ("seq", "edges", "weight")
+    When the publisher stamps the delta with trace-span coordinates
+    (``trace_id`` = the run id, ``span_id`` = ``run_id:seq``), this
+    event opens the cross-process span: the Chrome exporter emits a
+    flow-start record that the server-side :class:`FleetMerge` with the
+    same ``span_id`` finishes, so the two offline traces stitch into
+    one parented timeline.
+    """
+
+    __slots__ = ("seq", "edges", "weight", "trace_id", "span_id")
     name = "fleet_publish"
+    flow = "start"
 
-    def __init__(self, ts: int, seq: int, edges: int, weight: float):
+    def __init__(
+        self,
+        ts: int,
+        seq: int,
+        edges: int,
+        weight: float,
+        trace_id: str | None = None,
+        span_id: str | None = None,
+    ):
         super().__init__(ts)
         self.seq = seq
         self.edges = edges
         self.weight = weight
+        self.trace_id = trace_id
+        self.span_id = span_id
 
     def args(self) -> dict:
-        return {"seq": self.seq, "edges": self.edges, "weight": self.weight}
+        args = {"seq": self.seq, "edges": self.edges, "weight": self.weight}
+        if self.span_id is not None:
+            args["trace_id"] = self.trace_id
+            args["span_id"] = self.span_id
+        return args
 
 
 class FleetMerge(Event):
-    """The fleet service merged one published delta into an aggregate."""
+    """The fleet service merged one published delta into an aggregate.
 
-    __slots__ = ("fingerprint", "edges", "runs", "total_weight")
+    Carries the publisher's span coordinates when the delta arrived
+    with them; the Chrome exporter turns that into the flow-finish half
+    of the publish span (see :class:`FleetPublish`).
+    """
+
+    __slots__ = ("fingerprint", "edges", "runs", "total_weight", "trace_id", "span_id")
     name = "fleet_merge"
+    flow = "finish"
 
     def __init__(
-        self, ts: int, fingerprint: str, edges: int, runs: int, total_weight: float
+        self,
+        ts: int,
+        fingerprint: str,
+        edges: int,
+        runs: int,
+        total_weight: float,
+        trace_id: str | None = None,
+        span_id: str | None = None,
     ):
         super().__init__(ts)
         self.fingerprint = fingerprint
         self.edges = edges
         self.runs = runs
         self.total_weight = total_weight
+        self.trace_id = trace_id
+        self.span_id = span_id
 
     def args(self) -> dict:
-        return {
+        args = {
             "fingerprint": self.fingerprint,
             "edges": self.edges,
             "runs": self.runs,
             "total_weight": self.total_weight,
         }
+        if self.span_id is not None:
+            args["trace_id"] = self.trace_id
+            args["span_id"] = self.span_id
+        return args
 
 
 class WarmStart(Event):

@@ -44,9 +44,15 @@ _LANES = {
     "inline_decision": (3, "adaptive"),
     "scope_begin": (4, "harness"),
     "scope_end": (4, "harness"),
+    "fleet_publish": (5, "fleet"),
+    "fleet_merge": (5, "fleet"),
+    "warm_start": (5, "fleet"),
 }
 _DEFAULT_LANE = (1, "vm")
 _PID = 1
+
+#: Chrome flow-event phases for the cross-process publish spans.
+_FLOW_PHASES = {"start": "s", "step": "t", "finish": "f"}
 
 
 def jsonl_lines(tracer) -> list[str]:
@@ -114,7 +120,56 @@ def chrome_trace_events(tracer) -> list[dict]:
         if event.phase == "i":
             record["s"] = "t"  # thread-scoped instant
         events.append(record)
+        # Span-carrying fleet events additionally emit a flow record:
+        # the client's publish (flow-start) and the server's merge
+        # (flow-finish) share a span id, so stitched traces draw one
+        # arrow per delta from VM enqueue to aggregate merge.
+        span_id = event.span_id
+        if span_id is not None and event.flow in _FLOW_PHASES:
+            flow = {
+                "name": "fleet_delta",
+                "cat": "fleet",
+                "ph": _FLOW_PHASES[event.flow],
+                "id": span_id,
+                "ts": event.ts,
+                "pid": _PID,
+                "tid": tid,
+                "args": {"trace_id": event.trace_id},
+            }
+            if event.flow == "finish":
+                flow["bp"] = "e"  # bind to the enclosing slice
+            events.append(flow)
     return events
+
+
+def stitch_chrome_traces(*documents: dict, names=None) -> dict:
+    """Merge Chrome trace documents from different processes into one.
+
+    Each document gets its own ``pid`` (1, 2, ...) and, when ``names``
+    is given, a rewritten ``process_name`` metadata record, so a
+    client's trace and the fleet service's trace of the same publishes
+    load as one timeline — the shared flow ids connect the
+    ``fleet_publish`` and ``fleet_merge`` slices across processes.
+    """
+    merged: list[dict] = []
+    for index, document in enumerate(documents):
+        pid = index + 1
+        name = names[index] if names else None
+        for record in document.get("traceEvents", []):
+            record = dict(record)
+            record["pid"] = pid
+            if (
+                name is not None
+                and record.get("ph") == "M"
+                and record.get("name") == "process_name"
+            ):
+                record["args"] = {"name": name}
+            merged.append(record)
+    return {
+        "traceEvents": merged,
+        "displayTimeUnit": "ms",
+        "otherData": {"producer": "repro-mini telemetry (stitched)"},
+    }
 
 
 def export_chrome(tracer, path: str) -> None:
@@ -200,8 +255,8 @@ def _load_jsonl(lines: list[str]) -> LoadedTrace:
 def _load_chrome(document: dict) -> LoadedTrace:
     trace = LoadedTrace(format="chrome")
     for record in document.get("traceEvents", []):
-        if record.get("ph") == "M":
-            continue  # metadata, not part of the event stream
+        if record.get("ph") in ("M", "s", "t", "f"):
+            continue  # metadata and flow decoration, not the event stream
         trace.events.append(
             {
                 "name": record["name"],

@@ -10,6 +10,7 @@ renders everything to a plain dict for exporters and the
 from __future__ import annotations
 
 from bisect import bisect_left
+from itertools import accumulate
 
 
 class Counter:
@@ -92,9 +93,15 @@ class Histogram:
         return self.sum / self.count if self.count else 0.0
 
     def bucket_counts(self) -> list[tuple[str, int]]:
-        """(upper-bound label, count) pairs, overflow bucket last."""
+        """(upper-bound label, cumulative count) pairs, Prometheus style.
+
+        Each bucket counts *all* observations at or below its bound, and
+        the explicit terminal ``+Inf`` bucket equals the total
+        observation count — the exact shape ``/metrics`` renders as
+        ``_bucket{le="..."}`` samples.
+        """
         labels = [f"<= {bound}" for bound in self.buckets] + ["+Inf"]
-        return list(zip(labels, self.counts))
+        return list(zip(labels, accumulate(self.counts)))
 
     def snapshot(self) -> dict:
         return {

@@ -1,0 +1,205 @@
+"""Prometheus text-format rendering for the metrics registry.
+
+Turns a :class:`~repro.telemetry.metrics.MetricsRegistry` into the
+`text exposition format`__ a Prometheus scraper (or ``curl``) reads off
+``/metrics``:
+
+* counters are suffixed ``_total`` and dotted names are sanitized to
+  legal metric names (``fleet.publishes`` → ``fleet_publishes_total``),
+* gauges pass through as plain samples,
+* histograms expand into cumulative ``<name>_bucket{le="..."}`` samples
+  terminated by an explicit ``le="+Inf"`` bucket, plus ``<name>_sum``
+  and ``<name>_count``.
+
+__ https://prometheus.io/docs/instrumenting/exposition_formats/
+
+:func:`validate_text` is the matching checker: it parses a rendered
+payload back and enforces the structural rules scrapers rely on (names
+legal, TYPE declared before samples, bucket counts cumulative and
+capped by ``+Inf`` == ``_count``).  Tests run every endpoint's output
+through it, so a formatting regression fails in-tree rather than in
+someone's Prometheus.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.telemetry.metrics import Counter, Gauge, Histogram
+
+#: MIME type scrapers expect from a /metrics endpoint.
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_NAME_OK = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r" (?P<value>\S+)$"
+)
+
+
+def sanitize(name: str) -> str:
+    """Map a registry name onto a legal Prometheus metric name."""
+    cleaned = re.sub(r"[^a-zA-Z0-9_:]", "_", name)
+    if not cleaned or not _NAME_OK.match(cleaned):
+        cleaned = "_" + cleaned
+    return cleaned
+
+
+def metric_name(name: str, metric) -> str:
+    """The exposition name for one registry entry (counters get the
+    conventional ``_total`` suffix)."""
+    base = sanitize(name)
+    if isinstance(metric, Counter) and not base.endswith("_total"):
+        base += "_total"
+    return base
+
+
+def _format_value(value) -> str:
+    if value is None:
+        return "0"
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value) if isinstance(value, float) else str(value)
+
+
+def render_registry(registry) -> str:
+    """The whole registry as one ``/metrics`` payload (sorted by name,
+    so the output is deterministic and diffable)."""
+    lines: list[str] = []
+    for name in registry.names():
+        metric = registry.get(name)
+        exposed = metric_name(name, metric)
+        if metric.help:
+            lines.append(f"# HELP {exposed} {metric.help}")
+        if isinstance(metric, Counter):
+            lines.append(f"# TYPE {exposed} counter")
+            lines.append(f"{exposed} {_format_value(metric.value)}")
+        elif isinstance(metric, Gauge):
+            lines.append(f"# TYPE {exposed} gauge")
+            lines.append(f"{exposed} {_format_value(metric.value)}")
+        elif isinstance(metric, Histogram):
+            lines.append(f"# TYPE {exposed} histogram")
+            cumulative = 0
+            for bound, count in zip(metric.buckets, metric.counts):
+                cumulative += count
+                lines.append(
+                    f'{exposed}_bucket{{le="{_format_value(float(bound))}"}} '
+                    f"{cumulative}"
+                )
+            lines.append(f'{exposed}_bucket{{le="+Inf"}} {metric.count}')
+            lines.append(f"{exposed}_sum {_format_value(metric.sum)}")
+            lines.append(f"{exposed}_count {metric.count}")
+        else:  # pragma: no cover - registry only stores the three kinds
+            raise TypeError(f"unknown metric kind {type(metric).__name__}")
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+# -- validation ---------------------------------------------------------------------
+
+
+class PromFormatError(ValueError):
+    """The payload violates the Prometheus text exposition format."""
+
+
+def _parse_labels(text: str | None) -> dict:
+    labels: dict[str, str] = {}
+    if not text:
+        return labels
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        key, sep, value = part.partition("=")
+        if not sep or not value.startswith('"') or not value.endswith('"'):
+            raise PromFormatError(f"malformed label {part!r}")
+        labels[key] = value[1:-1]
+    return labels
+
+
+def parse_text(text: str) -> dict:
+    """Parse a text-format payload into ``{family: {"type", "samples"}}``
+    where samples are ``(name, labels, value)`` tuples.
+
+    Raises :class:`PromFormatError` on anything a scraper would choke
+    on; the structural histogram rules are checked by
+    :func:`validate_text` on top of this.
+    """
+    families: dict[str, dict] = {}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4 or parts[3] not in ("counter", "gauge", "histogram"):
+                raise PromFormatError(f"line {lineno}: malformed TYPE line")
+            family = parts[2]
+            if not _NAME_OK.match(family):
+                raise PromFormatError(f"line {lineno}: illegal metric name {family!r}")
+            if family in families:
+                raise PromFormatError(f"line {lineno}: duplicate TYPE for {family}")
+            families[family] = {"type": parts[3], "samples": []}
+            continue
+        if line.startswith("#"):
+            continue  # HELP and comments
+        match = _SAMPLE.match(line)
+        if match is None:
+            raise PromFormatError(f"line {lineno}: malformed sample {line!r}")
+        name = match.group("name")
+        labels = _parse_labels(match.group("labels"))
+        raw = match.group("value")
+        try:
+            value = float(raw)
+        except ValueError:
+            raise PromFormatError(f"line {lineno}: non-numeric value {raw!r}")
+        family = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix) and name[: -len(suffix)] in families:
+                family = name[: -len(suffix)]
+                break
+        if family not in families:
+            raise PromFormatError(
+                f"line {lineno}: sample {name!r} has no preceding TYPE line"
+            )
+        families[family]["samples"].append((name, labels, value))
+    return families
+
+
+def validate_text(text: str) -> dict:
+    """Full validity check for a ``/metrics`` payload.
+
+    Returns the parsed families on success; raises
+    :class:`PromFormatError` on any violation, including the histogram
+    invariants (cumulative buckets, explicit ``+Inf``, ``_count`` ==
+    the ``+Inf`` bucket).
+    """
+    families = parse_text(text)
+    for family, data in families.items():
+        if data["type"] != "histogram":
+            for name, _labels, _value in data["samples"]:
+                if name != family:
+                    raise PromFormatError(
+                        f"{family}: unexpected sample name {name!r}"
+                    )
+            continue
+        buckets = [s for s in data["samples"] if s[0] == f"{family}_bucket"]
+        sums = [s for s in data["samples"] if s[0] == f"{family}_sum"]
+        counts = [s for s in data["samples"] if s[0] == f"{family}_count"]
+        if not buckets or len(sums) != 1 or len(counts) != 1:
+            raise PromFormatError(f"{family}: incomplete histogram")
+        if buckets[-1][1].get("le") != "+Inf":
+            raise PromFormatError(f"{family}: last bucket must be le=\"+Inf\"")
+        previous = None
+        for _name, labels, value in buckets:
+            if "le" not in labels:
+                raise PromFormatError(f"{family}: bucket without le label")
+            if previous is not None and value < previous:
+                raise PromFormatError(f"{family}: bucket counts not cumulative")
+            previous = value
+        if buckets[-1][2] != counts[0][2]:
+            raise PromFormatError(
+                f"{family}: +Inf bucket ({buckets[-1][2]}) != _count ({counts[0][2]})"
+            )
+    return families

@@ -1,0 +1,140 @@
+"""The flight recorder: an always-on bounded ring of recent happenings.
+
+Production profile collectors need a post-mortem story that costs
+nothing while everything is healthy.  The :class:`FlightRecorder` is a
+preallocated ring buffer: recording one entry is an index increment and
+a tuple store (no I/O, no growth, no virtual-time charge — the VM's
+clock is never touched, so a run with the recorder attached is
+bit-identical to one without).  When something dies — a guest
+:class:`~repro.vm.errors.VMError`, a host crash, a fuzzer invariant
+violation — the last ``capacity`` entries are dumped as a JSONL
+``flight.jsonl`` artifact that shows what the run was doing in the
+moments before the fault.
+
+Attachment: :meth:`Interpreter.attach_flight` wires the recorder to a
+VM — per-tick heartbeats ride the existing tick-hook chain, and the
+interpreter notifies the recorder on guest faults and run end.  Other
+subsystems (the fleet publisher, the fuzz campaign, the CLI) call
+:meth:`record` directly at their own interesting points.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+#: Default ring size: enough to cover the last few hundred ticks plus
+#: the surrounding lifecycle records, small enough to stay cache-warm.
+DEFAULT_CAPACITY = 256
+
+
+class FlightRecorder:
+    """Bounded ring buffer of ``(seq, wall_time, kind, data)`` entries."""
+
+    __slots__ = ("capacity", "clock", "recorded", "_slots")
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY, clock=time.monotonic):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self.clock = clock
+        self.recorded = 0
+        self._slots: list = [None] * capacity
+
+    # -- recording (the hot side) ---------------------------------------------------
+
+    def record(self, kind: str, **data) -> None:
+        """Store one entry, overwriting the oldest when the ring is full."""
+        seq = self.recorded
+        self._slots[seq % self.capacity] = (seq, self.clock(), kind, data)
+        self.recorded = seq + 1
+
+    # -- VM hooks (see Interpreter.attach_flight) ------------------------------------
+
+    def on_tick(self, vm) -> None:
+        """Per-tick heartbeat: virtual time, tick count, stack depth."""
+        seq = self.recorded
+        self._slots[seq % self.capacity] = (
+            seq,
+            self.clock(),
+            "tick",
+            {"vtime": vm.time, "tick": vm.ticks, "depth": len(vm.frames)},
+        )
+        self.recorded = seq + 1
+
+    def on_fault(self, vm, error) -> None:
+        """A guest fault escaped the dispatch loop: capture the exact
+        transcript (the raise site already synced the counters)."""
+        self.record(
+            "fault",
+            error=type(error).__name__,
+            message=str(error),
+            function=getattr(error, "function", None),
+            pc=getattr(error, "pc", None),
+            vtime=vm.time,
+            steps=vm.steps,
+            ticks=vm.ticks,
+            calls=vm.call_count,
+        )
+
+    def on_run_end(self, vm) -> None:
+        self.record(
+            "run_end",
+            vtime=vm.time,
+            steps=vm.steps,
+            ticks=vm.ticks,
+            calls=vm.call_count,
+            methods=vm.methods_executed,
+            output_lines=len(vm.output),
+        )
+
+    def note_metrics(self, registry) -> None:
+        """Attach a full metrics snapshot (e.g. right before a dump)."""
+        self.record("metrics", snapshot=registry.snapshot())
+
+    # -- reading / dumping ------------------------------------------------------------
+
+    @property
+    def retained(self) -> int:
+        return min(self.recorded, self.capacity)
+
+    @property
+    def overwritten(self) -> int:
+        return self.recorded - self.retained
+
+    def entries(self) -> list[tuple]:
+        """Retained entries, oldest first."""
+        if self.recorded <= self.capacity:
+            return [slot for slot in self._slots[: self.recorded]]
+        pivot = self.recorded % self.capacity
+        return self._slots[pivot:] + self._slots[:pivot]
+
+    def stats(self) -> dict:
+        return {
+            "capacity": self.capacity,
+            "recorded": self.recorded,
+            "retained": self.retained,
+            "overwritten": self.overwritten,
+        }
+
+    def dump_lines(self) -> list[str]:
+        """The post-mortem as JSONL lines (header first, oldest entry
+        next, newest — usually the fault — last)."""
+        header = {
+            "record": "flight",
+            "format": "repro-flight",
+            "version": 1,
+            **self.stats(),
+        }
+        lines = [json.dumps(header)]
+        for seq, wall, kind, data in self.entries():
+            entry = {"seq": seq, "wall": round(wall, 6), "kind": kind}
+            if data:
+                entry.update(data)
+            lines.append(json.dumps(entry))
+        return lines
+
+    def dump(self, path: str) -> None:
+        with open(path, "w") as handle:
+            for line in self.dump_lines():
+                handle.write(line + "\n")

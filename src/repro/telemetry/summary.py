@@ -73,9 +73,33 @@ def pipeline_rows(trace: LoadedTrace) -> list[list[object]]:
     if accepted or rejected or "inline_decision" in counts:
         rows.append(["inline decisions accepted", accepted])
         rows.append(["inline decisions rejected", rejected])
+    fused = _metric_value(trace, "fusion.dispatches")
+    if fused:
+        rows.append(["fused dispatches", fused])
+        rows.append(["fusion deopts", _metric_value(trace, "fusion.deopts") or 0])
+        rows.append(["fusion sites", _metric_value(trace, "fusion.sites") or 0])
+    ic_hits = _metric_value(trace, "ic.hits") or 0
+    ic_misses = _metric_value(trace, "ic.misses") or 0
+    if ic_hits or ic_misses:
+        rows.append(["ic hits", ic_hits])
+        rows.append(["ic misses", ic_misses])
+        rows.append(["ic transitions", _metric_value(trace, "ic.transitions") or 0])
+        rows.append(["ic sites", _metric_value(trace, "ic.sites") or 0])
+        megamorphic = _metric_value(trace, "ic.megamorphic_sites")
+        if megamorphic:
+            rows.append(["ic megamorphic sites", megamorphic])
     publishes = metric_or_count("fleet.publishes", "fleet_publish")
     if publishes:
         rows.append(["fleet batches published", publishes])
+        sent = _metric_value(trace, "fleet.batches_sent")
+        if sent is not None:
+            rows.append(["fleet batches delivered", sent])
+            rows.append(
+                ["fleet batches dropped", _metric_value(trace, "fleet.batches_dropped") or 0]
+            )
+            rows.append(["fleet edges delivered", _metric_value(trace, "fleet.edges_sent") or 0])
+        if _metric_value(trace, "fleet.server_dead"):
+            rows.append(["fleet server dead", 1])
     merges = metric_or_count("fleet.merges", "fleet_merge")
     if merges:
         rows.append(["fleet deltas merged", merges])
@@ -113,11 +137,13 @@ def histogram_tables(trace: LoadedTrace) -> list[str]:
         snapshot = trace.metrics[name]
         if snapshot.get("type") != "histogram" or not snapshot.get("count"):
             continue
+        # Bucket counts are cumulative (Prometheus convention, same as
+        # /metrics): each row counts observations at or below its bound,
+        # and the +Inf row equals the total count.
         rows = [[bucket, count] for bucket, count in snapshot["buckets"].items()]
-        rows.append(["total", snapshot["count"]])
         tables.append(
             _render_table(
-                ["bucket", "count"],
+                ["bucket", "cum count"],
                 rows,
                 title=f"{name} (mean={snapshot['mean']}, max={snapshot['max']})",
             )

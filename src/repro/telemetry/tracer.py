@@ -93,6 +93,21 @@ class Tracer:
         self._warm_starts = metrics.counter(
             "fleet.warm_starts", "adaptive controllers seeded from fleet profiles"
         )
+        # Publisher outcome counters (worker-thread figures recorded at
+        # close; metrics only, never events, so publishing configs keep
+        # byte-identical event streams).
+        self._fleet_batches_sent = metrics.counter(
+            "fleet.batches_sent", "delta batches acknowledged by the fleet service"
+        )
+        self._fleet_batches_dropped = metrics.counter(
+            "fleet.batches_dropped", "delta batches dropped (queue full or server dead)"
+        )
+        self._fleet_edges_sent = metrics.counter(
+            "fleet.edges_sent", "DCG edges delivered to the fleet service"
+        )
+        self._fleet_server_dead = metrics.gauge(
+            "fleet.server_dead", "1 when the publisher declared the server dead"
+        )
         self._fused_dispatches = metrics.counter(
             "fusion.dispatches", "superinstruction dispatches executed"
         )
@@ -274,17 +289,44 @@ class Tracer:
 
     # -- fleet hook methods -----------------------------------------------------------
 
-    def on_fleet_publish(self, ts: int, seq: int, edges: int, weight: float) -> None:
+    def on_fleet_publish(
+        self,
+        ts: int,
+        seq: int,
+        edges: int,
+        weight: float,
+        trace_id: str | None = None,
+        span_id: str | None = None,
+    ) -> None:
         self._fleet_publishes.inc()
-        self.events.append(FleetPublish(ts, seq, edges, weight))
+        self.events.append(FleetPublish(ts, seq, edges, weight, trace_id, span_id))
 
     def on_fleet_merge(
-        self, fingerprint: str, edges: int, runs: int, total_weight: float
+        self,
+        fingerprint: str,
+        edges: int,
+        runs: int,
+        total_weight: float,
+        trace_id: str | None = None,
+        span_id: str | None = None,
     ) -> None:
         self._fleet_merges.inc()
         self.events.append(
-            FleetMerge(self.clock(), fingerprint, edges, runs, total_weight)
+            FleetMerge(
+                self.clock(), fingerprint, edges, runs, total_weight, trace_id, span_id
+            )
         )
+
+    def on_fleet_outcome(
+        self, batches_sent: int, batches_dropped: int, edges_sent: int, server_dead: bool
+    ) -> None:
+        """Record the publisher's end-of-run outcome counters (metrics
+        only — called once at ``FleetPublisher.close`` after the worker
+        thread has joined, so the figures are final)."""
+        self._fleet_batches_sent.inc(batches_sent)
+        self._fleet_batches_dropped.inc(batches_dropped)
+        self._fleet_edges_sent.inc(edges_sent)
+        self._fleet_server_dead.set(1 if server_dead else 0)
 
     def on_warm_start(self, ts: int, methods: int, edges: int, weight: float) -> None:
         self._warm_starts.inc()

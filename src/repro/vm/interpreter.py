@@ -138,6 +138,7 @@ class Interpreter:
         self.call_observer = None
         self.tick_hook = None  # called after profiler on each tick (adaptive system)
         self.telemetry = None  # structured event tracer (repro.telemetry.Tracer)
+        self.flight = None  # flight recorder (repro.telemetry.ring.FlightRecorder)
 
     # -- hook management -------------------------------------------------------
 
@@ -150,6 +151,23 @@ class Interpreter:
         caches the hook in a local at entry, like the call observer)."""
         self.telemetry = tracer
         tracer.attach(self)
+
+    def attach_flight(self, recorder) -> None:
+        """Install a flight recorder: a per-tick heartbeat on the tick
+        hook chain (after any adaptive system and publisher — ring-buffer
+        writes only, no I/O, no virtual-time charge) plus fault and
+        run-end snapshots from ``run()``."""
+        self.flight = recorder
+        previous = self.tick_hook
+        if previous is None:
+            self.tick_hook = recorder.on_tick
+        else:
+
+            def chained(vm, _previous=previous, _record=recorder.on_tick):
+                _previous(vm)
+                _record(vm)
+
+            self.tick_hook = chained
 
     def charge(self, units: int) -> None:
         """Advance virtual time (used by profiler handlers)."""
@@ -586,8 +604,14 @@ class Interpreter:
         ic_calls_before = cache.receiver_cell_total() if cache.ic else 0
         try:
             return self._loop()
+        except VMError as error:
+            if self.flight is not None:
+                self.flight.on_fault(self, error)
+            raise
         finally:
             self.finished = True
+            if self.flight is not None:
+                self.flight.on_run_end(self)
             if self.telemetry is not None:
                 self.telemetry.on_fusion_summary(
                     self.fused_dispatches - fused_before,

@@ -15,15 +15,26 @@ import threading
 from repro.fleet.merge import MergePolicy
 from repro.fleet.repository import ProfileRepository
 from repro.fleet.service import FleetService
+from repro.telemetry.httpapi import ObservabilityHTTP
 
 
 class ServiceThread:
-    def __init__(self, root: str, policy: MergePolicy | None = None, **kwargs):
+    def __init__(
+        self,
+        root: str,
+        policy: MergePolicy | None = None,
+        http: bool = False,
+        **kwargs,
+    ):
         self.root = root
         self.policy = policy
+        self.http = http
         self.kwargs = kwargs
         self.service: FleetService | None = None
         self.address: tuple[str, int] | None = None
+        #: Bound address of the observability listener (http=True only).
+        self.http_address: tuple[str, int] | None = None
+        self._http: ObservabilityHTTP | None = None
         self._ready = threading.Event()
         self._loop = None
         self._stop_event = None
@@ -46,8 +57,18 @@ class ServiceThread:
         self.service = FleetService(repository, **self.kwargs)
         await self.service.start("127.0.0.1", 0)
         self.address = self.service.address
+        if self.http:
+            # Same topology as `serve --http-port`: the observability
+            # listener shares the service's event loop.
+            self._http = ObservabilityHTTP(
+                registry=self.service.registry,
+                status_fn=self.service.status,
+            )
+            self.http_address = await self._http.start("127.0.0.1", 0)
         self._loop = asyncio.get_running_loop()
         self._stop_event = asyncio.Event()
         self._ready.set()
         await self._stop_event.wait()
+        if self._http is not None:
+            await self._http.stop()
         await self.service.stop()

@@ -1,0 +1,123 @@
+"""The acceptance property for the observability plane: watching a run
+must not change it, and client/server traces of one run must stitch."""
+
+import json
+
+from repro.fleet.client import FleetPublisher
+from repro.frontend.codegen import compile_source
+from repro.profiling.cbs import CBSProfiler
+from repro.telemetry import Tracer
+from repro.telemetry.exporters import (
+    chrome_trace_events,
+    jsonl_lines,
+    stitch_chrome_traces,
+)
+from repro.telemetry.ring import FlightRecorder
+from repro.vm.interpreter import Interpreter
+
+from tests.fleet._service_thread import ServiceThread
+
+SOURCE = """
+class A { def f(): int { return 1; } }
+def helper(): int { return 2; }
+def main() {
+  var a = new A();
+  var t = 0;
+  for (var i = 0; i < 30000; i = i + 1) { t = t + a.f() + helper(); }
+  print(t);
+}
+"""
+
+RUN_ID = "obs-identity"
+
+
+def observed_run(program, address, *, trace=False, flight=False, publish=False):
+    """One run with the requested observability layers attached, in the
+    exact order the CLI attaches them (adaptive → publisher → flight)."""
+    vm = Interpreter(program)
+    tracer = None
+    if trace:
+        tracer = Tracer()
+        vm.attach_telemetry(tracer)
+    vm.attach_profiler(CBSProfiler(seed=7))
+    publisher = None
+    if publish:
+        publisher = FleetPublisher(
+            address, program, every_ticks=2, run_id=RUN_ID, telemetry=tracer
+        )
+        publisher.install(vm)
+    if flight:
+        vm.attach_flight(FlightRecorder())
+    vm.run()
+    if publisher is not None:
+        publisher.flush(vm)
+        publisher.close()
+    return vm, tracer
+
+
+def test_fully_observed_run_is_bit_identical(tmp_path):
+    """trace + publish + flight vs trace + publish vs nothing: every
+    virtual observable matches, telemetry event stream included."""
+    program = compile_source(SOURCE)
+
+    def run(tag, **layers):
+        # A fresh server per run keeps the fleet side independent; the
+        # fixed RUN_ID makes span ids (run_id:seq) comparable across runs.
+        with ServiceThread(str(tmp_path / tag)) as server:
+            return observed_run(program, server.address, **layers)
+
+    plain_vm, _ = run("plain")
+    traced_vm, traced = run("traced", trace=True, publish=True)
+    full_vm, full = run("full", trace=True, publish=True, flight=True)
+
+    for vm in (traced_vm, full_vm):
+        assert vm.output == plain_vm.output
+        assert vm.time == plain_vm.time
+        assert vm.steps == plain_vm.steps
+        assert vm.ticks == plain_vm.ticks
+        assert vm.profiler.dcg.edges() == plain_vm.profiler.dcg.edges()
+
+    # The event streams — publish spans included — are bit-identical.
+    assert jsonl_lines(full) == jsonl_lines(traced)
+
+
+def test_client_and_server_traces_stitch(tmp_path):
+    """The client's fleet_publish and the server's fleet_merge carry the
+    same derived span ids, so the stitched Chrome trace draws one flow
+    arrow per delta across the process boundary."""
+    program = compile_source(SOURCE)
+    server_tracer = Tracer()
+    with ServiceThread(str(tmp_path / "repo"), telemetry=server_tracer) as server:
+        _vm, client_tracer = observed_run(
+            program, server.address, trace=True, publish=True
+        )
+
+    client_tracer.finalize()
+    server_tracer.finalize()
+    client_doc = {"traceEvents": chrome_trace_events(client_tracer)}
+    server_doc = {"traceEvents": chrome_trace_events(server_tracer)}
+    stitched = stitch_chrome_traces(client_doc, server_doc, names=["vm", "fleet"])
+
+    # The merged document is valid Chrome trace JSON with distinct pids.
+    json.dumps(stitched)
+    events = stitched["traceEvents"]
+    starts = [e for e in events if e.get("ph") == "s"]
+    finishes = [e for e in events if e.get("ph") == "f"]
+    assert starts and finishes
+    assert {e["pid"] for e in starts} == {1}
+    assert {e["pid"] for e in finishes} == {2}
+    assert all(e["bp"] == "e" for e in finishes)
+    # Every merge the server saw binds to a publish the client sent.
+    start_ids = {e["id"] for e in starts}
+    finish_ids = {e["id"] for e in finishes}
+    assert finish_ids <= start_ids
+    assert finish_ids  # at least one delta crossed the boundary
+    assert all(id.startswith(f"{RUN_ID}:") for id in finish_ids)
+
+    # Process names were rewritten so the timeline reads client vs server.
+    names = {
+        e["args"]["name"]
+        for e in events
+        if e.get("ph") == "M" and e.get("name") == "process_name"
+    }
+    assert names == {"vm", "fleet"}

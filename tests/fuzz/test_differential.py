@@ -37,11 +37,15 @@ end
 
 def test_matrix_shape():
     cells = matrix_cells("none")
-    assert len(cells) == 6
-    assert sum(1 for c in cells if c.telemetry) == 2
+    assert len(cells) == 7
+    assert sum(1 for c in cells if c.telemetry) == 3
     assert {(c.fuse, c.ic) for c in cells if not c.telemetry} == {
         (False, False), (False, True), (True, False), (True, True),
     }
+    flight_cells = [c for c in cells if c.flight]
+    assert len(flight_cells) == 1
+    assert flight_cells[0].telemetry  # flight rides the fully-featured cell
+    assert flight_cells[0].describe().endswith("+telemetry+flight")
 
 
 def test_clean_program_has_no_violations():

@@ -62,13 +62,16 @@ class TestHistogramBucketing:
         labels = [label for label, _ in hist.bucket_counts()]
         assert labels == ["<= 1", "<= 2", "+Inf"]
 
-    def test_snapshot_buckets(self):
+    def test_snapshot_buckets_are_cumulative(self):
+        # Prometheus convention: each bucket counts observations at or
+        # below its bound; +Inf equals the total count.
         hist = Histogram("h", buckets=(4, 16))
         hist.observe(3)
         hist.observe(20)
         snap = hist.snapshot()
         assert snap["type"] == "histogram"
-        assert snap["buckets"] == {"<= 4": 1, "<= 16": 0, "+Inf": 1}
+        assert snap["buckets"] == {"<= 4": 1, "<= 16": 1, "+Inf": 2}
+        assert snap["buckets"]["+Inf"] == snap["count"]
 
     def test_rejects_unsorted_or_empty_bounds(self):
         with pytest.raises(ValueError):

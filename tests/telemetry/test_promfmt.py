@@ -1,0 +1,141 @@
+"""Prometheus text-format rendering and the matching validator."""
+
+import pytest
+
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.promfmt import (
+    CONTENT_TYPE,
+    PromFormatError,
+    metric_name,
+    parse_text,
+    render_registry,
+    sanitize,
+    validate_text,
+)
+
+
+def populated_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.counter("fleet.publishes", "accepted deltas").inc(3)
+    registry.gauge("fleet.programs", "distinct fingerprints").set(2)
+    hist = registry.histogram("fleet.delta_edges", (1, 4, 16), "edges per delta")
+    for value in (0, 2, 2, 30):
+        hist.observe(value)
+    return registry
+
+
+class TestNames:
+    def test_sanitize_dots_to_underscores(self):
+        assert sanitize("fleet.publishes") == "fleet_publishes"
+        assert sanitize("cbs.samples_per_window") == "cbs_samples_per_window"
+
+    def test_sanitize_leading_digit(self):
+        assert sanitize("1weird")[0] not in "0123456789"
+
+    def test_counter_gets_total_suffix(self):
+        registry = populated_registry()
+        assert (
+            metric_name("fleet.publishes", registry.get("fleet.publishes"))
+            == "fleet_publishes_total"
+        )
+
+    def test_gauge_keeps_plain_name(self):
+        registry = populated_registry()
+        assert (
+            metric_name("fleet.programs", registry.get("fleet.programs"))
+            == "fleet_programs"
+        )
+
+
+class TestRender:
+    def test_content_type_is_prometheus(self):
+        assert CONTENT_TYPE.startswith("text/plain")
+        assert "version=0.0.4" in CONTENT_TYPE
+
+    def test_counter_sample(self):
+        text = render_registry(populated_registry())
+        assert "# TYPE fleet_publishes_total counter" in text
+        assert "\nfleet_publishes_total 3\n" in text
+
+    def test_histogram_buckets_cumulative_with_inf(self):
+        text = render_registry(populated_registry())
+        lines = [l for l in text.splitlines() if l.startswith("fleet_delta_edges")]
+        assert lines == [
+            'fleet_delta_edges_bucket{le="1"} 1',
+            'fleet_delta_edges_bucket{le="4"} 3',
+            'fleet_delta_edges_bucket{le="16"} 3',
+            'fleet_delta_edges_bucket{le="+Inf"} 4',
+            "fleet_delta_edges_sum 34",
+            "fleet_delta_edges_count 4",
+        ]
+
+    def test_empty_registry_renders_empty(self):
+        assert render_registry(MetricsRegistry()) == ""
+
+    def test_render_output_validates(self):
+        families = validate_text(render_registry(populated_registry()))
+        assert set(families) == {
+            "fleet_publishes_total",
+            "fleet_programs",
+            "fleet_delta_edges",
+        }
+
+    def test_tracer_registry_validates(self):
+        # The full pre-bound Tracer registry (dotted names, histograms
+        # with zero observations) must render scrapable too.
+        from repro.telemetry import Tracer
+
+        families = validate_text(render_registry(Tracer().metrics))
+        assert "fleet_publishes_total" in families
+        assert "cbs_samples_per_window" in families
+
+
+class TestValidate:
+    def test_parse_samples(self):
+        families = parse_text(
+            "# TYPE x_total counter\nx_total 5\n"
+            "# TYPE g gauge\ng 1.5\n"
+        )
+        assert families["x_total"]["samples"] == [("x_total", {}, 5.0)]
+        assert families["g"]["samples"] == [("g", {}, 1.5)]
+
+    def test_sample_without_type_rejected(self):
+        with pytest.raises(PromFormatError):
+            validate_text("orphan 1\n")
+
+    def test_illegal_name_rejected(self):
+        with pytest.raises(PromFormatError):
+            validate_text("# TYPE fleet.publishes counter\nfleet.publishes 1\n")
+
+    def test_non_cumulative_buckets_rejected(self):
+        text = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="1"} 5\n'
+            'h_bucket{le="+Inf"} 2\n'
+            "h_sum 10\nh_count 2\n"
+        )
+        with pytest.raises(PromFormatError, match="cumulative"):
+            validate_text(text)
+
+    def test_missing_inf_bucket_rejected(self):
+        text = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="1"} 1\n'
+            "h_sum 1\nh_count 1\n"
+        )
+        with pytest.raises(PromFormatError, match=r"\+Inf"):
+            validate_text(text)
+
+    def test_count_mismatch_rejected(self):
+        text = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="1"} 1\n'
+            'h_bucket{le="+Inf"} 3\n'
+            "h_sum 3\nh_count 4\n"
+        )
+        with pytest.raises(PromFormatError, match="_count"):
+            validate_text(text)
+
+    def test_non_numeric_value_rejected(self):
+        with pytest.raises(PromFormatError):
+            validate_text("# TYPE x counter\nx banana\n")

@@ -1,0 +1,144 @@
+"""Flight recorder: ring semantics, post-mortem dumps, and the
+zero-perturbation guarantee."""
+
+import json
+
+import pytest
+
+from repro.frontend.codegen import compile_source
+from repro.profiling.cbs import CBSProfiler
+from repro.telemetry import Tracer
+from repro.telemetry.exporters import jsonl_lines
+from repro.telemetry.ring import FlightRecorder
+from repro.vm.errors import VMError
+from repro.vm.interpreter import Interpreter
+
+LOOPY = """
+def helper(n: int): int { return n * 3 + 1; }
+def main() {
+  var total = 0;
+  for (var i = 0; i < 5000; i = i + 1) { total = (total + helper(i)) % 9973; }
+  print(total);
+}
+"""
+
+FAULTING = """
+def main() {
+  print(7);
+  var zero = 0;
+  print(9 / zero);
+}
+"""
+
+
+def fake_clock():
+    return 0.0
+
+
+class TestRing:
+    def test_records_in_order_until_capacity(self):
+        ring = FlightRecorder(capacity=8, clock=fake_clock)
+        for i in range(5):
+            ring.record("x", i=i)
+        assert ring.recorded == 5
+        assert ring.retained == 5
+        assert ring.overwritten == 0
+        assert [entry[3]["i"] for entry in ring.entries()] == [0, 1, 2, 3, 4]
+
+    def test_wraparound_keeps_newest(self):
+        ring = FlightRecorder(capacity=4, clock=fake_clock)
+        for i in range(10):
+            ring.record("x", i=i)
+        assert ring.recorded == 10
+        assert ring.retained == 4
+        assert ring.overwritten == 6
+        assert [entry[3]["i"] for entry in ring.entries()] == [6, 7, 8, 9]
+        # Seq numbers are global, not ring-relative.
+        assert [entry[0] for entry in ring.entries()] == [6, 7, 8, 9]
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            FlightRecorder(capacity=0)
+
+    def test_dump_lines_are_jsonl(self, tmp_path):
+        ring = FlightRecorder(capacity=4, clock=fake_clock)
+        for i in range(6):
+            ring.record("x", i=i)
+        path = tmp_path / "flight.jsonl"
+        ring.dump(str(path))
+        lines = path.read_text().splitlines()
+        records = [json.loads(line) for line in lines]
+        header = records[0]
+        assert header["record"] == "flight"
+        assert header["format"] == "repro-flight"
+        assert header["capacity"] == 4
+        assert header["recorded"] == 6
+        assert header["overwritten"] == 2
+        assert [r["seq"] for r in records[1:]] == [2, 3, 4, 5]
+        assert all(r["kind"] == "x" for r in records[1:])
+
+
+class TestVMAttachment:
+    def test_heartbeats_ride_the_tick_hook(self):
+        program = compile_source(LOOPY)
+        vm = Interpreter(program)
+        ring = FlightRecorder()
+        vm.attach_flight(ring)
+        vm.run()
+        kinds = [entry[2] for entry in ring.entries()]
+        assert "tick" in kinds
+        assert kinds[-1] == "run_end"
+        tick = next(e for e in ring.entries() if e[2] == "tick")
+        assert tick[3]["vtime"] > 0 and tick[3]["depth"] >= 1
+
+    def test_fault_is_captured(self):
+        program = compile_source(FAULTING)
+        vm = Interpreter(program)
+        ring = FlightRecorder()
+        vm.attach_flight(ring)
+        with pytest.raises(VMError):
+            vm.run()
+        kinds = [entry[2] for entry in ring.entries()]
+        # on_fault fires before run()'s finally records run_end.
+        assert kinds[-2:] == ["fault", "run_end"]
+        fault = ring.entries()[-2][3]
+        assert fault["error"] == "DivisionByZeroError"
+        assert fault["steps"] > 0 and fault["vtime"] > 0
+
+    def test_chains_after_existing_tick_hook(self):
+        program = compile_source(LOOPY)
+        vm = Interpreter(program)
+        seen = []
+        vm.tick_hook = lambda vm: seen.append(vm.ticks)
+        ring = FlightRecorder()
+        vm.attach_flight(ring)
+        vm.run()
+        heartbeats = [e for e in ring.entries() if e[2] == "tick"]
+        assert seen and heartbeats  # both hooks ran
+        assert len(seen) >= len(heartbeats)
+
+
+class TestNonPerturbation:
+    def test_flight_run_is_bit_identical(self):
+        """The micro-guard: a recorded run matches an unrecorded one on
+        every virtual observable, telemetry event stream included."""
+        program = compile_source(LOOPY)
+
+        def run(with_flight: bool):
+            vm = Interpreter(program)
+            vm.attach_profiler(CBSProfiler(seed=11))
+            tracer = Tracer()
+            vm.attach_telemetry(tracer)
+            if with_flight:
+                vm.attach_flight(FlightRecorder())
+            vm.run()
+            return vm, tracer
+
+        plain_vm, plain_tracer = run(False)
+        flight_vm, flight_tracer = run(True)
+        assert flight_vm.output == plain_vm.output
+        assert flight_vm.time == plain_vm.time
+        assert flight_vm.steps == plain_vm.steps
+        assert flight_vm.ticks == plain_vm.ticks
+        assert flight_vm.profiler.dcg.edges() == plain_vm.profiler.dcg.edges()
+        assert jsonl_lines(flight_tracer) == jsonl_lines(plain_tracer)
