@@ -23,6 +23,8 @@ def jit_only_cache(
     level: int = 0,
     fuse: bool = True,
     ic: bool = True,
+    paths: bool = False,
+    path_heat=None,
 ) -> CodeCache:
     """A code cache with every method precompiled at ``level``.
 
@@ -32,9 +34,13 @@ def jit_only_cache(
 
     ``fuse`` and ``ic`` control superinstruction fusion and inline
     caches (host-level dispatch only; never affect calling behavior or
-    profiles).
+    profiles).  ``paths`` compiles path-instrumentable code (see
+    :mod:`repro.profiling.paths`); ``path_heat`` switches the fuser to
+    path-profile-guided superinstruction selection.
     """
-    cache = CodeCache(program, cost_model, fuse=fuse, ic=ic)
+    cache = CodeCache(
+        program, cost_model, fuse=fuse, ic=ic, paths=paths, path_heat=path_heat
+    )
     if level == 0:
         policy = TrivialOnlyPolicy(program)
     elif level == 1:

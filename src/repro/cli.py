@@ -6,6 +6,7 @@ Usage::
                                 [--stride N] [--samples N] [--skip-policy P]
                                 [--seed N] [--context-depth N] [--adaptive]
                                 [--opt {0,1}] [--no-fuse] [--no-ic]
+                                [--paths exhaustive|mincov|cbs] [--fuse-paths]
                                 [--stats] [--dcg]
                                 [--trace FILE] [--trace-format jsonl|chrome]
                                 [--publish HOST:PORT] [--publish-every K]
@@ -15,10 +16,10 @@ Usage::
     repro-mini serve [--host H] [--port P] [--root DIR] [--decay F]
                      [--http-port P] [--trace FILE]
     repro-mini top HOST:PORT [--interval S] [--once]
-    repro-mini report trace_file
+    repro-mini report trace_file [--json] [--no-histograms]
     repro-mini bench [--benchmarks a,b] [--profilers cbs,timer] [--seeds 1,2]
                      [--size S] [--vm jikes|j9] [--jobs N] [--json]
-    repro-mini disasm program.mini [--fused | --ic] [--method N]
+    repro-mini disasm program.mini [--fused | --ic | --paths] [--method N]
     repro-mini check program.mini
     repro-mini fuzz [--seeds N] [--jobs K] [--start S] [--vm jikes|j9]
                     [--save-repros DIR] [--replay DIR] [--no-shrink] [--json]
@@ -38,6 +39,13 @@ the whole ``fuse × ic × profiler × telemetry`` configuration matrix,
 checking the identity invariants; violations are triaged, shrunk, and
 (with ``--save-repros``) written out as reproducers.  ``--replay DIR``
 re-checks a committed reproducer corpus instead.  See docs/FUZZING.md.
+
+``run --paths MODE`` attaches the Ball-Larus path profiler: every
+acyclic (back-edge-truncated) intraprocedural path is numbered and
+counted — exhaustively, with minimum-coverage counter placement
+(``mincov``), or sampled in CBS windows (``cbs``).  Path rows ride in
+saved profiles; ``--fuse-paths`` re-aims superinstruction fusion at the
+recorded hot paths.  See docs/PATHS.md.
 
 Live observability: ``serve --http-port`` and ``run --metrics-port``
 expose ``/metrics`` (Prometheus text), ``/healthz``, and ``/status``;
@@ -106,12 +114,52 @@ def _profiler_for(args):
 
 def _cmd_run(args) -> int:
     program = _load(args.file)
-    config = config_named(args.vm, fuse=not args.no_fuse, ic=not args.no_ic)
+    config = config_named(
+        args.vm,
+        fuse=not args.no_fuse,
+        ic=not args.no_ic,
+        paths=args.paths is not None,
+    )
+
+    path_heat = None
+    if args.fuse_paths:
+        # Path-guided fusion consumes the path rows of a saved profile
+        # (collect one with ``run --paths MODE --save-profile``).
+        if not args.load_profile:
+            raise SystemExit(
+                "--fuse-paths needs --load-profile PATH (a profile saved "
+                "by a run with --paths)"
+            )
+        from repro.profiling.paths import PathHeat
+        from repro.profiling.serialize import load_profile_paths
+
+        try:
+            path_profile = load_profile_paths(
+                args.load_profile, program, strict=args.strict
+            )
+        except ProfileFormatError as error:
+            raise SystemExit(str(error))
+        if not len(path_profile):
+            raise SystemExit(
+                f"--fuse-paths: {args.load_profile} carries no path rows "
+                "(save one with --paths MODE --save-profile)"
+            )
+        path_heat = PathHeat.from_profile(path_profile, program)
+
     cache = jit_only_cache(
         program, config.cost_model, level=args.opt, fuse=config.fuse,
-        ic=config.ic,
+        ic=config.ic, paths=config.paths, path_heat=path_heat,
     )
     vm = Interpreter(program, config, cache)
+
+    path_tracker = None
+    if args.paths is not None:
+        from repro.profiling.paths import PathTracker
+
+        path_tracker = PathTracker(
+            mode=args.paths, stride=args.stride, samples_per_tick=args.samples
+        )
+        vm.attach_paths(path_tracker)
 
     tracer = None
     if args.trace:
@@ -332,15 +380,25 @@ def _cmd_run(args) -> int:
         )
     if args.save_profile:
         source = profiler if profiler is not None else perfect
-        if source is None or isinstance(source, CBSLoopProfiler):
+        path_rows = path_tracker.profile if path_tracker is not None else None
+        if (source is None or isinstance(source, CBSLoopProfiler)) and (
+            path_rows is None
+        ):
             print(
-                "note: --save-profile needs a DCG profiler (cbs/timer) or "
-                "--dcg; nothing saved",
+                "note: --save-profile needs a DCG profiler (cbs/timer), "
+                "--dcg, or --paths; nothing saved",
                 file=sys.stderr,
             )
         else:
+            from repro.profiling.dcg import DCG
+
+            dcg = (
+                source.dcg
+                if source is not None and not isinstance(source, CBSLoopProfiler)
+                else DCG()
+            )
             try:
-                save_profile(source.dcg, program, args.save_profile)
+                save_profile(dcg, program, args.save_profile, paths=path_rows)
             except OSError as error:
                 print(
                     f"cannot write profile {args.save_profile}: {error}",
@@ -371,6 +429,14 @@ def _cmd_run(args) -> int:
             )
         else:
             print("-- ic: disabled (--no-ic)", file=sys.stderr)
+        if path_tracker is not None:
+            s = path_tracker.summary()
+            print(
+                f"-- paths: mode={s['mode']} total={s['total']} "
+                f"distinct={s['distinct']} increments={s['increments']} "
+                f"windows={s['windows']}",
+                file=sys.stderr,
+            )
         if publisher is not None:
             print(
                 f"-- fleet: batches_sent={publisher.batches_sent} "
@@ -395,6 +461,9 @@ def _cmd_run(args) -> int:
     elif args.dcg:
         print("-- exhaustive dynamic call graph:", file=sys.stderr)
         print(perfect.dcg.describe(program, limit=12), file=sys.stderr)
+    if path_tracker is not None:
+        print("-- path profile:", file=sys.stderr)
+        print(path_tracker.profile.describe(program, limit=8), file=sys.stderr)
     return 0
 
 
@@ -469,6 +538,7 @@ def _cmd_serve(args) -> int:
 
 def _cmd_top(args) -> int:
     """Poll a fleet service's ``/status`` endpoint into a terminal view."""
+    import http.client
     import json as json_module
     import time
     from urllib.error import URLError
@@ -480,7 +550,10 @@ def _cmd_top(args) -> int:
 
     def fetch() -> dict:
         with urlopen(url, timeout=5.0) as response:
-            return json_module.loads(response.read().decode())
+            status = json_module.loads(response.read().decode())
+        if not isinstance(status, dict):
+            raise ValueError("/status did not return a JSON object")
+        return status
 
     def render(status: dict) -> str:
         blocks = []
@@ -541,7 +614,7 @@ def _cmd_top(args) -> int:
     while True:
         try:
             status = fetch()
-        except (OSError, URLError, ValueError) as error:
+        except (OSError, URLError, ValueError, http.client.HTTPException) as error:
             raise SystemExit(f"cannot poll {url}: {error}")
         if not args.once:
             print("\x1b[2J\x1b[H", end="")  # clear screen, home cursor
@@ -561,6 +634,17 @@ def _cmd_report(args) -> int:
         trace = load_trace(args.trace_file)
     except TraceFormatError as error:
         raise SystemExit(str(error))
+    if args.json:
+        import json as json_module
+
+        from repro.telemetry.summary import summary_dict
+
+        print(
+            json_module.dumps(
+                summary_dict(trace, histograms=not args.no_histograms), indent=2
+            )
+        )
+        return 0
     print(summarize_trace(trace, histograms=not args.no_histograms))
     return 0
 
@@ -675,10 +759,10 @@ def _cmd_bench(args) -> int:
 
 def _cmd_disasm(args) -> int:
     program = _load(args.file)
-    if args.fused and args.ic:
-        raise SystemExit("--fused and --ic are separate views; pick one")
+    if sum((args.fused, args.ic, args.paths)) > 1:
+        raise SystemExit("--fused, --ic, and --paths are separate views; pick one")
     if args.method is not None:
-        if args.fused or args.ic:
+        if args.fused or args.ic or args.paths:
             raise SystemExit("--method applies to the plain bytecode view only")
         count = len(program.functions)
         if not 0 <= args.method < count:
@@ -699,6 +783,10 @@ def _cmd_disasm(args) -> int:
         from repro.bytecode.disassembler import disassemble_ic
 
         print(disassemble_ic(program), end="")
+    elif args.paths:
+        from repro.bytecode.disassembler import disassemble_paths
+
+        print(disassemble_paths(program), end="")
     else:
         print(disassemble(program))
     return 0
@@ -917,6 +1005,21 @@ def build_parser() -> argparse.ArgumentParser:
         "receiver profile)",
     )
     run.add_argument(
+        "--paths",
+        choices=["exhaustive", "mincov", "cbs"],
+        default=None,
+        metavar="MODE",
+        help="collect Ball-Larus path profiles (exhaustive, mincov, cbs); "
+        "bit-identical program results, charged instrumentation overhead",
+    )
+    run.add_argument(
+        "--fuse-paths",
+        action="store_true",
+        help="pick superinstruction windows from the hottest recorded "
+        "paths instead of the greedy fuser (needs --load-profile with "
+        "path rows)",
+    )
+    run.add_argument(
         "--adaptive", action="store_true", help="enable adaptive recompilation"
     )
     run.add_argument("--stats", action="store_true", help="print VM statistics")
@@ -1034,6 +1137,11 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="omit the per-histogram bucket tables",
     )
+    report.add_argument(
+        "--json",
+        action="store_true",
+        help="machine-readable JSON mirroring the table summary",
+    )
     report.set_defaults(handler=_cmd_report)
 
     bench = commands.add_parser(
@@ -1091,6 +1199,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="N",
         help="disassemble only the function with index N",
+    )
+    disasm.add_argument(
+        "--paths",
+        action="store_true",
+        help="show the Ball-Larus path view: per-method CFG blocks, edge "
+        "increments, path counts, and minimum-coverage placement",
     )
     disasm.set_defaults(handler=_cmd_disasm)
 

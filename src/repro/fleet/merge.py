@@ -37,6 +37,9 @@ NamedEdge = tuple[str, int, str]
 #: Symbolic receiver key: (caller qualified name, callsite pc, receiver class name).
 NamedReceiver = tuple[str, int, str]
 
+#: Symbolic Ball-Larus path key: (function qualified name, path id).
+NamedPath = tuple[str, int]
+
 
 class MergeError(Exception):
     """A delta or snapshot could not be merged (malformed edges)."""
@@ -72,6 +75,7 @@ class AggregateProfile:
         self.publishes = 0
         self._edges: dict[NamedEdge, float] = {}
         self._receivers: dict[NamedReceiver, float] = {}
+        self._paths: dict[NamedPath, float] = {}
         self._run_ids: set[str] = set()
         #: Runs folded into snapshots this aggregate was loaded from
         #: (their ids are not retained; see :meth:`from_dict`).
@@ -85,15 +89,17 @@ class AggregateProfile:
         epoch: int = 0,
         run_id: str | None = None,
         receivers: list | None = None,
+        paths: list | None = None,
     ) -> None:
         """Fold one published delta into the aggregate.
 
         ``edges`` is a list of ``[caller, pc, callee, weight]`` entries
         (the wire shape); ``receivers``, when present, is a list of
         ``[caller, pc, class_name, count]`` inline-cache receiver rows
-        folded the same way (same decay, same commutativity).  Raises
-        :class:`MergeError` on malformed entries without mutating the
-        aggregate.
+        folded the same way (same decay, same commutativity), and
+        ``paths`` a list of ``[function, path_id, count]`` Ball-Larus
+        rows likewise.  Raises :class:`MergeError` on malformed entries
+        without mutating the aggregate.
         """
         validated = [
             (key, weight)
@@ -112,12 +118,24 @@ class AggregateProfile:
                 )
                 if count
             ]
+        validated_paths = []
+        if paths is not None:
+            validated_paths = [
+                (key, count)
+                for key, count in (
+                    self._validate_path_row(entry, "path row")
+                    for entry in paths
+                )
+                if count
+            ]
 
         scale = self._rebase(int(epoch))
         for key, weight in validated:
             self._edges[key] = self._edges.get(key, 0.0) + weight * scale
         for key, count in validated_receivers:
             self._receivers[key] = self._receivers.get(key, 0.0) + count * scale
+        for key, count in validated_paths:
+            self._paths[key] = self._paths.get(key, 0.0) + count * scale
         self.publishes += 1
         if run_id is not None:
             self._run_ids.add(str(run_id))
@@ -135,6 +153,21 @@ class AggregateProfile:
             raise MergeError(f"bad weight in {what} {entry!r}")
         return key, weight
 
+    @staticmethod
+    def _validate_path_row(entry, what: str) -> tuple[NamedPath, float]:
+        """Validate one ``[function, path_id, count]`` wire row."""
+        try:
+            name, pid, count = entry
+            key = (str(name), int(pid))
+            count = float(count)
+        except (TypeError, ValueError) as error:
+            raise MergeError(f"malformed {what} {entry!r}") from error
+        if key[1] < 0:
+            raise MergeError(f"negative path id in {what} {entry!r}")
+        if not math.isfinite(count) or count < 0:
+            raise MergeError(f"bad count in {what} {entry!r}")
+        return key, count
+
     def _rebase(self, epoch: int) -> float:
         """Advance the aggregate to ``max(self.epoch, epoch)`` and return
         the scale factor for a delta stamped ``epoch``."""
@@ -148,6 +181,8 @@ class AggregateProfile:
                 self._edges[key] *= aging
             for key in self._receivers:
                 self._receivers[key] *= aging
+            for key in self._paths:
+                self._paths[key] *= aging
             self.epoch = epoch
             return 1.0
         return decay ** (self.epoch - epoch)
@@ -173,6 +208,10 @@ class AggregateProfile:
     def receivers(self) -> dict[NamedReceiver, float]:
         """The raw symbolic receiver→count mapping (do not mutate)."""
         return self._receivers
+
+    def paths(self) -> dict[NamedPath, float]:
+        """The raw symbolic (function, path id)→count mapping (do not mutate)."""
+        return self._paths
 
     def receiver_distribution(self, caller: str, pc: int) -> dict[str, float]:
         """{class name: aggregated count} at one symbolic call site."""
@@ -217,6 +256,11 @@ class AggregateProfile:
                     self._receivers.items()
                 )
             ]
+        if self._paths:
+            snapshot["paths"] = [
+                [name, pid, count]
+                for (name, pid), count in sorted(self._paths.items())
+            ]
         return snapshot
 
     @classmethod
@@ -251,4 +295,10 @@ class AggregateProfile:
             aggregate._receivers[key] = (
                 aggregate._receivers.get(key, 0.0) + count
             )
+        paths = data.get("paths", [])
+        if not isinstance(paths, list):
+            raise MergeError("malformed snapshot paths")
+        for entry in paths:
+            key, count = cls._validate_path_row(entry, "snapshot path row")
+            aggregate._paths[key] = aggregate._paths.get(key, 0.0) + count
         return aggregate

@@ -27,6 +27,9 @@ Client → server:
   per-site receiver-class counts the VM's inline caches accumulated
   since the last delta (see :mod:`repro.profiling.receivers`), keyed
   symbolically like edges so aggregates outlive any single build.
+  ``paths`` is likewise optional: Ball-Larus path-profile rows
+  (``[function, path_id, count]``, see :mod:`repro.profiling.paths`)
+  merged with the same decay and commutativity guarantees.
   ``trace_id``/``span_id`` are optional trace-span coordinates: when a
   publisher stamps them, the server echoes them into its own telemetry
   (``fleet_merge`` events) so the client's and server's offline traces
@@ -79,6 +82,7 @@ def publish_message(
     seq: int = 0,
     epoch: int = 0,
     receivers: list | None = None,
+    paths: list | None = None,
     trace_id: str | None = None,
     span_id: str | None = None,
 ) -> dict:
@@ -93,6 +97,8 @@ def publish_message(
     }
     if receivers:
         message["receivers"] = receivers
+    if paths:
+        message["paths"] = paths
     if span_id is not None:
         message["trace_id"] = trace_id
         message["span_id"] = span_id

@@ -228,10 +228,13 @@ class FleetService:
         fingerprint = message.get("fingerprint")
         edges = message.get("edges")
         receivers = message.get("receivers")
+        paths = message.get("paths")
         if not isinstance(fingerprint, str) or not isinstance(edges, list):
             return self._reject("publish needs a fingerprint and an edge list")
         if receivers is not None and not isinstance(receivers, list):
             return self._reject("receivers must be a list when present")
+        if paths is not None and not isinstance(paths, list):
+            return self._reject("paths must be a list when present")
         try:
             aggregate = self._aggregate_for(fingerprint)
         except RepositoryError as error:
@@ -246,6 +249,7 @@ class FleetService:
                 epoch=epoch,
                 run_id=message.get("run_id"),
                 receivers=receivers,
+                paths=paths,
             )
         except MergeError as error:
             return self._reject(str(error))

@@ -12,6 +12,13 @@ stream — must match bit-for-bit.  Across profiler groups only the
 time-independent observables must match: printed output, step count,
 call count, methods executed, and the guest-error transcript.
 
+Charge-free rider cells (the flight recorder, the Ball-Larus path
+tracker) claim zero virtual-time cost, so they must match their group
+reference bit-for-bit too; additionally the ``none`` group runs all
+three path-collection modes and checks the subsystem's own invariants
+(exhaustive == minimum-coverage exactly; CBS counts never exceed
+exhaustive's).
+
 A host-level Python exception escaping the interpreter (anything that
 is not a ``VMError``) is a violation by definition, whatever the cell.
 """
@@ -23,6 +30,7 @@ from dataclasses import dataclass, field
 
 from repro.profiling.cbs import CBSProfiler
 from repro.profiling.exhaustive import ExhaustiveProfiler
+from repro.profiling.paths import PathTracker
 from repro.profiling.timer_sampler import TimerProfiler
 from repro.telemetry.exporters import jsonl_lines
 from repro.telemetry.ring import FlightRecorder
@@ -57,6 +65,11 @@ class MatrixCell:
     profiler: str
     telemetry: bool
     flight: bool = False
+    #: Ball-Larus path collection mode riding along charge-free
+    #: (``None`` = no path tracker).  A charge-free tracker claims zero
+    #: virtual-time cost, so its cell must match the group reference
+    #: bit-for-bit like the flight recorder's.
+    paths: str | None = None
 
     def describe(self) -> str:
         parts = [
@@ -68,16 +81,21 @@ class MatrixCell:
             parts.append("telemetry")
         if self.flight:
             parts.append("flight")
+        if self.paths:
+            parts.append(f"paths-{self.paths}")
         return "+".join(parts)
 
 
 def matrix_cells(profiler: str) -> list[MatrixCell]:
     """The cells run for one profiler group: the full ``fuse × ic``
     square without telemetry, the two corners with telemetry on (enough
-    to compare event streams), and the fully-featured corner again with
+    to compare event streams), the fully-featured corner again with
     the flight recorder attached — the recorder claims zero virtual-time
     cost, so that cell must match the others bit-for-bit, event lines
-    included.  Seven runs per group."""
+    included — and a charge-free Ball-Larus path-tracker cell (same
+    zero-cost claim).  The ``none`` group carries all three path modes
+    so the exhaustive == mincov and CBS-subset invariants are checked
+    per program.  Eight runs per group (ten for ``none``)."""
     cells = [
         MatrixCell(fuse, ic, profiler, False)
         for fuse in (False, True)
@@ -86,6 +104,10 @@ def matrix_cells(profiler: str) -> list[MatrixCell]:
     cells.append(MatrixCell(False, False, profiler, True))
     cells.append(MatrixCell(True, True, profiler, True))
     cells.append(MatrixCell(True, True, profiler, True, flight=True))
+    cells.append(MatrixCell(True, True, profiler, False, paths="exhaustive"))
+    if profiler == "none":
+        cells.append(MatrixCell(True, True, profiler, False, paths="mincov"))
+        cells.append(MatrixCell(True, True, profiler, False, paths="cbs"))
     return cells
 
 
@@ -113,6 +135,8 @@ class RunRecord:
     host_error: str | None = None
     #: The flight recorder that rode along, when the cell had one.
     flight: object = None
+    #: ``{(function, path_id): count}`` when the cell had a path tracker.
+    paths: dict | None = None
 
 
 @dataclass
@@ -166,6 +190,8 @@ def run_cell(
         # Construction is inside the net too: a program that blows up
         # the code cache at compile time is a host crash, not a test
         # harness error.
+        if cell.paths:
+            overrides = dict(overrides, paths=True)
         config = config_named(vm_name, fuse=cell.fuse, ic=cell.ic, **overrides)
         vm = Interpreter(program, config)
         profiler = PROFILERS[cell.profiler]()
@@ -173,6 +199,12 @@ def run_cell(
             profiler.install(vm)
         elif profiler is not None:
             vm.attach_profiler(profiler)
+        tracker = None
+        if cell.paths:
+            tracker = PathTracker(
+                mode=cell.paths, charge=False, stride=3, samples_per_tick=16
+            )
+            vm.attach_paths(tracker)
         tracer = Tracer() if cell.telemetry else None
         if tracer is not None:
             vm.attach_telemetry(tracer)
@@ -194,6 +226,8 @@ def run_cell(
     record.calls = vm.call_count
     record.methods = vm.methods_executed
     record.dcg = profiler.dcg.edges() if profiler is not None else None
+    if tracker is not None:
+        record.paths = dict(tracker.profile.counts)
     if tracer is not None:
         lines = jsonl_lines(tracer)
         record.event_lines = lines[:-1]
@@ -286,6 +320,39 @@ def check_program(
             if cell == reference.cell:
                 continue
             violations.extend(_compare(record, reference, GROUP_FIELDS))
+
+        path_records = {c.paths: r for c, r in records.items() if c.paths}
+        exhaustive = path_records.get("exhaustive")
+        mincov = path_records.get("mincov")
+        cbs_paths = path_records.get("cbs")
+        if exhaustive is not None and mincov is not None:
+            # Minimum-coverage placement recovers the *same* path ids
+            # with the same counts — not approximately, exactly.
+            if exhaustive.paths != mincov.paths:
+                violations.append(
+                    Violation(
+                        invariant="path-ids",
+                        cell=mincov.cell.describe(),
+                        reference=exhaustive.cell.describe(),
+                        detail=_diff("paths", exhaustive.paths, mincov.paths),
+                    )
+                )
+        if exhaustive is not None and cbs_paths is not None:
+            # Windowed sampling records a subset of what exhaustive saw.
+            excess = {
+                key: count
+                for key, count in (cbs_paths.paths or {}).items()
+                if count > (exhaustive.paths or {}).get(key, 0)
+            }
+            if excess:
+                violations.append(
+                    Violation(
+                        invariant="path-sampling",
+                        cell=cbs_paths.cell.describe(),
+                        reference=exhaustive.cell.describe(),
+                        detail=f"CBS path counts exceed exhaustive: {excess!r}",
+                    )
+                )
 
         telemetry_cells = [c for c in records if c.telemetry]
         if len(telemetry_cells) >= 2:

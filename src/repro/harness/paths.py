@@ -1,0 +1,186 @@
+"""Path-profiling experiments: overhead row and hot-path agreement.
+
+Two tables in the spirit of the paper's measurement sections, applied
+to the Ball-Larus path subsystem (:mod:`repro.profiling.paths`):
+
+* **Overhead row (Table-2 style).**  For each collection mode —
+  exhaustive instrumentation, minimum-coverage counter placement, and
+  CBS-windowed sampling — the percentage virtual-time overhead over an
+  unprofiled run, averaged across the benchmark suite, alongside the
+  record/increment volumes that drive it.  Minimum coverage must come
+  out strictly cheaper than exhaustive (same path ids, increments only
+  on spanning-tree chords); CBS cheaper still.
+
+* **Agreement table (Figure-5 style).**  Per benchmark, how well the
+  sampled CBS path profile tracks the exhaustive one: distribution
+  overlap (``Σ min(p, q)``, the paper's accuracy metric, over
+  (function, path) keys) and hot-path agreement (size of the
+  intersection of the top-10 hottest paths).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.benchsuite.suite import BENCHMARKS, program_for
+from repro.harness.report import render_table
+from repro.profiling.paths import PATH_MODES, PathTracker
+from repro.vm.config import config_named
+from repro.vm.interpreter import Interpreter
+
+#: Fixed row order of the overhead table (and the schema tests).
+OVERHEAD_HEADERS = ["Mode", "Ovhd%", "Records", "Distinct", "Increments", "Windows"]
+AGREEMENT_HEADERS = ["Benchmark", "ExhPaths", "CbsPaths", "Overlap%", "HotAgree"]
+
+#: Top-N window for the hot-path agreement column.
+HOT_WINDOW = 10
+
+
+@dataclass
+class PathsOverheadRow:
+    """One collection mode's suite-averaged overhead numbers."""
+
+    mode: str
+    overhead_percent: float
+    records: int
+    distinct: int
+    increments: int
+    windows: int
+
+    def as_list(self) -> list:
+        return [
+            self.mode,
+            self.overhead_percent,
+            self.records,
+            self.distinct,
+            self.increments,
+            self.windows,
+        ]
+
+
+@dataclass
+class PathAgreementRow:
+    """One benchmark's CBS-vs-exhaustive path agreement."""
+
+    benchmark: str
+    exhaustive_distinct: int
+    cbs_distinct: int
+    overlap_percent: float
+    hot_agreement: int
+
+    def as_list(self) -> list:
+        return [
+            self.benchmark,
+            self.exhaustive_distinct,
+            self.cbs_distinct,
+            self.overlap_percent,
+            self.hot_agreement,
+        ]
+
+
+def compute_paths(
+    vm_name: str = "jikes",
+    benchmarks: list[str] | None = None,
+    size: str = "small",
+    stride: int = 1,
+    samples: int = 32,
+) -> tuple[list[PathsOverheadRow], list[PathAgreementRow]]:
+    """Run every (benchmark × mode) cell once; return both tables.
+
+    Overhead rows come back in :data:`repro.profiling.paths.PATH_MODES`
+    order (exhaustive, mincov, cbs); agreement rows in benchmark order.
+    Every instrumented run is checked bit-identical in guest output to
+    the unprofiled baseline before its numbers are admitted.
+    """
+    names = benchmarks if benchmarks is not None else list(BENCHMARKS)
+    config = config_named(vm_name, paths=True)
+    sums = {
+        mode: {"overhead": 0.0, "records": 0, "distinct": 0, "increments": 0, "windows": 0}
+        for mode in PATH_MODES
+    }
+    agreement: list[PathAgreementRow] = []
+    for name in names:
+        program = program_for(name, size)
+        base = Interpreter(program, config)
+        base.run()
+        profiles = {}
+        for mode in PATH_MODES:
+            vm = Interpreter(program, config)
+            tracker = PathTracker(
+                mode=mode, charge=True, stride=stride, samples_per_tick=samples
+            )
+            vm.attach_paths(tracker)
+            vm.run()
+            if vm.output != base.output:
+                raise AssertionError(
+                    f"{name}: {mode} path instrumentation changed guest output"
+                )
+            summary = tracker.summary()
+            entry = sums[mode]
+            entry["overhead"] += 100.0 * (vm.time - base.time) / base.time
+            entry["records"] += summary["total"]
+            entry["distinct"] += summary["distinct"]
+            entry["increments"] += summary["increments"]
+            entry["windows"] += summary["windows"]
+            profiles[mode] = tracker.profile
+        exhaustive, cbs = profiles["exhaustive"], profiles["cbs"]
+        hot = {key for key, _ in exhaustive.hot_paths(HOT_WINDOW)}
+        hot_cbs = {key for key, _ in cbs.hot_paths(HOT_WINDOW)}
+        agreement.append(
+            PathAgreementRow(
+                benchmark=name,
+                exhaustive_distinct=exhaustive.distinct(),
+                cbs_distinct=cbs.distinct(),
+                overlap_percent=exhaustive.overlap(cbs),
+                hot_agreement=len(hot & hot_cbs),
+            )
+        )
+    count = len(names)
+    overhead = [
+        PathsOverheadRow(
+            mode=mode,
+            overhead_percent=sums[mode]["overhead"] / count,
+            records=sums[mode]["records"],
+            distinct=sums[mode]["distinct"],
+            increments=sums[mode]["increments"],
+            windows=sums[mode]["windows"],
+        )
+        for mode in PATH_MODES
+    ]
+    return overhead, agreement
+
+
+def render_paths(
+    overhead: list[PathsOverheadRow],
+    agreement: list[PathAgreementRow],
+    vm_name: str,
+) -> str:
+    blocks = [
+        render_table(
+            OVERHEAD_HEADERS,
+            [row.as_list() for row in overhead],
+            title=(
+                f"Path profiling overhead ({vm_name}): "
+                "exhaustive vs minimum-coverage vs CBS"
+            ),
+        ),
+        render_table(
+            AGREEMENT_HEADERS,
+            [row.as_list() for row in agreement],
+            title=(
+                f"CBS path agreement vs exhaustive ({vm_name}): "
+                f"distribution overlap and top-{HOT_WINDOW} hot paths shared"
+            ),
+        ),
+    ]
+    return "\n\n".join(blocks)
+
+
+def main(quick: bool = False, vm_name: str = "jikes", jobs: int = 1) -> str:
+    if quick:
+        overhead, agreement = compute_paths(
+            vm_name, benchmarks=list(BENCHMARKS)[:4], size="tiny"
+        )
+    else:
+        overhead, agreement = compute_paths(vm_name)
+    return render_paths(overhead, agreement, vm_name)

@@ -1,0 +1,153 @@
+"""Minimum-coverage counter placement for Ball-Larus path profiles.
+
+Exhaustive Ball-Larus instrumentation adds the edge value at *every*
+observable CFG edge.  Following the minimum-coverage instrumentation
+line of work (arxiv 2208.13907, which revisits Knuth's classic
+spanning-tree argument), the same final path ids can be recovered while
+placing counters only on the *chord* edges of a spanning tree of
+``CFG ∪ {EXIT→ENTRY}``:
+
+* pick a spanning tree of the undirected CFG (plus the virtual
+  ``EXIT→ENTRY`` edge that closes the cycle space),
+* assign every node a potential ``θ`` such that tree edges carry a zero
+  increment: for a tree edge ``u→v`` with Ball-Larus value ``val``,
+  ``θ(v) = θ(u) − val`` (so ``inc(e) = val(e) + θ(v) − θ(u) = 0``),
+* chord edges carry ``inc(e) = val(e) + θ(v) − θ(u)``.
+
+Summing increments along any ENTRY→EXIT path telescopes the potentials
+away: ``Σ inc = Σ val + θ(EXIT) − θ(ENTRY)``, and because the
+``EXIT→ENTRY`` edge is always placed in the tree, ``θ(EXIT) = θ(ENTRY)
+= 0`` — the accumulated register equals the exhaustive path id exactly,
+with increments executed only on chords.
+
+Two constraints specific to this VM's instrumentation surface:
+
+* **Forced edges.**  Fall-through edges and forward ``JUMP`` edges have
+  no interpreter hook site (they are single-successor transfers the
+  dispatch loop never announces), so they *must* land in the spanning
+  tree.  They always can: every block has at most one forced out-edge,
+  forced edges strictly increase pc (no directed cycle), and none enter
+  ``EXIT`` or ``ENTRY`` — so the forced set is a forest.
+* **Weights.**  The tree is grown greedily (Kruskal) over the remaining
+  observable edges in descending static loop depth, so hot in-loop
+  edges tend to become free tree edges and chords land on cold ones —
+  the optimization the minimum-coverage paper quantifies.
+"""
+
+from __future__ import annotations
+
+
+class Placement:
+    """The result of counter placement for one method's numbering."""
+
+    __slots__ = ("theta", "chords", "tree")
+
+    def __init__(self, theta: list, chords: set, tree: set):
+        #: Per-node potential; ``θ(ENTRY) = θ(EXIT) = 0``.
+        self.theta = theta
+        #: Edge ids (into ``numbering.edges``) carrying an increment.
+        self.chords = chords
+        #: Edge ids placed in the spanning tree (zero increment).
+        self.tree = tree
+
+
+class _UnionFind:
+    __slots__ = ("parent",)
+
+    def __init__(self, n: int):
+        self.parent = list(range(n))
+
+    def find(self, x: int) -> int:
+        parent = self.parent
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    def union(self, a: int, b: int) -> bool:
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return False
+        self.parent[ra] = rb
+        return True
+
+
+#: Edge kinds with no interpreter hook site — must be tree edges.
+FORCED_KINDS = frozenset({"fall", "jump"})
+
+
+def _loop_depth(numbering) -> list:
+    """Static loop depth per node: the number of back-edge spans
+    ``[target_pc, branch_pc]`` containing the node's start pc."""
+    depth = [0] * numbering.n
+    spans = [
+        (target_pc, branch_pc) for _, _, _, branch_pc, target_pc in numbering.back_edges
+    ]
+    for index, (start, _end) in enumerate(numbering.blocks):
+        node = index + 1
+        depth[node] = sum(1 for low, high in spans if low <= start <= high)
+    return depth
+
+
+def place_counters(numbering) -> Placement | None:
+    """Compute potentials and chord set for one method.
+
+    Returns ``None`` when the forced edges unexpectedly fail to form a
+    forest (cannot happen for CFGs derived from verified bytecode, but
+    the caller then falls back to exhaustive placement, which is always
+    a valid — if maximal — counter placement).
+    """
+    n = numbering.n
+    entry, exit_node = numbering.entry, numbering.exit
+    uf = _UnionFind(n)
+    tree: set = set()
+
+    # The virtual EXIT→ENTRY edge is always a tree edge (it is on every
+    # cycle, so Kruskal with flow weights would pick it anyway); it is
+    # what pins θ(EXIT) = θ(ENTRY) = 0.
+    uf.union(exit_node, entry)
+
+    candidates = []
+    for edge in numbering.edges:
+        if edge.kind in FORCED_KINDS:
+            if not uf.union(edge.u, edge.v):
+                return None  # forced edges cycled: bail to exhaustive
+            tree.add(edge.id)
+        else:
+            candidates.append(edge)
+
+    depth = _loop_depth(numbering)
+    candidates.sort(key=lambda e: (-(depth[e.u] + depth[e.v]), e.id))
+    chords: set = set()
+    for edge in candidates:
+        if uf.union(edge.u, edge.v):
+            tree.add(edge.id)
+        else:
+            chords.add(edge.id)
+
+    # Propagate potentials over the tree from ENTRY (θ = 0).  For a
+    # tree edge u→v: θ(v) = θ(u) − val; traversed against the arrow:
+    # θ(u) = θ(v) + val.
+    adjacency: list = [[] for _ in range(n)]
+    for edge in numbering.edges:
+        if edge.id in tree:
+            adjacency[edge.u].append((edge.v, edge.val, True))
+            adjacency[edge.v].append((edge.u, edge.val, False))
+    # The virtual loop edge, val 0.
+    adjacency[exit_node].append((entry, 0, True))
+    adjacency[entry].append((exit_node, 0, False))
+
+    theta = [None] * n
+    theta[entry] = 0
+    worklist = [entry]
+    while worklist:
+        u = worklist.pop()
+        for v, val, forward in adjacency[u]:
+            if theta[v] is None:
+                theta[v] = theta[u] - val if forward else theta[u] + val
+                worklist.append(v)
+    # A spanning tree reaches every node; unreachable-in-tree nodes
+    # would mean a bug upstream — treat defensively like a cycle.
+    if any(t is None for t in theta):
+        return None
+    return Placement(theta, chords, tree)

@@ -88,6 +88,16 @@ def pipeline_rows(trace: LoadedTrace) -> list[list[object]]:
         megamorphic = _metric_value(trace, "ic.megamorphic_sites")
         if megamorphic:
             rows.append(["ic megamorphic sites", megamorphic])
+    paths_total = _metric_value(trace, "paths.total")
+    if paths_total:
+        rows.append(["path records", paths_total])
+        rows.append(["distinct paths", _metric_value(trace, "paths.distinct") or 0])
+        rows.append(
+            ["path edge increments", _metric_value(trace, "paths.increments") or 0]
+        )
+        windows = _metric_value(trace, "paths.windows")
+        if windows:
+            rows.append(["path windows", windows])
     publishes = metric_or_count("fleet.publishes", "fleet_publish")
     if publishes:
         rows.append(["fleet batches published", publishes])
@@ -149,6 +159,40 @@ def histogram_tables(trace: LoadedTrace) -> list[str]:
             )
         )
     return tables
+
+
+def summary_dict(trace: LoadedTrace, histograms: bool = True) -> dict:
+    """Machine-readable mirror of :func:`summarize_trace`.
+
+    Backs ``repro-mini report --json``: the ``pipeline`` rows are the
+    exact (label, value) pairs the text table renders (sub-rows keep
+    their indentation so the mirror is lossless), and the dedicated
+    ``paths`` object repeats the Ball-Larus figures under stable keys
+    so CI can assert on them without parsing table text.
+    """
+    data: dict = {
+        "format": trace.format,
+        "event_count": len(trace.events),
+        "pipeline": [[label, value] for label, value in pipeline_rows(trace)],
+        "windows": [list(row) for row in window_rows(trace)],
+    }
+    # Truthy gate, matching the table: the counter exists (at zero) on
+    # every traced run; only a run that recorded paths gets the section.
+    paths_total = _metric_value(trace, "paths.total")
+    if paths_total:
+        data["paths"] = {
+            "total": paths_total,
+            "distinct": _metric_value(trace, "paths.distinct") or 0,
+            "increments": _metric_value(trace, "paths.increments") or 0,
+            "windows": _metric_value(trace, "paths.windows") or 0,
+        }
+    if histograms:
+        data["histograms"] = {
+            name: snapshot
+            for name, snapshot in sorted(trace.metrics.items())
+            if snapshot.get("type") == "histogram" and snapshot.get("count")
+        }
+    return data
 
 
 def summarize_trace(trace: LoadedTrace, histograms: bool = True) -> str:

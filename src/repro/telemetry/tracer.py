@@ -23,6 +23,7 @@ from repro.telemetry.events import (
     FleetMerge,
     FleetPublish,
     InlineDecisionEvent,
+    PathsSummary,
     Recompilation,
     ScopeBegin,
     ScopeEnd,
@@ -132,6 +133,18 @@ class Tracer:
         self._ic_megamorphic = metrics.gauge(
             "ic.megamorphic_sites", "inline-cache sites that overflowed to megamorphic"
         )
+        self._paths_total = metrics.counter(
+            "paths.total", "Ball-Larus path records collected"
+        )
+        self._paths_distinct = metrics.gauge(
+            "paths.distinct", "distinct (function, path id) pairs observed"
+        )
+        self._paths_increments = metrics.counter(
+            "paths.increments", "charged path edge-counter increments"
+        )
+        self._paths_windows = metrics.counter(
+            "paths.windows", "CBS path-sampling windows opened"
+        )
         self._samples_per_window = metrics.histogram(
             "cbs.samples_per_window",
             SAMPLES_PER_WINDOW_BUCKETS,
@@ -218,6 +231,32 @@ class Tracer:
         self._ic_transitions.inc(transitions)
         self._ic_sites.set(sites)
         self._ic_megamorphic.set(megamorphic_sites)
+
+    def on_paths_summary(self, tracker) -> None:
+        """Record one run's Ball-Larus path-profiling statistics.
+
+        Metrics always; a ``paths_summary`` *event* only when the
+        tracker charges virtual time.  A charge-free tracker is a pure
+        rider — its run must keep a byte-identical event stream to a
+        tracker-less run (the differential fuzzer's identity cells
+        depend on it), so only the host-side metrics move.
+        """
+        s = tracker.summary()
+        self._paths_total.inc(s["total"])
+        self._paths_distinct.set(s["distinct"])
+        self._paths_increments.inc(s["increments"])
+        self._paths_windows.inc(s["windows"])
+        if tracker.charge:
+            self.events.append(
+                PathsSummary(
+                    self.clock(),
+                    s["mode"],
+                    s["total"],
+                    s["distinct"],
+                    s["increments"],
+                    s["windows"],
+                )
+            )
 
     # -- profiler-facing hook methods ---------------------------------------------
 

@@ -55,6 +55,15 @@ class VMConfig:
     #: the source of the exact receiver-type profile.
     ic: bool = True
 
+    #: Compile path-instrumentable code (see repro.profiling.paths):
+    #: the code cache excludes control-bearing superinstructions so
+    #: every branch/return executes through a hooked dispatch arm, and
+    #: ``Interpreter.attach_paths`` accepts a tracker.  Off by default;
+    #: with no tracker attached a paths-ready run stays bit-identical
+    #: in output, virtual time, steps, ticks, and profiles (fusion is
+    #: time-transparent whatever the pattern subset).
+    paths: bool = False
+
     def replace(self, **kwargs) -> "VMConfig":
         return replace(self, **kwargs)
 

@@ -235,8 +235,23 @@ for _fid, _seq, _build, _guard in _PATTERNS:
 for _cands in _BY_HEAD.values():
     _cands.sort(key=lambda cand: -len(cand[0]))
 
+#: Fused ids whose handlers transfer control (conditional branch or
+#: return tails).  When the code cache compiles *path-instrumentable*
+#: code (``VMConfig.paths``) these are excluded, so every branch and
+#: return executes through a raw/IC dispatch arm that carries a
+#: Ball-Larus hook — fusion stays time-transparent either way, only
+#: the host-level dispatch counts change.
+_CONTROL_OPS = frozenset(
+    {int(Op.JUMP_IF_FALSE), int(Op.JUMP_IF_TRUE), int(Op.RETURN), int(Op.RETURN_VAL)}
+)
+CONTROL_FUSED_IDS = frozenset(
+    _fid
+    for _fid, _seq, _build, _guard in _PATTERNS
+    if any(int(_op) in _CONTROL_OPS for _op in _seq)
+)
 
-def fuse_method(code, ops, costs):
+
+def fuse_method(code, ops, costs, control: bool = True):
     """Quicken one method's parallel arrays.
 
     ``code`` is the raw ``Instr`` list, ``ops``/``costs`` the unzipped
@@ -245,7 +260,9 @@ def fuse_method(code, ops, costs):
     fused opcode, summed cost, and packed operands; interior slots keep
     their raw contents for the de-quickened slow path), ``sites`` is the
     number of groups formed, and ``span`` the raw instructions they
-    cover.  Returns ``None`` when nothing fuses.
+    cover.  Returns ``None`` when nothing fuses.  With
+    ``control=False`` only control-free patterns are considered (see
+    :data:`CONTROL_FUSED_IDS`).
     """
     n = len(ops)
     targets = jump_targets(code)
@@ -262,6 +279,8 @@ def fuse_method(code, ops, costs):
             pc += 1
             continue
         for seq, fid, build, guard in candidates:
+            if not control and fid in CONTROL_FUSED_IDS:
+                continue
             end = pc + len(seq)
             if end > n or tuple(ops[pc:end]) != seq:
                 continue
@@ -284,4 +303,75 @@ def fuse_method(code, ops, costs):
             pc += 1
     if sites == 0:
         return None
+    return fops, fcosts, fa, fb, sites, span
+
+
+def fuse_method_paths(code, ops, costs, heat, control: bool = True):
+    """Path-profile-guided fusion: pick the group layout that maximizes
+    *observed* dispatch savings instead of greedy longest-first.
+
+    ``heat`` maps raw pc → execution weight decoded from a Ball-Larus
+    path profile (:class:`repro.profiling.paths.PathHeat`); a group
+    starting at ``pc`` saves ``len(group) - 1`` dispatches per
+    execution, so its score is ``(len - 1) * (1 + heat[pc])``.  A
+    right-to-left dynamic program maximizes the total score — with a
+    uniform (empty) heat this is exactly maximal static coverage, which
+    is ≥ what the greedy scan achieves, and with real heat it prefers
+    the groups hot paths actually execute (overlapping candidates in
+    cold code lose to hot alternatives the greedy scan would shadow).
+
+    Same return contract as :func:`fuse_method`.
+    """
+    n = len(ops)
+    targets = jump_targets(code)
+
+    def candidates_at(pc: int) -> list:
+        found = []
+        for seq, fid, build, guard in _BY_HEAD.get(ops[pc], ()):
+            if not control and fid in CONTROL_FUSED_IDS:
+                continue
+            end = pc + len(seq)
+            if end > n or tuple(ops[pc:end]) != seq:
+                continue
+            if any(p in targets for p in range(pc + 1, end)):
+                continue
+            if guard is not None and not guard(code[pc:end]):
+                continue
+            found.append((end, fid, build))
+        return found
+
+    best = [0] * (n + 1)
+    choice: list = [None] * n
+    for pc in range(n - 1, -1, -1):
+        best[pc] = best[pc + 1]
+        weight = 1 + heat.get(pc, 0)
+        for end, fid, build in candidates_at(pc):
+            score = (end - pc - 1) * weight + best[end]
+            if score > best[pc]:
+                best[pc] = score
+                choice[pc] = (end, fid, build)
+    if best[0] == 0:
+        return None
+
+    fops = list(ops)
+    fcosts = list(costs)
+    fa: list = [None] * n
+    fb: list = [None] * n
+    sites = 0
+    span = 0
+    pc = 0
+    while pc < n:
+        chosen = choice[pc]
+        if chosen is None:
+            pc += 1
+            continue
+        end, fid, build = chosen
+        fops[pc] = fid
+        fcosts[pc] = sum(costs[pc:end])
+        operands = build(code[pc:end])
+        fa[pc] = operands[0]
+        fb[pc] = operands[1]
+        sites += 1
+        span += end - pc
+        pc = end
     return fops, fcosts, fa, fb, sites, span

@@ -99,6 +99,7 @@ class Interpreter:
                 self.config.cost_model,
                 fuse=self.config.fuse,
                 ic=self.config.ic,
+                paths=self.config.paths,
             )
         )
         self.vtables: list[dict[int, int]] = [cls.vtable for cls in program.classes]
@@ -139,6 +140,7 @@ class Interpreter:
         self.tick_hook = None  # called after profiler on each tick (adaptive system)
         self.telemetry = None  # structured event tracer (repro.telemetry.Tracer)
         self.flight = None  # flight recorder (repro.telemetry.ring.FlightRecorder)
+        self.path_tracker = None  # Ball-Larus collector (repro.profiling.paths)
 
     # -- hook management -------------------------------------------------------
 
@@ -168,6 +170,35 @@ class Interpreter:
                 _record(vm)
 
             self.tick_hook = chained
+
+    def attach_paths(self, tracker) -> None:
+        """Install a Ball-Larus path tracker (before ``run()``).
+
+        Requires a path-instrumentable code cache (``VMConfig.paths``
+        or ``CodeCache(paths=True)``): control-bearing superinstructions
+        are excluded at compile time, so every branch and return the
+        tracker must observe dispatches through a hooked raw/IC arm.
+        CBS-windowed trackers additionally chain onto the tick hook
+        (after any adaptive system, like the flight recorder).
+        """
+        if not self.code_cache.paths:
+            raise ValueError(
+                "path tracking needs a path-instrumentable code cache "
+                "(build the VM with config.replace(paths=True))"
+            )
+        self.path_tracker = tracker
+        tracker.attach(self)
+        if tracker.mode == "cbs":
+            previous = self.tick_hook
+            if previous is None:
+                self.tick_hook = tracker.on_tick
+            else:
+
+                def chained(vm, _previous=previous, _tick=tracker.on_tick):
+                    _previous(vm)
+                    _tick(vm)
+
+                self.tick_hook = chained
 
     def charge(self, units: int) -> None:
         """Advance virtual time (used by profiler handlers)."""
@@ -596,6 +627,8 @@ class Interpreter:
             self.methods_executed += 1
         frame = Frame(entry_method, [0] * entry_method.num_locals, -1)
         self.frames.append(frame)
+        if self.path_tracker is not None:
+            self.path_tracker.on_entry(entry_method)
         fused_before = self.fused_dispatches
         deopts_before = self.fusion_deopts
         misses_before = self.ic_misses
@@ -629,6 +662,8 @@ class Interpreter:
                     cache.ic_sites,
                     cache.megamorphic_sites,
                 )
+                if self.path_tracker is not None:
+                    self.telemetry.on_paths_summary(self.path_tracker)
 
     def _loop(self):  # noqa: C901 - deliberately one flat hot loop
         config = self.config
@@ -639,6 +674,7 @@ class Interpreter:
         field_defaults = self.class_field_defaults
         observer = self.call_observer
         telemetry = self.telemetry
+        paths = self.path_tracker
         seen = self._seen
         pool = self._frame_pool
 
@@ -911,6 +947,7 @@ class Interpreter:
                             leaf is not None
                             and observer is None
                             and telemetry is None
+                            and paths is None
                             and self.yieldpoint_flag == 0
                             and time + call_virtual_cost + leaf[0] < next_tick
                             and len(frames) < max_frames
@@ -980,6 +1017,8 @@ class Interpreter:
                     else:
                         frame = Frame(callee, new_locals, pc)
                     frames.append(frame)
+                    if paths is not None:
+                        paths.on_call(callee)
                     method = callee
                     ops, aarg, barg, costs, faarg, fbarg, origins, ics = views
                     stack = frame.stack
@@ -1001,6 +1040,12 @@ class Interpreter:
                         self._take_yieldpoint(EPILOGUE)
                         time = self.time
                     value = stack.pop() if op == OP_IC_RETURN_VAL else None
+                    if paths is not None:
+                        # Record the completed path (may charge the
+                        # record cost) before the frame dies.
+                        self.time = time
+                        paths.on_return(pc)
+                        time = self.time
                     dead = frames.pop()
                     if not frames:
                         result = value
@@ -1033,6 +1078,7 @@ class Interpreter:
                         leaf is not None
                         and observer is None
                         and telemetry is None
+                        and paths is None
                         and self.yieldpoint_flag == 0
                         and time + call_static_cost + leaf[0] < next_tick
                         and len(frames) < max_frames
@@ -1102,6 +1148,8 @@ class Interpreter:
                     else:
                         frame = Frame(callee, new_locals, pc)
                     frames.append(frame)
+                    if paths is not None:
+                        paths.on_call(callee)
                     method = callee
                     ops, aarg, barg, costs, faarg, fbarg, origins, ics = views
                     stack = frame.stack
@@ -1183,6 +1231,12 @@ class Interpreter:
                             frame.pc = pc
                             self._take_yieldpoint(BACKEDGE)
                             time = self.time
+                        if paths is not None:
+                            # Unconditional back edge: record the path
+                            # and reset the register (may charge).
+                            self.time = time
+                            paths.on_jump_back(pc)
+                            time = self.time
                     pc = target
                 elif op == OP_JUMP_IF_FALSE:
                     if stack.pop() == 0:
@@ -1191,8 +1245,16 @@ class Interpreter:
                             raise self._step_limit(
                                 time, steps, call_count, fused_n, deopts, frame, method, pc
                             )
+                        if paths is not None:
+                            self.time = time
+                            paths.on_branch(pc, True)
+                            time = self.time
                         pc = target
                     else:
+                        if paths is not None:
+                            self.time = time
+                            paths.on_branch(pc, False)
+                            time = self.time
                         pc += 1
                 elif op == OP_JUMP_IF_TRUE:
                     if stack.pop() != 0:
@@ -1201,8 +1263,16 @@ class Interpreter:
                             raise self._step_limit(
                                 time, steps, call_count, fused_n, deopts, frame, method, pc
                             )
+                        if paths is not None:
+                            self.time = time
+                            paths.on_branch(pc, True)
+                            time = self.time
                         pc = target
                     else:
+                        if paths is not None:
+                            self.time = time
+                            paths.on_branch(pc, False)
+                            time = self.time
                         pc += 1
                 elif op == OP_CALL_STATIC or op == OP_CALL_VIRTUAL:
                     if steps >= max_steps:
@@ -1291,6 +1361,8 @@ class Interpreter:
                     else:
                         frame = Frame(callee, new_locals, pc)
                     frames.append(frame)
+                    if paths is not None:
+                        paths.on_call(callee)
                     method = callee
                     ops = method.fops
                     aarg = method.a
@@ -1317,6 +1389,10 @@ class Interpreter:
                         self._take_yieldpoint(EPILOGUE)
                         time = self.time
                     value = stack.pop() if op == OP_RETURN_VAL else None
+                    if paths is not None:
+                        self.time = time
+                        paths.on_return(pc)
+                        time = self.time
                     dead = frames.pop()
                     if not frames:
                         result = value

@@ -21,7 +21,7 @@ from repro.bytecode.function import FunctionInfo
 from repro.bytecode.opcodes import Op
 from repro.bytecode.program import Program
 from repro.vm.costmodel import CostModel
-from repro.vm.fuse import fuse_method
+from repro.vm.fuse import fuse_method, fuse_method_paths
 from repro.vm.ic import (
     OP_IC_RETURN,
     OP_IC_RETURN_VAL,
@@ -79,6 +79,7 @@ class CompiledMethod:
         "num_locals",
         "returns_value",
         "size_bytes",
+        "pathinfo",
     )
 
     def __init__(
@@ -88,6 +89,8 @@ class CompiledMethod:
         opt_level: int,
         fuse: bool = True,
         ic: bool = True,
+        paths: bool = False,
+        path_heat: dict | None = None,
     ):
         self.function = function
         self.index = function.index
@@ -98,7 +101,22 @@ class CompiledMethod:
         cost_table = cost_model.cost_array()
         self.costs = [cost_table[op] for op in self.ops]
         self.origins = [instr.origin for instr in function.code]
-        fused = fuse_method(function.code, self.ops, self.costs) if fuse else None
+        #: Lazily built Ball-Larus numbering/tables cache (see
+        #: repro.profiling.paths.method_tables).
+        self.pathinfo: dict | None = None
+        if not fuse:
+            fused = None
+        elif path_heat is not None:
+            # Path-profile-guided fusion (``--fuse-paths``): maximize
+            # observed dispatch savings instead of greedy coverage.
+            fused = fuse_method_paths(
+                function.code, self.ops, self.costs, path_heat, control=not paths
+            )
+        else:
+            # Path-instrumentable code excludes control-bearing
+            # superinstructions so every branch/return dispatches
+            # through a hooked raw/IC arm.
+            fused = fuse_method(function.code, self.ops, self.costs, control=not paths)
         if fused is None:
             self.fops = self.ops
             self.fcosts = self.costs
@@ -189,11 +207,19 @@ class CodeCache:
         cost_model: CostModel,
         fuse: bool = True,
         ic: bool = True,
+        paths: bool = False,
+        path_heat: "object | None" = None,
     ):
         self._program = program
         self._cost_model = cost_model
         self.fuse = fuse
         self.ic = ic
+        #: True when compiled code is path-instrumentable (control-free
+        #: fusion subset; ``Interpreter.attach_paths`` requires it).
+        self.paths = paths
+        #: Optional :class:`repro.profiling.paths.PathHeat` driving
+        #: path-guided fusion for every compilation in this cache.
+        self.path_heat = path_heat
         self.compile_time = 0
         self.compile_count = 0
         #: Superinstruction sites / raw instructions covered, summed over
@@ -225,8 +251,19 @@ class CodeCache:
         per_byte = self._cost_model.compile_cost_per_byte.get(opt_level, 2)
         self.compile_time += per_byte * function.bytecode_size()
         self.compile_count += 1
+        heat = (
+            self.path_heat.function_heat(function.index)
+            if self.path_heat is not None
+            else None
+        )
         method = CompiledMethod(
-            function, self._cost_model, opt_level, fuse=self.fuse, ic=self.ic
+            function,
+            self._cost_model,
+            opt_level,
+            fuse=self.fuse,
+            ic=self.ic,
+            paths=self.paths,
+            path_heat=heat,
         )
         self.fused_sites += method.fused_sites
         self.fused_span += method.fused_span

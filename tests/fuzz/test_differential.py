@@ -37,15 +37,22 @@ end
 
 def test_matrix_shape():
     cells = matrix_cells("none")
-    assert len(cells) == 7
+    assert len(cells) == 10
     assert sum(1 for c in cells if c.telemetry) == 3
-    assert {(c.fuse, c.ic) for c in cells if not c.telemetry} == {
+    assert {(c.fuse, c.ic) for c in cells if not c.telemetry and not c.paths} == {
         (False, False), (False, True), (True, False), (True, True),
     }
     flight_cells = [c for c in cells if c.flight]
     assert len(flight_cells) == 1
     assert flight_cells[0].telemetry  # flight rides the fully-featured cell
     assert flight_cells[0].describe().endswith("+telemetry+flight")
+    # Path cells: every group carries an exhaustive rider; the "none"
+    # group adds the cheaper modes for the exhaustive==mincov and
+    # CBS-subset cross-checks.
+    assert [c.paths for c in cells if c.paths] == ["exhaustive", "mincov", "cbs"]
+    assert all(c.fuse and c.ic for c in cells if c.paths)
+    paths_cell = next(c for c in cells if c.paths == "mincov")
+    assert paths_cell.describe().endswith("paths-mincov")
 
 
 def test_clean_program_has_no_violations():

@@ -1,0 +1,79 @@
+"""Schema and ordering of the path-profiling harness tables.
+
+The paths experiment feeds docs/EXPERIMENTS.md and the CI smoke job,
+so its row shape is a contract: overhead rows come back one per
+collection mode in ``PATH_MODES`` order with exactly the header
+arity, minimum coverage is strictly cheaper than exhaustive while
+counting the same paths, and agreement rows track benchmark order.
+"""
+
+import pytest
+
+from repro.harness.paths import (
+    AGREEMENT_HEADERS,
+    OVERHEAD_HEADERS,
+    PathAgreementRow,
+    PathsOverheadRow,
+    compute_paths,
+    render_paths,
+)
+from repro.profiling.paths import PATH_MODES
+
+BENCHMARKS = ["compress", "jess"]
+
+
+@pytest.fixture(scope="module")
+def tables():
+    return compute_paths("jikes", benchmarks=BENCHMARKS, size="tiny")
+
+
+def test_overhead_rows_follow_mode_order(tables):
+    overhead, _ = tables
+    assert [row.mode for row in overhead] == list(PATH_MODES)
+
+
+def test_overhead_row_schema(tables):
+    overhead, _ = tables
+    for row in overhead:
+        assert isinstance(row, PathsOverheadRow)
+        cells = row.as_list()
+        assert len(cells) == len(OVERHEAD_HEADERS)
+        assert cells[0] == row.mode
+        assert all(value >= 0 for value in cells[1:])
+
+
+def test_mincov_strictly_cheaper_same_paths(tables):
+    overhead, _ = tables
+    by_mode = {row.mode: row for row in overhead}
+    exhaustive, mincov, cbs = (
+        by_mode["exhaustive"],
+        by_mode["mincov"],
+        by_mode["cbs"],
+    )
+    assert mincov.overhead_percent < exhaustive.overhead_percent
+    assert mincov.increments < exhaustive.increments
+    # Identical profiles — placement changes cost, never counts.
+    assert mincov.records == exhaustive.records
+    assert mincov.distinct == exhaustive.distinct
+    # Sampling records (far) less and is the only mode with windows.
+    assert cbs.records <= exhaustive.records
+    assert exhaustive.windows == mincov.windows == 0
+
+
+def test_agreement_rows_follow_benchmark_order(tables):
+    _, agreement = tables
+    assert [row.benchmark for row in agreement] == BENCHMARKS
+    for row in agreement:
+        assert isinstance(row, PathAgreementRow)
+        assert len(row.as_list()) == len(AGREEMENT_HEADERS)
+        assert 0.0 <= row.overlap_percent <= 100.0
+        assert 0 <= row.cbs_distinct <= row.exhaustive_distinct
+
+
+def test_render_includes_both_tables(tables):
+    overhead, agreement = tables
+    text = render_paths(overhead, agreement, "jikes")
+    assert "Path profiling overhead" in text
+    assert "CBS path agreement" in text
+    for header in OVERHEAD_HEADERS + AGREEMENT_HEADERS:
+        assert header in text

@@ -1,0 +1,114 @@
+"""The path-hotness inlining signal (paper-style exploitation layer).
+
+A call site whose dominant receiver carries less than the 40% guarded
+bar is normally rejected — but when a Ball-Larus path profile shows the
+site on the caller's hot observed paths, the new inliner relaxes the
+bar to ``hot_path_guarded_fraction``.  A ~33% receiver therefore pays
+exactly when the site is path-hot.
+"""
+
+from repro.bytecode.opcodes import Op
+from repro.frontend.codegen import compile_source
+from repro.inlining.new_inliner import NewJikesInliner
+from repro.opt.inline import GUARDED
+from repro.profiling.paths import PathHeat, PathTracker
+from repro.profiling.receivers import ReceiverProfile
+from repro.vm.config import jikes_config
+from repro.vm.interpreter import Interpreter
+
+#: Three live receiver classes at ~1/3 each: nothing clears the 40%
+#: bar, everything clears the relaxed 25% one.
+THIRDS = """
+class A { def f(): int { return 1; } }
+class B extends A { def f(): int { return 2; } }
+class C extends A { def f(): int { return 3; } }
+def main() {
+  var objs = new A[3];
+  objs[0] = new A();
+  objs[1] = new B();
+  objs[2] = new C();
+  var t = 0;
+  for (var i = 0; i < 99; i = i + 1) { t = t + objs[i % 3].f(); }
+  print(t);
+}
+"""
+
+
+class _EverywhereHot:
+    """Stub heat: every pc of every function is on every hot path."""
+
+    def pc_fraction(self, function, pc):
+        return 1.0
+
+
+def _site(program):
+    main = program.function_index("main")
+    pc = next(
+        pc
+        for pc, instr in enumerate(program.functions[main].code)
+        if instr.op is Op.CALL_VIRTUAL
+    )
+    return main, pc, program.functions[main].code[pc]
+
+
+def _profiled():
+    program = compile_source(THIRDS)
+    vm = Interpreter(program, jikes_config(paths=True))
+    tracker = PathTracker(mode="exhaustive", charge=False)
+    vm.attach_paths(tracker)
+    vm.run()
+    receivers = ReceiverProfile.from_cache(vm.code_cache)
+    return program, receivers, tracker.profile
+
+
+def test_cold_site_keeps_the_forty_percent_bar():
+    program, receivers, _ = _profiled()
+    policy = NewJikesInliner(program)
+    policy.receiver_profile = receivers
+    main, pc, instr = _site(program)
+    assert policy.site_path_fraction(main, pc) == 0.0  # no heat attached
+    assert policy.decide_site(main, pc, instr, None, 0) is None
+
+
+def test_hot_path_relaxes_the_guarded_bar():
+    program, receivers, _ = _profiled()
+    policy = NewJikesInliner(program)
+    policy.receiver_profile = receivers
+    policy.path_heat = _EverywhereHot()
+    main, pc, instr = _site(program)
+    decision = policy.decide_site(main, pc, instr, None, 0)
+    assert decision is not None and decision.kind == GUARDED
+    # All three ~33% receivers qualify; two ride the guard chain.
+    assert len(decision.extra_callees) == 2
+
+
+def test_real_path_profile_marks_the_loop_site_hot():
+    program, receivers, profile = _profiled()
+    heat = PathHeat.from_profile(profile, program)
+    policy = NewJikesInliner(program)
+    policy.receiver_profile = receivers
+    policy.path_heat = heat
+    main, pc, instr = _site(program)
+    # 99 loop-body path records vs a couple of entry/exit ones.
+    assert policy.site_path_fraction(main, pc) >= policy.hot_path_fraction
+    decision = policy.decide_site(main, pc, instr, None, 0)
+    assert decision is not None and decision.kind == GUARDED
+
+
+def test_relaxed_bar_still_demands_a_quarter():
+    """Even path-hot sites reject a flat 4-way 25/25/25/25 split."""
+    source = THIRDS.replace(
+        'class C extends A { def f(): int { return 3; } }',
+        'class C extends A { def f(): int { return 3; } }\n'
+        'class D extends A { def f(): int { return 4; } }',
+    ).replace("new A[3]", "new A[4]").replace("i % 3", "i % 4").replace(
+        "objs[2] = new C();", "objs[2] = new C();\n  objs[3] = new D();"
+    ).replace("i < 99", "i < 100")
+    program = compile_source(source)
+    vm = Interpreter(program, jikes_config())
+    vm.run()
+    policy = NewJikesInliner(program)
+    policy.receiver_profile = ReceiverProfile.from_cache(vm.code_cache)
+    policy.path_heat = _EverywhereHot()
+    main, pc, instr = _site(program)
+    assert policy.decide_site(main, pc, instr, None, 0) is None

@@ -1,0 +1,97 @@
+"""Minimum-coverage counter placement invariants.
+
+The placement must (a) keep every unobservable edge in the spanning
+tree, (b) zero out tree-edge increments via the node potentials, and
+(c) recover the exact Ball-Larus path id along *every* path — the
+telescoping-sum property that makes mincov a drop-in replacement for
+exhaustive instrumentation.
+"""
+
+from repro.benchsuite.suite import program_for
+from repro.frontend.codegen import compile_source
+from repro.profiling.paths import PathTables, numbering_for_code
+from repro.profiling.pathplace import FORCED_KINDS, place_counters
+
+BRANCHY = """
+def f(x: int): int {
+  var r = 0;
+  if (x > 3) { r = r + 1; } else { r = r + 2; }
+  if (x % 2 == 0) { r = r * 2; }
+  return r;
+}
+def main() {
+  var t = 0;
+  for (var i = 0; i < 8; i = i + 1) { t = t + f(i); }
+  print(t);
+}
+"""
+
+
+def all_numberings():
+    for source_program in (compile_source(BRANCHY), program_for("jess", "tiny")):
+        for function in source_program.functions:
+            numbering = numbering_for_code(function.code)
+            if not numbering.overflow and numbering.blocks:
+                yield function.qualified_name, numbering
+
+
+def test_placement_partitions_edges():
+    for name, numbering in all_numberings():
+        placement = place_counters(numbering)
+        assert placement is not None, name
+        ids = {e.id for e in numbering.edges}
+        assert placement.tree <= ids and placement.chords <= ids
+        assert placement.tree & placement.chords == set()
+        assert placement.tree | placement.chords == ids
+
+
+def test_forced_edges_are_tree_edges():
+    for name, numbering in all_numberings():
+        placement = place_counters(numbering)
+        for edge in numbering.edges:
+            if edge.kind in FORCED_KINDS:
+                assert edge.id in placement.tree, (name, edge)
+
+
+def test_potentials_zero_tree_increments():
+    for name, numbering in all_numberings():
+        placement = place_counters(numbering)
+        theta = placement.theta
+        assert theta[numbering.entry] == 0
+        assert theta[numbering.exit] == 0
+        for edge in numbering.edges:
+            inc = edge.val + theta[edge.v] - theta[edge.u]
+            if edge.id in placement.tree:
+                assert inc == 0, (name, edge)
+
+
+def test_increments_telescope_to_exact_path_ids():
+    """Summing inc(e) along any ENTRY→EXIT DAG path equals the path id
+    — mincov and exhaustive produce identical ids by construction."""
+    for name, numbering in all_numberings():
+        placement = place_counters(numbering)
+        theta = placement.theta
+
+        def walk(node, register):
+            if node == numbering.exit:
+                yield register
+                return
+            for edge in numbering.out[node]:
+                inc = edge.val + theta[edge.v] - theta[edge.u]
+                yield from walk(edge.v, register + inc)
+
+        ids = sorted(walk(numbering.entry, 0))
+        assert ids == list(range(numbering.num_paths)), name
+
+
+def test_mincov_tables_charge_a_subset_of_exhaustive():
+    for name, numbering in all_numberings():
+        exhaustive = PathTables(numbering, "exhaustive")
+        mincov = PathTables(numbering, "mincov")
+        assert mincov.num_paths == exhaustive.num_paths
+        assert mincov.charged <= exhaustive.charged, name
+        # Exhaustive charges every observable forward-branch outcome.
+        branch_keys = {
+            e.key for e in numbering.edges if e.kind == "branch"
+        }
+        assert exhaustive.charged == branch_keys

@@ -1,0 +1,212 @@
+"""Ball-Larus path profiling: numbering, tables, profiles, heat."""
+
+import pytest
+
+from repro.frontend.codegen import compile_source
+from repro.profiling.paths import (
+    PATH_MODES,
+    PathHeat,
+    PathProfile,
+    PathTracker,
+    method_tables,
+    number_paths,
+    numbering_for_code,
+)
+from repro.vm.config import jikes_config
+from repro.vm.interpreter import Interpreter
+
+DIAMOND = """
+def pick(x: int): int {
+  var r = 0;
+  if (x > 0) { r = 1; } else { r = 2; }
+  return r;
+}
+def main() { print(pick(3) + pick(0 - 3)); }
+"""
+
+LOOPY = """
+def main() {
+  var t = 0;
+  for (var i = 0; i < 10; i = i + 1) {
+    if (i % 2 == 0) { t = t + 1; } else { t = t + 2; }
+  }
+  print(t);
+}
+"""
+
+
+def function_numbering(source, name):
+    program = compile_source(source)
+    index = program.function_index(name)
+    return program, numbering_for_code(program.functions[index].code)
+
+
+def test_diamond_has_two_paths():
+    _, numbering = function_numbering(DIAMOND, "pick")
+    assert numbering.num_paths == 2
+    assert not numbering.overflow
+    assert numbering.back_edges == []
+
+
+def test_straight_line_has_one_path():
+    program = compile_source(DIAMOND)
+    main = program.function_index("main")
+    numbering = numbering_for_code(program.functions[main].code)
+    assert numbering.num_paths == 1
+
+
+def test_loop_body_paths_are_back_edge_truncated():
+    _, numbering = function_numbering(LOOPY, "main")
+    # Acyclic paths: entry→(exit loop | each body arm→back edge), so the
+    # loop multiplies nothing — back edges truncate.
+    assert len(numbering.back_edges) == 1
+    assert 2 <= numbering.num_paths <= 6
+
+
+def test_path_ids_decode_to_distinct_node_sequences():
+    _, numbering = function_numbering(LOOPY, "main")
+    seqs = {tuple(numbering.path_nodes(pid)) for pid in range(numbering.num_paths)}
+    assert len(seqs) == numbering.num_paths
+
+
+def test_path_pcs_cover_block_spans_in_order():
+    _, numbering = function_numbering(DIAMOND, "pick")
+    for pid in range(numbering.num_paths):
+        pcs = numbering.path_pcs(pid)
+        assert pcs == sorted(pcs)
+        for pc in pcs:
+            node = numbering.block_at(pc)
+            start, end = numbering.blocks[node - 1]
+            assert start <= pc <= end
+
+
+def test_edge_values_are_canonical_ball_larus():
+    """Within each node, out-edge values are the running prefix sums of
+    successor path counts — so path ids are dense in [0, num_paths)."""
+    _, numbering = function_numbering(LOOPY, "main")
+    numpaths = {numbering.exit: 1}
+
+    def count(node):
+        if node in numpaths:
+            return numpaths[node]
+        total = sum(count(e.v) for e in numbering.out[node]) or 1
+        numpaths[node] = total
+        return total
+
+    count(numbering.entry)
+    for node in range(numbering.n):
+        running = 0
+        for edge in numbering.out[node]:
+            assert edge.val == running
+            running += numpaths.get(edge.v, 1)
+
+
+def test_empty_method_numbering():
+    numbering = number_paths([], [])
+    assert numbering.num_paths == 1
+    assert numbering.blocks == []
+
+
+def test_tracker_rejects_unknown_mode():
+    with pytest.raises(ValueError):
+        PathTracker(mode="sampled")
+    assert PATH_MODES == ("exhaustive", "mincov", "cbs")
+
+
+def test_attach_requires_paths_cache():
+    program = compile_source(DIAMOND)
+    vm = Interpreter(program, jikes_config())  # paths=False
+    with pytest.raises(ValueError):
+        vm.attach_paths(PathTracker(mode="exhaustive"))
+
+
+def test_method_tables_cached_per_placement():
+    program = compile_source(DIAMOND)
+    vm = Interpreter(program, jikes_config(paths=True))
+    method = vm.code_cache.current(program.function_index("pick"))
+    first = method_tables(method, "exhaustive")
+    assert method_tables(method, "exhaustive") is first
+    mincov = method_tables(method, "mincov")
+    assert mincov is not first
+    assert mincov.num_paths == first.num_paths
+
+
+def test_exhaustive_tracker_counts_both_diamond_arms():
+    program = compile_source(DIAMOND)
+    vm = Interpreter(program, jikes_config(paths=True))
+    tracker = PathTracker(mode="exhaustive")
+    vm.attach_paths(tracker)
+    vm.run()
+    pick = program.function_index("pick")
+    pick_paths = {
+        pid: count
+        for (fn, pid), count in tracker.profile.counts.items()
+        if fn == pick
+    }
+    assert sorted(pick_paths.values()) == [1, 1]  # one run per arm
+    assert len(pick_paths) == 2
+
+
+# -- PathProfile ---------------------------------------------------------------------
+
+
+def test_profile_record_total_distinct():
+    profile = PathProfile()
+    profile.record(0, 1)
+    profile.record(0, 1)
+    profile.record(2, 0, count=3)
+    assert profile.total() == 5
+    assert profile.distinct() == 2
+    assert profile.counts[(0, 1)] == 2
+
+
+def test_profile_merge_and_overlap():
+    a = PathProfile({(0, 0): 8, (0, 1): 2})
+    b = PathProfile({(0, 0): 4, (0, 1): 1})
+    assert a.overlap(b) == pytest.approx(100.0)
+    c = PathProfile({(1, 0): 5})
+    assert a.overlap(c) == 0.0
+    a.merge(c, scale=2.0)
+    assert a.counts[(1, 0)] == 10
+
+
+def test_profile_rows_roundtrip_and_strict():
+    program = compile_source(DIAMOND)
+    pick = program.function_index("pick")
+    profile = PathProfile({(pick, 1): 7})
+    rows = profile.to_rows(program)
+    assert rows == [["pick", 1, 7]]
+    restored = PathProfile.from_rows(rows, program)
+    assert restored.counts == profile.counts
+    # Unknown names: dropped when lenient, fatal when strict.
+    assert PathProfile.from_rows([["gone", 0, 1]], program).counts == {}
+    with pytest.raises(ValueError):
+        PathProfile.from_rows([["gone", 0, 1]], program, strict=True)
+
+
+def test_hot_paths_order_is_deterministic():
+    profile = PathProfile({(0, 0): 5, (1, 3): 5, (0, 2): 9})
+    assert profile.hot_paths(2) == [((0, 2), 9), ((0, 0), 5)]
+
+
+# -- PathHeat ------------------------------------------------------------------------
+
+
+def test_heat_fraction_tracks_observed_arms():
+    program = compile_source(LOOPY)
+    vm = Interpreter(program, jikes_config(paths=True))
+    tracker = PathTracker(mode="exhaustive")
+    vm.attach_paths(tracker)
+    vm.run()
+    heat = PathHeat.from_profile(tracker.profile, program)
+    main = program.function_index("main")
+    fractions = [
+        heat.pc_fraction(main, pc)
+        for pc in range(len(program.functions[main].code))
+    ]
+    assert all(0.0 <= f <= 1.0 for f in fractions)
+    # The loop header is on every recorded path; some pc must be.
+    assert max(fractions) == pytest.approx(1.0)
+    # The two body arms split the records: neither is on every path.
+    assert any(0.0 < f < 1.0 for f in fractions)
+    assert heat.pc_fraction(999, 0) == 0.0

@@ -1,0 +1,101 @@
+"""Format-v3 path rows in saved profiles."""
+
+import json
+
+import pytest
+
+from repro.frontend.codegen import compile_source
+from repro.profiling.dcg import DCG
+from repro.profiling.paths import PathProfile, PathTracker
+from repro.profiling.serialize import (
+    FORMAT_VERSION,
+    ProfileFormatError,
+    dcg_to_dict,
+    load_profile,
+    load_profile_paths,
+    paths_from_dict,
+    save_profile,
+)
+from repro.vm.config import jikes_config
+from repro.vm.interpreter import Interpreter
+
+SOURCE = """
+def f(x: int): int {
+  var r = x;
+  if (x % 2 == 0) { r = r + 1; }
+  return r;
+}
+def main() {
+  var t = 0;
+  for (var i = 0; i < 30; i = i + 1) { t = t + f(i); }
+  print(t);
+}
+"""
+
+
+def collected():
+    program = compile_source(SOURCE)
+    vm = Interpreter(program, jikes_config(paths=True))
+    tracker = PathTracker(mode="exhaustive", charge=False)
+    vm.attach_paths(tracker)
+    vm.run()
+    return program, tracker.profile
+
+
+def test_paths_ride_in_v3_files(tmp_path):
+    program, profile = collected()
+    path = str(tmp_path / "profile.json")
+    save_profile(DCG(), program, path, paths=profile)
+    with open(path) as handle:
+        data = json.load(handle)
+    assert data["version"] == FORMAT_VERSION >= 3
+    assert data["paths"] == profile.to_rows(program)
+    restored = load_profile_paths(path, program)
+    assert restored.counts == profile.counts
+    # The DCG loader ignores the extra section.
+    assert load_profile(path, program).total_weight == 0
+
+
+def test_profiles_without_paths_load_empty():
+    program, _ = collected()
+    data = dcg_to_dict(DCG(), program)
+    assert "paths" not in data
+    assert paths_from_dict(data, program).counts == {}
+    # Old v2 files too.
+    data["version"] = 2
+    assert paths_from_dict(data, program).counts == {}
+
+
+def test_malformed_path_rows_rejected():
+    program, _ = collected()
+    base = dcg_to_dict(DCG(), program)
+    for bad in (
+        "not-a-list",
+        [["f", 0]],  # arity
+        [["f", "x", 1]],  # pid not an int
+        [["f", True, 1]],  # bool masquerading as int
+        [["f", -1, 1]],  # negative pid
+        [["f", 0, -2]],  # negative count
+        [[3, 0, 1]],  # name not a string
+    ):
+        data = dict(base, paths=bad)
+        with pytest.raises(ProfileFormatError):
+            paths_from_dict(data, program)
+
+
+def test_unknown_function_lenient_vs_strict():
+    program, profile = collected()
+    data = dcg_to_dict(DCG(), program, paths=profile)
+    data["paths"].append(["Ghost.f", 0, 5])
+    assert paths_from_dict(data, program).counts == profile.counts
+    with pytest.raises(ProfileFormatError, match="Ghost.f"):
+        paths_from_dict(data, program, strict=True)
+
+
+def test_rows_are_deterministic_and_sorted():
+    program, profile = collected()
+    rows = profile.to_rows(program)
+    assert rows == sorted(rows, key=lambda row: (row[0], row[1]))
+    assert rows == PathProfile(dict(reversed(list(profile.counts.items())))).to_rows(
+        program
+    )
