@@ -111,6 +111,20 @@ def test_interpreter_calls(benchmark, fuse):
     benchmark.extra_info["calls"] = vm.call_count
 
 
+@pytest.mark.parametrize("kernel", ["arith", "calls"])
+def test_interpreter_jit(benchmark, kernel):
+    program = compile_source(ARITH if kernel == "arith" else CALLS)
+
+    def run():
+        vm = Interpreter(program, jikes_config(jit=True))
+        vm.run()
+        return vm
+
+    vm = benchmark(run)
+    benchmark.extra_info["mips"] = round(vm.steps / 1e6, 3)
+    benchmark.extra_info["jit_entries"] = vm.jit_entries + vm.jit_osr_entries
+
+
 def test_compiler_frontend(benchmark):
     from repro.benchsuite.suite import get_benchmark
 
@@ -156,27 +170,34 @@ def _workloads(quick: bool):
 #: virtual calls.
 IC_SPEEDUP_FLOORS = {"jess": 1.25, "arith": 0.95, "calls": 0.95}
 
+#: Absolute floors on the JIT-on/JIT-off throughput ratio (both sides
+#: fused+IC).  The arith/calls floors are the level-3 acceptance
+#: criterion — the template JIT must at least double throughput on both
+#: a straight-line kernel and a call-heavy one.
+JIT_SPEEDUP_FLOORS = {"arith": 2.0, "calls": 2.0}
+
 #: Host-timing configurations measured per repeat, interleaved.
 _CONFIGS = (
-    ("fused_ic", True, True),
-    ("fused_noic", True, False),
-    ("unfused", False, True),
+    ("fused_ic", True, True, False),
+    ("fused_noic", True, False, False),
+    ("unfused", False, True, False),
+    ("jit", True, True, True),
 )
 
 
 def _measure(program, repeats: int) -> tuple[int, dict[str, float]]:
     """(deterministic step count, best-of-N wall seconds per config).
 
-    The three configurations run *interleaved* within one process —
-    config A, B, C, then A, B, C again — so host noise (frequency
+    The configurations run *interleaved* within one process — config
+    A, B, C, D, then A, B, C, D again — so host noise (frequency
     drift, cache state, GC) hits all of them alike; sequential
     best-of-N blocks can disagree by ±10% on a busy machine.
     """
-    best = {name: float("inf") for name, _, _ in _CONFIGS}
+    best = {name: float("inf") for name, _, _, _ in _CONFIGS}
     steps = 0
     for _ in range(repeats):
-        for name, fuse, ic in _CONFIGS:
-            vm = Interpreter(program, jikes_config(fuse=fuse, ic=ic))
+        for name, fuse, ic, jit in _CONFIGS:
+            vm = Interpreter(program, jikes_config(fuse=fuse, ic=ic, jit=jit))
             started = time.perf_counter()
             vm.run()
             elapsed = time.perf_counter() - started
@@ -194,6 +215,7 @@ def collect_summary(quick: bool = False, repeats: int | None = None) -> dict:
         fused_sps = steps / best["fused_ic"]
         noic_sps = steps / best["fused_noic"]
         plain_sps = steps / best["unfused"]
+        jit_sps = steps / best["jit"]
         workloads[name] = {
             "steps": steps,
             "fused_steps_per_sec": round(fused_sps),
@@ -202,9 +224,11 @@ def collect_summary(quick: bool = False, repeats: int | None = None) -> dict:
             "ic_steps_per_sec": round(fused_sps),
             "noic_steps_per_sec": round(noic_sps),
             "ic_speedup": round(fused_sps / noic_sps, 3),
+            "jit_steps_per_sec": round(jit_sps),
+            "jit_speedup": round(jit_sps / fused_sps, 3),
         }
     return {
-        "version": 2,
+        "version": 3,
         "quick": quick,
         "python": sys.version.split()[0],
         "workloads": workloads,
@@ -222,9 +246,14 @@ def check_against_baseline(
     * each workload's fused/unfused speedup must stay within
       ``max_regress`` of the baseline's speedup;
     * likewise the IC-on/IC-off speedup (skipped for baselines predating
-      the IC fields);
-    * the absolute :data:`IC_SPEEDUP_FLOORS` (jess ≥ 1.25x etc.) hold
-      regardless of the baseline.
+      the IC fields) and the JIT-on/JIT-off speedup (skipped for
+      baselines predating the JIT fields, and skipped entirely in
+      ``--quick`` mode — tiny workloads end before the JIT has
+      amortized its host-side compile cost, so their ratios say
+      nothing about a full run);
+    * the absolute :data:`IC_SPEEDUP_FLOORS` (jess ≥ 1.25x etc.) and
+      :data:`JIT_SPEEDUP_FLOORS` (arith/calls ≥ 2x) hold regardless of
+      the baseline.
 
     Workload names are matched by kernel prefix so a ``--quick`` check
     (jess-tiny) can run against a full baseline (jess-small).
@@ -251,11 +280,25 @@ def check_against_baseline(
                         f"below {ic_floor:.2f}x (baseline "
                         f"{base['ic_speedup']:.2f}x - {max_regress:.0%})"
                     )
+            if "jit_speedup" in base and not summary.get("quick", False):
+                jit_floor = base["jit_speedup"] * (1.0 - max_regress)
+                if entry["jit_speedup"] < jit_floor:
+                    failures.append(
+                        f"{name}: JIT speedup {entry['jit_speedup']:.2f}x fell "
+                        f"below {jit_floor:.2f}x (baseline "
+                        f"{base['jit_speedup']:.2f}x - {max_regress:.0%})"
+                    )
         hard_floor = IC_SPEEDUP_FLOORS.get(prefix)
         if hard_floor is not None and entry["ic_speedup"] < hard_floor:
             failures.append(
                 f"{name}: IC speedup {entry['ic_speedup']:.2f}x is below the "
                 f"hard floor {hard_floor:.2f}x"
+            )
+        jit_hard_floor = JIT_SPEEDUP_FLOORS.get(prefix)
+        if jit_hard_floor is not None and entry["jit_speedup"] < jit_hard_floor:
+            failures.append(
+                f"{name}: JIT speedup {entry['jit_speedup']:.2f}x is below "
+                f"the hard floor {jit_hard_floor:.2f}x"
             )
     return failures
 
@@ -384,10 +427,12 @@ def main(argv: list[str] | None = None) -> int:
             return 1
         speedups = ", ".join(
             f"{name} {entry['speedup']:.2f}x/{entry['ic_speedup']:.2f}x"
+            f"/{entry['jit_speedup']:.2f}x"
             for name, entry in summary["workloads"].items()
         )
         print(
-            f"OK fused/IC speedups within bounds: {speedups}", file=sys.stderr
+            f"OK fused/IC/JIT speedups within bounds: {speedups}",
+            file=sys.stderr,
         )
     return 0
 

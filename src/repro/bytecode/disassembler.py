@@ -270,6 +270,117 @@ def disassemble_paths(program: Program) -> str:
     return "\n".join(lines) + "\n"
 
 
+def describe_method_plan(function: FunctionInfo, program: Program) -> str:
+    """One-line compilation plan for a method: what each tier of the
+    execution stack (baseline, fusion, inline caches, leaf template,
+    template JIT) would do with this body before any execution.
+
+    Rendered as the header of ``disasm --method N`` so a single method
+    can be inspected without grepping the whole-program views.
+    """
+    from repro.vm.costmodel import jikes_cost_model
+    from repro.vm import ic as icache
+    from repro.vm.config import jikes_config
+    from repro.vm.jit.compiler import compile_method
+    from repro.vm.runtime import CodeCache
+
+    cache = CodeCache(program, jikes_cost_model(), fuse=True, ic=True)
+    method = cache.methods[function.index]
+    parts = [f"baseline opt={method.opt_level}"]
+    if method.fused_sites:
+        parts.append(
+            f"fused {method.fused_sites} sites covering {method.fused_span}"
+        )
+    else:
+        parts.append("no fusion")
+    ic_sites = sum(
+        1
+        for instr in function.code
+        if instr.op in (Op.CALL_VIRTUAL, Op.CALL_STATIC)
+    )
+    parts.append(f"ic {ic_sites} sites" if ic_sites else "no call sites")
+    leaf = method.leaf
+    if leaf is not None:
+        kind = "compiled" if leaf[icache.L_FN] is not None else "interpreted"
+        parts.append(f"leaf template ({kind})")
+    code = compile_method(
+        method,
+        program,
+        cache,
+        jikes_config(jit=True),
+        inline_leaves=True,
+        emit_paths=False,
+    )
+    if code is None:
+        parts.append("jit ineligible")
+    else:
+        arms = ("entry" if code.entry0 else "") or "osr-only"
+        parts.append(
+            f"jit {arms}+{len(code.entries)} osr arms, "
+            f"{code.inline_sites} inlined call sites / {code.exit_sites} exits"
+        )
+    return "plan: " + ", ".join(parts)
+
+
+def disassemble_jit(program: Program) -> str:
+    """Render the template JIT's generated host code for every method.
+
+    Compiles each body exactly as the plain-run manager would at attach
+    time — quickened stream, IC guards from the *unexecuted* cache
+    (sites still raw quicken at run time and show as interpreter
+    exits), leaf inlining on — and prints the generated Python
+    alongside entry-arm and call-site statistics.  Debugging aid for
+    the JIT (``repro-mini disasm --jit``); not assembler
+    round-trippable.
+    """
+    # Imported lazily, like the other special views: a debugging view
+    # over the vm layer, not part of the assembler round-trip.
+    from repro.vm.costmodel import jikes_cost_model
+    from repro.vm.config import jikes_config
+    from repro.vm.jit.compiler import compile_method
+    from repro.vm.runtime import CodeCache
+
+    cache = CodeCache(program, jikes_cost_model(), fuse=True, ic=True)
+    config = jikes_config(jit=True)
+    lines: list[str] = []
+    compiled = 0
+    skipped = 0
+    for function in program.functions:
+        method = cache.methods[function.index]
+        code = compile_method(
+            method,
+            program,
+            cache,
+            config,
+            inline_leaves=True,
+            emit_paths=False,
+        )
+        if code is None:
+            skipped += 1
+            lines.append(
+                f"{function.qualified_name}/{function.num_params}: "
+                f"not compiled (no productive arm)"
+            )
+            lines.append("")
+            continue
+        compiled += 1
+        osr = ", ".join(str(pc) for pc in sorted(code.entries)) or "none"
+        lines.append(
+            f"{function.qualified_name}/{function.num_params}: "
+            f"entry={'yes' if code.entry0 else 'no'} osr=[{osr}] "
+            f"{code.inline_sites} inlined call sites / {code.exit_sites} "
+            f"exits, {code.fused_expanded} fused heads expanded"
+        )
+        for line in code.source.rstrip("\n").split("\n"):
+            lines.append("  | " + line)
+        lines.append("")
+    lines.append(
+        f"total: {compiled} methods compiled, {skipped} left to the "
+        f"interpreter"
+    )
+    return "\n".join(lines) + "\n"
+
+
 def disassemble(program: Program) -> str:
     """Render a whole program as assembler text."""
     lines: list[str] = []

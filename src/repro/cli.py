@@ -5,7 +5,7 @@ Usage::
     repro-mini run program.mini [--vm jikes|j9] [--profile cbs|timer|whaley]
                                 [--stride N] [--samples N] [--skip-policy P]
                                 [--seed N] [--context-depth N] [--adaptive]
-                                [--opt {0,1}] [--no-fuse] [--no-ic]
+                                [--opt {0,1}] [--no-fuse] [--no-ic] [--no-jit]
                                 [--paths exhaustive|mincov|cbs] [--fuse-paths]
                                 [--stats] [--dcg]
                                 [--trace FILE] [--trace-format jsonl|chrome]
@@ -19,7 +19,8 @@ Usage::
     repro-mini report trace_file [--json] [--no-histograms]
     repro-mini bench [--benchmarks a,b] [--profilers cbs,timer] [--seeds 1,2]
                      [--size S] [--vm jikes|j9] [--jobs N] [--json]
-    repro-mini disasm program.mini [--fused | --ic | --paths] [--method N]
+    repro-mini disasm program.mini [--fused | --ic | --paths | --jit]
+                                   [--method N]
     repro-mini check program.mini
     repro-mini fuzz [--seeds N] [--jobs K] [--start S] [--vm jikes|j9]
                     [--save-repros DIR] [--replay DIR] [--no-shrink] [--json]
@@ -35,10 +36,18 @@ streams DCG deltas to it in the background (never blocking the VM) and
 aggregated profile before execution.  See docs/FLEET.md.
 
 ``fuzz`` runs the differential fuzzer: random programs executed across
-the whole ``fuse × ic × profiler × telemetry`` configuration matrix,
+the whole ``fuse × ic × jit × profiler × telemetry`` configuration
+matrix,
 checking the identity invariants; violations are triaged, shrunk, and
 (with ``--save-repros``) written out as reproducers.  ``--replay DIR``
 re-checks a committed reproducer corpus instead.  See docs/FUZZING.md.
+
+Hot methods run through the opt-level-3 template JIT by default:
+bodies compile to generated host functions that de-optimize back to
+the interpreter at tick boundaries and guard failures, keeping every
+observable bit-identical.  ``--no-jit`` turns it off, ``--stats``
+prints the ``jit:`` counter line, and ``disasm --jit`` shows the
+generated code.  See docs/JIT.md.
 
 ``run --paths MODE`` attaches the Ball-Larus path profiler: every
 acyclic (back-edge-truncated) intraprocedural path is numbered and
@@ -114,11 +123,16 @@ def _profiler_for(args):
 
 def _cmd_run(args) -> int:
     program = _load(args.file)
+    # Adaptive runs promote to the template JIT from the controller
+    # (path-hot level-2 methods first) instead of the plain-run eager
+    # manager, so the config flag stays off there.
+    adaptive_mode = args.adaptive or args.warm_start
     config = config_named(
         args.vm,
         fuse=not args.no_fuse,
         ic=not args.no_ic,
         paths=args.paths is not None,
+        jit=not args.no_jit and not adaptive_mode,
     )
 
     path_heat = None
@@ -209,7 +223,13 @@ def _cmd_run(args) -> int:
         vm.attach_profiler(profiler)
     adaptive = None
     if args.adaptive:
-        adaptive = AdaptiveSystem(program, NewJikesInliner(program))
+        from repro.adaptive.controller import AdaptiveConfig
+
+        adaptive = AdaptiveSystem(
+            program,
+            NewJikesInliner(program),
+            AdaptiveConfig(jit=not args.no_jit),
+        )
         adaptive.install(vm)
         if profiler is None:
             print(
@@ -429,6 +449,18 @@ def _cmd_run(args) -> int:
             )
         else:
             print("-- ic: disabled (--no-ic)", file=sys.stderr)
+        if args.no_jit:
+            print("-- jit: disabled (--no-jit)", file=sys.stderr)
+        else:
+            print(
+                f"-- jit: compiles={vm.jit_compiles} "
+                f"entries={vm.jit_entries} osr={vm.jit_osr_entries} "
+                f"deopts={vm.jit_deopts} guard_exits={vm.jit_guard_exits} "
+                f"call_exits={vm.jit_call_exits} "
+                f"return_exits={vm.jit_return_exits} "
+                f"leaf_calls={vm.jit_leaf_calls}",
+                file=sys.stderr,
+            )
         if path_tracker is not None:
             s = path_tracker.summary()
             print(
@@ -759,10 +791,12 @@ def _cmd_bench(args) -> int:
 
 def _cmd_disasm(args) -> int:
     program = _load(args.file)
-    if sum((args.fused, args.ic, args.paths)) > 1:
-        raise SystemExit("--fused, --ic, and --paths are separate views; pick one")
+    if sum((args.fused, args.ic, args.paths, args.jit)) > 1:
+        raise SystemExit(
+            "--fused, --ic, --paths, and --jit are separate views; pick one"
+        )
     if args.method is not None:
-        if args.fused or args.ic or args.paths:
+        if args.fused or args.ic or args.paths or args.jit:
             raise SystemExit("--method applies to the plain bytecode view only")
         count = len(program.functions)
         if not 0 <= args.method < count:
@@ -771,9 +805,14 @@ def _cmd_disasm(args) -> int:
                 f"(program has {count} function{'s' if count != 1 else ''}: "
                 f"0..{count - 1})"
             )
-        from repro.bytecode.disassembler import disassemble_function
+        from repro.bytecode.disassembler import (
+            describe_method_plan,
+            disassemble_function,
+        )
 
-        print(disassemble_function(program.functions[args.method], program))
+        function = program.functions[args.method]
+        print(f"-- {describe_method_plan(function, program)}")
+        print(disassemble_function(function, program))
         return 0
     if args.fused:
         from repro.bytecode.disassembler import disassemble_fused
@@ -787,6 +826,10 @@ def _cmd_disasm(args) -> int:
         from repro.bytecode.disassembler import disassemble_paths
 
         print(disassemble_paths(program), end="")
+    elif args.jit:
+        from repro.bytecode.disassembler import disassemble_jit
+
+        print(disassemble_jit(program), end="")
     else:
         print(disassemble(program))
     return 0
@@ -1005,6 +1048,12 @@ def build_parser() -> argparse.ArgumentParser:
         "receiver profile)",
     )
     run.add_argument(
+        "--no-jit",
+        action="store_true",
+        help="disable the template JIT (interpreter-only dispatch; "
+        "bit-identical results, slower host execution)",
+    )
+    run.add_argument(
         "--paths",
         choices=["exhaustive", "mincov", "cbs"],
         default=None,
@@ -1206,11 +1255,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="show the Ball-Larus path view: per-method CFG blocks, edge "
         "increments, path counts, and minimum-coverage placement",
     )
+    disasm.add_argument(
+        "--jit",
+        action="store_true",
+        help="show the template JIT view: the generated host function "
+        "for each compilable method, with entry/OSR arms and inlined "
+        "call sites",
+    )
     disasm.set_defaults(handler=_cmd_disasm)
 
     fuzz = commands.add_parser(
         "fuzz",
-        help="differential-fuzz the fuse × ic × profiler × telemetry matrix",
+        help="differential-fuzz the fuse × ic × jit × profiler × telemetry matrix",
     )
     fuzz.add_argument(
         "--seeds",

@@ -1,8 +1,9 @@
 """Differential execution across the VM configuration matrix.
 
-One program is run under every cell of the ``fuse × ic × profiler ×
-telemetry`` matrix and the runs are compared against a per-profiler
-reference (``fuse=False, ic=False, telemetry off``).
+One program is run under every cell of the ``fuse × ic × jit ×
+profiler × telemetry`` matrix and the runs are compared against a
+per-profiler reference (``fuse=False, ic=False, jit off, telemetry
+off``).
 
 Comparisons are grouped by profiler because profilers are *allowed* to
 cost virtual time (the paper measures exactly that overhead): within a
@@ -70,6 +71,11 @@ class MatrixCell:
     #: virtual-time cost, so its cell must match the group reference
     #: bit-for-bit like the flight recorder's.
     paths: str | None = None
+    #: Template JIT on: hot bodies run as generated host code that must
+    #: de-optimize back to bit-identical interpreter state, so a jit
+    #: cell must match the group reference exactly like any other
+    #: host-level rewrite (fusion, ICs).
+    jit: bool = False
 
     def describe(self) -> str:
         parts = [
@@ -83,6 +89,8 @@ class MatrixCell:
             parts.append("flight")
         if self.paths:
             parts.append(f"paths-{self.paths}")
+        if self.jit:
+            parts.append("jit")
         return "+".join(parts)
 
 
@@ -95,7 +103,12 @@ def matrix_cells(profiler: str) -> list[MatrixCell]:
     included — and a charge-free Ball-Larus path-tracker cell (same
     zero-cost claim).  The ``none`` group carries all three path modes
     so the exhaustive == mincov and CBS-subset invariants are checked
-    per program.  Eight runs per group (ten for ``none``)."""
+    per program.  The template JIT joins as two more cells per group —
+    the fully-featured corner with the JIT on, silent and with
+    telemetry (generated code must neither perturb observables nor
+    emit events) — plus a JIT×paths cell in the ``none`` group for the
+    path-instrumented code templates.  Ten runs per group (thirteen
+    for ``none``)."""
     cells = [
         MatrixCell(fuse, ic, profiler, False)
         for fuse in (False, True)
@@ -105,9 +118,14 @@ def matrix_cells(profiler: str) -> list[MatrixCell]:
     cells.append(MatrixCell(True, True, profiler, True))
     cells.append(MatrixCell(True, True, profiler, True, flight=True))
     cells.append(MatrixCell(True, True, profiler, False, paths="exhaustive"))
+    cells.append(MatrixCell(True, True, profiler, False, jit=True))
+    cells.append(MatrixCell(True, True, profiler, True, jit=True))
     if profiler == "none":
         cells.append(MatrixCell(True, True, profiler, False, paths="mincov"))
         cells.append(MatrixCell(True, True, profiler, False, paths="cbs"))
+        cells.append(
+            MatrixCell(True, True, profiler, False, paths="cbs", jit=True)
+        )
     return cells
 
 
@@ -165,7 +183,11 @@ def _strip_host_metrics(snapshot: dict) -> dict:
     return {
         k: v
         for k, v in snapshot.items()
-        if not (k.startswith("fusion.") or k.startswith("ic."))
+        if not (
+            k.startswith("fusion.")
+            or k.startswith("ic.")
+            or k.startswith("jit.")
+        )
     }
 
 
@@ -192,6 +214,8 @@ def run_cell(
         # harness error.
         if cell.paths:
             overrides = dict(overrides, paths=True)
+        if cell.jit:
+            overrides = dict(overrides, jit=True)
         config = config_named(vm_name, fuse=cell.fuse, ic=cell.ic, **overrides)
         vm = Interpreter(program, config)
         profiler = PROFILERS[cell.profiler]()

@@ -88,6 +88,20 @@ def pipeline_rows(trace: LoadedTrace) -> list[list[object]]:
         megamorphic = _metric_value(trace, "ic.megamorphic_sites")
         if megamorphic:
             rows.append(["ic megamorphic sites", megamorphic])
+    jit_compiles = _metric_value(trace, "jit.compiles")
+    if jit_compiles:
+        rows.append(["jit compiles", jit_compiles])
+        rows.append(
+            [
+                "jit entries",
+                (_metric_value(trace, "jit.entries") or 0)
+                + (_metric_value(trace, "jit.osr_entries") or 0),
+            ]
+        )
+        rows.append(["jit deopts", _metric_value(trace, "jit.deopts") or 0])
+        rows.append(
+            ["jit guard exits", _metric_value(trace, "jit.guard_exits") or 0]
+        )
     paths_total = _metric_value(trace, "paths.total")
     if paths_total:
         rows.append(["path records", paths_total])
@@ -167,8 +181,9 @@ def summary_dict(trace: LoadedTrace, histograms: bool = True) -> dict:
     Backs ``repro-mini report --json``: the ``pipeline`` rows are the
     exact (label, value) pairs the text table renders (sub-rows keep
     their indentation so the mirror is lossless), and the dedicated
-    ``paths`` object repeats the Ball-Larus figures under stable keys
-    so CI can assert on them without parsing table text.
+    ``paths``/``jit`` objects repeat the Ball-Larus and template-JIT
+    figures under stable keys so CI can assert on them without parsing
+    table text.
     """
     data: dict = {
         "format": trace.format,
@@ -185,6 +200,18 @@ def summary_dict(trace: LoadedTrace, histograms: bool = True) -> dict:
             "distinct": _metric_value(trace, "paths.distinct") or 0,
             "increments": _metric_value(trace, "paths.increments") or 0,
             "windows": _metric_value(trace, "paths.windows") or 0,
+        }
+    jit_compiles = _metric_value(trace, "jit.compiles")
+    if jit_compiles:
+        data["jit"] = {
+            "compiles": jit_compiles,
+            "entries": _metric_value(trace, "jit.entries") or 0,
+            "osr_entries": _metric_value(trace, "jit.osr_entries") or 0,
+            "deopts": _metric_value(trace, "jit.deopts") or 0,
+            "guard_exits": _metric_value(trace, "jit.guard_exits") or 0,
+            "call_exits": _metric_value(trace, "jit.call_exits") or 0,
+            "return_exits": _metric_value(trace, "jit.return_exits") or 0,
+            "leaf_calls": _metric_value(trace, "jit.leaf_calls") or 0,
         }
     if histograms:
         data["histograms"] = {

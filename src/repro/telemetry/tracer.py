@@ -133,6 +133,30 @@ class Tracer:
         self._ic_megamorphic = metrics.gauge(
             "ic.megamorphic_sites", "inline-cache sites that overflowed to megamorphic"
         )
+        self._jit_compiles = metrics.counter(
+            "jit.compiles", "methods compiled to generated Python (opt level 3)"
+        )
+        self._jit_entries = metrics.counter(
+            "jit.entries", "method entries that ran the compiled body"
+        )
+        self._jit_osr_entries = metrics.counter(
+            "jit.osr_entries", "loop backedges that re-entered a compiled body"
+        )
+        self._jit_deopts = metrics.counter(
+            "jit.deopts", "de-optimizations at tick/step boundaries"
+        )
+        self._jit_guard_exits = metrics.counter(
+            "jit.guard_exits", "IC guard misses and fault-precondition exits"
+        )
+        self._jit_call_exits = metrics.counter(
+            "jit.call_exits", "exits at call sites the template cannot inline"
+        )
+        self._jit_return_exits = metrics.counter(
+            "jit.return_exits", "exits at returns (interpreter pops the frame)"
+        )
+        self._jit_leaf_calls = metrics.counter(
+            "jit.leaf_calls", "leaf-template calls inlined inside compiled bodies"
+        )
         self._paths_total = metrics.counter(
             "paths.total", "Ball-Larus path records collected"
         )
@@ -231,6 +255,35 @@ class Tracer:
         self._ic_transitions.inc(transitions)
         self._ic_sites.set(sites)
         self._ic_megamorphic.set(megamorphic_sites)
+
+    def on_jit_summary(
+        self,
+        compiles: int,
+        entries: int,
+        osr_entries: int,
+        deopts: int,
+        guard_exits: int,
+        call_exits: int,
+        return_exits: int,
+        leaf_calls: int,
+    ) -> None:
+        """Record one run's template-JIT statistics.
+
+        Same shape and rationale as :meth:`on_fusion_summary`: metrics
+        only, never events, so a JIT-on run's event stream stays
+        byte-identical to the JIT-off run.  All figures are per-run
+        deltas; every entry pairs with exactly one exit, so
+        ``entries + osr_entries == deopts + guard_exits + call_exits +
+        return_exits`` for any completed run.
+        """
+        self._jit_compiles.inc(compiles)
+        self._jit_entries.inc(entries)
+        self._jit_osr_entries.inc(osr_entries)
+        self._jit_deopts.inc(deopts)
+        self._jit_guard_exits.inc(guard_exits)
+        self._jit_call_exits.inc(call_exits)
+        self._jit_return_exits.inc(return_exits)
+        self._jit_leaf_calls.inc(leaf_calls)
 
     def on_paths_summary(self, tracker) -> None:
         """Record one run's Ball-Larus path-profiling statistics.

@@ -64,6 +64,14 @@ class VMConfig:
     #: time-transparent whatever the pattern subset).
     paths: bool = False
 
+    #: Opt-level-3 template JIT (see repro.vm.jit): hot methods run as
+    #: generated Python with de-optimization back to the interpreter.
+    #: Host-level like fusion and ICs — JIT-on and JIT-off runs are
+    #: bit-identical in output, virtual time, steps, ticks, and
+    #: profiles.  Off by default; adaptive runs promote through the
+    #: controller instead (AdaptiveConfig.jit).
+    jit: bool = False
+
     def replace(self, **kwargs) -> "VMConfig":
         return replace(self, **kwargs)
 

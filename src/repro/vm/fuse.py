@@ -250,6 +250,13 @@ CONTROL_FUSED_IDS = frozenset(
     if any(int(_op) in _CONTROL_OPS for _op in _seq)
 )
 
+#: fused id -> raw component opcodes.  The template JIT expands a
+#: quickened head back into its components and reuses the per-raw-op
+#: templates, so one emitter serves fused and unfused streams alike.
+FUSED_COMPONENTS: dict[int, tuple[int, ...]] = {
+    _fid: tuple(int(_op) for _op in _seq) for _fid, _seq, _build, _guard in _PATTERNS
+}
+
 
 def fuse_method(code, ops, costs, control: bool = True):
     """Quicken one method's parallel arrays.

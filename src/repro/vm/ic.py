@@ -149,6 +149,24 @@ def virtual_entry_bindings(entry: list):
             yield r[0], r[2]
 
 
+def guard_classes(entry: list):
+    """Inline-slot guards for the template JIT: ``(class_index,
+    method_slot, cell)`` per bound inline slot, in probe order.
+
+    Only the two inline slots export guards — overflow and megamorphic
+    receivers take the JIT's guard-miss exit and replay through the
+    interpreter's full lookup (which also handles cell bookkeeping and
+    state promotion).  The class index is baked into generated code as
+    a constant and the cell preloaded; the method is re-read through
+    ``entry[method_slot]`` so in-place recompiles stay visible."""
+    guards = []
+    if entry[V_CLASS0] >= 0:
+        guards.append((entry[V_CLASS0], V_METHOD0, entry[V_CELL0]))
+    if entry[V_CLASS1] >= 0:
+        guards.append((entry[V_CLASS1], V_METHOD1, entry[V_CELL1]))
+    return guards
+
+
 def describe_state(entry: list) -> str:
     """Human label for ``disasm --ic`` / stats: mono, poly(k), mega."""
     state = entry[V_STATE]

@@ -132,6 +132,19 @@ class Interpreter:
         #: overflow).
         self.ic_misses = 0
         self.ic_transitions = 0
+        #: Opt-level-3 template JIT statistics (repro.vm.jit) — host
+        #: level like the fusion/IC counters above.  Every entry pairs
+        #: with exactly one exit: entries + osr_entries ==
+        #: deopts + guard_exits + call_exits + return_exits.
+        self.jit_compiles = 0
+        self.jit_entries = 0
+        self.jit_osr_entries = 0
+        self.jit_deopts = 0
+        self.jit_guard_exits = 0
+        self.jit_call_exits = 0
+        self.jit_return_exits = 0
+        self.jit_leaf_calls = 0
+        self.jit_manager = None
         self._frame_pool: list[Frame] = []
 
         # Hooks.
@@ -629,10 +642,25 @@ class Interpreter:
         self.frames.append(frame)
         if self.path_tracker is not None:
             self.path_tracker.on_entry(entry_method)
+        if self.config.jit and self.jit_manager is None:
+            from repro.vm.jit import JitManager
+
+            self.jit_manager = JitManager(self)
+            self.jit_manager.attach()
         fused_before = self.fused_dispatches
         deopts_before = self.fusion_deopts
         misses_before = self.ic_misses
         transitions_before = self.ic_transitions
+        jit_before = (
+            self.jit_compiles,
+            self.jit_entries,
+            self.jit_osr_entries,
+            self.jit_deopts,
+            self.jit_guard_exits,
+            self.jit_call_exits,
+            self.jit_return_exits,
+            self.jit_leaf_calls,
+        )
         cache = self.code_cache
         ic_calls_before = cache.receiver_cell_total() if cache.ic else 0
         try:
@@ -664,6 +692,16 @@ class Interpreter:
                 )
                 if self.path_tracker is not None:
                     self.telemetry.on_paths_summary(self.path_tracker)
+                self.telemetry.on_jit_summary(
+                    self.jit_compiles - jit_before[0],
+                    self.jit_entries - jit_before[1],
+                    self.jit_osr_entries - jit_before[2],
+                    self.jit_deopts - jit_before[3],
+                    self.jit_guard_exits - jit_before[4],
+                    self.jit_call_exits - jit_before[5],
+                    self.jit_return_exits - jit_before[6],
+                    self.jit_leaf_calls - jit_before[7],
+                )
 
     def _loop(self):  # noqa: C901 - deliberately one flat hot loop
         config = self.config
@@ -808,7 +846,30 @@ class Interpreter:
         F_LOAD_LOAD_GT_JIF = fusion.F_LOAD_LOAD_GT_JIF
         F_LOAD_LOAD_GE_JIF = fusion.F_LOAD_LOAD_GE_JIF
 
+        # Opt-level-3 signature of this run's hook configuration (see
+        # repro.vm.jit.compiler.jit_sig): compiled bodies are entered
+        # only when they were generated for exactly these hooks.
+        jit_sig = (
+            1 if (observer is None and telemetry is None and paths is None) else 0
+        )
+        if paths is not None:
+            jit_sig |= 2
+
         result = None
+        jrec = method.jit
+        if (
+            jrec is not None
+            and jrec.entry0
+            and jrec.sig == jit_sig
+            and self.yieldpoint_flag == 0
+            and time < next_tick
+        ):
+            frame.pc = pc
+            self.jit_entries += 1
+            time, steps, call_count = jrec.fn(
+                self, frame, time, steps, call_count, next_tick
+            )
+            pc = frame.pc
         while True:
             op = ops[pc]
             if op < FUSE_BASE:
@@ -1029,6 +1090,19 @@ class Interpreter:
                         self.call_count = call_count
                         self._take_yieldpoint(PROLOGUE)
                         time = self.time
+                    jrec = method.jit
+                    if (
+                        jrec is not None
+                        and jrec.entry0
+                        and jrec.sig == jit_sig
+                        and self.yieldpoint_flag == 0
+                        and time < next_tick
+                    ):
+                        self.jit_entries += 1
+                        time, steps, call_count = jrec.fn(
+                            self, frame, time, steps, call_count, next_tick
+                        )
+                        pc = frame.pc
                 elif op == OP_IC_RETURN_VAL or op == OP_IC_RETURN:
                     # Quickened return: identical to the raw handler but
                     # restores the caller's cached views in one unpack.
@@ -1160,6 +1234,19 @@ class Interpreter:
                         self.call_count = call_count
                         self._take_yieldpoint(PROLOGUE)
                         time = self.time
+                    jrec = method.jit
+                    if (
+                        jrec is not None
+                        and jrec.entry0
+                        and jrec.sig == jit_sig
+                        and self.yieldpoint_flag == 0
+                        and time < next_tick
+                    ):
+                        self.jit_entries += 1
+                        time, steps, call_count = jrec.fn(
+                            self, frame, time, steps, call_count, next_tick
+                        )
+                        pc = frame.pc
                 elif op == OP_GETFIELD:
                     obj = stack[-1]
                     if obj is None:
@@ -1237,6 +1324,25 @@ class Interpreter:
                             self.time = time
                             paths.on_jump_back(pc)
                             time = self.time
+                        # On-stack replacement: hot loops whose frame
+                        # was entered before the body was compiled (or
+                        # that de-optimized earlier) re-enter generated
+                        # code at the loop head.
+                        jrec = method.jit
+                        if (
+                            jrec is not None
+                            and jrec.sig == jit_sig
+                            and self.yieldpoint_flag == 0
+                            and time < next_tick
+                            and target in jrec.entries
+                        ):
+                            frame.pc = target
+                            self.jit_osr_entries += 1
+                            time, steps, call_count = jrec.fn(
+                                self, frame, time, steps, call_count, next_tick
+                            )
+                            pc = frame.pc
+                            continue
                     pc = target
                 elif op == OP_JUMP_IF_FALSE:
                     if stack.pop() == 0:
@@ -1380,6 +1486,19 @@ class Interpreter:
                         self.call_count = call_count
                         self._take_yieldpoint(PROLOGUE)
                         time = self.time
+                    jrec = method.jit
+                    if (
+                        jrec is not None
+                        and jrec.entry0
+                        and jrec.sig == jit_sig
+                        and self.yieldpoint_flag == 0
+                        and time < next_tick
+                    ):
+                        self.jit_entries += 1
+                        time, steps, call_count = jrec.fn(
+                            self, frame, time, steps, call_count, next_tick
+                        )
+                        pc = frame.pc
                 elif op == OP_RETURN or op == OP_RETURN_VAL:
                     time += return_cost
                     if epilogue_yp and self.yieldpoint_flag != 0:

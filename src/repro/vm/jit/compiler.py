@@ -1,0 +1,1229 @@
+"""Opt-level-3 template JIT: compile one method to one Python function.
+
+The compiler walks a method's *quickened* stream (``fops``: fused heads,
+IC call opcodes, quickened returns), expands superinstruction heads back
+into their raw components through :data:`repro.vm.fuse.FUSED_COMPONENTS`
+(one template per component, operands and costs taken from the raw
+parallel arrays at the interior slots), and emits straight-line Python
+for each basic block with the operand stack flattened into Python
+locals.  The generated function has the shape::
+
+    def _jit_<index>(vm, frame, time, steps, call_count, next_tick, ...):
+        _stack = frame.stack
+        _L = frame.locals
+        l0, l1 = _L
+        _b = frame.pc
+        while True:
+            if _b == 0:            # one arm per block leader
+                ...
+            elif _b == 7:
+                ...
+
+and returns ``(time, steps, call_count)`` — the interpreter's cached
+counters — whenever it hands control back.  Handing back is the *only*
+de-optimization mechanism, and it is always taken at an instruction
+boundary with the counters holding exactly the charges of the
+instructions that fully executed: the interpreter then replays from
+``frame.pc`` and produces a bit-identical transcript (output, time,
+steps, ticks, calls, DCG, telemetry, fault messages) to a never-JITted
+run.  The exit taxonomy:
+
+* **deopt** (``vm.jit_deopts``) — a segment's lumped charge would cross
+  the tick boundary or the step limit, or an inlined call's leaf-time
+  gate failed.  Mirrors fusion's tick-boundary de-quickening.
+* **guard exit** (``vm.jit_guard_exits``) — an IC receiver-class guard
+  missed, a null receiver, a fault precondition (null field/array
+  access, bad index, zero divisor, negative array length), or a leaf
+  body bailed with ``LEAF_FAIL``.  The interpreter re-executes the
+  instruction and raises (or takes its slow path) with exact counters.
+* **call exit** (``vm.jit_call_exits``) — a call site the template
+  cannot inline (no leaf, branching leaf body, frame-budget exhausted,
+  unquickened virtual, or any observation hook attached).
+* **return exit** (``vm.jit_return_exits``) — execution reached a
+  ``RETURN``/``RETURN_VAL``; the interpreter dispatches the return
+  itself (return cost, epilogue yieldpoint, path record, frame pop).
+
+Inline-cache guards follow pixie's ``elidable_promote`` discipline: the
+receiver classes bound in an entry's inline slots at compile time are
+baked into the generated code as integer constants and the entry's
+receiver cells as preloaded objects; only the callee ``CompiledMethod``
+is re-read through the (in-place refreshed) entry so adaptive
+recompilation stays visible.  Sites that grow new guards after compile
+are picked up by the manager's recompile-on-IC-growth policy.
+"""
+
+from __future__ import annotations
+
+from repro.bytecode.opcodes import Op
+from repro.vm import fuse
+from repro.vm import ic as icmod
+from repro.vm.values import HeapArray, HeapObject
+
+#: Bail out of compiling methods longer than this many instructions.
+JIT_MAX_CODE = 2000
+
+_OP_PUSH = int(Op.PUSH)
+_OP_PUSH_NULL = int(Op.PUSH_NULL)
+_OP_POP = int(Op.POP)
+_OP_DUP = int(Op.DUP)
+_OP_LOAD = int(Op.LOAD)
+_OP_STORE = int(Op.STORE)
+_OP_ADD = int(Op.ADD)
+_OP_SUB = int(Op.SUB)
+_OP_MUL = int(Op.MUL)
+_OP_DIV = int(Op.DIV)
+_OP_MOD = int(Op.MOD)
+_OP_NEG = int(Op.NEG)
+_OP_NOT = int(Op.NOT)
+_OP_LT = int(Op.LT)
+_OP_LE = int(Op.LE)
+_OP_GT = int(Op.GT)
+_OP_GE = int(Op.GE)
+_OP_EQ = int(Op.EQ)
+_OP_NE = int(Op.NE)
+_OP_JUMP = int(Op.JUMP)
+_OP_JIF = int(Op.JUMP_IF_FALSE)
+_OP_JIT = int(Op.JUMP_IF_TRUE)
+_OP_CALL_STATIC = int(Op.CALL_STATIC)
+_OP_CALL_VIRTUAL = int(Op.CALL_VIRTUAL)
+_OP_RETURN = int(Op.RETURN)
+_OP_RETURN_VAL = int(Op.RETURN_VAL)
+_OP_NEW = int(Op.NEW)
+_OP_GETFIELD = int(Op.GETFIELD)
+_OP_PUTFIELD = int(Op.PUTFIELD)
+_OP_IS_EXACT = int(Op.IS_EXACT)
+_OP_GUARD_METHOD = int(Op.GUARD_METHOD)
+_OP_NEW_ARRAY = int(Op.NEW_ARRAY)
+_OP_ALOAD = int(Op.ALOAD)
+_OP_ASTORE = int(Op.ASTORE)
+_OP_ARRAY_LEN = int(Op.ARRAY_LEN)
+_OP_PRINT = int(Op.PRINT)
+_OP_NOP = int(Op.NOP)
+
+_CMP = {
+    _OP_LT: ("<", ">="),
+    _OP_LE: ("<=", ">"),
+    _OP_GT: (">", "<="),
+    _OP_GE: (">=", "<"),
+}
+_BINOP = {_OP_ADD: "+", _OP_SUB: "-", _OP_MUL: "*"}
+
+#: Leaf-body opcodes the compiler can expand *textually* into the
+#: caller's generated code: side-effect-free (heap reads but no heap
+#: writes), so any fault precondition can exit at the call pc with
+#: nothing to roll back.  PUTFIELD (a deferred write the closure would
+#: have to undo) keeps the closure path; branches never reach here
+#: because only bodies with a compiled closure — jump-free by
+#: construction — are considered.
+_PURE_LEAF_OPS = frozenset(
+    {
+        _OP_PUSH, _OP_PUSH_NULL, _OP_POP, _OP_DUP, _OP_LOAD, _OP_STORE,
+        _OP_ADD, _OP_SUB, _OP_MUL, _OP_DIV, _OP_MOD, _OP_NEG, _OP_NOT,
+        _OP_LT, _OP_LE, _OP_GT, _OP_GE, _OP_EQ, _OP_NE,
+        _OP_GETFIELD, _OP_IS_EXACT, _OP_NOP, _OP_RETURN, _OP_RETURN_VAL,
+    }
+)
+
+
+def jit_sig(inline_leaves: bool, emit_paths: bool) -> int:
+    """Encode the observation-hook configuration a body was compiled
+    under; the interpreter refuses to enter a body whose signature does
+    not match the current run's hooks."""
+    return (1 if inline_leaves else 0) | (2 if emit_paths else 0)
+
+
+def vm_jit_sig(vm) -> int:
+    """The signature the running interpreter requires (see
+    :func:`jit_sig`): leaves inline only when no observation hook could
+    land inside a call, path hooks are emitted iff a tracker is
+    attached."""
+    inline = (
+        vm.call_observer is None
+        and vm.telemetry is None
+        and vm.path_tracker is None
+    )
+    return jit_sig(inline, vm.path_tracker is not None)
+
+
+def ic_signature(method) -> tuple:
+    """Snapshot of the method's quickened call sites (pc, IC state).
+
+    The manager recompiles when this changes: a newly quickened site or
+    a mono→poly growth means new guards are worth baking."""
+    ics = method.ics
+    if ics is None:
+        return ()
+    sig = []
+    for pc, entry in enumerate(ics):
+        if entry is None:
+            continue
+        if icmod.entry_is_virtual(entry):
+            sig.append((pc, entry[icmod.V_STATE]))
+        else:
+            sig.append((pc, -1))
+    return tuple(sig)
+
+
+class JitCode:
+    """One compiled body, installed on ``CompiledMethod.jit``."""
+
+    __slots__ = (
+        "fn",
+        "entry0",
+        "entries",
+        "sig",
+        "ic_sig",
+        "source",
+        "fused_expanded",
+        "inline_sites",
+        "exit_sites",
+    )
+
+    def __init__(
+        self, fn, entry0, entries, sig, ic_sig, source, fused_expanded,
+        inline_sites, exit_sites,
+    ):
+        self.fn = fn
+        self.entry0 = entry0
+        self.entries = entries
+        self.sig = sig
+        self.ic_sig = ic_sig
+        self.source = source
+        self.fused_expanded = fused_expanded
+        self.inline_sites = inline_sites
+        self.exit_sites = exit_sites
+
+
+class _Bail(Exception):
+    """Internal: this method cannot be template-compiled."""
+
+
+class _Atom:
+    """One symbolic operand-stack slot: a pure Python expression.
+
+    ``expr`` is parenthesized whenever compound, so atoms compose by
+    plain interpolation.  ``deps`` are the local slots the expression
+    reads (a ``STORE`` to one of them pins the atom to a temp first).
+    ``cond``/``ncond`` carry a boolean form and its negation for
+    comparison results, so branches test the comparison directly instead
+    of materializing 0/1.  ``lit`` holds a compile-time int constant,
+    ``isnull`` marks the ``null`` literal — both feed the ``EQ``/``NE``
+    int-vs-identity specialization."""
+
+    __slots__ = ("expr", "deps", "simple", "cond", "ncond", "lit", "isnull")
+
+    def __init__(self, expr, deps=frozenset(), simple=False, cond=None,
+                 ncond=None, lit=None, isnull=False):
+        self.expr = expr
+        self.deps = deps
+        self.simple = simple
+        self.cond = cond
+        self.ncond = ncond
+        self.lit = lit
+        self.isnull = isnull
+
+
+def _lit_atom(value: int) -> _Atom:
+    return _Atom(repr(value), simple=True, lit=value)
+
+
+class _Compiler:
+    def __init__(self, method, program, cache, config, inline_leaves, emit_paths):
+        self.method = method
+        self.program = program
+        self.cache = cache
+        self.config = config
+        self.inline_leaves = inline_leaves
+        self.emit_paths = emit_paths
+
+        cost_model = config.cost_model
+        entry_extra = (
+            0
+            if config.overloaded_entry_check
+            else cost_model.dedicated_entry_check_cost
+        )
+        self.call_static_cost = cost_model.call_static_cost + entry_extra
+        self.call_virtual_cost = cost_model.call_virtual_cost + entry_extra
+        self.max_steps = config.max_steps
+        self.max_frames = config.max_frames
+
+        self.lines: list[str] = []
+        self.indent = 2
+        self.tmp = 0
+        self.baked: dict[str, object] = {}
+        self.uses: set[str] = set()
+        self.fused_expanded = 0
+        self.inline_sites = 0
+        self.exit_sites = 0
+        self.has_inline = False
+        self.zero_progress: set[int] = set()
+        self.cur_leader = 0
+        self.arm_progress = False
+        self._branch_atom: _Atom | None = None
+
+    # -- small emission helpers -------------------------------------------------
+
+    def _w(self, line: str) -> None:
+        self.lines.append("    " * self.indent + line)
+
+    def _new_tmp(self) -> str:
+        name = f"t{self.tmp}"
+        self.tmp += 1
+        return name
+
+    def _pin(self, atom: _Atom) -> _Atom:
+        """Bind a compound atom to a fresh temp so it can be used more
+        than once; simple atoms (names/literals) pass through."""
+        if atom.simple:
+            return atom
+        t = self._new_tmp()
+        self._w(f"{t} = {atom.expr}")
+        return _Atom(t, simple=True, lit=atom.lit, isnull=atom.isnull)
+
+    def _pin_force(self, atom: _Atom) -> _Atom:
+        """Bind unconditionally (used when a local in ``deps`` is about
+        to be overwritten — even a bare ``lN`` name must be captured)."""
+        t = self._new_tmp()
+        self._w(f"{t} = {atom.expr}")
+        return _Atom(t, simple=True, lit=atom.lit, isnull=atom.isnull)
+
+    def _invalidate_local(self, vstack: list[_Atom], slot: int) -> None:
+        replaced: dict[int, _Atom] = {}
+        for i, atom in enumerate(vstack):
+            if slot in atom.deps:
+                pinned = replaced.get(id(atom))
+                if pinned is None:
+                    pinned = self._pin_force(atom)
+                    replaced[id(atom)] = pinned
+                vstack[i] = pinned
+
+    def _bake(self, name: str, value) -> str:
+        self.baked[name] = value
+        return name
+
+    # -- exits ------------------------------------------------------------------
+
+    def _exit(self, pc: int, vstack, counter: str, giveback=None) -> None:
+        """Hand control back to the interpreter at instruction ``pc``
+        with the counters charged exactly through the instructions that
+        completed (``giveback`` refunds a pre-charged segment suffix)."""
+        if giveback is not None:
+            gcost, gsteps = giveback
+            if gcost:
+                self._w(f"time -= {gcost}")
+            self._w(f"steps -= {gsteps}")
+        n = self.method.num_locals
+        if n:
+            names = ", ".join(f"l{i}" for i in range(n))
+            self._w(f"_L[:] = ({names},)")
+        self._w(f"frame.pc = {pc}")
+        if vstack:
+            exprs = ", ".join(a.expr for a in vstack)
+            self._w(f"_stack.extend(({exprs},))")
+        self._w(f"vm.{counter} += 1")
+        if self.has_inline:
+            self._w("vm.jit_leaf_calls += _leaf")
+        self._w("return (time, steps, call_count)")
+
+    def _goto(self, target: int, vstack) -> None:
+        """Jump to another arm, materializing the symbolic stack into
+        the canonical positional slots the target arm expects."""
+        depth = self.depth.get(target)
+        if depth is None or depth != len(vstack):  # pragma: no cover - depth pass
+            raise _Bail("inconsistent depth at join")
+        if depth and any(a.expr != f"s{i}" for i, a in enumerate(vstack)):
+            slots = ", ".join(f"s{i}" for i in range(depth))
+            exprs = ", ".join(a.expr for a in vstack)
+            self._w(f"{slots} = ({exprs},)" if depth > 1 else f"{slots} = {exprs}")
+        self._w(f"_b = {target}")
+        self._w("continue")
+
+    # -- analysis ---------------------------------------------------------------
+
+    def _decode(self) -> None:
+        """Expand the quickened stream to per-pc raw records
+        ``(op, a, b, cost, ic_entry)``; fused heads go through
+        :data:`fuse.FUSED_COMPONENTS` (template reuse — the per-raw-op
+        templates below serve fused and unfused streams alike)."""
+        m = self.method
+        fops, ops, a, b, costs = m.fops, m.ops, m.a, m.b, m.costs
+        n = len(ops)
+        if n > JIT_MAX_CODE:
+            raise _Bail("method too long")
+        recs: list = [None] * n
+        pc = 0
+        while pc < n:
+            f = fops[pc]
+            if f >= fuse.FUSE_BASE:
+                comps = fuse.FUSED_COMPONENTS.get(f)
+                if comps is None:
+                    raise _Bail(f"unknown fused id {f}")
+                for off, comp in enumerate(comps):
+                    p = pc + off
+                    if comp != ops[p]:
+                        raise _Bail("fused components drifted from raw stream")
+                    recs[p] = (comp, a[p], b[p], costs[p], None)
+                self.fused_expanded += 1
+                pc += len(comps)
+                continue
+            op, entry = f, None
+            if f == icmod.OP_IC_CALL_VIRTUAL:
+                op, entry = _OP_CALL_VIRTUAL, m.ics[pc]
+            elif f == icmod.OP_IC_CALL_STATIC:
+                op, entry = _OP_CALL_STATIC, m.ics[pc]
+            elif f == icmod.OP_IC_RETURN:
+                op = _OP_RETURN
+            elif f == icmod.OP_IC_RETURN_VAL:
+                op = _OP_RETURN_VAL
+            recs[pc] = (op, a[pc], b[pc], costs[pc], entry)
+            pc += 1
+        self.recs = recs
+
+    def _selector_returns(self, selector: int):
+        rvs = self._sel_rv.get(selector)
+        if rvs is None or len(rvs) != 1:
+            return None
+        return next(iter(rvs))
+
+    def _analyze(self) -> None:
+        """Reachability + stack-depth pass; finds block leaders and the
+        backward-jump targets eligible for OSR entry (depth 0)."""
+        program = self.program
+        self._sel_rv: dict[int, set] = {}
+        for cls in program.classes:
+            for sid, fi in cls.vtable.items():
+                self._sel_rv.setdefault(sid, set()).add(
+                    program.functions[fi].returns_value
+                )
+        recs = self.recs
+        depth: dict[int, int] = {0: 0}
+        work = [0]
+        jump_targets: set[int] = set()
+        osr: set[int] = set()
+        while work:
+            pc = work.pop()
+            d = depth[pc]
+            rec = recs[pc]
+            if rec is None:  # pragma: no cover - fused interior unreachable
+                raise _Bail("jump into fused interior")
+            op, a, b, _cost, _entry = rec
+            succs: list[tuple[int, int]] = []
+            if op == _OP_JUMP:
+                jump_targets.add(a)
+                succs.append((a, d))
+                if a <= pc:
+                    osr.add(a)
+            elif op == _OP_JIF or op == _OP_JIT:
+                jump_targets.add(a)
+                succs.append((a, d - 1))
+                succs.append((pc + 1, d - 1))
+            elif op == _OP_RETURN or op == _OP_RETURN_VAL:
+                pass
+            elif op == _OP_CALL_STATIC:
+                idx = a if _entry is None else _entry[icmod.S_INDEX]
+                rv = program.functions[idx].returns_value
+                succs.append((pc + 1, d - b + (1 if rv else 0)))
+            elif op == _OP_CALL_VIRTUAL:
+                rv = self._selector_returns(a)
+                # Unknown return shape → the site always exits to the
+                # interpreter, so the arm ends there: no successor.
+                if rv is not None:
+                    succs.append((pc + 1, d - (b + 1) + (1 if rv else 0)))
+            else:
+                effect = {
+                    _OP_PUSH: 1, _OP_PUSH_NULL: 1, _OP_LOAD: 1, _OP_NEW: 1,
+                    _OP_DUP: 1,
+                    _OP_POP: -1, _OP_STORE: -1, _OP_PRINT: -1, _OP_DIV: -1,
+                    _OP_MOD: -1, _OP_ALOAD: -1,
+                    _OP_ADD: -1, _OP_SUB: -1, _OP_MUL: -1,
+                    _OP_LT: -1, _OP_LE: -1, _OP_GT: -1, _OP_GE: -1,
+                    _OP_EQ: -1, _OP_NE: -1,
+                    _OP_PUTFIELD: -2, _OP_ASTORE: -3,
+                }.get(op, 0)
+                succs.append((pc + 1, d + effect))
+            for target, nd in succs:
+                if nd < 0 or target >= len(recs):
+                    raise _Bail("bad stack depth")
+                seen = depth.get(target)
+                if seen is None:
+                    depth[target] = nd
+                    work.append(target)
+                elif seen != nd:
+                    raise _Bail("inconsistent stack depth at join")
+        self.depth = depth
+        self.leaders = {0} | {t for t in jump_targets if t in depth}
+        self.osr_targets = {t for t in osr if depth.get(t) == 0}
+
+    # -- per-arm emission -------------------------------------------------------
+
+    def _emit_arm(self, leader: int) -> None:
+        self.cur_leader = leader
+        self.arm_progress = False
+        vstack = [
+            _Atom(f"s{i}", simple=True) for i in range(self.depth[leader])
+        ]
+        seg: list[int] = []
+        pc = leader
+        while True:
+            if pc != leader and pc in self.leaders:
+                self._flush(seg, vstack)
+                self._goto(pc, vstack)
+                return
+            op, a, b, cost, entry = self.recs[pc]
+            if op == _OP_RETURN or op == _OP_RETURN_VAL:
+                self._flush(seg, vstack)
+                if not self.arm_progress:
+                    self.zero_progress.add(leader)
+                self.exit_sites += 1
+                self._exit(pc, vstack, "jit_return_exits")
+                return
+            if op == _OP_CALL_STATIC or op == _OP_CALL_VIRTUAL:
+                self._flush(seg, vstack)
+                seg = []
+                if not self._emit_call(pc, op, a, b, entry, vstack):
+                    if not self.arm_progress:
+                        self.zero_progress.add(leader)
+                    return
+                pc += 1
+                continue
+            seg.append(pc)
+            if op == _OP_JUMP:
+                self._flush(seg, vstack)
+                seg = []
+                if a <= pc and self.emit_paths:
+                    self.uses.add("paths")
+                    self._w("vm.time = time")
+                    self._w(f"_p.on_jump_back({pc})")
+                    self._w("time = vm.time")
+                self._goto(a, vstack)
+                return
+            if op == _OP_JIF or op == _OP_JIT:
+                self._flush(seg, vstack)
+                seg = []
+                atom = self._branch_atom
+                self._branch_atom = None
+                if op == _OP_JIF:
+                    taken = atom.ncond if atom.ncond else f"{atom.expr} == 0"
+                else:
+                    taken = atom.cond if atom.cond else f"{atom.expr} != 0"
+                self._w(f"if {taken}:")
+                self.indent += 1
+                if self.emit_paths:
+                    self.uses.add("paths")
+                    self._w("vm.time = time")
+                    self._w(f"_p.on_branch({pc}, True)")
+                    self._w("time = vm.time")
+                self._goto(a, vstack)
+                self.indent -= 1
+                if self.emit_paths:
+                    self._w("vm.time = time")
+                    self._w(f"_p.on_branch({pc}, False)")
+                    self._w("time = vm.time")
+                pc += 1
+                continue
+            if op == _OP_NEW_ARRAY:
+                self._flush(seg, vstack)
+                seg = []
+            pc += 1
+
+    def _flush(self, seg: list[int], vstack) -> None:
+        """Emit one segment: a lumped tick/step guard (de-opt point at
+        the segment's first pc, nothing charged yet), the lumped charge,
+        then the per-op template statements."""
+        if not seg:
+            return
+        recs = self.recs
+        total_cost = sum(recs[p][3] for p in seg)
+        total_steps = len(seg)
+        first = seg[0]
+        self._w(
+            f"if time + {total_cost} >= next_tick or "
+            f"steps + {total_steps} >= {self.max_steps}:"
+        )
+        self.indent += 1
+        self._exit(first, vstack, "jit_deopts")
+        self.indent -= 1
+        if total_cost:
+            self._w(f"time += {total_cost}")
+        self._w(f"steps += {total_steps}")
+        self.arm_progress = True
+        suffix_cost = total_cost
+        suffix_steps = total_steps
+        for p in seg:
+            giveback = (suffix_cost, suffix_steps)
+            self._emit_op(p, vstack, giveback)
+            suffix_cost -= recs[p][3]
+            suffix_steps -= 1
+        del seg[:]
+
+    def _emit_op(self, pc: int, vstack, giveback) -> None:
+        op, a, b, cost, _entry = self.recs[pc]
+        w = self._w
+        if op == _OP_LOAD:
+            vstack.append(_Atom(f"l{a}", deps=frozenset((a,)), simple=True))
+        elif op == _OP_PUSH:
+            vstack.append(_lit_atom(a))
+        elif op == _OP_PUSH_NULL:
+            vstack.append(_Atom("None", simple=True, isnull=True))
+        elif op == _OP_STORE:
+            value = vstack.pop()
+            self._invalidate_local(vstack, a)
+            w(f"l{a} = {value.expr}")
+        elif op == _OP_POP:
+            vstack.pop()
+        elif op == _OP_DUP:
+            top = self._pin(vstack[-1])
+            vstack[-1] = top
+            vstack.append(top)
+        elif op in _BINOP:
+            r = vstack.pop()
+            l = vstack.pop()
+            if l.lit is not None and r.lit is not None:
+                folded = {
+                    _OP_ADD: l.lit + r.lit,
+                    _OP_SUB: l.lit - r.lit,
+                    _OP_MUL: l.lit * r.lit,
+                }[op]
+                vstack.append(_lit_atom(folded))
+            else:
+                vstack.append(
+                    _Atom(f"({l.expr} {_BINOP[op]} {r.expr})", deps=l.deps | r.deps)
+                )
+        elif op in _CMP:
+            r = vstack.pop()
+            l = vstack.pop()
+            sym, nsym = _CMP[op]
+            cond = f"({l.expr} {sym} {r.expr})"
+            ncond = f"({l.expr} {nsym} {r.expr})"
+            vstack.append(
+                _Atom(
+                    f"(1 if {cond} else 0)", deps=l.deps | r.deps,
+                    cond=cond, ncond=ncond,
+                )
+            )
+        elif op == _OP_EQ or op == _OP_NE:
+            r = self._pin(vstack.pop())
+            l = self._pin(vstack.pop())
+            cond, ncond = self._eq_conds(l, r)
+            if op == _OP_NE:
+                cond, ncond = ncond, cond
+            vstack.append(
+                _Atom(f"(1 if {cond} else 0)", cond=cond, ncond=ncond)
+            )
+        elif op == _OP_NEG:
+            x = vstack.pop()
+            if x.lit is not None:
+                vstack.append(_lit_atom(-x.lit))
+            else:
+                vstack.append(_Atom(f"(-{x.expr})", deps=x.deps))
+        elif op == _OP_NOT:
+            x = vstack.pop()
+            if x.lit is not None:
+                vstack.append(_lit_atom(0 if x.lit != 0 else 1))
+            else:
+                cond = f"({x.expr} == 0)"
+                vstack.append(
+                    _Atom(
+                        f"(0 if {x.expr} != 0 else 1)", deps=x.deps,
+                        cond=cond, ncond=f"({x.expr} != 0)",
+                    )
+                )
+        elif op == _OP_NEW:
+            self.uses.add("fd")
+            self._bake("HeapObject", HeapObject)
+            t = self._new_tmp()
+            w(f"{t} = HeapObject({a}, _fd[{a}])")
+            vstack.append(_Atom(t, simple=True))
+        elif op == _OP_GETFIELD:
+            obj = self._pin(vstack[-1])
+            vstack[-1] = obj
+            w(f"if {obj.expr} is None:")
+            self.indent += 1
+            self._exit(pc, vstack, "jit_guard_exits", giveback)
+            self.indent -= 1
+            t = self._new_tmp()
+            w(f"{t} = {obj.expr}.fields[{a}]")
+            vstack[-1] = _Atom(t, simple=True)
+        elif op == _OP_PUTFIELD:
+            value = vstack.pop()
+            obj = self._pin(vstack.pop())
+            w(f"if {obj.expr} is None:")
+            self.indent += 1
+            self._exit(
+                pc, vstack + [obj, value], "jit_guard_exits", giveback
+            )
+            self.indent -= 1
+            w(f"{obj.expr}.fields[{a}] = {value.expr}")
+        elif op == _OP_IS_EXACT:
+            obj = self._pin(vstack.pop())
+            cond = f"({obj.expr} is not None and {obj.expr}.class_index == {a})"
+            vstack.append(
+                _Atom(
+                    f"(1 if {cond} else 0)", cond=cond, ncond=f"not {cond}"
+                )
+            )
+        elif op == _OP_GUARD_METHOD:
+            self.uses.add("vt")
+            obj = self._pin(vstack.pop())
+            cond = (
+                f"({obj.expr} is not None"
+                f" and _vt[{obj.expr}.class_index].get({a}) == {b})"
+            )
+            vstack.append(
+                _Atom(
+                    f"(1 if {cond} else 0)", cond=cond, ncond=f"not {cond}"
+                )
+            )
+        elif op == _OP_DIV or op == _OP_MOD:
+            r = self._pin(vstack.pop())
+            l = self._pin(vstack.pop())
+            if not (r.lit is not None and r.lit != 0):
+                w(f"if {r.expr} == 0:")
+                self.indent += 1
+                self._exit(pc, vstack + [l, r], "jit_guard_exits", giveback)
+                self.indent -= 1
+            q = self._new_tmp()
+            w(f"{q} = abs({l.expr}) // abs({r.expr})")
+            w(f"if ({l.expr} < 0) != ({r.expr} < 0):")
+            w(f"    {q} = -{q}")
+            if op == _OP_DIV:
+                vstack.append(_Atom(q, simple=True))
+            else:
+                t = self._new_tmp()
+                w(f"{t} = {l.expr} - {q} * {r.expr}")
+                vstack.append(_Atom(t, simple=True))
+        elif op == _OP_NEW_ARRAY:
+            self._bake("HeapArray", HeapArray)
+            length = self._pin(vstack.pop())
+            w(f"if {length.expr} < 0:")
+            self.indent += 1
+            self._exit(pc, vstack + [length], "jit_guard_exits", giveback)
+            self.indent -= 1
+            w(f"time += {length.expr}")
+            t = self._new_tmp()
+            w(f"{t} = HeapArray({length.expr})")
+            vstack.append(_Atom(t, simple=True))
+        elif op == _OP_ALOAD:
+            index = self._pin(vstack.pop())
+            array = self._pin(vstack.pop())
+            w(
+                f"if {array.expr} is None or {index.expr} < 0"
+                f" or {index.expr} >= len({array.expr}.elements):"
+            )
+            self.indent += 1
+            self._exit(pc, vstack + [array, index], "jit_guard_exits", giveback)
+            self.indent -= 1
+            t = self._new_tmp()
+            w(f"{t} = {array.expr}.elements[{index.expr}]")
+            vstack.append(_Atom(t, simple=True))
+        elif op == _OP_ASTORE:
+            value = vstack.pop()
+            index = self._pin(vstack.pop())
+            array = self._pin(vstack.pop())
+            w(
+                f"if {array.expr} is None or {index.expr} < 0"
+                f" or {index.expr} >= len({array.expr}.elements):"
+            )
+            self.indent += 1
+            self._exit(
+                pc, vstack + [array, index, value], "jit_guard_exits", giveback
+            )
+            self.indent -= 1
+            w(f"{array.expr}.elements[{index.expr}] = {value.expr}")
+        elif op == _OP_ARRAY_LEN:
+            array = self._pin(vstack.pop())
+            w(f"if {array.expr} is None:")
+            self.indent += 1
+            self._exit(pc, vstack + [array], "jit_guard_exits", giveback)
+            self.indent -= 1
+            vstack.append(
+                _Atom(f"len({array.expr}.elements)")
+            )
+        elif op == _OP_PRINT:
+            self.uses.add("out")
+            value = vstack.pop()
+            w(f"_out.append({value.expr})")
+        elif op == _OP_NOP:
+            pass
+        elif op == _OP_JIF or op == _OP_JIT:
+            self._branch_atom = vstack.pop()
+        elif op == _OP_JUMP:
+            pass
+        else:  # pragma: no cover - verifier rejects unknown opcodes
+            raise _Bail(f"unknown opcode {op}")
+
+    def _eq_conds(self, l: _Atom, r: _Atom) -> tuple[str, str]:
+        """The interpreter's EQ: ``==`` when both sides are ints,
+        identity otherwise.  Literal operands let the type test fold."""
+        if l.lit is not None and r.lit is not None:
+            return ("True", "False") if l.lit == r.lit else ("False", "True")
+        if l.isnull and r.isnull:
+            return "True", "False"
+        for lit, other in ((l, r), (r, l)):
+            if lit.isnull:
+                return f"({other.expr} is None)", f"({other.expr} is not None)"
+            if lit.lit is not None:
+                eq = f"(isinstance({other.expr}, int) and {other.expr} == {lit.expr})"
+                ne = f"(not isinstance({other.expr}, int) or {other.expr} != {lit.expr})"
+                return eq, ne
+        eq = (
+            f"(({l.expr} == {r.expr})"
+            f" if (isinstance({l.expr}, int) and isinstance({r.expr}, int))"
+            f" else ({l.expr} is {r.expr}))"
+        )
+        ne = (
+            f"(({l.expr} != {r.expr})"
+            f" if (isinstance({l.expr}, int) and isinstance({r.expr}, int))"
+            f" else ({l.expr} is not {r.expr}))"
+        )
+        return eq, ne
+
+    # -- call sites -------------------------------------------------------------
+
+    def _emit_call(self, pc, op, a, b, entry, vstack) -> bool:
+        """Emit one call site.  Leaf-eligible targets are inlined per
+        guarded receiver slot — pure leaf bodies expand textually into
+        the caller, the rest call the compiled leaf closure (the
+        interpreter's frame-free fast path) — and everything else exits
+        to the interpreter.  Returns True when the arm continues past
+        the site."""
+        w = self._w
+        virtual = op == _OP_CALL_VIRTUAL
+        nargs = b + 1 if virtual else b
+        if virtual:
+            rv = self._selector_returns(a)
+        else:
+            idx = a if entry is None else entry[icmod.S_INDEX]
+            rv = self.program.functions[idx].returns_value
+        always_exit = (
+            not self.inline_leaves
+            or (virtual and entry is None)
+            or (virtual and rv is None)
+        )
+        if always_exit:
+            self.exit_sites += 1
+            self._exit(pc, vstack, "jit_call_exits")
+            return False
+        self.has_inline = True
+        self.inline_sites += 1
+        self.uses.add("room")
+        self._bake("_LF", icmod.LEAF_FAIL)
+        csc = self.call_virtual_cost if virtual else self.call_static_cost
+        # The interpreter's dispatch charges one step at the call pc and
+        # its arm raises StepLimit on the incremented count; mirror the
+        # check (uncharged de-opt → exact replay).
+        w(f"if steps + 1 >= {self.max_steps}:")
+        self.indent += 1
+        self._exit(pc, vstack, "jit_deopts")
+        self.indent -= 1
+        # Pin compound argument atoms up front: every guard branch below
+        # must see the same caller stack (a temp emitted inside one
+        # branch would be unbound along the others).
+        for i in range(len(vstack) - nargs, len(vstack)):
+            vstack[i] = self._pin(vstack[i])
+        tres = self._new_tmp() if rv else None
+        if virtual:
+            recv = vstack[-nargs]
+            ename = self._bake(f"_e{pc}", entry)
+            guards = icmod.guard_classes(entry)
+            if not guards:  # pragma: no cover - quickened entries bind slot 0
+                self.exit_sites += 1
+                self._exit(pc, vstack, "jit_call_exits")
+                return False
+            w(f"if {recv.expr} is None:")
+            self.indent += 1
+            self._exit(pc, vstack, "jit_guard_exits")
+            self.indent -= 1
+            w(f"_rc = {recv.expr}.class_index")
+            for i, (class_index, method_slot, cell) in enumerate(guards):
+                kw = "if" if i == 0 else "elif"
+                cname = self._bake(f"_c{i}_{pc}", cell)
+                w(f"{kw} _rc == {class_index}:")
+                self.indent += 1
+                self._emit_callee(
+                    pc, vstack, nargs, entry[method_slot],
+                    f"{ename}[{method_slot}]", cname, csc, tres, rv,
+                    raw_static=None, tag=f"{i}_{pc}",
+                )
+                self.indent -= 1
+            w("else:")
+            self.indent += 1
+            self._exit(pc, vstack, "jit_guard_exits")
+            self.indent -= 1
+        elif entry is not None:
+            ename = self._bake(f"_e{pc}", entry)
+            self._emit_callee(
+                pc, vstack, nargs, entry[icmod.S_METHOD],
+                f"{ename}[{icmod.S_METHOD}]", None, csc, tres, rv,
+                raw_static=None, tag=f"s{pc}",
+            )
+        else:
+            self.uses.add("m")
+            self._bake("_m", self.cache.methods)
+            self._emit_callee(
+                pc, vstack, nargs, self.cache.methods[a], f"_m[{a}]",
+                None, csc, tres, rv, raw_static=a, tag=f"s{pc}",
+            )
+        if nargs:
+            del vstack[len(vstack) - nargs:]
+        if rv:
+            vstack.append(_Atom(tres, simple=True))
+        self.arm_progress = True
+        return True
+
+    def _emit_callee(
+        self, pc, vstack, nargs, callee, resolver, cellname, csc, tres, rv,
+        raw_static, tag,
+    ) -> None:
+        """Emit the body of one guarded call target, leaving the result
+        (if any) in ``tres``.
+
+        When the target's leaf template is pure — a compiled closure
+        exists and the executed prefix never writes the heap — the body
+        is expanded textually into the caller under an identity guard on
+        the baked leaf tuple, eliding the closure call (and its argument
+        tuple) entirely.  The identity guard also keeps adaptive
+        recompiles honest: a replaced callee publishes a fresh leaf
+        tuple, so the site exits until the manager re-jits the caller.
+        Other targets go through the generic guarded leaf-template
+        call."""
+        w = self._w
+        w(f"_c = {resolver}")
+        leaf = callee.leaf if callee is not None else None
+        args = vstack[len(vstack) - nargs:] if nargs else []
+        if leaf is not None and self._leaf_pure(leaf):
+            lname = self._bake(f"_lf{tag}", leaf)
+            w(f"if _c.leaf is not {lname} or not _room:")
+            self.indent += 1
+            self._exit(pc, vstack, "jit_call_exits")
+            self.indent -= 1
+            w(f"if time + {csc + leaf[icmod.L_COST]} >= next_tick:")
+            self.indent += 1
+            self._exit(pc, vstack, "jit_deopts")
+            self.indent -= 1
+            result = self._sim_leaf(pc, vstack, leaf, args)
+            if cellname is not None:
+                w(f"{cellname}[0] += 1")
+            w(f"time += {csc + leaf[icmod.L_FN_COST]}")
+            w(f"steps += {1 + leaf[icmod.L_FN_STEPS]}")
+            if rv:
+                w(f"{tres} = {result.expr}")
+        else:
+            arglist = ", ".join(x.expr for x in args)
+            t = tres if rv else self._new_tmp()
+            w("_lf = _c.leaf")
+            w("if _lf is None or not _room:")
+            self.indent += 1
+            self._exit(pc, vstack, "jit_call_exits")
+            self.indent -= 1
+            w(f"if time + {csc} + _lf[0] >= next_tick:")
+            self.indent += 1
+            self._exit(pc, vstack, "jit_deopts")
+            self.indent -= 1
+            w("_fn = _lf[6]")
+            w("if _fn is not None:")
+            self.indent += 1
+            w(f"{t} = _fn(({arglist}{',' if args else ''}), 0)")
+            w(f"if {t} is _LF:")
+            self.indent += 1
+            self._exit(pc, vstack, "jit_guard_exits")
+            self.indent -= 1
+            if cellname is not None:
+                w(f"{cellname}[0] += 1")
+            w(f"time += {csc} + _lf[7]")
+            w("steps += 1 + _lf[8]")
+            self.indent -= 1
+            w("else:")
+            self.indent += 1
+            # Branching leaf bodies have no compiled closure; evaluate
+            # the template like the interpreter's arm does (undoes its
+            # writes and returns None on a would-be fault → generic
+            # replay).
+            self.uses.add("ev")
+            w(f"_res = _ev(_lf, [{arglist}], 0)")
+            w("if _res is None:")
+            self.indent += 1
+            self._exit(pc, vstack, "jit_call_exits")
+            self.indent -= 1
+            w(f"{t} = _res[0]")
+            if cellname is not None:
+                w(f"{cellname}[0] += 1")
+            w(f"time += {csc} + _res[1]")
+            w("steps += 1 + _res[2]")
+            self.indent -= 1
+        w("call_count += 1")
+        w("_leaf += 1")
+        if raw_static is not None:
+            # Raw static site: the interpreter's raw arm would mark the
+            # callee executed; the quickened arms never reach here first.
+            self.uses.add("seen")
+            w(f"if not _seen[{raw_static}]:")
+            w(f"    _seen[{raw_static}] = True")
+            w("    vm.methods_executed += 1")
+
+    def _leaf_pure(self, leaf) -> bool:
+        """True when the leaf's executed prefix can expand textually: a
+        compiled closure exists (its charge constants are exact and the
+        prefix is jump-free) and every op before the first return is
+        side-effect-free."""
+        if leaf[icmod.L_FN] is None:
+            return False
+        for lop in leaf[icmod.L_OPS]:
+            if lop == _OP_RETURN or lop == _OP_RETURN_VAL:
+                return True
+            if lop not in _PURE_LEAF_OPS:
+                return False
+        return False  # pragma: no cover - leaf bodies end in a return
+
+    def _sim_leaf(self, pc, vstack, leaf, args) -> _Atom | None:
+        """Expand a pure leaf body textually at the call site.
+
+        Callee parameters map to the caller's (already pinned) argument
+        atoms; extra callee locals start at 0, like a fresh frame.
+        Fault preconditions — null field access, division by zero —
+        exit at the call pc with nothing to roll back, so the
+        interpreter replays the call generically and faults with a real
+        frame, exactly as the closure's LEAF_FAIL path does.  The check
+        order may differ from the closure's, but with no side effects
+        the completion predicate (and therefore every observable) is
+        identical.  Returns the result atom, or None for a void
+        return."""
+        w = self._w
+        lops = leaf[icmod.L_OPS]
+        la = leaf[icmod.L_A]
+        locals_ = list(args)
+        while len(locals_) < leaf[icmod.L_NUM_LOCALS]:
+            locals_.append(_lit_atom(0))
+        ts: list[_Atom] = []
+        for j, lop in enumerate(lops):
+            arg = la[j]
+            if lop == _OP_LOAD:
+                ts.append(locals_[arg])
+            elif lop == _OP_PUSH:
+                ts.append(_lit_atom(arg))
+            elif lop == _OP_PUSH_NULL:
+                ts.append(_Atom("None", simple=True, isnull=True))
+            elif lop == _OP_POP:
+                ts.pop()
+            elif lop == _OP_DUP:
+                top = self._pin(ts[-1])
+                ts[-1] = top
+                ts.append(top)
+            elif lop == _OP_STORE:
+                # Callee locals are simulation state only; pin compound
+                # values so a reloaded slot never re-evaluates.
+                locals_[arg] = self._pin(ts.pop())
+            elif lop in _BINOP:
+                r = ts.pop()
+                l = ts.pop()
+                if l.lit is not None and r.lit is not None:
+                    folded = {
+                        _OP_ADD: l.lit + r.lit,
+                        _OP_SUB: l.lit - r.lit,
+                        _OP_MUL: l.lit * r.lit,
+                    }[lop]
+                    ts.append(_lit_atom(folded))
+                else:
+                    ts.append(
+                        _Atom(
+                            f"({l.expr} {_BINOP[lop]} {r.expr})",
+                            deps=l.deps | r.deps,
+                        )
+                    )
+            elif lop in _CMP:
+                r = ts.pop()
+                l = ts.pop()
+                sym, nsym = _CMP[lop]
+                cond = f"({l.expr} {sym} {r.expr})"
+                ts.append(
+                    _Atom(
+                        f"(1 if {cond} else 0)", deps=l.deps | r.deps,
+                        cond=cond, ncond=f"({l.expr} {nsym} {r.expr})",
+                    )
+                )
+            elif lop == _OP_EQ or lop == _OP_NE:
+                r = self._pin(ts.pop())
+                l = self._pin(ts.pop())
+                cond, ncond = self._eq_conds(l, r)
+                if lop == _OP_NE:
+                    cond, ncond = ncond, cond
+                ts.append(
+                    _Atom(f"(1 if {cond} else 0)", cond=cond, ncond=ncond)
+                )
+            elif lop == _OP_NEG:
+                x = ts.pop()
+                if x.lit is not None:
+                    ts.append(_lit_atom(-x.lit))
+                else:
+                    ts.append(_Atom(f"(-{x.expr})", deps=x.deps))
+            elif lop == _OP_NOT:
+                x = ts.pop()
+                if x.lit is not None:
+                    ts.append(_lit_atom(0 if x.lit != 0 else 1))
+                else:
+                    ts.append(
+                        _Atom(
+                            f"(0 if {x.expr} != 0 else 1)", deps=x.deps,
+                            cond=f"({x.expr} == 0)", ncond=f"({x.expr} != 0)",
+                        )
+                    )
+            elif lop == _OP_GETFIELD:
+                obj = self._pin(ts.pop())
+                w(f"if {obj.expr} is None:")
+                self.indent += 1
+                self._exit(pc, vstack, "jit_guard_exits")
+                self.indent -= 1
+                t = self._new_tmp()
+                w(f"{t} = {obj.expr}.fields[{arg}]")
+                ts.append(_Atom(t, simple=True))
+            elif lop == _OP_IS_EXACT:
+                obj = self._pin(ts.pop())
+                cond = (
+                    f"({obj.expr} is not None"
+                    f" and {obj.expr}.class_index == {arg})"
+                )
+                ts.append(
+                    _Atom(
+                        f"(1 if {cond} else 0)", cond=cond,
+                        ncond=f"not {cond}",
+                    )
+                )
+            elif lop == _OP_DIV or lop == _OP_MOD:
+                r = self._pin(ts.pop())
+                l = self._pin(ts.pop())
+                if not (r.lit is not None and r.lit != 0):
+                    w(f"if {r.expr} == 0:")
+                    self.indent += 1
+                    self._exit(pc, vstack, "jit_guard_exits")
+                    self.indent -= 1
+                q = self._new_tmp()
+                w(f"{q} = abs({l.expr}) // abs({r.expr})")
+                w(f"if ({l.expr} < 0) != ({r.expr} < 0):")
+                w(f"    {q} = -{q}")
+                if lop == _OP_DIV:
+                    ts.append(_Atom(q, simple=True))
+                else:
+                    t = self._new_tmp()
+                    w(f"{t} = {l.expr} - {q} * {r.expr}")
+                    ts.append(_Atom(t, simple=True))
+            elif lop == _OP_NOP:
+                pass
+            elif lop == _OP_RETURN_VAL:
+                return ts.pop()
+            else:  # RETURN — terminal for the executed prefix
+                return None
+        raise AssertionError(
+            "pure leaf without terminal return"
+        )  # pragma: no cover
+
+    # -- assembly ---------------------------------------------------------------
+
+    def compile(self) -> JitCode | None:
+        self._decode()
+        self._analyze()
+        method = self.method
+        # Decide up front whether any exit must flush the inline-leaf
+        # counter: a loop can run an inlined call and later leave
+        # through an exit emitted *before* that call site.
+        self.has_inline = self.inline_leaves and any(
+            rec is not None and rec[0] in (_OP_CALL_STATIC, _OP_CALL_VIRTUAL)
+            for rec in self.recs
+        )
+        for leader in sorted(self.leaders):
+            prefix = "if" if leader == min(self.leaders) else "elif"
+            self._w(f"{prefix} _b == {leader}:")
+            self.indent += 1
+            self._emit_arm(leader)
+            self.indent -= 1
+        self._w("else:")
+        self._w("    raise RuntimeError('jit: no arm for pc %d' % _b)")
+
+        entry0 = 0 not in self.zero_progress
+        entries = frozenset(self.osr_targets - self.zero_progress)
+        if not entry0 and not entries:
+            return None
+
+        preamble = ["    _stack = frame.stack"]
+        n = method.num_locals
+        if n:
+            preamble.append("    _L = frame.locals")
+            names = ", ".join(f"l{i}" for i in range(n))
+            preamble.append(f"    {names}{',' if n == 1 else ''} = _L")
+        if "seen" in self.uses:
+            preamble.append("    _seen = vm._seen")
+        if "out" in self.uses:
+            preamble.append("    _out = vm.output")
+        if "vt" in self.uses:
+            preamble.append("    _vt = vm.vtables")
+        if "fd" in self.uses:
+            preamble.append("    _fd = vm.class_field_defaults")
+        if "paths" in self.uses:
+            preamble.append("    _p = vm.path_tracker")
+        if "room" in self.uses:
+            preamble.append(f"    _room = len(vm.frames) < {self.max_frames}")
+        if "ev" in self.uses:
+            preamble.append("    _ev = vm._eval_leaf")
+        if self.has_inline:
+            preamble.append("    _leaf = 0")
+        preamble.append("    _b = frame.pc")
+        preamble.append("    while True:")
+
+        fname = f"_jit_{method.index}"
+        params = "vm, frame, time, steps, call_count, next_tick"
+        baked_names = sorted(self.baked)
+        if baked_names:
+            params += ", " + ", ".join(f"{b}={b}" for b in baked_names)
+        source = "\n".join(
+            [f"def {fname}({params}):", *preamble, *self.lines, ""]
+        )
+        namespace = dict(self.baked)
+        namespace["__builtins__"] = {
+            "len": len, "abs": abs, "isinstance": isinstance, "int": int,
+            "RuntimeError": RuntimeError,
+        }
+        exec(compile(source, f"<jit:{method.index}>", "exec"), namespace)
+        fn = namespace[fname]
+        return JitCode(
+            fn=fn,
+            entry0=entry0,
+            entries=entries,
+            sig=jit_sig(self.inline_leaves, self.emit_paths),
+            ic_sig=ic_signature(method),
+            source=source,
+            fused_expanded=self.fused_expanded,
+            inline_sites=self.inline_sites,
+            exit_sites=self.exit_sites,
+        )
+
+
+def compile_method(
+    method, program, cache, config, *, inline_leaves: bool, emit_paths: bool
+) -> JitCode | None:
+    """Template-compile one method; None when ineligible (too long,
+    irregular stack shape, or no entry point would make progress)."""
+    try:
+        return _Compiler(
+            method, program, cache, config, inline_leaves, emit_paths
+        ).compile()
+    except _Bail:
+        return None
+
+
+def compile_into(vm, method) -> bool:
+    """Compile ``method`` for the running interpreter's hook
+    configuration and install the body on the method; bumps
+    ``vm.jit_compiles`` on success."""
+    sig = vm_jit_sig(vm)
+    code = compile_method(
+        method,
+        vm.program,
+        vm.code_cache,
+        vm.config,
+        inline_leaves=sig & 1 != 0,
+        emit_paths=sig & 2 != 0,
+    )
+    if code is None:
+        return False
+    method.jit = code
+    vm.jit_compiles += 1
+    return True

@@ -1,0 +1,68 @@
+"""Plain-run JIT policy: eager compile, tick-driven refresh.
+
+In plain (non-adaptive) runs the quickened streams already exist when
+``run()`` starts, so the manager compiles every eligible method up
+front and then watches inline caches from the tick hook: a site that
+quickens (or grows a second receiver class) after compile invalidates
+the baked guards' coverage, and the method is recompiled against the
+fresh IC snapshot.  Recompilation is host work on the host clock — like
+fusion planning, it charges no virtual time and emits no events, so
+observables stay bit-identical with ``--no-jit``.
+
+Adaptive runs skip this manager entirely: `adaptive/controller.py`
+promotes individual level-2 methods through :func:`compile_into`
+(path-hot first) from its own tick hook.
+"""
+
+from __future__ import annotations
+
+from repro.vm.jit.compiler import compile_into, ic_signature, vm_jit_sig
+
+#: Give up on a method after this many compile attempts (eager + IC
+#: refreshes); bounds host-side work on megamorphic churn.
+MAX_ATTEMPTS = 4
+
+
+class JitManager:
+    __slots__ = ("vm", "attempts")
+
+    def __init__(self, vm):
+        self.vm = vm
+        self.attempts: dict[int, int] = {}
+
+    def attach(self) -> None:
+        """Compile everything eligible and hook the virtual timer."""
+        for method in self.vm.code_cache.methods:
+            self.consider(method)
+        previous = self.vm.tick_hook
+        if previous is None:
+            self.vm.tick_hook = self.on_tick
+        else:
+
+            def chained(vm, _previous=previous, _jit=self.on_tick):
+                _previous(vm)
+                _jit(vm)
+
+            self.vm.tick_hook = chained
+
+    def on_tick(self, vm) -> None:
+        for method in vm.code_cache.methods:
+            self.consider(method)
+
+    def consider(self, method) -> None:
+        """(Re)compile when the method has no current body: never
+        compiled, compiled under different hooks, or its IC snapshot
+        moved since the guards were baked."""
+        jrec = method.jit
+        if (
+            jrec is not None
+            and jrec.sig == vm_jit_sig(self.vm)
+            and jrec.ic_sig == ic_signature(method)
+        ):
+            return
+        index = method.index
+        tries = self.attempts.get(index, 0)
+        if tries >= MAX_ATTEMPTS:
+            return
+        self.attempts[index] = tries + 1
+        compile_into(self.vm, method)

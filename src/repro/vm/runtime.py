@@ -80,6 +80,7 @@ class CompiledMethod:
         "returns_value",
         "size_bytes",
         "pathinfo",
+        "jit",
     )
 
     def __init__(
@@ -104,6 +105,9 @@ class CompiledMethod:
         #: Lazily built Ball-Larus numbering/tables cache (see
         #: repro.profiling.paths.method_tables).
         self.pathinfo: dict | None = None
+        #: Opt-level-3 compiled body (repro.vm.jit.JitCode), installed
+        #: by the JIT manager / adaptive controller.
+        self.jit = None
         if not fuse:
             fused = None
         elif path_heat is not None:

@@ -37,9 +37,13 @@ end
 
 def test_matrix_shape():
     cells = matrix_cells("none")
-    assert len(cells) == 10
-    assert sum(1 for c in cells if c.telemetry) == 3
-    assert {(c.fuse, c.ic) for c in cells if not c.telemetry and not c.paths} == {
+    assert len(cells) == 13
+    assert sum(1 for c in cells if c.telemetry) == 4
+    assert {
+        (c.fuse, c.ic)
+        for c in cells
+        if not c.telemetry and not c.paths and not c.jit
+    } == {
         (False, False), (False, True), (True, False), (True, True),
     }
     flight_cells = [c for c in cells if c.flight]
@@ -48,11 +52,21 @@ def test_matrix_shape():
     assert flight_cells[0].describe().endswith("+telemetry+flight")
     # Path cells: every group carries an exhaustive rider; the "none"
     # group adds the cheaper modes for the exhaustive==mincov and
-    # CBS-subset cross-checks.
-    assert [c.paths for c in cells if c.paths] == ["exhaustive", "mincov", "cbs"]
+    # CBS-subset cross-checks, plus a paths+JIT cell.
+    assert [c.paths for c in cells if c.paths] == [
+        "exhaustive", "mincov", "cbs", "cbs",
+    ]
     assert all(c.fuse and c.ic for c in cells if c.paths)
     paths_cell = next(c for c in cells if c.paths == "mincov")
     assert paths_cell.describe().endswith("paths-mincov")
+    # JIT cells ride the fully-featured corner: silent, with telemetry,
+    # and (in this group) with a CBS path tracker.
+    jit_cells = [c for c in cells if c.jit]
+    assert len(jit_cells) == 3
+    assert all(c.fuse and c.ic for c in jit_cells)
+    assert sum(1 for c in jit_cells if c.telemetry) == 1
+    assert sum(1 for c in jit_cells if c.paths == "cbs") == 1
+    assert jit_cells[0].describe().endswith("+jit")
 
 
 def test_clean_program_has_no_violations():

@@ -1,0 +1,373 @@
+"""Differential suite: the opt-level-3 template JIT is bit-identical to
+the interpreter, including every de-optimization path.
+
+The JIT is a host-level execution strategy.  Everything the paper's
+experiments measure — virtual time, timer ticks, step counts, call
+counts, DCG edge weights, guest fault transcripts — must be unaffected
+by it.  Every test here runs the same program twice, once with
+``jit=True`` and once with ``jit=False``, and asserts the observable
+states match exactly (no tolerances).
+
+The deopt paths are the dangerous part, so they get targeted tests:
+
+* **tick boundaries** — a JIT'd segment must bail *before* crossing a
+  tick so the tick fires at the interpreter's exact step/time, with
+  tiny prime timer intervals to land ticks mid-body constantly;
+* **IC guard failure** — receiver classes baked into the generated
+  code as compile-time constants stop matching when a site goes
+  polymorphic after compilation, and the exit must hand the
+  interpreter a coherent frame at the call pc;
+* **guest faults** — division by zero and null field access inside a
+  JIT'd body must produce the same error, pc, and synced counters as
+  the interpreter, including the segment-charge give-back for ops the
+  raw run never executed.
+
+The only permitted difference is the JIT bookkeeping itself: the
+``jit_*`` counters on the VM and the ``jit.*`` metric keys in
+telemetry snapshots.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.benchsuite.suite import program_for
+from repro.bytecode.assembler import assemble
+from repro.frontend.codegen import compile_source
+from repro.profiling.cbs import CBSProfiler
+from repro.profiling.exhaustive import ExhaustiveProfiler
+from repro.profiling.timer_sampler import TimerProfiler
+from repro.vm.config import config_named
+from repro.vm.errors import DivisionByZeroError, NullPointerError
+from repro.vm.interpreter import Interpreter
+
+PROFILERS = {
+    "none": lambda: None,
+    "exhaustive": ExhaustiveProfiler,
+    "timer": TimerProfiler,
+    "cbs": lambda: CBSProfiler(stride=3, samples_per_tick=16, seed=7),
+}
+
+
+def _run(program, config, make_profiler):
+    vm = Interpreter(program, config)
+    profiler = make_profiler()
+    if isinstance(profiler, ExhaustiveProfiler):
+        profiler.install(vm)  # call observer, not a sampling profiler
+    elif profiler is not None:
+        vm.attach_profiler(profiler)
+    vm.run()
+    return vm, profiler
+
+
+def _state(vm, profiler):
+    dcg = profiler.dcg.edges() if profiler is not None else None
+    return {
+        "output": list(vm.output),
+        "time": vm.time,
+        "steps": vm.steps,
+        "ticks": vm.ticks,
+        "calls": vm.call_count,
+        "methods": vm.methods_executed,
+        "ic_misses": vm.ic_misses,
+        "ic_transitions": vm.ic_transitions,
+        "dcg": dcg,
+    }
+
+
+def assert_exit_accounting(vm):
+    """Every JIT entry leaves through exactly one exit."""
+    assert (
+        vm.jit_entries + vm.jit_osr_entries
+        == vm.jit_deopts
+        + vm.jit_guard_exits
+        + vm.jit_call_exits
+        + vm.jit_return_exits
+    )
+
+
+def assert_jit_identical(program, vm_name="jikes", profiler="none", **overrides):
+    jit_cfg = config_named(vm_name, jit=True, **overrides)
+    plain_cfg = config_named(vm_name, jit=False, **overrides)
+    make = PROFILERS[profiler]
+    jit_vm, jit_prof = _run(program, jit_cfg, make)
+    plain_vm, plain_prof = _run(program, plain_cfg, make)
+    assert _state(jit_vm, jit_prof) == _state(plain_vm, plain_prof)
+    # The JIT'd run actually compiled and entered generated code
+    # (otherwise this suite proves nothing) and the plain run never did.
+    assert jit_vm.jit_compiles > 0
+    assert jit_vm.jit_entries + jit_vm.jit_osr_entries > 0
+    assert plain_vm.jit_compiles == 0
+    assert plain_vm.jit_entries == plain_vm.jit_osr_entries == 0
+    assert_exit_accounting(jit_vm)
+    return jit_vm, plain_vm
+
+
+# -- tick-boundary deopt ----------------------------------------------------------
+
+HOT_LOOP = """
+def main() {
+  var total = 0;
+  for (var i = 0; i < 6000; i = i + 1) {
+    total = (total + i * 3 - (i / 7)) % 99991;
+  }
+  print(total);
+}
+"""
+
+
+@pytest.mark.parametrize("interval", [97, 523, 1009])
+def test_tick_boundary_deopt(interval):
+    """Tiny prime intervals land ticks inside JIT'd segments constantly;
+    the generated code must bail to the interpreter at the segment head
+    so the tick fires at the exact interpreted step/time."""
+    program = compile_source(HOT_LOOP)
+    jit_vm, _ = assert_jit_identical(
+        program, "jikes", "cbs", timer_interval=interval
+    )
+    assert jit_vm.jit_deopts > 0
+
+
+def test_tick_boundary_deopt_timer_profiler():
+    program = compile_source(HOT_LOOP)
+    jit_vm, _ = assert_jit_identical(program, "jikes", "timer", timer_interval=97)
+    assert jit_vm.jit_deopts > 0
+
+
+# -- IC guard failure -------------------------------------------------------------
+
+PHASE_CHANGE = """
+class A { def get(): int { return 3; } }
+class B extends A { def get(): int { return 5; } }
+class C extends A { def get(): int { return 7; } }
+
+def probe(obj: A): int {
+  return obj.get() + 1;
+}
+
+def main() {
+  var a = new A();
+  var b = new B();
+  var c = new C();
+  var total = 0;
+  for (var i = 0; i < 4000; i = i + 1) {
+    var obj = a;
+    if (i % 2 == 1) { obj = b; }
+    if (i > 3000) { obj = c; }
+    total = total + probe(obj);
+  }
+  print(total);
+}
+"""
+
+
+def test_ic_guard_failure_exits():
+    """The call site in ``probe`` is compiled while the IC holds {A, B};
+    once ``C`` shows up the baked class guards stop matching and the
+    generated code must exit at the call pc with a coherent frame."""
+    program = compile_source(PHASE_CHANGE)
+    jit_vm, _ = assert_jit_identical(program, "jikes", "cbs")
+    assert jit_vm.jit_guard_exits > 0
+
+
+def test_ic_guard_failure_exits_no_profiler():
+    program = compile_source(PHASE_CHANGE)
+    jit_vm, _ = assert_jit_identical(program)
+    assert jit_vm.jit_guard_exits > 0
+
+
+# -- hand-assembled: guard failure AND tick boundary in one body ------------------
+
+ASSEMBLED = """
+class A fields x
+class B extends A fields y
+method A.get/1 locals=1
+  LOAD 0
+  GETFIELD A.x
+  RETURN_VAL
+end
+method B.get/1 locals=1
+  LOAD 0
+  GETFIELD B.y
+  RETURN_VAL
+end
+func hot/2 locals=4
+  PUSH 0
+  STORE 1
+  PUSH 0
+  STORE 2
+label outer
+  LOAD 1
+  PUSH 40
+  LT
+  JUMP_IF_FALSE done
+  PUSH 0
+  STORE 3
+label inner
+  LOAD 3
+  PUSH 200
+  LT
+  JUMP_IF_FALSE icall
+  LOAD 2
+  LOAD 3
+  PUSH 3
+  MUL
+  ADD
+  PUSH 9973
+  MOD
+  STORE 2
+  LOAD 3
+  PUSH 1
+  ADD
+  STORE 3
+  JUMP inner
+label icall
+  LOAD 2
+  LOAD 0
+  CALL_VIRTUAL get 0
+  ADD
+  STORE 2
+  LOAD 1
+  PUSH 1
+  ADD
+  STORE 1
+  JUMP outer
+label done
+  LOAD 2
+  RETURN_VAL
+end
+func main/0 locals=2 void
+  NEW A
+  STORE 0
+  LOAD 0
+  PUSH 3
+  PUTFIELD A.x
+  NEW B
+  STORE 1
+  LOAD 1
+  PUSH 5
+  PUTFIELD B.y
+  LOAD 0
+  CALL_STATIC hot 1
+  PRINT
+  LOAD 1
+  CALL_STATIC hot 1
+  PRINT
+  RETURN
+end
+"""
+
+
+@pytest.mark.parametrize("interval", [211, 997])
+def test_assembled_guard_and_tick_deopt(interval):
+    """Hand-assembled hot method: first call monomorphizes the site on
+    ``A``, the second call feeds it ``B`` receivers, and tiny intervals
+    put tick boundaries mid-body throughout."""
+    program = assemble(ASSEMBLED)
+    jit_vm, _ = assert_jit_identical(
+        program, "jikes", "cbs", timer_interval=interval
+    )
+    assert jit_vm.jit_deopts > 0
+
+
+# -- guest faults inside JIT'd bodies ---------------------------------------------
+
+DIV_FAULT = """
+def main() {
+  var total = 0;
+  var d = 5000;
+  for (var i = 0; i < 6000; i = i + 1) {
+    total = total + 1000 / (d - i);
+  }
+  print(total);
+}
+"""
+
+NULL_FAULT = """
+class Node {
+  var v: int;
+}
+
+def main() {
+  var n = new Node();
+  n.v = 2;
+  var total = 0;
+  for (var i = 0; i < 6000; i = i + 1) {
+    total = total + n.v;
+    if (i == 5000) { n = null; }
+  }
+  print(total);
+}
+"""
+
+
+def _fail(program, exc_type, jit, **overrides):
+    vm = Interpreter(program, config_named("jikes", jit=jit, **overrides))
+    with pytest.raises(exc_type) as excinfo:
+        vm.run()
+    error = excinfo.value
+    transcript = (
+        type(error).__name__,
+        str(error),
+        error.function,
+        error.pc,
+        tuple(vm.output),
+        vm.steps,
+        vm.time,
+        vm.ticks,
+        vm.call_count,
+    )
+    return transcript, vm
+
+
+@pytest.mark.parametrize(
+    "source,exc_type",
+    [
+        pytest.param(DIV_FAULT, DivisionByZeroError, id="div-zero"),
+        pytest.param(NULL_FAULT, NullPointerError, id="null-field"),
+    ],
+)
+def test_fault_transcripts_synced(source, exc_type):
+    """A fault thrown from deep inside a JIT'd body must match the
+    interpreter's error, pc, output, and live counters exactly — the
+    segment lump-charge must be given back for ops never executed."""
+    program = compile_source(source)
+    jit_transcript, jit_vm = _fail(program, exc_type, jit=True)
+    plain_transcript, _ = _fail(program, exc_type, jit=False)
+    assert jit_transcript == plain_transcript
+    # The fault genuinely interrupted generated code, not the warmup.
+    assert jit_vm.jit_compiles > 0
+    assert jit_vm.jit_entries + jit_vm.jit_osr_entries > 0
+
+
+@pytest.mark.parametrize("interval", [97, 1009])
+def test_fault_transcripts_synced_small_intervals(interval):
+    program = compile_source(DIV_FAULT)
+    jit_transcript, _ = _fail(
+        program, DivisionByZeroError, jit=True, timer_interval=interval
+    )
+    plain_transcript, _ = _fail(
+        program, DivisionByZeroError, jit=False, timer_interval=interval
+    )
+    assert jit_transcript == plain_transcript
+
+
+# -- benchsuite spot checks -------------------------------------------------------
+
+
+@pytest.mark.parametrize("name", ["jess", "compress", "mtrt"])
+@pytest.mark.parametrize("profiler", ["none", "cbs"])
+def test_benchsuite_identical(name, profiler):
+    assert_jit_identical(program_for(name, "tiny"), "jikes", profiler)
+
+
+def test_benchsuite_identical_j9():
+    assert_jit_identical(program_for("javac", "tiny"), "j9", "cbs")
+
+
+def test_large_size_spot_check():
+    jit_vm, _ = assert_jit_identical(program_for("jess", "small"), "jikes", "cbs")
+    # A real workload exercises every exit class.
+    assert jit_vm.jit_deopts > 0
+    assert jit_vm.jit_call_exits > 0
+    assert jit_vm.jit_return_exits > 0
