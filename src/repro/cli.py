@@ -14,7 +14,11 @@ Usage::
                                 [--metrics-port P] [--flight-dump PATH]
                                 [--no-flight]
     repro-mini serve [--host H] [--port P] [--root DIR] [--decay F]
+                     [--workers N] [--coalesce] [--rate R] [--burst B]
                      [--http-port P] [--trace FILE]
+    repro-mini fleet-bench [--publishers N] [--batches B] [--edges E]
+                           [--workers N] [--jobs J] [--quick] [--json]
+                           [--write PATH] [--check PATH]
     repro-mini top HOST:PORT [--interval S] [--once]
     repro-mini report trace_file [--json] [--no-histograms]
     repro-mini bench [--benchmarks a,b] [--profilers cbs,timer] [--seeds 1,2]
@@ -507,9 +511,12 @@ def _cmd_serve(args) -> int:
     from repro.fleet.service import run_service
 
     def ready(address):
+        shape = (
+            f"{args.workers} shard workers" if args.workers > 1 else "single process"
+        )
         print(
             f"-- fleet service listening on {address[0]}:{address[1]} "
-            f"(repository {args.root})",
+            f"(repository {args.root}, {shape})",
             file=sys.stderr,
             flush=True,
         )
@@ -533,8 +540,26 @@ def _cmd_serve(args) -> int:
         tracer = Tracer(clock=lambda: (time.monotonic_ns() - started) // 1000)
 
     try:
-        asyncio.run(
-            run_service(
+        if args.workers > 1:
+            from repro.fleet.shard import run_sharded_service
+
+            serve_coro = run_sharded_service(
+                args.root,
+                args.workers,
+                host=args.host,
+                port=args.port,
+                decay=args.decay,
+                max_edges=args.max_edges,
+                persist_every=args.persist_every,
+                rate=args.rate,
+                burst=args.burst,
+                ready=ready,
+                http_port=args.http_port,
+                http_ready=http_ready if args.http_port is not None else None,
+                telemetry=tracer,
+            )
+        else:
+            serve_coro = run_service(
                 args.root,
                 host=args.host,
                 port=args.port,
@@ -545,8 +570,11 @@ def _cmd_serve(args) -> int:
                 http_port=args.http_port,
                 http_ready=http_ready if args.http_port is not None else None,
                 telemetry=tracer,
+                coalesce=args.coalesce,
+                rate=args.rate,
+                burst=args.burst,
             )
-        )
+        asyncio.run(serve_coro)
     except KeyboardInterrupt:
         print("-- fleet service stopped", file=sys.stderr)
     except (OSError, ValueError, RepositoryError) as error:
@@ -566,6 +594,13 @@ def _cmd_serve(args) -> int:
                     file=sys.stderr,
                 )
     return 0
+
+
+def _cmd_fleet_bench(args) -> int:
+    """Load-test the fleet service: single process vs. sharded workers."""
+    from repro.fleet.bench import run_fleet_bench
+
+    return run_fleet_bench(args)
 
 
 def _cmd_top(args) -> int:
@@ -603,6 +638,36 @@ def _cmd_top(args) -> int:
                 title=f"fleet service @ {args.address}",
             )
         )
+        shard_rows = [
+            [
+                entry.get("shard", "-"),
+                "up" if entry.get("alive", True) else "DOWN",
+                entry.get("routed", 0),
+                entry.get("merges", 0),
+                entry.get("queue_depth", 0),
+                entry.get("coalesce_ratio", 0.0),
+                entry.get("busy_rejections", 0),
+                entry.get("programs", 0),
+            ]
+            for entry in status.get("shards", [])
+        ]
+        if shard_rows:
+            blocks.append(
+                render_table(
+                    [
+                        "Shard",
+                        "State",
+                        "Routed",
+                        "Merges",
+                        "Queue",
+                        "Coalesce",
+                        "Busy",
+                        "Programs",
+                    ],
+                    shard_rows,
+                    title="shards",
+                )
+            )
         program_rows = [
             [
                 fingerprint[:16],
@@ -1140,6 +1205,35 @@ def build_parser() -> argparse.ArgumentParser:
         help="write a snapshot every N merges per program (default 1)",
     )
     serve.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="shard the repository across N worker processes behind a "
+        "routing frontend (default 1: single process)",
+    )
+    serve.add_argument(
+        "--coalesce",
+        action="store_true",
+        help="stage publishes and merge them in coalesced lumps off the "
+        "accept path (always on for --workers > 1)",
+    )
+    serve.add_argument(
+        "--rate",
+        type=float,
+        default=None,
+        metavar="R",
+        help="per-client token-bucket limit: R publishes/sec (busy replies "
+        "with retry_after above it; coalescing modes only)",
+    )
+    serve.add_argument(
+        "--burst",
+        type=float,
+        default=None,
+        metavar="B",
+        help="token-bucket burst depth for --rate (default max(2R, 8))",
+    )
+    serve.add_argument(
         "--http-port",
         type=int,
         default=None,
@@ -1176,6 +1270,49 @@ def build_parser() -> argparse.ArgumentParser:
         "--once", action="store_true", help="print one snapshot and exit"
     )
     top.set_defaults(handler=_cmd_top)
+
+    fleet_bench = commands.add_parser(
+        "fleet-bench",
+        help="replay synthetic publishers against single-process and "
+        "sharded fleet services; report throughput and latency",
+    )
+    fleet_bench.add_argument(
+        "--publishers", type=int, default=1000, help="synthetic publishers"
+    )
+    fleet_bench.add_argument(
+        "--batches", type=int, default=4, help="delta batches per publisher"
+    )
+    fleet_bench.add_argument(
+        "--edges", type=int, default=20, help="edges per delta batch"
+    )
+    fleet_bench.add_argument(
+        "--programs", type=int, default=32, help="distinct program fingerprints"
+    )
+    fleet_bench.add_argument(
+        "--workers", type=int, default=4, help="shard workers for the scaled mode"
+    )
+    fleet_bench.add_argument(
+        "--jobs", type=int, default=8, help="concurrent load connections"
+    )
+    fleet_bench.add_argument(
+        "--quick", action="store_true", help="small fleet / fewer workers"
+    )
+    fleet_bench.add_argument(
+        "--json", action="store_true", help="print the summary as JSON"
+    )
+    fleet_bench.add_argument(
+        "--write", metavar="PATH", help="write the summary JSON to PATH"
+    )
+    fleet_bench.add_argument(
+        "--check", metavar="PATH", help="gate ratios against a baseline JSON"
+    )
+    fleet_bench.add_argument(
+        "--max-regress",
+        type=float,
+        default=0.15,
+        help="allowed fractional ratio regression vs baseline (default 0.15)",
+    )
+    fleet_bench.set_defaults(handler=_cmd_fleet_bench)
 
     report = commands.add_parser(
         "report", help="summarize a telemetry trace written by run --trace"

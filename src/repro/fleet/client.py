@@ -14,7 +14,15 @@ unpublished one.
 After ``max_failures`` consecutive connection failures the publisher
 declares the server dead and drops batches without further connection
 attempts, bounding wasted wall time for fire-and-forget runs against a
-down aggregator.
+down aggregator.  Dead is not forever: every ``revive_every`` dropped
+batches the worker spends one bounded connection probe, so a restarted
+shard regains its publishers within a few batches instead of losing
+them for the life of the run.
+
+Backpressure is distinct from failure: a ``busy`` reply means the
+server is healthy but loaded, so the worker honors its ``retry_after``
+with a bounded sleep and resends — busy replies never count toward
+dead-server detection and never tear down the connection.
 """
 
 from __future__ import annotations
@@ -82,9 +90,14 @@ class FleetPublisher:
         max_failures: int = 3,
         backoff_base: float = 0.05,
         telemetry=None,
+        revive_every: int = 8,
+        max_busy_retries: int = 8,
+        busy_wait_cap: float = 1.0,
     ):
         if every_ticks < 1:
             raise ValueError("every_ticks must be >= 1")
+        if revive_every < 1:
+            raise ValueError("revive_every must be >= 1")
         self.address = address
         self.every_ticks = every_ticks
         self.epoch = epoch
@@ -94,6 +107,9 @@ class FleetPublisher:
         self.io_timeout = io_timeout
         self.max_failures = max_failures
         self.backoff_base = backoff_base
+        self.revive_every = revive_every
+        self.max_busy_retries = max_busy_retries
+        self.busy_wait_cap = busy_wait_cap
 
         self._names = [f.qualified_name for f in program.functions]
         self._class_names = [c.name for c in program.classes]
@@ -111,6 +127,8 @@ class FleetPublisher:
         self.batches_sent = 0
         self.batches_dropped = 0
         self.edges_sent = 0
+        self.busy_backoffs = 0
+        self.revivals = 0
         self.server_dead = False
 
     # -- VM side ------------------------------------------------------------------
@@ -260,6 +278,7 @@ class FleetPublisher:
     def _run_worker(self) -> None:
         sock = None
         failures = 0
+        dead_drops = 0
         try:
             while True:
                 item = self._queue.get()
@@ -267,13 +286,34 @@ class FleetPublisher:
                     break
                 _, seq, delta, receivers, paths = item
                 if self.server_dead:
-                    self.batches_dropped += 1
-                    continue
-                sock, sent = self._send_with_retry(sock, seq, delta, receivers, paths)
-                if sent:
+                    # Bounded revival: drop most batches cheaply, but
+                    # every revive_every-th one spends a single probe
+                    # so a restarted server regains this publisher.
+                    dead_drops += 1
+                    if dead_drops % self.revive_every != 0:
+                        self.batches_dropped += 1
+                        continue
+                    sock = self._probe()
+                    if sock is None:
+                        self.batches_dropped += 1
+                        continue
+                    self.server_dead = False
+                    self.revivals += 1
+                    failures = 0
+                    dead_drops = 0
+                sock, status = self._send_with_retry(
+                    sock, seq, delta, receivers, paths
+                )
+                if status == "ack":
                     failures = 0
                     self.batches_sent += 1
                     self.edges_sent += len(delta)
+                elif status == "busy":
+                    # The server answered: alive, just loaded.  The
+                    # batch is lost (retries exhausted) but this is
+                    # backpressure, not failure.
+                    failures = 0
+                    self.batches_dropped += 1
                 else:
                     failures += 1
                     self.batches_dropped += 1
@@ -289,36 +329,59 @@ class FleetPublisher:
     def _send_with_retry(
         self, sock, seq: int, delta: list, receivers: list, paths: list
     ):
-        """Try to deliver one batch; returns (socket, delivered)."""
+        """Try to deliver one batch; returns ``(socket, status)``.
+
+        ``status`` is ``"ack"`` (delivered), ``"busy"`` (the server
+        applied backpressure through ``max_busy_retries`` resends —
+        alive but loaded), or ``"fail"`` (connection-level failure,
+        counts toward dead-server detection).
+        """
+        message = publish_message(
+            self._fingerprint,
+            delta,
+            run_id=self.run_id,
+            seq=seq,
+            epoch=self.epoch,
+            receivers=receivers,
+            paths=paths,
+            trace_id=self.run_id,
+            span_id=f"{self.run_id}:{seq}",
+        )
+        busy_retries = 0
         for attempt in range(2):  # current connection, then one reconnect
             if sock is None:
                 sock = self._connect()
                 if sock is None:
-                    return None, False
+                    return None, "fail"
             try:
-                send_message(
-                    sock,
-                    publish_message(
-                        self._fingerprint,
-                        delta,
-                        run_id=self.run_id,
-                        seq=seq,
-                        epoch=self.epoch,
-                        receivers=receivers,
-                        paths=paths,
-                        trace_id=self.run_id,
-                        span_id=f"{self.run_id}:{seq}",
-                    ),
-                )
+                send_message(sock, message)
                 reply = recv_message(sock)
-                return sock, reply.get("type") == "ack"
+                while reply.get("type") == "busy":
+                    if busy_retries >= self.max_busy_retries:
+                        return sock, "busy"
+                    busy_retries += 1
+                    self.busy_backoffs += 1
+                    time.sleep(self._retry_after(reply))
+                    send_message(sock, message)
+                    reply = recv_message(sock)
+                if reply.get("type") == "ack":
+                    return sock, "ack"
+                return sock, "fail"
             except (OSError, ProtocolError):
                 try:
                     sock.close()
                 except OSError:
                     pass
                 sock = None
-        return None, False
+        return None, "fail"
+
+    def _retry_after(self, reply: dict) -> float:
+        """The server's requested backoff, clamped to sane bounds."""
+        try:
+            retry_after = float(reply.get("retry_after", self.backoff_base))
+        except (TypeError, ValueError):
+            retry_after = self.backoff_base
+        return min(max(retry_after, 0.001), self.busy_wait_cap)
 
     def _connect(self):
         delay = self.backoff_base
@@ -335,6 +398,17 @@ class FleetPublisher:
                     delay *= 2
         self.server_dead = True
         return None
+
+    def _probe(self):
+        """One revival attempt: a single connect, no backoff loop."""
+        try:
+            sock = socket.create_connection(
+                self.address, timeout=self.connect_timeout
+            )
+            sock.settimeout(self.io_timeout)
+            return sock
+        except OSError:
+            return None
 
     # -- reporting ----------------------------------------------------------------
 

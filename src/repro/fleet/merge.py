@@ -65,6 +65,33 @@ class MergePolicy:
             raise ValueError("max_edges must be >= 1")
 
 
+def coalesce_validated(deltas) -> list[tuple[int, dict, dict, dict]]:
+    """Sum validated deltas into per-epoch lumps ready for merging.
+
+    ``deltas`` is an iterable of ``(epoch, edge_pairs, receiver_pairs,
+    path_pairs)`` where each pair list is already validated ``(key,
+    weight)`` tuples (the shape the staging buffer holds).  Returns
+    ``[(epoch, edge_sums, receiver_sums, path_sums), ...]`` in
+    ascending epoch order — deterministic, and equivalent to any other
+    order by merge commutativity.
+    """
+    by_epoch: dict[int, tuple[dict, dict, dict]] = {}
+    for epoch, edges, receivers, paths in deltas:
+        group = by_epoch.get(epoch)
+        if group is None:
+            group = by_epoch[epoch] = ({}, {}, {})
+        edge_sums, receiver_sums, path_sums = group
+        for key, weight in edges:
+            edge_sums[key] = edge_sums.get(key, 0.0) + weight
+        for key, count in receivers:
+            receiver_sums[key] = receiver_sums.get(key, 0.0) + count
+        for key, count in paths:
+            path_sums[key] = path_sums.get(key, 0.0) + count
+    return [
+        (epoch, *by_epoch[epoch]) for epoch in sorted(by_epoch)
+    ]
+
+
 class AggregateProfile:
     """The fleet-wide profile for one program fingerprint."""
 
@@ -139,6 +166,52 @@ class AggregateProfile:
         self.publishes += 1
         if run_id is not None:
             self._run_ids.add(str(run_id))
+
+    def merge_coalesced(
+        self, groups, run_ids=(), publishes: int = 0
+    ) -> None:
+        """Fold pre-coalesced per-epoch lumps into the aggregate.
+
+        ``groups`` is what :func:`coalesce_validated` returns: for each
+        epoch, row weights already summed per key.  Because the scale
+        factor a delta receives depends only on its own epoch stamp and
+        the final maximum epoch — never on arrival order — summing
+        same-epoch weights before scaling distributes over the merge,
+        so a coalesced lump yields the same aggregate as merging its
+        deltas one at a time (``tests/fleet/test_coalesce.py`` holds
+        this bit-exactly for integral weights under power-of-two
+        decay).  ``publishes`` and ``run_ids`` carry the per-delta
+        accounting the lump absorbed.
+        """
+        for epoch, edges, receivers, paths in groups:
+            scale = self._rebase(int(epoch))
+            for key, weight in edges.items():
+                self._edges[key] = self._edges.get(key, 0.0) + weight * scale
+            for key, count in receivers.items():
+                self._receivers[key] = self._receivers.get(key, 0.0) + count * scale
+            for key, count in paths.items():
+                self._paths[key] = self._paths.get(key, 0.0) + count * scale
+        self.publishes += publishes
+        for run_id in run_ids:
+            self._run_ids.add(str(run_id))
+
+    def clone_for_snapshot(self) -> "AggregateProfile":
+        """A detached copy safe to serialize off the event loop.
+
+        Shallow dict copies (keys are tuples, values are floats) taken
+        while the loop owns the aggregate; the clone never changes, so
+        a writer thread can sort and serialize it while merging
+        continues on the original.
+        """
+        clone = AggregateProfile(self.fingerprint, self.policy)
+        clone.epoch = self.epoch
+        clone.publishes = self.publishes
+        clone._edges = dict(self._edges)
+        clone._receivers = dict(self._receivers)
+        clone._paths = dict(self._paths)
+        clone._run_ids = set(self._run_ids)
+        clone._base_runs = self._base_runs
+        return clone
 
     @staticmethod
     def _validate_row(entry, what: str) -> tuple[tuple, float]:

@@ -38,15 +38,46 @@ Client → server:
 
 * ``fetch`` — request the aggregated snapshot for a fingerprint.
 * ``stats`` — request server-wide counters.
+* ``flush`` — force staged deltas to merge and dirty aggregates to
+  persist before the reply (used by benchmarks and tests that need a
+  read-your-writes barrier against a coalescing service).
+* ``status`` — request the full ``/status`` document over the framed
+  protocol (what the sharded frontend uses to poll its workers).
+* ``shutdown`` — ask the service to stop serving (honored only by
+  shard workers, which are started with ``allow_shutdown=True``;
+  public-facing services reply with an error).
 
 Server → client:
 
 * ``ack`` — publish accepted: ``{"runs", "edges", "total_weight"}``.
+  A coalescing service acks as soon as the delta is validated and
+  staged (``"staged": true`` plus the staging queue depth) — merge
+  commutativity guarantees the eventual aggregate is identical, so
+  early acks are safe.
+* ``busy`` — publish rejected for load, not content:
+  ``{"retry_after": seconds}``.  The client must back off and retry;
+  the delta was *not* staged.  Emitted when a per-client token bucket
+  is exhausted or the staging buffer is at its high-water mark.
 * ``snapshot`` — fetch reply: ``{"found": bool, "snapshot": {...}|null}``
   where the snapshot is a version-2 profile dict (see
   :mod:`repro.profiling.serialize`) plus a ``"fleet"`` metadata key.
 * ``stats`` — server counters.
+* ``status`` — the ``/status`` document: ``{"status": {...}}``.
 * ``error`` — the request was malformed: ``{"reason": "..."}``.
+
+Sharded routing
+---------------
+
+``serve --workers N`` puts a routing frontend in front of N worker
+processes; every fingerprint maps to exactly one shard via
+:func:`shard_for` (first 8 hex digits, modulo worker count), so the
+order-independent epoch merge keeps each aggregate whole on its shard.
+The frontend never JSON-decodes publish frames on the hot path:
+:func:`extract_fingerprint` scans the raw payload for the
+``"fingerprint":"..."`` key (sound for canonically-encoded messages —
+a quote inside a JSON string value is always backslash-escaped, so the
+unescaped key bytes cannot occur inside a value) and falls back to a
+full parse when the scan fails.
 
 Both asyncio-stream and blocking-socket helpers are provided; the VM
 side publishes from a plain thread (it must never touch the VM's loop),
@@ -113,6 +144,18 @@ def stats_message() -> dict:
     return {"v": PROTOCOL_VERSION, "type": "stats"}
 
 
+def flush_message() -> dict:
+    return {"v": PROTOCOL_VERSION, "type": "flush"}
+
+
+def status_message() -> dict:
+    return {"v": PROTOCOL_VERSION, "type": "status"}
+
+
+def shutdown_message() -> dict:
+    return {"v": PROTOCOL_VERSION, "type": "shutdown"}
+
+
 def ack_message(runs: int, edges: int, total_weight: float) -> dict:
     return {
         "v": PROTOCOL_VERSION,
@@ -120,6 +163,25 @@ def ack_message(runs: int, edges: int, total_weight: float) -> dict:
         "runs": runs,
         "edges": edges,
         "total_weight": total_weight,
+    }
+
+
+def staged_ack_message(depth: int) -> dict:
+    """The coalescing ack: validated and staged, merge pending."""
+    return {
+        "v": PROTOCOL_VERSION,
+        "type": "ack",
+        "staged": True,
+        "queue_depth": depth,
+    }
+
+
+def busy_message(retry_after: float) -> dict:
+    """Backpressure reject: try again in ``retry_after`` seconds."""
+    return {
+        "v": PROTOCOL_VERSION,
+        "type": "busy",
+        "retry_after": round(float(retry_after), 4),
     }
 
 
@@ -170,7 +232,88 @@ def _check_length(length: int) -> None:
         raise ProtocolError(f"frame too large ({length} bytes)")
 
 
+# -- sharded routing --------------------------------------------------------------
+
+_FP_MARKER = b'"fingerprint":"'
+
+
+def shard_for(fingerprint: str, shards: int) -> int:
+    """The shard owning ``fingerprint`` (first 8 hex digits mod N).
+
+    Any function of the fingerprint alone is a correct router — the
+    epoch merge is order-independent, so correctness only needs every
+    delta for one fingerprint to land on one shard.  Non-hex
+    fingerprints (which the shard will reject anyway) route to 0.
+    """
+    if shards <= 1:
+        return 0
+    try:
+        return int(fingerprint[:8], 16) % shards
+    except ValueError:
+        return 0
+
+
+def extract_fingerprint(payload: bytes) -> str | None:
+    """The ``fingerprint`` field of a framed payload, without a parse.
+
+    Fast path: scan for the raw ``"fingerprint":"`` key bytes.  In any
+    valid JSON document those fifteen bytes can only appear as key
+    syntax — a quote inside a string value is always escaped as
+    ``\\"`` — so the first hit is the first ``fingerprint`` key, which
+    for every message our clients encode is the top-level one.  A
+    candidate containing an escape, or a payload with no hit, falls
+    back to a full parse; undecodable payloads yield ``None`` (the
+    frontend forwards those to shard 0, whose decoder produces the
+    protocol error reply).
+    """
+    start = payload.find(_FP_MARKER)
+    if start >= 0:
+        begin = start + len(_FP_MARKER)
+        end = payload.find(b'"', begin)
+        if end >= 0:
+            candidate = payload[begin:end]
+            if b"\\" not in candidate:
+                return candidate.decode("utf-8", "replace")
+    try:
+        message = json.loads(payload.decode())
+    except (UnicodeDecodeError, json.JSONDecodeError):
+        return None
+    if not isinstance(message, dict):
+        return None
+    fingerprint = message.get("fingerprint")
+    return fingerprint if isinstance(fingerprint, str) else None
+
+
 # -- asyncio streams (server side) ------------------------------------------------
+
+
+async def read_frame_payload(reader) -> bytes | None:
+    """Read one frame's raw payload bytes without decoding it.
+
+    The routing frontend's hot path: it forwards payloads verbatim and
+    never pays the JSON parse (the owning shard does).  Same EOF and
+    truncation semantics as :func:`read_message`.
+    """
+    import asyncio
+
+    try:
+        header = await reader.readexactly(_HEADER.size)
+    except asyncio.IncompleteReadError as error:
+        if not error.partial:
+            return None
+        raise ProtocolError("connection closed mid-header") from error
+    (length,) = _HEADER.unpack(header)
+    _check_length(length)
+    try:
+        return await reader.readexactly(length)
+    except asyncio.IncompleteReadError as error:
+        raise ProtocolError("connection closed mid-frame") from error
+
+
+def frame_payload(payload: bytes) -> bytes:
+    """Re-frame an already-encoded payload (the forwarding path)."""
+    _check_length(len(payload))
+    return _HEADER.pack(len(payload)) + payload
 
 
 async def read_message(reader) -> dict | None:

@@ -4,12 +4,40 @@ One asyncio process serves many concurrent VM publishers.  Each
 connection is a sequence of frames (see :mod:`repro.fleet.protocol`);
 ``publish`` deltas are folded into per-fingerprint
 :class:`~repro.fleet.merge.AggregateProfile` instances (loaded lazily
-from the repository) and persisted with atomic writes every
-``persist_every`` merges per program plus on connection close and
-shutdown.
+from the repository).
 
-Because merging is synchronous (no ``await`` between reading a frame
-and folding it in) the event loop serializes merges per process, and
+The service runs in one of two publish modes:
+
+* **Eager** (the default): each delta is validated and merged inline
+  before its ``ack``, and snapshots persist synchronously every
+  ``persist_every`` merges per program.  Acks carry post-merge totals
+  — the semantics every pre-sharding client observed.
+* **Coalescing** (``coalesce=True``, what ``serve --workers N`` shard
+  workers and ``serve --coalesce`` run): the accept path only
+  validates the delta, appends it to a bounded
+  :class:`~repro.fleet.staging.StagingBuffer`, and acks immediately
+  (``staged: true``).  A background drain task later coalesces each
+  fingerprint's staged deltas into per-epoch lumps
+  (:func:`~repro.fleet.merge.coalesce_validated`) and merges them in
+  one pass — by merge commutativity the eventual aggregate is
+  identical to one-at-a-time merging, so early acks are safe.  A
+  ``fetch`` drains that fingerprint first (read-your-writes) and a
+  ``flush`` is a full drain-and-persist barrier.
+
+Backpressure: with a per-client rate limit configured (``rate``), or
+when the staging buffer hits its high-water mark, a publish is answered
+with ``busy`` and a ``retry_after`` the client honors with backoff —
+load never silently drops deltas and never kills connections.
+
+Snapshot persistence for the coalescing path — and for every
+end-of-connection / shutdown flush (see :meth:`FleetService.drain`) —
+happens off the event loop: aggregates are cloned on-loop
+(:meth:`~repro.fleet.merge.AggregateProfile.clone_for_snapshot`) and
+serialized + atomically written in a worker thread, so a large
+repository flush cannot stall concurrent publishes.
+
+Because merging is synchronous (no ``await`` between taking deltas and
+folding them in) the event loop serializes merges per process, and
 because the merge itself is order-independent (see
 :mod:`repro.fleet.merge`) the aggregate any client observes is a pure
 function of the set of published deltas.
@@ -32,16 +60,24 @@ from __future__ import annotations
 
 import asyncio
 
-from repro.fleet.merge import AggregateProfile, MergeError, MergePolicy
+from repro.fleet.merge import (
+    AggregateProfile,
+    MergeError,
+    MergePolicy,
+    coalesce_validated,
+)
 from repro.fleet.protocol import (
     ProtocolError,
     ack_message,
+    busy_message,
     error_message,
     read_message,
     snapshot_message,
+    staged_ack_message,
     write_message,
 )
 from repro.fleet.repository import ProfileRepository, RepositoryError
+from repro.fleet.staging import RateLimiter, StagingBuffer
 from repro.telemetry.metrics import MetricsRegistry
 
 #: Histogram bounds for edges-per-delta: deltas are small by design, so
@@ -58,6 +94,13 @@ class FleetService:
         persist_every: int = 1,
         telemetry=None,
         registry: MetricsRegistry | None = None,
+        coalesce: bool = False,
+        rate: float | None = None,
+        burst: float | None = None,
+        max_staged_rows: int = 200_000,
+        drain_interval: float = 0.005,
+        allow_shutdown: bool = False,
+        shard_id: int | None = None,
     ):
         if persist_every < 1:
             raise ValueError("persist_every must be >= 1")
@@ -67,12 +110,28 @@ class FleetService:
         self.aggregates: dict[str, AggregateProfile] = {}
         self.merges = 0
         self.publishes_rejected = 0
+        self.busy_rejections = 0
         self.connections = 0
         #: Per-run publish accounting, keyed by the client's ``run_id``.
         self.clients: dict[str, dict] = {}
         self._unpersisted: dict[str, int] = {}
         self._server: asyncio.AbstractServer | None = None
         self.address: tuple[str, int] | None = None
+
+        self.coalesce = coalesce
+        self.drain_interval = drain_interval
+        self.allow_shutdown = allow_shutdown
+        self.shard_id = shard_id
+        self.staging = StagingBuffer(max_staged_rows)
+        self.limiter = RateLimiter(rate, burst) if rate else None
+        #: Fingerprints merged but not yet snapshotted by the writer.
+        self._dirty: set[str] = set()
+        self._drain_task: asyncio.Task | None = None
+        self._drain_wakeup = asyncio.Event()
+        self._persist_lock = asyncio.Lock()
+        #: Set by a permitted ``shutdown`` message; the shard worker
+        #: main loop waits on it instead of ``serve_forever``.
+        self.shutdown_requested = asyncio.Event()
 
         #: Registry behind ``/metrics`` (names render Prometheus-style,
         #: e.g. ``fleet.publishes`` → ``fleet_publishes_total``).
@@ -104,6 +163,27 @@ class FleetService:
         self._m_delta_edges = self.registry.histogram(
             "fleet.delta_edges", DELTA_EDGE_BUCKETS, "edges per published delta"
         )
+        self._m_staged = self.registry.counter(
+            "fleet.staged", "publish deltas staged for coalesced merging"
+        )
+        self._m_lumps = self.registry.counter(
+            "fleet.coalesced_lumps", "coalesced merge lumps applied"
+        )
+        self._m_coalesced = self.registry.counter(
+            "fleet.coalesced_deltas", "publish deltas absorbed by coalesced lumps"
+        )
+        self._m_queue_depth = self.registry.gauge(
+            "fleet.queue_depth", "publish deltas currently staged"
+        )
+        self._m_busy = self.registry.counter(
+            "fleet.busy", "publishes rejected with busy backpressure"
+        )
+        self._m_persist_writes = self.registry.counter(
+            "fleet.persist_writes", "snapshot files written"
+        )
+        self._m_persist_pending = self.registry.gauge(
+            "fleet.persist_pending", "dirty aggregates awaiting a snapshot write"
+        )
 
     # -- lifecycle ----------------------------------------------------------------
 
@@ -112,6 +192,8 @@ class FleetService:
         self._server = await asyncio.start_server(self._handle, host, port)
         sockname = self._server.sockets[0].getsockname()
         self.address = (sockname[0], sockname[1])
+        if self.coalesce and self._drain_task is None:
+            self._drain_task = asyncio.ensure_future(self._drain_loop())
         return self.address
 
     async def stop(self) -> None:
@@ -119,7 +201,14 @@ class FleetService:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
-        self.persist_all()
+        if self._drain_task is not None:
+            self._drain_task.cancel()
+            try:
+                await self._drain_task
+            except asyncio.CancelledError:
+                pass
+            self._drain_task = None
+        await self.drain()
 
     async def serve_forever(self) -> None:
         assert self._server is not None, "call start() first"
@@ -127,10 +216,118 @@ class FleetService:
             await self._server.serve_forever()
 
     def persist_all(self) -> None:
-        """Flush every dirty aggregate to the repository."""
+        """Synchronously flush every dirty aggregate to the repository.
+
+        The legacy blocking flush — still correct, but the serving path
+        uses :meth:`drain`, which moves the atomic writes off the event
+        loop.  Coalesced-but-unstaged deltas are merged first so a sync
+        flush can never lose staged state.
+        """
+        if self.coalesce:
+            self._merge_staged()
+        for fingerprint in list(self._dirty):
+            self._unpersisted[fingerprint] = max(
+                1, self._unpersisted.get(fingerprint, 0)
+            )
+        self._dirty.clear()
         for fingerprint, pending in list(self._unpersisted.items()):
             if pending:
                 self.repository.store(self.aggregates[fingerprint])
+                self._m_persist_writes.inc()
+                self._unpersisted[fingerprint] = 0
+        self._m_persist_pending.set(0)
+
+    async def drain(self) -> None:
+        """Merge everything staged and persist every dirty aggregate.
+
+        The read-your-writes / durability barrier: serialization and
+        the atomic file writes run in a worker thread on a detached
+        clone, so the event loop keeps serving while a large repository
+        flushes.  Used at connection close, on ``flush`` messages, and
+        at shutdown.
+        """
+        if self.coalesce:
+            self._merge_staged()
+        for fingerprint, pending in self._unpersisted.items():
+            if pending:
+                self._dirty.add(fingerprint)
+        await self._write_dirty()
+
+    # -- coalesced draining -------------------------------------------------------
+
+    def _kick_drain(self) -> None:
+        self._drain_wakeup.set()
+
+    async def _drain_loop(self) -> None:
+        """Background task: wake on staged deltas, merge, persist.
+
+        The short sleep after a wakeup is the coalescing window — it
+        lets a burst of publishes accumulate so one lump absorbs many
+        deltas instead of merging them singly.
+        """
+        while True:
+            await self._drain_wakeup.wait()
+            if self.drain_interval > 0:
+                await asyncio.sleep(self.drain_interval)
+            self._drain_wakeup.clear()
+            self._merge_staged()
+            await self._write_dirty()
+
+    def _merge_staged(self) -> None:
+        """Coalesce and merge every staged delta (synchronous, on-loop)."""
+        for fingerprint, deltas, run_ids, count in self.staging.take_all():
+            self._merge_lump(fingerprint, deltas, run_ids, count)
+        self._m_queue_depth.set(len(self.staging))
+
+    def _merge_one(self, fingerprint: str) -> None:
+        """Drain one fingerprint's staged deltas (the fetch barrier)."""
+        taken = self.staging.take_one(fingerprint)
+        if taken is not None:
+            deltas, run_ids, count = taken
+            self._merge_lump(fingerprint, deltas, run_ids, count)
+            self._m_queue_depth.set(len(self.staging))
+
+    def _merge_lump(self, fingerprint: str, deltas, run_ids, count: int) -> None:
+        try:
+            aggregate = self._aggregate_for(fingerprint)
+        except RepositoryError:
+            # The repository refused the fingerprint (e.g. unsafe name
+            # that slipped past staging); count the loss explicitly.
+            self.publishes_rejected += count
+            self._m_rejected.inc(count)
+            return
+        aggregate.merge_coalesced(
+            coalesce_validated(deltas), run_ids=run_ids, publishes=count
+        )
+        self.merges += count
+        self._m_lumps.inc()
+        self._m_coalesced.inc(count)
+        self._unpersisted[fingerprint] = self._unpersisted.get(fingerprint, 0) + count
+        self._dirty.add(fingerprint)
+        self._m_persist_pending.set(len(self._dirty))
+        if self.telemetry is not None:
+            self.telemetry.on_fleet_merge(
+                fingerprint, count, aggregate.runs, aggregate.total_weight
+            )
+
+    async def _write_dirty(self) -> None:
+        """Snapshot every dirty aggregate off the event loop.
+
+        Clones are taken on-loop (cheap shallow dict copies) and the
+        sort/serialize/atomic-rename runs in a thread; the lock keeps
+        concurrent drains (connection close vs. the drain task) from
+        writing the same fingerprint twice in flight.
+        """
+        async with self._persist_lock:
+            while self._dirty:
+                fingerprint = self._dirty.pop()
+                self._m_persist_pending.set(len(self._dirty))
+                aggregate = self.aggregates.get(fingerprint)
+                if aggregate is None:
+                    continue
+                clone = aggregate.clone_for_snapshot()
+                await asyncio.to_thread(self.repository.store, clone)
+                self._m_persist_writes.inc()
                 self._unpersisted[fingerprint] = 0
 
     # -- connection handling ------------------------------------------------------
@@ -149,22 +346,27 @@ class FleetService:
                     break
                 if message is None:
                     break
-                reply = self._dispatch(message)
+                reply = await self._dispatch(message)
                 try:
                     await write_message(writer, reply)
                 except (ConnectionError, OSError):
                     break
+        except asyncio.CancelledError:
+            # Event-loop teardown (shard-worker shutdown) cancels open
+            # handlers mid-read; exit quietly — stop() already drained.
+            pass
         finally:
-            # A dead client must not leave merged-but-unpersisted state.
+            # A dead client must not leave merged-but-unpersisted state;
+            # the writes themselves run off-loop (see drain()).
             self._m_active.dec()
-            self.persist_all()
+            await self.drain()
             writer.close()
             try:
                 await writer.wait_closed()
             except (ConnectionError, OSError):
                 pass
 
-    def _dispatch(self, message: dict) -> dict:
+    async def _dispatch(self, message: dict) -> dict:
         kind = message["type"]
         if kind == "publish":
             return self._on_publish(message)
@@ -172,6 +374,16 @@ class FleetService:
             return self._on_fetch(message)
         if kind == "stats":
             return self._on_stats()
+        if kind == "flush":
+            await self.drain()
+            return self._on_stats()
+        if kind == "status":
+            return {"v": 1, "type": "status", "status": self.status()}
+        if kind == "shutdown":
+            if not self.allow_shutdown:
+                return error_message("shutdown not permitted on this service")
+            self.shutdown_requested.set()
+            return {"v": 1, "type": "ack", "stopping": True}
         return error_message(f"unknown message type {kind!r}")
 
     # -- message handlers ---------------------------------------------------------
@@ -236,13 +448,17 @@ class FleetService:
         if paths is not None and not isinstance(paths, list):
             return self._reject("paths must be a list when present")
         try:
-            aggregate = self._aggregate_for(fingerprint)
-        except RepositoryError as error:
-            return self._reject(str(error))
-        try:
             epoch = int(message.get("epoch", 0))
         except (TypeError, ValueError):
             return self._reject("epoch must be an integer")
+        if self.coalesce:
+            return self._on_publish_staged(
+                message, fingerprint, epoch, edges, receivers, paths
+            )
+        try:
+            aggregate = self._aggregate_for(fingerprint)
+        except RepositoryError as error:
+            return self._reject(str(error))
         try:
             aggregate.merge_delta(
                 edges,
@@ -262,6 +478,7 @@ class FleetService:
         self._unpersisted[fingerprint] = self._unpersisted.get(fingerprint, 0) + 1
         if self._unpersisted[fingerprint] >= self.persist_every:
             self.repository.store(aggregate)
+            self._m_persist_writes.inc()
             self._unpersisted[fingerprint] = 0
         if self.telemetry is not None:
             self.telemetry.on_fleet_merge(
@@ -274,11 +491,80 @@ class FleetService:
             )
         return ack_message(aggregate.runs, len(aggregate), aggregate.total_weight)
 
+    def _on_publish_staged(
+        self, message: dict, fingerprint: str, epoch: int, edges, receivers, paths
+    ) -> dict:
+        """The coalescing accept path: admit, validate, stage, ack.
+
+        Validation happens here — synchronously, so a malformed delta
+        is rejected in its own reply exactly like eager mode — but the
+        merge is deferred to the drain task.  Both backpressure checks
+        precede validation: a ``busy`` reply means the delta was *not*
+        staged and the client must retry it.
+        """
+        if self.limiter is not None:
+            retry_after = self.limiter.check(message.get("run_id"))
+            if retry_after > 0.0:
+                self.busy_rejections += 1
+                self._m_busy.inc()
+                return busy_message(retry_after)
+        if self.staging.full:
+            self._kick_drain()
+            self.busy_rejections += 1
+            self._m_busy.inc()
+            return busy_message(0.05)
+        try:
+            validated_edges = [
+                (key, weight)
+                for key, weight in (
+                    AggregateProfile._validate_row(entry, "edge") for entry in edges
+                )
+                if weight
+            ]
+            validated_receivers = [
+                (key, count)
+                for key, count in (
+                    AggregateProfile._validate_row(entry, "receiver row")
+                    for entry in receivers or ()
+                )
+                if count
+            ]
+            validated_paths = [
+                (key, count)
+                for key, count in (
+                    AggregateProfile._validate_path_row(entry, "path row")
+                    for entry in paths or ()
+                )
+                if count
+            ]
+        except MergeError as error:
+            return self._reject(str(error))
+        depth = self.staging.stage(
+            fingerprint,
+            epoch,
+            validated_edges,
+            validated_receivers,
+            validated_paths,
+            message.get("run_id"),
+        )
+        self._m_publishes.inc()
+        self._m_staged.inc()
+        self._m_edges.inc(len(edges))
+        self._m_delta_edges.observe(len(edges))
+        self._m_queue_depth.set(depth)
+        self._account_client(message, len(edges), epoch)
+        self._kick_drain()
+        return staged_ack_message(depth)
+
     def _on_fetch(self, message: dict) -> dict:
         self._m_fetches.inc()
         fingerprint = message.get("fingerprint")
         if not isinstance(fingerprint, str):
             return error_message("fetch needs a fingerprint")
+        if self.coalesce:
+            # Read-your-writes: a fetch observes everything this
+            # service has acked for the fingerprint, staged or merged.
+            self._merge_one(fingerprint)
         try:
             aggregate = self.aggregates.get(fingerprint) or self.repository.load(
                 fingerprint
@@ -298,6 +584,9 @@ class FleetService:
             ),
             "merges": self.merges,
             "rejected": self.publishes_rejected,
+            "busy": self.busy_rejections,
+            "staged": len(self.staging),
+            "coalesce_ratio": self.staging.coalesce_ratio(),
             "connections": self.connections,
             "quarantined": self.repository.quarantined,
             "clients": len(self.clients),
@@ -337,18 +626,30 @@ class FleetService:
                 "dropped": entry["dropped"],
                 "drop_rate": round(entry["dropped"] / attempts, 6) if attempts else 0.0,
             }
-        return {
+        document = {
             "service": "repro-fleet",
             "programs": programs,
             "clients": clients,
             "totals": {
                 "merges": self.merges,
                 "rejected": self.publishes_rejected,
+                "busy": self.busy_rejections,
                 "connections": self.connections,
                 "quarantined": self.repository.quarantined,
                 "client_drops": sum(c["dropped"] for c in self.clients.values()),
             },
+            "staging": {
+                "coalesce": self.coalesce,
+                "queue_depth": len(self.staging),
+                "staged_rows": self.staging.staged_rows,
+                "coalesce_ratio": self.staging.coalesce_ratio(),
+                "busy_rejections": self.busy_rejections,
+                "persist_pending": len(self._dirty),
+            },
         }
+        if self.shard_id is not None:
+            document["shard"] = self.shard_id
+        return document
 
 
 async def run_service(
@@ -362,21 +663,36 @@ async def run_service(
     http_port: int | None = None,
     http_ready=None,
     telemetry=None,
+    coalesce: bool = False,
+    rate: float | None = None,
+    burst: float | None = None,
 ) -> None:
-    """Run a fleet service until cancelled (the ``serve`` CLI backend).
+    """Run a single-process fleet service until cancelled.
 
-    ``ready``, if given, is called with the bound ``(host, port)`` once
-    the socket is listening — used for readiness lines and tests.
-    ``http_port``, if given, additionally mounts the observability
-    listener (``/metrics``, ``/healthz``, ``/status``) on the same
-    event loop; ``http_ready`` is called with its bound address.
+    The ``serve`` CLI backend for ``--workers 1`` (``--workers N``
+    routes through :func:`repro.fleet.shard.run_sharded_service`
+    instead).  ``ready``, if given, is called with the bound ``(host,
+    port)`` once the socket is listening — used for readiness lines and
+    tests.  ``http_port``, if given, additionally mounts the
+    observability listener (``/metrics``, ``/healthz``, ``/status``) on
+    the same event loop; ``http_ready`` is called with its bound
+    address.  ``coalesce`` switches the publish path to staged acks
+    with background coalesced merging; ``rate``/``burst`` enable the
+    per-client token-bucket backpressure.
     """
     from repro.telemetry.httpapi import ObservabilityHTTP
 
     repository = ProfileRepository(
         root, MergePolicy(decay=decay, max_edges=max_edges)
     )
-    service = FleetService(repository, persist_every=persist_every, telemetry=telemetry)
+    service = FleetService(
+        repository,
+        persist_every=persist_every,
+        telemetry=telemetry,
+        coalesce=coalesce,
+        rate=rate,
+        burst=burst,
+    )
     http = None
     await service.start(host, port)
     if ready is not None:

@@ -62,7 +62,8 @@ class ObservabilityHTTP:
     def __init__(self, registry=None, status_fn=None, health_fn=None):
         #: Registry (or zero-arg callable returning one) behind /metrics.
         self.registry = registry
-        #: Zero-arg callable returning the /status JSON document.
+        #: Zero-arg callable (sync or async) returning the /status
+        #: JSON document.
         self.status_fn = status_fn
         #: Zero-arg callable returning the /healthz JSON document.
         self.health_fn = health_fn
@@ -115,7 +116,7 @@ class ObservabilityHTTP:
                     )
                 )
                 return
-            writer.write(self._route(path))
+            writer.write(await self._route(path))
         finally:
             try:
                 await writer.drain()
@@ -127,7 +128,7 @@ class ObservabilityHTTP:
             except (ConnectionError, OSError):
                 pass
 
-    def _route(self, path: str) -> bytes:
+    async def _route(self, path: str) -> bytes:
         if path == "/healthz":
             document = self.health_fn() if self.health_fn is not None else None
             if document is None:
@@ -145,7 +146,12 @@ class ObservabilityHTTP:
                 return _json_response(
                     "503 Service Unavailable", {"error": "no status source wired"}
                 )
-            return _json_response("200 OK", self.status_fn())
+            # status_fn may be a coroutine function (the sharded fleet
+            # frontend fans /status out to its workers).
+            document = self.status_fn()
+            if asyncio.iscoroutine(document):
+                document = await document
+            return _json_response("200 OK", document)
         return _json_response(
             "404 Not Found",
             {"error": f"unknown path {path!r}", "paths": ["/metrics", "/healthz", "/status"]},

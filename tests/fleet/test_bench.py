@@ -1,0 +1,104 @@
+"""Fleet load-harness tests: workload determinism, gates, a tiny run."""
+
+import pytest
+
+from repro.fleet.bench import (
+    SCALING_FLOORS,
+    build_workload,
+    check_against_baseline,
+    collect_summary,
+)
+
+
+def test_build_workload_is_deterministic_and_accounted():
+    frames_a, expected_a, fps_a = build_workload(6, 2, 4, 3)
+    frames_b, expected_b, fps_b = build_workload(6, 2, 4, 3)
+    assert frames_a == frames_b  # byte-identical pre-encoded frames
+    assert expected_a == expected_b
+    assert fps_a == fps_b
+    assert len(frames_a) == 6
+    assert all(len(frames) == 2 for frames in frames_a)
+    # Every weight is integral and every fingerprint is accounted.
+    assert all(isinstance(w, int) and w > 0 for w in expected_a.values())
+    assert set(expected_a) == set(fps_a)
+    assert len(fps_a) == 3
+
+
+def _summary(scaling=3.5, p99=1.5, workers=4, **mode_overrides):
+    mode = {
+        "publishes": 100,
+        "failures": 0,
+        "lost_edges": 0,
+        "published_weight": 1000,
+        **mode_overrides,
+    }
+    return {
+        "modes": {
+            "single": dict(mode),
+            "sharded": {**mode, "workers": workers},
+        },
+        "scaling_ratio": scaling,
+        "p99_ratio": p99,
+    }
+
+
+def test_gates_pass_clean_summary():
+    assert check_against_baseline(_summary(), None, 0.15) == []
+
+
+def test_gates_catch_lost_edges_and_failures():
+    failures = check_against_baseline(
+        _summary(lost_edges=7, failures=2), None, 0.15
+    )
+    assert any("lost 7" in line for line in failures)
+    assert any("publishes failed" in line for line in failures)
+
+
+def test_gates_enforce_hard_scaling_floor():
+    assert SCALING_FLOORS[4] == 3.0  # the tentpole acceptance criterion
+    failures = check_against_baseline(_summary(scaling=2.4), None, 0.15)
+    assert any("hard floor 3.00x" in line for line in failures)
+    # 2 workers answer to the lower floor.
+    assert check_against_baseline(_summary(scaling=2.4, workers=2), None, 0.15) == []
+
+
+def test_gates_enforce_p99_floor():
+    failures = check_against_baseline(_summary(p99=0.8), None, 0.15)
+    assert any("p99 ratio 0.80x" in line for line in failures)
+
+
+def test_baseline_regression_gate_matches_worker_count():
+    baseline = {
+        "scaling_ratio": 4.0,
+        "p99_ratio": 2.0,
+        "modes": {"sharded": {"workers": 4}},
+    }
+    # Same worker count: a >15% ratio drop fails.
+    failures = check_against_baseline(_summary(scaling=3.2), baseline, 0.15)
+    assert any("fell below 3.40x" in line for line in failures)
+    # Different worker count (a --quick 2-worker smoke against the full
+    # 4-worker baseline): only the hard floors apply.
+    assert (
+        check_against_baseline(_summary(scaling=3.2, workers=2), baseline, 0.15)
+        == []
+    )
+
+
+@pytest.mark.slow
+def test_tiny_bench_run_end_to_end(tmp_path):
+    """A minimal two-topology run: both modes complete with zero loss."""
+    summary = collect_summary(
+        publishers=8,
+        batches=2,
+        edges=4,
+        programs=4,
+        workers=2,
+        jobs=2,
+        root_dir=str(tmp_path),
+    )
+    for name, mode in summary["modes"].items():
+        assert mode["failures"] == 0, (name, mode)
+        assert mode["lost_edges"] == 0, (name, mode)
+        assert mode["publishes"] == 16, (name, mode)
+    assert summary["modes"]["sharded"]["coalesce_ratio"] >= 1.0
+    assert summary["scaling_ratio"] > 0.0

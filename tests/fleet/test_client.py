@@ -166,3 +166,73 @@ def test_every_ticks_validation():
     program = compile_source(SOURCE)
     with pytest.raises(ValueError):
         FleetPublisher(DEAD, program, every_ticks=0)
+    with pytest.raises(ValueError):
+        FleetPublisher(DEAD, program, revive_every=0)
+
+
+def test_dead_server_revival_probe(tmp_path):
+    """Regression: dead is not forever.  A publisher that declared the
+    server dead regains it once the server is reachable again — every
+    ``revive_every``-th dropped batch spends one bounded probe."""
+    import threading
+
+    program = compile_source(SOURCE)
+    publisher = FleetPublisher(
+        DEAD, program, every_ticks=1,
+        backoff_base=0.001, connect_timeout=0.1, max_failures=1,
+        revive_every=2, queue_size=64,
+    )
+    profiler = CBSProfiler()
+    fake_vm = SimpleNamespace(profiler=profiler, time=0)
+    publisher._worker = threading.Thread(target=publisher._run_worker, daemon=True)
+    publisher._worker.start()
+
+    # Phase 1: the server is down; one failed connect marks it dead.
+    profiler.dcg.record(0, 0, 1, 1.0)
+    publisher._publish_delta(fake_vm)
+    for _ in range(200):
+        if publisher.server_dead:
+            break
+        import time
+
+        time.sleep(0.01)
+    assert publisher.server_dead
+    assert publisher.batches_sent == 0
+
+    # Phase 2: the server comes back at a new address; within a few
+    # dropped batches a revival probe reconnects and delivery resumes.
+    with ServiceThread(str(tmp_path / "repo")) as server:
+        publisher.address = server.address
+        for tick in range(1, 8):
+            profiler.dcg.record(0, tick, 1, 1.0)
+            publisher._publish_delta(fake_vm)
+        publisher.close()
+        assert publisher.revivals == 1
+        assert not publisher.server_dead
+        assert publisher.batches_sent > 0
+
+
+def test_dead_server_probes_stay_bounded():
+    """While the server stays down, revival probes are rationed: only
+    every ``revive_every``-th dropped batch attempts a connect, and the
+    publisher never resurrects itself."""
+    import threading
+
+    program = compile_source(SOURCE)
+    publisher = FleetPublisher(
+        DEAD, program, every_ticks=1,
+        backoff_base=0.001, connect_timeout=0.1, max_failures=1,
+        revive_every=4, queue_size=64,
+    )
+    profiler = CBSProfiler()
+    fake_vm = SimpleNamespace(profiler=profiler, time=0)
+    publisher._worker = threading.Thread(target=publisher._run_worker, daemon=True)
+    publisher._worker.start()
+    for tick in range(12):
+        profiler.dcg.record(0, tick, 1, 1.0)
+        publisher._publish_delta(fake_vm)
+    publisher.close()
+    assert publisher.server_dead
+    assert publisher.revivals == 0
+    assert publisher.batches_sent == 0
+    assert publisher.batches_dropped > 0

@@ -1,5 +1,6 @@
 """Exporter formats: Chrome trace_event schema validity, JSONL round
-trip, auto-detection, and the report summarizer."""
+trip, auto-detection, and the report summarizer (including the
+sharded-serve ``fleet_shards`` section)."""
 
 import json
 
@@ -163,3 +164,67 @@ def test_load_trace_rejects_garbage(tmp_path):
     missing_key.write_text('{"foo": 1}')
     with pytest.raises(TraceFormatError):
         load_trace(str(missing_key))
+
+
+def test_fleet_shard_events_surface_in_summary_and_json():
+    """A sharded-serve trace (fleet_shard events at shutdown) yields a
+    per-shard table in the text report and a ``fleet_shards`` list in
+    the --json mirror — latest event per shard wins."""
+    from repro.telemetry.exporters import LoadedTrace
+    from repro.telemetry.summary import summarize_trace as render
+    from repro.telemetry.summary import summary_dict
+
+    def shard_event(shard, routed, merges):
+        return {
+            "name": "fleet_shard",
+            "ts": 0,
+            "args": {
+                "shard": shard,
+                "queue_depth": 0,
+                "coalesce_ratio": 3.25,
+                "busy_rejections": 1,
+                "merges": merges,
+                "routed": routed,
+                "programs": 2,
+            },
+        }
+
+    trace = LoadedTrace(
+        format="jsonl",
+        events=[
+            shard_event(0, 10, 4),
+            shard_event(1, 3, 1),
+            shard_event(1, 8, 5),  # later event for shard 1 supersedes
+        ],
+    )
+    text = render(trace)
+    assert "fleet shards" in text
+    assert "coalesce" in text
+
+    data = summary_dict(trace)
+    rows = data["fleet_shards"]
+    assert [row["shard"] for row in rows] == [0, 1]
+    assert rows[1]["routed"] == 8 and rows[1]["merges"] == 5
+    assert rows[0]["coalesce_ratio"] == 3.25
+
+
+def test_tracer_records_fleet_shard_event():
+    from repro.telemetry import Tracer
+
+    tracer = Tracer()
+    tracer.on_fleet_shard(
+        {
+            "shard": 1,
+            "queue_depth": 2,
+            "coalesce_ratio": 1.5,
+            "busy_rejections": 0,
+            "merges": 7,
+            "routed": 20,
+            "programs": 3,
+        }
+    )
+    events = [e for e in tracer.events if e.name == "fleet_shard"]
+    assert len(events) == 1
+    assert events[0].shard == 1
+    assert events[0].merges == 7
+    assert events[0].coalesce_ratio == 1.5
