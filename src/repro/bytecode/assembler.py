@@ -260,6 +260,19 @@ class Assembler:
             raise AssemblerError(f"expected an integer, found {text!r}", number)
 
 
-def assemble(text: str) -> Program:
-    """Assemble ``text`` into a ready-to-run :class:`Program`."""
-    return Assembler(text).assemble()
+def assemble(text: str, verify: bool = True) -> Program:
+    """Assemble ``text`` into a ready-to-run :class:`Program`.
+
+    By default the result is verified (stack depth from the declarative
+    opcode specs: never negative, consistent at joins, no falling off
+    the end) so a hand-assembled program with bad stack discipline is
+    rejected here rather than faulting mid-run.  Pass ``verify=False``
+    to get the raw program — e.g. to feed the verifier's own tests."""
+    program = Assembler(text).assemble()
+    if verify:
+        # Imported here: the verifier imports Program, keep module
+        # import light and cycle-free.
+        from repro.bytecode.verifier import verify_program
+
+        verify_program(program)
+    return program

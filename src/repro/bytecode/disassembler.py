@@ -381,6 +381,64 @@ def disassemble_jit(program: Program) -> str:
     return "\n".join(lines) + "\n"
 
 
+def disassemble_spec(program: Program) -> str:
+    """Render every method's instruction stream annotated with the
+    declarative opcode specs (``repro-mini disasm --spec``).
+
+    Each line shows the spec row the toolchain derives everything from:
+    stack effect (pops→pushes), semantic kind, abstract encoded size,
+    fault modes, and the site classes (fusable, quickening class,
+    step-limit binding, yieldpoint) that drive dispatch-arm generation.
+    Debugging aid for spec/handler drift hunts; not assembler
+    round-trippable.
+    """
+    from repro.bytecode.opcodes import spec_of
+
+    lines: list[str] = []
+    per_kind: dict[str, int] = {}
+    fault_sites = 0
+    for function in program.functions:
+        lines.append(
+            f"{function.qualified_name}/{function.num_params}: "
+            f"{len(function.code)} instrs, "
+            f"{function.bytecode_size()} spec bytes"
+        )
+        for pc, instr in enumerate(function.code):
+            spec = spec_of(instr.op)
+            per_kind[spec.kind] = per_kind.get(spec.kind, 0) + 1
+            if spec.pops is None:
+                # Calls: argc-dependent; show the site's actual account.
+                argc = instr.b + (1 if instr.op is Op.CALL_VIRTUAL else 0)
+                effect = f"{argc}→ret"
+            else:
+                effect = f"{spec.pops}→{spec.pushes}"
+            notes = [spec.kind, f"size={spec.size}"]
+            if spec.faults:
+                fault_sites += 1
+                notes.append("faults=" + ",".join(f.kind for f in spec.faults))
+            if spec.fusable:
+                notes.append("fusable")
+            if spec.quicken:
+                notes.append(f"quicken={spec.quicken}")
+            if spec.step_limit:
+                notes.append(f"step-limit@{spec.step_limit}")
+            if spec.yieldpoint:
+                notes.append(f"yieldpoint={spec.yieldpoint}")
+            if spec.dyn_cost:
+                notes.append(f"dyn-cost={spec.dyn_cost}")
+            lines.append(
+                f"  {pc:4d}  {str(instr):<24s} [{effect:>6s}]  "
+                + "  ".join(notes)
+            )
+        lines.append("")
+    kinds = ", ".join(f"{k}:{n}" for k, n in sorted(per_kind.items()))
+    lines.append(
+        f"total: {sum(per_kind.values())} instructions "
+        f"({fault_sites} faultable sites) — {kinds}"
+    )
+    return "\n".join(lines) + "\n"
+
+
 def disassemble(program: Program) -> str:
     """Render a whole program as assembler text."""
     lines: list[str] = []

@@ -19,48 +19,15 @@ Checks performed per function:
 from __future__ import annotations
 
 from repro.bytecode.function import FunctionInfo
-from repro.bytecode.opcodes import JUMP_OPS, Op, STACK_EFFECT, TERMINATOR_OPS
+from repro.bytecode.opcodes import JUMP_OPS, Op, POPS, STACK_EFFECT, TERMINATOR_OPS
 from repro.bytecode.program import Program
 
 #: Number of operands each opcode pops (before pushing its results);
-#: used for the "depth never negative" check.  Calls are special-cased.
-_POPS: dict[Op, int] = {
-    Op.PUSH: 0,
-    Op.PUSH_NULL: 0,
-    Op.POP: 1,
-    Op.DUP: 1,
-    Op.LOAD: 0,
-    Op.STORE: 1,
-    Op.ADD: 2,
-    Op.SUB: 2,
-    Op.MUL: 2,
-    Op.DIV: 2,
-    Op.MOD: 2,
-    Op.NEG: 1,
-    Op.NOT: 1,
-    Op.LT: 2,
-    Op.LE: 2,
-    Op.GT: 2,
-    Op.GE: 2,
-    Op.EQ: 2,
-    Op.NE: 2,
-    Op.JUMP: 0,
-    Op.JUMP_IF_FALSE: 1,
-    Op.JUMP_IF_TRUE: 1,
-    Op.RETURN: 0,
-    Op.RETURN_VAL: 1,
-    Op.NEW: 0,
-    Op.GETFIELD: 1,
-    Op.PUTFIELD: 2,
-    Op.IS_EXACT: 1,
-    Op.GUARD_METHOD: 1,
-    Op.NEW_ARRAY: 1,
-    Op.ALOAD: 2,
-    Op.ASTORE: 3,
-    Op.ARRAY_LEN: 1,
-    Op.PRINT: 1,
-    Op.NOP: 0,
-}
+#: used for the "depth never negative" check.  Derived from the
+#: declarative opcode specs — the same table the dispatch-loop
+#: generator charges from.  Calls are None here (argc-dependent) and
+#: special-cased below.
+_POPS: dict[Op, int | None] = POPS
 
 
 class VerifyError(Exception):

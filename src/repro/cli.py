@@ -23,7 +23,7 @@ Usage::
     repro-mini report trace_file [--json] [--no-histograms]
     repro-mini bench [--benchmarks a,b] [--profilers cbs,timer] [--seeds 1,2]
                      [--size S] [--vm jikes|j9] [--jobs N] [--json]
-    repro-mini disasm program.mini [--fused | --ic | --paths | --jit]
+    repro-mini disasm program.mini [--fused | --ic | --paths | --jit | --spec]
                                    [--method N]
     repro-mini check program.mini
     repro-mini fuzz [--seeds N] [--jobs K] [--start S] [--vm jikes|j9]
@@ -856,12 +856,13 @@ def _cmd_bench(args) -> int:
 
 def _cmd_disasm(args) -> int:
     program = _load(args.file)
-    if sum((args.fused, args.ic, args.paths, args.jit)) > 1:
+    if sum((args.fused, args.ic, args.paths, args.jit, args.spec)) > 1:
         raise SystemExit(
-            "--fused, --ic, --paths, and --jit are separate views; pick one"
+            "--fused, --ic, --paths, --jit, and --spec are separate views; "
+            "pick one"
         )
     if args.method is not None:
-        if args.fused or args.ic or args.paths or args.jit:
+        if args.fused or args.ic or args.paths or args.jit or args.spec:
             raise SystemExit("--method applies to the plain bytecode view only")
         count = len(program.functions)
         if not 0 <= args.method < count:
@@ -895,6 +896,10 @@ def _cmd_disasm(args) -> int:
         from repro.bytecode.disassembler import disassemble_jit
 
         print(disassemble_jit(program), end="")
+    elif args.spec:
+        from repro.bytecode.disassembler import disassemble_spec
+
+        print(disassemble_spec(program), end="")
     else:
         print(disassemble(program))
     return 0
@@ -1398,6 +1403,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="show the template JIT view: the generated host function "
         "for each compilable method, with entry/OSR arms and inlined "
         "call sites",
+    )
+    disasm.add_argument(
+        "--spec",
+        action="store_true",
+        help="annotate each instruction with its declarative opcode-spec "
+        "row: stack effect, kind, size, fault modes, and site classes "
+        "(fusable / quicken / step-limit / yieldpoint)",
     )
     disasm.set_defaults(handler=_cmd_disasm)
 

@@ -36,6 +36,11 @@ from repro.profiling.timer_sampler import TimerProfiler
 from repro.telemetry.exporters import jsonl_lines
 from repro.telemetry.ring import FlightRecorder
 from repro.telemetry.tracer import Tracer
+from repro.fuzz.specexec import (
+    SpecConformanceError,
+    run_spec_reference,
+    verify_cost_views,
+)
 from repro.vm.config import config_named
 from repro.vm.errors import VMError
 from repro.vm.interpreter import Interpreter
@@ -55,6 +60,13 @@ GROUP_FIELDS = ("output", "time", "steps", "ticks", "calls", "methods", "dcg", "
 #: Fields that must also be identical *across* profiler groups
 #: (everything virtual-time-dependent excluded).
 CROSS_FIELDS = ("output", "steps", "calls", "methods", "error")
+
+#: Fields the spec-driven reference executor (repro.fuzz.specexec) must
+#: reproduce bit-for-bit against the ``none`` group's reference cell.
+#: It models no profiler/yieldpoint dynamics, so only the unprofiled
+#: observables are in scope — which is everything, since without a
+#: profiler no yieldpoint is ever taken.
+SPEC_FIELDS = ("output", "time", "steps", "ticks", "calls", "methods", "error")
 
 
 @dataclass(frozen=True)
@@ -281,6 +293,50 @@ def _compare(record: RunRecord, reference: RunRecord, fields) -> list[Violation]
     return violations
 
 
+def _check_spec_reference(
+    program, reference: RunRecord, vm_name: str, overrides: dict
+) -> list[Violation]:
+    """Compare the ``none`` reference cell against the spec executor."""
+    violations: list[Violation] = []
+    config = config_named(vm_name, fuse=False, ic=False, **overrides)
+    try:
+        verify_cost_views(program, config)
+        transcript = run_spec_reference(program, config)
+    except SpecConformanceError as breach:
+        return [
+            Violation(
+                invariant="spec-conformance",
+                cell="spec-reference",
+                reference=reference.cell.describe(),
+                detail=str(breach),
+            )
+        ]
+    except Exception:
+        return [
+            Violation(
+                invariant="host-crash",
+                cell="spec-reference",
+                reference=reference.cell.describe(),
+                detail=traceback.format_exc(limit=8),
+                error_type="host-crash",
+            )
+        ]
+    for name in SPEC_FIELDS:
+        ref_value = getattr(reference, name)
+        got_value = transcript[name]
+        if ref_value != got_value:
+            violations.append(
+                Violation(
+                    invariant=f"spec-{name}",
+                    cell="spec-reference",
+                    reference=reference.cell.describe(),
+                    detail=_diff(name, ref_value, got_value),
+                    error_type=(reference.error or (None,))[0],
+                )
+            )
+    return violations
+
+
 def check_program(
     program,
     vm_name: str = "jikes",
@@ -344,6 +400,19 @@ def check_program(
             if cell == reference.cell:
                 continue
             violations.extend(_compare(record, reference, GROUP_FIELDS))
+
+        if profiler == "none":
+            # Spec-conformance invariant: an independent executor built
+            # from nothing but the declarative opcode specs must
+            # reproduce the unprofiled reference cell bit-for-bit, and
+            # every executed op's stack delta / every charged cost must
+            # match its spec row (asserted inside the executor / the
+            # cost-view check).  This is what catches a dispatch arm and
+            # its spec drifting apart *together* — identical in every
+            # cell, wrong against the table.
+            violations.extend(
+                _check_spec_reference(program, reference, vm_name, overrides)
+            )
 
         path_records = {c.paths: r for c, r in records.items() if c.paths}
         exhaustive = path_records.get("exhaustive")

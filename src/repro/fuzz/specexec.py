@@ -1,0 +1,422 @@
+"""Spec-driven reference executor for conformance fuzzing.
+
+A second, independent implementation of the Mini VM's raw semantics,
+driven directly by the declarative opcode specs
+(:data:`repro.bytecode.opcodes.OPCODE_SPECS`) and the cost model — no
+code cache views, no fusion, no inline caches, no JIT, no profiler.
+It exists to be *compared against* the real interpreter: if the real
+VM's charged costs, stack discipline, counter sync at fault sites, or
+tick placement ever drift from what the specs declare, this executor's
+transcript diverges and the fuzz matrix reports it.
+
+Two layers of checking:
+
+* **per-op conformance** — while executing, every opcode's observed
+  stack delta is asserted against its spec's ``pushes - pops`` (frame
+  switches excepted), and the independently compiled code-cache cost
+  views are asserted against the cost model per spec
+  (:func:`verify_cost_views`).  A failure raises
+  :class:`SpecConformanceError` — the spec table itself is inconsistent
+  or the cache charges something the spec doesn't say.
+* **differential** — :func:`run_spec_reference` returns the same
+  transcript shape as a matrix cell; ``differential.check_program``
+  compares it bit-for-bit against the ``none``-profiler reference cell.
+
+The executor is deliberately *slow and obvious*: one dict-dispatched
+step function, no caching, no quickening.  Clarity is the point — it
+is the executable form of the spec table.
+"""
+
+from __future__ import annotations
+
+from repro.bytecode.opcodes import Op, spec_of
+from repro.vm.errors import (
+    ArrayBoundsError,
+    DivisionByZeroError,
+    NullPointerError,
+    StackOverflowError_,
+    StepLimitExceeded,
+    VMError,
+)
+from repro.vm.values import HeapArray, HeapObject
+
+
+class SpecConformanceError(AssertionError):
+    """An executed op disagreed with its declarative spec."""
+
+
+class _Frame:
+    __slots__ = ("function", "pc", "stack", "locals", "return_pc")
+
+    def __init__(self, function, locals_):
+        self.function = function
+        self.pc = 0
+        self.stack = []
+        self.locals = locals_
+        self.return_pc = 0
+
+
+_ERRORS = {
+    "NullPointerError": NullPointerError,
+    "DivisionByZeroError": DivisionByZeroError,
+    "ArrayBoundsError": ArrayBoundsError,
+    "StackOverflowError_": StackOverflowError_,
+    "VMError": VMError,
+}
+
+
+class SpecExecutor:
+    """Execute a program per the opcode specs (profiler-none raw mode)."""
+
+    def __init__(self, program, config):
+        self.program = program
+        self.config = config
+        self.cost_model = config.cost_model
+        self.vtables = [cls.vtable for cls in program.classes]
+        self.field_defaults = program.field_default_templates()
+        self.op_costs = config.cost_model.op_costs
+
+        entry_extra = (
+            0
+            if config.overloaded_entry_check
+            else self.cost_model.dedicated_entry_check_cost
+        )
+        self.call_static_cost = self.cost_model.call_static_cost + entry_extra
+        self.call_virtual_cost = self.cost_model.call_virtual_cost + entry_extra
+
+        self.time = 0
+        self.steps = 0
+        self.ticks = 0
+        self.call_count = 0
+        self.next_tick = config.timer_interval
+        self.output = []
+        self.frames: list[_Frame] = []
+        self._seen = [False] * len(program.functions)
+        self.methods_executed = 0
+
+    # -- spec-conformance assertions ------------------------------------------
+
+    def _check_delta(self, op: Op, before: int, after: int, pc: int, fn) -> None:
+        spec = spec_of(op)
+        if spec.pops is None:  # calls: argc-dependent, frame switch
+            return
+        expected = spec.pushes - spec.pops
+        if after - before != expected:
+            raise SpecConformanceError(
+                f"{op.name} at {fn.qualified_name}@{pc}: observed stack "
+                f"delta {after - before}, spec says {expected}"
+            )
+
+    # -- the step loop ---------------------------------------------------------
+
+    def _fault(self, error_name: str, message: str, frame: _Frame, pc: int):
+        exc = _ERRORS[error_name]
+        return exc(message, frame.function.qualified_name, pc)
+
+    def _step_limit(self, frame: _Frame, pc: int):
+        return StepLimitExceeded(
+            f"exceeded {self.config.max_steps} interpreted instructions",
+            frame.function.qualified_name,
+            pc,
+        )
+
+    def run(self):
+        program = self.program
+        config = self.config
+        max_steps = config.max_steps
+        max_frames = config.max_frames
+        interval = config.timer_interval
+        service = self.cost_model.timer_service_cost
+        return_cost = self.cost_model.return_cost
+        op_costs = self.op_costs
+
+        entry = program.entry_function()
+        if not self._seen[entry.index]:
+            self._seen[entry.index] = True
+            self.methods_executed += 1
+        frame = _Frame(entry, [0] * entry.num_locals)
+        self.frames.append(frame)
+
+        while True:
+            code = frame.function.code
+            pc = frame.pc
+            instr = code[pc]
+            op = instr.op
+            stack = frame.stack
+            locals_ = frame.locals
+            depth_before = len(stack)
+
+            # Head: charge the spec cost, count the step, fire ticks.
+            self.time += op_costs[op]
+            self.steps += 1
+            if self.time >= self.next_tick:
+                while self.time >= self.next_tick:
+                    self.next_tick += interval
+                    self.ticks += 1
+                    self.time += service
+                if self.steps >= max_steps:
+                    raise self._step_limit(frame, pc)
+
+            spec = spec_of(op)
+            kind = spec.kind
+
+            if kind == "load":
+                stack.append(locals_[instr.a])
+            elif kind == "push_const":
+                stack.append(instr.a)
+            elif kind == "push_null":
+                stack.append(None)
+            elif kind == "store":
+                locals_[instr.a] = stack.pop()
+            elif kind == "pop":
+                stack.pop()
+            elif kind == "dup":
+                stack.append(stack[-1])
+            elif kind == "binop":
+                right = stack.pop()
+                left = stack.pop()
+                if spec.arg == "+":
+                    stack.append(left + right)
+                elif spec.arg == "-":
+                    stack.append(left - right)
+                else:
+                    stack.append(left * right)
+            elif kind == "divmod":
+                right = stack.pop()
+                left = stack.pop()
+                if right == 0:
+                    fault = spec.faults[0]
+                    raise self._fault(fault.error, fault.message, frame, pc)
+                quotient = abs(left) // abs(right)
+                if (left < 0) != (right < 0):
+                    quotient = -quotient
+                stack.append(quotient if spec.arg == "div" else left - quotient * right)
+            elif kind == "neg":
+                stack.append(-stack.pop())
+            elif kind == "not":
+                stack.append(0 if stack.pop() != 0 else 1)
+            elif kind == "cmp":
+                right = stack.pop()
+                left = stack.pop()
+                taken = {
+                    "<": left < right,
+                    "<=": left <= right,
+                    ">": left > right,
+                    ">=": left >= right,
+                }[spec.arg]
+                stack.append(1 if taken else 0)
+            elif kind == "eqcmp":
+                right = stack.pop()
+                left = stack.pop()
+                if isinstance(left, int) and isinstance(right, int):
+                    equal = left == right
+                else:
+                    equal = left is right
+                stack.append(1 if (equal == (spec.arg == "==")) else 0)
+            elif kind == "jump":
+                target = instr.a
+                if target <= pc and self.steps >= max_steps:
+                    raise self._step_limit(frame, pc)
+                self._check_delta(op, depth_before, len(stack), pc, frame.function)
+                frame.pc = target
+                continue
+            elif kind == "branch":
+                value = stack.pop()
+                taken = (value == 0) if spec.arg == "false" else (value != 0)
+                if taken:
+                    target = instr.a
+                    if target <= pc and self.steps >= max_steps:
+                        raise self._step_limit(frame, pc)
+                    self._check_delta(
+                        op, depth_before, len(stack), pc, frame.function
+                    )
+                    frame.pc = target
+                    continue
+            elif kind == "call":
+                if self.steps >= max_steps:
+                    raise self._step_limit(frame, pc)
+                if spec.arg == "virtual":
+                    argc = instr.b
+                    receiver = stack[-argc - 1]
+                    if receiver is None:
+                        fault = spec.faults[0]
+                        raise self._fault(fault.error, fault.message, frame, pc)
+                    callee_index = self.vtables[receiver.class_index].get(instr.a)
+                    if callee_index is None:
+                        name, argn = program.selectors[instr.a]
+                        cls = program.classes[receiver.class_index].name
+                        fault = spec.faults[1]  # missing_selector
+                        raise self._fault(
+                            fault.error,
+                            fault.message.format(cls=cls, name=name, argc=argn),
+                            frame,
+                            pc,
+                        )
+                    nargs = argc + 1
+                    self.time += self.call_virtual_cost
+                else:
+                    callee_index = instr.a
+                    nargs = instr.b
+                    self.time += self.call_static_cost
+                callee = program.functions[callee_index]
+                self.call_count += 1
+                if not self._seen[callee_index]:
+                    self._seen[callee_index] = True
+                    self.methods_executed += 1
+                if len(self.frames) >= max_frames:
+                    for fault in spec.faults:
+                        if fault.kind == "stack_overflow":
+                            raise self._fault(
+                                fault.error,
+                                fault.message.format(max_frames=max_frames),
+                                frame,
+                                pc,
+                            )
+                base = len(stack) - nargs
+                new_locals = stack[base:]
+                del stack[base:]
+                if callee.num_locals > nargs:
+                    new_locals.extend([0] * (callee.num_locals - nargs))
+                frame.pc = pc + 1
+                frame = _Frame(callee, new_locals)
+                self.frames.append(frame)
+                continue
+            elif kind == "return":
+                self.time += return_cost
+                value = stack.pop() if spec.arg == "value" else None
+                self.frames.pop()
+                if not self.frames:
+                    return value
+                frame = self.frames[-1]
+                if value is not None or spec.arg == "value":
+                    frame.stack.append(value)
+                continue
+            elif kind == "new":
+                class_index = instr.a
+                stack.append(
+                    HeapObject(class_index, self.field_defaults[class_index])
+                )
+            elif kind == "getfield":
+                obj = stack.pop()
+                if obj is None:
+                    fault = spec.faults[0]
+                    raise self._fault(fault.error, fault.message, frame, pc)
+                stack.append(obj.fields[instr.a])
+            elif kind == "putfield":
+                value = stack.pop()
+                obj = stack.pop()
+                if obj is None:
+                    fault = spec.faults[0]
+                    raise self._fault(fault.error, fault.message, frame, pc)
+                obj.fields[instr.a] = value
+            elif kind == "is_exact":
+                obj = stack.pop()
+                stack.append(
+                    1 if obj is not None and obj.class_index == instr.a else 0
+                )
+            elif kind == "guard_method":
+                obj = stack.pop()
+                if obj is None:
+                    stack.append(0)
+                else:
+                    target = self.vtables[obj.class_index].get(instr.a)
+                    stack.append(1 if target == instr.b else 0)
+            elif kind == "new_array":
+                length = stack.pop()
+                if length < 0:
+                    fault = spec.faults[0]
+                    raise self._fault(fault.error, fault.message, frame, pc)
+                self.time += length  # spec dyn_cost: scales with size
+                stack.append(HeapArray(length))
+            elif kind == "aload":
+                index = stack.pop()
+                array = stack.pop()
+                if array is None:
+                    fault = spec.faults[0]
+                    raise self._fault(fault.error, fault.message, frame, pc)
+                elements = array.elements
+                if index < 0 or index >= len(elements):
+                    fault = spec.faults[1]
+                    raise self._fault(
+                        fault.error,
+                        fault.message.format(index=index, length=len(elements)),
+                        frame,
+                        pc,
+                    )
+                stack.append(elements[index])
+            elif kind == "astore":
+                value = stack.pop()
+                index = stack.pop()
+                array = stack.pop()
+                if array is None:
+                    fault = spec.faults[0]
+                    raise self._fault(fault.error, fault.message, frame, pc)
+                elements = array.elements
+                if index < 0 or index >= len(elements):
+                    fault = spec.faults[1]
+                    raise self._fault(
+                        fault.error,
+                        fault.message.format(index=index, length=len(elements)),
+                        frame,
+                        pc,
+                    )
+                elements[index] = value
+            elif kind == "array_len":
+                array = stack.pop()
+                if array is None:
+                    fault = spec.faults[0]
+                    raise self._fault(fault.error, fault.message, frame, pc)
+                stack.append(len(array.elements))
+            elif kind == "print":
+                self.output.append(stack.pop())
+            elif kind == "nop":
+                pass
+            else:  # pragma: no cover - spec table audit
+                raise SpecConformanceError(f"unhandled spec kind {kind!r}")
+
+            self._check_delta(op, depth_before, len(stack), pc, frame.function)
+            frame.pc = pc + 1
+
+
+def run_spec_reference(program, config) -> dict:
+    """Execute ``program`` on the spec executor and return a transcript
+    with the same observable fields as a matrix cell's
+    :class:`repro.fuzz.differential.RunRecord` — compared bit-for-bit
+    against the ``none``-profiler reference cell (no profiler means no
+    yieldpoint ever fires, the one interpreter feature the spec table
+    deliberately does not model dynamics for)."""
+    executor = SpecExecutor(program, config)
+    error = None
+    try:
+        executor.run()
+    except VMError as exc:
+        error = (type(exc).__name__, str(exc), exc.function, exc.pc)
+    return {
+        "output": executor.output,
+        "time": executor.time,
+        "steps": executor.steps,
+        "ticks": executor.ticks,
+        "calls": executor.call_count,
+        "methods": executor.methods_executed,
+        "error": error,
+    }
+
+
+def verify_cost_views(program, config) -> None:
+    """Assert the code cache's raw cost views equal the cost model's
+    per-spec prices — the independent 'charged cost matches its spec'
+    half of the conformance cell."""
+    from repro.vm.runtime import CodeCache
+
+    cache = CodeCache(program, config.cost_model, fuse=False, ic=False)
+    op_costs = config.cost_model.op_costs
+    for function in program.functions:
+        method = cache.current(function.index)
+        for pc, instr in enumerate(function.code):
+            declared = op_costs[instr.op]
+            charged = method.costs[pc]
+            if charged != declared:
+                raise SpecConformanceError(
+                    f"{function.qualified_name}@{pc}: cache charges "
+                    f"{charged} for {instr.op.name}, cost model says {declared}"
+                )

@@ -1,0 +1,1537 @@
+"""Generate the interpreter's dispatch loop from the opcode specs.
+
+``python -m repro.vm.dispatchgen --write`` regenerates
+:mod:`repro.vm._dispatch` (the committed file holding ``_loop``);
+``--check`` exits nonzero if the committed file differs from what the
+specs produce (the ``spec-smoke`` CI job runs this, so hand-edits to the
+generated loop or spec/loop drift cannot land silently).
+
+The generator is the single place dispatch semantics are spelled out:
+
+* **raw arms** come from each opcode's :class:`~repro.bytecode.opcodes.OpSpec`
+  ``kind`` (one emitter per semantic family),
+* **fused arms** are derived by symbolically executing a
+  superinstruction's component specs, with operand expressions
+  substituted from :data:`repro.vm.fuse.FUSED_LAYOUT` — the same table
+  the fuser packs operands with, so handler and fuser cannot disagree,
+* **IC arms** reuse the call/return specs (fault modes, step-limit
+  class) with the entry layouts from :mod:`repro.vm.ic`,
+* **every fault and step-limit raise site** is emitted by exactly one
+  helper each (:func:`_fault_raise` / :func:`_step_limit_raise`), which
+  is what keeps the error-parity invariant — sync
+  :data:`~repro.bytecode.opcodes.FAULT_SYNCED_COUNTERS`, then raise
+  with the spec's exception class, message, and attributed pc — in one
+  place instead of ~20.
+
+Mid-group fused faults are *derived*, not hand-stated: the faulting
+component's offset attributes the pc, and the charge given back is the
+sum of the trailing components' raw costs (the raw run never reached
+them), so a fused fault transcript is bit-identical to the raw run's.
+"""
+
+from __future__ import annotations
+
+import argparse
+import difflib
+import sys
+from pathlib import Path
+
+from repro.bytecode.opcodes import OPCODE_SPECS, FaultSpec, Op, spec_of
+from repro.vm import fuse as fusion
+
+#: Where the generated module lives.
+TARGET = Path(__file__).resolve().parent / "_dispatch.py"
+
+#: CompiledMethod attributes forming the ``views`` tuple, and the loop
+#: locals they are cached in — one statement of the unpack order.
+VIEW_FIELDS = ("fops", "a", "b", "fcosts", "fa", "fb", "origins", "ics")
+VIEW_LOCALS = ("ops", "aarg", "barg", "costs", "faarg", "fbarg", "origins", "ics")
+
+#: Raw dispatch-arm order, hottest first (measured; IC call/return arms
+#: sit ahead of the cold object/array tail).  Tuples share one arm.
+RAW_ORDER = (
+    Op.LOAD,
+    Op.PUSH,
+    "IC_CALL_VIRTUAL",
+    ("IC_RETURN_VAL", "IC_RETURN"),
+    "IC_CALL_STATIC",
+    Op.GETFIELD,
+    Op.STORE,
+    Op.ADD,
+    Op.SUB,
+    Op.MUL,
+    Op.LT,
+    Op.LE,
+    Op.GT,
+    Op.GE,
+    Op.EQ,
+    Op.NE,
+    Op.JUMP,
+    Op.JUMP_IF_FALSE,
+    Op.JUMP_IF_TRUE,
+    (Op.CALL_STATIC, Op.CALL_VIRTUAL),
+    (Op.RETURN, Op.RETURN_VAL),
+    Op.PUTFIELD,
+    Op.DUP,
+    Op.POP,
+    Op.PUSH_NULL,
+    (Op.DIV, Op.MOD),
+    Op.NEG,
+    Op.NOT,
+    Op.NEW,
+    Op.IS_EXACT,
+    Op.GUARD_METHOD,
+    Op.NEW_ARRAY,
+    Op.ALOAD,
+    Op.ASTORE,
+    Op.ARRAY_LEN,
+    Op.PRINT,
+    Op.NOP,
+)
+
+#: Fused dispatch-arm order, hottest first; tuples share one arm.
+FUSED_ORDER = (
+    "F_LOAD_PUSH_LT_JIF",
+    "F_LOAD_PUSH_ADD_STORE",
+    "F_PUSH_ADD_STORE",
+    "F_LOAD_PUSH_ADD",
+    "F_STORE_LOAD",
+    "F_LOAD_ADD",
+    "F_PUSH_MOD",
+    "F_LOAD_PUSH_MUL",
+    ("F_LOAD_PUSH_ADD_RET", "F_LOAD_RET"),
+    "F_LOAD_LOAD",
+    "F_LOAD_PUSH",
+    "F_LOAD_GETFIELD",
+    "F_LOAD_GETFIELD_STORE",
+    "F_PUSH_STORE",
+    "F_PUSH_ADD",
+    "F_PUSH_SUB",
+    "F_PUSH_MUL",
+    "F_LOAD_SUB",
+    "F_LOAD_MUL",
+    "F_LOAD_PUSH_SUB",
+    "F_LOAD_LOAD_ADD",
+    "F_LOAD_PUSH_LE_JIF",
+    "F_LOAD_PUSH_GT_JIF",
+    "F_LOAD_PUSH_GE_JIF",
+    "F_LOAD_PUSH_EQ_JIF",
+    "F_LOAD_PUSH_NE_JIF",
+    "F_LOAD_LOAD_LT_JIF",
+    "F_LOAD_LOAD_LE_JIF",
+    "F_LOAD_LOAD_GT_JIF",
+    "F_LOAD_LOAD_GE_JIF",
+    "F_LT_JIF",
+    "F_LE_JIF",
+    "F_GT_JIF",
+    "F_GE_JIF",
+    "F_EQ_JIF",
+    "F_NE_JIF",
+)
+
+#: fuse-module attribute name -> fused id, and back.
+_F_BY_NAME = {
+    name: value
+    for name, value in vars(fusion).items()
+    if name.startswith("F_") and isinstance(value, int)
+}
+
+#: Fault-message template variables that are not literal handler locals.
+_TEMPLATE_VARS = {"length": "len(elements)"}
+
+_BINOP_SYMS = {"+": "+", "-": "-", "*": "*"}
+_CMP_SYMS = {"<": "<", "<=": "<=", ">": ">", ">=": ">="}
+
+
+class Emitter:
+    """Line buffer with indentation tracking."""
+
+    def __init__(self) -> None:
+        self.lines: list[str] = []
+        self._depth = 0
+
+    def __call__(self, line: str = "") -> None:
+        if not line:
+            self.lines.append("")
+        else:
+            self.lines.append("    " * self._depth + line)
+
+    def raw(self, text: str) -> None:
+        """Emit a multi-line chunk at the current indent.  ``text`` is
+        written with zero base indentation; internal indentation is
+        preserved."""
+        for line in text.strip("\n").split("\n"):
+            self(line) if line.strip() else self()
+
+    class _Indent:
+        def __init__(self, em: "Emitter", n: int) -> None:
+            self.em = em
+            self.n = n
+
+        def __enter__(self) -> None:
+            self.em._depth += self.n
+
+        def __exit__(self, *exc) -> None:
+            self.em._depth -= self.n
+
+    def indent(self, n: int = 1) -> "_Indent":
+        return Emitter._Indent(self, n)
+
+
+def _message_literal(template: str) -> str:
+    """Render a FaultSpec message as a source-code literal: plain string
+    when static, f-string when it references handler locals."""
+    if "{" not in template:
+        return f'"{template}"'
+    text = template
+    for var, expr in _TEMPLATE_VARS.items():
+        text = text.replace("{" + var + "}", "{" + expr + "}")
+    return f'f"{text}"'
+
+
+def _fault_raise(
+    em: Emitter,
+    fault,
+    pc_expr: str = "pc",
+    time_expr: str = "time",
+    steps_expr: str = "steps",
+) -> None:
+    """THE fault raise site.  Every guest fault in the generated loop is
+    emitted here: one ``raise self._fault(...)`` carrying the spec's
+    exception class and message plus the full counter sync
+    (FAULT_SYNCED_COUNTERS — _fault writes them all back)."""
+    em(f"raise self._fault(")
+    with em.indent():
+        em(f"{fault.error}, {_message_literal(fault.message)},")
+        em(
+            f"{time_expr}, {steps_expr}, call_count, fused_n, deopts, "
+            f"frame, method, {pc_expr}"
+        )
+    em(")")
+
+
+def _step_limit_raise(em: Emitter, pc_expr: str = "pc") -> None:
+    """THE step-limit raise site (same single-site discipline)."""
+    em("raise self._step_limit(")
+    with em.indent():
+        em(f"time, steps, call_count, fused_n, deopts, frame, method, {pc_expr}")
+    em(")")
+
+
+def _views_unpack_longhand(em: Emitter, source: str = "method") -> None:
+    for field, local in zip(VIEW_FIELDS, VIEW_LOCALS):
+        em(f"{local} = {source}.{field}")
+
+
+def _views_unpack_tuple(em: Emitter, source: str) -> None:
+    em(f"{', '.join(VIEW_LOCALS)} = {source}")
+
+
+# -- generated-module scaffolding ---------------------------------------------
+
+_DQ = '"""'
+
+_MODULE_DOC = (
+    _DQ
+    + """Generated dispatch loop for the Mini VM interpreter — DO NOT EDIT.
+
+This file is produced from the declarative opcode specs
+(repro.bytecode.opcodes.OPCODE_SPECS), the superinstruction layout table
+(repro.vm.fuse.FUSED_LAYOUT), and the inline-cache entry layouts
+(repro.vm.ic) by
+
+    python -m repro.vm.dispatchgen --write
+
+Hand edits are overwritten on the next regeneration, and the spec-smoke
+CI job fails if this file differs from what the specs produce.  To
+change dispatch behavior, edit the specs or the generator templates and
+regenerate; see docs/OPCODES.md.
+
+repro.vm.interpreter imports ``_loop`` from here and installs it as
+``Interpreter._loop`` (it also injects ``Frame`` and ``_FREED_LOCALS``
+below, avoiding a circular import).
+"""
+    + _DQ
+)
+
+_MODULE_IMPORTS = """
+from __future__ import annotations
+
+from repro.bytecode.opcodes import Op
+from repro.vm import fuse as fusion
+from repro.vm import ic as icache
+from repro.vm.errors import (
+    ArrayBoundsError,
+    DivisionByZeroError,
+    NullPointerError,
+    StackOverflowError_,
+    VMError,
+)
+from repro.vm.values import HeapArray, HeapObject
+from repro.vm.yieldpoint import BACKEDGE, EPILOGUE, PROLOGUE
+
+# Injected by repro.vm.interpreter at import time (the interpreter
+# module owns these definitions; assigning them here would import it
+# circularly).
+Frame = None
+_FREED_LOCALS = None
+"""
+
+_PREAMBLE_STATE = """
+config = self.config
+cost_model = config.cost_model
+frames = self.frames
+cache_methods = self.code_cache.methods
+vtables = self.vtables
+field_defaults = self.class_field_defaults
+observer = self.call_observer
+telemetry = self.telemetry
+paths = self.path_tracker
+seen = self._seen
+pool = self._frame_pool
+
+prologue_yp = config.prologue_yieldpoints
+epilogue_yp = config.epilogue_yieldpoints
+backedge_yp = config.backedge_yieldpoints
+entry_extra = (
+    0 if config.overloaded_entry_check else cost_model.dedicated_entry_check_cost
+)
+call_static_cost = cost_model.call_static_cost + entry_extra
+call_virtual_cost = cost_model.call_virtual_cost + entry_extra
+return_cost = cost_model.return_cost
+max_frames = config.max_frames
+max_steps = config.max_steps
+
+frame = frames[-1]
+method = frame.method
+"""
+
+_PREAMBLE_COUNTERS = """
+stack = frame.stack
+locals_ = frame.locals
+pc = 0
+
+time = self.time
+next_tick = self.next_tick
+steps = self.steps
+call_count = self.call_count
+fused_n = self.fused_dispatches
+deopts = self.fusion_deopts
+#: True while a pending tick forces step-wise (raw) execution of
+#: a fused group; reset when the tick fires.  The tick always
+#: fires inside the group, so this never survives a frame switch.
+dequickened = False
+"""
+
+_PREAMBLE_IC = """
+# Inline-cache quickened opcodes (see repro.vm.ic).  ``ics`` is
+# None exactly when the code cache was built without ICs, in
+# which case none of these opcodes ever appear in ``fops``.
+OP_IC_CALL_VIRTUAL = icache.OP_IC_CALL_VIRTUAL
+OP_IC_CALL_STATIC = icache.OP_IC_CALL_STATIC
+OP_IC_RETURN = icache.OP_IC_RETURN
+OP_IC_RETURN_VAL = icache.OP_IC_RETURN_VAL
+LEAF_VOID = icache.LEAF_VOID
+LEAF_FAIL = icache.LEAF_FAIL
+POLY_LIMIT = icache.POLY_LIMIT
+locals_pad = icache.locals_pad
+flat_vtables = self.flat_vtables
+eval_leaf = self._eval_leaf
+"""
+
+_PREAMBLE_JIT = """
+# Opt-level-3 signature of this run's hook configuration (see
+# repro.vm.jit.compiler.jit_sig): compiled bodies are entered
+# only when they were generated for exactly these hooks.
+jit_sig = (
+    1 if (observer is None and telemetry is None and paths is None) else 0
+)
+if paths is not None:
+    jit_sig |= 2
+
+result = None
+jrec = method.jit
+if (
+    jrec is not None
+    and jrec.entry0
+    and jrec.sig == jit_sig
+    and self.yieldpoint_flag == 0
+    and time < next_tick
+):
+    frame.pc = pc
+    self.jit_entries += 1
+    time, steps, call_count = jrec.fn(
+        self, frame, time, steps, call_count, next_tick
+    )
+    pc = frame.pc
+"""
+
+_RAW_HEAD = """
+# ---- raw instruction path (identical to the classic loop) ----
+time += costs[pc]
+steps += 1
+if time >= next_tick:
+    # Sync cached state, fire the timer, reload.
+    self.time = time
+    self.steps = steps
+    self.call_count = call_count
+    self.fused_dispatches = fused_n
+    self.fusion_deopts = deopts
+    frame.pc = pc
+    self._fire_timer()
+    time = self.time
+    next_tick = self.next_tick
+    if steps >= max_steps:
+        raise self._step_limit(
+            time, steps, call_count, fused_n, deopts, frame, method, pc
+        )
+    if dequickened:
+        # The pending tick that forced step-wise execution
+        # has fired; resume superinstruction dispatch.
+        dequickened = False
+        ops = method.fops
+        costs = method.fcosts
+"""
+
+
+def _emit_preamble(em: Emitter) -> None:
+    em.raw(_PREAMBLE_STATE)
+    _views_unpack_longhand(em)
+    em.raw(_PREAMBLE_COUNTERS)
+    em()
+    em("# Opcode constants as plain ints (IntEnum comparison is slower).")
+    for spec in OPCODE_SPECS:
+        em(f"OP_{spec.op.name} = int(Op.{spec.op.name})")
+    em.raw(_PREAMBLE_IC)
+    em()
+    em("# Superinstruction constants (see repro.vm.fuse).")
+    em("FUSE_BASE = fusion.FUSE_BASE")
+    for fid, _seq, _layout, _guard in fusion._PATTERNS:
+        name = _attr_name(fid)
+        em(f"{name} = fusion.{name}")
+    em.raw(_PREAMBLE_JIT)
+
+
+def _attr_name(fid: int) -> str:
+    for name, value in _F_BY_NAME.items():
+        if value == fid:
+            return name
+    raise AssertionError(f"no fuse-module name for fused id {fid}")
+
+
+# -- raw arms ----------------------------------------------------------------
+
+
+def _emit_simple_raw_arm(em: Emitter, op: Op) -> None:
+    """Arms whose body is a handful of statements ending in ``pc += 1``
+    (everything except jumps, calls, returns, and the IC arms)."""
+    spec = spec_of(op)
+    kind = spec.kind
+    if kind == "load":
+        em("stack.append(locals_[aarg[pc]])")
+    elif kind == "push_const":
+        em("stack.append(aarg[pc])")
+    elif kind == "push_null":
+        em("stack.append(None)")
+    elif kind == "pop":
+        em("stack.pop()")
+    elif kind == "dup":
+        em("stack.append(stack[-1])")
+    elif kind == "store":
+        em("locals_[aarg[pc]] = stack.pop()")
+    elif kind == "binop":
+        em("right = stack.pop()")
+        em(f"stack[-1] {_BINOP_SYMS[spec.arg]}= right")
+    elif kind == "cmp":
+        em("right = stack.pop()")
+        em(f"stack[-1] = 1 if stack[-1] {_CMP_SYMS[spec.arg]} right else 0")
+    elif kind == "eqcmp":
+        val_sym = "==" if spec.arg == "==" else "!="
+        id_sym = "is" if spec.arg == "==" else "is not"
+        em("right = stack.pop()")
+        em("left = stack[-1]")
+        em("if isinstance(left, int) and isinstance(right, int):")
+        with em.indent():
+            em(f"stack[-1] = 1 if left {val_sym} right else 0")
+        em("else:")
+        with em.indent():
+            em(f"stack[-1] = 1 if left {id_sym} right else 0")
+    elif kind == "neg":
+        em("stack[-1] = -stack[-1]")
+    elif kind == "not":
+        em("stack[-1] = 0 if stack[-1] != 0 else 1")
+    elif kind == "new":
+        em("class_index = aarg[pc]")
+        em("stack.append(HeapObject(class_index, field_defaults[class_index]))")
+    elif kind == "getfield":
+        em("obj = stack[-1]")
+        em("if obj is None:")
+        with em.indent():
+            _fault_raise(em, spec.faults[0])
+        em("stack[-1] = obj.fields[aarg[pc]]")
+    elif kind == "putfield":
+        em("value = stack.pop()")
+        em("obj = stack.pop()")
+        em("if obj is None:")
+        with em.indent():
+            _fault_raise(em, spec.faults[0])
+        em("obj.fields[aarg[pc]] = value")
+    elif kind == "is_exact":
+        em("obj = stack.pop()")
+        em("stack.append(")
+        with em.indent():
+            em("1 if obj is not None and obj.class_index == aarg[pc] else 0")
+        em(")")
+    elif kind == "guard_method":
+        em("obj = stack.pop()")
+        em("if obj is None:")
+        with em.indent():
+            em("stack.append(0)")
+        em("else:")
+        with em.indent():
+            em("target = vtables[obj.class_index].get(aarg[pc])")
+            em("stack.append(1 if target == barg[pc] else 0)")
+    elif kind == "new_array":
+        em("length = stack.pop()")
+        em("if length < 0:")
+        with em.indent():
+            _fault_raise(em, spec.faults[0])
+        em(f"time += {spec.dyn_cost}  # allocation cost scales with size")
+        em("stack.append(HeapArray(length))")
+    elif kind == "aload":
+        em("index = stack.pop()")
+        em("array = stack.pop()")
+        em("if array is None:")
+        with em.indent():
+            _fault_raise(em, spec.faults[0])
+        em("elements = array.elements")
+        em("if index < 0 or index >= len(elements):")
+        with em.indent():
+            _fault_raise(em, spec.faults[1])
+        em("stack.append(elements[index])")
+    elif kind == "astore":
+        em("value = stack.pop()")
+        em("index = stack.pop()")
+        em("array = stack.pop()")
+        em("if array is None:")
+        with em.indent():
+            _fault_raise(em, spec.faults[0])
+        em("elements = array.elements")
+        em("if index < 0 or index >= len(elements):")
+        with em.indent():
+            _fault_raise(em, spec.faults[1])
+        em("elements[index] = value")
+    elif kind == "array_len":
+        em("array = stack.pop()")
+        em("if array is None:")
+        with em.indent():
+            _fault_raise(em, spec.faults[0])
+        em("stack.append(len(array.elements))")
+    elif kind == "print":
+        em("self.output.append(stack.pop())")
+    elif kind == "nop":
+        pass
+    else:  # pragma: no cover - table/emitter mismatch
+        raise AssertionError(f"no simple-arm emitter for kind {kind!r}")
+    em("pc += 1")
+
+
+def _emit_divmod_arm(em: Emitter) -> None:
+    spec = spec_of(Op.DIV)
+    em("right = stack.pop()")
+    em("left = stack[-1]")
+    em("if right == 0:")
+    with em.indent():
+        _fault_raise(em, spec.faults[0])
+    em("quotient = abs(left) // abs(right)")
+    em("if (left < 0) != (right < 0):")
+    with em.indent():
+        em("quotient = -quotient")
+    em("if op == OP_DIV:")
+    with em.indent():
+        em("stack[-1] = quotient")
+    em("else:")
+    with em.indent():
+        em("stack[-1] = left - quotient * right")
+    em("pc += 1")
+
+
+def _emit_jump_arm(em: Emitter) -> None:
+    em("target = aarg[pc]")
+    em("if target <= pc:")
+    with em.indent():
+        em("# Loop backedge: a yieldpoint site in the Jikes")
+        em("# scheme, and a step-limit check site (the limit")
+        em("# must bind even when no timer ever fires).")
+        em("if steps >= max_steps:")
+        with em.indent():
+            _step_limit_raise(em)
+        em("if backedge_yp and self.yieldpoint_flag > 0:")
+        with em.indent():
+            em("self.time = time")
+            em("self.call_count = call_count")
+            em("frame.pc = pc")
+            em("self._take_yieldpoint(BACKEDGE)")
+            em("time = self.time")
+        em("if paths is not None:")
+        with em.indent():
+            em("# Unconditional back edge: record the path")
+            em("# and reset the register (may charge).")
+            em("self.time = time")
+            em("paths.on_jump_back(pc)")
+            em("time = self.time")
+        em("# On-stack replacement: hot loops whose frame")
+        em("# was entered before the body was compiled (or")
+        em("# that de-optimized earlier) re-enter generated")
+        em("# code at the loop head.")
+        em("jrec = method.jit")
+        em("if (")
+        with em.indent():
+            em("jrec is not None")
+            em("and jrec.sig == jit_sig")
+            em("and self.yieldpoint_flag == 0")
+            em("and time < next_tick")
+            em("and target in jrec.entries")
+        em("):")
+        with em.indent():
+            em("frame.pc = target")
+            em("self.jit_osr_entries += 1")
+            em("time, steps, call_count = jrec.fn(")
+            with em.indent():
+                em("self, frame, time, steps, call_count, next_tick")
+            em(")")
+            em("pc = frame.pc")
+            em("continue")
+    em("pc = target")
+
+
+def _emit_branch_arm(em: Emitter, op: Op) -> None:
+    spec = spec_of(op)
+    taken_test = "== 0" if spec.arg == "false" else "!= 0"
+    em(f"if stack.pop() {taken_test}:")
+    with em.indent():
+        em("target = aarg[pc]")
+        em("if target <= pc and steps >= max_steps:")
+        with em.indent():
+            _step_limit_raise(em)
+        em("if paths is not None:")
+        with em.indent():
+            em("self.time = time")
+            em("paths.on_branch(pc, True)")
+            em("time = self.time")
+        em("pc = target")
+    em("else:")
+    with em.indent():
+        em("if paths is not None:")
+        with em.indent():
+            em("self.time = time")
+            em("paths.on_branch(pc, False)")
+            em("time = self.time")
+        em("pc += 1")
+
+
+# -- call machinery (shared by the raw and IC call arms) ----------------------
+
+_CALL_NOTIFY = """
+if observer is not None:
+    # Observers may charge vm.time (instrumented modes),
+    # so sync the cached counter around the call.  The
+    # call site is reported in baseline coordinates via
+    # the inline map (see Instr.origin).
+    self.time = time
+    origin = origins[pc]
+    if origin is None:
+        observer(method.index, pc, callee_index)
+    else:
+        observer(origin[0], origin[1], callee_index)
+    time = self.time
+if telemetry is not None:
+    # Zero virtual cost; baseline coordinates like the
+    # observer so traced calls line up with the DCG.
+    origin = origins[pc]
+    if origin is None:
+        telemetry.on_call(time, method.index, pc, callee_index)
+    else:
+        telemetry.on_call(time, origin[0], origin[1], callee_index)
+"""
+
+_PROLOGUE_AND_JIT = """
+if prologue_yp and self.yieldpoint_flag != 0:
+    self.time = time
+    self.call_count = call_count
+    self._take_yieldpoint(PROLOGUE)
+    time = self.time
+jrec = method.jit
+if (
+    jrec is not None
+    and jrec.entry0
+    and jrec.sig == jit_sig
+    and self.yieldpoint_flag == 0
+    and time < next_tick
+):
+    self.jit_entries += 1
+    time, steps, call_count = jrec.fn(
+        self, frame, time, steps, call_count, next_tick
+    )
+    pc = frame.pc
+"""
+
+
+def _stack_overflow_fault(em: Emitter, spec) -> None:
+    overflow = next(f for f in spec.faults if f.kind == "stack_overflow")
+    em("if len(frames) >= max_frames:")
+    with em.indent():
+        _fault_raise(em, overflow)
+
+
+def _emit_frame_switch(em: Emitter, *, nargs_expr: str, pad: bool, views: str) -> None:
+    em(f"base = len(stack) - {nargs_expr}")
+    em("new_locals = stack[base:]")
+    em("del stack[base:]")
+    if pad:
+        em("if pad:")
+        with em.indent():
+            em("new_locals.extend(pad)")
+    else:
+        em("if callee.num_locals > nargs:")
+        with em.indent():
+            em("new_locals.extend([0] * (callee.num_locals - nargs))")
+    em("frame.pc = pc + 1  # return address")
+    em("if pool:")
+    with em.indent():
+        em("frame = pool.pop()")
+        em("frame.method = callee")
+        em("frame.pc = 0")
+        em("frame.locals = new_locals")
+        em("frame.callsite_pc = pc")
+    em("else:")
+    with em.indent():
+        em("frame = Frame(callee, new_locals, pc)")
+    em("frames.append(frame)")
+    em("if paths is not None:")
+    with em.indent():
+        em("paths.on_call(callee)")
+    em("method = callee")
+    if views == "tuple":
+        _views_unpack_tuple(em, "views")
+    else:
+        _views_unpack_longhand(em)
+    em("stack = frame.stack")
+    em("locals_ = frame.locals")
+    em("pc = 0")
+    em.raw(_PROLOGUE_AND_JIT)
+
+
+def _emit_leaf_fastpath(
+    em: Emitter, *, call_cost: str, nargs_expr: str, cell: bool
+) -> None:
+    em("leaf = callee.leaf")
+    em("if (")
+    with em.indent():
+        em("leaf is not None")
+        em("and observer is None")
+        em("and telemetry is None")
+        em("and paths is None")
+        em("and self.yieldpoint_flag == 0")
+        em(f"and time + {call_cost} + leaf[0] < next_tick")
+        em("and len(frames) < max_frames")
+    em("):")
+    with em.indent():
+        em(f"base = len(stack) - {nargs_expr}")
+        em("fn = leaf[6]")
+        em("if fn is not None:")
+        with em.indent():
+            em("value = fn(stack, base)")
+            em("if value is not LEAF_FAIL:")
+            with em.indent():
+                if cell:
+                    em("cell[0] += 1")
+                em(f"time += {call_cost} + leaf[7]")
+                em("steps += leaf[8]")
+                em("call_count += 1")
+                em("del stack[base:]")
+                em("if value is not LEAF_VOID:")
+                with em.indent():
+                    em("stack.append(value)")
+                em("pc += 1")
+                em("continue")
+        em("else:")
+        with em.indent():
+            em("res = eval_leaf(leaf, stack, base)")
+            em("if res is not None:")
+            with em.indent():
+                if cell:
+                    em("cell[0] += 1")
+                em(f"time += {call_cost} + res[1]")
+                em("steps += res[2]")
+                em("call_count += 1")
+                em("del stack[base:]")
+                em("value = res[0]")
+                em("if value is not LEAF_VOID:")
+                with em.indent():
+                    em("stack.append(value)")
+                em("pc += 1")
+                em("continue")
+
+
+def _emit_call_arm(em: Emitter) -> None:
+    """The raw CALL_STATIC|CALL_VIRTUAL arm (un-quickened sites)."""
+    vspec = spec_of(Op.CALL_VIRTUAL)
+    em("if steps >= max_steps:")
+    with em.indent():
+        em("# Calls are the other place the step limit must")
+        em("# bind without a timer (recursion never crosses")
+        em("# a backedge).")
+        _step_limit_raise(em)
+    em("if op == OP_CALL_VIRTUAL:")
+    with em.indent():
+        em("argc = barg[pc]")
+        em("receiver = stack[-argc - 1]")
+        em("if receiver is None:")
+        with em.indent():
+            _fault_raise(em, vspec.faults[0])
+        em("try:")
+        with em.indent():
+            em("callee_index = vtables[receiver.class_index][aarg[pc]]")
+        em("except KeyError:")
+        with em.indent():
+            em("self._sync(")
+            with em.indent():
+                em("time, steps, call_count, fused_n, deopts, frame, pc")
+            em(")")
+            em("raise self._missing_selector(")
+            with em.indent():
+                em("receiver.class_index, aarg[pc], method, pc")
+            em(") from None")
+        em("callee = cache_methods[callee_index]")
+        em("nargs = argc + 1")
+        em("time += call_virtual_cost")
+        em("if ics is not None:")
+        with em.indent():
+            em("# First execution of this site under ICs:")
+            em("# build the cache entry and quicken it.")
+            em("self._quicken_virtual(")
+            with em.indent():
+                em("method, pc, receiver.class_index, callee, nargs")
+            em(")")
+    em("else:")
+    with em.indent():
+        em("callee = cache_methods[aarg[pc]]")
+        em("callee_index = callee.index")
+        em("nargs = barg[pc]")
+        em("time += call_static_cost")
+        em("if ics is not None:")
+        with em.indent():
+            em("self._quicken_static(method, pc, callee, nargs)")
+    em("call_count += 1")
+    em("if not seen[callee_index]:")
+    with em.indent():
+        em("seen[callee_index] = True")
+        em("self.methods_executed += 1")
+    em.raw(_CALL_NOTIFY)
+    _stack_overflow_fault(em, vspec)
+    _emit_frame_switch(em, nargs_expr="nargs", pad=False, views="longhand")
+
+
+def _emit_frame_pop(em: Emitter, *, views: str) -> None:
+    em("dead = frames.pop()")
+    em("if not frames:")
+    with em.indent():
+        em("result = value")
+        em("break")
+    em("del dead.stack[:]")
+    em("dead.locals = _FREED_LOCALS")
+    em("pool.append(dead)")
+    em("frame = frames[-1]")
+    em("method = frame.method")
+    if views == "tuple":
+        _views_unpack_tuple(em, "method.views")
+    else:
+        _views_unpack_longhand(em)
+    em("stack = frame.stack")
+    em("locals_ = frame.locals")
+    em("pc = frame.pc")
+
+
+def _emit_return_arm(em: Emitter, *, valop: str, views: str) -> None:
+    """The raw and IC return arms (``valop`` is the value-bearing opcode
+    local name; the IC variant restores views in one tuple unpack)."""
+    em("time += return_cost")
+    em("if epilogue_yp and self.yieldpoint_flag != 0:")
+    with em.indent():
+        em("self.time = time")
+        em("self.call_count = call_count")
+        em("frame.pc = pc")
+        em("self._take_yieldpoint(EPILOGUE)")
+        em("time = self.time")
+    em(f"value = stack.pop() if op == {valop} else None")
+    em("if paths is not None:")
+    with em.indent():
+        em("# Record the completed path (may charge the")
+        em("# record cost) before the frame dies.")
+        em("self.time = time")
+        em("paths.on_return(pc)")
+        em("time = self.time")
+    _emit_frame_pop(em, views=views)
+    em(f"if value is not None or op == {valop}:")
+    with em.indent():
+        em("stack.append(value)")
+
+
+def _emit_ic_virtual_arm(em: Emitter) -> None:
+    vspec = spec_of(Op.CALL_VIRTUAL)
+    em("# Quickened virtual call.  Entry layout (repro.vm.ic):")
+    em("# [0]=nargs, [1..6]=slot0 (class, method, index,")
+    em("# views, pad, cell), [7..12]=slot1, [13]=overflow,")
+    em("# [14]=selector, [15]=state, [16]=cells, [17]=site.")
+    em("if steps >= max_steps:")
+    with em.indent():
+        _step_limit_raise(em)
+    em("entry = ics[pc]")
+    em("nargs = entry[0]")
+    em("receiver = stack[-nargs]")
+    em("if receiver is None:")
+    with em.indent():
+        _fault_raise(em, vspec.faults[0])
+    em("rclass = receiver.class_index")
+    em("if rclass == entry[1]:")
+    with em.indent():
+        em("cell = entry[6]")
+        em("callee = entry[2]")
+        em("callee_index = entry[3]")
+        em("views = entry[4]")
+        em("pad = entry[5]")
+    em("elif rclass == entry[7]:")
+    with em.indent():
+        em("cell = entry[12]")
+        em("callee = entry[8]")
+        em("callee_index = entry[9]")
+        em("views = entry[10]")
+        em("pad = entry[11]")
+    em("else:")
+    with em.indent():
+        em("# Both inline slots missed.  Overflow-bound")
+        em("# classes and megamorphic flat-table resolution")
+        em("# are handled here in the arm (not in the slow")
+        em("# path) so their callees still reach the leaf")
+        em("# fast path below; only binding a new class")
+        em("# leaves the loop.")
+        em("cell = None")
+        em("rest = entry[13]")
+        em("if rest is not None:")
+        with em.indent():
+            em("for r in rest:")
+            with em.indent():
+                em("if r[0] == rclass:")
+                with em.indent():
+                    em("self.ic_misses += 1")
+                    em("callee = r[1]")
+                    em("callee_index = r[2]")
+                    em("views = r[3]")
+                    em("pad = r[4]")
+                    em("cell = r[5]")
+                    em("break")
+        em("if cell is None:")
+        with em.indent():
+            em("if entry[15] > POLY_LIMIT:")
+            with em.indent():
+                em("# Megamorphic: resolve through the flat")
+                em("# selector-indexed tables, never growing")
+                em("# the cache.")
+                em("self.ic_misses += 1")
+                em("selector = entry[14]")
+                em("row = flat_vtables[rclass]")
+                em("callee_index = (")
+                with em.indent():
+                    em("row[selector] if selector < len(row) else -1")
+                em(")")
+                em("if callee_index < 0:")
+                with em.indent():
+                    em("self._sync(")
+                    with em.indent():
+                        em("time, steps, call_count, fused_n,")
+                        em("deopts, frame, pc,")
+                    em(")")
+                    em("raise self._missing_selector(")
+                    with em.indent():
+                        em("rclass, selector, method, pc")
+                    em(")")
+                em("callee = cache_methods[callee_index]")
+                em("cells = entry[16]")
+                em("cell = cells.get(rclass)")
+                em("if cell is None:")
+                with em.indent():
+                    em("cell = cells[rclass] = [0]")
+                em("if not seen[callee_index]:")
+                with em.indent():
+                    em("seen[callee_index] = True")
+                    em("self.methods_executed += 1")
+                em("views = callee.views")
+                em("pad = locals_pad(callee.num_locals, nargs)")
+            em("else:")
+            with em.indent():
+                em("# May raise (missing selector): sync the")
+                em("# counters first so the transcript is")
+                em("# exact; it's the bind slow path anyway.")
+                em("self._sync(")
+                with em.indent():
+                    em("time, steps, call_count, fused_n,")
+                    em("deopts, frame, pc,")
+                em(")")
+                em("callee, callee_index, views, pad = (")
+                with em.indent():
+                    em("self._ic_virtual_slow(")
+                    with em.indent():
+                        em("entry, rclass, method, pc")
+                    em(")")
+                em(")")
+    em("if cell is not None:")
+    with em.indent():
+        em("# Cache hit: try the leaf calling sequence — run")
+        em("# accessor-like bodies on a scratch stack with no")
+        em("# frame.  Only when no observation point (tick,")
+        em("# yieldpoint, observer, telemetry) could land")
+        em("# inside the body; _eval_leaf returns None (and")
+        em("# undoes its writes) on a would-be fault, and the")
+        em("# generic sequence below re-executes it.")
+        _emit_leaf_fastpath(
+            em, call_cost="call_virtual_cost", nargs_expr="nargs", cell=True
+        )
+        em("cell[0] += 1")
+    em("time += call_virtual_cost")
+    em("call_count += 1")
+    em.raw(_CALL_NOTIFY)
+    _stack_overflow_fault(em, vspec)
+    _emit_frame_switch(em, nargs_expr="entry[0]", pad=True, views="tuple")
+
+
+def _emit_ic_static_arm(em: Emitter) -> None:
+    sspec = spec_of(Op.CALL_STATIC)
+    em("# Quickened static call: [method, index, views, pad,")
+    em("# nargs] — the target is a constant.")
+    em("if steps >= max_steps:")
+    with em.indent():
+        _step_limit_raise(em)
+    em("entry = ics[pc]")
+    em("callee = entry[0]")
+    em("# Same leaf calling sequence as the virtual arm; the")
+    em("# target is a constant so there is no cache hit to")
+    em("# test first.")
+    _emit_leaf_fastpath(
+        em, call_cost="call_static_cost", nargs_expr="entry[4]", cell=False
+    )
+    em("callee_index = entry[1]")
+    em("views = entry[2]")
+    em("pad = entry[3]")
+    em("time += call_static_cost")
+    em("call_count += 1")
+    em.raw(_CALL_NOTIFY)
+    _stack_overflow_fault(em, sspec)
+    _emit_frame_switch(em, nargs_expr="entry[4]", pad=True, views="tuple")
+
+
+# -- fused arms (derived from component specs + FUSED_LAYOUT) -----------------
+
+
+class _Val:
+    """One symbolic operand-stack slot during fused-arm derivation."""
+
+    __slots__ = ("expr", "src", "binop")
+
+    def __init__(self, expr: str, src: str, binop=None):
+        self.expr = expr
+        self.src = src  # "load" | "push" | "real" | "derived"
+        self.binop = binop  # (left_expr, sym, right_expr) when a binop result
+
+
+_ROLE_NAMES = {
+    Op.PUSH: "k",
+    Op.STORE: "dst",
+    Op.LOAD: "other",
+    Op.GETFIELD: "offset",
+    Op.JUMP_IF_FALSE: "target",
+}
+
+
+def _operand_exprs(fid: int):
+    """comp index -> source expression for its ``a`` operand, plus the
+    unpack statement when several operands ride in the ``fb`` tuple.
+    Derived from the very layout rows the fuser packs operands with."""
+    comps = [Op(c) for c in fusion.FUSED_COMPONENTS[fid]]
+    fa_desc, fb_desc = fusion.FUSED_LAYOUT[fid]
+    opnd: dict[int, str] = {}
+    unpack = None
+    if fa_desc is not None:
+        opnd[int(fa_desc[1:])] = "faarg[pc]"
+    if isinstance(fb_desc, tuple):
+        names = [_ROLE_NAMES[comps[int(d[1:])]] for d in fb_desc]
+        assert len(set(names)) == len(names), f"operand-name clash in {fid}"
+        for d, name in zip(fb_desc, names):
+            opnd[int(d[1:])] = name
+        unpack = f"{', '.join(names)} = fbarg[pc]"
+    elif fb_desc is not None:
+        opnd[int(fb_desc[1:])] = "fbarg[pc]"
+    return comps, opnd, unpack
+
+
+def _mid_group_refund(idx: int, arity: int) -> tuple[str, str, str]:
+    """Fault attribution for component ``idx`` of an ``arity``-wide
+    group: the pc of the faulting component, and the head's up-front
+    charge minus the trailing components the raw run never reached."""
+    trailing = list(range(idx + 1, arity))
+    time_expr = "time" + "".join(f" - costs[pc + {j}]" for j in trailing)
+    steps_expr = f"steps - {len(trailing)}" if trailing else "steps"
+    pc_expr = f"pc + {idx}" if idx else "pc"
+    return time_expr, steps_expr, pc_expr
+
+
+def _substitute_real(lines: list[str], replacement: str, *, at_most_one: bool):
+    count = sum(line.count("__REAL__") for line in lines)
+    if at_most_one and count != 1:  # pragma: no cover - pattern audit
+        raise AssertionError(f"expected one real-stack use, found {count}")
+    return [line.replace("__REAL__", replacement) for line in lines]
+
+
+def _emit_fused_data_arm(em: Emitter, fid: int) -> None:
+    """Symbolically execute the group's components, then emit the
+    minimal statements: appends when nothing real is consumed, a
+    peek-replace (or augmented assignment) when the group nets a
+    one-for-one top-of-stack swap, a single ``stack.pop()`` when the
+    consumed value never comes back."""
+    comps, opnd, unpack = _operand_exprs(fid)
+    arity = len(comps)
+    em(f"steps += {arity}")
+    if unpack:
+        em(unpack)
+    bem = Emitter()
+    sim: list[_Val] = []
+    real = 0
+
+    def vpop() -> _Val:
+        nonlocal real
+        if sim:
+            return sim.pop()
+        if real:  # pragma: no cover - pattern audit
+            raise AssertionError("patterns pop at most one real value")
+        real += 1
+        return _Val("__REAL__", "real")
+
+    for idx, comp in enumerate(comps):
+        spec = spec_of(comp)
+        kind = spec.kind
+        if kind == "load":
+            sim.append(_Val(f"locals_[{opnd[idx]}]", "load"))
+        elif kind == "push_const":
+            sim.append(_Val(opnd[idx], "push"))
+        elif kind == "store":
+            val = vpop()
+            bem(f"locals_[{opnd[idx]}] = {val.expr}")
+        elif kind == "binop":
+            right = vpop()
+            left = vpop()
+            sym = _BINOP_SYMS[spec.arg]
+            sim.append(
+                _Val(
+                    f"{left.expr} {sym} {right.expr}",
+                    "derived",
+                    binop=(left.expr, sym, right.expr),
+                )
+            )
+        elif kind == "getfield":
+            obj = vpop()
+            bem(f"obj = {obj.expr}")
+            bem("if obj is None:")
+            with bem.indent():
+                time_expr, steps_expr, pc_expr = _mid_group_refund(idx, arity)
+                if idx + 1 < arity:
+                    bem("# Fault mid-group: attribute the raw pc and")
+                    bem("# give back the trailing components' charge")
+                    bem("# (the raw run never reached them).")
+                _fault_raise(
+                    bem,
+                    spec.faults[0],
+                    pc_expr=pc_expr,
+                    time_expr=time_expr,
+                    steps_expr=steps_expr,
+                )
+            sim.append(_Val(f"obj.fields[{opnd[idx]}]", "derived"))
+        elif kind == "divmod":
+            right = vpop()
+            left = vpop()
+            bem(f"k = {right.expr}")
+            bem(f"left = {left.expr}")
+            bem("if k == 0:")
+            with bem.indent():
+                time_expr, steps_expr, pc_expr = _mid_group_refund(idx, arity)
+                _fault_raise(
+                    bem,
+                    spec.faults[0],
+                    pc_expr=pc_expr,
+                    time_expr=time_expr,
+                    steps_expr=steps_expr,
+                )
+            bem("quotient = abs(left) // abs(k)")
+            bem("if (left < 0) != (k < 0):")
+            with bem.indent():
+                bem("quotient = -quotient")
+            result = "quotient" if spec.arg == "div" else "left - quotient * k"
+            sim.append(_Val(result, "derived"))
+        else:  # pragma: no cover - fusable audit in fuse.py
+            raise AssertionError(f"kind {kind!r} cannot appear mid-group")
+
+    lines = bem.lines
+    if real == 0:
+        for line in lines:
+            em(line)
+        for val in sim:
+            em(f"stack.append({val.expr})")
+    elif len(sim) == 1:
+        top = sim[0]
+        final_expr = top.expr
+        for line in _substitute_real(lines, "stack[-1]", at_most_one=False):
+            em(line)
+        if top.binop is not None and top.binop[0] == "__REAL__":
+            em(f"stack[-1] {top.binop[1]}= {top.binop[2]}")
+        else:
+            em(f"stack[-1] = {final_expr.replace('__REAL__', 'stack[-1]')}")
+    else:
+        assert not sim, "net pop of more than the top is unsupported"
+        for line in _substitute_real(lines, "stack.pop()", at_most_one=True):
+            em(line)
+    em(f"pc += {arity}")
+
+
+def _fused_branch_tail(em: Emitter, arity: int, *, bind_target: bool) -> None:
+    off = arity - 1
+    if bind_target:
+        em("target = faarg[pc]")
+    em(f"if target <= pc + {off} and steps >= max_steps:")
+    with em.indent():
+        _step_limit_raise(em, pc_expr=f"pc + {off}")
+    em("pc = target")
+
+
+def _emit_fused_branch_arm(em: Emitter, fid: int) -> None:
+    """cmp+JIF tails: the fall-through condition is the cmp's truth (the
+    JIF jumps when the popped result is zero)."""
+    comps, opnd, unpack = _operand_exprs(fid)
+    arity = len(comps)
+    cmp_spec = spec_of(comps[-2])
+    em(f"steps += {arity}")
+    if unpack:
+        em(unpack)
+    if arity == 2:
+        # Operands come off the real stack (right was pushed last).
+        if cmp_spec.kind == "cmp":
+            em("right = stack.pop()")
+            em(f"if stack.pop() {_CMP_SYMS[cmp_spec.arg]} right:")
+            with em.indent():
+                em(f"pc += {arity}")
+            em("else:")
+            with em.indent():
+                _fused_branch_tail(em, arity, bind_target=True)
+        else:  # eqcmp: int equality, identity for non-ints
+            taken_val = "!=" if cmp_spec.arg == "==" else "=="
+            taken_id = "is not" if cmp_spec.arg == "==" else "is"
+            em("right = stack.pop()")
+            em("left = stack.pop()")
+            em("if isinstance(left, int) and isinstance(right, int):")
+            with em.indent():
+                em(f"taken = left {taken_val} right")
+            em("else:")
+            with em.indent():
+                em(f"taken = left {taken_id} right")
+            em("if taken:")
+            with em.indent():
+                _fused_branch_tail(em, arity, bind_target=True)
+            em("else:")
+            with em.indent():
+                em(f"pc += {arity}")
+        return
+    # Quad: the prefix components produce both operands symbolically.
+    sim: list[_Val] = []
+    for idx, comp in enumerate(comps[:-2]):
+        spec = spec_of(comp)
+        if spec.kind == "load":
+            sim.append(_Val(f"locals_[{opnd[idx]}]", "load"))
+        elif spec.kind == "push_const":
+            sim.append(_Val(opnd[idx], "push"))
+        else:  # pragma: no cover - pattern audit
+            raise AssertionError(f"unexpected branch prefix {comp.name}")
+    right = sim.pop()
+    left = sim.pop()
+    if cmp_spec.kind == "cmp":
+        em(f"if {left.expr} {_CMP_SYMS[cmp_spec.arg]} {right.expr}:")
+        with em.indent():
+            em(f"pc += {arity}")
+        em("else:")
+        with em.indent():
+            _fused_branch_tail(em, arity, bind_target=False)
+    else:
+        # eqcmp against a PUSH operand: the constant is an int, so the
+        # raw EQ's identity fallback reduces to False for non-int left
+        # values.
+        assert right.src == "push", "fused eqcmp quads compare against PUSH"
+        em(f"left = {left.expr}")
+        eq = f"isinstance(left, int) and left == {right.expr}"
+        cond = eq if cmp_spec.arg == "==" else f"not ({eq})"
+        em(f"if {cond}:")
+        with em.indent():
+            em(f"pc += {arity}")
+        em("else:")
+        with em.indent():
+            _fused_branch_tail(em, arity, bind_target=False)
+
+
+def _emit_fused_return_arm(em: Emitter, fids: tuple[int, ...]) -> None:
+    """RETURN_VAL tails, merged into one arm: compute the value from the
+    prefix, then the shared epilogue/frame-pop sequence."""
+    for i, fid in enumerate(fids):
+        comps, opnd, _unpack = _operand_exprs(fid)
+        arity = len(comps)
+        sim: list[_Val] = []
+        for idx, comp in enumerate(comps[:-1]):
+            spec = spec_of(comp)
+            if spec.kind == "load":
+                sim.append(_Val(f"locals_[{opnd[idx]}]", "load"))
+            elif spec.kind == "push_const":
+                sim.append(_Val(opnd[idx], "push"))
+            elif spec.kind == "binop":
+                right = sim.pop()
+                left = sim.pop()
+                sim.append(
+                    _Val(
+                        f"{left.expr} {_BINOP_SYMS[spec.arg]} {right.expr}",
+                        "derived",
+                    )
+                )
+            else:  # pragma: no cover - pattern audit
+                raise AssertionError(f"unexpected return prefix {comp.name}")
+        assert len(sim) == 1, "return tail must net one value"
+        header = f"if op == {_attr_name(fid)}:" if i == 0 else "else:"
+        if len(fids) == 1:
+            for line in _value_block(sim[0].expr, arity):
+                em(line)
+        else:
+            em(header)
+            with em.indent():
+                for line in _value_block(sim[0].expr, arity):
+                    em(line)
+    em("time += return_cost")
+    em("if epilogue_yp and self.yieldpoint_flag != 0:")
+    with em.indent():
+        em("self.time = time")
+        em("self.call_count = call_count")
+        em("frame.pc = epilogue_pc")
+        em("self._take_yieldpoint(EPILOGUE)")
+        em("time = self.time")
+    _emit_frame_pop(em, views="longhand")
+    em("stack.append(value)")
+
+
+def _value_block(value_expr: str, arity: int) -> list[str]:
+    return [
+        f"steps += {arity}",
+        f"value = {value_expr}",
+        f"epilogue_pc = pc + {arity - 1}",
+    ]
+
+
+# -- loop assembly ------------------------------------------------------------
+
+_FUSED_HEAD = """
+# ---- superinstruction path ----
+cost = costs[pc]
+if time + cost >= next_tick:
+    # A tick lands inside this group: de-quicken so it
+    # fires on exactly the instruction the unfused
+    # interpreter would fire it on.  (The group's
+    # cumulative charge crosses the boundary at its last
+    # nonzero-cost component at the latest, so the tick
+    # — and the view restore — always happens inside
+    # the group, before any call or return.)
+    dequickened = True
+    deopts += 1
+    ops = method.ops
+    costs = method.costs
+    continue
+time += cost
+fused_n += 1
+"""
+
+#: The two can't-happen arms: the verifier (raw) and the fuse/loop
+#: agreement test (fused) keep them unreachable, but they still sync
+#: counters exactly like every other fault.
+_UNKNOWN_OPCODE = FaultSpec("unknown_opcode", "VMError", "unknown opcode {op}")
+_UNKNOWN_SUPER = FaultSpec(
+    "unknown_superinstruction", "VMError", "unknown superinstruction {op}"
+)
+
+
+def _op_const(entry) -> str:
+    return f"OP_{entry.name}" if isinstance(entry, Op) else f"OP_{entry}"
+
+
+def _arm_test(entry, names=None) -> str:
+    items = entry if isinstance(entry, tuple) else (entry,)
+    if names is None:
+        return " or ".join(f"op == {_op_const(e)}" for e in items)
+    return " or ".join(f"op == {e}" for e in items)
+
+
+def _emit_raw_arm_body(em: Emitter, entry) -> None:
+    if entry == "IC_CALL_VIRTUAL":
+        _emit_ic_virtual_arm(em)
+    elif entry == "IC_CALL_STATIC":
+        _emit_ic_static_arm(em)
+    elif entry == ("IC_RETURN_VAL", "IC_RETURN"):
+        em("# Quickened return: identical to the raw handler but")
+        em("# restores the caller's cached views in one unpack.")
+        _emit_return_arm(em, valop="OP_IC_RETURN_VAL", views="tuple")
+    elif entry == (Op.CALL_STATIC, Op.CALL_VIRTUAL):
+        _emit_call_arm(em)
+    elif entry == (Op.RETURN, Op.RETURN_VAL):
+        _emit_return_arm(em, valop="OP_RETURN_VAL", views="longhand")
+    elif entry == (Op.DIV, Op.MOD):
+        _emit_divmod_arm(em)
+    elif isinstance(entry, Op):
+        spec = spec_of(entry)
+        if spec.kind == "jump":
+            _emit_jump_arm(em)
+        elif spec.kind == "branch":
+            _emit_branch_arm(em, entry)
+        else:
+            _emit_simple_raw_arm(em, entry)
+    else:  # pragma: no cover - order-table audit
+        raise AssertionError(f"unhandled RAW_ORDER entry {entry!r}")
+
+
+def _emit_fused_arm_body(em: Emitter, entry) -> None:
+    if isinstance(entry, tuple):
+        _emit_fused_return_arm(em, tuple(_F_BY_NAME[name] for name in entry))
+        return
+    fid = _F_BY_NAME[entry]
+    tail = Op(fusion.FUSED_COMPONENTS[fid][-1])
+    if spec_of(tail).kind == "branch":
+        _emit_fused_branch_arm(em, fid)
+    elif spec_of(tail).kind == "return":
+        _emit_fused_return_arm(em, (fid,))
+    else:
+        _emit_fused_data_arm(em, fid)
+
+
+def _check_coverage() -> None:
+    """Every opcode and every superinstruction must own exactly one arm."""
+    raw: list = []
+    for entry in RAW_ORDER:
+        for item in entry if isinstance(entry, tuple) else (entry,):
+            if isinstance(item, Op):
+                raw.append(item)
+    assert len(raw) == len(set(raw)), "duplicate raw arm"
+    assert set(raw) == {spec.op for spec in OPCODE_SPECS}, (
+        "RAW_ORDER does not cover the opcode set exactly: "
+        f"{set(raw) ^ {spec.op for spec in OPCODE_SPECS}}"
+    )
+    fused: list = []
+    for entry in FUSED_ORDER:
+        for name in entry if isinstance(entry, tuple) else (entry,):
+            fused.append(_F_BY_NAME[name])
+    assert len(fused) == len(set(fused)), "duplicate fused arm"
+    assert set(fused) == set(fusion.FUSED_COMPONENTS), (
+        "FUSED_ORDER does not cover the fuse table exactly: "
+        f"{set(fused) ^ set(fusion.FUSED_COMPONENTS)}"
+    )
+
+
+def _emit_loop(em: Emitter) -> None:
+    em("def _loop(self):  # noqa: C901 - deliberately one flat hot loop")
+    with em.indent():
+        _emit_preamble(em)
+        em("while True:")
+        with em.indent():
+            em("op = ops[pc]")
+            em("if op < FUSE_BASE:")
+            with em.indent():
+                em.raw(_RAW_HEAD)
+                for i, entry in enumerate(RAW_ORDER):
+                    kw = "if" if i == 0 else "elif"
+                    em(f"{kw} {_arm_test(entry)}:")
+                    with em.indent():
+                        _emit_raw_arm_body(em, entry)
+                em("else:  # pragma: no cover - verifier rejects unknown opcodes")
+                with em.indent():
+                    _fault_raise(em, _UNKNOWN_OPCODE)
+            em("else:")
+            with em.indent():
+                em.raw(_FUSED_HEAD)
+                for i, entry in enumerate(FUSED_ORDER):
+                    names = entry if isinstance(entry, tuple) else (entry,)
+                    kw = "if" if i == 0 else "elif"
+                    em(f"{kw} {_arm_test(entry, names=names)}:")
+                    with em.indent():
+                        _emit_fused_arm_body(em, entry)
+                em("else:  # pragma: no cover - fuse table and loop agree by test")
+                with em.indent():
+                    _fault_raise(em, _UNKNOWN_SUPER)
+        em()
+        em("self.time = time")
+        em("self.steps = steps")
+        em("self.call_count = call_count")
+        em("self.fused_dispatches = fused_n")
+        em("self.fusion_deopts = deopts")
+        em("return result")
+
+
+def generate_source() -> str:
+    _check_coverage()
+    em = Emitter()
+    em.raw(_MODULE_DOC)
+    em()
+    em.raw(_MODULE_IMPORTS)
+    em()
+    em()
+    _emit_loop(em)
+    return "\n".join(em.lines).rstrip("\n") + "\n"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.vm.dispatchgen",
+        description="Regenerate the Mini VM dispatch loop from the opcode specs.",
+    )
+    mode = parser.add_mutually_exclusive_group()
+    mode.add_argument(
+        "--write", action="store_true", help="write the generated loop to _dispatch.py"
+    )
+    mode.add_argument(
+        "--check",
+        action="store_true",
+        help="exit 1 with a diff if _dispatch.py is stale (default)",
+    )
+    args = parser.parse_args(argv)
+    text = generate_source()
+    if args.write:
+        TARGET.write_text(text)
+        print(f"wrote {TARGET} ({len(text.splitlines())} lines)")
+        return 0
+    current = TARGET.read_text() if TARGET.exists() else ""
+    if current == text:
+        print(f"{TARGET.name} is up to date")
+        return 0
+    sys.stdout.writelines(
+        difflib.unified_diff(
+            current.splitlines(keepends=True),
+            text.splitlines(keepends=True),
+            fromfile=f"committed {TARGET.name}",
+            tofile="generated from specs",
+        )
+    )
+    print(
+        f"\n{TARGET.name} is stale: regenerate with "
+        "`python -m repro.vm.dispatchgen --write`"
+    )
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -50,7 +50,7 @@ from the unfused path, guest-visible ``VMError`` behavior does not.
 
 from __future__ import annotations
 
-from repro.bytecode.opcodes import Op, jump_targets
+from repro.bytecode.opcodes import FUSABLE_OPS, Op, jump_targets
 
 #: First superinstruction id; everything below is a raw :class:`Op`.
 FUSE_BASE = 100
@@ -103,134 +103,168 @@ def _nonzero_push(group) -> bool:
     return group[0].a != 0
 
 
-#: (fused id, component opcodes, operand builder, optional guard).
-#: The builder maps the matched ``Instr`` group to the ``(fa, fb)``
-#: operand pair stored at the group head; a third-or-later operand rides
-#: in a tuple inside ``fb`` (unpacked once per dispatch, no allocation).
+#: (fused id, component opcodes, operand layout, optional guard).
+#:
+#: The *layout* declares where the group head's packed ``(fa, fb)``
+#: operands come from: ``"a0"``..``"a3"`` names component *i*'s ``a``
+#: operand, ``None`` means unused, and a tuple packs several operands
+#: into one slot (unpacked once per dispatch, no allocation).  The
+#: layout is data, not code, so the dispatch-arm generator
+#: (:mod:`repro.vm.dispatchgen`) reads the very same rows to know which
+#: expression each generated fused handler must substitute for a
+#: component's operand — the fuser and the handlers cannot drift apart.
 _PATTERNS = [
     # pairs
-    (F_LOAD_LOAD, (Op.LOAD, Op.LOAD), lambda g: (g[0].a, g[1].a), None),
-    (F_LOAD_PUSH, (Op.LOAD, Op.PUSH), lambda g: (g[0].a, g[1].a), None),
-    (F_LOAD_ADD, (Op.LOAD, Op.ADD), lambda g: (g[0].a, None), None),
-    (F_LOAD_SUB, (Op.LOAD, Op.SUB), lambda g: (g[0].a, None), None),
-    (F_LOAD_MUL, (Op.LOAD, Op.MUL), lambda g: (g[0].a, None), None),
-    (F_LOAD_GETFIELD, (Op.LOAD, Op.GETFIELD), lambda g: (g[0].a, g[1].a), None),
-    (F_PUSH_STORE, (Op.PUSH, Op.STORE), lambda g: (g[0].a, g[1].a), None),
-    (F_PUSH_ADD, (Op.PUSH, Op.ADD), lambda g: (g[0].a, None), None),
-    (F_PUSH_SUB, (Op.PUSH, Op.SUB), lambda g: (g[0].a, None), None),
-    (F_PUSH_MUL, (Op.PUSH, Op.MUL), lambda g: (g[0].a, None), None),
-    (F_PUSH_MOD, (Op.PUSH, Op.MOD), lambda g: (g[0].a, None), _nonzero_push),
-    (F_STORE_LOAD, (Op.STORE, Op.LOAD), lambda g: (g[0].a, g[1].a), None),
-    (F_LT_JIF, (Op.LT, Op.JUMP_IF_FALSE), lambda g: (g[1].a, None), None),
-    (F_LE_JIF, (Op.LE, Op.JUMP_IF_FALSE), lambda g: (g[1].a, None), None),
-    (F_GT_JIF, (Op.GT, Op.JUMP_IF_FALSE), lambda g: (g[1].a, None), None),
-    (F_GE_JIF, (Op.GE, Op.JUMP_IF_FALSE), lambda g: (g[1].a, None), None),
-    (F_EQ_JIF, (Op.EQ, Op.JUMP_IF_FALSE), lambda g: (g[1].a, None), None),
-    (F_NE_JIF, (Op.NE, Op.JUMP_IF_FALSE), lambda g: (g[1].a, None), None),
-    (F_LOAD_RET, (Op.LOAD, Op.RETURN_VAL), lambda g: (g[0].a, None), None),
+    (F_LOAD_LOAD, (Op.LOAD, Op.LOAD), ("a0", "a1"), None),
+    (F_LOAD_PUSH, (Op.LOAD, Op.PUSH), ("a0", "a1"), None),
+    (F_LOAD_ADD, (Op.LOAD, Op.ADD), ("a0", None), None),
+    (F_LOAD_SUB, (Op.LOAD, Op.SUB), ("a0", None), None),
+    (F_LOAD_MUL, (Op.LOAD, Op.MUL), ("a0", None), None),
+    (F_LOAD_GETFIELD, (Op.LOAD, Op.GETFIELD), ("a0", "a1"), None),
+    (F_PUSH_STORE, (Op.PUSH, Op.STORE), ("a0", "a1"), None),
+    (F_PUSH_ADD, (Op.PUSH, Op.ADD), ("a0", None), None),
+    (F_PUSH_SUB, (Op.PUSH, Op.SUB), ("a0", None), None),
+    (F_PUSH_MUL, (Op.PUSH, Op.MUL), ("a0", None), None),
+    (F_PUSH_MOD, (Op.PUSH, Op.MOD), ("a0", None), _nonzero_push),
+    (F_STORE_LOAD, (Op.STORE, Op.LOAD), ("a0", "a1"), None),
+    (F_LT_JIF, (Op.LT, Op.JUMP_IF_FALSE), ("a1", None), None),
+    (F_LE_JIF, (Op.LE, Op.JUMP_IF_FALSE), ("a1", None), None),
+    (F_GT_JIF, (Op.GT, Op.JUMP_IF_FALSE), ("a1", None), None),
+    (F_GE_JIF, (Op.GE, Op.JUMP_IF_FALSE), ("a1", None), None),
+    (F_EQ_JIF, (Op.EQ, Op.JUMP_IF_FALSE), ("a1", None), None),
+    (F_NE_JIF, (Op.NE, Op.JUMP_IF_FALSE), ("a1", None), None),
+    (F_LOAD_RET, (Op.LOAD, Op.RETURN_VAL), ("a0", None), None),
     # triples
-    (F_LOAD_PUSH_ADD, (Op.LOAD, Op.PUSH, Op.ADD), lambda g: (g[0].a, g[1].a), None),
-    (F_LOAD_PUSH_SUB, (Op.LOAD, Op.PUSH, Op.SUB), lambda g: (g[0].a, g[1].a), None),
-    (F_LOAD_PUSH_MUL, (Op.LOAD, Op.PUSH, Op.MUL), lambda g: (g[0].a, g[1].a), None),
-    (F_LOAD_LOAD_ADD, (Op.LOAD, Op.LOAD, Op.ADD), lambda g: (g[0].a, g[1].a), None),
-    (F_PUSH_ADD_STORE, (Op.PUSH, Op.ADD, Op.STORE), lambda g: (g[0].a, g[2].a), None),
+    (F_LOAD_PUSH_ADD, (Op.LOAD, Op.PUSH, Op.ADD), ("a0", "a1"), None),
+    (F_LOAD_PUSH_SUB, (Op.LOAD, Op.PUSH, Op.SUB), ("a0", "a1"), None),
+    (F_LOAD_PUSH_MUL, (Op.LOAD, Op.PUSH, Op.MUL), ("a0", "a1"), None),
+    (F_LOAD_LOAD_ADD, (Op.LOAD, Op.LOAD, Op.ADD), ("a0", "a1"), None),
+    (F_PUSH_ADD_STORE, (Op.PUSH, Op.ADD, Op.STORE), ("a0", "a2"), None),
     (
         F_LOAD_GETFIELD_STORE,
         (Op.LOAD, Op.GETFIELD, Op.STORE),
-        lambda g: (g[0].a, (g[1].a, g[2].a)),
+        ("a0", ("a1", "a2")),
         None,
     ),
     # quads
     (
         F_LOAD_PUSH_ADD_STORE,
         (Op.LOAD, Op.PUSH, Op.ADD, Op.STORE),
-        lambda g: (g[0].a, (g[1].a, g[3].a)),
+        ("a0", ("a1", "a3")),
         None,
     ),
     (
         F_LOAD_PUSH_ADD_RET,
         (Op.LOAD, Op.PUSH, Op.ADD, Op.RETURN_VAL),
-        lambda g: (g[0].a, g[1].a),
+        ("a0", "a1"),
         None,
     ),
     (
         F_LOAD_PUSH_LT_JIF,
         (Op.LOAD, Op.PUSH, Op.LT, Op.JUMP_IF_FALSE),
-        lambda g: (g[0].a, (g[1].a, g[3].a)),
+        ("a0", ("a1", "a3")),
         None,
     ),
     (
         F_LOAD_PUSH_LE_JIF,
         (Op.LOAD, Op.PUSH, Op.LE, Op.JUMP_IF_FALSE),
-        lambda g: (g[0].a, (g[1].a, g[3].a)),
+        ("a0", ("a1", "a3")),
         None,
     ),
     (
         F_LOAD_PUSH_GT_JIF,
         (Op.LOAD, Op.PUSH, Op.GT, Op.JUMP_IF_FALSE),
-        lambda g: (g[0].a, (g[1].a, g[3].a)),
+        ("a0", ("a1", "a3")),
         None,
     ),
     (
         F_LOAD_PUSH_GE_JIF,
         (Op.LOAD, Op.PUSH, Op.GE, Op.JUMP_IF_FALSE),
-        lambda g: (g[0].a, (g[1].a, g[3].a)),
+        ("a0", ("a1", "a3")),
         None,
     ),
     (
         F_LOAD_PUSH_EQ_JIF,
         (Op.LOAD, Op.PUSH, Op.EQ, Op.JUMP_IF_FALSE),
-        lambda g: (g[0].a, (g[1].a, g[3].a)),
+        ("a0", ("a1", "a3")),
         None,
     ),
     (
         F_LOAD_PUSH_NE_JIF,
         (Op.LOAD, Op.PUSH, Op.NE, Op.JUMP_IF_FALSE),
-        lambda g: (g[0].a, (g[1].a, g[3].a)),
+        ("a0", ("a1", "a3")),
         None,
     ),
     (
         F_LOAD_LOAD_LT_JIF,
         (Op.LOAD, Op.LOAD, Op.LT, Op.JUMP_IF_FALSE),
-        lambda g: (g[0].a, (g[1].a, g[3].a)),
+        ("a0", ("a1", "a3")),
         None,
     ),
     (
         F_LOAD_LOAD_LE_JIF,
         (Op.LOAD, Op.LOAD, Op.LE, Op.JUMP_IF_FALSE),
-        lambda g: (g[0].a, (g[1].a, g[3].a)),
+        ("a0", ("a1", "a3")),
         None,
     ),
     (
         F_LOAD_LOAD_GT_JIF,
         (Op.LOAD, Op.LOAD, Op.GT, Op.JUMP_IF_FALSE),
-        lambda g: (g[0].a, (g[1].a, g[3].a)),
+        ("a0", ("a1", "a3")),
         None,
     ),
     (
         F_LOAD_LOAD_GE_JIF,
         (Op.LOAD, Op.LOAD, Op.GE, Op.JUMP_IF_FALSE),
-        lambda g: (g[0].a, (g[1].a, g[3].a)),
+        ("a0", ("a1", "a3")),
         None,
     ),
 ]
+
+
+def _pick_operand(desc, group):
+    if desc is None:
+        return None
+    if isinstance(desc, tuple):
+        return tuple(group[int(d[1:])].a for d in desc)
+    return group[int(desc[1:])].a
+
+
+def _make_builder(layout):
+    fa_desc, fb_desc = layout
+
+    def build(group):
+        return _pick_operand(fa_desc, group), _pick_operand(fb_desc, group)
+
+    return build
 
 #: fused id -> human-readable name (for the disassembler and tests).
 FUSED_NAMES: dict[int, str] = {}
 #: fused id -> number of raw instructions the superinstruction covers.
 FUSED_ARITY: dict[int, int] = {}
+#: fused id -> the declarative ``(fa, fb)`` operand layout from
+#: ``_PATTERNS``; the dispatch-arm generator substitutes these when
+#: expanding a superinstruction's component semantics.
+FUSED_LAYOUT: dict[int, tuple] = {}
 
 # Head opcode -> candidate patterns, longest first (greedy matching
 # prefers the widest superinstruction at each position).
 _BY_HEAD: dict[int, list] = {}
-for _fid, _seq, _build, _guard in _PATTERNS:
+for _fid, _seq, _layout, _guard in _PATTERNS:
+    for _op in _seq:
+        if _op not in FUSABLE_OPS:  # pragma: no cover - table typo
+            raise AssertionError(
+                f"pattern {_fid} uses {_op.name}, which the opcode spec "
+                "does not declare fusable"
+            )
     _name = "_".join(op.name for op in _seq)
     if FUSED_NAMES.get(_fid) is not None:  # pragma: no cover - table typo
         raise AssertionError(f"duplicate fused id {_fid}")
     FUSED_NAMES[_fid] = _name
     FUSED_ARITY[_fid] = len(_seq)
+    FUSED_LAYOUT[_fid] = _layout
     _BY_HEAD.setdefault(int(_seq[0]), []).append(
-        (tuple(int(op) for op in _seq), _fid, _build, _guard)
+        (tuple(int(op) for op in _seq), _fid, _make_builder(_layout), _guard)
     )
 for _cands in _BY_HEAD.values():
     _cands.sort(key=lambda cand: -len(cand[0]))
@@ -246,15 +280,16 @@ _CONTROL_OPS = frozenset(
 )
 CONTROL_FUSED_IDS = frozenset(
     _fid
-    for _fid, _seq, _build, _guard in _PATTERNS
+    for _fid, _seq, _layout, _guard in _PATTERNS
     if any(int(_op) in _CONTROL_OPS for _op in _seq)
 )
 
 #: fused id -> raw component opcodes.  The template JIT expands a
 #: quickened head back into its components and reuses the per-raw-op
-#: templates, so one emitter serves fused and unfused streams alike.
+#: templates, so one emitter serves fused and unfused streams alike;
+#: the dispatch-arm generator derives each fused handler the same way.
 FUSED_COMPONENTS: dict[int, tuple[int, ...]] = {
-    _fid: tuple(int(_op) for _op in _seq) for _fid, _seq, _build, _guard in _PATTERNS
+    _fid: tuple(int(_op) for _op in _seq) for _fid, _seq, _layout, _guard in _PATTERNS
 }
 
 

@@ -54,13 +54,20 @@ are picked up by the manager's recompile-on-IC-growth policy.
 
 from __future__ import annotations
 
-from repro.bytecode.opcodes import Op
+from repro.bytecode.opcodes import STACK_EFFECT, Op
 from repro.vm import fuse
 from repro.vm import ic as icmod
 from repro.vm.values import HeapArray, HeapObject
 
 #: Bail out of compiling methods longer than this many instructions.
 JIT_MAX_CODE = 2000
+
+#: Net stack effect per straight-line opcode, keyed by int, derived
+#: from the declarative opcode specs (calls/branches/returns are
+#: depth-tracked explicitly in ``_analyze`` and absent here).
+_STACK_EFFECT: dict[int, int] = {
+    int(op): effect for op, effect in STACK_EFFECT.items() if effect is not None
+}
 
 _OP_PUSH = int(Op.PUSH)
 _OP_PUSH_NULL = int(Op.PUSH_NULL)
@@ -430,17 +437,7 @@ class _Compiler:
                 if rv is not None:
                     succs.append((pc + 1, d - (b + 1) + (1 if rv else 0)))
             else:
-                effect = {
-                    _OP_PUSH: 1, _OP_PUSH_NULL: 1, _OP_LOAD: 1, _OP_NEW: 1,
-                    _OP_DUP: 1,
-                    _OP_POP: -1, _OP_STORE: -1, _OP_PRINT: -1, _OP_DIV: -1,
-                    _OP_MOD: -1, _OP_ALOAD: -1,
-                    _OP_ADD: -1, _OP_SUB: -1, _OP_MUL: -1,
-                    _OP_LT: -1, _OP_LE: -1, _OP_GT: -1, _OP_GE: -1,
-                    _OP_EQ: -1, _OP_NE: -1,
-                    _OP_PUTFIELD: -2, _OP_ASTORE: -3,
-                }.get(op, 0)
-                succs.append((pc + 1, d + effect))
+                succs.append((pc + 1, d + _STACK_EFFECT[op]))
             for target, nd in succs:
                 if nd < 0 or target >= len(recs):
                     raise _Bail("bad stack depth")

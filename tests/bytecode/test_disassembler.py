@@ -90,3 +90,20 @@ def test_numeric_rendering_without_program():
     )
     text = disassemble_function(program.function_named("main"), None)
     assert "CALL_STATIC 0 0" in text
+
+
+def test_spec_view_annotates_rows():
+    from repro.bytecode.disassembler import disassemble_spec
+
+    program = assemble(ASM)
+    text = disassemble_spec(program)
+    # The virtual call's stack account is argc-dependent, so the view
+    # shows the site's actual consumption (receiver + 0 args).
+    assert "1→ret" in text
+    # GETFIELD carries its fault mode and fusability from the spec row.
+    assert "faults=null" in text
+    assert "fusable" in text
+    # Quickening class and yieldpoint site annotations ride along.
+    assert "quicken=call_virtual" in text
+    assert "yieldpoint=epilogue" in text
+    assert text.rstrip().splitlines()[-1].startswith("total:")

@@ -154,3 +154,50 @@ def test_whole_compiled_suite_verifies():
     def main() { var b: A = new B(); print(b.f() + helper(3)); }
     """
     verify_program(compile_source(source))
+
+
+# -- assemble-time verification (spec-derived stack discipline) ---------------
+
+
+def test_assemble_rejects_stack_underflow():
+    """Hand-assembled programs with bad stack discipline are rejected at
+    assembly time, not left to fault mid-run."""
+    from repro.bytecode.assembler import assemble
+
+    with pytest.raises(VerifyError, match="needs"):
+        assemble("func main/0 void\n  ADD\n  RETURN\nend")
+
+
+def test_assemble_rejects_join_divergence():
+    from repro.bytecode.assembler import assemble
+
+    text = "\n".join(
+        [
+            "func main/0 locals=1 void",
+            "  PUSH 1",
+            "  JUMP_IF_FALSE merge",
+            "  PUSH 7",  # this arm reaches merge with depth 1,
+            "label merge",  # the branch arm with depth 0
+            "  RETURN",
+            "end",
+        ]
+    )
+    with pytest.raises(VerifyError, match="join"):
+        assemble(text)
+
+
+def test_assemble_verify_escape_hatch():
+    from repro.bytecode.assembler import assemble
+
+    text = "func main/0 void\n  ADD\n  RETURN\nend"
+    program = assemble(text, verify=False)
+    assert program.functions  # raw program handed over unverified
+
+
+def test_verifier_pops_derive_from_specs():
+    """The verifier's pop counts are the spec table itself, not a copy
+    that can drift."""
+    from repro.bytecode.opcodes import POPS
+    from repro.bytecode import verifier
+
+    assert verifier._POPS is POPS

@@ -1,0 +1,109 @@
+"""Spec-conformance replay of the committed fuzz corpus.
+
+The reference executor in :mod:`repro.fuzz.specexec` is built from
+nothing but the declarative opcode specs and the cost model.  Replaying
+the corpus through it asserts, for every executed op, that the observed
+stack delta matches the spec (checked inside the executor) and that the
+charged cost matches the spec's price (checked against the compiled
+cost views) — and that the whole transcript (output, virtual time,
+steps, ticks, calls, methods, fault tuple) is bit-identical to the real
+interpreter's unprofiled reference cell.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.fuzz.campaign import build_program
+from repro.fuzz.differential import (
+    SPEC_FIELDS,
+    MatrixCell,
+    _check_spec_reference,
+    run_cell,
+)
+from repro.fuzz.specexec import (
+    SpecConformanceError,
+    run_spec_reference,
+    verify_cost_views,
+)
+from repro.vm.config import config_named
+
+CORPUS = os.path.join(os.path.dirname(__file__), "corpus")
+
+_KINDS = {".mini": "mini", ".asm": "asm"}
+
+
+def _corpus_programs():
+    for name in sorted(os.listdir(CORPUS)):
+        extension = os.path.splitext(name)[1]
+        if extension not in _KINDS:
+            continue
+        with open(os.path.join(CORPUS, name)) as handle:
+            text = handle.read()
+        yield name, build_program(_KINDS[extension], text)
+
+
+_PROGRAMS = list(_corpus_programs())
+
+
+@pytest.mark.parametrize("name,program", _PROGRAMS, ids=[n for n, _ in _PROGRAMS])
+@pytest.mark.parametrize("vm_name", ["jikes", "j9"])
+def test_corpus_replay_matches_spec_executor(name, program, vm_name):
+    """Every corpus reproducer runs identically on the spec executor and
+    the real interpreter (faulting reproducers included — the fault
+    tuple is part of the compared transcript)."""
+    config = config_named(vm_name, fuse=False, ic=False)
+    verify_cost_views(program, config)
+    transcript = run_spec_reference(program, config)
+    reference = run_cell(program, MatrixCell(False, False, "none", False), vm_name)
+    assert reference.outcome != "host-crash", reference.host_error
+    for field in SPEC_FIELDS:
+        assert transcript[field] == getattr(reference, field), (
+            f"{name}: {field} diverges from the unprofiled reference"
+        )
+
+
+@pytest.mark.parametrize("name,program", _PROGRAMS, ids=[n for n, _ in _PROGRAMS])
+def test_corpus_replay_through_matrix_hook(name, program):
+    """The differential-matrix integration reports no violations for a
+    healthy tree (same entry point ``check_program`` uses)."""
+    reference = run_cell(program, MatrixCell(False, False, "none", False))
+    violations = _check_spec_reference(program, reference, "jikes", {})
+    assert violations == [], [v.as_dict() for v in violations]
+
+
+def test_stack_delta_drift_is_detected():
+    """The in-executor conformance assert fires when an op's observed
+    stack delta disagrees with its spec row."""
+    from repro.bytecode.opcodes import Op
+    from repro.fuzz.specexec import SpecExecutor
+
+    _, program = _PROGRAMS[0]
+    executor = SpecExecutor(program, config_named("jikes", fuse=False, ic=False))
+    fn = program.entry_function()
+    # ADD pops 2 and pushes 1; a delta of 0 is what a drifted handler
+    # that peeks instead of popping would produce.
+    with pytest.raises(SpecConformanceError, match="ADD"):
+        executor._check_delta(Op.ADD, 2, 2, 0, fn)
+
+
+def test_transcript_drift_is_reported_as_violation():
+    """Any divergence between the real reference cell and the spec
+    executor surfaces through the matrix hook as a spec-* violation."""
+    _, program = _PROGRAMS[0]
+    reference = run_cell(program, MatrixCell(False, False, "none", False))
+    reference.steps += 1  # simulate the interpreter drifting off-spec
+    violations = _check_spec_reference(program, reference, "jikes", {})
+    assert [v.invariant for v in violations] == ["spec-steps"]
+    assert violations[0].cell == "spec-reference"
+
+
+def test_cost_views_conform():
+    """The compiled per-pc cost views charge exactly the cost model's
+    per-spec prices, for both VM presets."""
+    for vm_name in ("jikes", "j9"):
+        config = config_named(vm_name, fuse=False, ic=False)
+        for _, program in _PROGRAMS:
+            verify_cost_views(program, config)

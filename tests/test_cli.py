@@ -366,6 +366,23 @@ def test_disasm_fused(program_file, capsys):
     assert "total:" in out
 
 
+def test_disasm_spec(program_file, capsys):
+    assert main(["disasm", program_file, "--spec"]) == 0
+    out = capsys.readouterr().out
+    # Every instruction line carries its spec row: effect, kind, size.
+    assert "0→1]" in out  # PUSH/LOAD: pops 0, pushes 1
+    assert "size=" in out
+    assert "yieldpoint=" in out  # the program has calls or loops
+    assert "total:" in out and "faultable" in out
+
+
+def test_disasm_spec_is_exclusive(program_file, capsys):
+    import pytest
+
+    with pytest.raises(SystemExit):
+        main(["disasm", program_file, "--spec", "--fused"])
+
+
 # -- bench (parallel sweep) ---------------------------------------------------------
 
 

@@ -191,7 +191,7 @@ method B.get/1 locals=1
   GETFIELD B.y
   RETURN_VAL
 end
-func hot/2 locals=4
+func hot/1 locals=4
   PUSH 0
   STORE 1
   PUSH 0

@@ -1,0 +1,80 @@
+"""Regression tests for drift bugs found by the opcode-spec audit.
+
+Every test here pins a divergence between a hand-written dispatch arm
+and its declarative spec (repro.bytecode.opcodes.OPCODE_SPECS) that the
+spec-driven generator fixed.  The programs are chosen so the buggy
+behavior is observable deterministically — these tests failed against
+the pre-generator hand-written loop.
+"""
+
+from repro.frontend.codegen import compile_source
+from repro.vm.config import jikes_config
+from repro.vm.interpreter import Interpreter
+from repro.vm.yieldpoint import BACKEDGE, YP_ALL, YP_NONE
+
+# Two calls per iteration before the backward jump: whenever a tick
+# lands inside the *first* call's body, the second call completes
+# between the tick's counter sync and the backedge yieldpoint, with no
+# other sync point in between (prologue/epilogue yieldpoints off, no
+# observer, no telemetry).  A backedge arm that fails to sync
+# ``call_count`` then exposes the tick-time value, one call stale.
+TWO_CALLS_PER_ITERATION = """
+def work(x: int): int { return x + 1; }
+def main() {
+  var t = 0;
+  for (var i = 0; i < 30000; i = i + 1) { t = work(t); t = work(t); }
+  print(t);
+}
+"""
+
+
+class BackedgeCallCountRecorder:
+    """Records ``vm.call_count`` against ground truth at each backedge.
+
+    Ground truth comes from the guest itself: at the backward jump of
+    iteration ``i`` the loop counter (main's local 1) has already been
+    incremented and both calls of the body have completed, so the true
+    dynamic call count is exactly ``2 * i``.
+    """
+
+    def __init__(self):
+        self.samples = []
+
+    def attach(self, vm):
+        pass
+
+    def handle_timer(self, vm):
+        vm.yieldpoint_flag = YP_ALL
+
+    def handle_yieldpoint(self, vm, kind):
+        if kind == BACKEDGE:
+            self.samples.append((vm.call_count, 2 * vm.frames[-1].locals[1]))
+        vm.yieldpoint_flag = YP_NONE
+
+
+def test_backedge_yieldpoint_syncs_call_count():
+    """Drift bug: the raw JUMP arm's backedge yieldpoint synced ``time``
+    and ``frame.pc`` but not ``call_count`` — the prologue and epilogue
+    yieldpoints sync all three, and the JUMP spec's yieldpoint
+    obligation says the backedge must too.  A profiler sampling call
+    counts at backedges (how CBS attributes loop-heavy methods) saw the
+    count as of the previous sync, missing every call that ran between
+    the tick and the jump.  Against the pre-generator loop, 6 of the 14
+    backedge samples below were one call stale."""
+    profiler = BackedgeCallCountRecorder()
+    # Backedge-only yieldpoints force the take onto the JUMP arm; no
+    # fusion/IC so the raw arm is the one exercised.
+    config = jikes_config(
+        prologue_yieldpoints=False,
+        epilogue_yieldpoints=False,
+        backedge_yieldpoints=True,
+        fuse=False,
+        ic=False,
+    )
+    vm = Interpreter(compile_source(TWO_CALLS_PER_ITERATION), config)
+    vm.attach_profiler(profiler)
+    vm.run()
+
+    assert profiler.samples, "no backedge yieldpoints taken — bad test setup"
+    stale = [s for s in profiler.samples if s[0] != s[1]]
+    assert stale == [], f"stale call_count at {len(stale)} backedges: {stale[:3]}"
